@@ -1,0 +1,41 @@
+//! Micro benchmarks of the reconfiguration operations: incremental builds
+//! (node-move-in) and departures (node-move-out) with full slot repair.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dsnet::NetworkBuilder;
+use dsnet_graph::NodeId;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cluster_ops");
+    for n in [100usize, 300] {
+        g.bench_with_input(BenchmarkId::new("build_by_move_in", n), &n, |b, &n| {
+            b.iter(|| black_box(NetworkBuilder::paper(n, 48).build().unwrap().len()))
+        });
+    }
+    g.bench_function("move_out_and_rehome", |b| {
+        b.iter_batched(
+            || NetworkBuilder::paper(150, 49).build().unwrap(),
+            |mut net| {
+                // Remove the first few removable interior nodes.
+                let candidates: Vec<NodeId> =
+                    net.net().tree().nodes().skip(1).step_by(11).take(8).collect();
+                let mut removed = 0;
+                for u in candidates {
+                    if removed == 3 {
+                        break;
+                    }
+                    if net.leave(u).is_ok() {
+                        removed += 1;
+                    }
+                }
+                black_box(net.len())
+            },
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! Criterion bench for the Figure-10 experiment (backbone construction and
+//! measurement).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dsnet::NetworkBuilder;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig10_backbone");
+    for n in [100usize, 200] {
+        g.bench_function(format!("build_and_measure_n{n}"), |b| {
+            b.iter(|| {
+                let net = NetworkBuilder::paper(n, 44).build().unwrap();
+                let s = net.stats();
+                black_box((s.backbone_size, s.backbone_height))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,19 @@
+//! Criterion bench for the Figure-11 experiment (degrees and slot maxima).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dsnet::NetworkBuilder;
+use dsnet_protocols::knowledge::build_knowledge;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let net = NetworkBuilder::paper(150, 45).build().unwrap();
+    let mut g = c.benchmark_group("fig11_slots");
+    g.bench_function("stats_n150", |b| b.iter(|| black_box(net.stats())));
+    g.bench_function("knowledge_snapshot_n150", |b| {
+        b.iter(|| black_box(build_knowledge(net.net()).delta_l))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

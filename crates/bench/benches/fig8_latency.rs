@@ -1,0 +1,27 @@
+//! Criterion bench for the Figure-8 experiment (broadcast latency sweep).
+//!
+//! Times one full (n = 100, 1 rep) regeneration of each protocol's
+//! latency measurement; the actual paper table comes from the `figures`
+//! binary.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dsnet::{NetworkBuilder, Protocol};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let net = NetworkBuilder::paper(100, 42).build().unwrap();
+    let mut g = c.benchmark_group("fig8_latency_n100");
+    g.bench_function("cff_improved", |b| {
+        b.iter(|| black_box(net.broadcast(Protocol::ImprovedCff).rounds))
+    });
+    g.bench_function("cff_basic", |b| {
+        b.iter(|| black_box(net.broadcast(Protocol::BasicCff).rounds))
+    });
+    g.bench_function("dfo_baseline", |b| {
+        b.iter(|| black_box(net.broadcast(Protocol::Dfo).rounds))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,20 @@
+//! Criterion bench for the Figure-9 experiment (awake-round accounting).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dsnet::{NetworkBuilder, Protocol};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let net = NetworkBuilder::paper(100, 43).build().unwrap();
+    let mut g = c.benchmark_group("fig9_awake_n100");
+    g.bench_function("cff_energy_report", |b| {
+        b.iter(|| black_box(net.broadcast(Protocol::ImprovedCff).energy.max_awake))
+    });
+    g.bench_function("dfo_energy_report", |b| {
+        b.iter(|| black_box(net.broadcast(Protocol::Dfo).energy.max_awake))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

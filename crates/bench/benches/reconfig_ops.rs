@@ -1,0 +1,69 @@
+//! Micro benchmarks of the extension machinery: the randomized
+//! neighbour-discovery session, session-slot assignment for reliable
+//! multicast, the flooding baseline, and the root hand-over.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dsnet::cluster::slots::session::assign_session_slots;
+use dsnet::protocols::flooding::run_flooding;
+use dsnet::protocols::join::simulate_join;
+use dsnet::radio::FailurePlan;
+use dsnet::{GroupPlan, NetworkBuilder};
+use dsnet_graph::{Graph, NodeId};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("extensions");
+
+    // Neighbour discovery across degrees.
+    for d in [4usize, 16] {
+        let mut star = Graph::with_nodes(d + 1);
+        for i in 1..=d {
+            star.add_edge(NodeId(0), NodeId(i as u32));
+        }
+        g.bench_with_input(BenchmarkId::new("join_discovery", d), &d, |b, &d| {
+            b.iter(|| black_box(simulate_join(&star, NodeId(0), d, 42).rounds))
+        });
+    }
+
+    // Session slots over a pruned multicast participant set.
+    let net = NetworkBuilder::paper(200, 50)
+        .groups(GroupPlan { groups: 1, membership: 0.1 })
+        .build()
+        .unwrap();
+    let table = dsnet::protocols::multicast::participation_table(net.mcnet(), 0);
+    g.bench_function("session_slot_assignment_n200", |b| {
+        b.iter(|| {
+            let tx = |u: NodeId| table[u.index()].tx;
+            let rx = |u: NodeId| table[u.index()].rx;
+            black_box(
+                assign_session_slots(&net.net().view(), net.net().mode(), &tx, &rx).max_l(),
+            )
+        })
+    });
+
+    // Flooding baseline on the paper graph.
+    g.bench_function("flooding_w4_n200", |b| {
+        b.iter(|| {
+            black_box(
+                run_flooding(net.net().graph(), net.sink(), 4, 7, FailurePlan::new()).delivered,
+            )
+        })
+    });
+
+    // Root hand-over (full rebuild).
+    g.bench_function("root_move_out_n150", |b| {
+        b.iter_batched(
+            || NetworkBuilder::paper(150, 51).build().unwrap(),
+            |mut net| {
+                let _ = black_box(net.leave_sink());
+                net.len()
+            },
+            criterion::BatchSize::LargeInput,
+        )
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

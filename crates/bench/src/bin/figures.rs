@@ -1,0 +1,97 @@
+//! Regenerate the paper's evaluation tables.
+//!
+//! ```text
+//! cargo run -p dsnet-bench --release --bin figures            # everything
+//! cargo run -p dsnet-bench --release --bin figures -- fig8    # one figure
+//! cargo run -p dsnet-bench --release --bin figures -- --quick # reduced sweep
+//! cargo run -p dsnet-bench --release --bin figures -- --csv fig10
+//! ```
+//!
+//! Figure ids: fig8, fig9, fig10, fig11, multichannel, robustness,
+//! multicast, reconfig, slotbounds, fields, discovery, modefidelity,
+//! parentrule, multisink, floodbase, backbone, all.
+
+use dsnet::experiments::{self, SweepConfig};
+use dsnet_metrics::SweepTable;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: figures [--quick] [--csv] [--out DIR] [fig8|fig9|fig10|fig11|multichannel|robustness|multicast|reconfig|slotbounds|fields|all]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut quick = false;
+    let mut csv = false;
+    let mut out_dir: Option<String> = None;
+    let mut which: Vec<String> = Vec::new();
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--csv" => csv = true,
+            "--out" => out_dir = Some(argv.next().unwrap_or_else(|| usage())),
+            "--help" | "-h" => usage(),
+            other if other.starts_with('-') => usage(),
+            other => which.push(other.to_string()),
+        }
+    }
+    if which.is_empty() {
+        which.push("all".to_string());
+    }
+    let cfg = if quick { SweepConfig::quick() } else { SweepConfig::default() };
+
+    let mut tables: Vec<SweepTable> = Vec::new();
+    for name in &which {
+        match name.as_str() {
+            "fig8" => tables.push(experiments::fig8::run(&cfg)),
+            "fig9" => tables.push(experiments::fig9::run(&cfg)),
+            "fig10" => tables.push(experiments::fig10::run(&cfg)),
+            "fig11" => tables.push(experiments::fig11::run(&cfg)),
+            "multichannel" => tables.push(experiments::multichannel::run(&cfg)),
+            "robustness" => tables.push(experiments::robustness::run(&cfg)),
+            "multicast" => tables.push(experiments::multicast::run(&cfg)),
+            "reconfig" => tables.push(experiments::reconfig::run(&cfg)),
+            "slotbounds" => tables.push(experiments::slotbounds::run(&cfg)),
+            "fields" => tables.push(experiments::fields::run(&cfg)),
+            "discovery" => tables.push(experiments::discovery::run(&cfg)),
+            "modefidelity" => tables.push(experiments::modefidelity::run(&cfg)),
+            "parentrule" => tables.push(experiments::parentrule::run(&cfg)),
+            "multisink" => tables.push(experiments::multisink::run(&cfg)),
+            "floodbase" => tables.push(experiments::floodbase::run(&cfg)),
+            "backbone" => tables.push(experiments::backbone_quality::run(&cfg)),
+            "all" => tables.extend(experiments::all_tables(&cfg)),
+            _ => usage(),
+        }
+    }
+
+    if let Some(dir) = &out_dir {
+        std::fs::create_dir_all(dir).expect("create output directory");
+    }
+    for t in &tables {
+        let rendered = if csv { t.to_csv() } else { t.to_markdown() };
+        if let Some(dir) = &out_dir {
+            // File name: the experiment id at the front of the title
+            // ("Fig. 10 — ..." → fig10, "E5 — ..." → e5).
+            let id: String = t
+                .title
+                .chars()
+                .take_while(|&c| c != '—')
+                .filter(|c| c.is_ascii_alphanumeric())
+                .collect::<String>()
+                .to_lowercase();
+            let ext = if csv { "csv" } else { "md" };
+            let path = format!("{dir}/{id}.{ext}");
+            std::fs::write(&path, &rendered).expect("write table file");
+            eprintln!("wrote {path}");
+        }
+        if csv {
+            println!("# {}", t.title);
+            print!("{rendered}");
+            println!();
+        } else {
+            println!("{rendered}");
+        }
+    }
+}

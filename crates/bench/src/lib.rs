@@ -1,0 +1,31 @@
+//! Benchmark support for the dsnet reproduction.
+//!
+//! The Criterion benches (`benches/fig*_*.rs`) measure the wall-clock cost
+//! of regenerating each figure at a reduced sweep, and the micro benches
+//! time the individual protocol executions and cluster operations. The
+//! `figures` binary (`cargo run -p dsnet-bench --release --bin figures`)
+//! prints the actual paper tables.
+
+use dsnet::experiments::SweepConfig;
+
+/// The sweep used inside Criterion benches: small enough to iterate, large
+/// enough to exercise every code path.
+pub fn bench_sweep() -> SweepConfig {
+    SweepConfig { ns: vec![100], reps: 1, ..SweepConfig::default() }
+}
+
+/// The full paper sweep used by the `figures` binary.
+pub fn paper_sweep() -> SweepConfig {
+    SweepConfig::default()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweeps_are_sane() {
+        assert!(!bench_sweep().ns.is_empty());
+        assert_eq!(paper_sweep().ns, vec![100, 200, 300, 400, 500]);
+    }
+}

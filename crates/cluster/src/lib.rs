@@ -1,0 +1,39 @@
+#![warn(missing_docs)]
+
+//! The paper's reconfigurable cluster-based network architecture.
+//!
+//! This crate implements Sections 2, 4 and 5 of the paper:
+//!
+//! * [`ClusterNet`] — the cluster-net **CNet(G)** of Definition 1: a rooted
+//!   spanning tree over the connectivity graph in which every node is a
+//!   *cluster-head*, a *gateway* or a *pure-member*, together with the
+//!   backbone tree **BT(G)** (Definition 2) induced by heads and gateways.
+//! * `node-move-in` / `node-move-out` (Section 5) — the two topological
+//!   management operations that keep the structure self-constructing and
+//!   self-reconfiguring under churn, with round-cost accounting matching
+//!   Theorems 2 and 3.
+//! * [`slots`] — the incremental TDM time-slot machinery of Section 4:
+//!   every internal node carries a *b-time-slot* (backbone flooding phase)
+//!   and an *l-time-slot* (leaf delivery phase), maintained by Algorithm 3
+//!   and Procedure 1 so that Time-Slot Condition 2 always holds, with the
+//!   paper's `d(d+1)/2+1` / `D(D+1)/2+1` bounds.
+//! * [`McNet`] — the multicast overlay **MCNet(G)** of Section 3.4:
+//!   per-node group-lists and relay-lists maintained under churn.
+//! * [`invariants`] — executable checkers for Property 1 and the
+//!   structural invariants of Definition 1, used heavily by the test
+//!   suite.
+
+pub mod costs;
+pub mod invariants;
+pub mod mcnet;
+pub mod move_out;
+pub mod net;
+pub mod slots;
+pub mod status;
+
+pub use costs::{MoveInCost, MoveOutCost, SlotCalcCost};
+pub use mcnet::{GroupId, McNet};
+pub use move_out::{MoveOutError, MoveOutReport, RootMoveOutReport};
+pub use net::{ClusterNet, MoveInError, MoveInReport, ParentRule};
+pub use slots::{SlotKind, SlotMode, SlotTable};
+pub use status::NodeStatus;

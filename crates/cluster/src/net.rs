@@ -1,0 +1,744 @@
+//! CNet(G): the cluster-net of Definition 1 and the `node-move-in`
+//! operation of Section 5.1.
+//!
+//! [`ClusterNet`] bundles the connectivity graph `G`, the rooted spanning
+//! tree CNet(G), the per-node statuses and the TDM slot table, and keeps
+//! all four consistent under churn. `G` is owned by the structure so the
+//! two can never drift apart.
+//!
+//! The move-in rules (Definition 1): a joining node `new` with attached
+//! neighbours `U` picks its parent `w` and statuses as
+//!
+//! 1. `U` contains cluster-heads → `w` = one of them, `new` becomes a
+//!    pure-member of `w`'s cluster;
+//! 2. else `U` contains gateways → `w` = one of them, `new` becomes the
+//!    head of a fresh cluster;
+//! 3. else (`U` is all pure-members) → `w` = one of them, `w` is
+//!    *promoted* to gateway and `new` becomes the head of a fresh cluster.
+//!
+//! After the structural step, Algorithm 3 (`UpdateTimeSlot`) repairs the
+//! slot table so Time-Slot Condition 2 keeps holding; the cost of every
+//! Procedure-1 invocation is accounted per Lemma 2/3 and Theorem 2.
+
+use crate::costs::MoveInCost;
+use crate::slots::assign::{
+    calculate_b_slot, calculate_l_slot, condition_b_holds, condition_l_holds,
+};
+use crate::slots::view::NetView;
+use crate::slots::{SlotMode, SlotTable};
+use crate::status::NodeStatus;
+use dsnet_graph::{Graph, NodeId, RootedTree};
+use std::fmt;
+
+/// Tie-break rule for choosing the parent among eligible neighbours.
+/// (The paper leaves this to the application, naming energy level as one
+/// example criterion; we provide deterministic structural rules.)
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ParentRule {
+    /// Smallest node id — fully deterministic, the default.
+    #[default]
+    LowestId,
+    /// Highest current degree in `G` (ties by smallest id). Tends to
+    /// produce fewer, larger clusters.
+    HighestDegree,
+}
+
+/// Errors from [`ClusterNet::move_in`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MoveInError {
+    /// The very first node must be inserted with an empty neighbour list.
+    FirstNodeTakesNoNeighbors,
+    /// A non-first node needs at least one attached neighbour.
+    NoAttachedNeighbor,
+    /// A listed neighbour is not a live node of `G`.
+    UnknownNeighbor(NodeId),
+}
+
+impl fmt::Display for MoveInError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MoveInError::FirstNodeTakesNoNeighbors => {
+                write!(f, "the first node must be inserted with no neighbours")
+            }
+            MoveInError::NoAttachedNeighbor => {
+                write!(f, "a joining node must hear at least one attached node")
+            }
+            MoveInError::UnknownNeighbor(n) => write!(f, "unknown neighbour {n}"),
+        }
+    }
+}
+
+impl std::error::Error for MoveInError {}
+
+/// What a move-in did.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MoveInReport {
+    /// The node that joined.
+    pub node: NodeId,
+    /// `None` only for the root.
+    pub parent: Option<NodeId>,
+    /// Status assigned to the newcomer.
+    pub status: NodeStatus,
+    /// Set when rule 3 fired: this pure-member was promoted to gateway.
+    pub promoted_gateway: Option<NodeId>,
+    /// Accounted round costs (Theorem 2 terms).
+    pub cost: MoveInCost,
+}
+
+/// The cluster-based structure: `G`, CNet(G), statuses and slots.
+///
+/// ```
+/// use dsnet_cluster::{ClusterNet, NodeStatus};
+/// use dsnet_graph::NodeId;
+///
+/// let mut net = ClusterNet::with_defaults();
+/// net.move_in(&[]).unwrap();                 // the sink (a cluster head)
+/// net.move_in(&[NodeId(0)]).unwrap();        // joins the head → pure member
+/// let r = net.move_in(&[NodeId(1)]).unwrap();// hears only a member → rule 3
+/// assert_eq!(r.status, NodeStatus::ClusterHead);
+/// assert_eq!(net.status(NodeId(1)), NodeStatus::Gateway); // promoted
+/// assert_eq!(net.backbone_nodes(), vec![NodeId(0), NodeId(1), NodeId(2)]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ClusterNet {
+    graph: Graph,
+    tree: Option<RootedTree>,
+    status: Vec<NodeStatus>,
+    slots: SlotTable,
+    rule: ParentRule,
+    mode: SlotMode,
+}
+
+impl ClusterNet {
+    /// An empty structure with the given parent rule and slot mode.
+    pub fn new(rule: ParentRule, mode: SlotMode) -> Self {
+        Self {
+            graph: Graph::new(),
+            tree: None,
+            status: Vec::new(),
+            slots: SlotTable::default(),
+            rule,
+            mode,
+        }
+    }
+
+    /// Lowest-id parent rule, strict slot mode.
+    pub fn with_defaults() -> Self {
+        Self::new(ParentRule::default(), SlotMode::default())
+    }
+
+    // ----- accessors ------------------------------------------------------
+
+    /// The connectivity graph `G` (owned by the structure).
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// The CNet tree. Panics while the net is empty.
+    pub fn tree(&self) -> &RootedTree {
+        self.tree.as_ref().expect("cluster net is empty")
+    }
+
+    /// Whether no node has joined yet.
+    pub fn is_empty(&self) -> bool {
+        self.tree.is_none()
+    }
+
+    /// Number of attached nodes.
+    pub fn len(&self) -> usize {
+        self.tree.as_ref().map_or(0, |t| t.len())
+    }
+
+    /// The root (sink) of CNet(G).
+    pub fn root(&self) -> NodeId {
+        self.tree().root()
+    }
+
+    /// Status of an attached node.
+    pub fn status(&self, u: NodeId) -> NodeStatus {
+        assert!(self.tree().contains(u), "{u} is not attached");
+        self.status[u.index()]
+    }
+
+    /// The current TDM slot table.
+    pub fn slots(&self) -> &SlotTable {
+        &self.slots
+    }
+
+    /// The interference model the slots are maintained under.
+    pub fn mode(&self) -> SlotMode {
+        self.mode
+    }
+
+    /// The parent tie-break rule in use.
+    pub fn parent_rule(&self) -> ParentRule {
+        self.rule
+    }
+
+    /// Borrowed structural view for the slot machinery and validators.
+    pub fn view(&self) -> NetView<'_> {
+        NetView::new(&self.graph, self.tree(), &self.status)
+    }
+
+    /// Height `h` of CNet(G).
+    pub fn height(&self) -> u32 {
+        self.tree().height()
+    }
+
+    /// The paper's `δ`: largest b-time-slot in use.
+    pub fn delta_b(&self) -> u32 {
+        self.slots.max_b()
+    }
+
+    /// The paper's `Δ`: largest l-time-slot in use.
+    pub fn delta_l(&self) -> u32 {
+        self.slots.max_l()
+    }
+
+    /// Attached backbone nodes (heads and gateways), sorted by id.
+    pub fn backbone_nodes(&self) -> Vec<NodeId> {
+        self.tree()
+            .nodes()
+            .filter(|&u| self.status[u.index()].in_backbone())
+            .collect()
+    }
+
+    /// BT(G): the backbone as its own rooted tree (Definition 2). Backbone
+    /// parents are backbone nodes, so this is simply CNet(G) restricted to
+    /// heads and gateways.
+    pub fn backbone_tree(&self) -> RootedTree {
+        let tree = self.tree();
+        let mut bt = RootedTree::new(tree.root());
+        // Attach in depth order so parents precede children.
+        let mut nodes = self.backbone_nodes();
+        nodes.sort_by_key(|&u| tree.depth(u));
+        for u in nodes {
+            if u == tree.root() {
+                continue;
+            }
+            let p = tree.parent(u).expect("non-root has a parent");
+            debug_assert!(self.status[p.index()].in_backbone());
+            bt.attach(u, p);
+        }
+        bt
+    }
+
+    /// `G(V_BT)`: the subgraph of `G` induced by the backbone nodes (ids
+    /// preserved).
+    pub fn backbone_graph(&self) -> Graph {
+        self.graph.induced_subgraph(&self.backbone_nodes())
+    }
+
+    /// The clusters: each head with the members of its cluster (its
+    /// pure-member and gateway children).
+    pub fn clusters(&self) -> Vec<(NodeId, Vec<NodeId>)> {
+        let tree = self.tree();
+        self.tree()
+            .nodes()
+            .filter(|&u| self.status[u.index()] == NodeStatus::ClusterHead)
+            .map(|h| (h, tree.children(h).to_vec()))
+            .collect()
+    }
+
+    /// Counts of (heads, gateways, pure members).
+    pub fn status_counts(&self) -> (usize, usize, usize) {
+        let mut c = (0, 0, 0);
+        for u in self.tree().nodes() {
+            match self.status[u.index()] {
+                NodeStatus::ClusterHead => c.0 += 1,
+                NodeStatus::Gateway => c.1 += 1,
+                NodeStatus::PureMember => c.2 += 1,
+            }
+        }
+        c
+    }
+
+    // ----- construction ---------------------------------------------------
+
+    /// Insert a brand-new node whose radio hears `neighbors` (ids of
+    /// already-inserted nodes). The first insertion must pass `&[]` and
+    /// creates the root (the sink). Returns what happened.
+    pub fn move_in(&mut self, neighbors: &[NodeId]) -> Result<MoveInReport, MoveInError> {
+        if self.is_empty() {
+            if !neighbors.is_empty() {
+                return Err(MoveInError::FirstNodeTakesNoNeighbors);
+            }
+            let root = self.graph.add_node();
+            self.ensure_status_capacity();
+            self.status[root.index()] = NodeStatus::ClusterHead;
+            self.tree = Some(RootedTree::new(root));
+            return Ok(MoveInReport {
+                node: root,
+                parent: None,
+                status: NodeStatus::ClusterHead,
+                promoted_gateway: None,
+                cost: MoveInCost::default(),
+            });
+        }
+        if neighbors.is_empty() {
+            return Err(MoveInError::NoAttachedNeighbor);
+        }
+        for &n in neighbors {
+            if !self.graph.is_live(n) {
+                return Err(MoveInError::UnknownNeighbor(n));
+            }
+        }
+        let new = self.graph.add_node_with_neighbors(neighbors);
+        self.ensure_status_capacity();
+        self.move_in_existing(new)
+    }
+
+    /// Attach an existing live graph node (not currently in the tree) to
+    /// the structure. Used directly by `node-move-out` when re-homing the
+    /// stranded subtree, and by `move_in` after creating the node.
+    pub(crate) fn move_in_existing(&mut self, new: NodeId) -> Result<MoveInReport, MoveInError> {
+        debug_assert!(self.graph.is_live(new));
+        debug_assert!(!self.tree().contains(new));
+        self.ensure_status_capacity();
+
+        // U: attached neighbours, i.e. nodes of the current CNet that the
+        // newcomer can hear.
+        let tree = self.tree.as_ref().unwrap();
+        let attached: Vec<NodeId> = self
+            .graph
+            .neighbors(new)
+            .iter()
+            .copied()
+            .filter(|&v| tree.contains(v))
+            .collect();
+        if attached.is_empty() {
+            return Err(MoveInError::NoAttachedNeighbor);
+        }
+
+        // Definition 1 status rules.
+        let pick = |cands: &[NodeId]| self.pick_parent(cands);
+        let heads: Vec<NodeId> = attached
+            .iter()
+            .copied()
+            .filter(|&v| self.status[v.index()] == NodeStatus::ClusterHead)
+            .collect();
+        let gateways: Vec<NodeId> = attached
+            .iter()
+            .copied()
+            .filter(|&v| self.status[v.index()] == NodeStatus::Gateway)
+            .collect();
+        let (w, new_status, promote_w) = if !heads.is_empty() {
+            (pick(&heads), NodeStatus::PureMember, false)
+        } else if !gateways.is_empty() {
+            (pick(&gateways), NodeStatus::ClusterHead, false)
+        } else {
+            (pick(&attached), NodeStatus::ClusterHead, true)
+        };
+
+        // Pre-attachment structural facts needed by Algorithm 3.
+        let tree = self.tree.as_ref().unwrap();
+        let w_was_cnet_leaf = tree.is_leaf(w);
+        let w_was_bt_internal = {
+            let view = NetView::new(&self.graph, tree, &self.status);
+            view.bt_internal(w)
+        };
+
+        if promote_w {
+            self.status[w.index()] = NodeStatus::Gateway;
+        }
+        self.status[new.index()] = new_status;
+        self.tree.as_mut().unwrap().attach(new, w);
+        self.slots.ensure_capacity(self.graph.capacity());
+
+        // Algorithm 3: repair the slot table.
+        let mut slot_rounds = 0u64;
+        let mode = self.mode;
+        {
+            let tree = self.tree.as_ref().unwrap();
+            let view = NetView::new(&self.graph, tree, &self.status);
+
+            // (a) `w` turned CNet-internal: it now transmits in phase 2.
+            if w_was_cnet_leaf {
+                slot_rounds += calculate_l_slot(&view, &mut self.slots, mode, w).rounds;
+            }
+            // (b) `w` turned BT-internal: it now transmits in phase 1.
+            if new_status == NodeStatus::ClusterHead && !w_was_bt_internal {
+                slot_rounds += calculate_b_slot(&view, &mut self.slots, w).rounds;
+            }
+            // (c) rule-3 promotion: `w` is a brand-new backbone *receiver*;
+            // its head parent `u` turned BT-internal and must cover it.
+            if promote_w {
+                let u = tree.parent(w).expect("promoted member has a head parent");
+                if self.slots.b(u).is_none() {
+                    slot_rounds += calculate_b_slot(&view, &mut self.slots, u).rounds;
+                }
+                if !condition_b_holds(&view, &self.slots, w) {
+                    slot_rounds += calculate_b_slot(&view, &mut self.slots, u).rounds;
+                }
+                debug_assert!(condition_b_holds(&view, &self.slots, w));
+            }
+            // (d) the newcomer's own reception (Algorithm 3's main check).
+            match new_status {
+                NodeStatus::ClusterHead => {
+                    if !condition_b_holds(&view, &self.slots, new) {
+                        slot_rounds += calculate_b_slot(&view, &mut self.slots, w).rounds;
+                    }
+                    debug_assert!(condition_b_holds(&view, &self.slots, new));
+                }
+                NodeStatus::PureMember => {
+                    if !condition_l_holds(&view, &self.slots, mode, new) {
+                        slot_rounds += calculate_l_slot(&view, &mut self.slots, mode, w).rounds;
+                    }
+                    debug_assert!(condition_l_holds(&view, &self.slots, mode, new));
+                }
+                NodeStatus::Gateway => unreachable!("a newcomer is never a gateway"),
+            }
+        }
+
+        let cost = MoveInCost {
+            discovery: attached.len() as u64 + 1,
+            slot_update: slot_rounds,
+            propagation: 2 * self.height() as u64,
+        };
+        Ok(MoveInReport {
+            node: new,
+            parent: Some(w),
+            status: new_status,
+            promoted_gateway: promote_w.then_some(w),
+            cost,
+        })
+    }
+
+    fn pick_parent(&self, candidates: &[NodeId]) -> NodeId {
+        debug_assert!(!candidates.is_empty());
+        match self.rule {
+            ParentRule::LowestId => candidates.iter().copied().min().unwrap(),
+            ParentRule::HighestDegree => candidates
+                .iter()
+                .copied()
+                .max_by_key(|&u| (self.graph.degree(u), std::cmp::Reverse(u)))
+                .unwrap(),
+        }
+    }
+
+    fn ensure_status_capacity(&mut self) {
+        let cap = self.graph.capacity();
+        if self.status.len() < cap {
+            self.status.resize(cap, NodeStatus::PureMember);
+        }
+        self.slots.ensure_capacity(cap);
+    }
+
+    // ----- crate-internal mutators used by node-move-out -------------------
+
+    pub(crate) fn graph_mut(&mut self) -> &mut Graph {
+        &mut self.graph
+    }
+
+    pub(crate) fn tree_mut(&mut self) -> &mut RootedTree {
+        self.tree.as_mut().expect("cluster net is empty")
+    }
+
+    pub(crate) fn slots_mut(&mut self) -> &mut SlotTable {
+        &mut self.slots
+    }
+
+    /// Split borrows for the slot machinery: immutable structure, mutable
+    /// slot table.
+    pub(crate) fn split_for_slots(
+        &mut self,
+    ) -> (&Graph, &RootedTree, &[NodeStatus], &mut SlotTable) {
+        (
+            &self.graph,
+            self.tree.as_ref().expect("cluster net is empty"),
+            &self.status,
+            &mut self.slots,
+        )
+    }
+
+    /// Build a cluster structure **over an existing graph**, choosing the
+    /// root and the attachment order freely (ids are preserved). `order`
+    /// must list every live node exactly once, starting with the desired
+    /// root (the sink), and every later node must have a `graph`-neighbour
+    /// earlier in the order — a BFS order from the root always qualifies.
+    ///
+    /// This realises the paper's multi-sink remark (end of Section 2):
+    /// "more than one cluster-net may be selected in the same way from
+    /// different roots (sinks) so that if one cluster-net fails others can
+    /// still be used" — several structures over the same `G`, one per
+    /// sink.
+    pub fn build_over(
+        graph: Graph,
+        order: &[NodeId],
+        rule: ParentRule,
+        mode: SlotMode,
+    ) -> Result<Self, MoveInError> {
+        assert_eq!(order.len(), graph.node_count(), "order must cover every live node");
+        let mut net = ClusterNet::new(rule, mode);
+        net.graph = graph;
+        net.ensure_status_capacity();
+        let root = *order.first().expect("order is non-empty");
+        assert!(net.graph.is_live(root), "root must be live");
+        net.status[root.index()] = NodeStatus::ClusterHead;
+        net.tree = Some(RootedTree::new(root));
+        for &u in &order[1..] {
+            net.move_in_existing(u)?;
+        }
+        Ok(net)
+    }
+
+    /// Build a net by replaying an arrival sequence: node `i` of `full`
+    /// joins hearing its `full`-neighbours among nodes `0..i`. `full` must
+    /// have dense ids `0..n` (no tombstones) and be *incrementally
+    /// connected* (every node i > 0 has a neighbour with a smaller id).
+    pub fn build_by_arrival(
+        full: &Graph,
+        rule: ParentRule,
+        mode: SlotMode,
+    ) -> Result<(Self, Vec<MoveInReport>), MoveInError> {
+        assert_eq!(
+            full.node_count(),
+            full.capacity(),
+            "arrival graph must have dense ids"
+        );
+        let mut net = ClusterNet::new(rule, mode);
+        let mut reports = Vec::with_capacity(full.node_count());
+        for i in 0..full.node_count() {
+            let u = NodeId(i as u32);
+            let earlier: Vec<NodeId> =
+                full.neighbors(u).iter().copied().filter(|&v| v < u).collect();
+            reports.push(net.move_in(&earlier)?);
+        }
+        Ok((net, reports))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::slots::validate::validate_condition2;
+
+    #[test]
+    fn first_node_becomes_root_head() {
+        let mut net = ClusterNet::with_defaults();
+        let r = net.move_in(&[]).unwrap();
+        assert_eq!(r.node, NodeId(0));
+        assert_eq!(r.status, NodeStatus::ClusterHead);
+        assert_eq!(net.root(), NodeId(0));
+        assert_eq!(net.len(), 1);
+        assert_eq!(net.height(), 0);
+    }
+
+    #[test]
+    fn first_node_rejects_neighbors() {
+        let mut net = ClusterNet::with_defaults();
+        assert_eq!(
+            net.move_in(&[NodeId(0)]),
+            Err(MoveInError::FirstNodeTakesNoNeighbors)
+        );
+    }
+
+    #[test]
+    fn rule1_head_neighbor_makes_member() {
+        let mut net = ClusterNet::with_defaults();
+        net.move_in(&[]).unwrap();
+        let r = net.move_in(&[NodeId(0)]).unwrap();
+        assert_eq!(r.status, NodeStatus::PureMember);
+        assert_eq!(r.parent, Some(NodeId(0)));
+        assert_eq!(r.promoted_gateway, None);
+    }
+
+    #[test]
+    fn rule3_member_neighbor_promotes_gateway() {
+        let mut net = ClusterNet::with_defaults();
+        net.move_in(&[]).unwrap(); // 0 head
+        net.move_in(&[NodeId(0)]).unwrap(); // 1 member
+        // 2 hears only member 1 → 1 promoted to gateway, 2 becomes head.
+        let r = net.move_in(&[NodeId(1)]).unwrap();
+        assert_eq!(r.status, NodeStatus::ClusterHead);
+        assert_eq!(r.promoted_gateway, Some(NodeId(1)));
+        assert_eq!(net.status(NodeId(1)), NodeStatus::Gateway);
+        assert_eq!(net.tree().depth(NodeId(2)), 2);
+    }
+
+    #[test]
+    fn rule2_gateway_neighbor_makes_head() {
+        let mut net = ClusterNet::with_defaults();
+        net.move_in(&[]).unwrap();
+        net.move_in(&[NodeId(0)]).unwrap();
+        net.move_in(&[NodeId(1)]).unwrap(); // promotes 1
+        // 3 hears only gateway 1 → head under 1.
+        let r = net.move_in(&[NodeId(1)]).unwrap();
+        assert_eq!(r.status, NodeStatus::ClusterHead);
+        assert_eq!(r.parent, Some(NodeId(1)));
+        assert_eq!(r.promoted_gateway, None);
+    }
+
+    #[test]
+    fn head_priority_over_gateway_and_member() {
+        let mut net = ClusterNet::with_defaults();
+        net.move_in(&[]).unwrap(); // 0 head
+        net.move_in(&[NodeId(0)]).unwrap(); // 1 member of 0
+        net.move_in(&[NodeId(1)]).unwrap(); // 2 head, 1 gateway
+        // 3 hears head 0, gateway 1, head 2 → must join a head.
+        let r = net.move_in(&[NodeId(0), NodeId(1), NodeId(2)]).unwrap();
+        assert_eq!(r.status, NodeStatus::PureMember);
+        assert_eq!(r.parent, Some(NodeId(0))); // lowest-id head
+    }
+
+    #[test]
+    fn highest_degree_rule_changes_pick() {
+        let mut net = ClusterNet::new(ParentRule::HighestDegree, SlotMode::Strict);
+        net.move_in(&[]).unwrap(); // 0 head
+        net.move_in(&[NodeId(0)]).unwrap(); // 1 member
+        net.move_in(&[NodeId(1)]).unwrap(); // 2 head (1 gateway)
+        net.move_in(&[NodeId(2)]).unwrap(); // 3 member of 2
+        net.move_in(&[NodeId(2)]).unwrap(); // 4 member of 2 → deg(2) = 3 > deg(0) = 1
+        let r = net.move_in(&[NodeId(0), NodeId(2)]).unwrap();
+        assert_eq!(r.parent, Some(NodeId(2)));
+    }
+
+    #[test]
+    fn slots_stay_valid_during_growth() {
+        let mut net = ClusterNet::with_defaults();
+        net.move_in(&[]).unwrap();
+        // A chain of member-only hops forces repeated promotions.
+        for i in 1..20u32 {
+            net.move_in(&[NodeId(i - 1)]).unwrap();
+        }
+        let violations = validate_condition2(&net.view(), net.slots(), net.mode());
+        assert!(violations.is_empty(), "{violations:?}");
+        // Chain structure: statuses alternate head/gateway with the initial
+        // member absorbed; heights grow.
+        assert!(net.height() >= 10);
+    }
+
+    #[test]
+    fn unknown_neighbor_is_rejected() {
+        let mut net = ClusterNet::with_defaults();
+        net.move_in(&[]).unwrap();
+        assert_eq!(
+            net.move_in(&[NodeId(9)]),
+            Err(MoveInError::UnknownNeighbor(NodeId(9)))
+        );
+    }
+
+    #[test]
+    fn backbone_tree_contains_heads_and_gateways() {
+        let mut net = ClusterNet::with_defaults();
+        net.move_in(&[]).unwrap();
+        net.move_in(&[NodeId(0)]).unwrap();
+        net.move_in(&[NodeId(1)]).unwrap();
+        net.move_in(&[NodeId(2)]).unwrap(); // member of head 2
+        let bt = net.backbone_tree();
+        assert_eq!(bt.len(), 3); // 0, 1, 2
+        assert!(bt.contains(NodeId(0)) && bt.contains(NodeId(1)) && bt.contains(NodeId(2)));
+        assert!(!bt.contains(NodeId(3)));
+        bt.check_invariants();
+        let bg = net.backbone_graph();
+        assert_eq!(bg.node_count(), 3);
+    }
+
+    #[test]
+    fn clusters_partition_the_nodes() {
+        let mut net = ClusterNet::with_defaults();
+        net.move_in(&[]).unwrap();
+        for i in 1..15u32 {
+            net.move_in(&[NodeId(i - 1)]).unwrap();
+        }
+        let clusters = net.clusters();
+        let mut seen = std::collections::HashSet::new();
+        for (h, members) in &clusters {
+            assert!(seen.insert(*h));
+            for m in members {
+                assert!(seen.insert(*m), "{m} in two clusters");
+            }
+        }
+        assert_eq!(seen.len(), net.len());
+    }
+
+    #[test]
+    fn build_by_arrival_matches_manual_replay() {
+        let mut g = Graph::with_nodes(4);
+        g.add_edge(NodeId(0), NodeId(1));
+        g.add_edge(NodeId(1), NodeId(2));
+        g.add_edge(NodeId(0), NodeId(3));
+        g.add_edge(NodeId(2), NodeId(3));
+        let (net, reports) =
+            ClusterNet::build_by_arrival(&g, ParentRule::LowestId, SlotMode::Strict).unwrap();
+        assert_eq!(reports.len(), 4);
+        assert_eq!(net.len(), 4);
+        assert_eq!(net.graph().edge_count(), g.edge_count());
+        let violations = validate_condition2(&net.view(), net.slots(), net.mode());
+        assert!(violations.is_empty());
+    }
+
+    #[test]
+    fn status_counts_sum_to_len() {
+        let mut net = ClusterNet::with_defaults();
+        net.move_in(&[]).unwrap();
+        for i in 1..12u32 {
+            net.move_in(&[NodeId(i - 1)]).unwrap();
+        }
+        let (h, g, m) = net.status_counts();
+        assert_eq!(h + g + m, net.len());
+        assert!(h >= 1);
+    }
+}
+
+#[cfg(test)]
+mod build_over_tests {
+    use super::*;
+    use crate::slots::validate::validate_condition2;
+    use dsnet_graph::traversal::bfs;
+
+    fn sample_graph() -> Graph {
+        // A 3x3 grid-ish graph.
+        let mut g = Graph::with_nodes(9);
+        for row in 0..3u32 {
+            for col in 0..3u32 {
+                let id = row * 3 + col;
+                if col < 2 {
+                    g.add_edge(NodeId(id), NodeId(id + 1));
+                }
+                if row < 2 {
+                    g.add_edge(NodeId(id), NodeId(id + 3));
+                }
+            }
+        }
+        g
+    }
+
+    #[test]
+    fn build_over_bfs_order_from_any_root() {
+        let g = sample_graph();
+        for root in [NodeId(0), NodeId(4), NodeId(8)] {
+            let order = bfs(&g, root).order;
+            let net =
+                ClusterNet::build_over(g.clone(), &order, ParentRule::LowestId, SlotMode::Strict)
+                    .unwrap();
+            assert_eq!(net.root(), root);
+            assert_eq!(net.len(), 9);
+            crate::invariants::check_growth(&net).unwrap();
+            let v = validate_condition2(&net.view(), net.slots(), net.mode());
+            assert!(v.is_empty(), "root {root}: {v:?}");
+        }
+    }
+
+    #[test]
+    fn different_roots_give_different_structures_over_same_ids() {
+        let g = sample_graph();
+        let a = ClusterNet::build_over(
+            g.clone(),
+            &bfs(&g, NodeId(0)).order,
+            ParentRule::LowestId,
+            SlotMode::Strict,
+        )
+        .unwrap();
+        let b = ClusterNet::build_over(
+            g.clone(),
+            &bfs(&g, NodeId(8)).order,
+            ParentRule::LowestId,
+            SlotMode::Strict,
+        )
+        .unwrap();
+        assert_ne!(a.root(), b.root());
+        // Same underlying graph, same node ids.
+        assert_eq!(a.graph().edge_count(), b.graph().edge_count());
+    }
+}

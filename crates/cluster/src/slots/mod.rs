@@ -1,0 +1,215 @@
+//! TDM transmission time-slots (Section 4 of the paper).
+//!
+//! Every *internal* node of CNet(G) carries two slots:
+//!
+//! * **b-time-slot** — used in phase 1 of the improved broadcast
+//!   (Algorithm 2), when the message floods depth-by-depth over the
+//!   backbone BT(G). Only *BT-internal* nodes (backbone nodes with at
+//!   least one backbone child) transmit in this phase, and each depth gets
+//!   its own window of `δ` rounds, so collisions can only come from
+//!   same-depth backbone transmitters.
+//! * **l-time-slot** — used in phase 2, when every internal node pushes
+//!   the message to the pure-member leaves in a single window of `Δ`
+//!   rounds.
+//!
+//! Validity is **Time-Slot Condition 2**: every receiver must have, among
+//! the transmitters it can hear, at least one whose slot is *unique* in
+//! that set — that transmitter's round is then guaranteed collision-free
+//! at this receiver.
+//!
+//! [`SlotMode`] selects how the phase-2 interference set is modelled:
+//! `PaperFaithful` restricts a leaf's transmitter set to internal nodes
+//! one depth above it (the literal Condition 2), `Strict` extends it to
+//! *all* internal G-neighbours of the leaf, which is the set that can
+//! actually interfere in phase 2 because all depths share one window. See
+//! DESIGN.md §4 for the discussion of this fidelity gap.
+
+pub mod assign;
+pub mod session;
+pub mod validate;
+pub mod view;
+
+pub use assign::{calculate_b_slot, calculate_l_slot, condition_b_holds, condition_l_holds};
+pub use view::NetView;
+
+use dsnet_graph::NodeId;
+
+/// Which of the two slot families an operation concerns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SlotKind {
+    /// Phase-1 backbone-flood slot.
+    B,
+    /// Phase-2 leaf-delivery slot.
+    L,
+}
+
+/// Interference model for phase-2 (leaf delivery) slots.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SlotMode {
+    /// Exactly the paper's Time-Slot Condition 2: a leaf's transmitter set
+    /// is the internal nodes *one depth above it*. Cheaper slots, but
+    /// phase 2 can suffer cross-depth collisions the condition does not
+    /// rule out (measured by the robustness experiments).
+    PaperFaithful,
+    /// The leaf's transmitter set is *every* internal G-neighbour,
+    /// regardless of depth — phase 2 becomes provably collision-free.
+    /// Default, because the protocols are verified end-to-end against the
+    /// radio simulator.
+    #[default]
+    Strict,
+}
+
+/// Per-node b-/l-slot storage. Slots are positive integers; `None` means
+/// the node currently has no slot of that kind (it is not a transmitter of
+/// that phase).
+#[derive(Debug, Clone, Default)]
+pub struct SlotTable {
+    b: Vec<Option<u32>>,
+    l: Vec<Option<u32>>,
+}
+
+impl SlotTable {
+    /// An empty table sized for `cap` node ids.
+    pub fn with_capacity(cap: usize) -> Self {
+        Self { b: vec![None; cap], l: vec![None; cap] }
+    }
+
+    /// Grow the table to cover `cap` node ids.
+    pub fn ensure_capacity(&mut self, cap: usize) {
+        if self.b.len() < cap {
+            self.b.resize(cap, None);
+            self.l.resize(cap, None);
+        }
+    }
+
+    /// The node's b-time-slot, if assigned.
+    pub fn b(&self, u: NodeId) -> Option<u32> {
+        self.b.get(u.index()).copied().flatten()
+    }
+
+    /// The node's l-time-slot, if assigned.
+    pub fn l(&self, u: NodeId) -> Option<u32> {
+        self.l.get(u.index()).copied().flatten()
+    }
+
+    /// The node's slot of the given kind, if assigned.
+    pub fn get(&self, kind: SlotKind, u: NodeId) -> Option<u32> {
+        match kind {
+            SlotKind::B => self.b(u),
+            SlotKind::L => self.l(u),
+        }
+    }
+
+    /// Assign a slot (positive) of the given kind to `u`.
+    pub fn set(&mut self, kind: SlotKind, u: NodeId, slot: u32) {
+        assert!(slot >= 1, "slots are numbered from 1");
+        self.ensure_capacity(u.index() + 1);
+        match kind {
+            SlotKind::B => self.b[u.index()] = Some(slot),
+            SlotKind::L => self.l[u.index()] = Some(slot),
+        }
+    }
+
+    /// Remove both slots of `u` (used when a node detaches or is demoted).
+    pub fn clear(&mut self, u: NodeId) {
+        if u.index() < self.b.len() {
+            self.b[u.index()] = None;
+            self.l[u.index()] = None;
+        }
+    }
+
+    /// Remove only the given kind of slot from `u`.
+    pub fn clear_kind(&mut self, kind: SlotKind, u: NodeId) {
+        if u.index() < self.b.len() {
+            match kind {
+                SlotKind::B => self.b[u.index()] = None,
+                SlotKind::L => self.l[u.index()] = None,
+            }
+        }
+    }
+
+    /// Largest assigned b-slot — the paper's `δ` (0 when none assigned).
+    pub fn max_b(&self) -> u32 {
+        self.b.iter().flatten().copied().max().unwrap_or(0)
+    }
+
+    /// Largest assigned l-slot — the paper's `Δ` (0 when none assigned).
+    pub fn max_l(&self) -> u32 {
+        self.l.iter().flatten().copied().max().unwrap_or(0)
+    }
+}
+
+/// Minimum positive integer not contained in `used` (the paper's
+/// "select the minimum positive integer which is different from all
+/// received time-slots").
+pub(crate) fn mex(used: &std::collections::BTreeSet<u32>) -> u32 {
+    let mut candidate = 1u32;
+    for &u in used {
+        match u.cmp(&candidate) {
+            std::cmp::Ordering::Less => {}
+            std::cmp::Ordering::Equal => candidate += 1,
+            std::cmp::Ordering::Greater => break,
+        }
+    }
+    candidate
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn mex_of_empty_is_one() {
+        assert_eq!(mex(&BTreeSet::new()), 1);
+    }
+
+    #[test]
+    fn mex_skips_used_values() {
+        let used: BTreeSet<u32> = [1, 2, 4].into_iter().collect();
+        assert_eq!(mex(&used), 3);
+        let used: BTreeSet<u32> = [2, 3].into_iter().collect();
+        assert_eq!(mex(&used), 1);
+        let used: BTreeSet<u32> = [1, 2, 3].into_iter().collect();
+        assert_eq!(mex(&used), 4);
+    }
+
+    #[test]
+    fn slot_table_roundtrip() {
+        let mut t = SlotTable::default();
+        t.set(SlotKind::B, NodeId(5), 3);
+        t.set(SlotKind::L, NodeId(2), 7);
+        assert_eq!(t.b(NodeId(5)), Some(3));
+        assert_eq!(t.l(NodeId(5)), None);
+        assert_eq!(t.l(NodeId(2)), Some(7));
+        assert_eq!(t.max_b(), 3);
+        assert_eq!(t.max_l(), 7);
+        t.clear(NodeId(5));
+        assert_eq!(t.b(NodeId(5)), None);
+        assert_eq!(t.max_b(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "numbered from 1")]
+    fn zero_slot_rejected() {
+        let mut t = SlotTable::default();
+        t.set(SlotKind::B, NodeId(0), 0);
+    }
+
+    #[test]
+    fn clear_kind_is_selective() {
+        let mut t = SlotTable::default();
+        t.set(SlotKind::B, NodeId(1), 2);
+        t.set(SlotKind::L, NodeId(1), 4);
+        t.clear_kind(SlotKind::B, NodeId(1));
+        assert_eq!(t.b(NodeId(1)), None);
+        assert_eq!(t.l(NodeId(1)), Some(4));
+    }
+
+    #[test]
+    fn out_of_range_reads_are_none() {
+        let t = SlotTable::default();
+        assert_eq!(t.b(NodeId(99)), None);
+        assert_eq!(t.get(SlotKind::L, NodeId(99)), None);
+    }
+}

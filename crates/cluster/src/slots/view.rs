@@ -1,0 +1,241 @@
+//! Read-only structural view used by the slot machinery and validators.
+//!
+//! Bundles the three parallel structures (connectivity graph, CNet tree,
+//! statuses) and derives the transmitter/receiver sets of Section 4:
+//! `P(v)` — who receiver `v` can hear — and `C(y)` — which receivers
+//! transmitter `y` can disturb. All set computations are restricted to
+//! nodes currently *attached* to the tree: during a node-move-out, detached
+//! nodes exist in `G` but take no part in the TDM schedule.
+
+use crate::slots::SlotMode;
+use crate::status::NodeStatus;
+use dsnet_graph::{Graph, NodeId, RootedTree};
+
+/// Borrowed view of the cluster structure.
+#[derive(Clone, Copy)]
+pub struct NetView<'a> {
+    /// The connectivity graph `G`.
+    pub graph: &'a Graph,
+    /// The CNet tree.
+    pub tree: &'a RootedTree,
+    /// Per-node statuses, indexed by id.
+    pub status: &'a [NodeStatus],
+}
+
+impl<'a> NetView<'a> {
+    /// Bundle the three structures into a view.
+    pub fn new(graph: &'a Graph, tree: &'a RootedTree, status: &'a [NodeStatus]) -> Self {
+        Self { graph, tree, status }
+    }
+
+    /// Node is attached to the cluster structure.
+    pub fn attached(&self, u: NodeId) -> bool {
+        self.tree.contains(u)
+    }
+
+    /// Status of an attached node.
+    pub fn status(&self, u: NodeId) -> NodeStatus {
+        debug_assert!(self.attached(u));
+        self.status[u.index()]
+    }
+
+    /// Backbone membership (head or gateway).
+    pub fn in_backbone(&self, u: NodeId) -> bool {
+        self.attached(u) && self.status(u).in_backbone()
+    }
+
+    /// BT-internal: a backbone node with at least one backbone child —
+    /// the transmitters of the phase-1 backbone flood.
+    pub fn bt_internal(&self, u: NodeId) -> bool {
+        self.in_backbone(u)
+            && self
+                .tree
+                .children(u)
+                .iter()
+                .any(|&c| self.status(c).in_backbone())
+    }
+
+    /// CNet-internal: any node with children — the transmitters of the
+    /// phase-2 leaf delivery.
+    pub fn cnet_internal(&self, u: NodeId) -> bool {
+        self.attached(u) && self.tree.is_internal(u)
+    }
+
+    /// A pure-member leaf — the receivers of phase 2.
+    pub fn is_member_leaf(&self, u: NodeId) -> bool {
+        self.attached(u) && self.status(u) == NodeStatus::PureMember
+    }
+
+    /// Attached G-neighbours of `u`.
+    pub fn attached_neighbors(&self, u: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        self.graph
+            .neighbors(u)
+            .iter()
+            .copied()
+            .filter(move |&v| self.attached(v))
+    }
+
+    /// `P_b(v)`: phase-1 transmitters audible at backbone receiver `v` —
+    /// BT-internal G-neighbours exactly one depth above `v`.
+    pub fn p_b(&self, v: NodeId) -> Vec<NodeId> {
+        debug_assert!(self.in_backbone(v));
+        let depth = self.tree.depth(v);
+        if depth == 0 {
+            return Vec::new();
+        }
+        self.attached_neighbors(v)
+            .filter(|&y| self.bt_internal(y) && self.tree.depth(y) + 1 == depth)
+            .collect()
+    }
+
+    /// `C_b(y)`: backbone receivers transmitter `y` can disturb in
+    /// phase 1 — backbone G-neighbours exactly one depth below `y`.
+    pub fn c_b(&self, y: NodeId) -> Vec<NodeId> {
+        let depth = self.tree.depth(y);
+        self.attached_neighbors(y)
+            .filter(|&v| self.in_backbone(v) && self.tree.depth(v) == depth + 1)
+            .collect()
+    }
+
+    /// `P_l(v)`: phase-2 transmitters audible at member leaf `v`.
+    /// `PaperFaithful`: internal G-neighbours one depth above.
+    /// `Strict`: every internal G-neighbour (any depth) — all of them
+    /// really do transmit in the shared phase-2 window.
+    pub fn p_l(&self, v: NodeId, mode: SlotMode) -> Vec<NodeId> {
+        debug_assert!(self.is_member_leaf(v));
+        let depth = self.tree.depth(v);
+        self.attached_neighbors(v)
+            .filter(|&y| {
+                self.cnet_internal(y)
+                    && match mode {
+                        SlotMode::PaperFaithful => self.tree.depth(y) + 1 == depth,
+                        SlotMode::Strict => true,
+                    }
+            })
+            .collect()
+    }
+
+    /// `C_l(y)`: member leaves transmitter `y` can disturb in phase 2.
+    pub fn c_l(&self, y: NodeId, mode: SlotMode) -> Vec<NodeId> {
+        let depth = self.tree.depth(y);
+        self.attached_neighbors(y)
+            .filter(|&v| {
+                self.is_member_leaf(v)
+                    && match mode {
+                        SlotMode::PaperFaithful => self.tree.depth(v) == depth + 1,
+                        SlotMode::Strict => true,
+                    }
+            })
+            .collect()
+    }
+
+    /// All attached backbone nodes.
+    pub fn backbone_nodes(&self) -> Vec<NodeId> {
+        self.tree
+            .nodes()
+            .filter(|&u| self.status(u).in_backbone())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Hand-built structure:
+    /// graph: 0-1, 1-2, 0-3, 2-3 (extra G edge), 1-4
+    /// tree:  0 (head) -> 1 (gateway) -> 2 (head); 0 -> 3 (member); 2 -> 4?
+    /// Keep simple: 0 root head; 1 gateway child of 0; 2 head child of 1;
+    /// 3 member child of 0; G also has 2-3 and 1-3.
+    fn build() -> (Graph, RootedTree, Vec<NodeStatus>) {
+        let mut g = Graph::with_nodes(4);
+        g.add_edge(NodeId(0), NodeId(1));
+        g.add_edge(NodeId(1), NodeId(2));
+        g.add_edge(NodeId(0), NodeId(3));
+        g.add_edge(NodeId(2), NodeId(3));
+        g.add_edge(NodeId(1), NodeId(3));
+        let mut t = RootedTree::new(NodeId(0));
+        t.attach(NodeId(1), NodeId(0));
+        t.attach(NodeId(2), NodeId(1));
+        t.attach(NodeId(3), NodeId(0));
+        let status = vec![
+            NodeStatus::ClusterHead,
+            NodeStatus::Gateway,
+            NodeStatus::ClusterHead,
+            NodeStatus::PureMember,
+        ];
+        (g, t, status)
+    }
+
+    #[test]
+    fn bt_internal_requires_backbone_child() {
+        let (g, t, s) = build();
+        let v = NetView::new(&g, &t, &s);
+        assert!(v.bt_internal(NodeId(0))); // root has gateway child 1
+        assert!(v.bt_internal(NodeId(1))); // gateway has head child 2
+        assert!(!v.bt_internal(NodeId(2))); // head 2 is a BT leaf
+        assert!(!v.bt_internal(NodeId(3))); // member
+    }
+
+    #[test]
+    fn p_b_and_c_b_are_duals() {
+        let (g, t, s) = build();
+        let v = NetView::new(&g, &t, &s);
+        // Receiver 1 at depth 1: hears BT-internal neighbours at depth 0 = {0}.
+        assert_eq!(v.p_b(NodeId(1)), vec![NodeId(0)]);
+        // Receiver 2 at depth 2: hears {1}.
+        assert_eq!(v.p_b(NodeId(2)), vec![NodeId(1)]);
+        // Transmitter 0 disturbs backbone receivers at depth 1 = {1}.
+        assert_eq!(v.c_b(NodeId(0)), vec![NodeId(1)]);
+        assert_eq!(v.c_b(NodeId(1)), vec![NodeId(2)]);
+    }
+
+    #[test]
+    fn p_l_mode_difference() {
+        let (g, t, s) = build();
+        let v = NetView::new(&g, &t, &s);
+        // Member 3 at depth 1. Internal G-neighbours: 0 (depth 0), 1 (depth 1),
+        // 2? node 2 is a leaf in the tree → not internal.
+        assert_eq!(v.p_l(NodeId(3), SlotMode::PaperFaithful), vec![NodeId(0)]);
+        assert_eq!(
+            v.p_l(NodeId(3), SlotMode::Strict),
+            vec![NodeId(0), NodeId(1)]
+        );
+    }
+
+    #[test]
+    fn c_l_mode_difference() {
+        let (g, t, s) = build();
+        let v = NetView::new(&g, &t, &s);
+        assert_eq!(v.c_l(NodeId(0), SlotMode::PaperFaithful), vec![NodeId(3)]);
+        // Node 1 is internal and G-adjacent to member 3 (same depth):
+        assert_eq!(v.c_l(NodeId(1), SlotMode::PaperFaithful), Vec::<NodeId>::new());
+        assert_eq!(v.c_l(NodeId(1), SlotMode::Strict), vec![NodeId(3)]);
+    }
+
+    #[test]
+    fn root_p_b_is_empty() {
+        let (g, t, s) = build();
+        let v = NetView::new(&g, &t, &s);
+        assert!(v.p_b(NodeId(0)).is_empty());
+    }
+
+    #[test]
+    fn backbone_nodes_excludes_members() {
+        let (g, t, s) = build();
+        let v = NetView::new(&g, &t, &s);
+        assert_eq!(v.backbone_nodes(), vec![NodeId(0), NodeId(1), NodeId(2)]);
+    }
+
+    #[test]
+    fn detached_nodes_are_invisible() {
+        let (g, mut t, s) = build();
+        t.detach_subtree(NodeId(1)); // removes 1 and 2
+        let v = NetView::new(&g, &t, &s);
+        assert!(!v.attached(NodeId(1)));
+        assert!(!v.bt_internal(NodeId(0))); // lost its only backbone child
+        assert_eq!(v.backbone_nodes(), vec![NodeId(0)]);
+        // Member 3 no longer hears node 1 in strict mode.
+        assert_eq!(v.p_l(NodeId(3), SlotMode::Strict), vec![NodeId(0)]);
+    }
+}

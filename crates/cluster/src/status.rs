@@ -1,0 +1,59 @@
+//! Node statuses of Definition 1.
+
+use std::fmt;
+
+/// The role a node plays in CNet(G).
+///
+/// Invariants maintained by the move-in rules (checked by
+/// [`crate::invariants`]):
+/// * the root is a cluster-head;
+/// * cluster-heads sit at even tree depths, gateways at odd depths;
+/// * pure-members are always leaves and their parent is always a head;
+/// * no two cluster-heads are adjacent in `G` (Property 1(2)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NodeStatus {
+    /// Head of a cluster: connected to every other member of its cluster.
+    ClusterHead,
+    /// Relay between two adjacent clusters: member of its parent head's
+    /// cluster, parent of one or more heads.
+    Gateway,
+    /// Ordinary cluster member; always a leaf of CNet(G).
+    PureMember,
+}
+
+impl NodeStatus {
+    /// Whether this node belongs to the backbone BT(G).
+    pub fn in_backbone(self) -> bool {
+        !matches!(self, NodeStatus::PureMember)
+    }
+}
+
+impl fmt::Display for NodeStatus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            NodeStatus::ClusterHead => "head",
+            NodeStatus::Gateway => "gateway",
+            NodeStatus::PureMember => "member",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backbone_membership() {
+        assert!(NodeStatus::ClusterHead.in_backbone());
+        assert!(NodeStatus::Gateway.in_backbone());
+        assert!(!NodeStatus::PureMember.in_backbone());
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(NodeStatus::ClusterHead.to_string(), "head");
+        assert_eq!(NodeStatus::Gateway.to_string(), "gateway");
+        assert_eq!(NodeStatus::PureMember.to_string(), "member");
+    }
+}

@@ -1,0 +1,190 @@
+//! Property-based tests of the cluster architecture: arbitrary growth
+//! histories must keep every Definition-1/Property-1 invariant and both
+//! slot modes sound, and the incremental slot maintenance must stay within
+//! the Lemma-3 bounds.
+
+use dsnet_cluster::invariants;
+use dsnet_cluster::slots::validate::{
+    assign_flood_slots, validate_condition1, validate_condition2,
+};
+use dsnet_cluster::{ClusterNet, NodeStatus, ParentRule, SlotMode};
+use dsnet_graph::{degree, NodeId};
+use proptest::prelude::*;
+
+/// Grow a network where node i+1 hears up to 3 earlier nodes.
+fn grow(picks: &[(u16, u16, u16)], rule: ParentRule, mode: SlotMode) -> ClusterNet {
+    let mut net = ClusterNet::new(rule, mode);
+    net.move_in(&[]).unwrap();
+    for (i, &(a, b, c)) in picks.iter().enumerate() {
+        let existing = (i + 1) as u32;
+        let mut nbrs: Vec<NodeId> = [a, b, c]
+            .iter()
+            .map(|&x| NodeId(x as u32 % existing))
+            .collect();
+        nbrs.sort_unstable();
+        nbrs.dedup();
+        net.move_in(&nbrs).unwrap();
+    }
+    net
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    #[test]
+    fn growth_invariants_hold_in_both_modes(
+        picks in prop::collection::vec((any::<u16>(), any::<u16>(), any::<u16>()), 1..60),
+    ) {
+        for mode in [SlotMode::Strict, SlotMode::PaperFaithful] {
+            let net = grow(&picks, ParentRule::LowestId, mode);
+            invariants::check_growth(&net)
+                .map_err(|v| TestCaseError::fail(format!("{mode:?}: {v:?}")))?;
+        }
+    }
+
+    #[test]
+    fn slot_bounds_of_lemma3(
+        picks in prop::collection::vec((any::<u16>(), any::<u16>(), any::<u16>()), 1..80),
+    ) {
+        let net = grow(&picks, ParentRule::LowestId, SlotMode::Strict);
+        let g = net.graph();
+        let big_d = degree::max_degree(g) as u32;
+        let small_d = degree::induced_max_degree(g, &net.backbone_nodes()) as u32;
+        prop_assert!(net.delta_b() <= small_d * (small_d + 1) / 2 + 1);
+        prop_assert!(net.delta_l() <= big_d * (big_d + 1) / 2 + 1);
+    }
+
+    #[test]
+    fn flood_slots_always_satisfy_condition1(
+        picks in prop::collection::vec((any::<u16>(), any::<u16>(), any::<u16>()), 1..60),
+    ) {
+        let net = grow(&picks, ParentRule::LowestId, SlotMode::Strict);
+        let view = net.view();
+        let (slots, delta) = assign_flood_slots(&view);
+        let violations = validate_condition1(&view, &slots);
+        prop_assert!(violations.is_empty(), "{violations:?}");
+        // Condition-1 slots respect the same quadratic style bound on the
+        // full graph degree.
+        let big_d = degree::max_degree(net.graph()) as u32;
+        prop_assert!(delta <= big_d * (big_d + 1) / 2 + 1);
+    }
+
+    #[test]
+    fn statuses_match_definition1_locally(
+        picks in prop::collection::vec((any::<u16>(), any::<u16>(), any::<u16>()), 1..60),
+    ) {
+        let net = grow(&picks, ParentRule::HighestDegree, SlotMode::Strict);
+        let tree = net.tree();
+        for u in tree.nodes() {
+            match net.status(u) {
+                NodeStatus::PureMember => {
+                    prop_assert!(tree.is_leaf(u));
+                    prop_assert_eq!(
+                        net.status(tree.parent(u).unwrap()),
+                        NodeStatus::ClusterHead
+                    );
+                }
+                NodeStatus::Gateway => {
+                    prop_assert_eq!(tree.depth(u) % 2, 1);
+                }
+                NodeStatus::ClusterHead => {
+                    prop_assert_eq!(tree.depth(u) % 2, 0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn move_out_every_possible_node_keeps_soundness(
+        picks in prop::collection::vec((any::<u16>(), any::<u16>(), any::<u16>()), 3..25),
+        victims in prop::collection::vec(any::<u16>(), 1..6),
+    ) {
+        let mut net = grow(&picks, ParentRule::LowestId, SlotMode::Strict);
+        for &v in &victims {
+            let nodes: Vec<NodeId> = net.tree().nodes().collect();
+            if nodes.len() <= 2 {
+                break;
+            }
+            let victim = nodes[v as usize % nodes.len()];
+            let _ = net.move_out(victim); // refusals are fine
+            invariants::check_core(&net)
+                .map_err(|errs| TestCaseError::fail(format!("{errs:?}")))?;
+            let violations = validate_condition2(&net.view(), net.slots(), net.mode());
+            prop_assert!(violations.is_empty(), "{violations:?}");
+        }
+    }
+
+    #[test]
+    fn move_in_costs_respect_theorem2_shape(
+        picks in prop::collection::vec((any::<u16>(), any::<u16>(), any::<u16>()), 1..50),
+    ) {
+        let mut net = ClusterNet::with_defaults();
+        net.move_in(&[]).unwrap();
+        for (i, &(a, b, c)) in picks.iter().enumerate() {
+            let existing = (i + 1) as u32;
+            let mut nbrs: Vec<NodeId> = [a, b, c]
+                .iter()
+                .map(|&x| NodeId(x as u32 % existing))
+                .collect();
+            nbrs.sort_unstable();
+            nbrs.dedup();
+            let d_new = nbrs.len() as u64;
+            let report = net.move_in(&nbrs).unwrap();
+            // Theorem 2: discovery O(d_new); slot updates ≤ a handful of
+            // Procedure-1 calls, each ≤ 1 + deg; propagation 2h.
+            let g = net.graph();
+            let big_d = dsnet_graph::degree::max_degree(g) as u64;
+            prop_assert_eq!(report.cost.discovery, d_new + 1);
+            prop_assert!(report.cost.slot_update <= 6 * (big_d + 1),
+                "slot update {} vs D={}", report.cost.slot_update, big_d);
+            prop_assert_eq!(report.cost.propagation, 2 * net.height() as u64);
+        }
+    }
+}
+
+mod session_props {
+    use super::grow;
+    use dsnet_cluster::slots::session::{assign_session_slots, validate_session};
+    use dsnet_cluster::{ParentRule, SlotMode};
+    use dsnet_graph::NodeId;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+        /// Session slots must satisfy the session-level Condition 2 for
+        /// *any* ancestor-closed transmitter set: membership mask → targets,
+        /// relays = strict ancestors of targets (the MCNet shape).
+        #[test]
+        fn session_slots_sound_for_random_participation(
+            picks in prop::collection::vec((any::<u16>(), any::<u16>(), any::<u16>()), 3..50),
+            member_mod in 2u16..7,
+        ) {
+            let net = grow(&picks, ParentRule::LowestId, SlotMode::Strict);
+            let tree = net.tree();
+            let target = |u: NodeId| u.0.is_multiple_of(member_mod as u32);
+            let relay = |u: NodeId| {
+                tree.subtree_nodes(u).iter().any(|&d| d != u && target(d))
+            };
+            let rx = |u: NodeId| target(u) || relay(u);
+            let view = net.view();
+            let slots = assign_session_slots(&view, net.mode(), &relay, &rx);
+            let violations = validate_session(&view, &slots, net.mode(), &relay, &rx);
+            prop_assert!(violations.is_empty(), "{violations:?}");
+        }
+
+        /// The full-participation session must be exactly as sound as a
+        /// broadcast schedule.
+        #[test]
+        fn full_session_is_always_sound(
+            picks in prop::collection::vec((any::<u16>(), any::<u16>(), any::<u16>()), 1..50),
+        ) {
+            let net = grow(&picks, ParentRule::LowestId, SlotMode::Strict);
+            let all = |_u: NodeId| true;
+            let view = net.view();
+            let slots = assign_session_slots(&view, net.mode(), &all, &all);
+            let violations = validate_session(&view, &slots, net.mode(), &all, &all);
+            prop_assert!(violations.is_empty(), "{violations:?}");
+        }
+    }
+}

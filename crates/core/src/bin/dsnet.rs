@@ -1,0 +1,187 @@
+//! `dsnet` — command-line front end for the reproduction.
+//!
+//! ```text
+//! dsnet stats     --nodes 300 --seed 7 [--field 10]
+//! dsnet broadcast --nodes 300 --seed 7 [--protocol cff|cff1|dfo] [--channels k] [--source id]
+//! dsnet multicast --nodes 300 --seed 7 --density 0.1 [--reliable]
+//! dsnet churn     --nodes 200 --seed 7 --epochs 10
+//! dsnet render    --nodes 250 --seed 7 --out network.svg
+//! ```
+//!
+//! Every command is deterministic per `--seed`.
+
+use dsnet::protocols::runner::{run_multicast_reliable, RunConfig};
+use dsnet::viz::{render_svg, VizOptions};
+use dsnet::{GroupPlan, NetworkBuilder, Protocol, SensorNetwork};
+use dsnet_graph::NodeId;
+
+struct Args {
+    nodes: usize,
+    seed: u64,
+    field: f64,
+    protocol: Protocol,
+    channels: u8,
+    source: Option<u32>,
+    density: f64,
+    reliable: bool,
+    epochs: u32,
+    out: String,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Self {
+            nodes: 300,
+            seed: 2007,
+            field: 10.0,
+            protocol: Protocol::ImprovedCff,
+            channels: 1,
+            source: None,
+            density: 0.1,
+            reliable: false,
+            epochs: 10,
+            out: "network.svg".into(),
+        }
+    }
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: dsnet <stats|broadcast|multicast|churn|render> \
+         [--nodes N] [--seed S] [--field SIDE] [--protocol cff|cff1|dfo] \
+         [--channels K] [--source ID] [--density P] [--reliable] \
+         [--epochs E] [--out FILE]"
+    );
+    std::process::exit(2);
+}
+
+fn parse() -> (String, Args) {
+    let mut argv = std::env::args().skip(1);
+    let Some(cmd) = argv.next() else { usage() };
+    let mut a = Args::default();
+    while let Some(flag) = argv.next() {
+        let mut val = || argv.next().unwrap_or_else(|| usage());
+        match flag.as_str() {
+            "--nodes" => a.nodes = val().parse().unwrap_or_else(|_| usage()),
+            "--seed" => a.seed = val().parse().unwrap_or_else(|_| usage()),
+            "--field" => a.field = val().parse().unwrap_or_else(|_| usage()),
+            "--channels" => a.channels = val().parse().unwrap_or_else(|_| usage()),
+            "--source" => a.source = Some(val().parse().unwrap_or_else(|_| usage())),
+            "--density" => a.density = val().parse().unwrap_or_else(|_| usage()),
+            "--epochs" => a.epochs = val().parse().unwrap_or_else(|_| usage()),
+            "--out" => a.out = val(),
+            "--reliable" => a.reliable = true,
+            "--protocol" => {
+                a.protocol = match val().as_str() {
+                    "cff" => Protocol::ImprovedCff,
+                    "cff1" => Protocol::BasicCff,
+                    "dfo" => Protocol::Dfo,
+                    _ => usage(),
+                }
+            }
+            _ => usage(),
+        }
+    }
+    (cmd, a)
+}
+
+fn build(a: &Args, groups: bool) -> SensorNetwork {
+    let mut b = NetworkBuilder::paper_field(a.field, a.nodes, a.seed);
+    if groups {
+        b = b.groups(GroupPlan { groups: 1, membership: a.density });
+    }
+    b.build().expect("incremental deployments always build")
+}
+
+fn main() {
+    let (cmd, a) = parse();
+    match cmd.as_str() {
+        "stats" => {
+            let net = build(&a, false);
+            let s = net.stats();
+            println!("nodes            {}", s.nodes);
+            println!("edges            {}", s.edges);
+            println!("heads            {}", s.heads);
+            println!("gateways         {}", s.gateways);
+            println!("members          {}", s.members);
+            println!("backbone size    {}", s.backbone_size);
+            println!("backbone height  {}", s.backbone_height);
+            println!("CNet height      {}", s.cnet_height);
+            println!("D (max degree)   {}", s.max_degree);
+            println!("d (BT degree)    {}", s.backbone_max_degree);
+            println!("Δ (max l-slot)   {}", s.delta_l);
+            println!("δ (max b-slot)   {}", s.delta_b);
+        }
+        "broadcast" => {
+            let net = build(&a, false);
+            let source = a.source.map(NodeId).unwrap_or_else(|| net.sink());
+            let cfg = RunConfig { channels: a.channels, ..Default::default() };
+            let out = net.broadcast_from(a.protocol, source, &cfg);
+            println!(
+                "{:?} from {source}: {} rounds (bound {}), {}/{} delivered, max awake {}, mean awake {:.1}",
+                a.protocol,
+                out.rounds,
+                out.bound,
+                out.delivered,
+                out.targets,
+                out.max_awake(),
+                out.energy.mean_awake
+            );
+        }
+        "multicast" => {
+            let net = build(&a, true);
+            let out = if a.reliable {
+                run_multicast_reliable(net.mcnet(), net.sink(), 0, &RunConfig::default())
+            } else {
+                net.multicast(0)
+            };
+            println!(
+                "{} multicast (density {}): {} rounds, {}/{} delivered, radio-on {} rounds",
+                if a.reliable { "reliable" } else { "paper" },
+                a.density,
+                out.rounds,
+                out.delivered,
+                out.targets,
+                out.energy.total_listen + out.energy.total_tx
+            );
+        }
+        "churn" => {
+            use dsnet::geom::rng::{derive_seed, rng_from_seed};
+            use dsnet::geom::Point2;
+            use rand::Rng as _;
+            let mut net = build(&a, false);
+            let mut rng = rng_from_seed(derive_seed(a.seed, 0xC0DE));
+            for epoch in 1..=a.epochs {
+                for _ in 0..3 {
+                    let nodes: Vec<NodeId> = net.net().tree().nodes().collect();
+                    let _ = net.leave(nodes[rng.random_range(0..nodes.len())]);
+                }
+                for _ in 0..3 {
+                    let nodes: Vec<NodeId> = net.net().tree().nodes().collect();
+                    let p = net.position(nodes[rng.random_range(0..nodes.len())]);
+                    let theta = rng.random_range(0.0..std::f64::consts::TAU);
+                    let _ = net.join(
+                        Point2::new(p.x + 0.3 * theta.cos(), p.y + 0.3 * theta.sin()),
+                        &[],
+                    );
+                }
+                net.check();
+                let out = net.broadcast(Protocol::ImprovedCff);
+                println!(
+                    "epoch {epoch}: {} nodes, broadcast {} rounds, {}/{}",
+                    net.len(),
+                    out.rounds,
+                    out.delivered,
+                    out.targets
+                );
+            }
+        }
+        "render" => {
+            let net = build(&a, false);
+            let svg = render_svg(&net, &VizOptions::default());
+            std::fs::write(&a.out, &svg).expect("write SVG");
+            println!("wrote {} ({} bytes)", a.out, svg.len());
+        }
+        _ => usage(),
+    }
+}

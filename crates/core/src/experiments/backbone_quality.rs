@@ -1,0 +1,78 @@
+//! **E16 — backbone quality vs the CDS literature.**
+//!
+//! The paper positions its architecture against dominating-set-based
+//! backbone constructions (\[6\], \[20\], \[22\]): BT(G) is built *incrementally
+//! in O(1)–O(d) rounds per arrival*, whereas CDS algorithms recompute from
+//! global views. The price should be backbone size. This table quantifies
+//! it: BT(G) against the greedy MIS-plus-connectors CDS on the same
+//! graphs, plus the Property-1(3) bracket (#clusters vs 5·|greedy DS|).
+
+use crate::experiments::common::SweepConfig;
+use dsnet_graph::domset;
+use dsnet_metrics::{Series, Summary, SweepTable};
+
+/// Run this experiment over `cfg` and return its table.
+pub fn run(cfg: &SweepConfig) -> SweepTable {
+    let mut table = SweepTable::new(
+        "E16 — BT(G) vs greedy CDS backbone size",
+        "n",
+        cfg.xs(),
+    );
+    let mut bt = Series::new("|BT(G)| (incremental)");
+    let mut cds = Series::new("|greedy CDS| (global)");
+    let mut heads = Series::new("#clusters");
+    let mut five_ds = Series::new("5·|greedy DS| (Property 1(3) cap)");
+
+    for &n in &cfg.ns {
+        let (mut a, mut b, mut c, mut d) = (vec![], vec![], vec![], vec![]);
+        for rep in 0..cfg.reps {
+            let net = cfg.network(n, rep);
+            let g = net.net().graph();
+            let stats = net.stats();
+            let cds_set = domset::greedy_connected_dominating_set(g);
+            assert!(domset::is_dominating(g, &cds_set));
+            assert!(domset::is_connected_in(g, &cds_set));
+            let ds = domset::greedy_dominating_set(g);
+            a.push(stats.backbone_size as f64);
+            b.push(cds_set.len() as f64);
+            c.push(stats.heads as f64);
+            d.push(5.0 * ds.len() as f64);
+        }
+        bt.push(Summary::of(a));
+        cds.push(Summary::of(b));
+        heads.push(Summary::of(c));
+        five_ds.push(Summary::of(d));
+    }
+    table.add(bt);
+    table.add(cds);
+    table.add(heads);
+    table.add(five_ds);
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn property_1_3_cap_holds() {
+        let t = run(&SweepConfig::quick());
+        for i in 0..t.xs.len() {
+            assert!(
+                t.series[2].points[i].mean <= t.series[3].points[i].mean,
+                "n={}: clusters exceed the 5·DS cap",
+                t.xs[i]
+            );
+        }
+    }
+
+    #[test]
+    fn incremental_backbone_is_within_a_small_factor_of_cds() {
+        let t = run(&SweepConfig::quick());
+        for i in 0..t.xs.len() {
+            let bt = t.series[0].points[i].mean;
+            let cds = t.series[1].points[i].mean;
+            assert!(bt <= 4.0 * cds, "n={}: |BT|={bt} vs CDS={cds}", t.xs[i]);
+        }
+    }
+}

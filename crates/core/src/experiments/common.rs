@@ -1,0 +1,75 @@
+//! Shared sweep configuration and network construction.
+
+use crate::builder::NetworkBuilder;
+use crate::network::SensorNetwork;
+use dsnet_geom::rng::derive_seed;
+
+/// Parameters of an evaluation sweep. The defaults reproduce the paper's
+/// plotted setting: the 10×10-unit field (1 unit = 100 m, 50 m range) with
+/// n from 100 to 500, averaged over several seeded repetitions.
+#[derive(Debug, Clone)]
+pub struct SweepConfig {
+    /// Square field side, in units of 100 m.
+    pub field_side: f64,
+    /// The node counts swept.
+    pub ns: Vec<usize>,
+    /// Repetitions per configuration (different deployment seeds).
+    pub reps: u64,
+    /// Base seed all per-run seeds derive from.
+    pub base_seed: u64,
+}
+
+impl Default for SweepConfig {
+    fn default() -> Self {
+        Self {
+            field_side: 10.0,
+            ns: vec![100, 200, 300, 400, 500],
+            reps: 5,
+            base_seed: 2007,
+        }
+    }
+}
+
+impl SweepConfig {
+    /// A reduced sweep for fast test runs.
+    pub fn quick() -> Self {
+        Self { field_side: 10.0, ns: vec![60, 120], reps: 2, base_seed: 2007 }
+    }
+
+    /// X-axis values as floats.
+    pub fn xs(&self) -> Vec<f64> {
+        self.ns.iter().map(|&n| n as f64).collect()
+    }
+
+    /// The deployment seed of repetition `rep` at size `n`.
+    pub fn seed(&self, n: usize, rep: u64) -> u64 {
+        derive_seed(self.base_seed, (n as u64) << 20 | rep)
+    }
+
+    /// Build the network for `(n, rep)` on the configured field.
+    pub fn network(&self, n: usize, rep: u64) -> SensorNetwork {
+        NetworkBuilder::paper_field(self.field_side, n, self.seed(n, rep))
+            .build()
+            .expect("incremental deployments always build")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeds_differ_across_reps_and_sizes() {
+        let cfg = SweepConfig::default();
+        assert_ne!(cfg.seed(100, 0), cfg.seed(100, 1));
+        assert_ne!(cfg.seed(100, 0), cfg.seed(200, 0));
+        assert_eq!(cfg.seed(100, 0), cfg.seed(100, 0));
+    }
+
+    #[test]
+    fn quick_networks_build() {
+        let cfg = SweepConfig::quick();
+        let net = cfg.network(60, 0);
+        assert_eq!(net.len(), 60);
+    }
+}

@@ -1,0 +1,69 @@
+//! **Figure 11** — `D`, `d`, `Δ` and `δ`.
+//!
+//! The paper's key empirical point (end of Section 4): the largest
+//! assigned time-slots `δ` and `Δ` stay *far* below their worst-case
+//! bounds `d(d+1)/2 + 1` and `D(D+1)/2 + 1` — in the paper's runs they
+//! even stay below `d` and `D` themselves — and `d ≪ D`, so the improved
+//! protocol keeps getting better as the network densifies.
+
+use crate::experiments::common::SweepConfig;
+use dsnet_metrics::{Series, Summary, SweepTable};
+
+/// Run this experiment over `cfg` and return its table.
+pub fn run(cfg: &SweepConfig) -> SweepTable {
+    let mut table = SweepTable::new(
+        "Fig. 11 — degrees (D, d) and largest time-slots (Δ, δ)",
+        "n",
+        cfg.xs(),
+    );
+    let mut big_d = Series::new("D (max degree of G)");
+    let mut small_d = Series::new("d (max degree of G(V_BT))");
+    let mut delta_l = Series::new("Δ (largest l-slot)");
+    let mut delta_b = Series::new("δ (largest b-slot)");
+
+    for &n in &cfg.ns {
+        let (mut a, mut b, mut c, mut d) = (vec![], vec![], vec![], vec![]);
+        for rep in 0..cfg.reps {
+            let s = cfg.network(n, rep).stats();
+            a.push(s.max_degree as f64);
+            b.push(s.backbone_max_degree as f64);
+            c.push(s.delta_l as f64);
+            d.push(s.delta_b as f64);
+        }
+        big_d.push(Summary::of(a));
+        small_d.push(Summary::of(b));
+        delta_l.push(Summary::of(c));
+        delta_b.push(Summary::of(d));
+    }
+    table.add(big_d);
+    table.add(small_d);
+    table.add(delta_l);
+    table.add(delta_b);
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backbone_degree_is_below_graph_degree() {
+        let t = run(&SweepConfig::quick());
+        for i in 0..t.xs.len() {
+            assert!(t.series[1].points[i].mean <= t.series[0].points[i].mean);
+        }
+    }
+
+    #[test]
+    fn slots_stay_below_lemma3_bounds() {
+        let t = run(&SweepConfig::quick());
+        for i in 0..t.xs.len() {
+            let big_d = t.series[0].points[i].max;
+            let small_d = t.series[1].points[i].max;
+            let delta_l = t.series[2].points[i].max;
+            let delta_b = t.series[3].points[i].max;
+            assert!(delta_l <= big_d * (big_d + 1.0) / 2.0 + 1.0);
+            assert!(delta_b <= small_d * (small_d + 1.0) / 2.0 + 1.0);
+        }
+    }
+}

@@ -1,0 +1,82 @@
+//! **Figure 8** — rounds to complete a broadcast: CFF vs DFO.
+//!
+//! The paper plots the number of rounds the collision-free-flooding
+//! broadcast (Algorithm 2) and the depth-first-order broadcast of \[19\]
+//! need on the 10×10 field as n grows, and finds CFF dramatically faster
+//! with a gap that widens with n (DFO grows linearly with the backbone
+//! size, CFF with `δ·h + Δ`). We additionally report Algorithm 1 and the
+//! Theorem-1 analytic bound for context.
+
+use crate::experiments::common::SweepConfig;
+use crate::network::Protocol;
+use dsnet_metrics::{Series, Summary, SweepTable};
+
+/// Run this experiment over `cfg` and return its table.
+pub fn run(cfg: &SweepConfig) -> SweepTable {
+    let mut table = SweepTable::new(
+        "Fig. 8 — broadcast latency (rounds), CFF vs DFO",
+        "n",
+        cfg.xs(),
+    );
+    let mut cff = Series::new("CFF rounds (Alg 2)");
+    let mut cff1 = Series::new("CFF basic rounds (Alg 1)");
+    let mut dfo = Series::new("DFO rounds [19]");
+    let mut bound = Series::new("Theorem 1 bound (δ·h_BT + Δ)");
+
+    for &n in &cfg.ns {
+        let (mut a, mut b, mut c, mut d) = (vec![], vec![], vec![], vec![]);
+        for rep in 0..cfg.reps {
+            let net = cfg.network(n, rep);
+            let improved = net.broadcast(Protocol::ImprovedCff);
+            assert!(improved.completed(), "CFF2 failed at n={n} rep={rep}");
+            let basic = net.broadcast(Protocol::BasicCff);
+            assert!(basic.completed(), "CFF1 failed at n={n} rep={rep}");
+            let baseline = net.broadcast(Protocol::Dfo);
+            assert!(baseline.completed(), "DFO failed at n={n} rep={rep}");
+            a.push(improved.rounds);
+            b.push(basic.rounds);
+            c.push(baseline.rounds);
+            d.push(improved.bound);
+        }
+        cff.push(Summary::of_u64(a));
+        cff1.push(Summary::of_u64(b));
+        dfo.push(Summary::of_u64(c));
+        bound.push(Summary::of_u64(d));
+    }
+    table.add(cff);
+    table.add(cff1);
+    table.add(dfo);
+    table.add(bound);
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cff_beats_dfo_at_every_size() {
+        let t = run(&SweepConfig::quick());
+        let cff = &t.series[0];
+        let dfo = &t.series[2];
+        for i in 0..t.xs.len() {
+            assert!(
+                cff.points[i].mean < dfo.points[i].mean,
+                "n={}: CFF {} !< DFO {}",
+                t.xs[i],
+                cff.points[i].mean,
+                dfo.points[i].mean
+            );
+        }
+    }
+
+    #[test]
+    fn measured_rounds_stay_below_the_bound() {
+        let t = run(&SweepConfig::quick());
+        let cff = &t.series[0];
+        let bound = &t.series[3];
+        for i in 0..t.xs.len() {
+            assert!(cff.points[i].max <= bound.points[i].max + 2.0);
+        }
+    }
+}

@@ -1,0 +1,71 @@
+//! **Figure 9** — rounds a node must stay awake: CFF vs DFO.
+//!
+//! In DFO no node can tell when the broadcast finished, so every radio
+//! stays on for the whole tour: the per-node awake time tracks Figure 8's
+//! total rounds. Under CFF a node is awake only for its listening window
+//! and its own transmissions (Theorem 1(2): ≤ 2δ + Δ), which is why the
+//! paper calls the protocol energy-saving. We report the max (the paper's
+//! plotted series) and the mean.
+
+use crate::experiments::common::SweepConfig;
+use crate::network::Protocol;
+use dsnet_metrics::{Series, Summary, SweepTable};
+
+/// Run this experiment over `cfg` and return its table.
+pub fn run(cfg: &SweepConfig) -> SweepTable {
+    let mut table = SweepTable::new(
+        "Fig. 9 — rounds a node must be awake, CFF vs DFO",
+        "n",
+        cfg.xs(),
+    );
+    let mut cff_max = Series::new("CFF max awake");
+    let mut cff_mean = Series::new("CFF mean awake");
+    let mut dfo_max = Series::new("DFO max awake [19]");
+    let mut dfo_mean = Series::new("DFO mean awake [19]");
+
+    for &n in &cfg.ns {
+        let (mut a, mut b, mut c, mut d) = (vec![], vec![], vec![], vec![]);
+        for rep in 0..cfg.reps {
+            let net = cfg.network(n, rep);
+            let improved = net.broadcast(Protocol::ImprovedCff);
+            let baseline = net.broadcast(Protocol::Dfo);
+            a.push(improved.energy.max_awake as f64);
+            b.push(improved.energy.mean_awake);
+            c.push(baseline.energy.max_awake as f64);
+            d.push(baseline.energy.mean_awake);
+        }
+        cff_max.push(Summary::of(a));
+        cff_mean.push(Summary::of(b));
+        dfo_max.push(Summary::of(c));
+        dfo_mean.push(Summary::of(d));
+    }
+    table.add(cff_max);
+    table.add(cff_mean);
+    table.add(dfo_max);
+    table.add(dfo_mean);
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cff_awake_is_far_below_dfo() {
+        let t = run(&SweepConfig::quick());
+        for i in 0..t.xs.len() {
+            let cff = t.series[0].points[i].mean;
+            let dfo = t.series[2].points[i].mean;
+            assert!(cff < dfo, "n={}: {cff} !< {dfo}", t.xs[i]);
+        }
+    }
+
+    #[test]
+    fn dfo_awake_equals_total_rounds() {
+        // Every node listens or transmits every round of the tour.
+        let cfg = SweepConfig::quick();
+        let net = cfg.network(60, 0);
+        let out = net.broadcast(Protocol::Dfo);
+        assert_eq!(out.energy.max_awake, out.rounds);
+    }
+}

@@ -1,0 +1,66 @@
+//! Regeneration of the paper's evaluation (Section 6).
+//!
+//! One module per figure/table; each returns a
+//! `SweepTable` that the `figures` binary in
+//! `dsnet-bench` prints and EXPERIMENTS.md records:
+//!
+//! * [`fig8`] — broadcast latency, CFF vs DFO (paper Figure 8);
+//! * [`fig9`] — awake rounds, CFF vs DFO (paper Figure 9);
+//! * [`fig10`] — backbone size and height (paper Figure 10);
+//! * [`fig11`] — `D`, `d`, `Δ`, `δ` (paper Figure 11);
+//! * [`multichannel`] — the `k`-channel scaling of Theorem 1(3) (E5);
+//! * [`robustness`] — coverage under backbone failures (E6);
+//! * [`multicast`] — multicast vs broadcast across group densities (E7);
+//! * [`reconfig`] — move-in/move-out round costs vs Theorems 2/3 (E8);
+//! * [`slotbounds`] — measured slots vs the Lemma-3 bounds (E9);
+//! * [`fields`] — the 8×8 / 10×10 / 12×12 field sweep (E10);
+//! * [`discovery`] — the O(d_new) neighbour-discovery primitive (E11);
+//! * [`modefidelity`] — strict vs paper-faithful slot modes (E12);
+//! * [`parentrule`] — parent-selection ablation (E13);
+//! * [`multisink`] — multi-sink failover robustness (E14);
+//! * [`floodbase`] — unstructured randomized-flooding baseline (E15);
+//! * [`backbone_quality`] — BT(G) vs greedy CDS backbones (E16).
+
+pub mod backbone_quality;
+pub mod common;
+pub mod discovery;
+pub mod fields;
+pub mod fig10;
+pub mod fig11;
+pub mod fig8;
+pub mod fig9;
+pub mod floodbase;
+pub mod modefidelity;
+pub mod multicast;
+pub mod multichannel;
+pub mod multisink;
+pub mod parentrule;
+pub mod reconfig;
+pub mod robustness;
+pub mod slotbounds;
+
+pub use common::SweepConfig;
+
+use dsnet_metrics::SweepTable;
+
+/// Every experiment of the evaluation, in presentation order.
+pub fn all_tables(cfg: &SweepConfig) -> Vec<SweepTable> {
+    vec![
+        fig8::run(cfg),
+        fig9::run(cfg),
+        fig10::run(cfg),
+        fig11::run(cfg),
+        multichannel::run(cfg),
+        robustness::run(cfg),
+        multicast::run(cfg),
+        reconfig::run(cfg),
+        slotbounds::run(cfg),
+        fields::run(cfg),
+        discovery::run(cfg),
+        modefidelity::run(cfg),
+        parentrule::run(cfg),
+        multisink::run(cfg),
+        floodbase::run(cfg),
+        backbone_quality::run(cfg),
+    ]
+}

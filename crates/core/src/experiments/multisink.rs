@@ -1,0 +1,99 @@
+//! **E14 — multi-sink failover** (the Section-2 robustness remark).
+//!
+//! Build 1–3 cluster structures over the same deployment (one per sink)
+//! and broadcast under backbone failures with failover: coverage lost by
+//! the primary structure is recovered through the others at the cost of
+//! extra rounds.
+
+use crate::experiments::common::SweepConfig;
+use crate::multinet::MultiNet;
+use crate::network::SensorNetwork;
+use dsnet_geom::rng::{derive_seed, rng_from_seed};
+use dsnet_graph::NodeId;
+use dsnet_metrics::{Series, Summary, SweepTable};
+use dsnet_protocols::runner::RunConfig;
+use rand::seq::SliceRandom as _;
+
+/// Numbers of sinks swept.
+pub const SINK_COUNTS: [usize; 3] = [1, 2, 3];
+
+fn pick_sinks(net: &SensorNetwork, k: usize) -> Vec<NodeId> {
+    // The original sink plus geometrically far nodes, for well-separated
+    // structures.
+    let mut sinks = vec![net.sink()];
+    let origin = net.position(net.sink());
+    let mut nodes: Vec<NodeId> = net.net().tree().nodes().filter(|&u| u != net.sink()).collect();
+    nodes.sort_by(|&a, &b| {
+        net.position(b)
+            .dist_sq(origin)
+            .total_cmp(&net.position(a).dist_sq(origin))
+    });
+    sinks.extend(nodes.into_iter().take(k - 1));
+    sinks
+}
+
+/// Run this experiment over `cfg` and return its table.
+pub fn run(cfg: &SweepConfig) -> SweepTable {
+    let n = *cfg.ns.last().expect("sweep has sizes");
+    let failures = 6usize;
+    let mut table = SweepTable::new(
+        format!("E14 — multi-sink failover under {failures} backbone failures (n = {n})"),
+        "sinks",
+        SINK_COUNTS.iter().map(|&k| k as f64).collect(),
+    );
+    let mut delivery = Series::new("union delivery ratio");
+    let mut rounds = Series::new("total rounds (all attempts)");
+    let mut attempts = Series::new("attempts used");
+
+    for &k in &SINK_COUNTS {
+        let (mut a, mut b, mut c) = (vec![], vec![], vec![]);
+        for rep in 0..cfg.reps {
+            let net = cfg.network(n, rep);
+            let multi = MultiNet::from_network(&net, &pick_sinks(&net, k));
+            // Kill random backbone nodes of the primary structure.
+            let primary = &multi.structures()[0];
+            let mut victims: Vec<NodeId> = primary
+                .backbone_nodes()
+                .into_iter()
+                .filter(|&u| u != primary.root())
+                .collect();
+            let mut rng = rng_from_seed(derive_seed(cfg.base_seed, 0x51C + rep * 7 + k as u64));
+            victims.shuffle(&mut rng);
+            victims.truncate(failures);
+            let mut rcfg = RunConfig::default();
+            for &v in &victims {
+                rcfg.failures.kill_node(v, 1);
+            }
+            let out = multi.broadcast_failover(&rcfg);
+            a.push(out.delivery_ratio());
+            b.push(out.total_rounds as f64);
+            c.push(out.attempts.len() as f64);
+        }
+        delivery.push(Summary::of(a));
+        rounds.push(Summary::of(b));
+        attempts.push(Summary::of(c));
+    }
+    table.add(delivery);
+    table.add(rounds);
+    table.add(attempts);
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn more_sinks_cover_at_least_as_much() {
+        let t = run(&SweepConfig::quick());
+        let d = &t.series[0];
+        for i in 1..t.xs.len() {
+            assert!(
+                d.points[i].mean >= d.points[i - 1].mean - 1e-9,
+                "{} sinks deliver less than {}",
+                t.xs[i],
+                t.xs[i - 1]
+            );
+        }
+    }
+}

@@ -1,0 +1,147 @@
+//! SVG rendering of a deployed network and its cluster structure.
+//!
+//! Produces a self-contained SVG string: radio links in light grey, CNet
+//! tree edges in solid grey, backbone edges emphasised, nodes coloured by
+//! status (heads red, gateways orange, pure members blue, sink outlined).
+//! Handy for eyeballing deployments and for the README/paper-figure style
+//! pictures; no external dependencies.
+
+use crate::network::SensorNetwork;
+use dsnet_cluster::NodeStatus;
+use std::fmt::Write as _;
+
+/// Rendering options.
+#[derive(Debug, Clone, Copy)]
+pub struct VizOptions {
+    /// Pixels per field unit.
+    pub scale: f64,
+    /// Margin around the field, in pixels.
+    pub margin: f64,
+    /// Draw every radio link (can be dense).
+    pub show_radio_links: bool,
+    /// Node circle radius in pixels.
+    pub node_radius: f64,
+}
+
+impl Default for VizOptions {
+    fn default() -> Self {
+        Self { scale: 60.0, margin: 20.0, show_radio_links: true, node_radius: 4.0 }
+    }
+}
+
+/// Render `network` as an SVG document.
+pub fn render_svg(network: &SensorNetwork, opts: &VizOptions) -> String {
+    let net = network.net();
+    let region = network.deployment().config.region;
+    let w = region.width() * opts.scale + 2.0 * opts.margin;
+    let h = region.height() * opts.scale + 2.0 * opts.margin;
+    let px = |x: f64| opts.margin + x * opts.scale;
+    let py = |y: f64| opts.margin + (region.height() - y) * opts.scale; // y up
+
+    let mut svg = String::new();
+    let _ = writeln!(
+        svg,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{w:.0}" height="{h:.0}" viewBox="0 0 {w:.0} {h:.0}">"#
+    );
+    let _ = writeln!(svg, r#"<rect width="100%" height="100%" fill="white"/>"#);
+
+    // Radio links.
+    if opts.show_radio_links {
+        let _ = writeln!(svg, r##"<g stroke="#dddddd" stroke-width="0.6">"##);
+        for (a, b) in net.graph().edges() {
+            let (pa, pb) = (network.position(a), network.position(b));
+            let _ = writeln!(
+                svg,
+                r#"<line x1="{:.1}" y1="{:.1}" x2="{:.1}" y2="{:.1}"/>"#,
+                px(pa.x),
+                py(pa.y),
+                px(pb.x),
+                py(pb.y)
+            );
+        }
+        let _ = writeln!(svg, "</g>");
+    }
+
+    // Tree edges: backbone emphasised.
+    let _ = writeln!(svg, r#"<g stroke-linecap="round">"#);
+    for u in net.tree().nodes() {
+        if let Some(p) = net.tree().parent(u) {
+            let backbone = net.status(u).in_backbone() && net.status(p).in_backbone();
+            let (stroke, width) = if backbone { ("#555555", 2.0) } else { ("#aaaaaa", 0.9) };
+            let (pu, pp) = (network.position(u), network.position(p));
+            let _ = writeln!(
+                svg,
+                r#"<line x1="{:.1}" y1="{:.1}" x2="{:.1}" y2="{:.1}" stroke="{stroke}" stroke-width="{width}"/>"#,
+                px(pu.x),
+                py(pu.y),
+                px(pp.x),
+                py(pp.y)
+            );
+        }
+    }
+    let _ = writeln!(svg, "</g>");
+
+    // Nodes.
+    for u in net.tree().nodes() {
+        let p = network.position(u);
+        let fill = match net.status(u) {
+            NodeStatus::ClusterHead => "#d62728",
+            NodeStatus::Gateway => "#ff7f0e",
+            NodeStatus::PureMember => "#1f77b4",
+        };
+        let is_sink = u == net.root();
+        let r = if is_sink { opts.node_radius * 1.8 } else { opts.node_radius };
+        let stroke = if is_sink { r#" stroke="black" stroke-width="1.5""# } else { "" };
+        let _ = writeln!(
+            svg,
+            r#"<circle cx="{:.1}" cy="{:.1}" r="{r:.1}" fill="{fill}"{stroke}><title>{u} {}</title></circle>"#,
+            px(p.x),
+            py(p.y),
+            net.status(u)
+        );
+    }
+
+    // Legend.
+    let _ = writeln!(
+        svg,
+        r##"<g font-family="sans-serif" font-size="12">
+<circle cx="14" cy="14" r="5" fill="#d62728"/><text x="24" y="18">cluster head</text>
+<circle cx="114" cy="14" r="5" fill="#ff7f0e"/><text x="124" y="18">gateway</text>
+<circle cx="194" cy="14" r="5" fill="#1f77b4"/><text x="204" y="18">pure member</text>
+</g>"##
+    );
+    let _ = writeln!(svg, "</svg>");
+    svg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::NetworkBuilder;
+
+    #[test]
+    fn svg_contains_every_node_and_is_well_formed() {
+        let net = NetworkBuilder::paper(60, 33).build().unwrap();
+        let svg = render_svg(&net, &VizOptions::default());
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        // One circle per node plus three legend dots.
+        let circles = svg.matches("<circle").count();
+        assert_eq!(circles, 60 + 3);
+        // Tree edges: n − 1 of them, plus radio links.
+        assert!(svg.matches("<line").count() >= 59);
+        // Statuses appear in the legend and titles.
+        assert!(svg.contains("cluster head"));
+    }
+
+    #[test]
+    fn radio_links_can_be_disabled() {
+        let net = NetworkBuilder::paper(40, 34).build().unwrap();
+        let with = render_svg(&net, &VizOptions::default());
+        let without = render_svg(
+            &net,
+            &VizOptions { show_radio_links: false, ..Default::default() },
+        );
+        assert!(with.len() > without.len());
+    }
+}

@@ -1,0 +1,128 @@
+//! Rectangular deployment fields.
+
+use crate::point::Point2;
+
+/// An axis-aligned rectangular deployment field `[0, width] × [0, height]`,
+/// measured in field units (1 unit = 100 m in the paper).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Region {
+    width: f64,
+    height: f64,
+}
+
+impl Region {
+    /// A `width × height` field. Panics if either side is non-positive.
+    pub fn new(width: f64, height: f64) -> Self {
+        assert!(
+            width > 0.0 && height > 0.0,
+            "region sides must be positive, got {width}×{height}"
+        );
+        Self { width, height }
+    }
+
+    /// A square `side × side` field.
+    pub fn square(side: f64) -> Self {
+        Self::new(side, side)
+    }
+
+    /// The paper's small field: 8×8 units.
+    pub fn paper_8x8() -> Self {
+        Self::square(8.0)
+    }
+
+    /// The paper's main field (all plotted results): 10×10 units.
+    pub fn paper_10x10() -> Self {
+        Self::square(10.0)
+    }
+
+    /// The paper's large field: 12×12 units.
+    pub fn paper_12x12() -> Self {
+        Self::square(12.0)
+    }
+
+    /// Field width in units.
+    pub fn width(&self) -> f64 {
+        self.width
+    }
+
+    /// Field height in units.
+    pub fn height(&self) -> f64 {
+        self.height
+    }
+
+    /// Field area in square units.
+    pub fn area(&self) -> f64 {
+        self.width * self.height
+    }
+
+    /// Centre of the field.
+    pub fn center(&self) -> Point2 {
+        Point2::new(self.width * 0.5, self.height * 0.5)
+    }
+
+    /// Whether `p` lies inside the field (boundary inclusive).
+    pub fn contains(&self, p: Point2) -> bool {
+        (0.0..=self.width).contains(&p.x) && (0.0..=self.height).contains(&p.y)
+    }
+
+    /// Clamp `p` into the field.
+    pub fn clamp(&self, p: Point2) -> Point2 {
+        Point2::new(p.x.clamp(0.0, self.width), p.y.clamp(0.0, self.height))
+    }
+
+    /// The expected average unit-disk degree for `n` uniformly placed nodes
+    /// with communication radius `range` (ignoring boundary effects):
+    /// `(n-1)·π·range² / area`. Useful for sizing experiments.
+    pub fn expected_degree(&self, n: usize, range: f64) -> f64 {
+        if n == 0 {
+            return 0.0;
+        }
+        (n as f64 - 1.0) * std::f64::consts::PI * range * range / self.area()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_fields_have_expected_sizes() {
+        assert_eq!(Region::paper_8x8().area(), 64.0);
+        assert_eq!(Region::paper_10x10().area(), 100.0);
+        assert_eq!(Region::paper_12x12().area(), 144.0);
+    }
+
+    #[test]
+    fn contains_and_clamp_agree() {
+        let r = Region::square(10.0);
+        let inside = Point2::new(3.0, 9.9);
+        let outside = Point2::new(-1.0, 12.0);
+        assert!(r.contains(inside));
+        assert!(!r.contains(outside));
+        assert!(r.contains(r.clamp(outside)));
+        assert_eq!(r.clamp(outside), Point2::new(0.0, 10.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_region_panics() {
+        let _ = Region::new(0.0, 5.0);
+    }
+
+    #[test]
+    fn expected_degree_scales_linearly_in_n() {
+        let r = Region::paper_10x10();
+        let d100 = r.expected_degree(101, 0.5);
+        let d200 = r.expected_degree(201, 0.5);
+        assert!((d200 / d100 - 2.0).abs() < 1e-12);
+        // π·0.25 ≈ 0.785 neighbours per 100 nodes on a 10×10 field.
+        assert!((d100 - std::f64::consts::PI * 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn center_is_inside() {
+        let r = Region::new(4.0, 6.0);
+        assert_eq!(r.center(), Point2::new(2.0, 3.0));
+        assert!(r.contains(r.center()));
+    }
+}

@@ -1,0 +1,74 @@
+//! Deterministic, seedable randomness helpers.
+//!
+//! Every stochastic component in the workspace (deployments, randomized
+//! protocol backoff, failure schedules) takes an explicit seed so that
+//! experiments are exactly reproducible. This module centralises the RNG
+//! construction and seed-derivation conventions.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The RNG used throughout the workspace.
+pub type Rng = StdRng;
+
+/// Build the workspace RNG from a 64-bit seed.
+pub fn rng_from_seed(seed: u64) -> Rng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// Derive an independent sub-seed from a base seed and a stream index.
+///
+/// Experiments that need several independent random streams (e.g. one per
+/// repetition, or one for deployment and one for failures) derive them from
+/// a single user-facing seed with distinct stream indices, so that changing
+/// one stream never perturbs another. This is a SplitMix64 step, which is a
+/// bijective mixer with good avalanche behaviour.
+pub fn derive_seed(base: u64, stream: u64) -> u64 {
+    let mut z = base
+        .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(stream.wrapping_add(1)));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng as _;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = rng_from_seed(42);
+        let mut b = rng_from_seed(42);
+        for _ in 0..16 {
+            assert_eq!(a.random::<u64>(), b.random::<u64>());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = rng_from_seed(1);
+        let mut b = rng_from_seed(2);
+        let same = (0..16).filter(|_| a.random::<u64>() == b.random::<u64>()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn derive_seed_is_stream_sensitive() {
+        let s0 = derive_seed(7, 0);
+        let s1 = derive_seed(7, 1);
+        let s2 = derive_seed(8, 0);
+        assert_ne!(s0, s1);
+        assert_ne!(s0, s2);
+        // And deterministic.
+        assert_eq!(s0, derive_seed(7, 0));
+    }
+
+    #[test]
+    fn derived_streams_are_independent_of_insertion_order() {
+        // Deriving stream 5 must not depend on whether stream 4 was derived.
+        let direct = derive_seed(99, 5);
+        let _ = derive_seed(99, 4);
+        assert_eq!(direct, derive_seed(99, 5));
+    }
+}

@@ -1,0 +1,206 @@
+//! A uniform-grid spatial hash for radio-range neighbour queries.
+//!
+//! Unit-disk adjacency ("who can hear whom") is the hottest geometric query
+//! when building networks of hundreds of nodes: a naive all-pairs scan is
+//! O(n²) per rebuild. [`GridIndex`] buckets points into cells of side equal
+//! to the query radius, so a range query only inspects the 3×3 cell
+//! neighbourhood around the query point.
+
+use crate::point::Point2;
+
+/// Spatial hash over a bounded field, with cell side = query radius.
+#[derive(Debug, Clone)]
+pub struct GridIndex {
+    cell: f64,
+    cols: usize,
+    rows: usize,
+    /// `buckets[row * cols + col]` holds the indices of points in that cell.
+    buckets: Vec<Vec<usize>>,
+    points: Vec<Point2>,
+}
+
+impl GridIndex {
+    /// Create an index for points inside a `width × height` field that will
+    /// be queried with radius `radius`.
+    pub fn new(width: f64, height: f64, radius: f64) -> Self {
+        assert!(radius > 0.0, "query radius must be positive");
+        let cell = radius;
+        let cols = (width / cell).ceil().max(1.0) as usize;
+        let rows = (height / cell).ceil().max(1.0) as usize;
+        Self {
+            cell,
+            cols,
+            rows,
+            buckets: vec![Vec::new(); cols * rows],
+            points: Vec::new(),
+        }
+    }
+
+    fn bucket_of(&self, p: Point2) -> usize {
+        let col = ((p.x / self.cell) as usize).min(self.cols - 1);
+        let row = ((p.y / self.cell) as usize).min(self.rows - 1);
+        row * self.cols + col
+    }
+
+    /// Insert a point and return its index (dense, insertion order).
+    pub fn insert(&mut self, p: Point2) -> usize {
+        let id = self.points.len();
+        self.points.push(p);
+        let b = self.bucket_of(p);
+        self.buckets[b].push(id);
+        id
+    }
+
+    /// Number of indexed points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether no points are indexed.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The stored point for index `id`.
+    pub fn point(&self, id: usize) -> Point2 {
+        self.points[id]
+    }
+
+    /// All stored points, in insertion order.
+    pub fn points(&self) -> &[Point2] {
+        &self.points
+    }
+
+    /// Indices of all points within `radius` of `p` (inclusive), excluding
+    /// none — the caller filters out the query point itself if needed.
+    ///
+    /// `radius` must not exceed the radius the index was built with,
+    /// otherwise neighbours outside the 3×3 cell window would be missed.
+    pub fn within(&self, p: Point2, radius: f64) -> Vec<usize> {
+        assert!(
+            radius <= self.cell + 1e-12,
+            "query radius {radius} exceeds index cell size {}",
+            self.cell
+        );
+        let mut out = Vec::new();
+        self.for_each_within(p, radius, |id| out.push(id));
+        out
+    }
+
+    /// Visitor-style range query that avoids allocating the result vector.
+    pub fn for_each_within<F: FnMut(usize)>(&self, p: Point2, radius: f64, mut f: F) {
+        let r2 = radius * radius;
+        let col = ((p.x / self.cell) as isize).clamp(0, self.cols as isize - 1);
+        let row = ((p.y / self.cell) as isize).clamp(0, self.rows as isize - 1);
+        for dr in -1..=1isize {
+            let rr = row + dr;
+            if rr < 0 || rr >= self.rows as isize {
+                continue;
+            }
+            for dc in -1..=1isize {
+                let cc = col + dc;
+                if cc < 0 || cc >= self.cols as isize {
+                    continue;
+                }
+                let bucket = &self.buckets[rr as usize * self.cols + cc as usize];
+                for &id in bucket {
+                    if self.points[id].dist_sq(p) <= r2 {
+                        f(id);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Whether any indexed point lies within `radius` of `p`.
+    pub fn any_within(&self, p: Point2, radius: f64) -> bool {
+        let r2 = radius * radius;
+        let col = ((p.x / self.cell) as isize).clamp(0, self.cols as isize - 1);
+        let row = ((p.y / self.cell) as isize).clamp(0, self.rows as isize - 1);
+        for dr in -1..=1isize {
+            let rr = row + dr;
+            if rr < 0 || rr >= self.rows as isize {
+                continue;
+            }
+            for dc in -1..=1isize {
+                let cc = col + dc;
+                if cc < 0 || cc >= self.cols as isize {
+                    continue;
+                }
+                let bucket = &self.buckets[rr as usize * self.cols + cc as usize];
+                if bucket.iter().any(|&id| self.points[id].dist_sq(p) <= r2) {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::rng_from_seed;
+    use rand::Rng as _;
+
+    fn brute_force(points: &[Point2], p: Point2, r: f64) -> Vec<usize> {
+        points
+            .iter()
+            .enumerate()
+            .filter(|(_, q)| q.dist_sq(p) <= r * r)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_points() {
+        let mut rng = rng_from_seed(7);
+        let (w, h, r) = (10.0, 10.0, 0.5);
+        let mut idx = GridIndex::new(w, h, r);
+        let mut pts = Vec::new();
+        for _ in 0..400 {
+            let p = Point2::new(rng.random_range(0.0..w), rng.random_range(0.0..h));
+            idx.insert(p);
+            pts.push(p);
+        }
+        for _ in 0..50 {
+            let q = Point2::new(rng.random_range(0.0..w), rng.random_range(0.0..h));
+            let mut got = idx.within(q, r);
+            got.sort_unstable();
+            assert_eq!(got, brute_force(&pts, q, r));
+        }
+    }
+
+    #[test]
+    fn boundary_points_are_indexed() {
+        let mut idx = GridIndex::new(10.0, 10.0, 0.5);
+        // Exactly on the far boundary: must clamp into the last cell.
+        idx.insert(Point2::new(10.0, 10.0));
+        let hits = idx.within(Point2::new(9.9, 9.9), 0.5);
+        assert_eq!(hits, vec![0]);
+    }
+
+    #[test]
+    fn any_within_agrees_with_within() {
+        let mut idx = GridIndex::new(4.0, 4.0, 1.0);
+        idx.insert(Point2::new(1.0, 1.0));
+        assert!(idx.any_within(Point2::new(1.5, 1.0), 1.0));
+        assert!(!idx.any_within(Point2::new(3.5, 3.5), 1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds index cell size")]
+    fn oversized_query_radius_panics() {
+        let idx = GridIndex::new(4.0, 4.0, 0.5);
+        let _ = idx.within(Point2::ORIGIN, 1.0);
+    }
+
+    #[test]
+    fn query_point_outside_field_is_clamped_not_lost() {
+        let mut idx = GridIndex::new(4.0, 4.0, 1.0);
+        idx.insert(Point2::new(0.1, 0.1));
+        // Query from slightly outside the field still finds the point.
+        let hits = idx.within(Point2::new(-0.2, -0.2), 1.0);
+        assert_eq!(hits, vec![0]);
+    }
+}

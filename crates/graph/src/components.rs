@@ -1,0 +1,104 @@
+//! Connectivity queries.
+
+use crate::graph::{Graph, NodeId};
+use crate::traversal::bfs;
+
+/// Whether the live part of `g` is connected (vacuously true when empty).
+pub fn is_connected(g: &Graph) -> bool {
+    let Some(start) = g.nodes().next() else { return true };
+    bfs(g, start).reached_count() == g.node_count()
+}
+
+/// Connected components of the live nodes, each sorted by id; components
+/// are ordered by their smallest node id.
+pub fn components(g: &Graph) -> Vec<Vec<NodeId>> {
+    let mut seen = vec![false; g.capacity()];
+    let mut out = Vec::new();
+    for u in g.nodes() {
+        if seen[u.index()] {
+            continue;
+        }
+        let b = bfs(g, u);
+        let mut comp = b.order;
+        for &v in &comp {
+            seen[v.index()] = true;
+        }
+        comp.sort_unstable();
+        out.push(comp);
+    }
+    out
+}
+
+/// Ids of the nodes in the same component as `u` (sorted).
+pub fn component_of(g: &Graph, u: NodeId) -> Vec<NodeId> {
+    let mut comp = bfs(g, u).order;
+    comp.sort_unstable();
+    comp
+}
+
+/// Whether removing `u` would disconnect the remaining live nodes — i.e.,
+/// whether `u` is a cut vertex or the graph is already disconnected without
+/// it. Returns `false` when `u` is the only node.
+pub fn disconnects_without(g: &Graph, u: NodeId) -> bool {
+    if g.node_count() <= 1 {
+        return false;
+    }
+    let keep: Vec<NodeId> = g.nodes().filter(|&v| v != u).collect();
+    let sub = g.induced_subgraph(&keep);
+    !is_connected(&sub)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn connected_and_disconnected() {
+        let mut g = Graph::with_nodes(4);
+        g.add_edge(NodeId(0), NodeId(1));
+        g.add_edge(NodeId(2), NodeId(3));
+        assert!(!is_connected(&g));
+        g.add_edge(NodeId(1), NodeId(2));
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn empty_graph_is_connected() {
+        assert!(is_connected(&Graph::new()));
+    }
+
+    #[test]
+    fn components_partition_nodes() {
+        let mut g = Graph::with_nodes(5);
+        g.add_edge(NodeId(0), NodeId(1));
+        g.add_edge(NodeId(3), NodeId(4));
+        let comps = components(&g);
+        assert_eq!(
+            comps,
+            vec![
+                vec![NodeId(0), NodeId(1)],
+                vec![NodeId(2)],
+                vec![NodeId(3), NodeId(4)],
+            ]
+        );
+    }
+
+    #[test]
+    fn cut_vertex_detection() {
+        // 0-1-2: node 1 is a cut vertex, endpoints are not.
+        let mut g = Graph::with_nodes(3);
+        g.add_edge(NodeId(0), NodeId(1));
+        g.add_edge(NodeId(1), NodeId(2));
+        assert!(disconnects_without(&g, NodeId(1)));
+        assert!(!disconnects_without(&g, NodeId(0)));
+        assert!(!disconnects_without(&g, NodeId(2)));
+    }
+
+    #[test]
+    fn component_of_returns_reachable_set() {
+        let mut g = Graph::with_nodes(4);
+        g.add_edge(NodeId(0), NodeId(2));
+        assert_eq!(component_of(&g, NodeId(0)), vec![NodeId(0), NodeId(2)]);
+        assert_eq!(component_of(&g, NodeId(1)), vec![NodeId(1)]);
+    }
+}

@@ -1,0 +1,114 @@
+//! Degree statistics.
+//!
+//! The paper's bounds are stated in terms of `D` — the maximum degree of
+//! the whole network `G` — and `d` — the maximum degree of `G(V_BT)`, the
+//! subgraph of `G` induced by the backbone nodes. Figure 11 plots both.
+
+use crate::graph::{Graph, NodeId};
+
+/// Summary of a degree distribution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DegreeStats {
+    /// Largest degree.
+    pub max: usize,
+    /// Smallest degree.
+    pub min: usize,
+    /// Average degree.
+    pub mean: f64,
+}
+
+/// Degree statistics over the live nodes of `g`. Returns zeros for an
+/// empty graph.
+pub fn degree_stats(g: &Graph) -> DegreeStats {
+    let mut max = 0usize;
+    let mut min = usize::MAX;
+    let mut sum = 0usize;
+    let mut n = 0usize;
+    for u in g.nodes() {
+        let d = g.degree(u);
+        max = max.max(d);
+        min = min.min(d);
+        sum += d;
+        n += 1;
+    }
+    if n == 0 {
+        return DegreeStats { max: 0, min: 0, mean: 0.0 };
+    }
+    DegreeStats { max, min, mean: sum as f64 / n as f64 }
+}
+
+/// Maximum degree `D` of `g` (0 when empty).
+pub fn max_degree(g: &Graph) -> usize {
+    degree_stats(g).max
+}
+
+/// Maximum degree `d` of the subgraph of `g` induced by `nodes`
+/// (`G(V_BT)` in the paper when `nodes` is the backbone).
+pub fn induced_max_degree(g: &Graph, nodes: &[NodeId]) -> usize {
+    let mut in_set = vec![false; g.capacity()];
+    for &u in nodes {
+        if g.is_live(u) {
+            in_set[u.index()] = true;
+        }
+    }
+    let mut max = 0usize;
+    for &u in nodes {
+        if !g.is_live(u) {
+            continue;
+        }
+        let d = g
+            .neighbors(u)
+            .iter()
+            .filter(|&&v| in_set[v.index()])
+            .count();
+        max = max.max(d);
+    }
+    max
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn star(n_leaves: usize) -> Graph {
+        let mut g = Graph::with_nodes(n_leaves + 1);
+        for i in 1..=n_leaves {
+            g.add_edge(NodeId(0), NodeId(i as u32));
+        }
+        g
+    }
+
+    #[test]
+    fn star_degrees() {
+        let g = star(5);
+        let s = degree_stats(&g);
+        assert_eq!(s.max, 5);
+        assert_eq!(s.min, 1);
+        assert!((s.mean - 10.0 / 6.0).abs() < 1e-12);
+        assert_eq!(max_degree(&g), 5);
+    }
+
+    #[test]
+    fn empty_graph_stats_are_zero() {
+        let s = degree_stats(&Graph::new());
+        assert_eq!((s.max, s.min), (0, 0));
+        assert_eq!(s.mean, 0.0);
+    }
+
+    #[test]
+    fn induced_degree_ignores_outside_edges() {
+        let g = star(5);
+        // Hub plus two leaves: hub's induced degree is 2, not 5.
+        let d = induced_max_degree(&g, &[NodeId(0), NodeId(1), NodeId(2)]);
+        assert_eq!(d, 2);
+        // Leaves only: no induced edges at all.
+        assert_eq!(induced_max_degree(&g, &[NodeId(1), NodeId(2)]), 0);
+    }
+
+    #[test]
+    fn induced_degree_of_full_set_is_plain_degree() {
+        let g = star(4);
+        let all: Vec<_> = g.nodes().collect();
+        assert_eq!(induced_max_degree(&g, &all), max_degree(&g));
+    }
+}

@@ -1,0 +1,298 @@
+//! Greedy dominating-set and maximal-independent-set approximations.
+//!
+//! Property 1(3) of the paper states that on a unit-disk graph the number
+//! of clusters in CNet(G) is at most `5·|MDS|`. The exact minimum dominating
+//! set is NP-hard, so the experiments compare the measured cluster count
+//! against the classical greedy O(ln Δ)-approximation computed here, and the
+//! MIS is used as a lower-bound witness (any MIS of a unit-disk graph has
+//! size ≥ |MDS|... strictly: |MIS| ≤ 5·|MDS|, and |MDS| ≤ |MIS| since an MIS
+//! is dominating — giving a bracket around the optimum).
+
+use crate::graph::{Graph, NodeId};
+
+/// Greedy dominating set: repeatedly pick the node covering the most
+/// currently-uncovered nodes (ties broken by smallest id for determinism).
+/// Returns a sorted set of node ids that dominates every live node.
+pub fn greedy_dominating_set(g: &Graph) -> Vec<NodeId> {
+    let cap = g.capacity();
+    let mut covered = vec![false; cap];
+    let mut uncovered = g.node_count();
+    let mut chosen = Vec::new();
+    // coverage(u) = #uncovered in N[u]; recomputed lazily per sweep. For the
+    // network sizes in the paper (n ≤ 720) the simple O(n) argmax sweep per
+    // pick is more than fast enough and keeps the code obviously correct.
+    while uncovered > 0 {
+        let mut best: Option<(usize, NodeId)> = None;
+        for u in g.nodes() {
+            let mut gain = usize::from(!covered[u.index()]);
+            for &v in g.neighbors(u) {
+                gain += usize::from(!covered[v.index()]);
+            }
+            match best {
+                Some((bg, _)) if bg >= gain => {}
+                _ if gain > 0 => best = Some((gain, u)),
+                _ => {}
+            }
+        }
+        let (gain, u) = best.expect("uncovered nodes remain but no node has gain");
+        chosen.push(u);
+        if !covered[u.index()] {
+            covered[u.index()] = true;
+            uncovered -= 1;
+        }
+        for &v in g.neighbors(u) {
+            if !covered[v.index()] {
+                covered[v.index()] = true;
+                uncovered -= 1;
+            }
+        }
+        debug_assert!(gain > 0);
+    }
+    chosen.sort_unstable();
+    chosen
+}
+
+/// Greedy maximal independent set, smallest-id-first. The result is both
+/// independent (no two chosen nodes adjacent) and dominating (every node is
+/// chosen or adjacent to a chosen node).
+pub fn greedy_mis(g: &Graph) -> Vec<NodeId> {
+    let mut blocked = vec![false; g.capacity()];
+    let mut out = Vec::new();
+    for u in g.nodes() {
+        if blocked[u.index()] {
+            continue;
+        }
+        out.push(u);
+        blocked[u.index()] = true;
+        for &v in g.neighbors(u) {
+            blocked[v.index()] = true;
+        }
+    }
+    out
+}
+
+/// Whether `set` dominates every live node of `g`.
+pub fn is_dominating(g: &Graph, set: &[NodeId]) -> bool {
+    let mut covered = vec![false; g.capacity()];
+    for &u in set {
+        if !g.is_live(u) {
+            return false;
+        }
+        covered[u.index()] = true;
+        for &v in g.neighbors(u) {
+            covered[v.index()] = true;
+        }
+    }
+    g.nodes().all(|u| covered[u.index()])
+}
+
+/// Whether `set` is independent in `g`.
+pub fn is_independent(g: &Graph, set: &[NodeId]) -> bool {
+    for (i, &u) in set.iter().enumerate() {
+        for &v in &set[i + 1..] {
+            if g.has_edge(u, v) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::unit_disk::unit_disk_graph;
+    use dsnet_geom::{Deployment, DeploymentConfig};
+
+    #[test]
+    fn star_dominated_by_hub() {
+        let mut g = Graph::with_nodes(6);
+        for i in 1..6 {
+            g.add_edge(NodeId(0), NodeId(i));
+        }
+        assert_eq!(greedy_dominating_set(&g), vec![NodeId(0)]);
+    }
+
+    #[test]
+    fn greedy_sets_are_valid_on_random_udgs() {
+        let dep = Deployment::generate(DeploymentConfig::paper(150, 23));
+        let g = unit_disk_graph(&dep.positions, dep.config.range);
+        let ds = greedy_dominating_set(&g);
+        assert!(is_dominating(&g, &ds));
+        let mis = greedy_mis(&g);
+        assert!(is_independent(&g, &mis));
+        assert!(is_dominating(&g, &mis), "a maximal IS must dominate");
+    }
+
+    #[test]
+    fn isolated_nodes_must_be_chosen() {
+        let g = Graph::with_nodes(3);
+        let ds = greedy_dominating_set(&g);
+        assert_eq!(ds, vec![NodeId(0), NodeId(1), NodeId(2)]);
+        let mis = greedy_mis(&g);
+        assert_eq!(mis.len(), 3);
+    }
+
+    #[test]
+    fn empty_graph_yields_empty_sets() {
+        let g = Graph::new();
+        assert!(greedy_dominating_set(&g).is_empty());
+        assert!(greedy_mis(&g).is_empty());
+        assert!(is_dominating(&g, &[]));
+    }
+
+    #[test]
+    fn is_dominating_rejects_incomplete_sets() {
+        let mut g = Graph::with_nodes(3);
+        g.add_edge(NodeId(0), NodeId(1));
+        assert!(!is_dominating(&g, &[NodeId(0)])); // node 2 uncovered
+        assert!(is_dominating(&g, &[NodeId(0), NodeId(2)]));
+    }
+
+    #[test]
+    fn is_independent_detects_adjacency() {
+        let mut g = Graph::with_nodes(3);
+        g.add_edge(NodeId(0), NodeId(1));
+        assert!(!is_independent(&g, &[NodeId(0), NodeId(1)]));
+        assert!(is_independent(&g, &[NodeId(0), NodeId(2)]));
+    }
+}
+
+/// Greedy connected dominating set: start from a greedy MIS (which
+/// dominates), then connect its components through intermediate nodes
+/// found by BFS inside `g`. The classical CDS papers the paper cites
+/// (\[6\], \[20\], \[22\]) build backbones this way; the result is used as a
+/// quality baseline for BT(G) in the experiments.
+///
+/// Requires `g` connected; returns a sorted node set that is connected in
+/// the induced subgraph and dominates every live node.
+pub fn greedy_connected_dominating_set(g: &Graph) -> Vec<NodeId> {
+    use crate::traversal::bfs;
+
+    let n = g.node_count();
+    if n == 0 {
+        return Vec::new();
+    }
+    let mis = greedy_mis(g);
+    if mis.len() <= 1 {
+        return mis;
+    }
+    let mut in_set = vec![false; g.capacity()];
+    for &u in &mis {
+        in_set[u.index()] = true;
+    }
+    // Connect greedily: grow a connected component from the first MIS node,
+    // each time attaching the nearest not-yet-connected MIS node via a
+    // shortest path through G (path interiors join the set).
+    let mut connected = vec![false; g.capacity()];
+    connected[mis[0].index()] = true;
+    let mut connected_count = 1;
+    while connected_count < mis.iter().filter(|u| in_set[u.index()]).count() {
+        // BFS from the connected part of the set.
+        let sources: Vec<NodeId> = g
+            .nodes()
+            .filter(|u| connected[u.index()] && in_set[u.index()])
+            .collect();
+        // Multi-source BFS emulated by BFS from one source over a graph
+        // where connected set nodes are "free": simpler variant — BFS from
+        // the first source and pick the closest unconnected MIS node, then
+        // mark its whole path.
+        let b = bfs(g, sources[0]);
+        let target = mis
+            .iter()
+            .copied()
+            .filter(|&u| !connected[u.index()])
+            .min_by_key(|&u| b.dist(u).unwrap_or(u32::MAX))
+            .expect("unconnected MIS node exists");
+        let path = b.path_to(target).expect("graph is connected");
+        for &p in &path {
+            in_set[p.index()] = true;
+            if !connected[p.index()] {
+                connected[p.index()] = true;
+                if mis.binary_search(&p).is_ok() {
+                    connected_count += 1;
+                }
+            }
+        }
+        // Newly added path nodes may bridge other already-found MIS nodes.
+        let members: Vec<NodeId> = g.nodes().filter(|u| in_set[u.index()]).collect();
+        let sub = g.induced_subgraph(&members);
+        let comp = crate::components::component_of(&sub, mis[0]);
+        for &u in &comp {
+            if !connected[u.index()] {
+                connected[u.index()] = true;
+                if mis.binary_search(&u).is_ok() {
+                    connected_count += 1;
+                }
+            }
+        }
+    }
+    let result: Vec<NodeId> = g.nodes().filter(|u| in_set[u.index()]).collect();
+    debug_assert!(is_dominating(g, &result));
+    result
+}
+
+/// Whether `set` induces a connected subgraph of `g` (vacuously true for
+/// empty or singleton sets).
+pub fn is_connected_in(g: &Graph, set: &[NodeId]) -> bool {
+    if set.len() <= 1 {
+        return true;
+    }
+    let sub = g.induced_subgraph(set);
+    crate::components::is_connected(&sub)
+}
+
+#[cfg(test)]
+mod cds_tests {
+    use super::*;
+    use crate::unit_disk::unit_disk_graph;
+    use dsnet_geom::{Deployment, DeploymentConfig};
+
+    #[test]
+    fn cds_on_a_path_is_the_interior() {
+        let mut g = Graph::with_nodes(5);
+        for i in 1..5u32 {
+            g.add_edge(NodeId(i - 1), NodeId(i));
+        }
+        let cds = greedy_connected_dominating_set(&g);
+        assert!(is_dominating(&g, &cds));
+        assert!(is_connected_in(&g, &cds));
+    }
+
+    #[test]
+    fn cds_on_random_udgs_is_valid() {
+        for seed in [31u64, 32, 33] {
+            let dep = Deployment::generate(DeploymentConfig::paper(120, seed));
+            let g = unit_disk_graph(&dep.positions, dep.config.range);
+            let cds = greedy_connected_dominating_set(&g);
+            assert!(is_dominating(&g, &cds), "seed {seed}");
+            assert!(is_connected_in(&g, &cds), "seed {seed}");
+            assert!(cds.len() < g.node_count());
+        }
+    }
+
+    #[test]
+    fn cds_of_star_is_hub() {
+        let mut g = Graph::with_nodes(6);
+        for i in 1..6u32 {
+            g.add_edge(NodeId(0), NodeId(i));
+        }
+        let cds = greedy_connected_dominating_set(&g);
+        assert_eq!(cds, vec![NodeId(0)]);
+    }
+
+    #[test]
+    fn cds_of_singleton() {
+        let g = Graph::with_nodes(1);
+        assert_eq!(greedy_connected_dominating_set(&g), vec![NodeId(0)]);
+    }
+
+    #[test]
+    fn is_connected_in_detects_disconnection() {
+        let mut g = Graph::with_nodes(4);
+        g.add_edge(NodeId(0), NodeId(1));
+        g.add_edge(NodeId(2), NodeId(3));
+        assert!(!is_connected_in(&g, &[NodeId(0), NodeId(2)]));
+        assert!(is_connected_in(&g, &[NodeId(0), NodeId(1)]));
+    }
+}

@@ -1,0 +1,192 @@
+//! Eulerian tours of trees.
+//!
+//! The DFO baseline broadcast of reference \[19\] relays the message along an
+//! Eulerian tour of the backbone tree: every undirected tree edge is
+//! replaced by two directed edges and the token traverses each exactly
+//! once, so a tree with `m` nodes yields a tour of `2(m−1)` token hops.
+//! (Property 1(1): `m ≤ 2p−1`, hence the paper's `4p−2` round bound.)
+
+use crate::graph::NodeId;
+use crate::tree::RootedTree;
+
+/// The Eulerian tour of `tree` starting (and ending) at `start`, as a
+/// sequence of directed token hops `(from, to)`. Neighbours are visited
+/// children-first in attachment order, then the parent — mirroring the
+/// paper's rule that a node relays to unvisited neighbours before handing
+/// the token back to the node it first received the message from.
+///
+/// A single-node tree yields an empty tour.
+pub fn euler_tour(tree: &RootedTree, start: NodeId) -> Vec<(NodeId, NodeId)> {
+    assert!(tree.contains(start), "tour start {start} not in tree");
+    let mut tour = Vec::with_capacity(2 * tree.len().saturating_sub(1));
+    // Recursive DFS, made iterative to survive deep (path-like) trees:
+    // each stack frame is (node, entered-from, next-neighbour-cursor).
+    let mut stack: Vec<(NodeId, Option<NodeId>, usize)> = vec![(start, None, 0)];
+    while let Some(&mut (u, from, ref mut cursor)) = stack.last_mut() {
+        let nbrs = tree_neighbors(tree, u);
+        // Skip the edge we entered on; it is used last, on the way back.
+        while *cursor < nbrs.len() && Some(nbrs[*cursor]) == from {
+            *cursor += 1;
+        }
+        if *cursor < nbrs.len() {
+            let v = nbrs[*cursor];
+            *cursor += 1;
+            tour.push((u, v));
+            stack.push((v, Some(u), 0));
+        } else {
+            stack.pop();
+            if let Some(p) = from {
+                tour.push((u, p));
+            }
+        }
+    }
+    tour
+}
+
+/// Tree neighbours of `u`: its children followed by its parent, if any.
+fn tree_neighbors(tree: &RootedTree, u: NodeId) -> Vec<NodeId> {
+    let mut nbrs: Vec<NodeId> = tree.children(u).to_vec();
+    if let Some(p) = tree.parent(u) {
+        nbrs.push(p);
+    }
+    nbrs
+}
+
+/// For each node of the tree, the 0-based hop index at which the token
+/// first *arrives* there (`None` entry means the id is outside the tree;
+/// the start node gets `Some(0)` by convention, as it holds the message
+/// from the beginning).
+pub fn first_arrival_hops(
+    tree: &RootedTree,
+    start: NodeId,
+    tour: &[(NodeId, NodeId)],
+) -> Vec<Option<usize>> {
+    let cap = tree
+        .nodes()
+        .map(|u| u.index() + 1)
+        .max()
+        .unwrap_or(0);
+    let mut first = vec![None; cap];
+    first[start.index()] = Some(0);
+    for (i, &(_, to)) in tour.iter().enumerate() {
+        let slot = &mut first[to.index()];
+        if slot.is_none() {
+            *slot = Some(i + 1);
+        }
+    }
+    first
+}
+
+/// Check that `tour` is a valid Eulerian tour of `tree` from `start`:
+/// contiguous, covers every tree edge exactly once per direction, and
+/// returns to `start`.
+pub fn verify_tour(tree: &RootedTree, start: NodeId, tour: &[(NodeId, NodeId)]) -> bool {
+    if tree.len() <= 1 {
+        return tour.is_empty();
+    }
+    if tour.len() != 2 * (tree.len() - 1) {
+        return false;
+    }
+    // Contiguity and endpoints.
+    if tour[0].0 != start || tour[tour.len() - 1].1 != start {
+        return false;
+    }
+    for w in tour.windows(2) {
+        if w[0].1 != w[1].0 {
+            return false;
+        }
+    }
+    // Each directed tree edge exactly once.
+    let mut seen = std::collections::HashSet::new();
+    for &(a, b) in tour {
+        let edge_ok = tree.parent(a) == Some(b) || tree.parent(b) == Some(a);
+        if !edge_ok || !seen.insert((a, b)) {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> RootedTree {
+        let mut t = RootedTree::new(NodeId(0));
+        t.attach(NodeId(1), NodeId(0));
+        t.attach(NodeId(2), NodeId(0));
+        t.attach(NodeId(3), NodeId(1));
+        t
+    }
+
+    #[test]
+    fn tour_from_root_covers_all_edges_twice() {
+        let t = sample();
+        let tour = euler_tour(&t, NodeId(0));
+        assert_eq!(tour.len(), 6);
+        assert!(verify_tour(&t, NodeId(0), &tour));
+        assert_eq!(
+            tour,
+            vec![
+                (NodeId(0), NodeId(1)),
+                (NodeId(1), NodeId(3)),
+                (NodeId(3), NodeId(1)),
+                (NodeId(1), NodeId(0)),
+                (NodeId(0), NodeId(2)),
+                (NodeId(2), NodeId(0)),
+            ]
+        );
+    }
+
+    #[test]
+    fn tour_from_non_root_is_valid() {
+        let t = sample();
+        for start in [NodeId(1), NodeId(2), NodeId(3)] {
+            let tour = euler_tour(&t, start);
+            assert!(verify_tour(&t, start, &tour), "bad tour from {start}");
+        }
+    }
+
+    #[test]
+    fn singleton_tree_has_empty_tour() {
+        let t = RootedTree::new(NodeId(5));
+        let tour = euler_tour(&t, NodeId(5));
+        assert!(tour.is_empty());
+        assert!(verify_tour(&t, NodeId(5), &tour));
+    }
+
+    #[test]
+    fn deep_path_does_not_overflow() {
+        let mut t = RootedTree::new(NodeId(0));
+        for i in 1..10_000u32 {
+            t.attach(NodeId(i), NodeId(i - 1));
+        }
+        let tour = euler_tour(&t, NodeId(0));
+        assert_eq!(tour.len(), 2 * 9_999);
+        assert!(verify_tour(&t, NodeId(0), &tour));
+    }
+
+    #[test]
+    fn first_arrival_is_monotone_along_tour() {
+        let t = sample();
+        let tour = euler_tour(&t, NodeId(3));
+        let first = first_arrival_hops(&t, NodeId(3), &tour);
+        assert_eq!(first[NodeId(3).index()], Some(0));
+        // Every node is eventually reached.
+        for u in t.nodes() {
+            assert!(first[u.index()].is_some(), "{u} never reached");
+        }
+        // Node 1 is 3's parent, reached on the first hop.
+        assert_eq!(first[NodeId(1).index()], Some(1));
+    }
+
+    #[test]
+    fn verify_rejects_broken_tours() {
+        let t = sample();
+        let mut tour = euler_tour(&t, NodeId(0));
+        tour.swap(0, 1);
+        assert!(!verify_tour(&t, NodeId(0), &tour));
+        let short = &euler_tour(&t, NodeId(0))[..4];
+        assert!(!verify_tour(&t, NodeId(0), short));
+    }
+}

@@ -1,0 +1,83 @@
+//! Global graph metrics: eccentricities and diameter.
+
+use crate::graph::{Graph, NodeId};
+use crate::traversal::bfs;
+
+/// Eccentricity of `u` within its component: the maximum hop distance from
+/// `u` to any reachable node.
+pub fn eccentricity(g: &Graph, u: NodeId) -> u32 {
+    bfs(g, u).eccentricity()
+}
+
+/// Exact hop diameter of a connected graph: max over all nodes of their
+/// eccentricity. O(n·(n+m)); fine at the paper's scales. Returns `None`
+/// for an empty or disconnected graph.
+pub fn diameter(g: &Graph) -> Option<u32> {
+    let n = g.node_count();
+    if n == 0 {
+        return None;
+    }
+    let mut max = 0;
+    for u in g.nodes() {
+        let b = bfs(g, u);
+        if b.reached_count() != n {
+            return None;
+        }
+        max = max.max(b.eccentricity());
+    }
+    Some(max)
+}
+
+/// Fast diameter lower bound by the classic double-sweep heuristic:
+/// BFS from `seed`, then BFS from the farthest node found. Exact on trees.
+pub fn diameter_double_sweep(g: &Graph, seed: NodeId) -> u32 {
+    let b1 = bfs(g, seed);
+    let far = b1
+        .order
+        .iter()
+        .copied()
+        .max_by_key(|&u| b1.dist(u).unwrap_or(0))
+        .unwrap_or(seed);
+    bfs(g, far).eccentricity()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path(n: usize) -> Graph {
+        let mut g = Graph::with_nodes(n);
+        for i in 1..n {
+            g.add_edge(NodeId(i as u32 - 1), NodeId(i as u32));
+        }
+        g
+    }
+
+    #[test]
+    fn path_diameter() {
+        let g = path(7);
+        assert_eq!(diameter(&g), Some(6));
+        assert_eq!(eccentricity(&g, NodeId(3)), 3);
+        assert_eq!(eccentricity(&g, NodeId(0)), 6);
+    }
+
+    #[test]
+    fn double_sweep_exact_on_trees() {
+        let g = path(9);
+        // Start from the middle: the sweep must still find the true diameter.
+        assert_eq!(diameter_double_sweep(&g, NodeId(4)), 8);
+    }
+
+    #[test]
+    fn disconnected_diameter_is_none() {
+        let mut g = Graph::with_nodes(4);
+        g.add_edge(NodeId(0), NodeId(1));
+        assert_eq!(diameter(&g), None);
+    }
+
+    #[test]
+    fn singleton_diameter_is_zero() {
+        let g = Graph::with_nodes(1);
+        assert_eq!(diameter(&g), Some(0));
+    }
+}

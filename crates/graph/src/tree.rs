@@ -1,0 +1,331 @@
+//! Rooted trees over graph node ids.
+//!
+//! CNet(G) — the paper's cluster-net — is a rooted spanning tree of `G`
+//! that grows by attaching new leaves (`node-move-in`) and shrinks by
+//! detaching whole subtrees (`node-move-out`). [`RootedTree`] provides that
+//! dynamic rooted-tree substrate with maintained depths, plus the queries
+//! (children, subtree enumeration, height) the protocols need.
+
+use crate::graph::NodeId;
+
+/// A dynamic rooted tree over node ids (ids index into dense vectors; the
+/// tree may cover any subset of the id space).
+///
+/// ```
+/// use dsnet_graph::{NodeId, RootedTree};
+///
+/// let mut t = RootedTree::new(NodeId(0));
+/// t.attach(NodeId(1), NodeId(0));
+/// t.attach(NodeId(2), NodeId(1));
+/// assert_eq!(t.depth(NodeId(2)), 2);
+/// assert_eq!(t.height(), 2);
+/// assert_eq!(t.path_to_root(NodeId(2)), vec![NodeId(2), NodeId(1), NodeId(0)]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct RootedTree {
+    root: NodeId,
+    parent: Vec<Option<NodeId>>,
+    children: Vec<Vec<NodeId>>,
+    depth: Vec<u32>,
+    in_tree: Vec<bool>,
+    count: usize,
+}
+
+impl RootedTree {
+    /// A tree containing only `root`.
+    pub fn new(root: NodeId) -> Self {
+        let mut t = Self {
+            root,
+            parent: Vec::new(),
+            children: Vec::new(),
+            depth: Vec::new(),
+            in_tree: Vec::new(),
+            count: 0,
+        };
+        t.ensure_capacity(root.index() + 1);
+        t.in_tree[root.index()] = true;
+        t.count = 1;
+        t
+    }
+
+    fn ensure_capacity(&mut self, cap: usize) {
+        if self.parent.len() < cap {
+            self.parent.resize(cap, None);
+            self.children.resize(cap, Vec::new());
+            self.depth.resize(cap, 0);
+            self.in_tree.resize(cap, false);
+        }
+    }
+
+    /// The tree's root.
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+
+    /// Number of nodes in the tree.
+    pub fn len(&self) -> usize {
+        self.count
+    }
+
+    /// Whether the tree has no nodes (only after detaching the root).
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Whether `u` is currently in the tree.
+    pub fn contains(&self, u: NodeId) -> bool {
+        self.in_tree.get(u.index()).copied().unwrap_or(false)
+    }
+
+    fn assert_contains(&self, u: NodeId) {
+        assert!(self.contains(u), "node {u} is not in the tree");
+    }
+
+    /// Parent of `u` (`None` for the root).
+    pub fn parent(&self, u: NodeId) -> Option<NodeId> {
+        self.assert_contains(u);
+        self.parent[u.index()]
+    }
+
+    /// Children of `u`, in attachment order.
+    pub fn children(&self, u: NodeId) -> &[NodeId] {
+        self.assert_contains(u);
+        &self.children[u.index()]
+    }
+
+    /// Depth of `u` (root has depth 0).
+    pub fn depth(&self, u: NodeId) -> u32 {
+        self.assert_contains(u);
+        self.depth[u.index()]
+    }
+
+    /// Whether `u` has no children.
+    pub fn is_leaf(&self, u: NodeId) -> bool {
+        self.children(u).is_empty()
+    }
+
+    /// Whether `u` has at least one child. The paper calls these the
+    /// *internal* nodes of CNet(G); only they carry time slots.
+    pub fn is_internal(&self, u: NodeId) -> bool {
+        !self.is_leaf(u)
+    }
+
+    /// Attach `child` (not yet in the tree) under `parent` (in the tree).
+    pub fn attach(&mut self, child: NodeId, parent: NodeId) {
+        self.assert_contains(parent);
+        assert!(!self.contains(child), "node {child} is already in the tree");
+        self.ensure_capacity(child.index() + 1);
+        self.in_tree[child.index()] = true;
+        self.parent[child.index()] = Some(parent);
+        self.depth[child.index()] = self.depth[parent.index()] + 1;
+        self.children[parent.index()].push(child);
+        self.count += 1;
+    }
+
+    /// Detach the leaf `u` from the tree. Panics if `u` has children or is
+    /// the root.
+    pub fn detach_leaf(&mut self, u: NodeId) {
+        self.assert_contains(u);
+        assert!(self.is_leaf(u), "node {u} is not a leaf");
+        let p = self.parent[u.index()].expect("cannot detach the root");
+        self.children[p.index()].retain(|&c| c != u);
+        self.parent[u.index()] = None;
+        self.in_tree[u.index()] = false;
+        self.count -= 1;
+    }
+
+    /// Remove the whole subtree rooted at `u` (which may be the root, in
+    /// which case the tree becomes empty and unusable until rebuilt).
+    /// Returns the removed nodes in preorder (`u` first).
+    pub fn detach_subtree(&mut self, u: NodeId) -> Vec<NodeId> {
+        let nodes = self.subtree_nodes(u);
+        if let Some(p) = self.parent[u.index()] {
+            self.children[p.index()].retain(|&c| c != u);
+        }
+        for &v in &nodes {
+            self.parent[v.index()] = None;
+            self.children[v.index()].clear();
+            self.in_tree[v.index()] = false;
+        }
+        self.count -= nodes.len();
+        nodes
+    }
+
+    /// Nodes of the subtree rooted at `u`, in preorder.
+    pub fn subtree_nodes(&self, u: NodeId) -> Vec<NodeId> {
+        self.assert_contains(u);
+        let mut out = Vec::new();
+        let mut stack = vec![u];
+        while let Some(v) = stack.pop() {
+            out.push(v);
+            // Reverse so preorder visits children in attachment order.
+            for &c in self.children[v.index()].iter().rev() {
+                stack.push(c);
+            }
+        }
+        out
+    }
+
+    /// All tree nodes, in increasing id order.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.in_tree
+            .iter()
+            .enumerate()
+            .filter(|(_, &b)| b)
+            .map(|(i, _)| NodeId(i as u32))
+    }
+
+    /// Height of the tree: the maximum depth over all nodes (0 for a
+    /// single-node tree).
+    pub fn height(&self) -> u32 {
+        self.nodes().map(|u| self.depth[u.index()]).max().unwrap_or(0)
+    }
+
+    /// Height of the subtree rooted at `u`, measured from `u` (a leaf's
+    /// subtree height is 0).
+    pub fn subtree_height(&self, u: NodeId) -> u32 {
+        let base = self.depth(u);
+        self.subtree_nodes(u)
+            .iter()
+            .map(|&v| self.depth[v.index()] - base)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Path from `u` up to the root (inclusive both ends).
+    pub fn path_to_root(&self, u: NodeId) -> Vec<NodeId> {
+        self.assert_contains(u);
+        let mut path = vec![u];
+        let mut cur = u;
+        while let Some(p) = self.parent[cur.index()] {
+            path.push(p);
+            cur = p;
+        }
+        path
+    }
+
+    /// Nodes grouped by depth: `levels()[i]` holds the nodes at depth `i`.
+    pub fn levels(&self) -> Vec<Vec<NodeId>> {
+        let mut levels: Vec<Vec<NodeId>> = vec![Vec::new(); self.height() as usize + 1];
+        for u in self.nodes() {
+            levels[self.depth[u.index()] as usize].push(u);
+        }
+        levels
+    }
+
+    /// Verify structural invariants (parent/children symmetry, depth
+    /// correctness, acyclicity via node count). Used by tests.
+    pub fn check_invariants(&self) {
+        let mut visited = 0usize;
+        let mut stack = vec![self.root];
+        assert!(self.contains(self.root), "root missing");
+        assert_eq!(self.depth[self.root.index()], 0);
+        while let Some(u) = stack.pop() {
+            visited += 1;
+            for &c in &self.children[u.index()] {
+                assert!(self.contains(c));
+                assert_eq!(self.parent[c.index()], Some(u), "parent/child mismatch at {c}");
+                assert_eq!(self.depth[c.index()], self.depth[u.index()] + 1);
+                stack.push(c);
+            }
+        }
+        assert_eq!(visited, self.count, "unreachable nodes or cycle");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Root 0 with children 1, 2; 1 has children 3, 4.
+    fn sample() -> RootedTree {
+        let mut t = RootedTree::new(NodeId(0));
+        t.attach(NodeId(1), NodeId(0));
+        t.attach(NodeId(2), NodeId(0));
+        t.attach(NodeId(3), NodeId(1));
+        t.attach(NodeId(4), NodeId(1));
+        t
+    }
+
+    #[test]
+    fn attach_maintains_depth_and_children() {
+        let t = sample();
+        assert_eq!(t.len(), 5);
+        assert_eq!(t.depth(NodeId(3)), 2);
+        assert_eq!(t.children(NodeId(1)), &[NodeId(3), NodeId(4)]);
+        assert_eq!(t.parent(NodeId(2)), Some(NodeId(0)));
+        assert_eq!(t.height(), 2);
+        t.check_invariants();
+    }
+
+    #[test]
+    fn detach_leaf_removes_single_node() {
+        let mut t = sample();
+        t.detach_leaf(NodeId(4));
+        assert!(!t.contains(NodeId(4)));
+        assert_eq!(t.children(NodeId(1)), &[NodeId(3)]);
+        assert_eq!(t.len(), 4);
+        t.check_invariants();
+    }
+
+    #[test]
+    #[should_panic(expected = "is not a leaf")]
+    fn detach_internal_as_leaf_panics() {
+        let mut t = sample();
+        t.detach_leaf(NodeId(1));
+    }
+
+    #[test]
+    fn detach_subtree_returns_preorder() {
+        let mut t = sample();
+        let removed = t.detach_subtree(NodeId(1));
+        assert_eq!(removed, vec![NodeId(1), NodeId(3), NodeId(4)]);
+        assert_eq!(t.len(), 2);
+        assert!(t.contains(NodeId(2)));
+        assert!(!t.contains(NodeId(3)));
+        t.check_invariants();
+    }
+
+    #[test]
+    fn path_to_root_is_bottom_up() {
+        let t = sample();
+        assert_eq!(t.path_to_root(NodeId(3)), vec![NodeId(3), NodeId(1), NodeId(0)]);
+        assert_eq!(t.path_to_root(NodeId(0)), vec![NodeId(0)]);
+    }
+
+    #[test]
+    fn levels_group_by_depth() {
+        let t = sample();
+        let levels = t.levels();
+        assert_eq!(levels.len(), 3);
+        assert_eq!(levels[0], vec![NodeId(0)]);
+        assert_eq!(levels[1], vec![NodeId(1), NodeId(2)]);
+        assert_eq!(levels[2], vec![NodeId(3), NodeId(4)]);
+    }
+
+    #[test]
+    fn subtree_height_is_relative() {
+        let t = sample();
+        assert_eq!(t.subtree_height(NodeId(1)), 1);
+        assert_eq!(t.subtree_height(NodeId(3)), 0);
+        assert_eq!(t.subtree_height(NodeId(0)), 2);
+    }
+
+    #[test]
+    fn internal_and_leaf_classification() {
+        let t = sample();
+        assert!(t.is_internal(NodeId(0)));
+        assert!(t.is_internal(NodeId(1)));
+        assert!(t.is_leaf(NodeId(2)));
+        assert!(t.is_leaf(NodeId(4)));
+    }
+
+    #[test]
+    fn sparse_ids_work() {
+        let mut t = RootedTree::new(NodeId(100));
+        t.attach(NodeId(7), NodeId(100));
+        assert_eq!(t.depth(NodeId(7)), 1);
+        assert_eq!(t.len(), 2);
+        t.check_invariants();
+    }
+}

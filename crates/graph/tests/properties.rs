@@ -1,0 +1,161 @@
+//! Property-based tests of the graph substrate against brute-force
+//! oracles.
+
+use dsnet_graph::{components, degree, domset, euler, metrics, traversal, Graph, NodeId, RootedTree};
+use proptest::prelude::*;
+
+/// Build a graph from an edge-candidate list over `n` nodes.
+fn graph_from(n: u8, edges: &[(u8, u8)]) -> Graph {
+    let n = n.max(1) as usize;
+    let mut g = Graph::with_nodes(n);
+    for &(a, b) in edges {
+        let (a, b) = (a as usize % n, b as usize % n);
+        if a != b {
+            g.add_edge(NodeId(a as u32), NodeId(b as u32));
+        }
+    }
+    g
+}
+
+/// Build a random rooted tree over `picks.len() + 1` nodes: node i+1
+/// attaches under a uniformly chosen earlier node.
+fn tree_from(picks: &[u16]) -> RootedTree {
+    let mut t = RootedTree::new(NodeId(0));
+    for (i, &p) in picks.iter().enumerate() {
+        let parent = NodeId((p as usize % (i + 1)) as u32);
+        t.attach(NodeId(i as u32 + 1), parent);
+    }
+    t
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn graph_invariants_survive_edits(
+        n in 1u8..20,
+        edges in prop::collection::vec((any::<u8>(), any::<u8>()), 0..60),
+        removals in prop::collection::vec(any::<u8>(), 0..6),
+    ) {
+        let mut g = graph_from(n, &edges);
+        g.check_invariants();
+        for &r in &removals {
+            let live: Vec<NodeId> = g.nodes().collect();
+            if live.len() <= 1 {
+                break;
+            }
+            g.remove_node(live[r as usize % live.len()]);
+            g.check_invariants();
+        }
+    }
+
+    #[test]
+    fn bfs_distances_satisfy_triangle_property(
+        n in 2u8..16,
+        edges in prop::collection::vec((any::<u8>(), any::<u8>()), 1..40),
+    ) {
+        let g = graph_from(n, &edges);
+        let src = NodeId(0);
+        let b = traversal::bfs(&g, src);
+        // Every edge (u,v): |dist(u) − dist(v)| ≤ 1 when both reached.
+        for (u, v) in g.edges() {
+            if let (Some(du), Some(dv)) = (b.dist(u), b.dist(v)) {
+                prop_assert!(du.abs_diff(dv) <= 1, "edge {u}-{v}: {du} vs {dv}");
+            }
+        }
+        // Parents are one step closer.
+        for u in g.nodes() {
+            if let Some(p) = b.parent(u) {
+                prop_assert_eq!(b.dist(p).unwrap() + 1, b.dist(u).unwrap());
+            }
+        }
+    }
+
+    #[test]
+    fn components_partition_the_graph(
+        n in 1u8..20,
+        edges in prop::collection::vec((any::<u8>(), any::<u8>()), 0..40),
+    ) {
+        let g = graph_from(n, &edges);
+        let comps = components::components(&g);
+        let total: usize = comps.iter().map(|c| c.len()).sum();
+        prop_assert_eq!(total, g.node_count());
+        // No node appears twice and no edge crosses components.
+        let mut comp_of = vec![usize::MAX; g.capacity()];
+        for (i, c) in comps.iter().enumerate() {
+            for &u in c {
+                prop_assert_eq!(comp_of[u.index()], usize::MAX);
+                comp_of[u.index()] = i;
+            }
+        }
+        for (u, v) in g.edges() {
+            prop_assert_eq!(comp_of[u.index()], comp_of[v.index()]);
+        }
+    }
+
+    #[test]
+    fn greedy_sets_are_always_valid(
+        n in 1u8..20,
+        edges in prop::collection::vec((any::<u8>(), any::<u8>()), 0..50),
+    ) {
+        let g = graph_from(n, &edges);
+        let ds = domset::greedy_dominating_set(&g);
+        prop_assert!(domset::is_dominating(&g, &ds));
+        let mis = domset::greedy_mis(&g);
+        prop_assert!(domset::is_independent(&g, &mis));
+        prop_assert!(domset::is_dominating(&g, &mis));
+        // A dominating set can never be larger than V or smaller than
+        // n / (Δ+1).
+        let max_deg = degree::max_degree(&g);
+        prop_assert!(ds.len() * (max_deg + 1) >= g.node_count());
+    }
+
+    #[test]
+    fn euler_tours_of_random_trees_verify(
+        picks in prop::collection::vec(any::<u16>(), 0..40),
+        start_pick in any::<u16>(),
+    ) {
+        let t = tree_from(&picks);
+        let nodes: Vec<NodeId> = t.nodes().collect();
+        let start = nodes[start_pick as usize % nodes.len()];
+        let tour = euler::euler_tour(&t, start);
+        prop_assert!(euler::verify_tour(&t, start, &tour));
+        // Everyone is reached.
+        let first = euler::first_arrival_hops(&t, start, &tour);
+        for u in t.nodes() {
+            prop_assert!(first[u.index()].is_some(), "{u} unreached");
+        }
+    }
+
+    #[test]
+    fn double_sweep_never_exceeds_true_diameter(
+        n in 2u8..12,
+        edges in prop::collection::vec((any::<u8>(), any::<u8>()), 1..40),
+    ) {
+        let g = graph_from(n, &edges);
+        if let Some(d) = metrics::diameter(&g) {
+            let seed = g.nodes().next().unwrap();
+            let sweep = metrics::diameter_double_sweep(&g, seed);
+            prop_assert!(sweep <= d);
+            // The sweep is a valid eccentricity, hence ≥ d/2.
+            prop_assert!(2 * sweep >= d);
+        }
+    }
+
+    #[test]
+    fn detach_subtree_then_counts_add_up(
+        picks in prop::collection::vec(any::<u16>(), 1..40),
+        victim_pick in any::<u16>(),
+    ) {
+        let mut t = tree_from(&picks);
+        let nodes: Vec<NodeId> = t.nodes().collect();
+        let victim = nodes[victim_pick as usize % (nodes.len() - 1) + 1]; // never root
+        let before = t.len();
+        let removed = t.detach_subtree(victim);
+        prop_assert_eq!(t.len() + removed.len(), before);
+        t.check_invariants();
+        for &r in &removed {
+            prop_assert!(!t.contains(r));
+        }
+    }
+}

@@ -1,0 +1,14 @@
+#![warn(missing_docs)]
+
+//! Statistics and reporting utilities for the dsnet experiment harness.
+//!
+//! Every figure in the paper is a set of series over a parameter sweep
+//! (number of nodes). The harness aggregates repeated seeded runs into
+//! [`Summary`] statistics, organises them as [`Series`] in a [`SweepTable`],
+//! and renders markdown/CSV for EXPERIMENTS.md.
+
+pub mod summary;
+pub mod table;
+
+pub use summary::Summary;
+pub use table::{Series, SweepTable};

@@ -1,0 +1,104 @@
+//! Summary statistics over repeated runs.
+
+use std::fmt;
+
+/// Mean / spread / extremes of a sample (population standard deviation,
+/// matching how repeated-simulation figures are usually reported).
+///
+/// ```
+/// use dsnet_metrics::Summary;
+///
+/// let s = Summary::of_u64([10, 20, 30]);
+/// assert_eq!(s.mean, 20.0);
+/// assert_eq!((s.min, s.max), (10.0, 30.0));
+/// assert_eq!(s.to_string(), "20.0 ± 8.2");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Sample size.
+    pub n: usize,
+    /// Sample mean.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub std: f64,
+    /// Smallest observation.
+    pub min: f64,
+    /// Largest observation.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Summarise an iterator of observations. Returns a zeroed summary for
+    /// an empty sample.
+    pub fn of<I: IntoIterator<Item = f64>>(values: I) -> Summary {
+        let vals: Vec<f64> = values.into_iter().collect();
+        if vals.is_empty() {
+            return Summary { n: 0, mean: 0.0, std: 0.0, min: 0.0, max: 0.0 };
+        }
+        let n = vals.len();
+        let mean = vals.iter().sum::<f64>() / n as f64;
+        let var = vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n as f64;
+        let min = vals.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = vals.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        Summary { n, mean, std: var.sqrt(), min, max }
+    }
+
+    /// Convenience for integer observations.
+    pub fn of_u64<I: IntoIterator<Item = u64>>(values: I) -> Summary {
+        Summary::of(values.into_iter().map(|v| v as f64))
+    }
+}
+
+impl fmt::Display for Summary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Small magnitudes (ratios) need more digits than round counts.
+        if self.mean.abs() < 1.0 && (self.mean != 0.0 || self.std != 0.0) {
+            write!(f, "{:.3} ± {:.3}", self.mean, self.std)
+        } else {
+            write!(f, "{:.1} ± {:.1}", self.mean, self.std)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_sample() {
+        let s = Summary::of([5.0, 5.0, 5.0]);
+        assert_eq!(s.n, 3);
+        assert_eq!(s.mean, 5.0);
+        assert_eq!(s.std, 0.0);
+        assert_eq!((s.min, s.max), (5.0, 5.0));
+    }
+
+    #[test]
+    fn known_variance() {
+        // Population of {2, 4}: mean 3, variance 1.
+        let s = Summary::of([2.0, 4.0]);
+        assert_eq!(s.mean, 3.0);
+        assert_eq!(s.std, 1.0);
+    }
+
+    #[test]
+    fn empty_sample_is_zeroed() {
+        let s = Summary::of(std::iter::empty());
+        assert_eq!(s.n, 0);
+        assert_eq!(s.mean, 0.0);
+    }
+
+    #[test]
+    fn u64_helper_matches() {
+        assert_eq!(Summary::of_u64([1, 2, 3]), Summary::of([1.0, 2.0, 3.0]));
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(Summary::of([2.0, 4.0]).to_string(), "3.0 ± 1.0");
+        // Sub-unit magnitudes get more precision.
+        assert_eq!(Summary::of([0.25, 0.35]).to_string(), "0.300 ± 0.050");
+        // A true zero stays compact.
+        assert_eq!(Summary::of([0.0, 0.0]).to_string(), "0.0 ± 0.0");
+    }
+}

@@ -1,0 +1,156 @@
+//! Sweep tables: named series over a shared x-axis, rendered as markdown
+//! or CSV — one table per paper figure.
+
+use crate::summary::Summary;
+use std::fmt::Write as _;
+
+/// One line of a figure: a name plus a y-value per x point.
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Legend label.
+    pub name: String,
+    /// One summary per x-axis point.
+    pub points: Vec<Summary>,
+}
+
+impl Series {
+    /// An empty series with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self { name: name.into(), points: Vec::new() }
+    }
+
+    /// Append the next x-point's summary.
+    pub fn push(&mut self, s: Summary) {
+        self.points.push(s);
+    }
+}
+
+/// A whole figure: the x-axis (e.g. node counts) and its series.
+#[derive(Debug, Clone)]
+pub struct SweepTable {
+    /// Figure/table title.
+    pub title: String,
+    /// Label of the x-axis.
+    pub x_label: String,
+    /// The x-axis values.
+    pub xs: Vec<f64>,
+    /// The figure's series.
+    pub series: Vec<Series>,
+}
+
+impl SweepTable {
+    /// An empty table over the given x-axis.
+    pub fn new(title: impl Into<String>, x_label: impl Into<String>, xs: Vec<f64>) -> Self {
+        Self { title: title.into(), x_label: x_label.into(), xs, series: Vec::new() }
+    }
+
+    /// Add a series; its length must match the x-axis.
+    pub fn add(&mut self, series: Series) -> &mut Self {
+        assert_eq!(
+            series.points.len(),
+            self.xs.len(),
+            "series '{}' length mismatch",
+            series.name
+        );
+        self.series.push(series);
+        self
+    }
+
+    /// Render as a GitHub-flavoured markdown table with `mean ± std` cells.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "### {}\n", self.title);
+        let header: Vec<String> = std::iter::once(self.x_label.clone())
+            .chain(self.series.iter().map(|s| s.name.clone()))
+            .collect();
+        let _ = writeln!(out, "| {} |", header.join(" | "));
+        let _ = writeln!(out, "|{}|", vec!["---"; header.len()].join("|"));
+        for (i, x) in self.xs.iter().enumerate() {
+            let mut row = vec![format_x(*x)];
+            for s in &self.series {
+                row.push(s.points[i].to_string());
+            }
+            let _ = writeln!(out, "| {} |", row.join(" | "));
+        }
+        out
+    }
+
+    /// Render as CSV (means only; add `_std` columns for spreads).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let mut header = vec![self.x_label.clone()];
+        for s in &self.series {
+            header.push(s.name.clone());
+            header.push(format!("{}_std", s.name));
+        }
+        let _ = writeln!(out, "{}", header.join(","));
+        for (i, x) in self.xs.iter().enumerate() {
+            let mut row = vec![format_x(*x)];
+            for s in &self.series {
+                row.push(format!("{:.4}", s.points[i].mean));
+                row.push(format!("{:.4}", s.points[i].std));
+            }
+            let _ = writeln!(out, "{}", row.join(","));
+        }
+        out
+    }
+}
+
+fn format_x(x: f64) -> String {
+    if x.fract() == 0.0 {
+        format!("{}", x as i64)
+    } else {
+        format!("{x:.2}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_table() -> SweepTable {
+        let mut t = SweepTable::new("Fig X", "n", vec![100.0, 200.0]);
+        let mut a = Series::new("cff");
+        a.push(Summary::of([10.0]));
+        a.push(Summary::of([20.0]));
+        let mut b = Series::new("dfo");
+        b.push(Summary::of([50.0]));
+        b.push(Summary::of([100.0]));
+        t.add(a);
+        t.add(b);
+        t
+    }
+
+    #[test]
+    fn markdown_contains_all_cells() {
+        let md = sample_table().to_markdown();
+        assert!(md.contains("### Fig X"));
+        assert!(md.contains("| n | cff | dfo |"));
+        assert!(md.contains("| 100 |"));
+        assert!(md.contains("20.0 ± 0.0"));
+        assert_eq!(md.lines().count(), 6);
+    }
+
+    #[test]
+    fn csv_has_std_columns() {
+        let csv = sample_table().to_csv();
+        let mut lines = csv.lines();
+        assert_eq!(lines.next().unwrap(), "n,cff,cff_std,dfo,dfo_std");
+        assert!(lines.next().unwrap().starts_with("100,10.0000,0.0000,"));
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_series_rejected() {
+        let mut t = SweepTable::new("T", "n", vec![1.0, 2.0]);
+        let mut s = Series::new("bad");
+        s.push(Summary::of([1.0]));
+        t.add(s);
+    }
+
+    #[test]
+    fn fractional_x_formatting() {
+        assert_eq!(format_x(2.5), "2.50");
+        assert_eq!(format_x(3.0), "3");
+    }
+}

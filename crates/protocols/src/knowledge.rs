@@ -1,0 +1,334 @@
+//! Extraction of the paper's per-node knowledge (I) + (II).
+//!
+//! Section 5 lists what each node of CNet(G) must know for the protocols
+//! to run: its neighbours, parent and status (knowledge I); its depth,
+//! b-/l-time-slots, and — at the root — the height and largest slots
+//! (knowledge II). The cluster crate maintains all of this; here it is
+//! snapshotted into plain per-node structs that the protocol state
+//! machines carry, mirroring how a real deployment would cache the values
+//! locally.
+//!
+//! The snapshot also precomputes, for every receiver, *which* transmitter
+//! slot is guaranteed collision-free (`expected_*_slot`). The base
+//! single-channel protocols do not need it (they listen through the whole
+//! window), but the multi-channel variants use it to tune the radio to the
+//! right (round, channel) pair — legitimate under knowledge (I), which
+//! includes the neighbours' knowledge.
+
+use dsnet_cluster::slots::validate::{assign_flood_slots, flood_transmitters};
+use dsnet_cluster::{ClusterNet, NodeStatus};
+use dsnet_graph::NodeId;
+use std::collections::BTreeMap;
+
+/// Everything one node knows before a broadcast session starts.
+#[derive(Debug, Clone)]
+pub struct NodeKnowledge {
+    /// The node's own id.
+    pub id: NodeId,
+    /// Depth in CNet(G) (root = 0).
+    pub depth: u32,
+    /// Head / gateway / pure-member role.
+    pub status: NodeStatus,
+    /// CNet parent (`None` for the root).
+    pub parent: Option<NodeId>,
+    /// Phase-1 transmission slot (BT-internal nodes only).
+    pub b_slot: Option<u32>,
+    /// Phase-2 transmission slot (CNet-internal nodes only).
+    pub l_slot: Option<u32>,
+    /// Algorithm-1 transmission slot (CNet-internal nodes only).
+    pub flood_slot: Option<u32>,
+    /// Transmits in phase 1 (backbone node with a backbone child).
+    pub bt_internal: bool,
+    /// Transmits in phase 2 (has children).
+    pub cnet_internal: bool,
+    /// The collision-free slot this backbone receiver should expect in
+    /// phase 1 (None for the root and for non-backbone nodes).
+    pub expected_b_slot: Option<u32>,
+    /// The collision-free slot this member leaf should expect in phase 2.
+    pub expected_l_slot: Option<u32>,
+    /// The collision-free slot this node should expect in Algorithm 1.
+    pub expected_flood_slot: Option<u32>,
+    /// For the DFO tour: backbone children followed by the backbone
+    /// parent, in tour-visit order. Empty for pure members.
+    pub bt_neighbors: Vec<NodeId>,
+}
+
+/// Network-wide constants of a session (what the paper stores at the root
+/// and ships inside the first packet).
+#[derive(Debug, Clone)]
+pub struct NetKnowledge {
+    /// Per-node knowledge, indexed by id (`None` off-structure).
+    pub per_node: Vec<Option<NodeKnowledge>>,
+    /// The sink.
+    pub root: NodeId,
+    /// Height of CNet(G).
+    pub height: u32,
+    /// Height of BT(G) (= deepest backbone node).
+    pub bt_height: u32,
+    /// δ — largest b-slot.
+    pub delta_b: u32,
+    /// Δ — largest l-slot.
+    pub delta_l: u32,
+    /// Δ' — largest Algorithm-1 flood slot.
+    pub delta_flood: u32,
+    /// Number of attached nodes.
+    pub nodes: usize,
+    /// Number of backbone nodes.
+    pub backbone_size: usize,
+}
+
+impl NetKnowledge {
+    /// Knowledge of one attached node (panics otherwise).
+    pub fn of(&self, u: NodeId) -> &NodeKnowledge {
+        self.per_node[u.index()]
+            .as_ref()
+            .expect("node has no knowledge (not attached)")
+    }
+}
+
+/// Find a slot value occurring exactly once in `slots` (the receiver's
+/// guaranteed-clean slot), if any.
+fn unique_slot(slots: impl IntoIterator<Item = Option<u32>>) -> Option<u32> {
+    let mut counts: BTreeMap<u32, u32> = BTreeMap::new();
+    for s in slots.into_iter().flatten() {
+        *counts.entry(s).or_insert(0) += 1;
+    }
+    counts.iter().find(|(_, &c)| c == 1).map(|(&s, _)| s)
+}
+
+/// Snapshot the knowledge of every attached node for a *session* with its
+/// own slot table and transmitter set — used by reliable multicast, where
+/// the initiator re-assigns slots over the participating transmitters
+/// (see `dsnet_cluster::slots::session`). Expected receiver slots are
+/// computed against the participating transmitters only.
+pub fn build_session_knowledge(
+    net: &ClusterNet,
+    session_slots: &dsnet_cluster::SlotTable,
+    tx: &dyn Fn(NodeId) -> bool,
+) -> NetKnowledge {
+    let mut k = build_knowledge(net);
+    let view = net.view();
+    let tree = net.tree();
+    let mode = net.mode();
+    for u in tree.nodes() {
+        let nk = k.per_node[u.index()].as_mut().expect("attached node");
+        nk.b_slot = session_slots.b(u);
+        nk.l_slot = session_slots.l(u);
+        nk.expected_b_slot = (nk.status.in_backbone() && nk.depth >= 1)
+            .then(|| {
+                unique_slot(
+                    view.p_b(u)
+                        .into_iter()
+                        .filter(|&y| tx(y))
+                        .map(|y| session_slots.b(y)),
+                )
+            })
+            .flatten();
+        nk.expected_l_slot = view
+            .is_member_leaf(u)
+            .then(|| {
+                unique_slot(
+                    view.p_l(u, mode)
+                        .into_iter()
+                        .filter(|&y| tx(y))
+                        .map(|y| session_slots.l(y)),
+                )
+            })
+            .flatten();
+    }
+    k.delta_b = session_slots.max_b();
+    k.delta_l = session_slots.max_l();
+    k
+}
+
+/// Snapshot the knowledge of every attached node of `net`.
+pub fn build_knowledge(net: &ClusterNet) -> NetKnowledge {
+    let view = net.view();
+    let tree = net.tree();
+    let slots = net.slots();
+    let mode = net.mode();
+    let (flood, delta_flood) = assign_flood_slots(&view);
+
+    let mut per_node: Vec<Option<NodeKnowledge>> = vec![None; net.graph().capacity()];
+    let mut bt_height = 0u32;
+    let mut backbone_size = 0usize;
+
+    for u in tree.nodes() {
+        let status = net.status(u);
+        if status.in_backbone() {
+            bt_height = bt_height.max(tree.depth(u));
+            backbone_size += 1;
+        }
+
+        let expected_b_slot = (status.in_backbone() && tree.depth(u) >= 1)
+            .then(|| unique_slot(view.p_b(u).into_iter().map(|y| slots.b(y))))
+            .flatten();
+        let expected_l_slot = view
+            .is_member_leaf(u)
+            .then(|| unique_slot(view.p_l(u, mode).into_iter().map(|y| slots.l(y))))
+            .flatten();
+        let expected_flood_slot = (tree.depth(u) >= 1)
+            .then(|| {
+                unique_slot(
+                    flood_transmitters(&view, u)
+                        .into_iter()
+                        .map(|y| flood[y.index()]),
+                )
+            })
+            .flatten();
+
+        let mut bt_neighbors: Vec<NodeId> = Vec::new();
+        if status.in_backbone() {
+            bt_neighbors.extend(
+                tree.children(u)
+                    .iter()
+                    .copied()
+                    .filter(|&c| net.status(c).in_backbone()),
+            );
+            if let Some(p) = tree.parent(u) {
+                bt_neighbors.push(p);
+            }
+        }
+
+        per_node[u.index()] = Some(NodeKnowledge {
+            id: u,
+            depth: tree.depth(u),
+            status,
+            parent: tree.parent(u),
+            b_slot: slots.b(u),
+            l_slot: slots.l(u),
+            flood_slot: flood[u.index()],
+            bt_internal: view.bt_internal(u),
+            cnet_internal: view.cnet_internal(u),
+            expected_b_slot,
+            expected_l_slot,
+            expected_flood_slot,
+            bt_neighbors,
+        });
+    }
+
+    NetKnowledge {
+        per_node,
+        root: tree.root(),
+        height: tree.height(),
+        bt_height,
+        delta_b: net.delta_b(),
+        delta_l: net.delta_l(),
+        delta_flood,
+        nodes: tree.len(),
+        backbone_size,
+    }
+}
+
+/// Knowledge plus the session parameters a run is configured with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Session {
+    /// The broadcast origin.
+    pub source: NodeId,
+    /// Rounds consumed by the uplink from the source to the root (=
+    /// depth of the source; 0 when the source is the root).
+    pub offset: u64,
+    /// Radio channels available (k ≥ 1).
+    pub channels: u8,
+}
+
+impl Session {
+    /// Describe a session from `source` over `channels` radios.
+    pub fn new(k: &NetKnowledge, source: NodeId, channels: u8) -> Self {
+        assert!(channels >= 1);
+        let offset = k.of(source).depth as u64;
+        Self { source, offset, channels }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsnet_cluster::ClusterNet;
+
+    fn chain_net(n: u32) -> ClusterNet {
+        let mut net = ClusterNet::with_defaults();
+        net.move_in(&[]).unwrap();
+        for i in 1..n {
+            net.move_in(&[NodeId(i - 1)]).unwrap();
+        }
+        net
+    }
+
+    #[test]
+    fn knowledge_covers_all_nodes() {
+        let net = chain_net(12);
+        let k = build_knowledge(&net);
+        assert_eq!(k.nodes, 12);
+        assert_eq!(k.root, NodeId(0));
+        for u in net.tree().nodes() {
+            let nk = k.of(u);
+            assert_eq!(nk.depth, net.tree().depth(u));
+            assert_eq!(nk.status, net.status(u));
+        }
+    }
+
+    #[test]
+    fn slots_present_exactly_on_transmitters() {
+        let net = chain_net(15);
+        let k = build_knowledge(&net);
+        for u in net.tree().nodes() {
+            let nk = k.of(u);
+            assert_eq!(nk.b_slot.is_some(), nk.bt_internal, "{u} b");
+            assert_eq!(nk.l_slot.is_some(), nk.cnet_internal, "{u} l");
+            assert_eq!(nk.flood_slot.is_some(), nk.cnet_internal, "{u} flood");
+        }
+    }
+
+    #[test]
+    fn expected_slots_exist_for_receivers() {
+        let net = chain_net(15);
+        let k = build_knowledge(&net);
+        for u in net.tree().nodes() {
+            let nk = k.of(u);
+            if nk.status.in_backbone() && nk.depth >= 1 {
+                assert!(nk.expected_b_slot.is_some(), "{u} lacks expected b-slot");
+            }
+            if nk.status == dsnet_cluster::NodeStatus::PureMember {
+                assert!(nk.expected_l_slot.is_some(), "{u} lacks expected l-slot");
+            }
+            if nk.depth >= 1 {
+                assert!(nk.expected_flood_slot.is_some(), "{u} lacks flood slot");
+            }
+        }
+    }
+
+    #[test]
+    fn bt_height_and_sizes() {
+        let net = chain_net(9);
+        let k = build_knowledge(&net);
+        let bt = net.backbone_tree();
+        assert_eq!(k.bt_height as usize, bt.height() as usize);
+        assert_eq!(k.backbone_size, bt.len());
+        assert!(k.bt_height <= k.height);
+    }
+
+    #[test]
+    fn session_offset_is_source_depth() {
+        let net = chain_net(9);
+        let k = build_knowledge(&net);
+        assert_eq!(Session::new(&k, NodeId(0), 1).offset, 0);
+        let deep = net
+            .tree()
+            .nodes()
+            .max_by_key(|&u| net.tree().depth(u))
+            .unwrap();
+        assert_eq!(
+            Session::new(&k, deep, 1).offset,
+            net.tree().depth(deep) as u64
+        );
+    }
+
+    #[test]
+    fn unique_slot_helper() {
+        assert_eq!(unique_slot([Some(1), Some(1), Some(2)]), Some(2));
+        assert_eq!(unique_slot([Some(3), Some(3)]), None);
+        assert_eq!(unique_slot([None, Some(5)]), Some(5));
+        assert_eq!(unique_slot(std::iter::empty()), None);
+    }
+}

@@ -1,0 +1,48 @@
+#![warn(missing_docs)]
+
+//! Broadcast and multicast protocols of Section 3, executed as per-node
+//! state machines on the [`dsnet_radio`] simulator.
+//!
+//! * [`dfo`] — the **depth-first-order** baseline of reference \[19\]
+//!   (Section 3.2): a token carries the message along an Eulerian tour of
+//!   the backbone; one transmitter per round; every node stays awake until
+//!   the tour ends. Fast to describe, slow and fragile in practice — the
+//!   paper's comparison target.
+//! * [`cff`] — **Algorithm 1**: collision-free flooding over the whole
+//!   CNet(G), one TDM window of `Δ'` rounds per tree depth.
+//! * [`improved`] — **Algorithm 2**: phase 1 floods the backbone using
+//!   b-time-slots (`δ`-round windows), phase 2 delivers to the
+//!   pure-member leaves in a single `Δ`-round window using l-time-slots;
+//!   supports `k` radio channels (Section 3.3 "Multi-Channels") and
+//!   relay-list pruning for multicast (Section 3.4).
+//! * [`multicast`] — the multicast front-end over MCNet(G).
+//! * [`knowledge`] — extraction of the per-node knowledge (I)+(II) the
+//!   paper assumes (depth, slots, height, δ, Δ, backbone adjacency) from a
+//!   built [`ClusterNet`](dsnet_cluster::ClusterNet).
+//! * [`arrival`] — the end-to-end distributed `node-move-in` session
+//!   (radio discovery + local Definition-1 parent choice + structural
+//!   attachment), the composed object Theorem 2 prices.
+//! * [`flooding`] — the unstructured randomized-backoff flooding
+//!   baseline (the broadcast-storm strawman of the introduction, \[16\]).
+//! * [`join`] — the randomized neighbour-discovery primitive behind
+//!   `node-move-in` (the `O(d_new)` expected-round procedure Theorem 2
+//!   inherits from \[19\]), as a windowed-ALOHA session on the simulator.
+//! * [`runner`] — one-call experiment drivers returning a uniform
+//!   `BroadcastOutcome` (rounds, delivery,
+//!   awake/energy, collisions), with optional failure injection.
+//! * [`analytic`] — closed-form completion-round predictions used to
+//!   cross-check the simulated executions against Lemma 1 / Theorem 1.
+
+pub mod analytic;
+pub mod arrival;
+pub mod cff;
+pub mod dfo;
+pub mod flooding;
+pub mod improved;
+pub mod join;
+pub mod knowledge;
+pub mod multicast;
+pub mod runner;
+
+pub use knowledge::{NetKnowledge, NodeKnowledge};
+pub use runner::{BroadcastOutcome, RunConfig};

@@ -1,0 +1,389 @@
+//! One-call experiment drivers.
+//!
+//! Each `run_*` function snapshots the knowledge of a built
+//! [`ClusterNet`], instantiates the per-node programs, executes them on
+//! the radio engine (optionally under a failure plan) and condenses the
+//! run into a [`BroadcastOutcome`] — the unit every bench and figure in
+//! the evaluation is built from.
+
+use crate::cff::CffProgram;
+use crate::dfo::DfoProgram;
+use crate::improved::{Cff2Program, Cff2Schedule, Participation};
+use crate::knowledge::{build_knowledge, build_session_knowledge, NetKnowledge, Session};
+use crate::{analytic, multicast};
+use dsnet_cluster::{ClusterNet, GroupId, McNet, NodeStatus};
+use dsnet_graph::NodeId;
+use dsnet_radio::{Engine, EngineConfig, EnergyReport, FailurePlan, StopReason};
+
+/// Options shared by all protocol runs.
+#[derive(Debug, Clone)]
+pub struct RunConfig {
+    /// Radio channels `k ≥ 1`.
+    pub channels: u8,
+    /// Fail-stop schedule (empty by default).
+    pub failures: FailurePlan,
+    /// Record the event trace (needed for collision counts; small runs).
+    pub record_trace: bool,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        Self { channels: 1, failures: FailurePlan::new(), record_trace: true }
+    }
+}
+
+/// Condensed result of one protocol execution.
+#[derive(Debug, Clone)]
+pub struct BroadcastOutcome {
+    /// Rounds until the engine stopped (completion or schedule end).
+    pub rounds: u64,
+    /// Why the engine stopped.
+    pub stop: StopReason,
+    /// Targets that actually received the message.
+    pub delivered: usize,
+    /// Number of intended receivers.
+    pub targets: usize,
+    /// Energy over every node that carried a program.
+    pub energy: EnergyReport,
+    /// Receiver-side collision events (0 unless trace disabled → also 0).
+    pub collisions: usize,
+    /// The analytic round bound for this protocol and network.
+    pub bound: u64,
+}
+
+impl BroadcastOutcome {
+    /// Fraction of targets that received the message.
+    pub fn delivery_ratio(&self) -> f64 {
+        if self.targets == 0 {
+            1.0
+        } else {
+            self.delivered as f64 / self.targets as f64
+        }
+    }
+
+    /// Whether every target received the message.
+    pub fn completed(&self) -> bool {
+        self.delivered == self.targets
+    }
+
+    /// The paper's Figure-9 metric: rounds the worst-off node stayed awake.
+    pub fn max_awake(&self) -> u64 {
+        self.energy.max_awake
+    }
+}
+
+fn engine_config(cfg: &RunConfig, max_rounds: u64) -> EngineConfig {
+    EngineConfig { channels: cfg.channels, max_rounds, record_trace: cfg.record_trace }
+}
+
+/// Uplink positions: `pos[u] = j` when `u` is the `j`-th node on the
+/// source→root path (source = 0).
+fn uplink_positions(net: &ClusterNet, source: NodeId) -> Vec<Option<u64>> {
+    let mut pos = vec![None; net.graph().capacity()];
+    for (j, &u) in net.tree().path_to_root(source).iter().enumerate() {
+        pos[u.index()] = Some(j as u64);
+    }
+    pos
+}
+
+/// Run the DFO baseline broadcast (Section 3.2, from \[19\]).
+pub fn run_dfo(net: &ClusterNet, source: NodeId, cfg: &RunConfig) -> BroadcastOutcome {
+    let k = build_knowledge(net);
+    let bound = analytic::dfo_rounds(
+        k.backbone_size,
+        k.of(source).status == NodeStatus::PureMember,
+    );
+    let mut engine = Engine::new(net.graph(), engine_config(cfg, bound + 8), |u| {
+        DfoProgram::new(&k, u, source)
+    });
+    engine.set_failures(cfg.failures.clone());
+    let out = engine.run();
+    let collisions = engine.trace().collision_count();
+    let energy = engine.energy_report();
+    let programs = engine.into_programs();
+    let delivered = net
+        .tree()
+        .nodes()
+        .filter(|&u| programs[u.index()].as_ref().is_some_and(|p| p.received))
+        .count();
+    BroadcastOutcome {
+        rounds: out.rounds,
+        stop: out.stop,
+        delivered,
+        targets: k.nodes,
+        energy,
+        collisions,
+        bound,
+    }
+}
+
+/// Run Algorithm 1 (basic collision-free flooding), with the paper's
+/// "Multi-Channels" remark honoured when `cfg.channels > 1`.
+pub fn run_cff_basic(net: &ClusterNet, source: NodeId, cfg: &RunConfig) -> BroadcastOutcome {
+    let k = build_knowledge(net);
+    let session = Session::new(&k, source, cfg.channels);
+    let bound = analytic::cff_basic_bound(&k, session.offset, cfg.channels);
+    let pos = uplink_positions(net, source);
+    let mut engine = Engine::new(net.graph(), engine_config(cfg, bound + 4), |u| {
+        CffProgram::new(&k, &session, u, pos[u.index()])
+    });
+    engine.set_failures(cfg.failures.clone());
+    let out = engine.run();
+    let collisions = engine.trace().collision_count();
+    let energy = engine.energy_report();
+    let programs = engine.into_programs();
+    let delivered = net
+        .tree()
+        .nodes()
+        .filter(|&u| programs[u.index()].as_ref().is_some_and(|p| p.received))
+        .count();
+    BroadcastOutcome {
+        rounds: out.rounds,
+        stop: out.stop,
+        delivered,
+        targets: k.nodes,
+        energy,
+        collisions,
+        bound,
+    }
+}
+
+/// Run Algorithm 2 (improved CFF) with `cfg.channels` radios.
+pub fn run_improved(net: &ClusterNet, source: NodeId, cfg: &RunConfig) -> BroadcastOutcome {
+    let k = build_knowledge(net);
+    let all: Vec<NodeId> = net.tree().nodes().collect();
+    run_improved_with(net, &k, source, cfg, |_u| Participation::FULL, &all)
+}
+
+/// Run a group-`g` multicast over MCNet (Algorithm 2 pruned by
+/// relay-lists). Targets are the group members.
+pub fn run_multicast(
+    mc: &McNet,
+    source: NodeId,
+    group: GroupId,
+    cfg: &RunConfig,
+) -> BroadcastOutcome {
+    let net = mc.net();
+    let k = build_knowledge(net);
+    let table = multicast::participation_table(mc, group);
+    let targets = multicast::targets(mc, group);
+    run_improved_with(net, &k, source, cfg, |u| table[u.index()], &targets)
+}
+
+/// Run a group-`g` multicast with **session slots**: the initiator
+/// re-assigns time-slots over the participating transmitter set (see
+/// `dsnet_cluster::slots::session`), so Time-Slot Condition 2 holds for
+/// the pruned session and delivery is guaranteed — and because sessions
+/// have fewer transmitters, the session `δ`/`Δ` (hence the windows) are
+/// usually smaller than the broadcast ones.
+pub fn run_multicast_reliable(
+    mc: &McNet,
+    source: NodeId,
+    group: GroupId,
+    cfg: &RunConfig,
+) -> BroadcastOutcome {
+    let net = mc.net();
+    let table = multicast::participation_table(mc, group);
+    let tx = |u: NodeId| table[u.index()].tx;
+    let rx = |u: NodeId| table[u.index()].rx;
+    let session_slots = dsnet_cluster::slots::session::assign_session_slots(
+        &net.view(),
+        net.mode(),
+        &tx,
+        &rx,
+    );
+    let k = build_session_knowledge(net, &session_slots, &tx);
+    let targets = multicast::targets(mc, group);
+    run_improved_with(net, &k, source, cfg, |u| table[u.index()], &targets)
+}
+
+/// Like [`run_improved`], additionally returning the per-node delivery
+/// bitmap (indexed by node id) — used by multi-sink failover to merge
+/// coverage across structures.
+pub fn run_improved_detailed(
+    net: &ClusterNet,
+    source: NodeId,
+    cfg: &RunConfig,
+) -> (BroadcastOutcome, Vec<bool>) {
+    let k = build_knowledge(net);
+    let all: Vec<NodeId> = net.tree().nodes().collect();
+    run_improved_inner(net, &k, source, cfg, |_u| Participation::FULL, &all)
+}
+
+fn run_improved_with(
+    net: &ClusterNet,
+    k: &NetKnowledge,
+    source: NodeId,
+    cfg: &RunConfig,
+    part: impl Fn(NodeId) -> Participation,
+    targets: &[NodeId],
+) -> BroadcastOutcome {
+    run_improved_inner(net, k, source, cfg, part, targets).0
+}
+
+fn run_improved_inner(
+    net: &ClusterNet,
+    k: &NetKnowledge,
+    source: NodeId,
+    cfg: &RunConfig,
+    part: impl Fn(NodeId) -> Participation,
+    targets: &[NodeId],
+) -> (BroadcastOutcome, Vec<bool>) {
+    let session = Session::new(k, source, cfg.channels);
+    let sched = Cff2Schedule::new(k, &session);
+    let bound = analytic::improved_bound(k, session.offset, cfg.channels);
+    let pos = uplink_positions(net, source);
+    let mut engine = Engine::new(net.graph(), engine_config(cfg, sched.end_round + 4), |u| {
+        Cff2Program::new(k, &session, sched, u, pos[u.index()], part(u))
+    });
+    engine.set_failures(cfg.failures.clone());
+    let out = engine.run();
+    let collisions = engine.trace().collision_count();
+    let energy = engine.energy_report();
+    let programs = engine.into_programs();
+    let received: Vec<bool> = (0..net.graph().capacity())
+        .map(|i| programs[i].as_ref().is_some_and(|p| p.received))
+        .collect();
+    let delivered = targets.iter().filter(|&&u| received[u.index()]).count();
+    (
+        BroadcastOutcome {
+            rounds: out.rounds,
+            stop: out.stop,
+            delivered,
+            targets: targets.len(),
+            energy,
+            collisions,
+            bound,
+        },
+        received,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsnet_cluster::ClusterNet;
+
+    fn chain_net(n: u32) -> ClusterNet {
+        let mut net = ClusterNet::with_defaults();
+        net.move_in(&[]).unwrap();
+        for i in 1..n {
+            let mut nbrs = vec![NodeId(i - 1)];
+            if i >= 2 {
+                nbrs.push(NodeId(i - 2));
+            }
+            net.move_in(&nbrs).unwrap();
+        }
+        net
+    }
+
+    #[test]
+    fn all_three_protocols_cover_the_network() {
+        let net = chain_net(20);
+        let cfg = RunConfig::default();
+        for out in [
+            run_dfo(&net, net.root(), &cfg),
+            run_cff_basic(&net, net.root(), &cfg),
+            run_improved(&net, net.root(), &cfg),
+        ] {
+            // Time-Slot Condition 2 guarantees delivery (every receiver has
+            // at least one clean slot); stray collision events at duplicated
+            // slots are legal and harmless.
+            assert!(out.completed(), "delivery {}/{}", out.delivered, out.targets);
+            assert!(out.rounds <= out.bound + 2, "rounds {} bound {}", out.rounds, out.bound);
+        }
+    }
+
+    #[test]
+    fn improved_beats_dfo_on_rounds_and_awake() {
+        let net = chain_net(40);
+        let cfg = RunConfig::default();
+        let dfo = run_dfo(&net, net.root(), &cfg);
+        let cff2 = run_improved(&net, net.root(), &cfg);
+        assert!(cff2.rounds < dfo.rounds, "cff2 {} !< dfo {}", cff2.rounds, dfo.rounds);
+        assert!(
+            cff2.max_awake() < dfo.max_awake(),
+            "cff2 awake {} !< dfo awake {}",
+            cff2.max_awake(),
+            dfo.max_awake()
+        );
+    }
+
+    #[test]
+    fn failure_stalls_dfo_but_not_improved() {
+        // A topology with genuine redundancy: two parallel gateway/head
+        // branches under the root, and node 5 in range of both heads.
+        //   0 (head) — members 1, 2 → promoted to gateways for heads 3, 4;
+        //   5 = member of head 3 but also hears head 4; 6 = member of 4.
+        let mut net = ClusterNet::with_defaults();
+        net.move_in(&[]).unwrap(); // 0
+        net.move_in(&[NodeId(0)]).unwrap(); // 1 member
+        net.move_in(&[NodeId(0)]).unwrap(); // 2 member
+        net.move_in(&[NodeId(1)]).unwrap(); // 3 head (1 → gateway)
+        net.move_in(&[NodeId(2)]).unwrap(); // 4 head (2 → gateway)
+        net.move_in(&[NodeId(3), NodeId(4)]).unwrap(); // 5 member of 3, hears 4
+        net.move_in(&[NodeId(4)]).unwrap(); // 6 member of 4
+        let victim = NodeId(3);
+        assert!(net.status(victim).in_backbone());
+
+        let mut cfg = RunConfig::default();
+        cfg.failures.kill_node(victim, 1);
+
+        let dfo = run_dfo(&net, net.root(), &cfg);
+        assert!(!dfo.completed(), "DFO must stall on a dead token holder");
+
+        let cff2 = run_improved(&net, net.root(), &cfg);
+        // Flooding routes around the dead head: everyone else receives.
+        assert_eq!(cff2.delivered, cff2.targets - 1, "{}/{}", cff2.delivered, cff2.targets);
+        assert!(cff2.delivered > dfo.delivered);
+    }
+
+    #[test]
+    fn multicast_reaches_group_and_spares_others() {
+        let mut mc = McNet::with_defaults();
+        mc.move_in(&[], &[]).unwrap();
+        for i in 1..25u32 {
+            let mut nbrs = vec![NodeId(i - 1)];
+            if i >= 2 {
+                nbrs.push(NodeId(i - 2));
+            }
+            let groups: &[GroupId] = if i % 5 == 0 { &[1] } else { &[] };
+            mc.move_in(&nbrs, groups).unwrap();
+        }
+        let cfg = RunConfig::default();
+        let root = mc.net().root();
+        let out = run_multicast(&mc, root, 1, &cfg);
+        assert!(out.targets > 0);
+        assert!(out.completed(), "multicast delivery {}/{}", out.delivered, out.targets);
+        // An empty group costs nothing and completes instantly.
+        let empty = run_multicast(&mc, root, 99, &cfg);
+        assert_eq!(empty.targets, 0);
+        assert_eq!(empty.delivery_ratio(), 1.0);
+    }
+
+    #[test]
+    fn multichannel_improved_still_covers() {
+        let net = chain_net(25);
+        let cfg = RunConfig { channels: 2, ..Default::default() };
+        let out = run_improved(&net, net.root(), &cfg);
+        assert!(out.completed());
+        let cfg1 = RunConfig::default();
+        let base = run_improved(&net, net.root(), &cfg1);
+        assert!(out.rounds <= base.rounds);
+    }
+
+    #[test]
+    fn member_source_works_everywhere() {
+        let net = chain_net(18);
+        let member = net
+            .tree()
+            .nodes()
+            .find(|&u| net.status(u) == NodeStatus::PureMember);
+        if let Some(m) = member {
+            let cfg = RunConfig::default();
+            assert!(run_dfo(&net, m, &cfg).completed());
+            assert!(run_cff_basic(&net, m, &cfg).completed());
+            assert!(run_improved(&net, m, &cfg).completed());
+        }
+    }
+}

@@ -1,0 +1,68 @@
+//! Per-round node actions.
+
+/// Radio channel index, `0..k`.
+pub type Channel = u8;
+
+/// What a node does during one round. The model is half-duplex: a node is
+/// a transmitter *or* a receiver in any given round, never both.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[allow(missing_docs)] // field names are self-describing
+pub enum Action<M> {
+    /// Transmit `msg` on `channel`. Every live neighbour tuned to that
+    /// channel *may* receive it (subject to the collision rule).
+    Transmit { channel: Channel, msg: M },
+    /// Listen on `channel`. Costs awake energy whether or not anything is
+    /// received.
+    Listen { channel: Channel },
+    /// Power down the radio for this round. Nothing can be received.
+    Sleep,
+}
+
+impl<M> Action<M> {
+    /// Listen on the single channel of the base (k = 1) model.
+    pub fn listen() -> Self {
+        Action::Listen { channel: 0 }
+    }
+
+    /// Transmit on the single channel of the base (k = 1) model.
+    pub fn transmit(msg: M) -> Self {
+        Action::Transmit { channel: 0, msg }
+    }
+
+    /// Whether this is a transmission.
+    pub fn is_transmit(&self) -> bool {
+        matches!(self, Action::Transmit { .. })
+    }
+
+    /// Whether this is a listen.
+    pub fn is_listen(&self) -> bool {
+        matches!(self, Action::Listen { .. })
+    }
+
+    /// Whether the radio is off this round.
+    pub fn is_sleep(&self) -> bool {
+        matches!(self, Action::Sleep)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_use_channel_zero() {
+        let t: Action<u8> = Action::transmit(7);
+        assert_eq!(t, Action::Transmit { channel: 0, msg: 7 });
+        let l: Action<u8> = Action::listen();
+        assert_eq!(l, Action::Listen { channel: 0 });
+    }
+
+    #[test]
+    fn predicates_are_exclusive() {
+        let actions: [Action<u8>; 3] = [Action::transmit(1), Action::listen(), Action::Sleep];
+        for a in &actions {
+            let flags = [a.is_transmit(), a.is_listen(), a.is_sleep()];
+            assert_eq!(flags.iter().filter(|&&f| f).count(), 1);
+        }
+    }
+}

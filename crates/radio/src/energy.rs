@@ -1,0 +1,136 @@
+//! Per-node energy accounting.
+//!
+//! The paper's energy claim (Theorem 1(2), Figure 9) is stated in *awake
+//! rounds*: a node spends energy whenever its radio is on, i.e. while
+//! transmitting or listening. The meter additionally separates transmit
+//! and listen rounds so that weighted energy models (tx usually costs more
+//! than rx) can be reported, and records the last awake round, which gives
+//! the "how long until this node could power down for good" view.
+
+use crate::Round;
+
+/// Energy counters for a single node.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EnergyMeter {
+    /// Rounds spent transmitting.
+    pub tx_rounds: u64,
+    /// Rounds spent listening.
+    pub listen_rounds: u64,
+    /// Rounds with the radio off.
+    pub sleep_rounds: u64,
+    /// Last round (1-based) in which the node was awake; 0 if never.
+    pub last_awake_round: Round,
+}
+
+impl EnergyMeter {
+    /// Count a transmitting round.
+    pub fn record_tx(&mut self, round: Round) {
+        self.tx_rounds += 1;
+        self.last_awake_round = round;
+    }
+
+    /// Count a listening round.
+    pub fn record_listen(&mut self, round: Round) {
+        self.listen_rounds += 1;
+        self.last_awake_round = round;
+    }
+
+    /// Count a sleeping round.
+    pub fn record_sleep(&mut self) {
+        self.sleep_rounds += 1;
+    }
+
+    /// Rounds with the radio powered on — the paper's "awake" metric.
+    pub fn awake_rounds(&self) -> u64 {
+        self.tx_rounds + self.listen_rounds
+    }
+
+    /// Weighted energy: `tx_cost·tx + rx_cost·listen` in arbitrary units.
+    pub fn weighted(&self, tx_cost: f64, rx_cost: f64) -> f64 {
+        self.tx_rounds as f64 * tx_cost + self.listen_rounds as f64 * rx_cost
+    }
+}
+
+/// Aggregated energy over all nodes of a run.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct EnergyReport {
+    /// Largest awake-round count over the nodes.
+    pub max_awake: u64,
+    /// Mean awake rounds per node.
+    pub mean_awake: f64,
+    /// Total transmitting rounds across the run.
+    pub total_tx: u64,
+    /// Total listening rounds across the run.
+    pub total_listen: u64,
+    /// Number of metered nodes.
+    pub nodes: usize,
+}
+
+impl EnergyReport {
+    /// Summarise a slice of per-node meters (one entry per participating
+    /// node; pass only the meters of nodes that took part).
+    pub fn from_meters<'a, I: IntoIterator<Item = &'a EnergyMeter>>(meters: I) -> Self {
+        let mut r = EnergyReport::default();
+        let mut sum_awake = 0u64;
+        for m in meters {
+            let awake = m.awake_rounds();
+            r.max_awake = r.max_awake.max(awake);
+            sum_awake += awake;
+            r.total_tx += m.tx_rounds;
+            r.total_listen += m.listen_rounds;
+            r.nodes += 1;
+        }
+        if r.nodes > 0 {
+            r.mean_awake = sum_awake as f64 / r.nodes as f64;
+        }
+        r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn awake_counts_tx_and_listen() {
+        let mut m = EnergyMeter::default();
+        m.record_tx(1);
+        m.record_listen(2);
+        m.record_sleep();
+        m.record_listen(4);
+        assert_eq!(m.awake_rounds(), 3);
+        assert_eq!(m.sleep_rounds, 1);
+        assert_eq!(m.last_awake_round, 4);
+    }
+
+    #[test]
+    fn weighted_energy() {
+        let mut m = EnergyMeter::default();
+        m.record_tx(1);
+        m.record_tx(2);
+        m.record_listen(3);
+        assert_eq!(m.weighted(2.0, 1.0), 5.0);
+    }
+
+    #[test]
+    fn report_aggregates() {
+        let mut a = EnergyMeter::default();
+        a.record_tx(1);
+        let mut b = EnergyMeter::default();
+        b.record_listen(1);
+        b.record_listen(2);
+        b.record_listen(3);
+        let r = EnergyReport::from_meters([&a, &b]);
+        assert_eq!(r.max_awake, 3);
+        assert_eq!(r.mean_awake, 2.0);
+        assert_eq!(r.total_tx, 1);
+        assert_eq!(r.total_listen, 3);
+        assert_eq!(r.nodes, 2);
+    }
+
+    #[test]
+    fn empty_report_is_zero() {
+        let r = EnergyReport::from_meters(std::iter::empty());
+        assert_eq!(r, EnergyReport::default());
+    }
+}

@@ -1,0 +1,476 @@
+//! The lock-step execution engine.
+
+use crate::action::Action;
+use crate::energy::{EnergyMeter, EnergyReport};
+use crate::failure::FailurePlan;
+use crate::trace::{Trace, TraceEvent};
+use crate::Round;
+use dsnet_graph::{Graph, NodeId};
+
+/// Read-only per-callback context handed to node programs.
+#[derive(Debug, Clone, Copy)]
+pub struct NodeCtx {
+    /// The node this callback concerns.
+    pub id: NodeId,
+    /// Current round, 1-based.
+    pub round: Round,
+    /// Number of available radio channels `k`.
+    pub channels: u8,
+}
+
+/// A per-node protocol state machine.
+///
+/// Programs only see their own callbacks — all coordination must go through
+/// transmitted messages, exactly as on real hardware. Collisions are
+/// silent: a round in which two neighbours transmit simultaneously is
+/// indistinguishable from a round in which nobody did.
+pub trait NodeProgram {
+    /// Message type carried over the air.
+    type Msg: Clone;
+
+    /// Decide this round's action. Called once per round while the node is
+    /// alive.
+    fn act(&mut self, ctx: &NodeCtx) -> Action<Self::Msg>;
+
+    /// Called when the node was listening and exactly one neighbour
+    /// transmitted on its channel. `from` models the sender id carried in
+    /// every packet header.
+    fn on_receive(&mut self, ctx: &NodeCtx, from: NodeId, msg: &Self::Msg);
+
+    /// Whether this node considers the protocol locally complete. The run
+    /// ends early once every live node is done.
+    fn done(&self) -> bool {
+        false
+    }
+}
+
+/// Engine settings.
+#[derive(Debug, Clone, Copy)]
+pub struct EngineConfig {
+    /// Number of radio channels `k ≥ 1`.
+    pub channels: u8,
+    /// Hard round limit (the run fails over to [`StopReason::RoundLimit`]).
+    pub max_rounds: Round,
+    /// Record a full event trace (costs memory; default off).
+    pub record_trace: bool,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self { channels: 1, max_rounds: 1_000_000, record_trace: false }
+    }
+}
+
+/// Why a run stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopReason {
+    /// Every live node reported `done()`.
+    AllDone,
+    /// `max_rounds` elapsed first.
+    RoundLimit,
+}
+
+/// Result of [`Engine::run`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunOutcome {
+    /// Rounds actually executed.
+    pub rounds: Round,
+    /// Why the run ended.
+    pub stop: StopReason,
+}
+
+/// Lock-step simulator binding one [`NodeProgram`] to each live graph node.
+pub struct Engine<'g, P: NodeProgram> {
+    graph: &'g Graph,
+    config: EngineConfig,
+    programs: Vec<Option<P>>,
+    meters: Vec<EnergyMeter>,
+    failures: FailurePlan,
+    trace: Trace,
+    round: Round,
+    /// Scratch: this round's action per node id (None = dead or absent).
+    actions: Vec<Option<Action<P::Msg>>>,
+}
+
+impl<'g, P: NodeProgram> Engine<'g, P> {
+    /// Create an engine over `graph`, instantiating a program for every
+    /// live node via `make`.
+    pub fn new(graph: &'g Graph, config: EngineConfig, mut make: impl FnMut(NodeId) -> P) -> Self {
+        assert!(config.channels >= 1, "at least one radio channel required");
+        let cap = graph.capacity();
+        let mut programs: Vec<Option<P>> = Vec::with_capacity(cap);
+        for i in 0..cap {
+            let id = NodeId(i as u32);
+            programs.push(graph.is_live(id).then(|| make(id)));
+        }
+        Self {
+            graph,
+            config,
+            programs,
+            meters: vec![EnergyMeter::default(); cap],
+            failures: FailurePlan::new(),
+            trace: if config.record_trace { Trace::enabled() } else { Trace::disabled() },
+            round: 0,
+            actions: (0..cap).map(|_| None).collect(),
+        }
+    }
+
+    /// Install a failure schedule (replaces any previous one).
+    pub fn set_failures(&mut self, plan: FailurePlan) {
+        self.failures = plan;
+    }
+
+    /// Rounds executed so far.
+    pub fn round(&self) -> Round {
+        self.round
+    }
+
+    /// The (possibly disabled) event trace.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Energy meter of one node.
+    pub fn meter(&self, id: NodeId) -> &EnergyMeter {
+        &self.meters[id.index()]
+    }
+
+    /// Energy report over all nodes that have a program.
+    pub fn energy_report(&self) -> EnergyReport {
+        EnergyReport::from_meters(
+            self.programs
+                .iter()
+                .enumerate()
+                .filter(|(_, p)| p.is_some())
+                .map(|(i, _)| &self.meters[i]),
+        )
+    }
+
+    /// Immutable view of a node's program (None for dead-id slots).
+    pub fn program(&self, id: NodeId) -> Option<&P> {
+        self.programs.get(id.index()).and_then(|p| p.as_ref())
+    }
+
+    /// Consume the engine, returning every node's final program state.
+    pub fn into_programs(self) -> Vec<Option<P>> {
+        self.programs
+    }
+
+    fn alive(&self, id: NodeId, round: Round) -> bool {
+        self.graph.is_live(id)
+            && self.programs[id.index()].is_some()
+            && !self.failures.node_dead(id, round)
+    }
+
+    /// Execute a single round. Returns `true` if every live node is done
+    /// (checked *after* the round).
+    pub fn step(&mut self) -> bool {
+        self.round += 1;
+        let round = self.round;
+        let channels = self.config.channels;
+
+        // Death notifications (trace only — the network can't observe them).
+        if self.trace.is_enabled() {
+            for (node, r) in self.failures.doomed_nodes() {
+                if r == round {
+                    self.trace.push(TraceEvent::NodeDeath { round, node });
+                }
+            }
+        }
+
+        // Phase 1: collect actions.
+        for i in 0..self.programs.len() {
+            let id = NodeId(i as u32);
+            self.actions[i] = None;
+            if !self.alive(id, round) {
+                continue;
+            }
+            let ctx = NodeCtx { id, round, channels };
+            let action = self.programs[i].as_mut().unwrap().act(&ctx);
+            if let Action::Transmit { channel, .. } | Action::Listen { channel } = &action {
+                assert!(
+                    *channel < channels,
+                    "node {id} used channel {channel} but only {channels} exist"
+                );
+            }
+            self.actions[i] = Some(action);
+        }
+
+        // Phase 2: resolve receptions and meter energy.
+        for i in 0..self.programs.len() {
+            let id = NodeId(i as u32);
+            let Some(action) = &self.actions[i] else {
+                continue;
+            };
+            match action {
+                Action::Transmit { channel, .. } => {
+                    self.meters[i].record_tx(round);
+                    self.trace.push(TraceEvent::Transmit { round, node: id, channel: *channel });
+                }
+                Action::Sleep => self.meters[i].record_sleep(),
+                Action::Listen { channel } => {
+                    self.meters[i].record_listen(round);
+                    let ch = *channel;
+                    // Count live neighbours transmitting on our channel over
+                    // a live link.
+                    let mut tx_from: Option<NodeId> = None;
+                    let mut tx_count = 0u32;
+                    for &v in self.graph.neighbors(id) {
+                        if self.failures.link_dead(id, v, round) {
+                            continue;
+                        }
+                        if let Some(Action::Transmit { channel: vc, .. }) =
+                            &self.actions[v.index()]
+                        {
+                            if *vc == ch {
+                                tx_count += 1;
+                                tx_from = Some(v);
+                            }
+                        }
+                    }
+                    match tx_count {
+                        1 => {
+                            let from = tx_from.unwrap();
+                            let msg = match &self.actions[from.index()] {
+                                Some(Action::Transmit { msg, .. }) => msg.clone(),
+                                _ => unreachable!(),
+                            };
+                            self.trace.push(TraceEvent::Deliver {
+                                round,
+                                from,
+                                to: id,
+                                channel: ch,
+                            });
+                            let ctx = NodeCtx { id, round, channels };
+                            self.programs[i].as_mut().unwrap().on_receive(&ctx, from, &msg);
+                        }
+                        0 => {}
+                        n => {
+                            self.trace.push(TraceEvent::Collision {
+                                round,
+                                node: id,
+                                channel: ch,
+                                transmitters: n,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+
+        // Done check over nodes still alive this round.
+        self.programs
+            .iter()
+            .enumerate()
+            .filter(|(i, p)| p.is_some() && !self.failures.node_dead(NodeId(*i as u32), round + 1))
+            .all(|(_, p)| p.as_ref().unwrap().done())
+    }
+
+    /// Run until all live nodes are done or the round limit is hit.
+    pub fn run(&mut self) -> RunOutcome {
+        while self.round < self.config.max_rounds {
+            if self.step() {
+                return RunOutcome { rounds: self.round, stop: StopReason::AllDone };
+            }
+        }
+        RunOutcome { rounds: self.round, stop: StopReason::RoundLimit }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Simple flooding program used to exercise the engine: the source
+    /// transmits once in round 1; every node that has the message transmits
+    /// once in the round after it received it. With collisions this may
+    /// fail to cover the graph — that is the point of the model.
+    struct Flood {
+        has_msg: bool,
+        sent: bool,
+        tx_round: Option<Round>,
+        received_round: Option<Round>,
+    }
+
+    impl Flood {
+        fn source() -> Self {
+            Flood { has_msg: true, sent: false, tx_round: Some(1), received_round: Some(0) }
+        }
+        fn idle() -> Self {
+            Flood { has_msg: false, sent: false, tx_round: None, received_round: None }
+        }
+    }
+
+    impl NodeProgram for Flood {
+        type Msg = u32;
+        fn act(&mut self, ctx: &NodeCtx) -> Action<u32> {
+            if self.has_msg && !self.sent && self.tx_round == Some(ctx.round) {
+                self.sent = true;
+                return Action::transmit(42);
+            }
+            if self.has_msg && self.sent {
+                Action::Sleep
+            } else {
+                Action::listen()
+            }
+        }
+        fn on_receive(&mut self, ctx: &NodeCtx, _from: NodeId, msg: &u32) {
+            assert_eq!(*msg, 42);
+            if !self.has_msg {
+                self.has_msg = true;
+                self.received_round = Some(ctx.round);
+                self.tx_round = Some(ctx.round + 1);
+            }
+        }
+        fn done(&self) -> bool {
+            self.has_msg && self.sent
+        }
+    }
+
+    fn path(n: usize) -> Graph {
+        let mut g = Graph::with_nodes(n);
+        for i in 1..n {
+            g.add_edge(NodeId(i as u32 - 1), NodeId(i as u32));
+        }
+        g
+    }
+
+    fn engine_on_path(n: usize) -> Engine<'static, Flood> {
+        let g = Box::leak(Box::new(path(n)));
+        Engine::new(
+            g,
+            EngineConfig { record_trace: true, ..Default::default() },
+            |id| if id == NodeId(0) { Flood::source() } else { Flood::idle() },
+        )
+    }
+
+    #[test]
+    fn flood_travels_one_hop_per_round_on_a_path() {
+        let mut e = engine_on_path(5);
+        let out = e.run();
+        assert_eq!(out.stop, StopReason::AllDone);
+        // Node i receives in round i, transmits in round i+1; last node (4)
+        // receives in round 4 and transmits in round 5.
+        assert_eq!(out.rounds, 5);
+        for i in 1..5u32 {
+            assert_eq!(e.program(NodeId(i)).unwrap().received_round, Some(i as u64));
+        }
+        assert_eq!(e.trace().collision_count(), 0);
+    }
+
+    #[test]
+    fn collision_destroys_reception() {
+        // Triangle-free star: 0 and 2 both adjacent to 1 only.
+        let mut g = Graph::with_nodes(3);
+        g.add_edge(NodeId(0), NodeId(1));
+        g.add_edge(NodeId(2), NodeId(1));
+        // Both endpoints are sources transmitting in round 1 → node 1 hears
+        // nothing and never gets the message.
+        struct TwoSources;
+        let mut e = Engine::new(
+            &g,
+            EngineConfig { max_rounds: 3, record_trace: true, ..Default::default() },
+            |id| {
+                let _ = TwoSources;
+                if id == NodeId(1) {
+                    Flood::idle()
+                } else {
+                    Flood::source()
+                }
+            },
+        );
+        let out = e.run();
+        assert_eq!(out.stop, StopReason::RoundLimit);
+        assert!(!e.program(NodeId(1)).unwrap().has_msg);
+        assert_eq!(e.trace().collision_count(), 1);
+        assert_eq!(e.trace().delivery_count(), 0);
+    }
+
+    #[test]
+    fn channels_isolate_transmissions() {
+        // Node 1 listens on channel 1 while 0 transmits on 0 and 2 on 1:
+        // only the channel-1 transmission is heard, no collision.
+        struct Fixed(Action<u32>);
+        impl NodeProgram for Fixed {
+            type Msg = u32;
+            fn act(&mut self, _ctx: &NodeCtx) -> Action<u32> {
+                self.0.clone()
+            }
+            fn on_receive(&mut self, _ctx: &NodeCtx, from: NodeId, msg: &u32) {
+                assert_eq!(from, NodeId(2));
+                assert_eq!(*msg, 7);
+            }
+        }
+        let mut g = Graph::with_nodes(3);
+        g.add_edge(NodeId(0), NodeId(1));
+        g.add_edge(NodeId(2), NodeId(1));
+        let mut e = Engine::new(
+            &g,
+            EngineConfig { channels: 2, max_rounds: 1, record_trace: true },
+            |id| match id.0 {
+                0 => Fixed(Action::Transmit { channel: 0, msg: 9 }),
+                2 => Fixed(Action::Transmit { channel: 1, msg: 7 }),
+                _ => Fixed(Action::Listen { channel: 1 }),
+            },
+        );
+        e.run();
+        assert_eq!(e.trace().delivery_count(), 1);
+        assert_eq!(e.trace().collision_count(), 0);
+    }
+
+    #[test]
+    fn dead_nodes_do_not_transmit_or_receive() {
+        let mut e = engine_on_path(4);
+        let mut plan = FailurePlan::new();
+        plan.kill_node(NodeId(2), 1);
+        e.set_failures(plan);
+        let out = e.run();
+        // Flood stalls at node 2: nodes 2 and 3 never get the message.
+        assert_eq!(out.stop, StopReason::RoundLimit);
+        assert!(e.program(NodeId(1)).unwrap().has_msg);
+        assert!(!e.program(NodeId(3)).unwrap().has_msg);
+    }
+
+    #[test]
+    fn link_failure_blocks_delivery() {
+        let mut e = engine_on_path(3);
+        let mut plan = FailurePlan::new();
+        plan.kill_link(NodeId(1), NodeId(2), 1);
+        e.set_failures(plan);
+        e.run();
+        assert!(e.program(NodeId(1)).unwrap().has_msg);
+        assert!(!e.program(NodeId(2)).unwrap().has_msg);
+    }
+
+    #[test]
+    fn energy_is_metered() {
+        let mut e = engine_on_path(2);
+        let out = e.run();
+        assert_eq!(out.rounds, 2);
+        // Source: tx in round 1, sleeps in round 2.
+        assert_eq!(e.meter(NodeId(0)).tx_rounds, 1);
+        assert_eq!(e.meter(NodeId(0)).sleep_rounds, 1);
+        // Receiver: listens round 1, transmits round 2.
+        assert_eq!(e.meter(NodeId(1)).listen_rounds, 1);
+        assert_eq!(e.meter(NodeId(1)).tx_rounds, 1);
+        let report = e.energy_report();
+        assert_eq!(report.max_awake, 2);
+        assert_eq!(report.nodes, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "used channel")]
+    fn out_of_range_channel_panics() {
+        struct Bad;
+        impl NodeProgram for Bad {
+            type Msg = ();
+            fn act(&mut self, _ctx: &NodeCtx) -> Action<()> {
+                Action::Listen { channel: 3 }
+            }
+            fn on_receive(&mut self, _ctx: &NodeCtx, _from: NodeId, _msg: &()) {}
+        }
+        let g = path(1);
+        let mut e = Engine::new(&g, EngineConfig::default(), |_| Bad);
+        e.step();
+    }
+}

@@ -1,0 +1,121 @@
+//! Failure injection schedules.
+//!
+//! The robustness argument of the paper (Section 3.3) is qualitative: a
+//! single node or link failure stalls the DFO token tour entirely, while
+//! CFF keeps flooding through surviving nodes. [`FailurePlan`] turns that
+//! into a measurable experiment: nodes crash (fail-stop) at scheduled
+//! rounds, and individual links can be severed from a given round onward.
+//! Failures are invisible to the programs — a dead node simply never
+//! transmits and never receives, exactly like a sensor whose battery died.
+
+use crate::Round;
+use dsnet_graph::NodeId;
+use std::collections::HashMap;
+
+/// Schedule of fail-stop node crashes and link drops.
+///
+/// ```
+/// use dsnet_radio::FailurePlan;
+/// use dsnet_graph::NodeId;
+///
+/// let mut plan = FailurePlan::new();
+/// plan.kill_node(NodeId(3), 5).kill_link(NodeId(0), NodeId(1), 2);
+/// assert!(!plan.node_dead(NodeId(3), 4));
+/// assert!(plan.node_dead(NodeId(3), 5));
+/// assert!(plan.link_dead(NodeId(1), NodeId(0), 9)); // undirected
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct FailurePlan {
+    node_death: HashMap<NodeId, Round>,
+    /// Key is the edge with endpoints ordered (small, large).
+    link_death: HashMap<(NodeId, NodeId), Round>,
+}
+
+impl FailurePlan {
+    /// An empty schedule (nothing ever fails).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// `node` crashes at the *start* of `round` (it acts normally in all
+    /// rounds `< round`). If scheduled twice, the earliest round wins.
+    pub fn kill_node(&mut self, node: NodeId, round: Round) -> &mut Self {
+        self.node_death
+            .entry(node)
+            .and_modify(|r| *r = (*r).min(round))
+            .or_insert(round);
+        self
+    }
+
+    /// The link `{a, b}` drops at the start of `round`: transmissions no
+    /// longer cross it in either direction.
+    pub fn kill_link(&mut self, a: NodeId, b: NodeId, round: Round) -> &mut Self {
+        let key = if a <= b { (a, b) } else { (b, a) };
+        self.link_death
+            .entry(key)
+            .and_modify(|r| *r = (*r).min(round))
+            .or_insert(round);
+        self
+    }
+
+    /// Whether `node` is dead during `round`.
+    pub fn node_dead(&self, node: NodeId, round: Round) -> bool {
+        self.node_death.get(&node).is_some_and(|&r| round >= r)
+    }
+
+    /// Whether the link `{a, b}` is down during `round`.
+    pub fn link_dead(&self, a: NodeId, b: NodeId, round: Round) -> bool {
+        let key = if a <= b { (a, b) } else { (b, a) };
+        self.link_death.get(&key).is_some_and(|&r| round >= r)
+    }
+
+    /// Whether the schedule is empty.
+    pub fn is_empty(&self) -> bool {
+        self.node_death.is_empty() && self.link_death.is_empty()
+    }
+
+    /// Nodes scheduled to die (any round).
+    pub fn doomed_nodes(&self) -> impl Iterator<Item = (NodeId, Round)> + '_ {
+        self.node_death.iter().map(|(&n, &r)| (n, r))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_death_takes_effect_at_round() {
+        let mut p = FailurePlan::new();
+        p.kill_node(NodeId(3), 5);
+        assert!(!p.node_dead(NodeId(3), 4));
+        assert!(p.node_dead(NodeId(3), 5));
+        assert!(p.node_dead(NodeId(3), 100));
+        assert!(!p.node_dead(NodeId(2), 100));
+    }
+
+    #[test]
+    fn earliest_schedule_wins() {
+        let mut p = FailurePlan::new();
+        p.kill_node(NodeId(1), 10).kill_node(NodeId(1), 3).kill_node(NodeId(1), 7);
+        assert!(p.node_dead(NodeId(1), 3));
+        assert!(!p.node_dead(NodeId(1), 2));
+    }
+
+    #[test]
+    fn links_are_undirected() {
+        let mut p = FailurePlan::new();
+        p.kill_link(NodeId(2), NodeId(1), 4);
+        assert!(p.link_dead(NodeId(1), NodeId(2), 4));
+        assert!(p.link_dead(NodeId(2), NodeId(1), 9));
+        assert!(!p.link_dead(NodeId(1), NodeId(2), 3));
+        assert!(!p.link_dead(NodeId(1), NodeId(3), 9));
+    }
+
+    #[test]
+    fn empty_plan_kills_nothing() {
+        let p = FailurePlan::new();
+        assert!(p.is_empty());
+        assert!(!p.node_dead(NodeId(0), 1_000_000));
+    }
+}

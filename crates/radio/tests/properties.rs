@@ -1,0 +1,156 @@
+//! Property-based tests of the radio engine's collision semantics against
+//! a brute-force oracle: nodes with *fixed* per-round action scripts are
+//! executed by the engine, and every delivery/collision is recomputed
+//! independently from the scripts.
+
+use dsnet_graph::{Graph, NodeId};
+use dsnet_radio::{Action, Channel, Engine, EngineConfig, NodeCtx, NodeProgram, TraceEvent};
+use proptest::prelude::*;
+
+/// A node that replays a fixed script of actions and records receptions.
+struct Scripted {
+    script: Vec<Action<u32>>,
+    received: Vec<(u64, NodeId, u32)>,
+}
+
+impl NodeProgram for Scripted {
+    type Msg = u32;
+    fn act(&mut self, ctx: &NodeCtx) -> Action<u32> {
+        self.script
+            .get(ctx.round as usize - 1)
+            .cloned()
+            .unwrap_or(Action::Sleep)
+    }
+    fn on_receive(&mut self, ctx: &NodeCtx, from: NodeId, msg: &u32) {
+        self.received.push((ctx.round, from, *msg));
+    }
+    fn done(&self) -> bool {
+        false
+    }
+}
+
+/// Raw script entry: 0 = sleep, 1..=2 transmit on channel a-1, 3..=4
+/// listen on channel a-3.
+fn decode(raw: u8, node: u32, round: usize, channels: u8) -> Action<u32> {
+    match raw % 5 {
+        0 => Action::Sleep,
+        1 | 2 => Action::Transmit {
+            channel: ((raw % 5 - 1) % channels) as Channel,
+            msg: node * 1000 + round as u32,
+        },
+        _ => Action::Listen { channel: ((raw % 5 - 3) % channels) as Channel },
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    #[test]
+    fn engine_matches_brute_force_collision_rule(
+        n in 2u8..10,
+        edges in prop::collection::vec((any::<u8>(), any::<u8>()), 1..30),
+        scripts in prop::collection::vec(prop::collection::vec(any::<u8>(), 6), 2..10),
+        channels in 1u8..3,
+    ) {
+        let n = n.max(2) as usize;
+        let mut g = Graph::with_nodes(n);
+        for &(a, b) in &edges {
+            let (a, b) = (a as usize % n, b as usize % n);
+            if a != b {
+                g.add_edge(NodeId(a as u32), NodeId(b as u32));
+            }
+        }
+        let rounds = 6usize;
+        // Materialise a full action table: node × round.
+        let table: Vec<Vec<Action<u32>>> = (0..n)
+            .map(|i| {
+                let script = &scripts[i % scripts.len()];
+                (0..rounds)
+                    .map(|r| decode(script[r], i as u32, r, channels))
+                    .collect()
+            })
+            .collect();
+
+        let mut engine = Engine::new(
+            &g,
+            EngineConfig { channels, max_rounds: rounds as u64, record_trace: true },
+            |u| Scripted { script: table[u.index()].clone(), received: Vec::new() },
+        );
+        engine.run();
+
+        // Oracle: for every (node, round) where the node listens on c, it
+        // receives iff exactly one neighbour transmits on c.
+        let trace = engine.trace();
+        for r in 1..=rounds {
+            for i in 0..n {
+                let id = NodeId(i as u32);
+                if let Action::Listen { channel } = table[i][r - 1] {
+                    let transmitters: Vec<NodeId> = g
+                        .neighbors(id)
+                        .iter()
+                        .copied()
+                        .filter(|v| matches!(
+                            table[v.index()][r - 1],
+                            Action::Transmit { channel: c, .. } if c == channel
+                        ))
+                        .collect();
+                    let deliveries = trace
+                        .events()
+                        .iter()
+                        .filter(|e| matches!(e,
+                            TraceEvent::Deliver { round, to, .. }
+                            if *round == r as u64 && *to == id))
+                        .count();
+                    let collisions = trace
+                        .events()
+                        .iter()
+                        .filter(|e| matches!(e,
+                            TraceEvent::Collision { round, node, .. }
+                            if *round == r as u64 && *node == id))
+                        .count();
+                    match transmitters.len() {
+                        0 => {
+                            prop_assert_eq!(deliveries, 0);
+                            prop_assert_eq!(collisions, 0);
+                        }
+                        1 => {
+                            prop_assert_eq!(deliveries, 1, "round {} node {}", r, id);
+                            prop_assert_eq!(collisions, 0);
+                        }
+                        _ => {
+                            prop_assert_eq!(deliveries, 0, "round {} node {}", r, id);
+                            prop_assert_eq!(collisions, 1);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn energy_meters_count_every_round(
+        scripts in prop::collection::vec(prop::collection::vec(any::<u8>(), 8), 3..6),
+    ) {
+        let n = scripts.len();
+        let mut g = Graph::with_nodes(n);
+        for i in 1..n {
+            g.add_edge(NodeId(0), NodeId(i as u32));
+        }
+        let rounds = 8u64;
+        let table: Vec<Vec<Action<u32>>> = (0..n)
+            .map(|i| (0..8).map(|r| decode(scripts[i][r], i as u32, r, 1)).collect())
+            .collect();
+        let mut engine = Engine::new(
+            &g,
+            EngineConfig { max_rounds: rounds, ..Default::default() },
+            |u| Scripted { script: table[u.index()].clone(), received: Vec::new() },
+        );
+        engine.run();
+        for (i, script) in table.iter().enumerate() {
+            let m = engine.meter(NodeId(i as u32));
+            prop_assert_eq!(m.tx_rounds + m.listen_rounds + m.sleep_rounds, rounds);
+            let expected_tx = script.iter().filter(|a| a.is_transmit()).count() as u64;
+            prop_assert_eq!(m.tx_rounds, expected_tx);
+        }
+    }
+}

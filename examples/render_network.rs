@@ -1,0 +1,21 @@
+//! Render a deployed network's cluster structure to SVG — heads, gateways,
+//! members, the backbone tree and the radio links, in the style of the
+//! paper's Figure 1.
+//!
+//! Run with: `cargo run --release --example render_network`
+//! (writes `network.svg` into the working directory)
+
+use dsnet::viz::{render_svg, VizOptions};
+use dsnet::NetworkBuilder;
+
+fn main() {
+    let network = NetworkBuilder::paper(250, 2007).build().expect("build network");
+    let s = network.stats();
+    println!(
+        "rendering {} nodes: {} heads, {} gateways, {} members, backbone height {}",
+        s.nodes, s.heads, s.gateways, s.members, s.backbone_height
+    );
+    let svg = render_svg(&network, &VizOptions::default());
+    std::fs::write("network.svg", &svg).expect("write network.svg");
+    println!("wrote network.svg ({} bytes)", svg.len());
+}

@@ -1,0 +1,14 @@
+//! Workspace-level umbrella crate for the dsnet reproduction.
+//!
+//! This crate exists so that the repository root can carry the runnable
+//! examples (`examples/`) and the cross-crate integration tests (`tests/`)
+//! required by the reproduction layout. All functionality lives in the
+//! member crates; the most convenient entry point is [`dsnet`].
+
+pub use dsnet;
+pub use dsnet_cluster as cluster;
+pub use dsnet_geom as geom;
+pub use dsnet_graph as graph;
+pub use dsnet_metrics as metrics;
+pub use dsnet_protocols as protocols;
+pub use dsnet_radio as radio;

@@ -1,0 +1,107 @@
+//! Property-based churn testing: arbitrary interleavings of node-move-in
+//! and node-move-out must preserve every structural invariant, keep the
+//! TDM schedule sound, and leave the network broadcastable.
+
+use dsnet::cluster::invariants;
+use dsnet::cluster::slots::validate::validate_condition2;
+use dsnet::cluster::{ClusterNet, ParentRule, SlotMode};
+use dsnet::graph::NodeId;
+use dsnet::protocols::runner::{run_improved, RunConfig};
+use proptest::prelude::*;
+
+/// One churn step, interpreted against the current structure.
+#[derive(Debug, Clone)]
+enum Step {
+    /// Join hearing up to three existing nodes (indices are taken modulo
+    /// the current attached population).
+    Join(u16, u16, u16),
+    /// Attempt to remove the node at this index (mod population); cut
+    /// vertices and the root legitimately refuse.
+    Leave(u16),
+}
+
+fn step_strategy() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        3 => (any::<u16>(), any::<u16>(), any::<u16>()).prop_map(|(a, b, c)| Step::Join(a, b, c)),
+        1 => any::<u16>().prop_map(Step::Leave),
+    ]
+}
+
+fn attached(net: &ClusterNet) -> Vec<NodeId> {
+    net.tree().nodes().collect()
+}
+
+fn apply(net: &mut ClusterNet, step: &Step) {
+    match step {
+        Step::Join(a, b, c) => {
+            let nodes = attached(net);
+            if nodes.is_empty() {
+                net.move_in(&[]).unwrap();
+                return;
+            }
+            let mut nbrs: Vec<NodeId> = [a, b, c]
+                .iter()
+                .map(|&&i| nodes[i as usize % nodes.len()])
+                .collect();
+            nbrs.sort_unstable();
+            nbrs.dedup();
+            net.move_in(&nbrs).unwrap();
+        }
+        Step::Leave(i) => {
+            let nodes = attached(net);
+            if nodes.len() <= 2 {
+                return;
+            }
+            let victim = nodes[*i as usize % nodes.len()];
+            // Refusals (root / cut vertex) are part of the contract.
+            let _ = net.move_out(victim);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+    #[test]
+    fn churn_preserves_invariants(steps in prop::collection::vec(step_strategy(), 1..60)) {
+        for mode in [SlotMode::Strict, SlotMode::PaperFaithful] {
+            let mut net = ClusterNet::new(ParentRule::LowestId, mode);
+            net.move_in(&[]).unwrap();
+            for step in &steps {
+                apply(&mut net, step);
+            }
+            invariants::check_core(&net).map_err(|v| {
+                TestCaseError::fail(format!("{mode:?}: {v:?}"))
+            })?;
+            let violations = validate_condition2(&net.view(), net.slots(), mode);
+            prop_assert!(violations.is_empty(), "{mode:?}: {violations:?}");
+        }
+    }
+
+    #[test]
+    fn churned_networks_still_broadcast(steps in prop::collection::vec(step_strategy(), 1..40)) {
+        let mut net = ClusterNet::new(ParentRule::LowestId, SlotMode::Strict);
+        net.move_in(&[]).unwrap();
+        for step in &steps {
+            apply(&mut net, step);
+        }
+        let out = run_improved(&net, net.root(), &RunConfig::default());
+        prop_assert_eq!(out.delivered, out.targets,
+            "delivery {}/{} after churn", out.delivered, out.targets);
+        prop_assert!(out.rounds <= out.bound);
+    }
+
+    #[test]
+    fn parent_rules_both_stay_sound(steps in prop::collection::vec(step_strategy(), 1..40)) {
+        for rule in [ParentRule::LowestId, ParentRule::HighestDegree] {
+            let mut net = ClusterNet::new(rule, SlotMode::Strict);
+            net.move_in(&[]).unwrap();
+            for step in &steps {
+                apply(&mut net, step);
+            }
+            invariants::check_core(&net).map_err(|v| {
+                TestCaseError::fail(format!("{rule:?}: {v:?}"))
+            })?;
+        }
+    }
+}

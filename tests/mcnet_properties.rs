@@ -1,0 +1,92 @@
+//! Property-based MCNet testing: relay-lists maintained incrementally
+//! through arbitrary churn must always equal a from-scratch recomputation,
+//! and group membership semantics must survive joins, departures and
+//! re-homing.
+
+use dsnet::cluster::{GroupId, McNet};
+use dsnet::graph::NodeId;
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Step {
+    Join { picks: (u16, u16), groups: Vec<GroupId> },
+    Leave(u16),
+    Regroup { pick: u16, groups: Vec<GroupId> },
+}
+
+fn step_strategy() -> impl Strategy<Value = Step> {
+    let groups = prop::collection::vec(0u16..4, 0..3);
+    prop_oneof![
+        3 => ((any::<u16>(), any::<u16>()), groups.clone())
+            .prop_map(|(picks, groups)| Step::Join { picks, groups }),
+        1 => any::<u16>().prop_map(Step::Leave),
+        1 => (any::<u16>(), groups).prop_map(|(pick, groups)| Step::Regroup { pick, groups }),
+    ]
+}
+
+fn apply(mc: &mut McNet, step: &Step) {
+    let nodes: Vec<NodeId> = mc.net().tree().nodes().collect();
+    match step {
+        Step::Join { picks, groups } => {
+            let mut nbrs: Vec<NodeId> = [picks.0, picks.1]
+                .iter()
+                .map(|&i| nodes[i as usize % nodes.len()])
+                .collect();
+            nbrs.sort_unstable();
+            nbrs.dedup();
+            mc.move_in(&nbrs, groups).unwrap();
+        }
+        Step::Leave(i) => {
+            if nodes.len() > 2 {
+                let _ = mc.move_out(nodes[*i as usize % nodes.len()]);
+            }
+        }
+        Step::Regroup { pick, groups } => {
+            let u = nodes[*pick as usize % nodes.len()];
+            mc.set_groups(u, groups);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 40, ..ProptestConfig::default() })]
+
+    #[test]
+    fn relay_lists_match_recomputation_under_churn(
+        steps in prop::collection::vec(step_strategy(), 1..50),
+    ) {
+        let mut mc = McNet::with_defaults();
+        mc.move_in(&[], &[0]).unwrap();
+        for step in &steps {
+            apply(&mut mc, step);
+        }
+        mc.check_relay_consistency().map_err(TestCaseError::fail)?;
+    }
+
+    #[test]
+    fn relay_semantics_ancestors_of_members(
+        steps in prop::collection::vec(step_strategy(), 1..40),
+    ) {
+        let mut mc = McNet::with_defaults();
+        mc.move_in(&[], &[0]).unwrap();
+        for step in &steps {
+            apply(&mut mc, step);
+        }
+        // For every group: a node relays g iff a *strict* descendant is a
+        // member of g.
+        let tree = mc.net().tree();
+        for g in 0..4u16 {
+            for u in tree.nodes() {
+                let has_descendant = tree
+                    .subtree_nodes(u)
+                    .iter()
+                    .any(|&d| d != u && mc.is_target(d, g));
+                prop_assert_eq!(
+                    mc.should_relay(u, g),
+                    has_descendant,
+                    "node {} group {}", u, g
+                );
+            }
+        }
+    }
+}

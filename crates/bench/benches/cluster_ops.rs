@@ -18,8 +18,14 @@ fn bench(c: &mut Criterion) {
             || NetworkBuilder::paper(150, 49).build().unwrap(),
             |mut net| {
                 // Remove the first few removable interior nodes.
-                let candidates: Vec<NodeId> =
-                    net.net().tree().nodes().skip(1).step_by(11).take(8).collect();
+                let candidates: Vec<NodeId> = net
+                    .net()
+                    .tree()
+                    .nodes()
+                    .skip(1)
+                    .step_by(11)
+                    .take(8)
+                    .collect();
                 let mut removed = 0;
                 for u in candidates {
                     if removed == 3 {

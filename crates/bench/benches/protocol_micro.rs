@@ -17,7 +17,10 @@ fn bench(c: &mut Criterion) {
     let net = NetworkBuilder::paper(200, 47).build().unwrap();
     for k in [1u8, 2, 4] {
         g.bench_with_input(BenchmarkId::new("improved_cff_channels", k), &k, |b, &k| {
-            let cfg = RunConfig { channels: k, ..Default::default() };
+            let cfg = RunConfig {
+                channels: k,
+                ..Default::default()
+            };
             b.iter(|| black_box(run_improved(net.net(), net.sink(), &cfg).rounds))
         });
     }

@@ -27,7 +27,10 @@ fn bench(c: &mut Criterion) {
 
     // Session slots over a pruned multicast participant set.
     let net = NetworkBuilder::paper(200, 50)
-        .groups(GroupPlan { groups: 1, membership: 0.1 })
+        .groups(GroupPlan {
+            groups: 1,
+            membership: 0.1,
+        })
         .build()
         .unwrap();
     let table = dsnet::protocols::multicast::participation_table(net.mcnet(), 0);
@@ -35,9 +38,7 @@ fn bench(c: &mut Criterion) {
         b.iter(|| {
             let tx = |u: NodeId| table[u.index()].tx;
             let rx = |u: NodeId| table[u.index()].rx;
-            black_box(
-                assign_session_slots(&net.net().view(), net.net().mode(), &tx, &rx).max_l(),
-            )
+            black_box(assign_session_slots(&net.net().view(), net.net().mode(), &tx, &rx).max_l())
         })
     });
 

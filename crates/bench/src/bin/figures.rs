@@ -5,7 +5,12 @@
 //! cargo run -p dsnet-bench --release --bin figures -- fig8    # one figure
 //! cargo run -p dsnet-bench --release --bin figures -- --quick # reduced sweep
 //! cargo run -p dsnet-bench --release --bin figures -- --csv fig10
+//! cargo run -p dsnet-bench --release --bin figures -- --threads 4 fig8
 //! ```
+//!
+//! `--threads T` sets the campaign worker count for the figures that ride
+//! the campaign engine (fig8, fig9); `0` (the default) uses every core.
+//! Tables are byte-identical for any `T` — only wall-clock changes.
 //!
 //! Figure ids: fig8, fig9, fig10, fig11, multichannel, robustness,
 //! multicast, reconfig, slotbounds, fields, discovery, modefidelity,
@@ -16,7 +21,8 @@ use dsnet_metrics::SweepTable;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: figures [--quick] [--csv] [--out DIR] [fig8|fig9|fig10|fig11|multichannel|robustness|multicast|reconfig|slotbounds|fields|all]"
+        "usage: figures [--quick] [--csv] [--out DIR] [--threads T] \
+         [fig8|fig9|fig10|fig11|multichannel|robustness|multicast|reconfig|slotbounds|fields|all]"
     );
     std::process::exit(2);
 }
@@ -24,6 +30,7 @@ fn usage() -> ! {
 fn main() {
     let mut quick = false;
     let mut csv = false;
+    let mut threads = 0usize;
     let mut out_dir: Option<String> = None;
     let mut which: Vec<String> = Vec::new();
     let mut argv = std::env::args().skip(1);
@@ -32,6 +39,12 @@ fn main() {
             "--quick" => quick = true,
             "--csv" => csv = true,
             "--out" => out_dir = Some(argv.next().unwrap_or_else(|| usage())),
+            "--threads" => {
+                threads = argv
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
             "--help" | "-h" => usage(),
             other if other.starts_with('-') => usage(),
             other => which.push(other.to_string()),
@@ -40,13 +53,35 @@ fn main() {
     if which.is_empty() {
         which.push("all".to_string());
     }
-    let cfg = if quick { SweepConfig::quick() } else { SweepConfig::default() };
+    let cfg = if quick {
+        SweepConfig::quick()
+    } else {
+        SweepConfig::default()
+    };
 
     let mut tables: Vec<SweepTable> = Vec::new();
     for name in &which {
         match name.as_str() {
-            "fig8" => tables.push(experiments::fig8::run(&cfg)),
-            "fig9" => tables.push(experiments::fig9::run(&cfg)),
+            "fig8" => {
+                let result = experiments::fig8::run_campaign(&cfg, threads);
+                eprintln!(
+                    "fig8: {} trials on {} threads in {:.2}s",
+                    result.trials.len(),
+                    result.threads,
+                    result.elapsed.as_secs_f64()
+                );
+                tables.push(experiments::fig8::table_of(&result));
+            }
+            "fig9" => {
+                let result = experiments::fig9::run_campaign(&cfg, threads);
+                eprintln!(
+                    "fig9: {} trials on {} threads in {:.2}s",
+                    result.trials.len(),
+                    result.threads,
+                    result.elapsed.as_secs_f64()
+                );
+                tables.push(experiments::fig9::table_of(&result));
+            }
             "fig10" => tables.push(experiments::fig10::run(&cfg)),
             "fig11" => tables.push(experiments::fig11::run(&cfg)),
             "multichannel" => tables.push(experiments::multichannel::run(&cfg)),

@@ -11,7 +11,11 @@ use dsnet::experiments::SweepConfig;
 /// The sweep used inside Criterion benches: small enough to iterate, large
 /// enough to exercise every code path.
 pub fn bench_sweep() -> SweepConfig {
-    SweepConfig { ns: vec![100], reps: 1, ..SweepConfig::default() }
+    SweepConfig {
+        ns: vec![100],
+        reps: 1,
+        ..SweepConfig::default()
+    }
 }
 
 /// The full paper sweep used by the `figures` binary.

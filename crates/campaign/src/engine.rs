@@ -1,0 +1,387 @@
+//! The deterministic parallel execution engine.
+
+use crate::sink::CampaignSink;
+use crate::spec::{CampaignSpec, ChurnTemplate, FailureTemplate, ProtocolSpec, Trial, TrialRecord};
+use dsnet_metrics::{Distribution, Summary};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+use std::time::{Duration, Instant};
+
+/// Executes one trial. Implementations must be pure functions of the
+/// trial (all randomness drawn from the trial's seeds) — the engine's
+/// determinism contract depends on it.
+pub trait TrialRunner: Sync {
+    /// Run `trial` to completion and condense its outcome.
+    fn run_trial(&self, trial: &Trial) -> TrialRecord;
+}
+
+impl<F: Fn(&Trial) -> TrialRecord + Sync> TrialRunner for F {
+    fn run_trial(&self, trial: &Trial) -> TrialRecord {
+        self(trial)
+    }
+}
+
+/// Live progress handed to the optional observer after every trial.
+#[derive(Debug, Clone, Copy)]
+pub struct Progress<'a> {
+    /// Trials finished so far (including this one).
+    pub done: u64,
+    /// Total trials in the campaign.
+    pub total: u64,
+    /// The trial that just finished.
+    pub trial: &'a Trial,
+    /// Its condensed record.
+    pub record: &'a TrialRecord,
+}
+
+/// Deterministic per-cell aggregate over the cell's repetitions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellSummary {
+    /// Protocol axis value.
+    pub protocol: ProtocolSpec,
+    /// Channel-count axis value.
+    pub channels: u8,
+    /// Failure-template axis value.
+    pub failure: FailureTemplate,
+    /// Churn-template axis value.
+    pub churn: ChurnTemplate,
+    /// Network-size axis value.
+    pub n: usize,
+    /// Repetitions aggregated.
+    pub trials: usize,
+    /// Repetitions that delivered to every target.
+    pub completed: usize,
+    /// Broadcast rounds (moments).
+    pub rounds: Summary,
+    /// Median broadcast rounds.
+    pub rounds_p50: f64,
+    /// 90th-percentile broadcast rounds.
+    pub rounds_p90: f64,
+    /// Delivery ratio per repetition.
+    pub delivery: Summary,
+    /// Worst-node awake rounds.
+    pub max_awake: Summary,
+    /// Mean awake rounds.
+    pub mean_awake: Summary,
+    /// Analytic round bound.
+    pub bound: Summary,
+    /// Total receiver-side collisions; `None` if any repetition ran
+    /// without a trace (partial sums would misrepresent the cell).
+    pub collisions: Option<u64>,
+}
+
+impl CellSummary {
+    /// Stable one-line label of the cell's axes.
+    pub fn label(&self) -> String {
+        format!(
+            "{} k={} fail={} churn={} n={}",
+            self.protocol.name(),
+            self.channels,
+            self.failure.label(),
+            self.churn.label(),
+            self.n
+        )
+    }
+}
+
+/// Everything a finished campaign produced.
+#[derive(Debug, Clone)]
+pub struct CampaignResult {
+    /// The spec that was run.
+    pub spec: CampaignSpec,
+    /// The expanded trial grid, in identity order.
+    pub trials: Vec<Trial>,
+    /// One record per trial, same order.
+    pub records: Vec<TrialRecord>,
+    /// Per-cell aggregates, in first-occurrence order of the grid.
+    pub cells: Vec<CellSummary>,
+    /// Wall-clock execution time (not part of the artifacts).
+    pub elapsed: Duration,
+    /// Worker threads actually used.
+    pub threads: usize,
+}
+
+impl CampaignResult {
+    /// Iterate `(trial, record)` pairs matching a predicate.
+    pub fn select<'a>(
+        &'a self,
+        mut pred: impl FnMut(&Trial) -> bool + 'a,
+    ) -> impl Iterator<Item = (&'a Trial, &'a TrialRecord)> {
+        self.trials
+            .iter()
+            .zip(&self.records)
+            .filter(move |(t, _)| pred(t))
+    }
+
+    /// The cell matching the given axes, if present.
+    pub fn cell(
+        &self,
+        protocol: ProtocolSpec,
+        channels: u8,
+        failure: FailureTemplate,
+        churn: ChurnTemplate,
+        n: usize,
+    ) -> Option<&CellSummary> {
+        self.cells.iter().find(|c| {
+            c.protocol == protocol
+                && c.channels == channels
+                && c.failure == failure
+                && c.churn == churn
+                && c.n == n
+        })
+    }
+}
+
+/// Map each trial to its cell index; cells are numbered in first
+/// occurrence order of the expanded grid (a pure function of the spec).
+fn cell_indices(trials: &[Trial]) -> (Vec<usize>, Vec<usize>) {
+    let mut cell_of_trial = Vec::with_capacity(trials.len());
+    let mut cell_reps: Vec<usize> = Vec::new(); // index of first trial per cell
+    for t in trials {
+        match cell_reps.iter().position(|&r| trials[r].same_cell(t)) {
+            Some(c) => cell_of_trial.push(c),
+            None => {
+                cell_of_trial.push(cell_reps.len());
+                cell_reps.push(t.index);
+            }
+        }
+    }
+    (cell_of_trial, cell_reps)
+}
+
+/// Execute `spec` on `threads` workers (`0` = all available cores) and
+/// aggregate the results.
+///
+/// Workers claim trials off a shared atomic cursor, publish each record
+/// into its trial's slot and stream it into the lock-free sink (feeding
+/// `on_progress`). Aggregation folds the slots in trial-index order after
+/// the pool joins — see the crate docs for why this makes the result
+/// independent of `threads`.
+///
+/// # Panics
+///
+/// Propagates panics from the trial runner (a failed trial fails the
+/// campaign loudly rather than producing a partial artifact).
+pub fn run_campaign(
+    spec: &CampaignSpec,
+    runner: &dyn TrialRunner,
+    threads: usize,
+    on_progress: Option<&(dyn Fn(Progress<'_>) + Sync)>,
+) -> CampaignResult {
+    let started = Instant::now();
+    let trials = spec.expand();
+    let (cell_of_trial, cell_reps) = cell_indices(&trials);
+    let sink = CampaignSink::new(cell_reps.len());
+    let slots: Vec<OnceLock<TrialRecord>> = (0..trials.len()).map(|_| OnceLock::new()).collect();
+
+    let threads = if threads == 0 {
+        std::thread::available_parallelism().map_or(1, |p| p.get())
+    } else {
+        threads
+    }
+    .min(trials.len().max(1));
+
+    let cursor = AtomicUsize::new(0);
+    let total = trials.len() as u64;
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                let Some(trial) = trials.get(i) else { break };
+                let record = runner.run_trial(trial);
+                let done = sink.record(cell_of_trial[i], &record);
+                if let Some(observe) = on_progress {
+                    observe(Progress {
+                        done,
+                        total,
+                        trial,
+                        record: &record,
+                    });
+                }
+                slots[i]
+                    .set(record)
+                    .unwrap_or_else(|_| unreachable!("trial {i} claimed twice"));
+            });
+        }
+    });
+
+    let records: Vec<TrialRecord> = slots
+        .into_iter()
+        .enumerate()
+        .map(|(i, s)| {
+            s.into_inner()
+                .unwrap_or_else(|| panic!("trial {i} never ran"))
+        })
+        .collect();
+
+    // Deterministic fold: per cell, gather its repetitions in trial order.
+    let cells = cell_reps
+        .iter()
+        .map(|&rep0| {
+            let t0 = &trials[rep0];
+            let members: Vec<&TrialRecord> = trials
+                .iter()
+                .zip(&records)
+                .filter(|(t, _)| t.same_cell(t0))
+                .map(|(_, r)| r)
+                .collect();
+            let rounds = Distribution::of_u64(members.iter().map(|r| r.rounds));
+            CellSummary {
+                protocol: t0.protocol,
+                channels: t0.channels,
+                failure: t0.failure,
+                churn: t0.churn,
+                n: t0.n,
+                trials: members.len(),
+                completed: members.iter().filter(|r| r.completed()).count(),
+                rounds_p50: rounds.median(),
+                rounds_p90: rounds.percentile(90.0),
+                rounds: rounds.summary(),
+                delivery: Summary::of(members.iter().map(|r| r.delivery_ratio())),
+                max_awake: Summary::of_u64(members.iter().map(|r| r.max_awake)),
+                mean_awake: Summary::of(members.iter().map(|r| r.mean_awake)),
+                bound: Summary::of_u64(members.iter().map(|r| r.bound)),
+                collisions: members.iter().map(|r| r.collisions).sum::<Option<u64>>(),
+            }
+        })
+        .collect();
+
+    CampaignResult {
+        spec: spec.clone(),
+        trials,
+        records,
+        cells,
+        elapsed: started.elapsed(),
+        threads,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    /// A synthetic runner: outcome is a pure hash of the trial seeds, so
+    /// any scheduling difference would show up as a changed record.
+    fn synthetic(trial: &Trial) -> TrialRecord {
+        let h = trial.scenario_seed ^ trial.stream_seed.rotate_left(17);
+        TrialRecord {
+            rounds: 10 + h % 90,
+            delivered: trial.n as u64 - h % 3,
+            targets: trial.n as u64,
+            max_awake: 5 + h % 20,
+            mean_awake: (h % 1000) as f64 / 100.0,
+            collisions: if trial.record_trace {
+                Some(h % 4)
+            } else {
+                None
+            },
+            bound: 120,
+            nodes: trial.n as u64,
+        }
+    }
+
+    fn spec() -> CampaignSpec {
+        let mut spec = CampaignSpec::new("engine-test");
+        spec.protocols = vec![ProtocolSpec::ImprovedCff, ProtocolSpec::Dfo];
+        spec.ns = vec![30, 60];
+        spec.reps = 4;
+        spec
+    }
+
+    #[test]
+    fn results_are_identical_across_thread_counts() {
+        let spec = spec();
+        let serial = run_campaign(&spec, &synthetic, 1, None);
+        for threads in [2, 4, 8] {
+            let parallel = run_campaign(&spec, &synthetic, threads, None);
+            assert_eq!(serial.records, parallel.records);
+            assert_eq!(serial.cells, parallel.cells);
+            assert_eq!(serial.trials, parallel.trials);
+        }
+    }
+
+    #[test]
+    fn every_trial_runs_exactly_once_under_contention() {
+        let spec = spec();
+        let calls = AtomicU64::new(0);
+        let runner = |t: &Trial| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            synthetic(t)
+        };
+        let result = run_campaign(&spec, &runner, 8, None);
+        assert_eq!(calls.load(Ordering::Relaxed), spec.trial_count() as u64);
+        assert_eq!(result.records.len(), spec.trial_count());
+    }
+
+    #[test]
+    fn cells_group_reps_and_keep_grid_order() {
+        let result = run_campaign(&spec(), &synthetic, 3, None);
+        assert_eq!(result.cells.len(), 4); // 2 protocols × 2 sizes
+        for cell in &result.cells {
+            assert_eq!(cell.trials, 4);
+        }
+        assert_eq!(result.cells[0].protocol, ProtocolSpec::ImprovedCff);
+        assert_eq!(result.cells[0].n, 30);
+        assert_eq!(result.cells[1].n, 60);
+        assert_eq!(result.cells[2].protocol, ProtocolSpec::Dfo);
+        // Percentiles bracket the mean's support.
+        let c = &result.cells[0];
+        assert!(c.rounds.min <= c.rounds_p50 && c.rounds_p50 <= c.rounds_p90);
+        assert!(c.rounds_p90 <= c.rounds.max);
+    }
+
+    #[test]
+    fn progress_reports_every_trial() {
+        let spec = spec();
+        let seen = AtomicU64::new(0);
+        let last = AtomicU64::new(0);
+        run_campaign(
+            &spec,
+            &synthetic,
+            4,
+            Some(&|p: Progress<'_>| {
+                seen.fetch_add(1, Ordering::Relaxed);
+                last.fetch_max(p.done, Ordering::Relaxed);
+                assert_eq!(p.total, spec.trial_count() as u64);
+            }),
+        );
+        assert_eq!(seen.load(Ordering::Relaxed), spec.trial_count() as u64);
+        assert_eq!(last.load(Ordering::Relaxed), spec.trial_count() as u64);
+    }
+
+    #[test]
+    fn collisions_poisoned_by_one_untraced_rep() {
+        let spec = spec();
+        // Trace off for exactly one rep of each cell.
+        let runner = |t: &Trial| {
+            let mut r = synthetic(t);
+            if t.rep == 1 {
+                r.collisions = None;
+            }
+            r
+        };
+        let result = run_campaign(&spec, &runner, 2, None);
+        for cell in &result.cells {
+            assert_eq!(cell.collisions, None);
+        }
+    }
+
+    #[test]
+    fn select_filters_pairs() {
+        let result = run_campaign(&spec(), &synthetic, 2, None);
+        let dfo: Vec<_> = result.select(|t| t.protocol == ProtocolSpec::Dfo).collect();
+        assert_eq!(dfo.len(), 8);
+        assert!(dfo.iter().all(|(t, _)| t.protocol == ProtocolSpec::Dfo));
+        let cell = result
+            .cell(
+                ProtocolSpec::Dfo,
+                1,
+                FailureTemplate::None,
+                ChurnTemplate::default(),
+                30,
+            )
+            .expect("cell exists");
+        assert_eq!(cell.trials, 4);
+    }
+}

@@ -1,0 +1,219 @@
+//! Lock-free streaming aggregation of trial records.
+//!
+//! Workers push each condensed [`TrialRecord`] into the sink the moment
+//! the trial finishes — from any thread, with no locks — so live
+//! progress can show per-cell statistics while the campaign runs.
+//!
+//! Every accumulator is an **order-independent integer**: sums, maxima
+//! and counts over `u64` quantities commute, so the snapshot a reader
+//! observes after all trials completed is identical no matter how the
+//! schedule interleaved. Float statistics (means, percentiles) are *not*
+//! computed here — the engine derives them after the pool joins, folding
+//! the per-trial slot array in trial-index order, which is what keeps
+//! artifacts byte-identical across thread counts.
+
+use crate::spec::TrialRecord;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Relaxed ordering is sufficient everywhere: each counter is an
+/// independent monotone accumulator and readers only need eventual
+/// per-counter consistency (the authoritative fold happens after join).
+const ORD: Ordering = Ordering::Relaxed;
+
+/// Accumulators for one aggregation cell.
+#[derive(Debug, Default)]
+pub struct CellAccum {
+    trials: AtomicU64,
+    completed: AtomicU64,
+    rounds_sum: AtomicU64,
+    rounds_max: AtomicU64,
+    delivered_sum: AtomicU64,
+    targets_sum: AtomicU64,
+    awake_max: AtomicU64,
+    collisions_sum: AtomicU64,
+    collisions_known: AtomicU64,
+}
+
+impl CellAccum {
+    fn record(&self, rec: &TrialRecord) {
+        self.trials.fetch_add(1, ORD);
+        self.completed.fetch_add(rec.completed() as u64, ORD);
+        self.rounds_sum.fetch_add(rec.rounds, ORD);
+        self.rounds_max.fetch_max(rec.rounds, ORD);
+        self.delivered_sum.fetch_add(rec.delivered, ORD);
+        self.targets_sum.fetch_add(rec.targets, ORD);
+        self.awake_max.fetch_max(rec.max_awake, ORD);
+        if let Some(c) = rec.collisions {
+            self.collisions_sum.fetch_add(c, ORD);
+            self.collisions_known.fetch_add(1, ORD);
+        }
+    }
+}
+
+/// A point-in-time view of one cell's accumulators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CellSnapshot {
+    /// Trials recorded so far.
+    pub trials: u64,
+    /// Trials that delivered to every target.
+    pub completed: u64,
+    /// Sum of broadcast rounds.
+    pub rounds_sum: u64,
+    /// Largest broadcast round count.
+    pub rounds_max: u64,
+    /// Sum of delivered targets.
+    pub delivered_sum: u64,
+    /// Sum of intended targets.
+    pub targets_sum: u64,
+    /// Largest per-node awake time seen.
+    pub awake_max: u64,
+    /// Sum of collision counts over trials that measured them.
+    pub collisions_sum: u64,
+    /// Trials whose collision count was measured (trace on).
+    pub collisions_known: u64,
+}
+
+impl CellSnapshot {
+    /// Mean rounds over recorded trials (0 when empty).
+    pub fn mean_rounds(&self) -> f64 {
+        if self.trials == 0 {
+            0.0
+        } else {
+            self.rounds_sum as f64 / self.trials as f64
+        }
+    }
+
+    /// Aggregate delivery ratio (1 when no targets recorded yet).
+    pub fn delivery_ratio(&self) -> f64 {
+        if self.targets_sum == 0 {
+            1.0
+        } else {
+            self.delivered_sum as f64 / self.targets_sum as f64
+        }
+    }
+}
+
+/// The campaign-wide sink: one [`CellAccum`] per cell plus a global
+/// progress counter.
+#[derive(Debug)]
+pub struct CampaignSink {
+    cells: Vec<CellAccum>,
+    done: AtomicU64,
+}
+
+impl CampaignSink {
+    /// A sink with `cells` empty cell accumulators.
+    pub fn new(cells: usize) -> CampaignSink {
+        CampaignSink {
+            cells: (0..cells).map(|_| CellAccum::default()).collect(),
+            done: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of cells.
+    pub fn cell_count(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Record a finished trial into its cell. Returns the new global
+    /// completion count (1-based), for progress display.
+    pub fn record(&self, cell: usize, rec: &TrialRecord) -> u64 {
+        self.cells[cell].record(rec);
+        self.done.fetch_add(1, ORD) + 1
+    }
+
+    /// Trials recorded so far across all cells.
+    pub fn done(&self) -> u64 {
+        self.done.load(ORD)
+    }
+
+    /// Snapshot one cell's accumulators.
+    pub fn snapshot(&self, cell: usize) -> CellSnapshot {
+        let c = &self.cells[cell];
+        CellSnapshot {
+            trials: c.trials.load(ORD),
+            completed: c.completed.load(ORD),
+            rounds_sum: c.rounds_sum.load(ORD),
+            rounds_max: c.rounds_max.load(ORD),
+            delivered_sum: c.delivered_sum.load(ORD),
+            targets_sum: c.targets_sum.load(ORD),
+            awake_max: c.awake_max.load(ORD),
+            collisions_sum: c.collisions_sum.load(ORD),
+            collisions_known: c.collisions_known.load(ORD),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(rounds: u64, delivered: u64, targets: u64, collisions: Option<u64>) -> TrialRecord {
+        TrialRecord {
+            rounds,
+            delivered,
+            targets,
+            max_awake: rounds,
+            mean_awake: rounds as f64,
+            collisions,
+            bound: rounds + 1,
+            nodes: targets,
+        }
+    }
+
+    #[test]
+    fn accumulates_order_independently() {
+        let records = [
+            rec(10, 5, 5, Some(0)),
+            rec(20, 4, 5, None),
+            rec(30, 5, 5, Some(2)),
+        ];
+        let forward = CampaignSink::new(1);
+        for r in &records {
+            forward.record(0, r);
+        }
+        let backward = CampaignSink::new(1);
+        for r in records.iter().rev() {
+            backward.record(0, r);
+        }
+        assert_eq!(forward.snapshot(0), backward.snapshot(0));
+        let s = forward.snapshot(0);
+        assert_eq!(s.trials, 3);
+        assert_eq!(s.completed, 2);
+        assert_eq!(s.rounds_sum, 60);
+        assert_eq!(s.rounds_max, 30);
+        assert_eq!(s.collisions_known, 2);
+        assert_eq!(s.collisions_sum, 2);
+        assert_eq!(s.mean_rounds(), 20.0);
+        assert_eq!(s.delivery_ratio(), 14.0 / 15.0);
+    }
+
+    #[test]
+    fn concurrent_recording_matches_serial() {
+        let sink = CampaignSink::new(2);
+        std::thread::scope(|scope| {
+            for t in 0..4 {
+                let sink = &sink;
+                scope.spawn(move || {
+                    for i in 0..100u64 {
+                        sink.record((t % 2) as usize, &rec(i, 1, 1, Some(i)));
+                    }
+                });
+            }
+        });
+        assert_eq!(sink.done(), 400);
+        for cell in 0..2 {
+            let s = sink.snapshot(cell);
+            assert_eq!(s.trials, 200);
+            assert_eq!(s.rounds_sum, 2 * (0..100).sum::<u64>());
+            assert_eq!(s.rounds_max, 99);
+        }
+    }
+
+    #[test]
+    fn empty_snapshot_is_benign() {
+        let s = CampaignSink::new(1).snapshot(0);
+        assert_eq!(s.mean_rounds(), 0.0);
+        assert_eq!(s.delivery_ratio(), 1.0);
+    }
+}

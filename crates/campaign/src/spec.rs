@@ -1,0 +1,412 @@
+//! Campaign specifications and their expansion into trial grids.
+
+use dsnet_geom::rng::derive_seed;
+use std::fmt;
+
+/// Which broadcast protocol a trial runs.
+///
+/// Mirrors `dsnet::Protocol`; duplicated here so the campaign engine has
+/// no dependency on the facade crate (which depends back on this one).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ProtocolSpec {
+    /// Depth-first-order Eulerian-tour baseline of \[19\].
+    Dfo,
+    /// Algorithm 1: basic collision-free flooding.
+    BasicCff,
+    /// Algorithm 2: the improved two-phase CFF.
+    ImprovedCff,
+}
+
+impl ProtocolSpec {
+    /// Short stable name used in CLI arguments and artifacts.
+    pub fn name(self) -> &'static str {
+        match self {
+            ProtocolSpec::Dfo => "dfo",
+            ProtocolSpec::BasicCff => "cff1",
+            ProtocolSpec::ImprovedCff => "cff2",
+        }
+    }
+
+    /// Parse a CLI name (the inverse of [`ProtocolSpec::name`]).
+    pub fn parse(s: &str) -> Option<ProtocolSpec> {
+        match s {
+            "dfo" => Some(ProtocolSpec::Dfo),
+            "cff1" | "basic" => Some(ProtocolSpec::BasicCff),
+            "cff2" | "improved" | "cff" => Some(ProtocolSpec::ImprovedCff),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for ProtocolSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A declarative fail-stop schedule, instantiated per trial by the trial
+/// runner (victim selection uses the trial's private RNG stream).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FailureTemplate {
+    /// No failures.
+    None,
+    /// Kill `count` random non-root backbone nodes at `round`.
+    Backbone {
+        /// Victims drawn (without replacement) from the backbone.
+        count: usize,
+        /// Fail-stop round (1-based; round 1 = before any transmission).
+        round: u64,
+    },
+    /// Kill `count` random non-root nodes of any status at `round`.
+    Random {
+        /// Victims drawn (without replacement) from all non-root nodes.
+        count: usize,
+        /// Fail-stop round (1-based).
+        round: u64,
+    },
+}
+
+impl FailureTemplate {
+    /// Short stable label used in artifacts and CLI arguments
+    /// (`none`, `bb<count>@<round>`, `any<count>@<round>`).
+    pub fn label(&self) -> String {
+        match self {
+            FailureTemplate::None => "none".into(),
+            FailureTemplate::Backbone { count, round } => format!("bb{count}@{round}"),
+            FailureTemplate::Random { count, round } => format!("any{count}@{round}"),
+        }
+    }
+
+    /// Parse a label (the inverse of [`FailureTemplate::label`]).
+    pub fn parse(s: &str) -> Option<FailureTemplate> {
+        if s == "none" {
+            return Some(FailureTemplate::None);
+        }
+        let (kind, rest) = if let Some(rest) = s.strip_prefix("bb") {
+            ("bb", rest)
+        } else if let Some(rest) = s.strip_prefix("any") {
+            ("any", rest)
+        } else {
+            return None;
+        };
+        let (count, round) = rest.split_once('@')?;
+        let count = count.parse().ok()?;
+        let round = round.parse().ok()?;
+        Some(match kind {
+            "bb" => FailureTemplate::Backbone { count, round },
+            _ => FailureTemplate::Random { count, round },
+        })
+    }
+}
+
+/// A declarative churn schedule applied to the network *before* the
+/// broadcast: `leaves` random non-sink departures followed by `joins`
+/// arrivals placed in range of surviving nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct ChurnTemplate {
+    /// Nodes joining before the broadcast.
+    pub joins: usize,
+    /// Nodes leaving before the broadcast.
+    pub leaves: usize,
+}
+
+impl ChurnTemplate {
+    /// Whether no churn is applied.
+    pub fn is_none(&self) -> bool {
+        self.joins == 0 && self.leaves == 0
+    }
+
+    /// Short stable label (`none` or `j<joins>l<leaves>`).
+    pub fn label(&self) -> String {
+        if self.is_none() {
+            "none".into()
+        } else {
+            format!("j{}l{}", self.joins, self.leaves)
+        }
+    }
+
+    /// Parse a label (the inverse of [`ChurnTemplate::label`]).
+    pub fn parse(s: &str) -> Option<ChurnTemplate> {
+        if s == "none" {
+            return Some(ChurnTemplate::default());
+        }
+        let rest = s.strip_prefix('j')?;
+        let (joins, leaves) = rest.split_once('l')?;
+        Some(ChurnTemplate {
+            joins: joins.parse().ok()?,
+            leaves: leaves.parse().ok()?,
+        })
+    }
+}
+
+/// A declarative experiment campaign: the cross product of every axis
+/// below, repeated `reps` times per cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignSpec {
+    /// Campaign name, recorded in artifacts.
+    pub name: String,
+    /// Square field side for the unit-disk deployment.
+    pub field_side: f64,
+    /// Network sizes swept.
+    pub ns: Vec<usize>,
+    /// Seeded repetitions per cell.
+    pub reps: u64,
+    /// Master seed; every trial seed derives from it.
+    pub base_seed: u64,
+    /// Protocols compared.
+    pub protocols: Vec<ProtocolSpec>,
+    /// Channel counts swept.
+    pub channels: Vec<u8>,
+    /// Failure templates swept.
+    pub failures: Vec<FailureTemplate>,
+    /// Churn templates swept.
+    pub churn: Vec<ChurnTemplate>,
+    /// Record event traces (collision counts become available).
+    pub record_trace: bool,
+}
+
+impl CampaignSpec {
+    /// A single-axis campaign skeleton: Improved CFF, one channel, no
+    /// failures, no churn, on the paper's 10×10 field with seed 2007.
+    pub fn new(name: impl Into<String>) -> CampaignSpec {
+        CampaignSpec {
+            name: name.into(),
+            field_side: 10.0,
+            ns: vec![120],
+            reps: 3,
+            base_seed: 2007,
+            protocols: vec![ProtocolSpec::ImprovedCff],
+            channels: vec![1],
+            failures: vec![FailureTemplate::None],
+            churn: vec![ChurnTemplate::default()],
+            record_trace: true,
+        }
+    }
+
+    /// Number of trials the grid expands to.
+    pub fn trial_count(&self) -> usize {
+        self.protocols.len()
+            * self.channels.len()
+            * self.failures.len()
+            * self.churn.len()
+            * self.ns.len()
+            * self.reps as usize
+    }
+
+    /// Expand the grid into its trial list.
+    ///
+    /// The order — protocol, channels, failure, churn, n, rep, innermost
+    /// last — is part of the determinism contract: a trial's position in
+    /// this list is its identity, and its `stream_seed` derives from it.
+    ///
+    /// `scenario_seed` is keyed by `(base_seed, n, rep)` only, matching
+    /// `SweepConfig::seed` in the experiment harness, so every protocol /
+    /// channel / failure variant of a repetition shares its deployment.
+    pub fn expand(&self) -> Vec<Trial> {
+        let mut trials = Vec::with_capacity(self.trial_count());
+        let stream_root = derive_seed(self.base_seed, 0xCA3B_A16E);
+        for &protocol in &self.protocols {
+            for &channels in &self.channels {
+                for &failure in &self.failures {
+                    for &churn in &self.churn {
+                        for &n in &self.ns {
+                            for rep in 0..self.reps {
+                                let index = trials.len();
+                                trials.push(Trial {
+                                    index,
+                                    protocol,
+                                    channels,
+                                    failure,
+                                    churn,
+                                    n,
+                                    rep,
+                                    field_side: self.field_side,
+                                    record_trace: self.record_trace,
+                                    scenario_seed: derive_seed(
+                                        self.base_seed,
+                                        ((n as u64) << 20) | rep,
+                                    ),
+                                    stream_seed: derive_seed(stream_root, index as u64),
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        trials
+    }
+}
+
+/// One fully-specified simulation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Trial {
+    /// Position in [`CampaignSpec::expand`]'s order (the trial identity).
+    pub index: usize,
+    /// Protocol under test.
+    pub protocol: ProtocolSpec,
+    /// Radio channels.
+    pub channels: u8,
+    /// Failure template to instantiate.
+    pub failure: FailureTemplate,
+    /// Churn template to apply before the broadcast.
+    pub churn: ChurnTemplate,
+    /// Deployment size.
+    pub n: usize,
+    /// Repetition number within the cell.
+    pub rep: u64,
+    /// Square field side.
+    pub field_side: f64,
+    /// Whether to record the event trace.
+    pub record_trace: bool,
+    /// Deployment seed — shared across protocols/channels/failures of the
+    /// same `(n, rep)` so comparisons are paired.
+    pub scenario_seed: u64,
+    /// Private RNG stream for victim draws and churn placement.
+    pub stream_seed: u64,
+}
+
+impl Trial {
+    /// The cell label axes `(protocol, channels, failure, churn, n)` —
+    /// everything except the repetition.
+    pub fn cell_label(&self) -> String {
+        format!(
+            "{} k={} fail={} churn={} n={}",
+            self.protocol.name(),
+            self.channels,
+            self.failure.label(),
+            self.churn.label(),
+            self.n
+        )
+    }
+
+    /// Whether two trials belong to the same aggregation cell.
+    pub fn same_cell(&self, other: &Trial) -> bool {
+        self.protocol == other.protocol
+            && self.channels == other.channels
+            && self.failure == other.failure
+            && self.churn == other.churn
+            && self.n == other.n
+    }
+}
+
+/// Condensed outcome of one trial — the record streamed into the sink.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrialRecord {
+    /// Rounds until the engine stopped.
+    pub rounds: u64,
+    /// Targets that received the message.
+    pub delivered: u64,
+    /// Intended receivers.
+    pub targets: u64,
+    /// Rounds the worst-off node stayed awake (Figure 9's metric).
+    pub max_awake: u64,
+    /// Mean awake rounds over all participating nodes.
+    pub mean_awake: f64,
+    /// Receiver-side collisions; `None` when the trace was off.
+    pub collisions: Option<u64>,
+    /// Analytic round bound for this protocol and network.
+    pub bound: u64,
+    /// Live nodes after churn was applied (= deployment n without churn).
+    pub nodes: u64,
+}
+
+impl TrialRecord {
+    /// Fraction of targets that received the message.
+    pub fn delivery_ratio(&self) -> f64 {
+        if self.targets == 0 {
+            1.0
+        } else {
+            self.delivered as f64 / self.targets as f64
+        }
+    }
+
+    /// Whether every target received the message.
+    pub fn completed(&self) -> bool {
+        self.delivered == self.targets
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_axis_spec() -> CampaignSpec {
+        let mut spec = CampaignSpec::new("t");
+        spec.protocols = vec![ProtocolSpec::ImprovedCff, ProtocolSpec::Dfo];
+        spec.ns = vec![40, 80];
+        spec.reps = 2;
+        spec
+    }
+
+    #[test]
+    fn expansion_is_the_full_grid_in_stable_order() {
+        let spec = two_axis_spec();
+        let trials = spec.expand();
+        assert_eq!(trials.len(), spec.trial_count());
+        assert_eq!(trials.len(), 8);
+        for (i, t) in trials.iter().enumerate() {
+            assert_eq!(t.index, i);
+        }
+        // Innermost axis is rep, then n, protocol outermost.
+        assert_eq!(trials[0].protocol, ProtocolSpec::ImprovedCff);
+        assert_eq!((trials[0].n, trials[0].rep), (40, 0));
+        assert_eq!((trials[1].n, trials[1].rep), (40, 1));
+        assert_eq!((trials[2].n, trials[2].rep), (80, 0));
+        assert_eq!(trials[4].protocol, ProtocolSpec::Dfo);
+    }
+
+    #[test]
+    fn scenario_seeds_pair_protocols_and_stream_seeds_do_not() {
+        let trials = two_axis_spec().expand();
+        // Same (n, rep), different protocol → same deployment seed.
+        assert_eq!(trials[0].scenario_seed, trials[4].scenario_seed);
+        // Stream seeds are per-trial.
+        assert_ne!(trials[0].stream_seed, trials[4].stream_seed);
+        // Different reps diverge everywhere.
+        assert_ne!(trials[0].scenario_seed, trials[1].scenario_seed);
+    }
+
+    #[test]
+    fn expansion_is_reproducible() {
+        let spec = two_axis_spec();
+        assert_eq!(spec.expand(), spec.expand());
+    }
+
+    #[test]
+    fn labels_roundtrip() {
+        for f in [
+            FailureTemplate::None,
+            FailureTemplate::Backbone { count: 3, round: 1 },
+            FailureTemplate::Random { count: 7, round: 4 },
+        ] {
+            assert_eq!(FailureTemplate::parse(&f.label()), Some(f));
+        }
+        for c in [
+            ChurnTemplate::default(),
+            ChurnTemplate {
+                joins: 5,
+                leaves: 2,
+            },
+        ] {
+            assert_eq!(ChurnTemplate::parse(&c.label()), Some(c));
+        }
+        for p in [
+            ProtocolSpec::Dfo,
+            ProtocolSpec::BasicCff,
+            ProtocolSpec::ImprovedCff,
+        ] {
+            assert_eq!(ProtocolSpec::parse(p.name()), Some(p));
+        }
+        assert_eq!(FailureTemplate::parse("bogus"), None);
+        assert_eq!(ChurnTemplate::parse("j3"), None);
+    }
+
+    #[test]
+    fn cell_membership_ignores_rep() {
+        let trials = two_axis_spec().expand();
+        assert!(trials[0].same_cell(&trials[1]));
+        assert!(!trials[0].same_cell(&trials[2])); // different n
+        assert!(!trials[0].same_cell(&trials[4])); // different protocol
+    }
+}

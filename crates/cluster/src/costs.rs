@@ -19,7 +19,10 @@ pub struct SlotCalcCost {
 impl SlotCalcCost {
     /// Cost of a calculation that consulted `consulted` receivers.
     pub fn new(consulted: usize) -> Self {
-        Self { rounds: 1 + consulted as u64, consulted: consulted as u64 }
+        Self {
+            rounds: 1 + consulted as u64,
+            consulted: consulted as u64,
+        }
     }
 }
 
@@ -79,7 +82,11 @@ mod tests {
 
     #[test]
     fn move_in_total_sums_parts() {
-        let c = MoveInCost { discovery: 3, slot_update: 7, propagation: 4 };
+        let c = MoveInCost {
+            discovery: 3,
+            slot_update: 7,
+            propagation: 4,
+        };
         assert_eq!(c.total(), 14);
     }
 

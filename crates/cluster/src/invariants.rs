@@ -30,13 +30,20 @@ use dsnet_graph::{degree, NodeId};
 #[allow(missing_docs)] // variant names and fields are the documentation
 pub enum Violation {
     /// The tree does not span exactly the live graph nodes.
-    SpanMismatch { tree_nodes: usize, graph_nodes: usize },
+    SpanMismatch {
+        tree_nodes: usize,
+        graph_nodes: usize,
+    },
     /// A CNet parent link with no corresponding `G` edge.
     TreeEdgeNotInGraph { child: NodeId, parent: NodeId },
     /// The root is not a cluster-head.
     RootNotHead(NodeId),
     /// A head at odd depth or a gateway at even depth.
-    DepthParity { node: NodeId, status: NodeStatus, depth: u32 },
+    DepthParity {
+        node: NodeId,
+        status: NodeStatus,
+        depth: u32,
+    },
     /// A pure-member with children.
     MemberNotLeaf(NodeId),
     /// A node whose parent's status breaks Definition 1.
@@ -48,7 +55,11 @@ pub enum Violation {
     /// A Time-Slot Condition 2 violation (stringified detail).
     SlotCondition(String),
     /// A slot value above its Lemma-3 bound.
-    SlotBound { kind: &'static str, max: u32, bound: u32 },
+    SlotBound {
+        kind: &'static str,
+        max: u32,
+        bound: u32,
+    },
     /// Growth-only: a gateway with no head child.
     GatewayWithoutHeadChild(NodeId),
     /// Growth-only: `|BT| > 2·#clusters − 1` (Property 1(1)).
@@ -66,12 +77,18 @@ pub fn check_core(net: &ClusterNet) -> Result<(), Vec<Violation>> {
 
     // (1) spanning tree of G.
     if tree.len() != g.node_count() {
-        v.push(Violation::SpanMismatch { tree_nodes: tree.len(), graph_nodes: g.node_count() });
+        v.push(Violation::SpanMismatch {
+            tree_nodes: tree.len(),
+            graph_nodes: g.node_count(),
+        });
     }
     for u in tree.nodes() {
         if let Some(p) = tree.parent(u) {
             if !g.has_edge(u, p) {
-                v.push(Violation::TreeEdgeNotInGraph { child: u, parent: p });
+                v.push(Violation::TreeEdgeNotInGraph {
+                    child: u,
+                    parent: p,
+                });
             }
         }
     }
@@ -83,12 +100,16 @@ pub fn check_core(net: &ClusterNet) -> Result<(), Vec<Violation>> {
     for u in tree.nodes() {
         let depth = tree.depth(u);
         match net.status(u) {
-            NodeStatus::ClusterHead if depth % 2 != 0 => {
-                v.push(Violation::DepthParity { node: u, status: NodeStatus::ClusterHead, depth })
-            }
-            NodeStatus::Gateway if depth % 2 != 1 => {
-                v.push(Violation::DepthParity { node: u, status: NodeStatus::Gateway, depth })
-            }
+            NodeStatus::ClusterHead if depth % 2 != 0 => v.push(Violation::DepthParity {
+                node: u,
+                status: NodeStatus::ClusterHead,
+                depth,
+            }),
+            NodeStatus::Gateway if depth % 2 != 1 => v.push(Violation::DepthParity {
+                node: u,
+                status: NodeStatus::Gateway,
+                depth,
+            }),
             _ => {}
         }
     }
@@ -149,10 +170,18 @@ pub fn check_core(net: &ClusterNet) -> Result<(), Vec<Violation>> {
     let b_bound = small_d * (small_d + 1) / 2 + 1;
     let l_bound = big_d * (big_d + 1) / 2 + 1;
     if net.delta_b() > b_bound {
-        v.push(Violation::SlotBound { kind: "b", max: net.delta_b(), bound: b_bound });
+        v.push(Violation::SlotBound {
+            kind: "b",
+            max: net.delta_b(),
+            bound: b_bound,
+        });
     }
     if net.delta_l() > l_bound {
-        v.push(Violation::SlotBound { kind: "l", max: net.delta_l(), bound: l_bound });
+        v.push(Violation::SlotBound {
+            kind: "l",
+            max: net.delta_l(),
+            bound: l_bound,
+        });
     }
 
     if v.is_empty() {
@@ -185,7 +214,10 @@ pub fn check_growth(net: &ClusterNet) -> Result<(), Vec<Violation>> {
     let (heads, gateways, _members) = net.status_counts();
     let backbone = heads + gateways;
     if backbone > 2 * heads.saturating_sub(1) + 1 {
-        v.push(Violation::BackboneTooLarge { backbone, clusters: heads });
+        v.push(Violation::BackboneTooLarge {
+            backbone,
+            clusters: heads,
+        });
     }
     if v.is_empty() {
         Ok(())

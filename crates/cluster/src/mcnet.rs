@@ -34,8 +34,15 @@ pub struct McNet {
 impl McNet {
     /// Wrap an (empty) cluster structure for group-aware growth.
     pub fn new(net: ClusterNet) -> Self {
-        assert!(net.is_empty(), "wrap an empty ClusterNet and grow through McNet");
-        Self { net, groups: Vec::new(), relay: Vec::new() }
+        assert!(
+            net.is_empty(),
+            "wrap an empty ClusterNet and grow through McNet"
+        );
+        Self {
+            net,
+            groups: Vec::new(),
+            relay: Vec::new(),
+        }
     }
 
     /// An empty MCNet with the default parent rule and slot mode.
@@ -206,7 +213,9 @@ impl McNet {
             let want: BTreeMap<GroupId, u32> =
                 fresh[u.index()].iter().map(|(&g, &c)| (g, c)).collect();
             if have != want {
-                return Err(format!("relay mismatch at {u}: have {have:?}, want {want:?}"));
+                return Err(format!(
+                    "relay mismatch at {u}: have {have:?}, want {want:?}"
+                ));
             }
         }
         Ok(())

@@ -111,10 +111,12 @@ impl ClusterNet {
             let demote_b = !view.bt_internal(lev_parent);
             let demote_l = !view.cnet_internal(lev_parent);
             if demote_b {
-                self.slots_mut().clear_kind(crate::slots::SlotKind::B, lev_parent);
+                self.slots_mut()
+                    .clear_kind(crate::slots::SlotKind::B, lev_parent);
             }
             if demote_l {
-                self.slots_mut().clear_kind(crate::slots::SlotKind::L, lev_parent);
+                self.slots_mut()
+                    .clear_kind(crate::slots::SlotKind::L, lev_parent);
             }
         }
 
@@ -173,7 +175,11 @@ impl ClusterNet {
         // Step 3: the largest revised b-slot travels back to the root.
         cost.final_report = self.height() as u64;
 
-        Ok(MoveOutReport { node: lev, rehomed, cost })
+        Ok(MoveOutReport {
+            node: lev,
+            rehomed,
+            cost,
+        })
     }
 
     /// Re-establish Time-Slot Condition 2 at receiver `v` after
@@ -192,7 +198,10 @@ impl ClusterNet {
                 && !condition_b_holds(&view, self.slots(), v)
         };
         if needs_b {
-            let p = self.tree().parent(v).expect("backbone receiver has a parent");
+            let p = self
+                .tree()
+                .parent(v)
+                .expect("backbone receiver has a parent");
             let (graph, tree, status, slots) = self.split_for_slots();
             let view = NetView::new(graph, tree, status);
             rounds += calculate_b_slot(&view, slots, p).rounds;
@@ -390,7 +399,11 @@ impl ClusterNet {
             .expect("BFS order over a connected graph always attaches");
         let rounds = rebuilt.len() as u64;
         *self = rebuilt;
-        Ok(RootMoveOutReport { old_root, new_root, rounds })
+        Ok(RootMoveOutReport {
+            old_root,
+            new_root,
+            rounds,
+        })
     }
 }
 

@@ -468,7 +468,11 @@ impl ClusterNet {
         rule: ParentRule,
         mode: SlotMode,
     ) -> Result<Self, MoveInError> {
-        assert_eq!(order.len(), graph.node_count(), "order must cover every live node");
+        assert_eq!(
+            order.len(),
+            graph.node_count(),
+            "order must cover every live node"
+        );
         let mut net = ClusterNet::new(rule, mode);
         net.graph = graph;
         net.ensure_status_capacity();
@@ -500,8 +504,12 @@ impl ClusterNet {
         let mut reports = Vec::with_capacity(full.node_count());
         for i in 0..full.node_count() {
             let u = NodeId(i as u32);
-            let earlier: Vec<NodeId> =
-                full.neighbors(u).iter().copied().filter(|&v| v < u).collect();
+            let earlier: Vec<NodeId> = full
+                .neighbors(u)
+                .iter()
+                .copied()
+                .filter(|&v| v < u)
+                .collect();
             reports.push(net.move_in(&earlier)?);
         }
         Ok((net, reports))
@@ -548,7 +556,7 @@ mod tests {
         let mut net = ClusterNet::with_defaults();
         net.move_in(&[]).unwrap(); // 0 head
         net.move_in(&[NodeId(0)]).unwrap(); // 1 member
-        // 2 hears only member 1 → 1 promoted to gateway, 2 becomes head.
+                                            // 2 hears only member 1 → 1 promoted to gateway, 2 becomes head.
         let r = net.move_in(&[NodeId(1)]).unwrap();
         assert_eq!(r.status, NodeStatus::ClusterHead);
         assert_eq!(r.promoted_gateway, Some(NodeId(1)));
@@ -562,7 +570,7 @@ mod tests {
         net.move_in(&[]).unwrap();
         net.move_in(&[NodeId(0)]).unwrap();
         net.move_in(&[NodeId(1)]).unwrap(); // promotes 1
-        // 3 hears only gateway 1 → head under 1.
+                                            // 3 hears only gateway 1 → head under 1.
         let r = net.move_in(&[NodeId(1)]).unwrap();
         assert_eq!(r.status, NodeStatus::ClusterHead);
         assert_eq!(r.parent, Some(NodeId(1)));
@@ -575,7 +583,7 @@ mod tests {
         net.move_in(&[]).unwrap(); // 0 head
         net.move_in(&[NodeId(0)]).unwrap(); // 1 member of 0
         net.move_in(&[NodeId(1)]).unwrap(); // 2 head, 1 gateway
-        // 3 hears head 0, gateway 1, head 2 → must join a head.
+                                            // 3 hears head 0, gateway 1, head 2 → must join a head.
         let r = net.move_in(&[NodeId(0), NodeId(1), NodeId(2)]).unwrap();
         assert_eq!(r.status, NodeStatus::PureMember);
         assert_eq!(r.parent, Some(NodeId(0))); // lowest-id head

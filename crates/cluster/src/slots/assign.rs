@@ -104,12 +104,7 @@ pub fn condition_b_holds(view: &NetView<'_>, slots: &SlotTable, v: NodeId) -> bo
 }
 
 /// Time-Slot Condition 2, l-side, at member leaf `v`.
-pub fn condition_l_holds(
-    view: &NetView<'_>,
-    slots: &SlotTable,
-    mode: SlotMode,
-    v: NodeId,
-) -> bool {
+pub fn condition_l_holds(view: &NetView<'_>, slots: &SlotTable, mode: SlotMode, v: NodeId) -> bool {
     let p = view.p_l(v, mode);
     if p.is_empty() {
         return false;
@@ -276,8 +271,18 @@ mod tests {
         calculate_l_slot(&view, &mut strict, SlotMode::Strict, NodeId(3));
         // Member 1 hears 0 (depth 0) and 3 (depth 2): strict assignment
         // keeps a unique slot available.
-        assert!(condition_l_holds(&view, &strict, SlotMode::Strict, NodeId(1)));
-        assert!(condition_l_holds(&view, &strict, SlotMode::Strict, NodeId(4)));
+        assert!(condition_l_holds(
+            &view,
+            &strict,
+            SlotMode::Strict,
+            NodeId(1)
+        ));
+        assert!(condition_l_holds(
+            &view,
+            &strict,
+            SlotMode::Strict,
+            NodeId(4)
+        ));
 
         // Paper mode ignores the cross-depth neighbour entirely.
         let paper_c3 = view.c_l(NodeId(3), SlotMode::PaperFaithful);

@@ -71,7 +71,10 @@ pub struct SlotTable {
 impl SlotTable {
     /// An empty table sized for `cap` node ids.
     pub fn with_capacity(cap: usize) -> Self {
-        Self { b: vec![None; cap], l: vec![None; cap] }
+        Self {
+            b: vec![None; cap],
+            l: vec![None; cap],
+        }
     }
 
     /// Grow the table to cover `cap` node ids.

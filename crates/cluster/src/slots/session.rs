@@ -60,11 +60,7 @@ pub fn assign_session_slots(
         .collect();
     l_transmitters.sort_by_key(|&u| (view.tree.depth(u), u));
     for &y in &l_transmitters {
-        let receivers: Vec<NodeId> = view
-            .c_l(y, mode)
-            .into_iter()
-            .filter(|&v| rx(v))
-            .collect();
+        let receivers: Vec<NodeId> = view.c_l(y, mode).into_iter().filter(|&v| rx(v)).collect();
         let slot = pick_slot(&receivers, &slots, SlotKind::L, y, |v| {
             view.p_l(v, mode).into_iter().filter(|&t| tx(t)).collect()
         });
@@ -176,7 +172,14 @@ mod tests {
 
     #[test]
     fn full_session_equals_broadcast_validity() {
-        let net = grow(&[(0, 0, 0), (1, 0, 1), (2, 1, 0), (3, 2, 1), (4, 3, 2), (5, 1, 2)]);
+        let net = grow(&[
+            (0, 0, 0),
+            (1, 0, 1),
+            (2, 1, 0),
+            (3, 2, 1),
+            (4, 3, 2),
+            (5, 1, 2),
+        ]);
         let view = net.view();
         let all = |_u: NodeId| true;
         let slots = assign_session_slots(&view, net.mode(), &all, &all);
@@ -187,15 +190,24 @@ mod tests {
     #[test]
     fn pruned_session_is_sound_for_participants() {
         let net = grow(&[
-            (0, 0, 0), (1, 0, 1), (2, 1, 0), (3, 2, 1), (4, 3, 2),
-            (5, 1, 2), (6, 4, 3), (7, 5, 2), (8, 6, 1),
+            (0, 0, 0),
+            (1, 0, 1),
+            (2, 1, 0),
+            (3, 2, 1),
+            (4, 3, 2),
+            (5, 1, 2),
+            (6, 4, 3),
+            (7, 5, 2),
+            (8, 6, 1),
         ]);
         let view = net.view();
         // Participants: even ids receive, ancestors of even ids forward.
         let rx = |u: NodeId| u.0.is_multiple_of(2);
         let tree = net.tree();
         let tx = |u: NodeId| {
-            tree.subtree_nodes(u).iter().any(|&d| d != u && d.0.is_multiple_of(2))
+            tree.subtree_nodes(u)
+                .iter()
+                .any(|&d| d != u && d.0.is_multiple_of(2))
         };
         let slots = assign_session_slots(&view, net.mode(), &tx, &rx);
         let violations = validate_session(&view, &slots, net.mode(), &tx, &rx);

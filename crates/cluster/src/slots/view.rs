@@ -25,7 +25,11 @@ pub struct NetView<'a> {
 impl<'a> NetView<'a> {
     /// Bundle the three structures into a view.
     pub fn new(graph: &'a Graph, tree: &'a RootedTree, status: &'a [NodeStatus]) -> Self {
-        Self { graph, tree, status }
+        Self {
+            graph,
+            tree,
+            status,
+        }
     }
 
     /// Node is attached to the cluster structure.
@@ -209,7 +213,10 @@ mod tests {
         let v = NetView::new(&g, &t, &s);
         assert_eq!(v.c_l(NodeId(0), SlotMode::PaperFaithful), vec![NodeId(3)]);
         // Node 1 is internal and G-adjacent to member 3 (same depth):
-        assert_eq!(v.c_l(NodeId(1), SlotMode::PaperFaithful), Vec::<NodeId>::new());
+        assert_eq!(
+            v.c_l(NodeId(1), SlotMode::PaperFaithful),
+            Vec::<NodeId>::new()
+        );
         assert_eq!(v.c_l(NodeId(1), SlotMode::Strict), vec![NodeId(3)]);
     }
 

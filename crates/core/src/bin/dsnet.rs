@@ -6,14 +6,23 @@
 //! dsnet multicast --nodes 300 --seed 7 --density 0.1 [--reliable]
 //! dsnet churn     --nodes 200 --seed 7 --epochs 10
 //! dsnet render    --nodes 250 --seed 7 --out network.svg
+//! dsnet campaign  --ns 100,200 --reps 5 --protocols cff,cff1,dfo \
+//!                 [--channels 1,2] [--failures none,bb3@1] [--churn none,j5l2] \
+//!                 [--threads T] [--json FILE] [--csv FILE] [--trials] [--quiet]
 //! ```
 //!
-//! Every command is deterministic per `--seed`.
+//! Every command is deterministic per `--seed`; `campaign` artifacts are
+//! additionally byte-identical for any `--threads` value.
 
+use dsnet::campaign_engine::{
+    render_csv, render_json, render_trials_csv, CampaignSpec, ChurnTemplate, FailureTemplate,
+    Progress, ProtocolSpec,
+};
 use dsnet::protocols::runner::{run_multicast_reliable, RunConfig};
 use dsnet::viz::{render_svg, VizOptions};
 use dsnet::{GroupPlan, NetworkBuilder, Protocol, SensorNetwork};
 use dsnet_graph::NodeId;
+use std::io::Write as _;
 
 struct Args {
     nodes: usize,
@@ -26,6 +35,19 @@ struct Args {
     reliable: bool,
     epochs: u32,
     out: String,
+    // campaign-only axes and outputs
+    ns: Vec<usize>,
+    reps: u64,
+    protocols: Vec<ProtocolSpec>,
+    channel_set: Vec<u8>,
+    failures: Vec<FailureTemplate>,
+    churn: Vec<ChurnTemplate>,
+    threads: usize,
+    json: Option<String>,
+    csv: Option<String>,
+    trials: bool,
+    no_trace: bool,
+    quiet: bool,
 }
 
 impl Default for Args {
@@ -41,18 +63,42 @@ impl Default for Args {
             reliable: false,
             epochs: 10,
             out: "network.svg".into(),
+            ns: vec![100, 200, 300],
+            reps: 3,
+            protocols: vec![ProtocolSpec::ImprovedCff, ProtocolSpec::Dfo],
+            channel_set: vec![1],
+            failures: vec![FailureTemplate::None],
+            churn: vec![ChurnTemplate::default()],
+            threads: 0,
+            json: None,
+            csv: None,
+            trials: false,
+            no_trace: false,
+            quiet: false,
         }
     }
 }
 
 fn usage() -> ! {
     eprintln!(
-        "usage: dsnet <stats|broadcast|multicast|churn|render> \
+        "usage: dsnet <stats|broadcast|multicast|churn|render|campaign> \
          [--nodes N] [--seed S] [--field SIDE] [--protocol cff|cff1|dfo] \
          [--channels K] [--source ID] [--density P] [--reliable] \
-         [--epochs E] [--out FILE]"
+         [--epochs E] [--out FILE]\n\
+         campaign axes: [--ns N1,N2,..] [--reps R] [--protocols cff,cff1,dfo] \
+         [--channels K1,K2,..] [--failures none|bb<C>@<R>|any<C>@<R>,..] \
+         [--churn none|j<J>l<L>,..] [--threads T] [--json FILE] [--csv FILE] \
+         [--trials] [--no-trace] [--quiet]"
     );
     std::process::exit(2);
+}
+
+fn parse_list<T>(raw: &str, parse_one: impl Fn(&str) -> Option<T>) -> Vec<T> {
+    let items: Vec<T> = raw.split(',').filter_map(|s| parse_one(s.trim())).collect();
+    if items.is_empty() || items.len() != raw.split(',').count() {
+        usage();
+    }
+    items
 }
 
 fn parse() -> (String, Args) {
@@ -65,7 +111,10 @@ fn parse() -> (String, Args) {
             "--nodes" => a.nodes = val().parse().unwrap_or_else(|_| usage()),
             "--seed" => a.seed = val().parse().unwrap_or_else(|_| usage()),
             "--field" => a.field = val().parse().unwrap_or_else(|_| usage()),
-            "--channels" => a.channels = val().parse().unwrap_or_else(|_| usage()),
+            "--channels" => {
+                a.channel_set = parse_list(&val(), |s| s.parse().ok());
+                a.channels = a.channel_set[0];
+            }
             "--source" => a.source = Some(val().parse().unwrap_or_else(|_| usage())),
             "--density" => a.density = val().parse().unwrap_or_else(|_| usage()),
             "--epochs" => a.epochs = val().parse().unwrap_or_else(|_| usage()),
@@ -79,16 +128,100 @@ fn parse() -> (String, Args) {
                     _ => usage(),
                 }
             }
+            "--ns" => a.ns = parse_list(&val(), |s| s.parse().ok()),
+            "--reps" => a.reps = val().parse().unwrap_or_else(|_| usage()),
+            "--protocols" => a.protocols = parse_list(&val(), ProtocolSpec::parse),
+            "--failures" => a.failures = parse_list(&val(), FailureTemplate::parse),
+            "--churn" => a.churn = parse_list(&val(), ChurnTemplate::parse),
+            "--threads" => a.threads = val().parse().unwrap_or_else(|_| usage()),
+            "--json" => a.json = Some(val()),
+            "--csv" => a.csv = Some(val()),
+            "--trials" => a.trials = true,
+            "--no-trace" => a.no_trace = true,
+            "--quiet" => a.quiet = true,
             _ => usage(),
         }
     }
     (cmd, a)
 }
 
+fn run_campaign_cmd(a: &Args) {
+    let spec = CampaignSpec {
+        name: "cli".into(),
+        field_side: a.field,
+        ns: a.ns.clone(),
+        reps: a.reps,
+        base_seed: a.seed,
+        protocols: a.protocols.clone(),
+        channels: a.channel_set.clone(),
+        failures: a.failures.clone(),
+        churn: a.churn.clone(),
+        record_trace: !a.no_trace,
+    };
+    let progress = |p: Progress<'_>| {
+        eprint!(
+            "\r[{}/{}] {}          ",
+            p.done,
+            p.total,
+            p.trial.cell_label()
+        );
+        let _ = std::io::stderr().flush();
+    };
+    let result = dsnet::campaign::run(
+        &spec,
+        a.threads,
+        if a.quiet { None } else { Some(&progress) },
+    );
+    if !a.quiet {
+        eprintln!();
+    }
+    println!(
+        "{} trials on {} threads in {:.2}s",
+        result.trials.len(),
+        result.threads,
+        result.elapsed.as_secs_f64()
+    );
+    println!(
+        "{:<38} {:>14} {:>7} {:>7} {:>9} {:>9} {:>10}",
+        "cell", "rounds", "p50", "p90", "delivery", "max-awake", "collisions"
+    );
+    for c in &result.cells {
+        println!(
+            "{:<38} {:>14} {:>7} {:>7} {:>9.3} {:>9.1} {:>10}",
+            c.label(),
+            c.rounds.to_string(),
+            c.rounds_p50,
+            c.rounds_p90,
+            c.delivery.mean,
+            c.max_awake.mean,
+            c.collisions.map_or("n/a".into(), |v| v.to_string()),
+        );
+    }
+    if let Some(path) = &a.json {
+        let doc = render_json(&result, a.trials);
+        std::fs::write(path, &doc).expect("write JSON artifact");
+        println!("wrote {path} ({} bytes)", doc.len());
+    }
+    if let Some(path) = &a.csv {
+        let doc = render_csv(&result);
+        std::fs::write(path, &doc).expect("write CSV artifact");
+        println!("wrote {path} ({} bytes)", doc.len());
+        if a.trials {
+            let tpath = format!("{path}.trials.csv");
+            let tdoc = render_trials_csv(&result);
+            std::fs::write(&tpath, &tdoc).expect("write trials CSV artifact");
+            println!("wrote {tpath} ({} bytes)", tdoc.len());
+        }
+    }
+}
+
 fn build(a: &Args, groups: bool) -> SensorNetwork {
     let mut b = NetworkBuilder::paper_field(a.field, a.nodes, a.seed);
     if groups {
-        b = b.groups(GroupPlan { groups: 1, membership: a.density });
+        b = b.groups(GroupPlan {
+            groups: 1,
+            membership: a.density,
+        });
     }
     b.build().expect("incremental deployments always build")
 }
@@ -115,7 +248,10 @@ fn main() {
         "broadcast" => {
             let net = build(&a, false);
             let source = a.source.map(NodeId).unwrap_or_else(|| net.sink());
-            let cfg = RunConfig { channels: a.channels, ..Default::default() };
+            let cfg = RunConfig {
+                channels: a.channels,
+                ..Default::default()
+            };
             let out = net.broadcast_from(a.protocol, source, &cfg);
             println!(
                 "{:?} from {source}: {} rounds (bound {}), {}/{} delivered, max awake {}, mean awake {:.1}",
@@ -182,6 +318,7 @@ fn main() {
             std::fs::write(&a.out, &svg).expect("write SVG");
             println!("wrote {} ({} bytes)", a.out, svg.len());
         }
+        "campaign" => run_campaign_cmd(&a),
         _ => usage(),
     }
 }

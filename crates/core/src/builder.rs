@@ -116,12 +116,19 @@ impl NetworkBuilder {
         let mut group_rng =
             dsnet_geom::rng::rng_from_seed(derive_seed(self.deployment.seed, 0xC0FFEE));
 
-        let mut mc = McNet::new(dsnet_cluster::ClusterNet::new(self.parent_rule, self.slot_mode));
+        let mut mc = McNet::new(dsnet_cluster::ClusterNet::new(
+            self.parent_rule,
+            self.slot_mode,
+        ));
         let mut reports = Vec::with_capacity(deployment.len());
         for i in 0..deployment.len() {
             let u = NodeId(i as u32);
-            let earlier: Vec<NodeId> =
-                full.neighbors(u).iter().copied().filter(|&v| v < u).collect();
+            let earlier: Vec<NodeId> = full
+                .neighbors(u)
+                .iter()
+                .copied()
+                .filter(|&v| v < u)
+                .collect();
             if i > 0 && earlier.is_empty() {
                 return Err(BuildError::DisconnectedArrival(u));
             }
@@ -162,7 +169,10 @@ mod tests {
     #[test]
     fn group_plan_populates_groups() {
         let net = NetworkBuilder::paper(100, 5)
-            .groups(GroupPlan { groups: 3, membership: 0.3 })
+            .groups(GroupPlan {
+                groups: 3,
+                membership: 0.3,
+            })
             .build()
             .unwrap();
         let total: usize = (0..3).map(|g| net.mcnet().group_members(g).len()).sum();

@@ -1,0 +1,247 @@
+//! Concrete campaign execution: the [`dsnet_campaign`] engine wired to
+//! [`NetworkBuilder`] deployments and the protocol runners.
+//!
+//! `dsnet-campaign` is deliberately generic — it knows grids, seeds,
+//! worker pools and artifacts, but not how to simulate anything. This
+//! module supplies the missing piece: [`run_trial`] builds the trial's
+//! deployment from its `scenario_seed`, applies the churn and failure
+//! templates using the trial's private `stream_seed`, runs the selected
+//! protocol and condenses the outcome into a [`TrialRecord`].
+
+use crate::builder::NetworkBuilder;
+use crate::experiments::common::SweepConfig;
+use crate::network::{Protocol, SensorNetwork};
+use dsnet_campaign::{
+    CampaignResult, CampaignSpec, ChurnTemplate, FailureTemplate, Progress, ProtocolSpec, Trial,
+    TrialRecord,
+};
+use dsnet_geom::rng::rng_from_seed;
+use dsnet_geom::Point2;
+use dsnet_graph::NodeId;
+use dsnet_protocols::runner::RunConfig;
+use dsnet_radio::FailurePlan;
+use rand::seq::SliceRandom as _;
+use rand::Rng as _;
+
+fn protocol_of(spec: ProtocolSpec) -> Protocol {
+    match spec {
+        ProtocolSpec::Dfo => Protocol::Dfo,
+        ProtocolSpec::BasicCff => Protocol::BasicCff,
+        ProtocolSpec::ImprovedCff => Protocol::ImprovedCff,
+    }
+}
+
+/// Apply a churn template: `leaves` random non-sink departures, then
+/// `joins` arrivals placed in radio range of surviving nodes. All draws
+/// come from `rng` (the trial's private stream).
+fn apply_churn(net: &mut SensorNetwork, churn: &ChurnTemplate, rng: &mut dsnet_geom::rng::Rng) {
+    let range = net.deployment().config.range;
+    for _ in 0..churn.leaves {
+        let mut candidates: Vec<NodeId> = net
+            .net()
+            .tree()
+            .nodes()
+            .filter(|&u| u != net.sink())
+            .collect();
+        candidates.shuffle(rng);
+        // move-out can defer under concurrent structural edge cases;
+        // try candidates until one departs.
+        for u in candidates {
+            if net.leave(u).is_ok() {
+                break;
+            }
+        }
+    }
+    for _ in 0..churn.joins {
+        // A powered-up sensor lands near an existing node: pick an anchor
+        // and offset within (0.7·range)·√2 ≤ range of it.
+        for _attempt in 0..16 {
+            let anchors: Vec<NodeId> = net.net().tree().nodes().collect();
+            let Some(&anchor) = anchors.as_slice().choose(rng) else {
+                break;
+            };
+            let at = net.position(anchor);
+            let dx: f64 = rng.random_range(-0.7 * range..=0.7 * range);
+            let dy: f64 = rng.random_range(-0.7 * range..=0.7 * range);
+            if net.join(Point2::new(at.x + dx, at.y + dy), &[]).is_ok() {
+                break;
+            }
+        }
+    }
+}
+
+/// Instantiate a failure template as a concrete [`FailurePlan`], drawing
+/// victims from `rng`.
+fn apply_failures(
+    net: &SensorNetwork,
+    template: &FailureTemplate,
+    rng: &mut dsnet_geom::rng::Rng,
+) -> FailurePlan {
+    let mut plan = FailurePlan::new();
+    let (count, round, mut pool): (usize, u64, Vec<NodeId>) = match *template {
+        FailureTemplate::None => return plan,
+        FailureTemplate::Backbone { count, round } => (
+            count,
+            round,
+            net.net()
+                .backbone_nodes()
+                .into_iter()
+                .filter(|&u| u != net.sink())
+                .collect(),
+        ),
+        FailureTemplate::Random { count, round } => (
+            count,
+            round,
+            net.net()
+                .tree()
+                .nodes()
+                .filter(|&u| u != net.sink())
+                .collect(),
+        ),
+    };
+    pool.shuffle(rng);
+    for &victim in pool.iter().take(count) {
+        plan.kill_node(victim, round);
+    }
+    plan
+}
+
+/// Execute one campaign trial end-to-end. A pure function of the trial:
+/// every random draw comes from the trial's own seeds, which is what lets
+/// the engine run trials in any order on any number of threads.
+pub fn run_trial(trial: &Trial) -> TrialRecord {
+    let mut net = NetworkBuilder::paper_field(trial.field_side, trial.n, trial.scenario_seed)
+        .build()
+        .expect("incremental deployments always build");
+    let mut rng = rng_from_seed(trial.stream_seed);
+    apply_churn(&mut net, &trial.churn, &mut rng);
+    let cfg = RunConfig {
+        channels: trial.channels,
+        failures: apply_failures(&net, &trial.failure, &mut rng),
+        record_trace: trial.record_trace,
+    };
+    let out = net.broadcast_from(protocol_of(trial.protocol), net.sink(), &cfg);
+    TrialRecord {
+        rounds: out.rounds,
+        delivered: out.delivered as u64,
+        targets: out.targets as u64,
+        max_awake: out.energy.max_awake,
+        mean_awake: out.energy.mean_awake,
+        collisions: out.collisions.map(|c| c as u64),
+        bound: out.bound,
+        nodes: net.len() as u64,
+    }
+}
+
+/// Run a campaign spec on the concrete trial runner.
+///
+/// `threads = 0` uses every available core; the results are identical
+/// either way (see the `dsnet-campaign` determinism contract).
+pub fn run(
+    spec: &CampaignSpec,
+    threads: usize,
+    on_progress: Option<&(dyn Fn(Progress<'_>) + Sync)>,
+) -> CampaignResult {
+    dsnet_campaign::run_campaign(spec, &run_trial, threads, on_progress)
+}
+
+/// A campaign spec matching a [`SweepConfig`]'s field, sizes, reps and
+/// seed — the bridge the figure drivers use. Scenario seeds coincide with
+/// [`SweepConfig::seed`], so campaign trials run on the *same
+/// deployments* as the legacy sequential experiments.
+pub fn sweep_spec(name: &str, cfg: &SweepConfig, protocols: Vec<ProtocolSpec>) -> CampaignSpec {
+    let mut spec = CampaignSpec::new(name);
+    spec.field_side = cfg.field_side;
+    spec.ns = cfg.ns.clone();
+    spec.reps = cfg.reps;
+    spec.base_seed = cfg.base_seed;
+    spec.protocols = protocols;
+    spec
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsnet_campaign::render_json;
+
+    fn tiny_spec() -> CampaignSpec {
+        let mut spec = sweep_spec(
+            "tiny",
+            &SweepConfig::quick(),
+            vec![ProtocolSpec::ImprovedCff, ProtocolSpec::Dfo],
+        );
+        spec.ns = vec![40];
+        spec.reps = 2;
+        spec
+    }
+
+    #[test]
+    fn artifacts_are_byte_identical_across_thread_counts() {
+        let spec = tiny_spec();
+        let serial = run(&spec, 1, None);
+        let parallel = run(&spec, 4, None);
+        assert_eq!(render_json(&serial, true), render_json(&parallel, true));
+        assert_eq!(serial.records, parallel.records);
+    }
+
+    #[test]
+    fn protocols_share_deployments_within_a_rep() {
+        let result = run(&tiny_spec(), 0, None);
+        // Same (n, rep) across protocols → same target count (same net).
+        let cff: Vec<_> = result
+            .select(|t| t.protocol == ProtocolSpec::ImprovedCff)
+            .collect();
+        let dfo: Vec<_> = result.select(|t| t.protocol == ProtocolSpec::Dfo).collect();
+        for ((tc, rc), (td, rd)) in cff.iter().zip(&dfo) {
+            assert_eq!(tc.scenario_seed, td.scenario_seed);
+            assert_eq!(rc.targets, rd.targets);
+        }
+    }
+
+    #[test]
+    fn failure_template_kills_reduce_delivery_or_not_but_run() {
+        let mut spec = tiny_spec();
+        spec.protocols = vec![ProtocolSpec::Dfo];
+        spec.failures = vec![
+            FailureTemplate::None,
+            FailureTemplate::Backbone { count: 3, round: 1 },
+        ];
+        let result = run(&spec, 0, None);
+        let clean = result
+            .cell(
+                ProtocolSpec::Dfo,
+                1,
+                FailureTemplate::None,
+                ChurnTemplate::default(),
+                40,
+            )
+            .unwrap();
+        let failed = result
+            .cell(
+                ProtocolSpec::Dfo,
+                1,
+                FailureTemplate::Backbone { count: 3, round: 1 },
+                ChurnTemplate::default(),
+                40,
+            )
+            .unwrap();
+        assert_eq!(clean.completed, clean.trials, "no-failure DFO completes");
+        // Killing 3 backbone nodes at round 1 must cost DFO coverage.
+        assert!(failed.delivery.mean < clean.delivery.mean);
+    }
+
+    #[test]
+    fn churn_template_changes_population() {
+        let mut spec = tiny_spec();
+        spec.protocols = vec![ProtocolSpec::ImprovedCff];
+        spec.churn = vec![ChurnTemplate {
+            joins: 4,
+            leaves: 2,
+        }];
+        let result = run(&spec, 0, None);
+        for (_, rec) in result.select(|_| true) {
+            assert_eq!(rec.nodes, 40 + 4 - 2);
+            assert!(rec.completed(), "CFF should cover the churned net");
+        }
+    }
+}

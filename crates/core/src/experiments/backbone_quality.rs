@@ -13,11 +13,7 @@ use dsnet_metrics::{Series, Summary, SweepTable};
 
 /// Run this experiment over `cfg` and return its table.
 pub fn run(cfg: &SweepConfig) -> SweepTable {
-    let mut table = SweepTable::new(
-        "E16 — BT(G) vs greedy CDS backbone size",
-        "n",
-        cfg.xs(),
-    );
+    let mut table = SweepTable::new("E16 — BT(G) vs greedy CDS backbone size", "n", cfg.xs());
     let mut bt = Series::new("|BT(G)| (incremental)");
     let mut cds = Series::new("|greedy CDS| (global)");
     let mut heads = Series::new("#clusters");

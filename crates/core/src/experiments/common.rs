@@ -33,7 +33,12 @@ impl Default for SweepConfig {
 impl SweepConfig {
     /// A reduced sweep for fast test runs.
     pub fn quick() -> Self {
-        Self { field_side: 10.0, ns: vec![60, 120], reps: 2, base_seed: 2007 }
+        Self {
+            field_side: 10.0,
+            ns: vec![60, 120],
+            reps: 2,
+            base_seed: 2007,
+        }
     }
 
     /// X-axis values as floats.

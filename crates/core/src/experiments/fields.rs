@@ -29,7 +29,10 @@ pub fn run(cfg: &SweepConfig) -> SweepTable {
     for &side in &SIDES {
         let (mut a, mut b, mut c, mut d) = (vec![], vec![], vec![], vec![]);
         for rep in 0..cfg.reps {
-            let sub = SweepConfig { field_side: side, ..cfg.clone() };
+            let sub = SweepConfig {
+                field_side: side,
+                ..cfg.clone()
+            };
             let net = sub.network(n, rep);
             let cff_out = net.broadcast(Protocol::ImprovedCff);
             let dfo_out = net.broadcast(Protocol::Dfo);

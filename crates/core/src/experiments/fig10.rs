@@ -9,11 +9,7 @@ use dsnet_metrics::{Series, Summary, SweepTable};
 
 /// Run this experiment over `cfg` and return its table.
 pub fn run(cfg: &SweepConfig) -> SweepTable {
-    let mut table = SweepTable::new(
-        "Fig. 10 — backbone size and height",
-        "n",
-        cfg.xs(),
-    );
+    let mut table = SweepTable::new("Fig. 10 — backbone size and height", "n", cfg.xs());
     let mut size = Series::new("backbone size |BT|");
     let mut height = Series::new("backbone height h_BT");
     let mut clusters = Series::new("#clusters (heads)");

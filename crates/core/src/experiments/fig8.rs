@@ -6,46 +6,80 @@
 //! with a gap that widens with n (DFO grows linearly with the backbone
 //! size, CFF with `δ·h + Δ`). We additionally report Algorithm 1 and the
 //! Theorem-1 analytic bound for context.
+//!
+//! Since the campaign engine landed this driver is a thin shell over it:
+//! the sweep expands to a (protocol × n × rep) grid executed in parallel,
+//! and the table is folded from the per-trial records. Results are
+//! identical to the old sequential loop — trials run on the same
+//! deployments (`SweepConfig::seed`) — just faster.
 
+use crate::campaign::sweep_spec;
 use crate::experiments::common::SweepConfig;
-use crate::network::Protocol;
+use dsnet_campaign::{CampaignResult, ProtocolSpec};
 use dsnet_metrics::{Series, Summary, SweepTable};
 
-/// Run this experiment over `cfg` and return its table.
+/// Run this experiment over `cfg` and return its table, using every
+/// available core.
 pub fn run(cfg: &SweepConfig) -> SweepTable {
+    table_of(&run_campaign(cfg, 0))
+}
+
+/// The campaign behind the figure, on `threads` workers (0 = all cores).
+pub fn run_campaign(cfg: &SweepConfig, threads: usize) -> CampaignResult {
+    let spec = sweep_spec(
+        "fig8-broadcast-rounds",
+        cfg,
+        vec![
+            ProtocolSpec::ImprovedCff,
+            ProtocolSpec::BasicCff,
+            ProtocolSpec::Dfo,
+        ],
+    );
+    crate::campaign::run(&spec, threads, None)
+}
+
+/// Fold a figure-8 campaign result into the published table.
+pub fn table_of(result: &CampaignResult) -> SweepTable {
+    let ns = &result.spec.ns;
     let mut table = SweepTable::new(
         "Fig. 8 — broadcast latency (rounds), CFF vs DFO",
         "n",
-        cfg.xs(),
+        ns.iter().map(|&n| n as f64).collect(),
     );
-    let mut cff = Series::new("CFF rounds (Alg 2)");
-    let mut cff1 = Series::new("CFF basic rounds (Alg 1)");
-    let mut dfo = Series::new("DFO rounds [19]");
-    let mut bound = Series::new("Theorem 1 bound (δ·h_BT + Δ)");
-
-    for &n in &cfg.ns {
-        let (mut a, mut b, mut c, mut d) = (vec![], vec![], vec![], vec![]);
-        for rep in 0..cfg.reps {
-            let net = cfg.network(n, rep);
-            let improved = net.broadcast(Protocol::ImprovedCff);
-            assert!(improved.completed(), "CFF2 failed at n={n} rep={rep}");
-            let basic = net.broadcast(Protocol::BasicCff);
-            assert!(basic.completed(), "CFF1 failed at n={n} rep={rep}");
-            let baseline = net.broadcast(Protocol::Dfo);
-            assert!(baseline.completed(), "DFO failed at n={n} rep={rep}");
-            a.push(improved.rounds);
-            b.push(basic.rounds);
-            c.push(baseline.rounds);
-            d.push(improved.bound);
+    let series = [
+        ("CFF rounds (Alg 2)", ProtocolSpec::ImprovedCff),
+        ("CFF basic rounds (Alg 1)", ProtocolSpec::BasicCff),
+        ("DFO rounds [19]", ProtocolSpec::Dfo),
+    ];
+    for (name, protocol) in series {
+        let mut s = Series::new(name);
+        for &n in ns {
+            let recs: Vec<u64> = result
+                .select(|t| t.protocol == protocol && t.n == n)
+                .map(|(t, r)| {
+                    assert!(
+                        r.completed(),
+                        "{} failed at n={n} rep={}: {}/{}",
+                        protocol.name(),
+                        t.rep,
+                        r.delivered,
+                        r.targets
+                    );
+                    r.rounds
+                })
+                .collect();
+            s.push(Summary::of_u64(recs));
         }
-        cff.push(Summary::of_u64(a));
-        cff1.push(Summary::of_u64(b));
-        dfo.push(Summary::of_u64(c));
-        bound.push(Summary::of_u64(d));
+        table.add(s);
     }
-    table.add(cff);
-    table.add(cff1);
-    table.add(dfo);
+    let mut bound = Series::new("Theorem 1 bound (δ·h_BT + Δ)");
+    for &n in ns {
+        bound.push(Summary::of_u64(
+            result
+                .select(|t| t.protocol == ProtocolSpec::ImprovedCff && t.n == n)
+                .map(|(_, r)| r.bound),
+        ));
+    }
     table.add(bound);
     table
 }
@@ -78,5 +112,13 @@ mod tests {
         for i in 0..t.xs.len() {
             assert!(cff.points[i].max <= bound.points[i].max + 2.0);
         }
+    }
+
+    #[test]
+    fn table_is_thread_count_invariant() {
+        let cfg = SweepConfig::quick();
+        let serial = table_of(&run_campaign(&cfg, 1));
+        let parallel = table_of(&run_campaign(&cfg, 4));
+        assert_eq!(serial.to_markdown(), parallel.to_markdown());
     }
 }

@@ -6,49 +6,69 @@
 //! and its own transmissions (Theorem 1(2): ≤ 2δ + Δ), which is why the
 //! paper calls the protocol energy-saving. We report the max (the paper's
 //! plotted series) and the mean.
+//!
+//! Like Figure 8, this driver rides the campaign engine: same
+//! deployments as the legacy sequential loop, executed in parallel.
 
+use crate::campaign::sweep_spec;
 use crate::experiments::common::SweepConfig;
-use crate::network::Protocol;
+use dsnet_campaign::{CampaignResult, ProtocolSpec};
 use dsnet_metrics::{Series, Summary, SweepTable};
 
-/// Run this experiment over `cfg` and return its table.
+/// Run this experiment over `cfg` and return its table, using every
+/// available core.
 pub fn run(cfg: &SweepConfig) -> SweepTable {
+    table_of(&run_campaign(cfg, 0))
+}
+
+/// The campaign behind the figure, on `threads` workers (0 = all cores).
+pub fn run_campaign(cfg: &SweepConfig, threads: usize) -> CampaignResult {
+    let spec = sweep_spec(
+        "fig9-awake-rounds",
+        cfg,
+        vec![ProtocolSpec::ImprovedCff, ProtocolSpec::Dfo],
+    );
+    crate::campaign::run(&spec, threads, None)
+}
+
+/// Fold a figure-9 campaign result into the published table.
+pub fn table_of(result: &CampaignResult) -> SweepTable {
+    let ns = &result.spec.ns;
     let mut table = SweepTable::new(
         "Fig. 9 — rounds a node must be awake, CFF vs DFO",
         "n",
-        cfg.xs(),
+        ns.iter().map(|&n| n as f64).collect(),
     );
-    let mut cff_max = Series::new("CFF max awake");
-    let mut cff_mean = Series::new("CFF mean awake");
-    let mut dfo_max = Series::new("DFO max awake [19]");
-    let mut dfo_mean = Series::new("DFO mean awake [19]");
-
-    for &n in &cfg.ns {
-        let (mut a, mut b, mut c, mut d) = (vec![], vec![], vec![], vec![]);
-        for rep in 0..cfg.reps {
-            let net = cfg.network(n, rep);
-            let improved = net.broadcast(Protocol::ImprovedCff);
-            let baseline = net.broadcast(Protocol::Dfo);
-            a.push(improved.energy.max_awake as f64);
-            b.push(improved.energy.mean_awake);
-            c.push(baseline.energy.max_awake as f64);
-            d.push(baseline.energy.mean_awake);
+    let series = [
+        ("CFF max awake", ProtocolSpec::ImprovedCff, true),
+        ("CFF mean awake", ProtocolSpec::ImprovedCff, false),
+        ("DFO max awake [19]", ProtocolSpec::Dfo, true),
+        ("DFO mean awake [19]", ProtocolSpec::Dfo, false),
+    ];
+    for (name, protocol, take_max) in series {
+        let mut s = Series::new(name);
+        for &n in ns {
+            s.push(Summary::of(
+                result
+                    .select(|t| t.protocol == protocol && t.n == n)
+                    .map(|(_, r)| {
+                        if take_max {
+                            r.max_awake as f64
+                        } else {
+                            r.mean_awake
+                        }
+                    }),
+            ));
         }
-        cff_max.push(Summary::of(a));
-        cff_mean.push(Summary::of(b));
-        dfo_max.push(Summary::of(c));
-        dfo_mean.push(Summary::of(d));
+        table.add(s);
     }
-    table.add(cff_max);
-    table.add(cff_mean);
-    table.add(dfo_max);
-    table.add(dfo_mean);
     table
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::network::Protocol;
 
     #[test]
     fn cff_awake_is_far_below_dfo() {
@@ -67,5 +87,13 @@ mod tests {
         let net = cfg.network(60, 0);
         let out = net.broadcast(Protocol::Dfo);
         assert_eq!(out.energy.max_awake, out.rounds);
+    }
+
+    #[test]
+    fn table_is_thread_count_invariant() {
+        let cfg = SweepConfig::quick();
+        let serial = table_of(&run_campaign(&cfg, 1));
+        let parallel = table_of(&run_campaign(&cfg, 4));
+        assert_eq!(serial.to_markdown(), parallel.to_markdown());
     }
 }

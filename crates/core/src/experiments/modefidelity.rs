@@ -46,7 +46,7 @@ pub fn run(cfg: &SweepConfig) -> SweepTable {
             b.push(po.delivery_ratio());
             c.push(strict.stats().delta_l as f64);
             d.push(paper.stats().delta_l as f64);
-            e.push(po.collisions as f64);
+            e.push(po.collisions.expect("fidelity runs record traces") as f64);
         }
         strict_delivery.push(Summary::of(a));
         paper_delivery.push(Summary::of(b));
@@ -87,7 +87,10 @@ mod tests {
             let paper = t.series[1].points[i].mean;
             let strict = t.series[0].points[i].mean;
             assert_eq!(strict, 1.0);
-            assert!(paper >= 0.4, "paper-mode delivery collapsed entirely: {paper}");
+            assert!(
+                paper >= 0.4,
+                "paper-mode delivery collapsed entirely: {paper}"
+            );
             assert!(paper < 1.0, "expected the documented fidelity gap to show");
             // The gap is caused by actual receiver-side collisions.
             assert!(t.series[4].points[i].mean > 0.0);

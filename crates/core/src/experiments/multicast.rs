@@ -34,11 +34,22 @@ pub fn run(cfg: &SweepConfig) -> SweepTable {
     let mut reliable_delivery = Series::new("reliable delivery");
 
     for &p in &DENSITIES {
-        let (mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h) =
-            (vec![], vec![], vec![], vec![], vec![], vec![], vec![], vec![]);
+        let (mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h) = (
+            vec![],
+            vec![],
+            vec![],
+            vec![],
+            vec![],
+            vec![],
+            vec![],
+            vec![],
+        );
         for rep in 0..cfg.reps {
             let net = NetworkBuilder::paper_field(cfg.field_side, n, cfg.seed(n, rep))
-                .groups(GroupPlan { groups: 1, membership: p })
+                .groups(GroupPlan {
+                    groups: 1,
+                    membership: p,
+                })
                 .build()
                 .expect("build");
             let m = net.multicast(0);

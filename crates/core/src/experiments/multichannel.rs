@@ -7,8 +7,8 @@
 //! largest configured size and varies `k`.
 
 use crate::experiments::common::SweepConfig;
-use dsnet_protocols::runner::{run_cff_basic, run_improved, RunConfig};
 use dsnet_metrics::{Series, Summary, SweepTable};
+use dsnet_protocols::runner::{run_cff_basic, run_improved, RunConfig};
 
 /// Channel counts swept.
 pub const CHANNELS: [u8; 4] = [1, 2, 4, 8];
@@ -31,7 +31,10 @@ pub fn run(cfg: &SweepConfig) -> SweepTable {
         let (mut a, mut b, mut c, mut d, mut e) = (vec![], vec![], vec![], vec![], vec![]);
         for rep in 0..cfg.reps {
             let net = cfg.network(n, rep);
-            let rcfg = RunConfig { channels: k, ..Default::default() };
+            let rcfg = RunConfig {
+                channels: k,
+                ..Default::default()
+            };
             let out = run_improved(net.net(), net.sink(), &rcfg);
             let cff1 = run_cff_basic(net.net(), net.sink(), &rcfg);
             assert!(cff1.completed(), "Alg 1 k={k}");

@@ -22,7 +22,12 @@ fn pick_sinks(net: &SensorNetwork, k: usize) -> Vec<NodeId> {
     // structures.
     let mut sinks = vec![net.sink()];
     let origin = net.position(net.sink());
-    let mut nodes: Vec<NodeId> = net.net().tree().nodes().filter(|&u| u != net.sink()).collect();
+    let mut nodes: Vec<NodeId> = net
+        .net()
+        .tree()
+        .nodes()
+        .filter(|&u| u != net.sink())
+        .collect();
     nodes.sort_by(|&a, &b| {
         net.position(b)
             .dist_sq(origin)
@@ -57,7 +62,11 @@ pub fn run(cfg: &SweepConfig) -> SweepTable {
                 .into_iter()
                 .filter(|&u| u != primary.root())
                 .collect();
-            let mut rng = rng_from_seed(derive_seed(cfg.base_seed, 0x51C + rep * 7 + k as u64));
+            // The victim draw must not depend on `k`: the sweep compares
+            // sink counts against each other, so every k must face the
+            // same failures for the union-coverage comparison to be fair
+            // (and monotone).
+            let mut rng = rng_from_seed(derive_seed(cfg.base_seed, 0x51C + rep * 7));
             victims.shuffle(&mut rng);
             victims.truncate(failures);
             let mut rcfg = RunConfig::default();

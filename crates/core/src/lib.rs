@@ -44,6 +44,7 @@
 //! the `figures` binary.
 
 pub mod builder;
+pub mod campaign;
 pub mod experiments;
 pub mod multinet;
 pub mod network;
@@ -54,6 +55,7 @@ pub use multinet::{FailoverOutcome, MultiNet};
 pub use network::{NetworkStats, Protocol, SensorNetwork};
 
 // Re-export the layer crates so downstream users need a single dependency.
+pub use dsnet_campaign as campaign_engine;
 pub use dsnet_cluster as cluster;
 pub use dsnet_geom as geom;
 pub use dsnet_graph as graph;

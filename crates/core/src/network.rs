@@ -1,9 +1,9 @@
 //! The high-level [`SensorNetwork`] facade.
 
 use dsnet_cluster::invariants;
-use dsnet_cluster::{ClusterNet, GroupId, McNet, MoveInReport};
 use dsnet_cluster::move_out::{MoveOutError, MoveOutReport};
 use dsnet_cluster::net::MoveInError;
+use dsnet_cluster::{ClusterNet, GroupId, McNet, MoveInReport};
 use dsnet_geom::{Deployment, Point2};
 use dsnet_graph::{degree, NodeId};
 use dsnet_protocols::runner::{self, BroadcastOutcome, RunConfig};
@@ -67,7 +67,12 @@ impl SensorNetwork {
         build_reports: Vec<MoveInReport>,
     ) -> Self {
         let positions = deployment.positions.clone();
-        Self { deployment, positions, mc, build_reports }
+        Self {
+            deployment,
+            positions,
+            mc,
+            build_reports,
+        }
     }
 
     // ----- structure access -------------------------------------------------
@@ -127,10 +132,7 @@ impl SensorNetwork {
             backbone_height: bt.height(),
             cnet_height: net.height(),
             max_degree: degree::max_degree(net.graph()),
-            backbone_max_degree: degree::induced_max_degree(
-                net.graph(),
-                &net.backbone_nodes(),
-            ),
+            backbone_max_degree: degree::induced_max_degree(net.graph(), &net.backbone_nodes()),
             delta_b: net.delta_b(),
             delta_l: net.delta_l(),
         }
@@ -211,9 +213,7 @@ impl SensorNetwork {
     /// The sink itself powers down: the structure is rebuilt from a
     /// surviving node (the paper's deferred case, see
     /// [`ClusterNet::move_out_root`]).
-    pub fn leave_sink(
-        &mut self,
-    ) -> Result<dsnet_cluster::RootMoveOutReport, MoveOutError> {
+    pub fn leave_sink(&mut self) -> Result<dsnet_cluster::RootMoveOutReport, MoveOutError> {
         self.mc.move_out_root()
     }
 }
@@ -290,7 +290,10 @@ mod tests {
     #[test]
     fn multicast_completes_and_costs_less_awake_energy() {
         let net = NetworkBuilder::paper(150, 12)
-            .groups(GroupPlan { groups: 2, membership: 0.1 })
+            .groups(GroupPlan {
+                groups: 2,
+                membership: 0.1,
+            })
             .build()
             .unwrap();
         let mcast = net.multicast(0);

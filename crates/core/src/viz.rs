@@ -25,7 +25,12 @@ pub struct VizOptions {
 
 impl Default for VizOptions {
     fn default() -> Self {
-        Self { scale: 60.0, margin: 20.0, show_radio_links: true, node_radius: 4.0 }
+        Self {
+            scale: 60.0,
+            margin: 20.0,
+            show_radio_links: true,
+            node_radius: 4.0,
+        }
     }
 }
 
@@ -67,7 +72,11 @@ pub fn render_svg(network: &SensorNetwork, opts: &VizOptions) -> String {
     for u in net.tree().nodes() {
         if let Some(p) = net.tree().parent(u) {
             let backbone = net.status(u).in_backbone() && net.status(p).in_backbone();
-            let (stroke, width) = if backbone { ("#555555", 2.0) } else { ("#aaaaaa", 0.9) };
+            let (stroke, width) = if backbone {
+                ("#555555", 2.0)
+            } else {
+                ("#aaaaaa", 0.9)
+            };
             let (pu, pp) = (network.position(u), network.position(p));
             let _ = writeln!(
                 svg,
@@ -90,8 +99,16 @@ pub fn render_svg(network: &SensorNetwork, opts: &VizOptions) -> String {
             NodeStatus::PureMember => "#1f77b4",
         };
         let is_sink = u == net.root();
-        let r = if is_sink { opts.node_radius * 1.8 } else { opts.node_radius };
-        let stroke = if is_sink { r#" stroke="black" stroke-width="1.5""# } else { "" };
+        let r = if is_sink {
+            opts.node_radius * 1.8
+        } else {
+            opts.node_radius
+        };
+        let stroke = if is_sink {
+            r#" stroke="black" stroke-width="1.5""#
+        } else {
+            ""
+        };
         let _ = writeln!(
             svg,
             r#"<circle cx="{:.1}" cy="{:.1}" r="{r:.1}" fill="{fill}"{stroke}><title>{u} {}</title></circle>"#,
@@ -140,7 +157,10 @@ mod tests {
         let with = render_svg(&net, &VizOptions::default());
         let without = render_svg(
             &net,
-            &VizOptions { show_radio_links: false, ..Default::default() },
+            &VizOptions {
+                show_radio_links: false,
+                ..Default::default()
+            },
         );
         assert!(with.len() > without.len());
     }

@@ -92,9 +92,7 @@ impl Deployment {
     pub fn generate(config: DeploymentConfig) -> Self {
         let mut rng = rng_from_seed(config.seed);
         let positions = match config.strategy {
-            DeploymentStrategy::IncrementalConnected => {
-                incremental_connected(&config, &mut rng)
-            }
+            DeploymentStrategy::IncrementalConnected => incremental_connected(&config, &mut rng),
             DeploymentStrategy::UniformScatter => uniform_scatter(&config, &mut rng),
             DeploymentStrategy::GridJitter => grid_jitter(&config, &mut rng),
         };
@@ -199,7 +197,9 @@ fn incremental_connected(config: &DeploymentConfig, rng: &mut Rng) -> Vec<Point2
 }
 
 fn uniform_scatter(config: &DeploymentConfig, rng: &mut Rng) -> Vec<Point2> {
-    (0..config.n).map(|_| uniform_point(config.region, rng)).collect()
+    (0..config.n)
+        .map(|_| uniform_point(config.region, rng))
+        .collect()
 }
 
 fn grid_jitter(config: &DeploymentConfig, rng: &mut Rng) -> Vec<Point2> {

@@ -24,8 +24,7 @@ pub fn rng_from_seed(seed: u64) -> Rng {
 /// one stream never perturbs another. This is a SplitMix64 step, which is a
 /// bijective mixer with good avalanche behaviour.
 pub fn derive_seed(base: u64, stream: u64) -> u64 {
-    let mut z = base
-        .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(stream.wrapping_add(1)));
+    let mut z = base.wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(stream.wrapping_add(1)));
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     z ^ (z >> 31)
@@ -49,7 +48,9 @@ mod tests {
     fn different_seeds_diverge() {
         let mut a = rng_from_seed(1);
         let mut b = rng_from_seed(2);
-        let same = (0..16).filter(|_| a.random::<u64>() == b.random::<u64>()).count();
+        let same = (0..16)
+            .filter(|_| a.random::<u64>() == b.random::<u64>())
+            .count();
         assert_eq!(same, 0);
     }
 

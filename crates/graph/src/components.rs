@@ -5,7 +5,9 @@ use crate::traversal::bfs;
 
 /// Whether the live part of `g` is connected (vacuously true when empty).
 pub fn is_connected(g: &Graph) -> bool {
-    let Some(start) = g.nodes().next() else { return true };
+    let Some(start) = g.nodes().next() else {
+        return true;
+    };
     bfs(g, start).reached_count() == g.node_count()
 }
 

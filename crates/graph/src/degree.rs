@@ -32,9 +32,17 @@ pub fn degree_stats(g: &Graph) -> DegreeStats {
         n += 1;
     }
     if n == 0 {
-        return DegreeStats { max: 0, min: 0, mean: 0.0 };
+        return DegreeStats {
+            max: 0,
+            min: 0,
+            mean: 0.0,
+        };
     }
-    DegreeStats { max, min, mean: sum as f64 / n as f64 }
+    DegreeStats {
+        max,
+        min,
+        mean: sum as f64 / n as f64,
+    }
 }
 
 /// Maximum degree `D` of `g` (0 when empty).

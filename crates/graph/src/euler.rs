@@ -61,11 +61,7 @@ pub fn first_arrival_hops(
     start: NodeId,
     tour: &[(NodeId, NodeId)],
 ) -> Vec<Option<usize>> {
-    let cap = tree
-        .nodes()
-        .map(|u| u.index() + 1)
-        .max()
-        .unwrap_or(0);
+    let cap = tree.nodes().map(|u| u.index() + 1).max().unwrap_or(0);
     let mut first = vec![None; cap];
     first[start.index()] = Some(0);
     for (i, &(_, to)) in tour.iter().enumerate() {

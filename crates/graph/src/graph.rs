@@ -156,9 +156,7 @@ impl Graph {
 
     /// Whether the edge `{u, v}` exists.
     pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
-        self.is_live(u)
-            && self.is_live(v)
-            && self.adj[u.index()].binary_search(&v).is_ok()
+        self.is_live(u) && self.is_live(v) && self.adj[u.index()].binary_search(&v).is_ok()
     }
 
     /// Sorted neighbours of a live node.
@@ -226,7 +224,10 @@ impl Graph {
         let mut edges = 0;
         for u in self.nodes() {
             let a = &self.adj[u.index()];
-            assert!(a.windows(2).all(|w| w[0] < w[1]), "adjacency not sorted/unique");
+            assert!(
+                a.windows(2).all(|w| w[0] < w[1]),
+                "adjacency not sorted/unique"
+            );
             for &v in a {
                 assert!(self.is_live(v), "edge to dead node");
                 assert!(

@@ -90,7 +90,12 @@ pub fn bfs(g: &Graph, source: NodeId) -> Bfs {
             }
         }
     }
-    Bfs { dist, parent, order, source }
+    Bfs {
+        dist,
+        parent,
+        order,
+        source,
+    }
 }
 
 #[cfg(test)]

@@ -178,7 +178,10 @@ impl RootedTree {
     /// Height of the tree: the maximum depth over all nodes (0 for a
     /// single-node tree).
     pub fn height(&self) -> u32 {
-        self.nodes().map(|u| self.depth[u.index()]).max().unwrap_or(0)
+        self.nodes()
+            .map(|u| self.depth[u.index()])
+            .max()
+            .unwrap_or(0)
     }
 
     /// Height of the subtree rooted at `u`, measured from `u` (a leaf's
@@ -224,7 +227,11 @@ impl RootedTree {
             visited += 1;
             for &c in &self.children[u.index()] {
                 assert!(self.contains(c));
-                assert_eq!(self.parent[c.index()], Some(u), "parent/child mismatch at {c}");
+                assert_eq!(
+                    self.parent[c.index()],
+                    Some(u),
+                    "parent/child mismatch at {c}"
+                );
                 assert_eq!(self.depth[c.index()], self.depth[u.index()] + 1);
                 stack.push(c);
             }
@@ -289,7 +296,10 @@ mod tests {
     #[test]
     fn path_to_root_is_bottom_up() {
         let t = sample();
-        assert_eq!(t.path_to_root(NodeId(3)), vec![NodeId(3), NodeId(1), NodeId(0)]);
+        assert_eq!(
+            t.path_to_root(NodeId(3)),
+            vec![NodeId(3), NodeId(1), NodeId(0)]
+        );
         assert_eq!(t.path_to_root(NodeId(0)), vec![NodeId(0)]);
     }
 

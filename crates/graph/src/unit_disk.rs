@@ -70,7 +70,11 @@ mod tests {
     #[test]
     fn range_boundary_is_inclusive() {
         let g = unit_disk_graph(
-            &[Point2::new(0.0, 0.0), Point2::new(0.5, 0.0), Point2::new(1.01, 0.0)],
+            &[
+                Point2::new(0.0, 0.0),
+                Point2::new(0.5, 0.0),
+                Point2::new(1.01, 0.0),
+            ],
             0.5,
         );
         assert!(g.has_edge(NodeId(0), NodeId(1)));

@@ -1,7 +1,9 @@
 //! Property-based tests of the graph substrate against brute-force
 //! oracles.
 
-use dsnet_graph::{components, degree, domset, euler, metrics, traversal, Graph, NodeId, RootedTree};
+use dsnet_graph::{
+    components, degree, domset, euler, metrics, traversal, Graph, NodeId, RootedTree,
+};
 use proptest::prelude::*;
 
 /// Build a graph from an edge-candidate list over `n` nodes.

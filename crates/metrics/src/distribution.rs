@@ -1,0 +1,122 @@
+//! Full-sample distributions with percentile queries.
+//!
+//! [`Summary`] keeps only moments and extremes; campaign cells also
+//! report percentiles (median / tail latency of broadcast rounds), which
+//! need the sorted sample.
+
+use crate::Summary;
+
+/// A sorted sample supporting percentile queries.
+///
+/// ```
+/// use dsnet_metrics::Distribution;
+///
+/// let d = Distribution::of([4.0, 1.0, 3.0, 2.0]);
+/// assert_eq!(d.percentile(0.0), 1.0);
+/// assert_eq!(d.percentile(50.0), 2.0);
+/// assert_eq!(d.percentile(100.0), 4.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Distribution {
+    values: Vec<f64>,
+}
+
+impl Distribution {
+    /// Collect and sort a sample. NaNs are rejected (they would poison
+    /// every quantile).
+    pub fn of<I: IntoIterator<Item = f64>>(values: I) -> Distribution {
+        let mut values: Vec<f64> = values.into_iter().collect();
+        assert!(values.iter().all(|v| !v.is_nan()), "NaN observation");
+        values.sort_by(|a, b| a.total_cmp(b));
+        Distribution { values }
+    }
+
+    /// Convenience for integer observations.
+    pub fn of_u64<I: IntoIterator<Item = u64>>(values: I) -> Distribution {
+        Distribution::of(values.into_iter().map(|v| v as f64))
+    }
+
+    /// Sample size.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the sample is empty.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// The sorted observations.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Nearest-rank percentile, `p` in `[0, 100]`. Returns 0.0 for an
+    /// empty sample (matching [`Summary::of`]'s zeroed convention).
+    ///
+    /// Nearest-rank (ceil(p/100·n)-th smallest) is exact, needs no
+    /// interpolation, and always returns an observed value — important
+    /// for integer quantities like round counts.
+    pub fn percentile(&self, p: f64) -> f64 {
+        if self.values.is_empty() {
+            return 0.0;
+        }
+        assert!((0.0..=100.0).contains(&p), "percentile {p} out of range");
+        let n = self.values.len();
+        let rank = ((p / 100.0) * n as f64).ceil() as usize;
+        self.values[rank.max(1) - 1]
+    }
+
+    /// The sample median (50th percentile, nearest-rank).
+    pub fn median(&self) -> f64 {
+        self.percentile(50.0)
+    }
+
+    /// Moment summary of the same sample.
+    pub fn summary(&self) -> Summary {
+        Summary::of(self.values.iter().copied())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_are_nearest_rank() {
+        let d = Distribution::of_u64([10, 20, 30, 40, 50]);
+        assert_eq!(d.percentile(0.0), 10.0);
+        assert_eq!(d.percentile(20.0), 10.0);
+        assert_eq!(d.percentile(50.0), 30.0);
+        assert_eq!(d.percentile(90.0), 50.0);
+        assert_eq!(d.percentile(100.0), 50.0);
+        assert_eq!(d.median(), 30.0);
+    }
+
+    #[test]
+    fn single_observation() {
+        let d = Distribution::of([7.5]);
+        for p in [0.0, 50.0, 99.0, 100.0] {
+            assert_eq!(d.percentile(p), 7.5);
+        }
+    }
+
+    #[test]
+    fn empty_is_zeroed() {
+        let d = Distribution::of(std::iter::empty());
+        assert!(d.is_empty());
+        assert_eq!(d.percentile(50.0), 0.0);
+    }
+
+    #[test]
+    fn summary_matches_direct() {
+        let d = Distribution::of([2.0, 4.0]);
+        assert_eq!(d.summary(), Summary::of([2.0, 4.0]));
+    }
+
+    #[test]
+    fn unsorted_input_is_sorted() {
+        let d = Distribution::of([3.0, 1.0, 2.0]);
+        assert_eq!(d.values(), &[1.0, 2.0, 3.0]);
+    }
+}

@@ -7,8 +7,10 @@
 //! [`Summary`] statistics, organises them as [`Series`] in a [`SweepTable`],
 //! and renders markdown/CSV for EXPERIMENTS.md.
 
+pub mod distribution;
 pub mod summary;
 pub mod table;
 
+pub use distribution::Distribution;
 pub use summary::Summary;
 pub use table::{Series, SweepTable};

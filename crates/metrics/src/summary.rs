@@ -33,14 +33,26 @@ impl Summary {
     pub fn of<I: IntoIterator<Item = f64>>(values: I) -> Summary {
         let vals: Vec<f64> = values.into_iter().collect();
         if vals.is_empty() {
-            return Summary { n: 0, mean: 0.0, std: 0.0, min: 0.0, max: 0.0 };
+            return Summary {
+                n: 0,
+                mean: 0.0,
+                std: 0.0,
+                min: 0.0,
+                max: 0.0,
+            };
         }
         let n = vals.len();
         let mean = vals.iter().sum::<f64>() / n as f64;
         let var = vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n as f64;
         let min = vals.iter().copied().fold(f64::INFINITY, f64::min);
         let max = vals.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-        Summary { n, mean, std: var.sqrt(), min, max }
+        Summary {
+            n,
+            mean,
+            std: var.sqrt(),
+            min,
+            max,
+        }
     }
 
     /// Convenience for integer observations.

@@ -16,7 +16,10 @@ pub struct Series {
 impl Series {
     /// An empty series with the given name.
     pub fn new(name: impl Into<String>) -> Self {
-        Self { name: name.into(), points: Vec::new() }
+        Self {
+            name: name.into(),
+            points: Vec::new(),
+        }
     }
 
     /// Append the next x-point's summary.
@@ -41,7 +44,12 @@ pub struct SweepTable {
 impl SweepTable {
     /// An empty table over the given x-axis.
     pub fn new(title: impl Into<String>, x_label: impl Into<String>, xs: Vec<f64>) -> Self {
-        Self { title: title.into(), x_label: x_label.into(), xs, series: Vec::new() }
+        Self {
+            title: title.into(),
+            x_label: x_label.into(),
+            xs,
+            series: Vec::new(),
+        }
     }
 
     /// Add a series; its length must match the x-axis.

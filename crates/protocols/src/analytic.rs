@@ -17,8 +17,7 @@ pub fn dfo_rounds(backbone_size: usize, source_is_member: bool) -> u64 {
 /// Lemma 1 bound for Algorithm 1 with `channels` radios:
 /// `offset + ⌈Δ'/k⌉·(h + 1)`.
 pub fn cff_basic_bound(k: &NetKnowledge, offset: u64, channels: u8) -> u64 {
-    offset
-        + (k.delta_flood.max(1) as u64).div_ceil(channels as u64) * (k.height as u64 + 1)
+    offset + (k.delta_flood.max(1) as u64).div_ceil(channels as u64) * (k.height as u64 + 1)
 }
 
 /// Lemma 1 awake bound for Algorithm 1: `2Δ'`.

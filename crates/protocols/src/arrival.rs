@@ -57,7 +57,11 @@ fn local_parent_choice(
         }
     };
     let by_status = |s: NodeStatus| -> Vec<NodeId> {
-        attached.iter().copied().filter(|&v| net.status(v) == s).collect()
+        attached
+            .iter()
+            .copied()
+            .filter(|&v| net.status(v) == s)
+            .collect()
     };
     let heads = by_status(NodeStatus::ClusterHead);
     if !heads.is_empty() {
@@ -95,7 +99,12 @@ pub fn simulate_arrival(
 
     let parent_choice_consistent = local_choice == report.parent;
     let total_rounds = discovery.rounds + report.cost.slot_update + report.cost.propagation;
-    Ok(ArrivalOutcome { discovery, report, parent_choice_consistent, total_rounds })
+    Ok(ArrivalOutcome {
+        discovery,
+        report,
+        parent_choice_consistent,
+        total_rounds,
+    })
 }
 
 #[cfg(test)]
@@ -147,10 +156,7 @@ mod tests {
         let out = simulate_arrival(&mut net, &nbrs, 3, 99).unwrap();
         // Discovery dominates; structural terms are 2h + small slot work.
         assert!(out.total_rounds >= out.discovery.rounds);
-        assert!(
-            out.total_rounds
-                <= out.discovery.rounds + 2 * net.height() as u64 + 200
-        );
+        assert!(out.total_rounds <= out.discovery.rounds + 2 * net.height() as u64 + 200);
     }
 
     #[test]

@@ -216,7 +216,11 @@ mod tests {
         }
         let mut engine = Engine::new(
             net.graph(),
-            EngineConfig { max_rounds: 100_000, record_trace: true, ..Default::default() },
+            EngineConfig {
+                max_rounds: 100_000,
+                record_trace: true,
+                ..Default::default()
+            },
             |u| CffProgram::new(&k, &session, u, pos[u.index()]),
         );
         let out = engine.run();
@@ -264,7 +268,10 @@ mod tests {
         let session = Session::new(&k, net.root(), 1);
         let mut engine = Engine::new(
             net.graph(),
-            EngineConfig { max_rounds: 100_000, ..Default::default() },
+            EngineConfig {
+                max_rounds: 100_000,
+                ..Default::default()
+            },
             |u| CffProgram::new(&k, &session, u, (u == net.root()).then_some(0)),
         );
         let out = engine.run();
@@ -332,9 +339,17 @@ mod multichannel_tests {
         assert!(base.completed());
         let mut prev = base.rounds;
         for channels in [2u8, 4] {
-            let cfg = RunConfig { channels, ..Default::default() };
+            let cfg = RunConfig {
+                channels,
+                ..Default::default()
+            };
             let out = run_cff_basic(&net, net.root(), &cfg);
-            assert!(out.completed(), "k={channels}: {}/{}", out.delivered, out.targets);
+            assert!(
+                out.completed(),
+                "k={channels}: {}/{}",
+                out.delivered,
+                out.targets
+            );
             assert!(out.rounds <= prev, "k={channels}: {} > {prev}", out.rounds);
             assert!(out.rounds <= crate::analytic::cff_basic_bound(&k, 0, channels));
             prev = out.rounds;
@@ -348,7 +363,10 @@ mod multichannel_tests {
         for i in 1..15u32 {
             net.move_in(&[NodeId(i - 1)]).unwrap();
         }
-        let cfg = RunConfig { channels: 3, ..Default::default() };
+        let cfg = RunConfig {
+            channels: 3,
+            ..Default::default()
+        };
         let out = run_cff_basic(&net, net.root(), &cfg);
         assert!(out.completed());
     }

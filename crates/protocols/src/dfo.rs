@@ -92,7 +92,9 @@ impl NodeProgram for DfoProgram {
                 let target = self.neighbors[self.next];
                 self.next += 1;
                 self.transmissions += 1;
-                return Action::transmit(DfoMsg { token_target: target });
+                return Action::transmit(DfoMsg {
+                    token_target: target,
+                });
             }
             if let Some(back) = self.first_from {
                 self.transmissions += 1;
@@ -105,7 +107,9 @@ impl NodeProgram for DfoProgram {
             self.tour_finished = true;
             if self.transmissions == 0 {
                 self.transmissions += 1;
-                return Action::transmit(DfoMsg { token_target: self.id });
+                return Action::transmit(DfoMsg {
+                    token_target: self.id,
+                });
             }
         }
         // DFO keeps every radio on: nobody knows when the tour ends.
@@ -126,8 +130,7 @@ impl NodeProgram for DfoProgram {
             // returns with nobody left to serve.
             if self.is_source && self.transmissions > 0 {
                 let mut next = self.next;
-                while next < self.neighbors.len() && Some(self.neighbors[next]) == self.first_from
-                {
+                while next < self.neighbors.len() && Some(self.neighbors[next]) == self.first_from {
                     next += 1;
                 }
                 if next >= self.neighbors.len() && self.first_from.is_none() {
@@ -167,7 +170,11 @@ mod tests {
         let k = build_knowledge(net);
         let mut engine = Engine::new(
             net.graph(),
-            EngineConfig { max_rounds: 10_000, record_trace: true, ..Default::default() },
+            EngineConfig {
+                max_rounds: 10_000,
+                record_trace: true,
+                ..Default::default()
+            },
             |u| DfoProgram::new(&k, u, source),
         );
         let out = engine.run();

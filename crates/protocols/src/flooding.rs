@@ -16,7 +16,9 @@
 
 use dsnet_geom::rng::{derive_seed, rng_from_seed};
 use dsnet_graph::{Graph, NodeId};
-use dsnet_radio::{Action, Engine, EngineConfig, EnergyReport, FailurePlan, NodeCtx, NodeProgram, Round};
+use dsnet_radio::{
+    Action, EnergyReport, Engine, EngineConfig, FailurePlan, NodeCtx, NodeProgram, Round,
+};
 use rand::Rng as _;
 
 /// Per-node state machine for randomized-backoff flooding.
@@ -128,7 +130,11 @@ pub fn run_flooding(
     let max_rounds = 2 + window.max(1) * (graph.node_count() as u64 + 2);
     let mut engine = Engine::new(
         graph,
-        EngineConfig { max_rounds, record_trace: true, ..Default::default() },
+        EngineConfig {
+            max_rounds,
+            record_trace: true,
+            ..Default::default()
+        },
         |u| {
             let node_seed = derive_seed(seed, u.0 as u64);
             if u == source {

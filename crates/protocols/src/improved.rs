@@ -54,7 +54,10 @@ impl Participation {
     /// Full participation (broadcast).
     pub const FULL: Participation = Participation { rx: true, tx: true };
     /// No participation (node sleeps through the session).
-    pub const NONE: Participation = Participation { rx: false, tx: false };
+    pub const NONE: Participation = Participation {
+        rx: false,
+        tx: false,
+    };
 }
 
 /// Shared schedule constants of one Algorithm-2 session.
@@ -83,7 +86,14 @@ impl Cff2Schedule {
         let wl = (k.delta_l as u64).div_ceil(kk);
         let p2_start = session.offset + wb * k.bt_height as u64;
         let end_round = (p2_start + wl).max(session.offset + 1);
-        Self { offset: session.offset, wb, wl, p2_start, end_round, channels: session.channels }
+        Self {
+            offset: session.offset,
+            wb,
+            wl,
+            p2_start,
+            end_round,
+            channels: session.channels,
+        }
     }
 
     /// Round-within-window and channel for a TDM slot under `k` channels.
@@ -231,19 +241,21 @@ impl NodeProgram for Cff2Program {
                     self.p1_sent = true;
                     return Action::Transmit {
                         channel: ch,
-                        msg: Cff2Msg::Backbone { slot, depth: self.depth },
+                        msg: Cff2Msg::Backbone {
+                            slot,
+                            depth: self.depth,
+                        },
                     };
                 }
             }
             // Listen during the depth-above window until received.
-            if (self.part.rx || self.part.tx)
-                && !self.received && self.depth >= 1 {
-                    let win_start = self.sched.offset + (self.depth as u64 - 1) * self.sched.wb;
-                    let win_end = win_start + self.sched.wb;
-                    if r > win_start && r <= win_end {
-                        return self.window_listen(r, win_start, self.expected_b);
-                    }
+            if (self.part.rx || self.part.tx) && !self.received && self.depth >= 1 {
+                let win_start = self.sched.offset + (self.depth as u64 - 1) * self.sched.wb;
+                let win_end = win_start + self.sched.wb;
+                if r > win_start && r <= win_end {
+                    return self.window_listen(r, win_start, self.expected_b);
                 }
+            }
             return Action::Sleep;
         }
 
@@ -253,7 +265,10 @@ impl NodeProgram for Cff2Program {
             let (tx, ch) = self.sched.p2_tx(slot);
             if r == tx {
                 self.p2_sent = true;
-                return Action::Transmit { channel: ch, msg: Cff2Msg::Leaf { slot } };
+                return Action::Transmit {
+                    channel: ch,
+                    msg: Cff2Msg::Leaf { slot },
+                };
             }
         }
         if self.part.rx && !self.received && !self.in_backbone {
@@ -327,7 +342,11 @@ mod tests {
         );
         let out = engine.run();
         assert_eq!(out.stop, StopReason::AllDone, "schedule ran past its end");
-        (out.rounds, engine.trace().collision_count(), engine.into_programs())
+        (
+            out.rounds,
+            engine.trace().collision_count(),
+            engine.into_programs(),
+        )
     }
 
     #[test]
@@ -352,7 +371,10 @@ mod tests {
         let sched = Cff2Schedule::new(&k, &session);
         let mut engine = Engine::new(
             net.graph(),
-            EngineConfig { max_rounds: sched.end_round + 4, ..Default::default() },
+            EngineConfig {
+                max_rounds: sched.end_round + 4,
+                ..Default::default()
+            },
             |u| {
                 Cff2Program::new(
                     &k,
@@ -425,9 +447,16 @@ mod tests {
             .unwrap();
         let mut engine = Engine::new(
             net.graph(),
-            EngineConfig { max_rounds: sched.end_round + 4, ..Default::default() },
+            EngineConfig {
+                max_rounds: sched.end_round + 4,
+                ..Default::default()
+            },
             |u| {
-                let part = if u == silent { Participation::NONE } else { Participation::FULL };
+                let part = if u == silent {
+                    Participation::NONE
+                } else {
+                    Participation::FULL
+                };
                 Cff2Program::new(&k, &session, sched, u, (u == net.root()).then_some(0), part)
             },
         );

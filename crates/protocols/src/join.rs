@@ -128,7 +128,10 @@ impl JoinProgram {
 
     /// A node out of the session (sleeps throughout).
     pub fn bystander(id: NodeId) -> Self {
-        Self { id, role: Role::Bystander }
+        Self {
+            id,
+            role: Role::Bystander,
+        }
     }
 
     /// The newcomer's discovered set (None for other roles).
@@ -191,7 +194,14 @@ impl NodeProgram for JoinProgram {
                 }
                 ack
             }
-            Role::Neighbor { active, acked, slot, window, window_start, rng } => {
+            Role::Neighbor {
+                active,
+                acked,
+                slot,
+                window,
+                window_start,
+                rng,
+            } => {
                 if *acked {
                     return Action::Sleep;
                 }
@@ -224,7 +234,12 @@ impl NodeProgram for JoinProgram {
         let _ = &_ctx;
         match (&mut self.role, msg) {
             (
-                Role::Newcomer { discovered, new_this_window, last_discovery, .. },
+                Role::Newcomer {
+                    discovered,
+                    new_this_window,
+                    last_discovery,
+                    ..
+                },
                 JoinMsg::Announce(id),
             ) => {
                 debug_assert_eq!(from, *id);
@@ -233,14 +248,22 @@ impl NodeProgram for JoinProgram {
                     *last_discovery = _ctx.round;
                 }
             }
-            (Role::Neighbor { active, slot, window, rng, .. }, JoinMsg::Hello) => {
+            (
+                Role::Neighbor {
+                    active,
+                    slot,
+                    window,
+                    rng,
+                    ..
+                },
+                JoinMsg::Hello,
+            ) => {
                 *active = true;
                 *slot = rng.random_range(1..=*window);
             }
-            (Role::Neighbor { acked, .. }, JoinMsg::Ack(ids))
-                if ids.contains(&self.id) => {
-                    *acked = true;
-                }
+            (Role::Neighbor { acked, .. }, JoinMsg::Ack(ids)) if ids.contains(&self.id) => {
+                *acked = true;
+            }
             _ => {}
         }
     }
@@ -306,7 +329,13 @@ pub fn simulate_join(
         .unwrap_or_default();
     let discovery_rounds = newcomer_prog.map_or(0, |p| p.last_discovery_round());
     let complete = discovered.len() == degree;
-    JoinOutcome { rounds: out.rounds, discovery_rounds, discovered, degree, complete }
+    JoinOutcome {
+        rounds: out.rounds,
+        discovery_rounds,
+        discovered,
+        degree,
+        complete,
+    }
 }
 
 #[cfg(test)]

@@ -237,7 +237,11 @@ impl Session {
     pub fn new(k: &NetKnowledge, source: NodeId, channels: u8) -> Self {
         assert!(channels >= 1);
         let offset = k.of(source).depth as u64;
-        Self { source, offset, channels }
+        Self {
+            source,
+            offset,
+            channels,
+        }
     }
 }
 

@@ -23,7 +23,10 @@ use dsnet_graph::NodeId;
 pub fn participation(mc: &McNet, g: GroupId, u: NodeId) -> Participation {
     let relays = mc.should_relay(u, g);
     let wants = mc.is_target(u, g);
-    Participation { rx: wants || relays, tx: relays }
+    Participation {
+        rx: wants || relays,
+        tx: relays,
+    }
 }
 
 /// Per-node participation table for a whole session.

@@ -13,7 +13,7 @@ use crate::knowledge::{build_knowledge, build_session_knowledge, NetKnowledge, S
 use crate::{analytic, multicast};
 use dsnet_cluster::{ClusterNet, GroupId, McNet, NodeStatus};
 use dsnet_graph::NodeId;
-use dsnet_radio::{Engine, EngineConfig, EnergyReport, FailurePlan, StopReason};
+use dsnet_radio::{EnergyReport, Engine, EngineConfig, FailurePlan, StopReason};
 
 /// Options shared by all protocol runs.
 #[derive(Debug, Clone)]
@@ -22,13 +22,19 @@ pub struct RunConfig {
     pub channels: u8,
     /// Fail-stop schedule (empty by default).
     pub failures: FailurePlan,
-    /// Record the event trace (needed for collision counts; small runs).
+    /// Record the event trace (needed for collision counts). On by
+    /// default; turn off for large sweeps that don't read
+    /// [`BroadcastOutcome::collisions`].
     pub record_trace: bool,
 }
 
 impl Default for RunConfig {
     fn default() -> Self {
-        Self { channels: 1, failures: FailurePlan::new(), record_trace: true }
+        Self {
+            channels: 1,
+            failures: FailurePlan::new(),
+            record_trace: true,
+        }
     }
 }
 
@@ -45,8 +51,9 @@ pub struct BroadcastOutcome {
     pub targets: usize,
     /// Energy over every node that carried a program.
     pub energy: EnergyReport,
-    /// Receiver-side collision events (0 unless trace disabled → also 0).
-    pub collisions: usize,
+    /// Receiver-side collision events; `None` when the run was executed
+    /// with `record_trace: false` and the count is unknowable.
+    pub collisions: Option<usize>,
     /// The analytic round bound for this protocol and network.
     pub bound: u64,
 }
@@ -73,7 +80,11 @@ impl BroadcastOutcome {
 }
 
 fn engine_config(cfg: &RunConfig, max_rounds: u64) -> EngineConfig {
-    EngineConfig { channels: cfg.channels, max_rounds, record_trace: cfg.record_trace }
+    EngineConfig {
+        channels: cfg.channels,
+        max_rounds,
+        record_trace: cfg.record_trace,
+    }
 }
 
 /// Uplink positions: `pos[u] = j` when `u` is the `j`-th node on the
@@ -98,7 +109,7 @@ pub fn run_dfo(net: &ClusterNet, source: NodeId, cfg: &RunConfig) -> BroadcastOu
     });
     engine.set_failures(cfg.failures.clone());
     let out = engine.run();
-    let collisions = engine.trace().collision_count();
+    let collisions = engine.trace().try_collision_count();
     let energy = engine.energy_report();
     let programs = engine.into_programs();
     let delivered = net
@@ -129,7 +140,7 @@ pub fn run_cff_basic(net: &ClusterNet, source: NodeId, cfg: &RunConfig) -> Broad
     });
     engine.set_failures(cfg.failures.clone());
     let out = engine.run();
-    let collisions = engine.trace().collision_count();
+    let collisions = engine.trace().try_collision_count();
     let energy = engine.energy_report();
     let programs = engine.into_programs();
     let delivered = net
@@ -186,12 +197,8 @@ pub fn run_multicast_reliable(
     let table = multicast::participation_table(mc, group);
     let tx = |u: NodeId| table[u.index()].tx;
     let rx = |u: NodeId| table[u.index()].rx;
-    let session_slots = dsnet_cluster::slots::session::assign_session_slots(
-        &net.view(),
-        net.mode(),
-        &tx,
-        &rx,
-    );
+    let session_slots =
+        dsnet_cluster::slots::session::assign_session_slots(&net.view(), net.mode(), &tx, &rx);
     let k = build_session_knowledge(net, &session_slots, &tx);
     let targets = multicast::targets(mc, group);
     run_improved_with(net, &k, source, cfg, |u| table[u.index()], &targets)
@@ -238,7 +245,7 @@ fn run_improved_inner(
     });
     engine.set_failures(cfg.failures.clone());
     let out = engine.run();
-    let collisions = engine.trace().collision_count();
+    let collisions = engine.trace().try_collision_count();
     let energy = engine.energy_report();
     let programs = engine.into_programs();
     let received: Vec<bool> = (0..net.graph().capacity())
@@ -289,8 +296,18 @@ mod tests {
             // Time-Slot Condition 2 guarantees delivery (every receiver has
             // at least one clean slot); stray collision events at duplicated
             // slots are legal and harmless.
-            assert!(out.completed(), "delivery {}/{}", out.delivered, out.targets);
-            assert!(out.rounds <= out.bound + 2, "rounds {} bound {}", out.rounds, out.bound);
+            assert!(
+                out.completed(),
+                "delivery {}/{}",
+                out.delivered,
+                out.targets
+            );
+            assert!(
+                out.rounds <= out.bound + 2,
+                "rounds {} bound {}",
+                out.rounds,
+                out.bound
+            );
         }
     }
 
@@ -300,7 +317,12 @@ mod tests {
         let cfg = RunConfig::default();
         let dfo = run_dfo(&net, net.root(), &cfg);
         let cff2 = run_improved(&net, net.root(), &cfg);
-        assert!(cff2.rounds < dfo.rounds, "cff2 {} !< dfo {}", cff2.rounds, dfo.rounds);
+        assert!(
+            cff2.rounds < dfo.rounds,
+            "cff2 {} !< dfo {}",
+            cff2.rounds,
+            dfo.rounds
+        );
         assert!(
             cff2.max_awake() < dfo.max_awake(),
             "cff2 awake {} !< dfo awake {}",
@@ -334,7 +356,13 @@ mod tests {
 
         let cff2 = run_improved(&net, net.root(), &cfg);
         // Flooding routes around the dead head: everyone else receives.
-        assert_eq!(cff2.delivered, cff2.targets - 1, "{}/{}", cff2.delivered, cff2.targets);
+        assert_eq!(
+            cff2.delivered,
+            cff2.targets - 1,
+            "{}/{}",
+            cff2.delivered,
+            cff2.targets
+        );
         assert!(cff2.delivered > dfo.delivered);
     }
 
@@ -354,7 +382,12 @@ mod tests {
         let root = mc.net().root();
         let out = run_multicast(&mc, root, 1, &cfg);
         assert!(out.targets > 0);
-        assert!(out.completed(), "multicast delivery {}/{}", out.delivered, out.targets);
+        assert!(
+            out.completed(),
+            "multicast delivery {}/{}",
+            out.delivered,
+            out.targets
+        );
         // An empty group costs nothing and completes instantly.
         let empty = run_multicast(&mc, root, 99, &cfg);
         assert_eq!(empty.targets, 0);
@@ -364,7 +397,10 @@ mod tests {
     #[test]
     fn multichannel_improved_still_covers() {
         let net = chain_net(25);
-        let cfg = RunConfig { channels: 2, ..Default::default() };
+        let cfg = RunConfig {
+            channels: 2,
+            ..Default::default()
+        };
         let out = run_improved(&net, net.root(), &cfg);
         assert!(out.completed());
         let cfg1 = RunConfig::default();

@@ -51,13 +51,23 @@ pub struct EngineConfig {
     pub channels: u8,
     /// Hard round limit (the run fails over to [`StopReason::RoundLimit`]).
     pub max_rounds: Round,
-    /// Record a full event trace (costs memory; default off).
+    /// Record a full event trace.
+    ///
+    /// Defaults to `true` (matching `RunConfig` in `dsnet-protocols`):
+    /// collision counts are only measurable from the trace, and a silent
+    /// zero from an unrecorded run is worse than the memory cost of
+    /// recording. Large sweeps that don't need collision data should
+    /// disable it explicitly.
     pub record_trace: bool,
 }
 
 impl Default for EngineConfig {
     fn default() -> Self {
-        Self { channels: 1, max_rounds: 1_000_000, record_trace: false }
+        Self {
+            channels: 1,
+            max_rounds: 1_000_000,
+            record_trace: true,
+        }
     }
 }
 
@@ -109,7 +119,11 @@ impl<'g, P: NodeProgram> Engine<'g, P> {
             programs,
             meters: vec![EnergyMeter::default(); cap],
             failures: FailurePlan::new(),
-            trace: if config.record_trace { Trace::enabled() } else { Trace::disabled() },
+            trace: if config.record_trace {
+                Trace::enabled()
+            } else {
+                Trace::disabled()
+            },
             round: 0,
             actions: (0..cap).map(|_| None).collect(),
         }
@@ -185,7 +199,11 @@ impl<'g, P: NodeProgram> Engine<'g, P> {
             if !self.alive(id, round) {
                 continue;
             }
-            let ctx = NodeCtx { id, round, channels };
+            let ctx = NodeCtx {
+                id,
+                round,
+                channels,
+            };
             let action = self.programs[i].as_mut().unwrap().act(&ctx);
             if let Action::Transmit { channel, .. } | Action::Listen { channel } = &action {
                 assert!(
@@ -205,7 +223,11 @@ impl<'g, P: NodeProgram> Engine<'g, P> {
             match action {
                 Action::Transmit { channel, .. } => {
                     self.meters[i].record_tx(round);
-                    self.trace.push(TraceEvent::Transmit { round, node: id, channel: *channel });
+                    self.trace.push(TraceEvent::Transmit {
+                        round,
+                        node: id,
+                        channel: *channel,
+                    });
                 }
                 Action::Sleep => self.meters[i].record_sleep(),
                 Action::Listen { channel } => {
@@ -219,8 +241,7 @@ impl<'g, P: NodeProgram> Engine<'g, P> {
                         if self.failures.link_dead(id, v, round) {
                             continue;
                         }
-                        if let Some(Action::Transmit { channel: vc, .. }) =
-                            &self.actions[v.index()]
+                        if let Some(Action::Transmit { channel: vc, .. }) = &self.actions[v.index()]
                         {
                             if *vc == ch {
                                 tx_count += 1;
@@ -241,8 +262,15 @@ impl<'g, P: NodeProgram> Engine<'g, P> {
                                 to: id,
                                 channel: ch,
                             });
-                            let ctx = NodeCtx { id, round, channels };
-                            self.programs[i].as_mut().unwrap().on_receive(&ctx, from, &msg);
+                            let ctx = NodeCtx {
+                                id,
+                                round,
+                                channels,
+                            };
+                            self.programs[i]
+                                .as_mut()
+                                .unwrap()
+                                .on_receive(&ctx, from, &msg);
                         }
                         0 => {}
                         n => {
@@ -270,10 +298,16 @@ impl<'g, P: NodeProgram> Engine<'g, P> {
     pub fn run(&mut self) -> RunOutcome {
         while self.round < self.config.max_rounds {
             if self.step() {
-                return RunOutcome { rounds: self.round, stop: StopReason::AllDone };
+                return RunOutcome {
+                    rounds: self.round,
+                    stop: StopReason::AllDone,
+                };
             }
         }
-        RunOutcome { rounds: self.round, stop: StopReason::RoundLimit }
+        RunOutcome {
+            rounds: self.round,
+            stop: StopReason::RoundLimit,
+        }
     }
 }
 
@@ -294,10 +328,20 @@ mod tests {
 
     impl Flood {
         fn source() -> Self {
-            Flood { has_msg: true, sent: false, tx_round: Some(1), received_round: Some(0) }
+            Flood {
+                has_msg: true,
+                sent: false,
+                tx_round: Some(1),
+                received_round: Some(0),
+            }
         }
         fn idle() -> Self {
-            Flood { has_msg: false, sent: false, tx_round: None, received_round: None }
+            Flood {
+                has_msg: false,
+                sent: false,
+                tx_round: None,
+                received_round: None,
+            }
         }
     }
 
@@ -339,8 +383,17 @@ mod tests {
         let g = Box::leak(Box::new(path(n)));
         Engine::new(
             g,
-            EngineConfig { record_trace: true, ..Default::default() },
-            |id| if id == NodeId(0) { Flood::source() } else { Flood::idle() },
+            EngineConfig {
+                record_trace: true,
+                ..Default::default()
+            },
+            |id| {
+                if id == NodeId(0) {
+                    Flood::source()
+                } else {
+                    Flood::idle()
+                }
+            },
         )
     }
 
@@ -369,7 +422,11 @@ mod tests {
         struct TwoSources;
         let mut e = Engine::new(
             &g,
-            EngineConfig { max_rounds: 3, record_trace: true, ..Default::default() },
+            EngineConfig {
+                max_rounds: 3,
+                record_trace: true,
+                ..Default::default()
+            },
             |id| {
                 let _ = TwoSources;
                 if id == NodeId(1) {
@@ -406,7 +463,11 @@ mod tests {
         g.add_edge(NodeId(2), NodeId(1));
         let mut e = Engine::new(
             &g,
-            EngineConfig { channels: 2, max_rounds: 1, record_trace: true },
+            EngineConfig {
+                channels: 2,
+                max_rounds: 1,
+                record_trace: true,
+            },
             |id| match id.0 {
                 0 => Fixed(Action::Transmit { channel: 0, msg: 9 }),
                 2 => Fixed(Action::Transmit { channel: 1, msg: 7 }),

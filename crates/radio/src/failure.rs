@@ -97,7 +97,9 @@ mod tests {
     #[test]
     fn earliest_schedule_wins() {
         let mut p = FailurePlan::new();
-        p.kill_node(NodeId(1), 10).kill_node(NodeId(1), 3).kill_node(NodeId(1), 7);
+        p.kill_node(NodeId(1), 10)
+            .kill_node(NodeId(1), 3)
+            .kill_node(NodeId(1), 7);
         assert!(p.node_dead(NodeId(1), 3));
         assert!(!p.node_dead(NodeId(1), 2));
     }
@@ -117,5 +119,39 @@ mod tests {
         let p = FailurePlan::new();
         assert!(p.is_empty());
         assert!(!p.node_dead(NodeId(0), 1_000_000));
+    }
+
+    #[test]
+    fn duplicate_link_kills_keep_earliest_round_across_orientations() {
+        // {4,9} scheduled three times, in both orientations: the two
+        // orderings must alias to one edge and the earliest round wins —
+        // a later re-schedule can never resurrect the link.
+        let mut p = FailurePlan::new();
+        p.kill_link(NodeId(4), NodeId(9), 8)
+            .kill_link(NodeId(9), NodeId(4), 2)
+            .kill_link(NodeId(4), NodeId(9), 50);
+        assert!(!p.link_dead(NodeId(4), NodeId(9), 1));
+        assert!(p.link_dead(NodeId(9), NodeId(4), 2));
+        assert!(p.link_dead(NodeId(4), NodeId(9), 2));
+    }
+
+    #[test]
+    fn node_killed_at_round_zero_never_lives() {
+        let mut p = FailurePlan::new();
+        p.kill_node(NodeId(7), 0);
+        assert!(p.node_dead(NodeId(7), 0));
+        assert!(p.node_dead(NodeId(7), 1));
+    }
+
+    #[test]
+    fn killing_an_already_dead_node_is_a_noop() {
+        // Dead at round 0; a second, later schedule must not delay the
+        // death, and the plan must still report a single doomed entry at
+        // the earliest round.
+        let mut p = FailurePlan::new();
+        p.kill_node(NodeId(7), 0).kill_node(NodeId(7), 12);
+        assert!(p.node_dead(NodeId(7), 0));
+        let doomed: Vec<_> = p.doomed_nodes().collect();
+        assert_eq!(doomed, vec![(NodeId(7), 0)]);
     }
 }

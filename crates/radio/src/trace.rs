@@ -15,12 +15,26 @@ use dsnet_graph::NodeId;
 #[allow(missing_docs)] // field names are self-describing event attributes
 pub enum TraceEvent {
     /// `node` transmitted on `channel`.
-    Transmit { round: Round, node: NodeId, channel: Channel },
+    Transmit {
+        round: Round,
+        node: NodeId,
+        channel: Channel,
+    },
     /// `to` cleanly received the round's message from `from`.
-    Deliver { round: Round, from: NodeId, to: NodeId, channel: Channel },
+    Deliver {
+        round: Round,
+        from: NodeId,
+        to: NodeId,
+        channel: Channel,
+    },
     /// `node` was listening on `channel` while ≥ 2 of its neighbours
     /// transmitted on it — the message(s) were destroyed at this receiver.
-    Collision { round: Round, node: NodeId, channel: Channel, transmitters: u32 },
+    Collision {
+        round: Round,
+        node: NodeId,
+        channel: Channel,
+        transmitters: u32,
+    },
     /// `node` died (fail-stop) at the start of `round`.
     NodeDeath { round: Round, node: NodeId },
 }
@@ -47,7 +61,10 @@ pub struct Trace {
 impl Trace {
     /// A recording trace.
     pub fn enabled() -> Self {
-        Self { enabled: true, events: Vec::new() }
+        Self {
+            enabled: true,
+            events: Vec::new(),
+        }
     }
 
     /// A no-op trace (records nothing, costs nothing).
@@ -83,12 +100,31 @@ impl Trace {
         self.events.is_empty()
     }
 
+    /// Number of collision events at listening receivers over the run, or
+    /// `None` when the trace was disabled and the count is unknowable.
+    ///
+    /// This is the honest accessor: a disabled trace must not masquerade
+    /// as a collision-free run.
+    pub fn try_collision_count(&self) -> Option<usize> {
+        self.enabled.then(|| {
+            self.events
+                .iter()
+                .filter(|e| matches!(e, TraceEvent::Collision { .. }))
+                .count()
+        })
+    }
+
     /// Number of collision events at listening receivers over the run.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the trace was disabled — a disabled trace has no
+    /// collision information, and returning 0 here historically made runs
+    /// look collision-free when nothing was measured. Use
+    /// [`Trace::try_collision_count`] to handle the disabled case.
     pub fn collision_count(&self) -> usize {
-        self.events
-            .iter()
-            .filter(|e| matches!(e, TraceEvent::Collision { .. }))
-            .count()
+        self.try_collision_count()
+            .expect("collision_count() on a disabled trace: enable record_trace or use try_collision_count()")
     }
 
     /// Number of clean deliveries over the run.
@@ -115,16 +151,41 @@ mod tests {
     #[test]
     fn disabled_trace_records_nothing() {
         let mut t = Trace::disabled();
-        t.push(TraceEvent::Transmit { round: 1, node: NodeId(0), channel: 0 });
+        t.push(TraceEvent::Transmit {
+            round: 1,
+            node: NodeId(0),
+            channel: 0,
+        });
         assert!(t.is_empty());
+        assert_eq!(t.try_collision_count(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "disabled trace")]
+    fn disabled_trace_collision_count_panics() {
+        Trace::disabled().collision_count();
     }
 
     #[test]
     fn enabled_trace_counts_kinds() {
         let mut t = Trace::enabled();
-        t.push(TraceEvent::Transmit { round: 1, node: NodeId(0), channel: 0 });
-        t.push(TraceEvent::Deliver { round: 1, from: NodeId(0), to: NodeId(1), channel: 0 });
-        t.push(TraceEvent::Collision { round: 2, node: NodeId(2), channel: 0, transmitters: 3 });
+        t.push(TraceEvent::Transmit {
+            round: 1,
+            node: NodeId(0),
+            channel: 0,
+        });
+        t.push(TraceEvent::Deliver {
+            round: 1,
+            from: NodeId(0),
+            to: NodeId(1),
+            channel: 0,
+        });
+        t.push(TraceEvent::Collision {
+            round: 2,
+            node: NodeId(2),
+            channel: 0,
+            transmitters: 3,
+        });
         assert_eq!(t.len(), 3);
         assert_eq!(t.delivery_count(), 1);
         assert_eq!(t.collision_count(), 1);
@@ -134,7 +195,10 @@ mod tests {
 
     #[test]
     fn event_round_accessor() {
-        let e = TraceEvent::NodeDeath { round: 9, node: NodeId(4) };
+        let e = TraceEvent::NodeDeath {
+            round: 9,
+            node: NodeId(4),
+        };
         assert_eq!(e.round(), 9);
     }
 }

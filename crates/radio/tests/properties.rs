@@ -38,7 +38,9 @@ fn decode(raw: u8, node: u32, round: usize, channels: u8) -> Action<u32> {
             channel: ((raw % 5 - 1) % channels) as Channel,
             msg: node * 1000 + round as u32,
         },
-        _ => Action::Listen { channel: ((raw % 5 - 3) % channels) as Channel },
+        _ => Action::Listen {
+            channel: ((raw % 5 - 3) % channels) as Channel,
+        },
     }
 }
 

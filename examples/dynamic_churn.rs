@@ -16,7 +16,9 @@ use dsnet::{NetworkBuilder, Protocol};
 use rand::Rng as _;
 
 fn main() {
-    let mut network = NetworkBuilder::paper(200, 99).build().expect("build network");
+    let mut network = NetworkBuilder::paper(200, 99)
+        .build()
+        .expect("build network");
     network.check();
     println!("initial network: {} nodes", network.len());
 
@@ -58,7 +60,10 @@ fn main() {
         // The structure must stay sound and broadcastable after every epoch.
         network.check();
         let out = network.broadcast(Protocol::ImprovedCff);
-        assert!(out.completed(), "broadcast failed after churn epoch {epoch}");
+        assert!(
+            out.completed(),
+            "broadcast failed after churn epoch {epoch}"
+        );
         println!(
             "epoch {epoch}: {} nodes, broadcast {} rounds ({}/{} delivered)",
             network.len(),
@@ -83,5 +88,7 @@ fn main() {
         Err(e) => println!("\nsink could not leave ({e}) — refusal keeps the structure intact"),
     }
 
-    println!("\nchurn summary: {joined} joins, {left} departures — structure stayed valid throughout");
+    println!(
+        "\nchurn summary: {joined} joins, {left} departures — structure stayed valid throughout"
+    );
 }

@@ -14,7 +14,10 @@ fn main() {
     // 250 nodes; each independently joins each of the three groups with
     // probability 8%.
     let network = NetworkBuilder::paper(250, 31)
-        .groups(GroupPlan { groups: 3, membership: 0.08 })
+        .groups(GroupPlan {
+            groups: 3,
+            membership: 0.08,
+        })
         .build()
         .expect("build network");
     network.check();
@@ -52,11 +55,17 @@ fn main() {
         );
         assert!(paper.delivery_ratio() >= 0.9, "paper multicast collapsed");
         assert!(reliable.completed(), "session slots guarantee delivery");
-        assert!(work <= bcast_work, "pruning must not cost more than broadcasting");
+        assert!(
+            work <= bcast_work,
+            "pruning must not cost more than broadcasting"
+        );
     }
 
     // A group nobody joined: the session is free.
     let empty = network.multicast(9);
     assert_eq!(empty.targets, 0);
-    println!("\nmulticast to an empty group: {} targets, instant completion", empty.targets);
+    println!(
+        "\nmulticast to an empty group: {} targets, instant completion",
+        empty.targets
+    );
 }

@@ -9,17 +9,25 @@ use dsnet::protocols::runner::{run_improved, RunConfig};
 use dsnet::NetworkBuilder;
 
 fn main() {
-    let network = NetworkBuilder::paper(400, 77).build().expect("build network");
+    let network = NetworkBuilder::paper(400, 77)
+        .build()
+        .expect("build network");
     let s = network.stats();
     println!(
         "network: {} nodes, δ = {}, Δ = {}, backbone height {}\n",
         s.nodes, s.delta_b, s.delta_l, s.backbone_height
     );
 
-    println!("{:>3}  {:>7}  {:>10}  {:>9}  {:>9}", "k", "rounds", "max awake", "bound", "delivered");
+    println!(
+        "{:>3}  {:>7}  {:>10}  {:>9}  {:>9}",
+        "k", "rounds", "max awake", "bound", "delivered"
+    );
     let mut previous_rounds = u64::MAX;
     for k in [1u8, 2, 4, 8] {
-        let cfg = RunConfig { channels: k, ..Default::default() };
+        let cfg = RunConfig {
+            channels: k,
+            ..Default::default()
+        };
         let out = run_improved(network.net(), network.sink(), &cfg);
         println!(
             "{:>3}  {:>7}  {:>10}  {:>9}  {:>6}/{}",
@@ -31,7 +39,10 @@ fn main() {
             out.targets
         );
         assert!(out.completed(), "k={k} lost nodes");
-        assert!(out.rounds <= previous_rounds, "more channels must not be slower");
+        assert!(
+            out.rounds <= previous_rounds,
+            "more channels must not be slower"
+        );
         previous_rounds = out.rounds;
     }
     println!("\nTheorem 1(3): rounds and awake time divide by k — confirmed above.");

@@ -11,7 +11,9 @@ use dsnet::{MultiNet, NetworkBuilder};
 use rand::seq::SliceRandom as _;
 
 fn main() {
-    let network = NetworkBuilder::paper(300, 321).build().expect("build network");
+    let network = NetworkBuilder::paper(300, 321)
+        .build()
+        .expect("build network");
     // Sinks: the original plus the two nodes farthest from it.
     let origin = network.position(network.sink());
     let mut far: Vec<NodeId> = network
@@ -28,7 +30,10 @@ fn main() {
     });
     let sinks = vec![network.sink(), far[0], far[1]];
     let multi = MultiNet::from_network(&network, &sinks);
-    println!("three cluster-nets over one deployment, sinks: {:?}\n", multi.sinks());
+    println!(
+        "three cluster-nets over one deployment, sinks: {:?}\n",
+        multi.sinks()
+    );
 
     for f in [0usize, 4, 8, 12] {
         // Damage the primary structure's backbone.
@@ -47,8 +52,7 @@ fn main() {
         }
 
         let single = multi.structures()[0].clone();
-        let single_out =
-            dsnet::protocols::runner::run_improved(&single, single.root(), &cfg);
+        let single_out = dsnet::protocols::runner::run_improved(&single, single.root(), &cfg);
         let multi_out = multi.broadcast_failover(&cfg);
         println!(
             "{f:2} failures: single sink {:5.1}%  |  failover ({} attempts, {} rounds) {:5.1}%",

@@ -9,7 +9,9 @@ use dsnet::{NetworkBuilder, Protocol};
 fn main() {
     // 300 nodes on the 10×10-unit field (1 unit = 100 m, 50 m radio range),
     // deployed incrementally connected — the paper's dynamic regime.
-    let network = NetworkBuilder::paper(300, 2007).build().expect("build network");
+    let network = NetworkBuilder::paper(300, 2007)
+        .build()
+        .expect("build network");
     network.check();
 
     let s = network.stats();

@@ -9,7 +9,9 @@ use dsnet::viz::{render_svg, VizOptions};
 use dsnet::NetworkBuilder;
 
 fn main() {
-    let network = NetworkBuilder::paper(250, 2007).build().expect("build network");
+    let network = NetworkBuilder::paper(250, 2007)
+        .build()
+        .expect("build network");
     let s = network.stats();
     println!(
         "rendering {} nodes: {} heads, {} gateways, {} members, backbone height {}",

@@ -11,7 +11,9 @@ use dsnet::{NetworkBuilder, Protocol};
 use rand::seq::SliceRandom as _;
 
 fn main() {
-    let network = NetworkBuilder::paper(350, 55).build().expect("build network");
+    let network = NetworkBuilder::paper(350, 55)
+        .build()
+        .expect("build network");
     println!(
         "network: {} nodes, backbone {} nodes\n",
         network.len(),
@@ -53,5 +55,7 @@ fn main() {
             assert!(cff.completed() && dfo.completed());
         }
     }
-    println!("\nDFO stalls at the first dead token-holder; CFF only loses what is physically cut off.");
+    println!(
+        "\nDFO stalls at the first dead token-holder; CFF only loses what is physically cut off."
+    );
 }

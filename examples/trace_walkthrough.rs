@@ -12,7 +12,9 @@ use dsnet::radio::{Engine, EngineConfig, TraceEvent};
 use dsnet::NetworkBuilder;
 
 fn main() {
-    let network = NetworkBuilder::paper(40, 12).build().expect("build network");
+    let network = NetworkBuilder::paper(40, 12)
+        .build()
+        .expect("build network");
     let net = network.net();
     let k = build_knowledge(net);
     println!(
@@ -33,7 +35,11 @@ fn main() {
 
     let mut engine = Engine::new(
         net.graph(),
-        EngineConfig { max_rounds: sched.end_round + 4, record_trace: true, channels: 1 },
+        EngineConfig {
+            max_rounds: sched.end_round + 4,
+            record_trace: true,
+            channels: 1,
+        },
         |u| {
             Cff2Program::new(
                 &k,
@@ -51,7 +57,11 @@ fn main() {
     for ev in engine.trace().events() {
         if ev.round() != last_round {
             last_round = ev.round();
-            let phase = if last_round <= sched.p2_start { "phase 1" } else { "phase 2" };
+            let phase = if last_round <= sched.p2_start {
+                "phase 1"
+            } else {
+                "phase 2"
+            };
             println!("--- round {last_round} ({phase}) ---");
         }
         match ev {
@@ -70,7 +80,9 @@ fn main() {
             TraceEvent::Deliver { from, to, .. } => {
                 println!("    -> {to} receives from {from}");
             }
-            TraceEvent::Collision { node, transmitters, .. } => {
+            TraceEvent::Collision {
+                node, transmitters, ..
+            } => {
                 println!("    xx {node} hears {transmitters} transmitters collide (harmless: its unique slot is elsewhere)");
             }
             TraceEvent::NodeDeath { node, .. } => println!("  !! {node} died"),

@@ -9,9 +9,15 @@ use proptest::prelude::*;
 
 #[derive(Debug, Clone)]
 enum Step {
-    Join { picks: (u16, u16), groups: Vec<GroupId> },
+    Join {
+        picks: (u16, u16),
+        groups: Vec<GroupId>,
+    },
     Leave(u16),
-    Regroup { pick: u16, groups: Vec<GroupId> },
+    Regroup {
+        pick: u16,
+        groups: Vec<GroupId>,
+    },
 }
 
 fn step_strategy() -> impl Strategy<Value = Step> {

@@ -20,14 +20,25 @@ fn paper_network_full_pipeline() {
         assert_eq!(net.net().tree().len(), n);
         assert!(components::is_connected(net.net().graph()));
         invariants::check_growth(net.net()).unwrap_or_else(|v| panic!("n={n}: {v:?}"));
-        let violations = validate_condition2(&net.net().view(), net.net().slots(), net.net().mode());
+        let violations =
+            validate_condition2(&net.net().view(), net.net().slots(), net.net().mode());
         assert!(violations.is_empty(), "n={n}: {violations:?}");
 
         // Protocols: full delivery within the analytic bounds.
         for p in [Protocol::ImprovedCff, Protocol::BasicCff, Protocol::Dfo] {
             let out = net.broadcast(p);
-            assert!(out.completed(), "n={n} {p:?}: {}/{}", out.delivered, out.targets);
-            assert!(out.rounds <= out.bound, "n={n} {p:?}: {} > {}", out.rounds, out.bound);
+            assert!(
+                out.completed(),
+                "n={n} {p:?}: {}/{}",
+                out.delivered,
+                out.targets
+            );
+            assert!(
+                out.rounds <= out.bound,
+                "n={n} {p:?}: {} > {}",
+                out.rounds,
+                out.bound
+            );
         }
     }
 }
@@ -84,7 +95,10 @@ fn multichannel_scaling_matches_theorem_1_3() {
     let k = build_knowledge(net.net());
     let mut rounds_by_k = Vec::new();
     for channels in [1u8, 2, 4] {
-        let cfg = RunConfig { channels, ..Default::default() };
+        let cfg = RunConfig {
+            channels,
+            ..Default::default()
+        };
         let out = net.broadcast_from(Protocol::ImprovedCff, net.sink(), &cfg);
         assert!(out.completed(), "k={channels}");
         assert!(out.rounds <= analytic::improved_bound(&k, 0, channels));
@@ -100,6 +114,11 @@ fn broadcast_from_every_tenth_node_completes() {
     let sources: Vec<_> = net.net().tree().nodes().step_by(10).collect();
     for s in sources {
         let out = net.broadcast_from(Protocol::ImprovedCff, s, &RunConfig::default());
-        assert!(out.completed(), "source {s}: {}/{}", out.delivered, out.targets);
+        assert!(
+            out.completed(),
+            "source {s}: {}/{}",
+            out.delivered,
+            out.targets
+        );
     }
 }

@@ -1,0 +1,216 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the API surface the workspace benches use — `Criterion`,
+//! benchmark groups, `bench_function` / `bench_with_input`, `iter` /
+//! `iter_batched`, `BenchmarkId`, `BatchSize`, `black_box` and the
+//! `criterion_group!` / `criterion_main!` macros — with a simple
+//! median-of-samples wall-clock measurement instead of criterion's
+//! statistical machinery. Output goes to stdout, one line per benchmark.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortises setup cost (accepted, not interpreted).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One setup per measured iteration.
+    PerIteration,
+}
+
+/// A benchmark identifier: function name plus parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// Just a parameter (used inside groups).
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Measurement driver handed to benchmark closures.
+pub struct Bencher {
+    samples: Vec<Duration>,
+}
+
+/// Samples per benchmark (compile-time constant keeps runs quick).
+const SAMPLES: usize = 15;
+
+impl Bencher {
+    fn new() -> Self {
+        Bencher {
+            samples: Vec::with_capacity(SAMPLES),
+        }
+    }
+
+    /// Time `routine`, once per sample after one warm-up call.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        black_box(routine());
+        for _ in 0..SAMPLES {
+            let t = Instant::now();
+            black_box(routine());
+            self.samples.push(t.elapsed());
+        }
+    }
+
+    /// Time `routine` over fresh inputs from `setup`; setup time is not
+    /// measured.
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        black_box(routine(setup()));
+        for _ in 0..SAMPLES {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            self.samples.push(t.elapsed());
+        }
+    }
+
+    fn report(mut self, label: &str) {
+        if self.samples.is_empty() {
+            println!("bench {label:<50} (no samples)");
+            return;
+        }
+        self.samples.sort_unstable();
+        let median = self.samples[self.samples.len() / 2];
+        let best = self.samples[0];
+        println!(
+            "bench {label:<50} median {:>12} best {:>12}",
+            fmt_duration(median),
+            fmt_duration(best)
+        );
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 10_000 {
+        format!("{ns} ns")
+    } else if ns < 10_000_000 {
+        format!("{:.1} µs", ns as f64 / 1e3)
+    } else if ns < 10_000_000_000 {
+        format!("{:.1} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+/// Top-level benchmark registry.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Run one named benchmark.
+    pub fn bench_function(&mut self, name: impl Display, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        run_one(&name.to_string(), f);
+        self
+    }
+
+    /// Run one parameterised benchmark.
+    pub fn bench_with_input<I>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        run_one(&id.to_string(), |b| f(b, input));
+        self
+    }
+
+    /// Open a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Display) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            prefix: name.to_string(),
+        }
+    }
+}
+
+fn run_one(label: &str, mut f: impl FnMut(&mut Bencher)) {
+    let mut b = Bencher::new();
+    f(&mut b);
+    b.report(label);
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'c> {
+    _parent: &'c mut Criterion,
+    prefix: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Run one benchmark inside the group.
+    pub fn bench_function(&mut self, name: impl Display, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        run_one(&format!("{}/{name}", self.prefix), f);
+        self
+    }
+
+    /// Run one parameterised benchmark inside the group.
+    pub fn bench_with_input<I>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        run_one(&format!("{}/{id}", self.prefix), |b| f(b, input));
+        self
+    }
+
+    /// Close the group (no-op; exists for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Bundle benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Entry point running every listed group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo test` executes harness-less bench binaries with
+            // `--test`; there is nothing to verify here, so exit quickly.
+            if std::env::args().any(|a| a == "--test") {
+                return;
+            }
+            $($group();)+
+        }
+    };
+}

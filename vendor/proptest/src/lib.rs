@@ -1,0 +1,206 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements exactly the subset of proptest 1.x this workspace uses:
+//! the [`proptest!`] macro (with `#![proptest_config(..)]`), the
+//! [`prop_assert!`]/[`prop_assert_eq!`]/[`prop_assert_ne!`] macros,
+//! [`Strategy`](strategy::Strategy) with `prop_map`/`boxed`, `any::<T>()`, numeric-range and
+//! tuple strategies, `prop::collection::vec`, and [`prop_oneof!`].
+//!
+//! Differences from upstream: case generation is **deterministic** (the
+//! RNG is seeded from the test function's name, so runs are reproducible
+//! without regression files), and failing cases are reported with their
+//! inputs but are **not shrunk**.
+
+pub mod strategy;
+pub mod test_runner;
+
+pub mod arbitrary {
+    //! `any::<T>()` — strategies for primitive types.
+
+    use crate::strategy::{Any, ArbitraryPrim};
+
+    /// The canonical strategy for a primitive type.
+    pub fn any<T: ArbitraryPrim>() -> Any<T> {
+        Any::new()
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use crate::strategy::{Strategy, VecStrategy};
+    use std::ops::Range;
+
+    /// Sizes accepted by [`vec()`]: a fixed length or a half-open range.
+    pub trait IntoSizeRange {
+        /// Lower/upper (exclusive) bound of the size range.
+        fn bounds(&self) -> (usize, usize);
+    }
+
+    impl IntoSizeRange for usize {
+        fn bounds(&self) -> (usize, usize) {
+            (*self, *self + 1)
+        }
+    }
+
+    impl IntoSizeRange for Range<usize> {
+        fn bounds(&self) -> (usize, usize) {
+            (self.start, self.end)
+        }
+    }
+
+    /// A strategy for `Vec<S::Value>` with a length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl IntoSizeRange) -> VecStrategy<S> {
+        let (min, max) = size.bounds();
+        assert!(min < max, "empty size range for collection::vec");
+        VecStrategy { element, min, max }
+    }
+}
+
+pub mod prelude {
+    //! Everything a proptest-based test file needs.
+
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{Config as ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+
+    /// Namespace mirror of upstream's `prelude::prop`.
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// Run one generated case body, mapping panics into failures is left to
+/// the harness; this is the deterministic per-test RNG constructor.
+pub fn rng_for(test_name: &str, case: u32) -> rand::rngs::StdRng {
+    use rand::SeedableRng as _;
+    // FNV-1a over the test name, mixed with the case index.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    rand::rngs::StdRng::seed_from_u64(h ^ ((case as u64) << 32 | case as u64))
+}
+
+/// The property-test harness macro. Supports an optional leading
+/// `#![proptest_config(expr)]` followed by any number of
+/// `#[test] fn name(arg in strategy, ...) { body }` items.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::test_runner::Config::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block
+     $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            #[allow(unused)]
+            use $crate::strategy::Strategy as _;
+            let config: $crate::test_runner::Config = $cfg;
+            for case in 0..config.cases {
+                let mut rng = $crate::rng_for(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    case,
+                );
+                $(let $arg = $crate::strategy::Strategy::new_value(&$strat, &mut rng);)*
+                let inputs = format!(
+                    concat!($("\n  ", stringify!($arg), " = {:?}",)* ""),
+                    $(&$arg),*
+                );
+                let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (move || { $body ::std::result::Result::Ok(()) })();
+                if let ::std::result::Result::Err(e) = outcome {
+                    panic!(
+                        "proptest case {}/{} failed: {}\ninputs:{}",
+                        case + 1,
+                        config.cases,
+                        e,
+                        inputs
+                    );
+                }
+            }
+        }
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+}
+
+/// Fail the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Fail the current case unless the two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(
+            *a == *b,
+            "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+            stringify!($a), stringify!($b), a, b
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(
+            *a == *b,
+            "{}\n  left: {:?}\n right: {:?}",
+            format!($($fmt)+), a, b
+        );
+    }};
+}
+
+/// Fail the current case if the two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(
+            *a != *b,
+            "assertion failed: {} != {}\n  both: {:?}",
+            stringify!($a), stringify!($b), a
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(*a != *b, "{}\n  both: {:?}", format!($($fmt)+), a);
+    }};
+}
+
+/// Weighted choice between strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $((1u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+}

@@ -1,0 +1,261 @@
+//! Value-generation strategies.
+
+use rand::rngs::StdRng;
+use rand::Rng as _;
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+/// A recipe for generating values of one type.
+///
+/// Unlike upstream proptest there is no value tree and no shrinking: a
+/// strategy simply produces a fresh value from the harness RNG.
+pub trait Strategy {
+    /// The generated type.
+    type Value: std::fmt::Debug;
+
+    /// Generate one value.
+    fn new_value(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Transform generated values with `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        O: std::fmt::Debug,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Erase the concrete strategy type.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// A type-erased strategy.
+pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+impl<T: std::fmt::Debug> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn new_value(&self, rng: &mut StdRng) -> T {
+        (**self).new_value(rng)
+    }
+}
+
+/// Always generates a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone + std::fmt::Debug> Strategy for Just<T> {
+    type Value = T;
+
+    fn new_value(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Primitive types usable with `any::<T>()`.
+pub trait ArbitraryPrim: std::fmt::Debug {
+    /// Generate a uniformly random value.
+    fn arbitrary(rng: &mut StdRng) -> Self;
+}
+
+macro_rules! arbitrary_prim {
+    ($($t:ty => |$rng:ident| $gen:expr),* $(,)?) => {$(
+        impl ArbitraryPrim for $t {
+            fn arbitrary($rng: &mut StdRng) -> Self {
+                $gen
+            }
+        }
+    )*};
+}
+
+arbitrary_prim! {
+    bool => |rng| rng.random::<u64>() & 1 == 1,
+    u8 => |rng| rng.random::<u64>() as u8,
+    u16 => |rng| rng.random::<u64>() as u16,
+    u32 => |rng| rng.random::<u64>() as u32,
+    u64 => |rng| rng.random::<u64>(),
+    usize => |rng| rng.random::<u64>() as usize,
+    i32 => |rng| rng.random::<u64>() as i32,
+    i64 => |rng| rng.random::<u64>() as i64,
+    f64 => |rng| rng.random::<f64>(),
+}
+
+/// The strategy behind `any::<T>()`.
+#[derive(Debug, Clone, Default)]
+pub struct Any<T>(PhantomData<fn() -> T>);
+
+impl<T> Any<T> {
+    /// A new `any` strategy.
+    pub fn new() -> Self {
+        Any(PhantomData)
+    }
+}
+
+impl<T: ArbitraryPrim> Strategy for Any<T> {
+    type Value = T;
+
+    fn new_value(&self, rng: &mut StdRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut StdRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut StdRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+    )*};
+}
+
+range_strategy!(u8, u16, u32, u64, usize, i32, i64, f64);
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident/$i:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn new_value(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$i.new_value(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A/0)
+    (A/0, B/1)
+    (A/0, B/1, C/2)
+    (A/0, B/1, C/2, D/3)
+    (A/0, B/1, C/2, D/3, E/4)
+    (A/0, B/1, C/2, D/3, E/4, F/5)
+}
+
+/// Output of [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    pub(crate) inner: S,
+    pub(crate) f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    O: std::fmt::Debug,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn new_value(&self, rng: &mut StdRng) -> O {
+        (self.f)(self.inner.new_value(rng))
+    }
+}
+
+/// Output of `prop::collection::vec`.
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    pub(crate) element: S,
+    pub(crate) min: usize,
+    pub(crate) max: usize,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn new_value(&self, rng: &mut StdRng) -> Vec<S::Value> {
+        let len = rng.random_range(self.min..self.max);
+        (0..len).map(|_| self.element.new_value(rng)).collect()
+    }
+}
+
+/// Output of [`prop_oneof!`](crate::prop_oneof): a weighted union of boxed strategies.
+pub struct Union<T> {
+    arms: Vec<(u32, BoxedStrategy<T>)>,
+    total: u64,
+}
+
+impl<T: std::fmt::Debug> Union<T> {
+    /// A union over weighted arms (at least one, all weights ≥ 1).
+    pub fn new(arms: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        let total = arms.iter().map(|&(w, _)| w as u64).sum();
+        assert!(total > 0, "prop_oneof! weights must not all be zero");
+        Union { arms, total }
+    }
+}
+
+impl<T: std::fmt::Debug> Strategy for Union<T> {
+    type Value = T;
+
+    fn new_value(&self, rng: &mut StdRng) -> T {
+        let mut pick = rng.random_range(0..self.total);
+        for (w, s) in &self.arms {
+            if pick < *w as u64 {
+                return s.new_value(rng);
+            }
+            pick -= *w as u64;
+        }
+        unreachable!("weighted pick out of range")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arbitrary::any;
+    use crate::collection;
+
+    fn rng() -> StdRng {
+        use rand::SeedableRng as _;
+        StdRng::seed_from_u64(99)
+    }
+
+    #[test]
+    fn ranges_and_maps_compose() {
+        let mut r = rng();
+        let s = (1u8..5).prop_map(|v| v * 10);
+        for _ in 0..100 {
+            let v = s.new_value(&mut r);
+            assert!([10, 20, 30, 40].contains(&v));
+        }
+    }
+
+    #[test]
+    fn vec_respects_size_bounds() {
+        let mut r = rng();
+        let s = collection::vec(any::<u16>(), 2..6);
+        for _ in 0..50 {
+            let v = s.new_value(&mut r);
+            assert!((2..6).contains(&v.len()));
+        }
+        let fixed = collection::vec(any::<u8>(), 8usize);
+        assert_eq!(fixed.new_value(&mut r).len(), 8);
+    }
+
+    #[test]
+    fn union_hits_every_arm() {
+        let mut r = rng();
+        let s = crate::prop_oneof![
+            3 => Just(1u8),
+            1 => Just(2u8),
+        ];
+        let mut seen = [false; 3];
+        for _ in 0..200 {
+            seen[s.new_value(&mut r) as usize] = true;
+        }
+        assert!(seen[1] && seen[2]);
+    }
+}

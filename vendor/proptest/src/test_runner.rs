@@ -1,0 +1,58 @@
+//! Test-case configuration and failure plumbing.
+
+use std::fmt;
+
+/// Harness configuration (`ProptestConfig` in the prelude). Only `cases`
+/// is honoured; the remaining fields exist for struct-update
+/// compatibility with upstream call sites.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Number of generated cases per property.
+    pub cases: u32,
+    /// Accepted for compatibility; shrinking is not implemented.
+    pub max_shrink_iters: u32,
+    /// Accepted for compatibility; regression files are not used.
+    pub failure_persistence: Option<()>,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Self {
+            cases: 256,
+            max_shrink_iters: 0,
+            failure_persistence: None,
+        }
+    }
+}
+
+/// Why a generated case failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TestCaseError {
+    /// The property did not hold.
+    Fail(String),
+    /// The inputs were rejected (e.g. by `prop_assume!`).
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// A failed property with the given reason.
+    pub fn fail<T: fmt::Display>(reason: T) -> Self {
+        TestCaseError::Fail(reason.to_string())
+    }
+
+    /// A rejected case with the given reason.
+    pub fn reject<T: fmt::Display>(reason: T) -> Self {
+        TestCaseError::Reject(reason.to_string())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TestCaseError::Fail(r) => write!(f, "{r}"),
+            TestCaseError::Reject(r) => write!(f, "rejected: {r}"),
+        }
+    }
+}
+
+impl std::error::Error for TestCaseError {}

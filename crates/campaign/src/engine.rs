@@ -1,7 +1,10 @@
 //! The deterministic parallel execution engine.
 
 use crate::sink::CampaignSink;
-use crate::spec::{CampaignSpec, ChurnTemplate, FailureTemplate, ProtocolSpec, Trial, TrialRecord};
+use crate::spec::{
+    repair_label, CampaignSpec, ChurnTemplate, FailureTemplate, LossSpec, ProtocolSpec, Trial,
+    TrialRecord,
+};
 use dsnet_metrics::{Distribution, Summary};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::OnceLock;
@@ -45,6 +48,10 @@ pub struct CellSummary {
     pub failure: FailureTemplate,
     /// Churn-template axis value.
     pub churn: ChurnTemplate,
+    /// Channel-loss axis value.
+    pub loss: LossSpec,
+    /// Repair axis value.
+    pub repair: bool,
     /// Network-size axis value.
     pub n: usize,
     /// Repetitions aggregated.
@@ -59,6 +66,13 @@ pub struct CellSummary {
     pub rounds_p90: f64,
     /// Delivery ratio per repetition.
     pub delivery: Summary,
+    /// Delivery ratio over the targets alive at the end of each run.
+    pub delivery_alive: Summary,
+    /// Repetitions that repaired at least one failure.
+    pub repaired: usize,
+    /// Time-to-repair over the repetitions that repaired; `None` when
+    /// none did.
+    pub repair_rounds: Option<Summary>,
     /// Worst-node awake rounds.
     pub max_awake: Summary,
     /// Mean awake rounds.
@@ -74,11 +88,13 @@ impl CellSummary {
     /// Stable one-line label of the cell's axes.
     pub fn label(&self) -> String {
         format!(
-            "{} k={} fail={} churn={} n={}",
+            "{} k={} fail={} churn={} loss={} repair={} n={}",
             self.protocol.name(),
             self.channels,
             self.failure.label(),
             self.churn.label(),
+            self.loss.label(),
+            repair_label(self.repair),
             self.n
         )
     }
@@ -114,12 +130,15 @@ impl CampaignResult {
     }
 
     /// The cell matching the given axes, if present.
+    #[allow(clippy::too_many_arguments)]
     pub fn cell(
         &self,
         protocol: ProtocolSpec,
         channels: u8,
         failure: FailureTemplate,
         churn: ChurnTemplate,
+        loss: LossSpec,
+        repair: bool,
         n: usize,
     ) -> Option<&CellSummary> {
         self.cells.iter().find(|c| {
@@ -127,6 +146,8 @@ impl CampaignResult {
                 && c.channels == channels
                 && c.failure == failure
                 && c.churn == churn
+                && c.loss == loss
+                && c.repair == repair
                 && c.n == n
         })
     }
@@ -226,11 +247,14 @@ pub fn run_campaign(
                 .map(|(_, r)| r)
                 .collect();
             let rounds = Distribution::of_u64(members.iter().map(|r| r.rounds));
+            let repairs: Vec<u64> = members.iter().filter_map(|r| r.repair_rounds).collect();
             CellSummary {
                 protocol: t0.protocol,
                 channels: t0.channels,
                 failure: t0.failure,
                 churn: t0.churn,
+                loss: t0.loss,
+                repair: t0.repair,
                 n: t0.n,
                 trials: members.len(),
                 completed: members.iter().filter(|r| r.completed()).count(),
@@ -238,6 +262,13 @@ pub fn run_campaign(
                 rounds_p90: rounds.percentile(90.0),
                 rounds: rounds.summary(),
                 delivery: Summary::of(members.iter().map(|r| r.delivery_ratio())),
+                delivery_alive: Summary::of(members.iter().map(|r| r.delivery_ratio_alive())),
+                repaired: repairs.len(),
+                repair_rounds: if repairs.is_empty() {
+                    None
+                } else {
+                    Some(Summary::of_u64(repairs.iter().copied()))
+                },
                 max_awake: Summary::of_u64(members.iter().map(|r| r.max_awake)),
                 mean_awake: Summary::of(members.iter().map(|r| r.mean_awake)),
                 bound: Summary::of_u64(members.iter().map(|r| r.bound)),
@@ -269,6 +300,12 @@ mod tests {
             rounds: 10 + h % 90,
             delivered: trial.n as u64 - h % 3,
             targets: trial.n as u64,
+            targets_alive: trial.n as u64 - 1,
+            delivered_alive: trial.n as u64 - 1 - h % 3,
+            t50: Some(3 + h % 5),
+            t90: Some(8 + h % 5),
+            t_full: None,
+            repair_rounds: if trial.repair { Some(4 + h % 7) } else { None },
             max_awake: 5 + h % 20,
             mean_awake: (h % 1000) as f64 / 100.0,
             collisions: if trial.record_trace {
@@ -379,9 +416,27 @@ mod tests {
                 1,
                 FailureTemplate::None,
                 ChurnTemplate::default(),
+                LossSpec::none(),
+                false,
                 30,
             )
             .expect("cell exists");
         assert_eq!(cell.trials, 4);
+    }
+
+    #[test]
+    fn repair_rounds_aggregate_only_over_repairing_reps() {
+        let mut spec = spec();
+        spec.repair = vec![false, true];
+        let result = run_campaign(&spec, &synthetic, 2, None);
+        for cell in &result.cells {
+            if cell.repair {
+                assert_eq!(cell.repaired, cell.trials);
+                assert!(cell.repair_rounds.is_some());
+            } else {
+                assert_eq!(cell.repaired, 0);
+                assert_eq!(cell.repair_rounds, None);
+            }
+        }
     }
 }

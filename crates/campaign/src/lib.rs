@@ -4,8 +4,8 @@
 //!
 //! Every figure in the evaluation is a *campaign*: a declarative grid of
 //! independent simulation trials (protocol × network size × channel count
-//! × failure template × churn template × repetition), each fully
-//! determined by a seed. This crate expands a [`CampaignSpec`] into that
+//! × failure template × churn template × channel loss × repair ×
+//! repetition), each fully determined by a seed. This crate expands a [`CampaignSpec`] into that
 //! grid, executes the trials on a worker pool, streams condensed
 //! [`TrialRecord`]s into a lock-free aggregation sink, and renders the
 //! result as JSON / CSV artifacts plus per-cell summary tables.
@@ -44,4 +44,7 @@ pub mod spec;
 pub use engine::{run_campaign, CampaignResult, CellSummary, Progress, TrialRunner};
 pub use report::{render_csv, render_json, render_trials_csv};
 pub use sink::{CampaignSink, CellSnapshot};
-pub use spec::{CampaignSpec, ChurnTemplate, FailureTemplate, ProtocolSpec, Trial, TrialRecord};
+pub use spec::{
+    parse_repair, repair_label, CampaignSpec, ChurnTemplate, FailureTemplate, LossSpec,
+    ProtocolSpec, Trial, TrialRecord,
+};

@@ -8,9 +8,17 @@
 //! artifacts.
 
 use crate::engine::{CampaignResult, CellSummary};
-use crate::spec::{Trial, TrialRecord};
+use crate::spec::{repair_label, Trial, TrialRecord};
 use dsnet_metrics::Summary;
 use std::fmt::Write;
+
+fn json_opt_u64(v: Option<u64>) -> String {
+    v.map_or("null".into(), |v| v.to_string())
+}
+
+fn csv_opt_u64(v: Option<u64>) -> String {
+    v.map_or(String::new(), |v| v.to_string())
+}
 
 fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
@@ -63,11 +71,13 @@ fn json_summary(out: &mut String, s: &Summary, percentiles: Option<(f64, f64)>) 
 fn json_cell(out: &mut String, c: &CellSummary) {
     let _ = write!(
         out,
-        "{{\"protocol\": \"{}\", \"channels\": {}, \"failure\": \"{}\", \"churn\": \"{}\", \"n\": {}, \"trials\": {}, \"completed\": {}, \"rounds\": ",
+        "{{\"protocol\": \"{}\", \"channels\": {}, \"failure\": \"{}\", \"churn\": \"{}\", \"loss\": \"{}\", \"repair\": \"{}\", \"n\": {}, \"trials\": {}, \"completed\": {}, \"rounds\": ",
         c.protocol.name(),
         c.channels,
         c.failure.label(),
         c.churn.label(),
+        c.loss.label(),
+        repair_label(c.repair),
         c.n,
         c.trials,
         c.completed
@@ -75,6 +85,13 @@ fn json_cell(out: &mut String, c: &CellSummary) {
     json_summary(out, &c.rounds, Some((c.rounds_p50, c.rounds_p90)));
     out.push_str(", \"delivery\": ");
     json_summary(out, &c.delivery, None);
+    out.push_str(", \"delivery_alive\": ");
+    json_summary(out, &c.delivery_alive, None);
+    let _ = write!(out, ", \"repaired\": {}, \"repair_rounds\": ", c.repaired);
+    match &c.repair_rounds {
+        Some(s) => json_summary(out, s, None),
+        None => out.push_str("null"),
+    }
     out.push_str(", \"max_awake\": ");
     json_summary(out, &c.max_awake, None);
     out.push_str(", \"mean_awake\": ");
@@ -92,12 +109,14 @@ fn json_cell(out: &mut String, c: &CellSummary) {
 fn json_trial(out: &mut String, t: &Trial, r: &TrialRecord) {
     let _ = write!(
         out,
-        "{{\"index\": {}, \"protocol\": \"{}\", \"channels\": {}, \"failure\": \"{}\", \"churn\": \"{}\", \"n\": {}, \"rep\": {}, \"scenario_seed\": {}, \"stream_seed\": {}, \"rounds\": {}, \"delivered\": {}, \"targets\": {}, \"max_awake\": {}, \"mean_awake\": {}, \"collisions\": {}, \"bound\": {}, \"nodes\": {}}}",
+        "{{\"index\": {}, \"protocol\": \"{}\", \"channels\": {}, \"failure\": \"{}\", \"churn\": \"{}\", \"loss\": \"{}\", \"repair\": \"{}\", \"n\": {}, \"rep\": {}, \"scenario_seed\": {}, \"stream_seed\": {}, \"rounds\": {}, \"delivered\": {}, \"targets\": {}, \"targets_alive\": {}, \"delivered_alive\": {}, \"t50\": {}, \"t90\": {}, \"t_full\": {}, \"repair_rounds\": {}, \"max_awake\": {}, \"mean_awake\": {}, \"collisions\": {}, \"bound\": {}, \"nodes\": {}}}",
         t.index,
         t.protocol.name(),
         t.channels,
         t.failure.label(),
         t.churn.label(),
+        t.loss.label(),
+        repair_label(t.repair),
         t.n,
         t.rep,
         t.scenario_seed,
@@ -105,9 +124,15 @@ fn json_trial(out: &mut String, t: &Trial, r: &TrialRecord) {
         r.rounds,
         r.delivered,
         r.targets,
+        r.targets_alive,
+        r.delivered_alive,
+        json_opt_u64(r.t50),
+        json_opt_u64(r.t90),
+        json_opt_u64(r.t_full),
+        json_opt_u64(r.repair_rounds),
         r.max_awake,
         json_f64(r.mean_awake),
-        r.collisions.map_or("null".into(), |c| c.to_string()),
+        json_opt_u64(r.collisions),
         r.bound,
         r.nodes
     );
@@ -145,6 +170,18 @@ pub fn render_json(result: &CampaignResult, include_trials: bool) -> String {
     push_list(
         &mut out,
         spec.churn.iter().map(|c| format!("\"{}\"", c.label())),
+    );
+    out.push_str("], \"losses\": [");
+    push_list(
+        &mut out,
+        spec.losses.iter().map(|l| format!("\"{}\"", l.label())),
+    );
+    out.push_str("], \"repair\": [");
+    push_list(
+        &mut out,
+        spec.repair
+            .iter()
+            .map(|&r| format!("\"{}\"", repair_label(r))),
     );
     out.push_str("], \"ns\": [");
     push_list(&mut out, spec.ns.iter().map(|n| n.to_string()));
@@ -194,19 +231,22 @@ fn push_list(out: &mut String, items: impl Iterator<Item = String>) {
 /// Render the per-cell aggregates as CSV (header + one row per cell).
 pub fn render_csv(result: &CampaignResult) -> String {
     let mut out = String::from(
-        "protocol,channels,failure,churn,n,trials,completed,\
+        "protocol,channels,failure,churn,loss,repair,n,trials,completed,\
          rounds_mean,rounds_std,rounds_min,rounds_p50,rounds_p90,rounds_max,\
-         delivery_mean,delivery_min,max_awake_mean,max_awake_max,\
+         delivery_mean,delivery_min,delivery_alive_mean,delivery_alive_min,\
+         repaired,repair_rounds_mean,max_awake_mean,max_awake_max,\
          mean_awake_mean,bound_mean,collisions\n",
     );
     for c in &result.cells {
         let _ = writeln!(
             out,
-            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
             c.protocol.name(),
             c.channels,
             c.failure.label(),
             c.churn.label(),
+            c.loss.label(),
+            repair_label(c.repair),
             c.n,
             c.trials,
             c.completed,
@@ -218,6 +258,12 @@ pub fn render_csv(result: &CampaignResult) -> String {
             c.rounds.max,
             c.delivery.mean,
             c.delivery.min,
+            c.delivery_alive.mean,
+            c.delivery_alive.min,
+            c.repaired,
+            c.repair_rounds
+                .as_ref()
+                .map_or(String::new(), |s| s.mean.to_string()),
             c.max_awake.mean,
             c.max_awake.max,
             c.mean_awake.mean,
@@ -231,18 +277,21 @@ pub fn render_csv(result: &CampaignResult) -> String {
 /// Render every trial as CSV (header + one row per trial, identity order).
 pub fn render_trials_csv(result: &CampaignResult) -> String {
     let mut out = String::from(
-        "index,protocol,channels,failure,churn,n,rep,scenario_seed,stream_seed,\
-         rounds,delivered,targets,max_awake,mean_awake,collisions,bound,nodes\n",
+        "index,protocol,channels,failure,churn,loss,repair,n,rep,scenario_seed,stream_seed,\
+         rounds,delivered,targets,targets_alive,delivered_alive,t50,t90,t_full,\
+         repair_rounds,max_awake,mean_awake,collisions,bound,nodes\n",
     );
     for (t, r) in result.trials.iter().zip(&result.records) {
         let _ = writeln!(
             out,
-            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
             t.index,
             t.protocol.name(),
             t.channels,
             t.failure.label(),
             t.churn.label(),
+            t.loss.label(),
+            repair_label(t.repair),
             t.n,
             t.rep,
             t.scenario_seed,
@@ -250,9 +299,15 @@ pub fn render_trials_csv(result: &CampaignResult) -> String {
             r.rounds,
             r.delivered,
             r.targets,
+            r.targets_alive,
+            r.delivered_alive,
+            csv_opt_u64(r.t50),
+            csv_opt_u64(r.t90),
+            csv_opt_u64(r.t_full),
+            csv_opt_u64(r.repair_rounds),
             r.max_awake,
             r.mean_awake,
-            r.collisions.map_or(String::new(), |c| c.to_string()),
+            csv_opt_u64(r.collisions),
             r.bound,
             r.nodes
         );
@@ -272,6 +327,12 @@ mod tests {
             rounds: 10 + h % 50,
             delivered: trial.n as u64,
             targets: trial.n as u64,
+            targets_alive: trial.n as u64,
+            delivered_alive: trial.n as u64,
+            t50: Some(4),
+            t90: Some(9),
+            t_full: Some(10 + h % 50),
+            repair_rounds: None,
             max_awake: 7,
             mean_awake: 3.25,
             collisions: Some(0),

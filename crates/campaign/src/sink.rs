@@ -153,6 +153,12 @@ mod tests {
             rounds,
             delivered,
             targets,
+            targets_alive: targets,
+            delivered_alive: delivered,
+            t50: None,
+            t90: None,
+            t_full: None,
+            repair_rounds: None,
             max_awake: rounds,
             mean_awake: rounds as f64,
             collisions,

@@ -15,6 +15,8 @@ pub enum ProtocolSpec {
     BasicCff,
     /// Algorithm 2: the improved two-phase CFF.
     ImprovedCff,
+    /// Bounded-retry reliable CFF (Algorithm 1 + NACK/retransmit epochs).
+    ReliableCff,
 }
 
 impl ProtocolSpec {
@@ -24,6 +26,7 @@ impl ProtocolSpec {
             ProtocolSpec::Dfo => "dfo",
             ProtocolSpec::BasicCff => "cff1",
             ProtocolSpec::ImprovedCff => "cff2",
+            ProtocolSpec::ReliableCff => "rcff",
         }
     }
 
@@ -33,6 +36,7 @@ impl ProtocolSpec {
             "dfo" => Some(ProtocolSpec::Dfo),
             "cff1" | "basic" => Some(ProtocolSpec::BasicCff),
             "cff2" | "improved" | "cff" => Some(ProtocolSpec::ImprovedCff),
+            "rcff" | "reliable" => Some(ProtocolSpec::ReliableCff),
             _ => None,
         }
     }
@@ -64,17 +68,56 @@ pub enum FailureTemplate {
         /// Fail-stop round (1-based).
         round: u64,
     },
+    /// Take `count` random non-root backbone nodes offline at `round` for
+    /// `duration` rounds (a transient outage — they come back).
+    BackboneOutage {
+        /// Victims drawn (without replacement) from the backbone.
+        count: usize,
+        /// Outage start round (1-based).
+        round: u64,
+        /// Rounds offline before the node revives.
+        duration: u64,
+    },
+    /// Take `count` random non-root nodes of any status offline at
+    /// `round` for `duration` rounds.
+    RandomOutage {
+        /// Victims drawn (without replacement) from all non-root nodes.
+        count: usize,
+        /// Outage start round (1-based).
+        round: u64,
+        /// Rounds offline before the node revives.
+        duration: u64,
+    },
 }
 
 impl FailureTemplate {
     /// Short stable label used in artifacts and CLI arguments
-    /// (`none`, `bb<count>@<round>`, `any<count>@<round>`).
+    /// (`none`, `bb<count>@<round>`, `any<count>@<round>`; outage
+    /// variants append `+<duration>`, e.g. `bb3@1+10`).
     pub fn label(&self) -> String {
         match self {
             FailureTemplate::None => "none".into(),
             FailureTemplate::Backbone { count, round } => format!("bb{count}@{round}"),
             FailureTemplate::Random { count, round } => format!("any{count}@{round}"),
+            FailureTemplate::BackboneOutage {
+                count,
+                round,
+                duration,
+            } => format!("bb{count}@{round}+{duration}"),
+            FailureTemplate::RandomOutage {
+                count,
+                round,
+                duration,
+            } => format!("any{count}@{round}+{duration}"),
         }
+    }
+
+    /// Whether the victims come back (outage) rather than fail-stop.
+    pub fn is_transient(&self) -> bool {
+        matches!(
+            self,
+            FailureTemplate::BackboneOutage { .. } | FailureTemplate::RandomOutage { .. }
+        )
     }
 
     /// Parse a label (the inverse of [`FailureTemplate::label`]).
@@ -89,13 +132,107 @@ impl FailureTemplate {
         } else {
             return None;
         };
-        let (count, round) = rest.split_once('@')?;
+        let (count, rest) = rest.split_once('@')?;
         let count = count.parse().ok()?;
-        let round = round.parse().ok()?;
-        Some(match kind {
-            "bb" => FailureTemplate::Backbone { count, round },
-            _ => FailureTemplate::Random { count, round },
-        })
+        match rest.split_once('+') {
+            Some((round, duration)) => {
+                let round = round.parse().ok()?;
+                let duration = duration.parse().ok()?;
+                Some(match kind {
+                    "bb" => FailureTemplate::BackboneOutage {
+                        count,
+                        round,
+                        duration,
+                    },
+                    _ => FailureTemplate::RandomOutage {
+                        count,
+                        round,
+                        duration,
+                    },
+                })
+            }
+            None => {
+                let round = rest.parse().ok()?;
+                Some(match kind {
+                    "bb" => FailureTemplate::Backbone { count, round },
+                    _ => FailureTemplate::Random { count, round },
+                })
+            }
+        }
+    }
+}
+
+/// Per-link Bernoulli loss axis value, quantised to parts-per-million so
+/// it can be hashed and compared exactly (mirrors
+/// `dsnet_radio::LossModel`'s quantisation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct LossSpec {
+    /// Drop probability in parts per million.
+    pub ppm: u32,
+}
+
+impl LossSpec {
+    /// The lossless channel.
+    pub fn none() -> LossSpec {
+        LossSpec::default()
+    }
+
+    /// Quantise a probability in `[0, 1]`.
+    pub fn from_probability(p: f64) -> LossSpec {
+        assert!((0.0..=1.0).contains(&p), "loss probability {p} ∉ [0, 1]");
+        LossSpec {
+            ppm: (p * 1_000_000.0).round() as u32,
+        }
+    }
+
+    /// The drop probability this spec encodes.
+    pub fn probability(self) -> f64 {
+        self.ppm as f64 / 1_000_000.0
+    }
+
+    /// Whether this is the lossless channel.
+    pub fn is_none(self) -> bool {
+        self.ppm == 0
+    }
+
+    /// Short stable label (`none` or `p<probability>`, e.g. `p0.05`).
+    pub fn label(self) -> String {
+        if self.is_none() {
+            "none".into()
+        } else {
+            format!("p{}", self.probability())
+        }
+    }
+
+    /// Parse a label (the inverse of [`LossSpec::label`]).
+    pub fn parse(s: &str) -> Option<LossSpec> {
+        if s == "none" {
+            return Some(LossSpec::none());
+        }
+        let p: f64 = s.strip_prefix('p')?.parse().ok()?;
+        if (0.0..=1.0).contains(&p) {
+            Some(LossSpec::from_probability(p))
+        } else {
+            None
+        }
+    }
+}
+
+/// Label for the repair axis (`on` / `off`).
+pub fn repair_label(repair: bool) -> &'static str {
+    if repair {
+        "on"
+    } else {
+        "off"
+    }
+}
+
+/// Parse a repair-axis label (the inverse of [`repair_label`]).
+pub fn parse_repair(s: &str) -> Option<bool> {
+    match s {
+        "on" => Some(true),
+        "off" => Some(false),
+        _ => None,
     }
 }
 
@@ -161,6 +298,13 @@ pub struct CampaignSpec {
     pub failures: Vec<FailureTemplate>,
     /// Churn templates swept.
     pub churn: Vec<ChurnTemplate>,
+    /// Channel-loss levels swept.
+    pub losses: Vec<LossSpec>,
+    /// Repair on/off values swept (detection-and-repair of fail-stop
+    /// victims before the measured broadcast).
+    pub repair: Vec<bool>,
+    /// Retry budget for the reliable CFF (scalar, not an axis).
+    pub max_retries: u32,
     /// Record event traces (collision counts become available).
     pub record_trace: bool,
 }
@@ -179,6 +323,9 @@ impl CampaignSpec {
             channels: vec![1],
             failures: vec![FailureTemplate::None],
             churn: vec![ChurnTemplate::default()],
+            losses: vec![LossSpec::none()],
+            repair: vec![false],
+            max_retries: 2,
             record_trace: true,
         }
     }
@@ -189,15 +336,18 @@ impl CampaignSpec {
             * self.channels.len()
             * self.failures.len()
             * self.churn.len()
+            * self.losses.len()
+            * self.repair.len()
             * self.ns.len()
             * self.reps as usize
     }
 
     /// Expand the grid into its trial list.
     ///
-    /// The order — protocol, channels, failure, churn, n, rep, innermost
-    /// last — is part of the determinism contract: a trial's position in
-    /// this list is its identity, and its `stream_seed` derives from it.
+    /// The order — protocol, channels, failure, churn, loss, repair, n,
+    /// rep, innermost last — is part of the determinism contract: a
+    /// trial's position in this list is its identity, and its
+    /// `stream_seed` derives from it.
     ///
     /// `scenario_seed` is keyed by `(base_seed, n, rep)` only, matching
     /// `SweepConfig::seed` in the experiment harness, so every protocol /
@@ -209,25 +359,32 @@ impl CampaignSpec {
             for &channels in &self.channels {
                 for &failure in &self.failures {
                     for &churn in &self.churn {
-                        for &n in &self.ns {
-                            for rep in 0..self.reps {
-                                let index = trials.len();
-                                trials.push(Trial {
-                                    index,
-                                    protocol,
-                                    channels,
-                                    failure,
-                                    churn,
-                                    n,
-                                    rep,
-                                    field_side: self.field_side,
-                                    record_trace: self.record_trace,
-                                    scenario_seed: derive_seed(
-                                        self.base_seed,
-                                        ((n as u64) << 20) | rep,
-                                    ),
-                                    stream_seed: derive_seed(stream_root, index as u64),
-                                });
+                        for &loss in &self.losses {
+                            for &repair in &self.repair {
+                                for &n in &self.ns {
+                                    for rep in 0..self.reps {
+                                        let index = trials.len();
+                                        trials.push(Trial {
+                                            index,
+                                            protocol,
+                                            channels,
+                                            failure,
+                                            churn,
+                                            loss,
+                                            repair,
+                                            max_retries: self.max_retries,
+                                            n,
+                                            rep,
+                                            field_side: self.field_side,
+                                            record_trace: self.record_trace,
+                                            scenario_seed: derive_seed(
+                                                self.base_seed,
+                                                ((n as u64) << 20) | rep,
+                                            ),
+                                            stream_seed: derive_seed(stream_root, index as u64),
+                                        });
+                                    }
+                                }
                             }
                         }
                     }
@@ -251,6 +408,13 @@ pub struct Trial {
     pub failure: FailureTemplate,
     /// Churn template to apply before the broadcast.
     pub churn: ChurnTemplate,
+    /// Channel-loss level.
+    pub loss: LossSpec,
+    /// Whether fail-stop victims are detected and repaired before the
+    /// measured broadcast.
+    pub repair: bool,
+    /// Retry budget for the reliable CFF (from the spec's scalar).
+    pub max_retries: u32,
     /// Deployment size.
     pub n: usize,
     /// Repetition number within the cell.
@@ -267,15 +431,17 @@ pub struct Trial {
 }
 
 impl Trial {
-    /// The cell label axes `(protocol, channels, failure, churn, n)` —
-    /// everything except the repetition.
+    /// The cell label axes `(protocol, channels, failure, churn, loss,
+    /// repair, n)` — everything except the repetition.
     pub fn cell_label(&self) -> String {
         format!(
-            "{} k={} fail={} churn={} n={}",
+            "{} k={} fail={} churn={} loss={} repair={} n={}",
             self.protocol.name(),
             self.channels,
             self.failure.label(),
             self.churn.label(),
+            self.loss.label(),
+            repair_label(self.repair),
             self.n
         )
     }
@@ -286,6 +452,8 @@ impl Trial {
             && self.channels == other.channels
             && self.failure == other.failure
             && self.churn == other.churn
+            && self.loss == other.loss
+            && self.repair == other.repair
             && self.n == other.n
     }
 }
@@ -299,6 +467,19 @@ pub struct TrialRecord {
     pub delivered: u64,
     /// Intended receivers.
     pub targets: u64,
+    /// Targets still alive when the run ended.
+    pub targets_alive: u64,
+    /// Delivered targets among the alive ones.
+    pub delivered_alive: u64,
+    /// First round by which half the targets were covered (trace only).
+    pub t50: Option<u64>,
+    /// First round by which 90% of the targets were covered (trace only).
+    pub t90: Option<u64>,
+    /// Round the last target was covered; `None` unless all were.
+    pub t_full: Option<u64>,
+    /// Time-to-repair (detection + eviction/re-homing rounds) summed over
+    /// the repaired victims; `None` when the trial did not repair.
+    pub repair_rounds: Option<u64>,
     /// Rounds the worst-off node stayed awake (Figure 9's metric).
     pub max_awake: u64,
     /// Mean awake rounds over all participating nodes.
@@ -318,6 +499,16 @@ impl TrialRecord {
             1.0
         } else {
             self.delivered as f64 / self.targets as f64
+        }
+    }
+
+    /// Fraction of the targets alive at the end of the run that received
+    /// the message.
+    pub fn delivery_ratio_alive(&self) -> f64 {
+        if self.targets_alive == 0 {
+            1.0
+        } else {
+            self.delivered_alive as f64 / self.targets_alive as f64
         }
     }
 
@@ -379,9 +570,28 @@ mod tests {
             FailureTemplate::None,
             FailureTemplate::Backbone { count: 3, round: 1 },
             FailureTemplate::Random { count: 7, round: 4 },
+            FailureTemplate::BackboneOutage {
+                count: 3,
+                round: 1,
+                duration: 10,
+            },
+            FailureTemplate::RandomOutage {
+                count: 2,
+                round: 5,
+                duration: 8,
+            },
         ] {
             assert_eq!(FailureTemplate::parse(&f.label()), Some(f));
         }
+        assert_eq!(
+            FailureTemplate::BackboneOutage {
+                count: 3,
+                round: 1,
+                duration: 10
+            }
+            .label(),
+            "bb3@1+10"
+        );
         for c in [
             ChurnTemplate::default(),
             ChurnTemplate {
@@ -395,11 +605,37 @@ mod tests {
             ProtocolSpec::Dfo,
             ProtocolSpec::BasicCff,
             ProtocolSpec::ImprovedCff,
+            ProtocolSpec::ReliableCff,
         ] {
             assert_eq!(ProtocolSpec::parse(p.name()), Some(p));
         }
+        for l in [LossSpec::none(), LossSpec::from_probability(0.05)] {
+            assert_eq!(LossSpec::parse(&l.label()), Some(l));
+        }
+        assert_eq!(LossSpec::from_probability(0.05).label(), "p0.05");
+        for r in [false, true] {
+            assert_eq!(parse_repair(repair_label(r)), Some(r));
+        }
         assert_eq!(FailureTemplate::parse("bogus"), None);
         assert_eq!(ChurnTemplate::parse("j3"), None);
+        assert_eq!(LossSpec::parse("p1.5"), None);
+        assert_eq!(parse_repair("maybe"), None);
+    }
+
+    #[test]
+    fn loss_and_repair_axes_multiply_the_grid() {
+        let mut spec = two_axis_spec();
+        spec.losses = vec![LossSpec::none(), LossSpec::from_probability(0.1)];
+        spec.repair = vec![false, true];
+        let trials = spec.expand();
+        assert_eq!(trials.len(), spec.trial_count());
+        assert_eq!(trials.len(), 32);
+        // Loss is outside repair, which is outside n.
+        assert!(trials[0].loss.is_none() && !trials[0].repair);
+        assert!(trials[0].same_cell(&trials[1]));
+        assert!(!trials[0].same_cell(&trials[4])); // repair flipped
+        assert!(!trials[0].same_cell(&trials[8])); // loss flipped
+        assert_eq!(trials[8].loss, LossSpec::from_probability(0.1));
     }
 
     #[test]

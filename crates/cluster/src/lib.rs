@@ -19,6 +19,10 @@
 //!   paper's `d(d+1)/2+1` / `D(D+1)/2+1` bounds.
 //! * [`McNet`] — the multicast overlay **MCNet(G)** of Section 3.4:
 //!   per-node group-lists and relay-lists maintained under churn.
+//! * [`repair`] — failure detection-and-repair: crashed (not cooperating)
+//!   nodes are detected by slot silence within a bounded number of TDM
+//!   frames and evicted with the move-out machinery, tolerating the
+//!   disconnecting crashes the paper's operations refuse.
 //! * [`invariants`] — executable checkers for Property 1 and the
 //!   structural invariants of Definition 1, used heavily by the test
 //!   suite.
@@ -28,6 +32,7 @@ pub mod invariants;
 pub mod mcnet;
 pub mod move_out;
 pub mod net;
+pub mod repair;
 pub mod slots;
 pub mod status;
 
@@ -35,5 +40,6 @@ pub use costs::{MoveInCost, MoveOutCost, SlotCalcCost};
 pub use mcnet::{GroupId, McNet};
 pub use move_out::{MoveOutError, MoveOutReport, RootMoveOutReport};
 pub use net::{ClusterNet, MoveInError, MoveInReport, ParentRule};
+pub use repair::{RepairConfig, RepairError, RepairReport};
 pub use slots::{SlotKind, SlotMode, SlotTable};
 pub use status::NodeStatus;

@@ -166,6 +166,37 @@ impl McNet {
         Ok(report)
     }
 
+    // ----- crate-internal hooks used by the repair module -----------------
+
+    pub(crate) fn net_mut(&mut self) -> &mut ClusterNet {
+        &mut self.net
+    }
+
+    pub(crate) fn clear_groups_of(&mut self, u: NodeId) {
+        self.groups[u.index()].clear();
+    }
+
+    pub(crate) fn clear_relay_of(&mut self, u: NodeId) {
+        self.relay[u.index()].clear();
+    }
+
+    pub(crate) fn subtract_groups(&mut self, u: NodeId, ancestors: &[NodeId]) {
+        let gs = self.groups[u.index()].clone();
+        for &a in ancestors {
+            for &g in &gs {
+                decrement(&mut self.relay[a.index()], g);
+            }
+        }
+    }
+
+    pub(crate) fn readd_to_ancestors(&mut self, u: NodeId) {
+        self.add_to_ancestors(u);
+    }
+
+    pub(crate) fn refresh_relay(&mut self) {
+        self.relay = self.recompute_relay();
+    }
+
     fn add_to_ancestors(&mut self, u: NodeId) {
         let path = self.net.tree().path_to_root(u);
         let gs = self.groups[u.index()].clone();

@@ -184,8 +184,9 @@ impl ClusterNet {
 
     /// Re-establish Time-Slot Condition 2 at receiver `v` after
     /// transmitters vanished, by recalculating its parent's slot if
-    /// needed. Returns the rounds spent.
-    fn repair_receiver(&mut self, v: NodeId) -> u64 {
+    /// needed. Returns the rounds spent. Shared with the failure-repair
+    /// sweep in [`crate::repair`].
+    pub(crate) fn repair_receiver(&mut self, v: NodeId) -> u64 {
         if !self.tree().contains(v) {
             return 0;
         }
@@ -357,6 +358,51 @@ mod tests {
         // instead check the public error path for an isolated newcomer.
         assert_eq!(net.move_in(&[]), Err(MoveInError::NoAttachedNeighbor));
     }
+
+    #[test]
+    fn can_move_out_previews_every_error_without_mutating() {
+        let net = chain_net(5, u32::MAX); // pure chain: interiors are cut vertices
+        let before_len = net.len();
+        assert_eq!(net.can_move_out(NodeId(0)), Err(MoveOutError::RootMoveOut));
+        assert_eq!(
+            net.can_move_out(NodeId(2)),
+            Err(MoveOutError::WouldDisconnect(NodeId(2)))
+        );
+        assert_eq!(
+            net.can_move_out(NodeId(42)),
+            Err(MoveOutError::NotAttached(NodeId(42)))
+        );
+        assert_eq!(net.can_move_out(NodeId(4)), Ok(())); // chain endpoint
+        assert_eq!(net.len(), before_len);
+        crate::invariants::check_core(&net).unwrap();
+    }
+
+    #[test]
+    fn failed_move_out_leaves_slots_intact() {
+        let mut net = chain_net(6, u32::MAX);
+        // Every rejected departure must leave the schedule untouched.
+        for victim in [NodeId(0), NodeId(3), NodeId(99)] {
+            let _ = net.move_out(victim);
+            let v = validate_condition2(&net.view(), net.slots(), net.mode());
+            assert!(v.is_empty(), "after rejected {victim:?}: {v:?}");
+        }
+        assert_eq!(net.len(), 6);
+    }
+
+    #[test]
+    fn evicted_node_cannot_move_out_again() {
+        use crate::repair::RepairConfig;
+        let mut net = chain_net(10, 2);
+        let victim = NodeId(4);
+        net.repair_failure(victim, &RepairConfig::default())
+            .unwrap();
+        // The eviction already removed it; a later move-out is NotAttached,
+        // and the slot schedule stays valid throughout.
+        assert_eq!(net.move_out(victim), Err(MoveOutError::NotAttached(victim)));
+        let v = validate_condition2(&net.view(), net.slots(), net.mode());
+        assert!(v.is_empty(), "{v:?}");
+        crate::invariants::check_core(&net).unwrap();
+    }
 }
 
 /// What a root hand-over did.
@@ -469,5 +515,30 @@ mod root_move_out_tests {
         let survivor = net.root();
         net.move_in(&[survivor]).unwrap();
         invariants::check_core(&net).unwrap();
+    }
+
+    #[test]
+    fn root_departure_after_eviction_still_rebuilds_cleanly() {
+        use crate::repair::RepairConfig;
+        let mut net = chain_net(14, 2);
+        // A silent crash is repaired first, then the sink itself leaves:
+        // the rebuild must absorb the evicted hole without resurrecting it.
+        let victim = NodeId(5);
+        net.repair_failure(victim, &RepairConfig::default())
+            .unwrap();
+        let report = net.move_out_root().unwrap();
+        assert_eq!(net.len(), 12);
+        assert!(!net.graph().is_live(victim));
+        assert!(!net.graph().is_live(report.old_root));
+        invariants::check_growth(&net).unwrap();
+        let v = validate_condition2(&net.view(), net.slots(), net.mode());
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn root_rebuild_cost_is_linear_in_survivors() {
+        let mut net = chain_net(20, 2);
+        let report = net.move_out_root().unwrap();
+        assert_eq!(report.rounds, 19);
     }
 }

@@ -2,12 +2,14 @@
 //!
 //! ```text
 //! dsnet stats     --nodes 300 --seed 7 [--field 10]
-//! dsnet broadcast --nodes 300 --seed 7 [--protocol cff|cff1|dfo] [--channels k] [--source id]
+//! dsnet broadcast --nodes 300 --seed 7 [--protocol cff|cff1|rcff|dfo] [--channels k]
+//!                 [--source id] [--loss p0.05] [--retries R]
 //! dsnet multicast --nodes 300 --seed 7 --density 0.1 [--reliable]
 //! dsnet churn     --nodes 200 --seed 7 --epochs 10
 //! dsnet render    --nodes 250 --seed 7 --out network.svg
-//! dsnet campaign  --ns 100,200 --reps 5 --protocols cff,cff1,dfo \
-//!                 [--channels 1,2] [--failures none,bb3@1] [--churn none,j5l2] \
+//! dsnet campaign  --ns 100,200 --reps 5 --protocols cff,cff1,rcff,dfo \
+//!                 [--channels 1,2] [--failures none,bb3@1,bb3@1+10] [--churn none,j5l2] \
+//!                 [--loss none,p0.05] [--repair off,on] [--retries R] \
 //!                 [--threads T] [--json FILE] [--csv FILE] [--trials] [--quiet]
 //! ```
 //!
@@ -15,13 +17,14 @@
 //! additionally byte-identical for any `--threads` value.
 
 use dsnet::campaign_engine::{
-    render_csv, render_json, render_trials_csv, CampaignSpec, ChurnTemplate, FailureTemplate,
-    Progress, ProtocolSpec,
+    parse_repair, render_csv, render_json, render_trials_csv, CampaignSpec, ChurnTemplate,
+    FailureTemplate, LossSpec, Progress, ProtocolSpec,
 };
 use dsnet::protocols::runner::{run_multicast_reliable, RunConfig};
 use dsnet::viz::{render_svg, VizOptions};
 use dsnet::{GroupPlan, NetworkBuilder, Protocol, SensorNetwork};
 use dsnet_graph::NodeId;
+use dsnet_radio::LossModel;
 use std::io::Write as _;
 
 struct Args {
@@ -42,6 +45,9 @@ struct Args {
     channel_set: Vec<u8>,
     failures: Vec<FailureTemplate>,
     churn: Vec<ChurnTemplate>,
+    losses: Vec<LossSpec>,
+    repair: Vec<bool>,
+    retries: u32,
     threads: usize,
     json: Option<String>,
     csv: Option<String>,
@@ -69,6 +75,9 @@ impl Default for Args {
             channel_set: vec![1],
             failures: vec![FailureTemplate::None],
             churn: vec![ChurnTemplate::default()],
+            losses: vec![LossSpec::none()],
+            repair: vec![false],
+            retries: 2,
             threads: 0,
             json: None,
             csv: None,
@@ -82,12 +91,13 @@ impl Default for Args {
 fn usage() -> ! {
     eprintln!(
         "usage: dsnet <stats|broadcast|multicast|churn|render|campaign> \
-         [--nodes N] [--seed S] [--field SIDE] [--protocol cff|cff1|dfo] \
+         [--nodes N] [--seed S] [--field SIDE] [--protocol cff|cff1|rcff|dfo] \
          [--channels K] [--source ID] [--density P] [--reliable] \
-         [--epochs E] [--out FILE]\n\
-         campaign axes: [--ns N1,N2,..] [--reps R] [--protocols cff,cff1,dfo] \
-         [--channels K1,K2,..] [--failures none|bb<C>@<R>|any<C>@<R>,..] \
-         [--churn none|j<J>l<L>,..] [--threads T] [--json FILE] [--csv FILE] \
+         [--loss none|p<P>] [--retries R] [--epochs E] [--out FILE]\n\
+         campaign axes: [--ns N1,N2,..] [--reps R] [--protocols cff,cff1,rcff,dfo] \
+         [--channels K1,K2,..] [--failures none|bb<C>@<R>[+<D>]|any<C>@<R>[+<D>],..] \
+         [--churn none|j<J>l<L>,..] [--loss none,p<P>,..] [--repair off,on] \
+         [--retries R] [--threads T] [--json FILE] [--csv FILE] \
          [--trials] [--no-trace] [--quiet]"
     );
     std::process::exit(2);
@@ -124,10 +134,14 @@ fn parse() -> (String, Args) {
                 a.protocol = match val().as_str() {
                     "cff" => Protocol::ImprovedCff,
                     "cff1" => Protocol::BasicCff,
+                    "rcff" | "reliable" => Protocol::ReliableCff,
                     "dfo" => Protocol::Dfo,
                     _ => usage(),
                 }
             }
+            "--loss" => a.losses = parse_list(&val(), LossSpec::parse),
+            "--repair" => a.repair = parse_list(&val(), parse_repair),
+            "--retries" => a.retries = val().parse().unwrap_or_else(|_| usage()),
             "--ns" => a.ns = parse_list(&val(), |s| s.parse().ok()),
             "--reps" => a.reps = val().parse().unwrap_or_else(|_| usage()),
             "--protocols" => a.protocols = parse_list(&val(), ProtocolSpec::parse),
@@ -156,6 +170,9 @@ fn run_campaign_cmd(a: &Args) {
         channels: a.channel_set.clone(),
         failures: a.failures.clone(),
         churn: a.churn.clone(),
+        losses: a.losses.clone(),
+        repair: a.repair.clone(),
+        max_retries: a.retries,
         record_trace: !a.no_trace,
     };
     let progress = |p: Progress<'_>| {
@@ -182,17 +199,21 @@ fn run_campaign_cmd(a: &Args) {
         result.elapsed.as_secs_f64()
     );
     println!(
-        "{:<38} {:>14} {:>7} {:>7} {:>9} {:>9} {:>10}",
-        "cell", "rounds", "p50", "p90", "delivery", "max-awake", "collisions"
+        "{:<58} {:>14} {:>7} {:>7} {:>9} {:>9} {:>9} {:>9} {:>10}",
+        "cell", "rounds", "p50", "p90", "delivery", "d-alive", "repair", "max-awake", "collisions"
     );
     for c in &result.cells {
         println!(
-            "{:<38} {:>14} {:>7} {:>7} {:>9.3} {:>9.1} {:>10}",
+            "{:<58} {:>14} {:>7} {:>7} {:>9.3} {:>9.3} {:>9} {:>9.1} {:>10}",
             c.label(),
             c.rounds.to_string(),
             c.rounds_p50,
             c.rounds_p90,
             c.delivery.mean,
+            c.delivery_alive.mean,
+            c.repair_rounds
+                .as_ref()
+                .map_or("n/a".into(), |s| format!("{:.1}", s.mean)),
             c.max_awake.mean,
             c.collisions.map_or("n/a".into(), |v| v.to_string()),
         );
@@ -248,18 +269,28 @@ fn main() {
         "broadcast" => {
             let net = build(&a, false);
             let source = a.source.map(NodeId).unwrap_or_else(|| net.sink());
+            let loss = a.losses[0];
             let cfg = RunConfig {
                 channels: a.channels,
+                loss: if loss.is_none() {
+                    LossModel::none()
+                } else {
+                    LossModel::from_ppm(loss.ppm, a.seed)
+                },
+                max_retries: a.retries,
                 ..Default::default()
             };
             let out = net.broadcast_from(a.protocol, source, &cfg);
             println!(
-                "{:?} from {source}: {} rounds (bound {}), {}/{} delivered, max awake {}, mean awake {:.1}",
+                "{:?} from {source}: {} rounds (bound {}), {}/{} delivered \
+                 (ratio {:.3}, alive-ratio {:.3}), max awake {}, mean awake {:.1}",
                 a.protocol,
                 out.rounds,
                 out.bound,
                 out.delivered,
                 out.targets,
+                out.delivery_ratio(),
+                out.delivery_ratio_alive(),
                 out.max_awake(),
                 out.energy.mean_awake
             );

@@ -15,11 +15,12 @@ use dsnet_campaign::{
     CampaignResult, CampaignSpec, ChurnTemplate, FailureTemplate, Progress, ProtocolSpec, Trial,
     TrialRecord,
 };
-use dsnet_geom::rng::rng_from_seed;
+use dsnet_cluster::repair::{RepairConfig, RepairError};
+use dsnet_geom::rng::{derive_seed, rng_from_seed};
 use dsnet_geom::Point2;
 use dsnet_graph::NodeId;
 use dsnet_protocols::runner::RunConfig;
-use dsnet_radio::FailurePlan;
+use dsnet_radio::{FailurePlan, LossModel};
 use rand::seq::SliceRandom as _;
 use rand::Rng as _;
 
@@ -28,6 +29,7 @@ fn protocol_of(spec: ProtocolSpec) -> Protocol {
         ProtocolSpec::Dfo => Protocol::Dfo,
         ProtocolSpec::BasicCff => Protocol::BasicCff,
         ProtocolSpec::ImprovedCff => Protocol::ImprovedCff,
+        ProtocolSpec::ReliableCff => Protocol::ReliableCff,
     }
 }
 
@@ -70,38 +72,63 @@ fn apply_churn(net: &mut SensorNetwork, churn: &ChurnTemplate, rng: &mut dsnet_g
     }
 }
 
-/// Instantiate a failure template as a concrete [`FailurePlan`], drawing
-/// victims from `rng`.
-fn apply_failures(
+/// Draw a failure template's victims from `rng` (without replacement,
+/// from the template's pool). The draw happens whether or not the trial
+/// repairs, so `repair=off` / `repair=on` cells hit the same victims.
+fn draw_victims(
     net: &SensorNetwork,
     template: &FailureTemplate,
     rng: &mut dsnet_geom::rng::Rng,
-) -> FailurePlan {
-    let mut plan = FailurePlan::new();
-    let (count, round, mut pool): (usize, u64, Vec<NodeId>) = match *template {
-        FailureTemplate::None => return plan,
-        FailureTemplate::Backbone { count, round } => (
-            count,
-            round,
-            net.net()
-                .backbone_nodes()
-                .into_iter()
-                .filter(|&u| u != net.sink())
-                .collect(),
-        ),
-        FailureTemplate::Random { count, round } => (
-            count,
-            round,
-            net.net()
-                .tree()
-                .nodes()
-                .filter(|&u| u != net.sink())
-                .collect(),
-        ),
+) -> Vec<NodeId> {
+    let (count, backbone_only) = match *template {
+        FailureTemplate::None => return Vec::new(),
+        FailureTemplate::Backbone { count, .. } | FailureTemplate::BackboneOutage { count, .. } => {
+            (count, true)
+        }
+        FailureTemplate::Random { count, .. } | FailureTemplate::RandomOutage { count, .. } => {
+            (count, false)
+        }
+    };
+    let mut pool: Vec<NodeId> = if backbone_only {
+        net.net()
+            .backbone_nodes()
+            .into_iter()
+            .filter(|&u| u != net.sink())
+            .collect()
+    } else {
+        net.net()
+            .tree()
+            .nodes()
+            .filter(|&u| u != net.sink())
+            .collect()
     };
     pool.shuffle(rng);
-    for &victim in pool.iter().take(count) {
-        plan.kill_node(victim, round);
+    pool.truncate(count);
+    pool
+}
+
+/// Instantiate a failure template as a concrete [`FailurePlan`] over the
+/// already-drawn victims: permanent kills for the fail-stop variants,
+/// bounded outage windows for the transient ones.
+fn failure_plan(template: &FailureTemplate, victims: &[NodeId]) -> FailurePlan {
+    let mut plan = FailurePlan::new();
+    match *template {
+        FailureTemplate::None => {}
+        FailureTemplate::Backbone { round, .. } | FailureTemplate::Random { round, .. } => {
+            for &v in victims {
+                plan.kill_node(v, round);
+            }
+        }
+        FailureTemplate::BackboneOutage {
+            round, duration, ..
+        }
+        | FailureTemplate::RandomOutage {
+            round, duration, ..
+        } => {
+            for &v in victims {
+                plan.kill_node_for(v, round, duration);
+            }
+        }
     }
     plan
 }
@@ -115,9 +142,43 @@ pub fn run_trial(trial: &Trial) -> TrialRecord {
         .expect("incremental deployments always build");
     let mut rng = rng_from_seed(trial.stream_seed);
     apply_churn(&mut net, &trial.churn, &mut rng);
+    let victims = draw_victims(&net, &trial.failure, &mut rng);
+
+    // repair=on models the self-healing network: fail-stop victims crash
+    // silently *before* the measured broadcast, the detection-and-repair
+    // protocol evicts them and re-homes their orphans, and the broadcast
+    // then runs on the healed structure. Transient outages are left to
+    // ride out their windows — there is nothing to evict.
+    let mut repair_rounds = None;
+    let failures = if trial.repair && !victims.is_empty() && !trial.failure.is_transient() {
+        let mut total = 0u64;
+        for &v in &victims {
+            match net.repair_crash(v, &RepairConfig::default()) {
+                Ok(report) => total += report.total_rounds(),
+                // An earlier repair may already have dropped this victim
+                // (it was an orphan that could not be re-homed).
+                Err(RepairError::NotAttached(_)) => {}
+                Err(e) => panic!("repair failed for {v:?}: {e:?}"),
+            }
+        }
+        repair_rounds = Some(total);
+        FailurePlan::new()
+    } else {
+        failure_plan(&trial.failure, &victims)
+    };
+
     let cfg = RunConfig {
         channels: trial.channels,
-        failures: apply_failures(&net, &trial.failure, &mut rng),
+        failures,
+        loss: if trial.loss.is_none() {
+            LossModel::none()
+        } else {
+            // The loss stream is keyed by the scenario seed (not the
+            // per-trial stream seed) so paired protocol comparisons face
+            // the same per-(link, round) drop pattern.
+            LossModel::from_ppm(trial.loss.ppm, derive_seed(trial.scenario_seed, 0x1055))
+        },
+        max_retries: trial.max_retries,
         record_trace: trial.record_trace,
     };
     let out = net.broadcast_from(protocol_of(trial.protocol), net.sink(), &cfg);
@@ -125,6 +186,12 @@ pub fn run_trial(trial: &Trial) -> TrialRecord {
         rounds: out.rounds,
         delivered: out.delivered as u64,
         targets: out.targets as u64,
+        targets_alive: out.targets_alive as u64,
+        delivered_alive: out.delivered_alive as u64,
+        t50: out.coverage.as_ref().and_then(|c| c.t50),
+        t90: out.coverage.as_ref().and_then(|c| c.t90),
+        t_full: out.coverage.as_ref().and_then(|c| c.t_full),
+        repair_rounds,
         max_awake: out.energy.max_awake,
         mean_awake: out.energy.mean_awake,
         collisions: out.collisions.map(|c| c as u64),
@@ -162,7 +229,7 @@ pub fn sweep_spec(name: &str, cfg: &SweepConfig, protocols: Vec<ProtocolSpec>) -
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dsnet_campaign::render_json;
+    use dsnet_campaign::{render_json, LossSpec};
 
     fn tiny_spec() -> CampaignSpec {
         let mut spec = sweep_spec(
@@ -177,7 +244,15 @@ mod tests {
 
     #[test]
     fn artifacts_are_byte_identical_across_thread_counts() {
-        let spec = tiny_spec();
+        let mut spec = tiny_spec();
+        // Exercise the robustness axes too: the loss stream and repair
+        // path must be as order-independent as the rest.
+        spec.losses = vec![LossSpec::none(), LossSpec::from_probability(0.05)];
+        spec.repair = vec![false, true];
+        spec.failures = vec![
+            FailureTemplate::None,
+            FailureTemplate::Backbone { count: 1, round: 1 },
+        ];
         let serial = run(&spec, 1, None);
         let parallel = run(&spec, 4, None);
         assert_eq!(render_json(&serial, true), render_json(&parallel, true));
@@ -213,6 +288,8 @@ mod tests {
                 1,
                 FailureTemplate::None,
                 ChurnTemplate::default(),
+                LossSpec::none(),
+                false,
                 40,
             )
             .unwrap();
@@ -222,12 +299,99 @@ mod tests {
                 1,
                 FailureTemplate::Backbone { count: 3, round: 1 },
                 ChurnTemplate::default(),
+                LossSpec::none(),
+                false,
                 40,
             )
             .unwrap();
         assert_eq!(clean.completed, clean.trials, "no-failure DFO completes");
         // Killing 3 backbone nodes at round 1 must cost DFO coverage.
         assert!(failed.delivery.mean < clean.delivery.mean);
+    }
+
+    #[test]
+    fn reliable_cff_beats_basic_under_loss() {
+        let mut spec = tiny_spec();
+        spec.protocols = vec![ProtocolSpec::BasicCff, ProtocolSpec::ReliableCff];
+        spec.losses = vec![LossSpec::from_probability(0.1)];
+        spec.reps = 3;
+        spec.max_retries = 4;
+        let result = run(&spec, 0, None);
+        let cell = |p| {
+            result
+                .cell(
+                    p,
+                    1,
+                    FailureTemplate::None,
+                    ChurnTemplate::default(),
+                    LossSpec::from_probability(0.1),
+                    false,
+                    40,
+                )
+                .unwrap()
+        };
+        let basic = cell(ProtocolSpec::BasicCff);
+        let reliable = cell(ProtocolSpec::ReliableCff);
+        assert!(
+            reliable.delivery.mean > basic.delivery.mean,
+            "retries must buy coverage under loss: rcff {} !> cff1 {}",
+            reliable.delivery.mean,
+            basic.delivery.mean
+        );
+    }
+
+    #[test]
+    fn repair_heals_fail_stop_cells() {
+        let mut spec = tiny_spec();
+        spec.protocols = vec![ProtocolSpec::ImprovedCff];
+        spec.failures = vec![FailureTemplate::Backbone { count: 2, round: 1 }];
+        spec.repair = vec![false, true];
+        let result = run(&spec, 0, None);
+        let cell = |repair| {
+            result
+                .cell(
+                    ProtocolSpec::ImprovedCff,
+                    1,
+                    FailureTemplate::Backbone { count: 2, round: 1 },
+                    ChurnTemplate::default(),
+                    LossSpec::none(),
+                    repair,
+                    40,
+                )
+                .unwrap()
+        };
+        let broken = cell(false);
+        let healed = cell(true);
+        // The healed network broadcasts to every survivor; the broken one
+        // lost whole subtrees.
+        assert_eq!(healed.completed, healed.trials);
+        assert_eq!(healed.repaired, healed.trials);
+        assert!(healed.repair_rounds.is_some());
+        assert_eq!(broken.repaired, 0);
+        assert!(healed.delivery_alive.mean >= broken.delivery_alive.mean);
+        // Repaired trials report paid repair time.
+        for (_, rec) in result.select(|t| t.repair) {
+            assert!(rec.repair_rounds.unwrap() > 0);
+        }
+    }
+
+    #[test]
+    fn outage_template_is_transient_and_not_repaired() {
+        let mut spec = tiny_spec();
+        spec.protocols = vec![ProtocolSpec::ImprovedCff];
+        spec.failures = vec![FailureTemplate::BackboneOutage {
+            count: 2,
+            round: 1,
+            duration: 5,
+        }];
+        spec.repair = vec![true];
+        let result = run(&spec, 0, None);
+        for (_, rec) in result.select(|_| true) {
+            // Transient victims revive; nothing was evicted.
+            assert_eq!(rec.repair_rounds, None);
+            assert_eq!(rec.nodes, 40);
+            assert_eq!(rec.targets_alive, rec.targets);
+        }
     }
 
     #[test]

@@ -3,6 +3,7 @@
 use dsnet_cluster::invariants;
 use dsnet_cluster::move_out::{MoveOutError, MoveOutReport};
 use dsnet_cluster::net::MoveInError;
+use dsnet_cluster::repair::{RepairConfig, RepairError, RepairReport};
 use dsnet_cluster::{ClusterNet, GroupId, McNet, MoveInReport};
 use dsnet_geom::{Deployment, Point2};
 use dsnet_graph::{degree, NodeId};
@@ -17,6 +18,9 @@ pub enum Protocol {
     BasicCff,
     /// Algorithm 2: the paper's improved two-phase CFF (default choice).
     ImprovedCff,
+    /// Algorithm 1 hardened with bounded-retry NACK/retransmit epochs for
+    /// lossy channels.
+    ReliableCff,
 }
 
 /// Structural summary of a built network (the quantities plotted in
@@ -163,6 +167,7 @@ impl SensorNetwork {
             Protocol::Dfo => runner::run_dfo(self.net(), source, cfg),
             Protocol::BasicCff => runner::run_cff_basic(self.net(), source, cfg),
             Protocol::ImprovedCff => runner::run_improved(self.net(), source, cfg),
+            Protocol::ReliableCff => runner::run_cff_reliable(self.net(), source, cfg),
         }
     }
 
@@ -216,6 +221,18 @@ impl SensorNetwork {
     pub fn leave_sink(&mut self) -> Result<dsnet_cluster::RootMoveOutReport, MoveOutError> {
         self.mc.move_out_root()
     }
+
+    /// A node crashed silently (no `node-move-out` ran): detect it within
+    /// the configured silence window, evict it, and re-home its orphans.
+    /// Returns the repair accounting (see
+    /// [`RepairReport`](dsnet_cluster::repair::RepairReport)).
+    pub fn repair_crash(
+        &mut self,
+        failed: NodeId,
+        cfg: &RepairConfig,
+    ) -> Result<RepairReport, RepairError> {
+        self.mc.repair_failure(failed, cfg)
+    }
 }
 
 #[cfg(test)]
@@ -242,10 +259,35 @@ mod tests {
     #[test]
     fn all_protocols_complete_on_udg() {
         let net = build(100, 4);
-        for p in [Protocol::Dfo, Protocol::BasicCff, Protocol::ImprovedCff] {
+        for p in [
+            Protocol::Dfo,
+            Protocol::BasicCff,
+            Protocol::ImprovedCff,
+            Protocol::ReliableCff,
+        ] {
             let out = net.broadcast(p);
             assert!(out.completed(), "{p:?}: {}/{}", out.delivered, out.targets);
         }
+    }
+
+    #[test]
+    fn repair_crash_restores_invariants() {
+        let mut net = build(80, 4);
+        // Crash a non-root backbone node.
+        let victim = net
+            .net()
+            .backbone_nodes()
+            .into_iter()
+            .find(|&u| u != net.sink())
+            .expect("a non-root backbone node");
+        let report = net.repair_crash(victim, &RepairConfig::default()).unwrap();
+        assert_eq!(report.failed, victim);
+        assert_eq!(net.len(), 79);
+        assert!(report.total_rounds() >= report.detection_rounds);
+        net.check();
+        // The healed network still broadcasts to everyone.
+        let out = net.broadcast(Protocol::ImprovedCff);
+        assert!(out.completed());
     }
 
     #[test]

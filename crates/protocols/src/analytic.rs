@@ -20,6 +20,14 @@ pub fn cff_basic_bound(k: &NetKnowledge, offset: u64, channels: u8) -> u64 {
     offset + (k.delta_flood.max(1) as u64).div_ceil(channels as u64) * (k.height as u64 + 1)
 }
 
+/// Schedule length of the bounded-retry reliable flood: `1 + max_retries`
+/// epochs, each holding a data *and* a feedback window per tree depth:
+/// `offset + (1 + R)·2·⌈Δ'/k⌉·h`, floored at the one round any run costs.
+pub fn cff_reliable_bound(k: &NetKnowledge, offset: u64, channels: u8, max_retries: u32) -> u64 {
+    let delta = (k.delta_flood.max(1) as u64).div_ceil(channels as u64);
+    (offset + (1 + max_retries as u64) * 2 * delta * k.height as u64).max(1)
+}
+
 /// Lemma 1 awake bound for Algorithm 1: `2Δ'`.
 pub fn cff_basic_awake_bound(k: &NetKnowledge) -> u64 {
     2 * k.delta_flood.max(1) as u64

@@ -15,6 +15,10 @@
 //!   pure-member leaves in a single `Δ`-round window using l-time-slots;
 //!   supports `k` radio channels (Section 3.3 "Multi-Channels") and
 //!   relay-list pruning for multicast (Section 3.4).
+//! * [`reliable`] — bounded-retry **reliable CFF**: Algorithm 1 extended
+//!   with per-hop NACK/retransmit epochs and deterministic backoff, so
+//!   delivery degrades gracefully on lossy channels instead of silencing
+//!   whole subtrees on a single drop.
 //! * [`multicast`] — the multicast front-end over MCNet(G).
 //! * [`knowledge`] — extraction of the per-node knowledge (I)+(II) the
 //!   paper assumes (depth, slots, height, δ, Δ, backbone adjacency) from a
@@ -42,7 +46,8 @@ pub mod improved;
 pub mod join;
 pub mod knowledge;
 pub mod multicast;
+pub mod reliable;
 pub mod runner;
 
 pub use knowledge::{NetKnowledge, NodeKnowledge};
-pub use runner::{BroadcastOutcome, RunConfig};
+pub use runner::{BroadcastOutcome, Coverage, RunConfig};

@@ -10,21 +10,28 @@ use crate::cff::CffProgram;
 use crate::dfo::DfoProgram;
 use crate::improved::{Cff2Program, Cff2Schedule, Participation};
 use crate::knowledge::{build_knowledge, build_session_knowledge, NetKnowledge, Session};
+use crate::reliable::ReliableCffProgram;
 use crate::{analytic, multicast};
 use dsnet_cluster::{ClusterNet, GroupId, McNet, NodeStatus};
 use dsnet_graph::NodeId;
-use dsnet_radio::{EnergyReport, Engine, EngineConfig, FailurePlan, StopReason};
+use dsnet_radio::{
+    EnergyReport, Engine, EngineConfig, FailurePlan, LossModel, StopReason, Trace, TraceEvent,
+};
 
 /// Options shared by all protocol runs.
 #[derive(Debug, Clone)]
 pub struct RunConfig {
     /// Radio channels `k ≥ 1`.
     pub channels: u8,
-    /// Fail-stop schedule (empty by default).
+    /// Fail-stop / outage schedule (empty by default).
     pub failures: FailurePlan,
-    /// Record the event trace (needed for collision counts). On by
-    /// default; turn off for large sweeps that don't read
-    /// [`BroadcastOutcome::collisions`].
+    /// Per-link Bernoulli loss (lossless by default).
+    pub loss: LossModel,
+    /// Retry budget for the reliable flood (`run_cff_reliable` only).
+    pub max_retries: u32,
+    /// Record the event trace (needed for collision counts and
+    /// [`BroadcastOutcome::coverage`]). On by default; turn off for large
+    /// sweeps that don't read either.
     pub record_trace: bool,
 }
 
@@ -33,9 +40,24 @@ impl Default for RunConfig {
         Self {
             channels: 1,
             failures: FailurePlan::new(),
+            loss: LossModel::none(),
+            max_retries: 2,
             record_trace: true,
         }
     }
+}
+
+/// Coverage-over-time quantiles extracted from the delivery trace:
+/// the first round by which 50% / 90% / all of the targets held the
+/// message (the source counts as covered at round 0).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Coverage {
+    /// First round by which ≥ 50% of the targets were covered.
+    pub t50: Option<u64>,
+    /// First round by which ≥ 90% of the targets were covered.
+    pub t90: Option<u64>,
+    /// Round the last target was covered; `None` unless all were.
+    pub t_full: Option<u64>,
 }
 
 /// Condensed result of one protocol execution.
@@ -49,22 +71,42 @@ pub struct BroadcastOutcome {
     pub delivered: usize,
     /// Number of intended receivers.
     pub targets: usize,
+    /// Targets still alive when the run ended (a node in a fail-stop
+    /// plan or an open outage window at the final round is dead; a node
+    /// whose outage ended is alive).
+    pub targets_alive: usize,
+    /// Delivered targets among [`Self::targets_alive`].
+    pub delivered_alive: usize,
     /// Energy over every node that carried a program.
     pub energy: EnergyReport,
     /// Receiver-side collision events; `None` when the run was executed
     /// with `record_trace: false` and the count is unknowable.
     pub collisions: Option<usize>,
+    /// Coverage-over-time quantiles; `None` without a trace.
+    pub coverage: Option<Coverage>,
     /// The analytic round bound for this protocol and network.
     pub bound: u64,
 }
 
 impl BroadcastOutcome {
-    /// Fraction of targets that received the message.
+    /// Fraction of **all** targets that received the message — dead ones
+    /// count against the protocol. The honest headline number.
     pub fn delivery_ratio(&self) -> f64 {
         if self.targets == 0 {
             1.0
         } else {
             self.delivered as f64 / self.targets as f64
+        }
+    }
+
+    /// Fraction of the targets *alive at the end of the run* that
+    /// received the message — the protocol's performance on the nodes it
+    /// could possibly have served. Always ≥ [`Self::delivery_ratio`].
+    pub fn delivery_ratio_alive(&self) -> f64 {
+        if self.targets_alive == 0 {
+            1.0
+        } else {
+            self.delivered_alive as f64 / self.targets_alive as f64
         }
     }
 
@@ -76,6 +118,82 @@ impl BroadcastOutcome {
     /// The paper's Figure-9 metric: rounds the worst-off node stayed awake.
     pub fn max_awake(&self) -> u64 {
         self.energy.max_awake
+    }
+}
+
+/// Extract [`Coverage`] from a run's trace. `None` if tracing was off.
+fn coverage_from_trace(trace: &Trace, source: NodeId, targets: &[NodeId]) -> Option<Coverage> {
+    if !trace.is_enabled() {
+        return None;
+    }
+    let mut first = std::collections::BTreeMap::new();
+    first.insert(source, 0u64);
+    for ev in trace.events() {
+        if let TraceEvent::Deliver { round, to, .. } = *ev {
+            first.entry(to).or_insert(round);
+        }
+    }
+    let mut times: Vec<u64> = targets
+        .iter()
+        .filter_map(|u| first.get(u).copied())
+        .collect();
+    times.sort_unstable();
+    let n = targets.len();
+    let quantile = |num: usize, den: usize| {
+        if n == 0 {
+            return Some(0);
+        }
+        times.get(((n * num).div_ceil(den)).max(1) - 1).copied()
+    };
+    Some(Coverage {
+        t50: quantile(1, 2),
+        t90: quantile(9, 10),
+        t_full: if times.len() == n {
+            times.last().copied().or(Some(0))
+        } else {
+            None
+        },
+    })
+}
+
+/// Fold the raw engine outputs and per-node reception bitmap into a
+/// [`BroadcastOutcome`], splitting delivery by the alive-at-end
+/// denominator.
+#[allow(clippy::too_many_arguments)] // internal plumbing, one call site per runner
+fn condense(
+    rounds: u64,
+    stop: StopReason,
+    energy: EnergyReport,
+    collisions: Option<usize>,
+    coverage: Option<Coverage>,
+    failures: &FailurePlan,
+    targets: &[NodeId],
+    received: &[bool],
+    bound: u64,
+) -> BroadcastOutcome {
+    let delivered = targets.iter().filter(|&&u| received[u.index()]).count();
+    let mut targets_alive = 0;
+    let mut delivered_alive = 0;
+    for &u in targets {
+        if failures.node_dead(u, rounds + 1) {
+            continue;
+        }
+        targets_alive += 1;
+        if received[u.index()] {
+            delivered_alive += 1;
+        }
+    }
+    BroadcastOutcome {
+        rounds,
+        stop,
+        delivered,
+        targets: targets.len(),
+        targets_alive,
+        delivered_alive,
+        energy,
+        collisions,
+        coverage,
+        bound,
     }
 }
 
@@ -108,24 +226,27 @@ pub fn run_dfo(net: &ClusterNet, source: NodeId, cfg: &RunConfig) -> BroadcastOu
         DfoProgram::new(&k, u, source)
     });
     engine.set_failures(cfg.failures.clone());
+    engine.set_loss(cfg.loss);
     let out = engine.run();
     let collisions = engine.trace().try_collision_count();
     let energy = engine.energy_report();
+    let targets: Vec<NodeId> = net.tree().nodes().collect();
+    let coverage = coverage_from_trace(engine.trace(), source, &targets);
     let programs = engine.into_programs();
-    let delivered = net
-        .tree()
-        .nodes()
-        .filter(|&u| programs[u.index()].as_ref().is_some_and(|p| p.received))
-        .count();
-    BroadcastOutcome {
-        rounds: out.rounds,
-        stop: out.stop,
-        delivered,
-        targets: k.nodes,
+    let received: Vec<bool> = (0..net.graph().capacity())
+        .map(|i| programs[i].as_ref().is_some_and(|p| p.received))
+        .collect();
+    condense(
+        out.rounds,
+        out.stop,
         energy,
         collisions,
+        coverage,
+        &cfg.failures,
+        &targets,
+        &received,
         bound,
-    }
+    )
 }
 
 /// Run Algorithm 1 (basic collision-free flooding), with the paper's
@@ -139,24 +260,64 @@ pub fn run_cff_basic(net: &ClusterNet, source: NodeId, cfg: &RunConfig) -> Broad
         CffProgram::new(&k, &session, u, pos[u.index()])
     });
     engine.set_failures(cfg.failures.clone());
+    engine.set_loss(cfg.loss);
     let out = engine.run();
     let collisions = engine.trace().try_collision_count();
     let energy = engine.energy_report();
+    let targets: Vec<NodeId> = net.tree().nodes().collect();
+    let coverage = coverage_from_trace(engine.trace(), source, &targets);
     let programs = engine.into_programs();
-    let delivered = net
-        .tree()
-        .nodes()
-        .filter(|&u| programs[u.index()].as_ref().is_some_and(|p| p.received))
-        .count();
-    BroadcastOutcome {
-        rounds: out.rounds,
-        stop: out.stop,
-        delivered,
-        targets: k.nodes,
+    let received: Vec<bool> = (0..net.graph().capacity())
+        .map(|i| programs[i].as_ref().is_some_and(|p| p.received))
+        .collect();
+    condense(
+        out.rounds,
+        out.stop,
         energy,
         collisions,
+        coverage,
+        &cfg.failures,
+        &targets,
+        &received,
         bound,
-    }
+    )
+}
+
+/// Run the bounded-retry **reliable** flood: Algorithm 1 extended with
+/// per-depth feedback windows, NACK/retransmit and `cfg.max_retries`
+/// retry epochs (see [`crate::reliable`]). Strictly slower than
+/// [`run_cff_basic`] when nothing is lost; strictly better at delivering
+/// when something is.
+pub fn run_cff_reliable(net: &ClusterNet, source: NodeId, cfg: &RunConfig) -> BroadcastOutcome {
+    let k = build_knowledge(net);
+    let session = Session::new(&k, source, cfg.channels);
+    let bound = analytic::cff_reliable_bound(&k, session.offset, cfg.channels, cfg.max_retries);
+    let pos = uplink_positions(net, source);
+    let mut engine = Engine::new(net.graph(), engine_config(cfg, bound + 4), |u| {
+        ReliableCffProgram::new(&k, &session, u, pos[u.index()], cfg.max_retries)
+    });
+    engine.set_failures(cfg.failures.clone());
+    engine.set_loss(cfg.loss);
+    let out = engine.run();
+    let collisions = engine.trace().try_collision_count();
+    let energy = engine.energy_report();
+    let targets: Vec<NodeId> = net.tree().nodes().collect();
+    let coverage = coverage_from_trace(engine.trace(), source, &targets);
+    let programs = engine.into_programs();
+    let received: Vec<bool> = (0..net.graph().capacity())
+        .map(|i| programs[i].as_ref().is_some_and(|p| p.received))
+        .collect();
+    condense(
+        out.rounds,
+        out.stop,
+        energy,
+        collisions,
+        coverage,
+        &cfg.failures,
+        &targets,
+        &received,
+        bound,
+    )
 }
 
 /// Run Algorithm 2 (improved CFF) with `cfg.channels` radios.
@@ -244,26 +405,27 @@ fn run_improved_inner(
         Cff2Program::new(k, &session, sched, u, pos[u.index()], part(u))
     });
     engine.set_failures(cfg.failures.clone());
+    engine.set_loss(cfg.loss);
     let out = engine.run();
     let collisions = engine.trace().try_collision_count();
     let energy = engine.energy_report();
+    let coverage = coverage_from_trace(engine.trace(), source, targets);
     let programs = engine.into_programs();
     let received: Vec<bool> = (0..net.graph().capacity())
         .map(|i| programs[i].as_ref().is_some_and(|p| p.received))
         .collect();
-    let delivered = targets.iter().filter(|&&u| received[u.index()]).count();
-    (
-        BroadcastOutcome {
-            rounds: out.rounds,
-            stop: out.stop,
-            delivered,
-            targets: targets.len(),
-            energy,
-            collisions,
-            bound,
-        },
-        received,
-    )
+    let outcome = condense(
+        out.rounds,
+        out.stop,
+        energy,
+        collisions,
+        coverage,
+        &cfg.failures,
+        targets,
+        &received,
+        bound,
+    );
+    (outcome, received)
 }
 
 #[cfg(test)]
@@ -406,6 +568,82 @@ mod tests {
         let cfg1 = RunConfig::default();
         let base = run_improved(&net, net.root(), &cfg1);
         assert!(out.rounds <= base.rounds);
+    }
+
+    #[test]
+    fn reliable_cff_beats_basic_under_loss() {
+        let net = chain_net(30);
+        let mut losses_help = 0;
+        for seed in 0..5u64 {
+            let cfg = RunConfig {
+                loss: dsnet_radio::LossModel::from_probability(0.15, seed),
+                max_retries: 3,
+                ..Default::default()
+            };
+            let basic = run_cff_basic(&net, net.root(), &cfg);
+            let reliable = run_cff_reliable(&net, net.root(), &cfg);
+            assert!(
+                reliable.delivered >= basic.delivered,
+                "seed {seed}: reliable {} < basic {}",
+                reliable.delivered,
+                basic.delivered
+            );
+            if reliable.delivered > basic.delivered {
+                losses_help += 1;
+            }
+        }
+        assert!(losses_help > 0, "retries never helped across 5 seeds");
+    }
+
+    #[test]
+    fn reliable_cff_lossless_matches_basic_delivery() {
+        let net = chain_net(15);
+        let cfg = RunConfig::default();
+        let out = run_cff_reliable(&net, net.root(), &cfg);
+        assert!(out.completed());
+        assert_eq!(out.delivery_ratio(), 1.0);
+        assert_eq!(out.delivery_ratio_alive(), 1.0);
+    }
+
+    #[test]
+    fn alive_denominator_excludes_the_dead() {
+        // Chain-with-shortcuts: killing one node leaves the rest reachable.
+        let net = chain_net(12);
+        let mut cfg = RunConfig::default();
+        cfg.failures.kill_node(NodeId(5), 1);
+        let out = run_cff_basic(&net, net.root(), &cfg);
+        assert_eq!(out.targets, 12);
+        assert_eq!(out.targets_alive, 11);
+        assert!(!out.completed(), "the dead node cannot receive");
+        assert_eq!(out.delivered_alive, 11, "survivors are all covered");
+        assert!(out.delivery_ratio() < out.delivery_ratio_alive());
+        assert_eq!(out.delivery_ratio_alive(), 1.0);
+    }
+
+    #[test]
+    fn coverage_quantiles_are_ordered_and_complete() {
+        let net = chain_net(20);
+        let out = run_cff_basic(&net, net.root(), &RunConfig::default());
+        let cov = out.coverage.expect("trace was on");
+        let (t50, t90, t_full) = (cov.t50.unwrap(), cov.t90.unwrap(), cov.t_full.unwrap());
+        assert!(t50 <= t90 && t90 <= t_full);
+        assert!(t_full <= out.rounds);
+        // Without a trace there is no coverage.
+        let cfg = RunConfig {
+            record_trace: false,
+            ..Default::default()
+        };
+        assert!(run_cff_basic(&net, net.root(), &cfg).coverage.is_none());
+    }
+
+    #[test]
+    fn incomplete_runs_have_no_t_full() {
+        let net = chain_net(10);
+        let mut cfg = RunConfig::default();
+        cfg.failures.kill_node(NodeId(4), 1);
+        let out = run_cff_basic(&net, net.root(), &cfg);
+        assert!(!out.completed());
+        assert!(out.coverage.unwrap().t_full.is_none());
     }
 
     #[test]

@@ -3,6 +3,7 @@
 use crate::action::Action;
 use crate::energy::{EnergyMeter, EnergyReport};
 use crate::failure::FailurePlan;
+use crate::loss::LossModel;
 use crate::trace::{Trace, TraceEvent};
 use crate::Round;
 use dsnet_graph::{Graph, NodeId};
@@ -96,6 +97,7 @@ pub struct Engine<'g, P: NodeProgram> {
     programs: Vec<Option<P>>,
     meters: Vec<EnergyMeter>,
     failures: FailurePlan,
+    loss: LossModel,
     trace: Trace,
     round: Round,
     /// Scratch: this round's action per node id (None = dead or absent).
@@ -119,6 +121,7 @@ impl<'g, P: NodeProgram> Engine<'g, P> {
             programs,
             meters: vec![EnergyMeter::default(); cap],
             failures: FailurePlan::new(),
+            loss: LossModel::none(),
             trace: if config.record_trace {
                 Trace::enabled()
             } else {
@@ -132,6 +135,11 @@ impl<'g, P: NodeProgram> Engine<'g, P> {
     /// Install a failure schedule (replaces any previous one).
     pub fn set_failures(&mut self, plan: FailurePlan) {
         self.failures = plan;
+    }
+
+    /// Install a lossy-channel model (replaces any previous one).
+    pub fn set_loss(&mut self, loss: LossModel) {
+        self.loss = loss;
     }
 
     /// Rounds executed so far.
@@ -183,12 +191,24 @@ impl<'g, P: NodeProgram> Engine<'g, P> {
         let round = self.round;
         let channels = self.config.channels;
 
-        // Death notifications (trace only — the network can't observe them).
+        // Death/revival notifications (trace only — the network can't
+        // observe them).
         if self.trace.is_enabled() {
-            for (node, r) in self.failures.doomed_nodes() {
-                if r == round {
-                    self.trace.push(TraceEvent::NodeDeath { round, node });
+            let mut transitions: Vec<TraceEvent> = Vec::new();
+            for node in self.failures.affected_nodes() {
+                if self.failures.dies_at(node, round) {
+                    transitions.push(TraceEvent::NodeDeath { round, node });
+                } else if self.failures.revives_at(node, round) {
+                    transitions.push(TraceEvent::NodeRevive { round, node });
                 }
+            }
+            // HashMap iteration order is arbitrary; the trace must not be.
+            transitions.sort_by_key(|e| match *e {
+                TraceEvent::NodeDeath { node, .. } | TraceEvent::NodeRevive { node, .. } => node,
+                _ => unreachable!(),
+            });
+            for ev in transitions {
+                self.trace.push(ev);
             }
         }
 
@@ -244,6 +264,15 @@ impl<'g, P: NodeProgram> Engine<'g, P> {
                         if let Some(Action::Transmit { channel: vc, .. }) = &self.actions[v.index()]
                         {
                             if *vc == ch {
+                                if self.loss.dropped(v, id, round) {
+                                    self.trace.push(TraceEvent::LinkDrop {
+                                        round,
+                                        from: v,
+                                        to: id,
+                                        channel: ch,
+                                    });
+                                    continue;
+                                }
                                 tx_count += 1;
                                 tx_from = Some(v);
                             }
@@ -517,6 +546,170 @@ mod tests {
         let report = e.energy_report();
         assert_eq!(report.max_awake, 2);
         assert_eq!(report.nodes, 2);
+    }
+
+    /// Transmits the beacon value every round, forever.
+    struct Beacon;
+    impl NodeProgram for Beacon {
+        type Msg = u32;
+        fn act(&mut self, _ctx: &NodeCtx) -> Action<u32> {
+            Action::transmit(7)
+        }
+        fn on_receive(&mut self, _ctx: &NodeCtx, _from: NodeId, _msg: &u32) {}
+    }
+
+    /// Listens every round, remembering the rounds it heard something.
+    struct Ear {
+        heard: Vec<Round>,
+    }
+    impl NodeProgram for Ear {
+        type Msg = u32;
+        fn act(&mut self, _ctx: &NodeCtx) -> Action<u32> {
+            Action::listen()
+        }
+        fn on_receive(&mut self, ctx: &NodeCtx, _from: NodeId, _msg: &u32) {
+            self.heard.push(ctx.round);
+        }
+    }
+
+    /// Beacon → Ear pair, dispatching per node id.
+    enum Pair {
+        B(Beacon),
+        E(Ear),
+    }
+    impl NodeProgram for Pair {
+        type Msg = u32;
+        fn act(&mut self, ctx: &NodeCtx) -> Action<u32> {
+            match self {
+                Pair::B(p) => p.act(ctx),
+                Pair::E(p) => p.act(ctx),
+            }
+        }
+        fn on_receive(&mut self, ctx: &NodeCtx, from: NodeId, msg: &u32) {
+            match self {
+                Pair::B(p) => p.on_receive(ctx, from, msg),
+                Pair::E(p) => p.on_receive(ctx, from, msg),
+            }
+        }
+    }
+
+    fn beacon_pair(max_rounds: Round) -> (&'static Graph, EngineConfig) {
+        let g = Box::leak(Box::new(path(2)));
+        let cfg = EngineConfig {
+            max_rounds,
+            record_trace: true,
+            ..Default::default()
+        };
+        (g, cfg)
+    }
+
+    fn make_pair(id: NodeId) -> Pair {
+        if id == NodeId(0) {
+            Pair::B(Beacon)
+        } else {
+            Pair::E(Ear { heard: Vec::new() })
+        }
+    }
+
+    fn heard(e: &Engine<'_, Pair>, id: NodeId) -> Vec<Round> {
+        match e.program(id).unwrap() {
+            Pair::E(ear) => ear.heard.clone(),
+            Pair::B(_) => panic!("not an ear"),
+        }
+    }
+
+    #[test]
+    fn total_loss_silences_the_channel() {
+        let (g, cfg) = beacon_pair(6);
+        let mut e = Engine::new(g, cfg, make_pair);
+        e.set_loss(LossModel::from_probability(1.0, 11));
+        e.run();
+        assert_eq!(heard(&e, NodeId(1)), Vec::<Round>::new());
+        assert_eq!(e.trace().delivery_count(), 0);
+        assert_eq!(e.trace().try_drop_count(), Some(6));
+        // Drops are not collisions — the receiver just hears silence.
+        assert_eq!(e.trace().collision_count(), 0);
+    }
+
+    #[test]
+    fn partial_loss_drops_some_receptions_deterministically() {
+        let run = || {
+            let (g, cfg) = beacon_pair(64);
+            let mut e = Engine::new(g, cfg, make_pair);
+            e.set_loss(LossModel::from_probability(0.5, 3));
+            e.run();
+            heard(&e, NodeId(1))
+        };
+        let a = run();
+        assert!(!a.is_empty() && a.len() < 64, "heard {} of 64", a.len());
+        assert_eq!(a, run());
+    }
+
+    #[test]
+    fn lossless_model_changes_nothing() {
+        let (g, cfg) = beacon_pair(6);
+        let mut e = Engine::new(g, cfg, make_pair);
+        e.set_loss(LossModel::none());
+        e.run();
+        assert_eq!(heard(&e, NodeId(1)), vec![1, 2, 3, 4, 5, 6]);
+        assert_eq!(e.trace().try_drop_count(), Some(0));
+    }
+
+    #[test]
+    fn revived_node_resumes_receiving() {
+        let (g, cfg) = beacon_pair(6);
+        let mut e = Engine::new(g, cfg, make_pair);
+        let mut plan = FailurePlan::new();
+        plan.kill_node_for(NodeId(1), 3, 2); // dead rounds 3, 4
+        e.set_failures(plan);
+        e.run();
+        assert_eq!(heard(&e, NodeId(1)), vec![1, 2, 5, 6]);
+        let ev = e.trace().events();
+        assert!(ev.contains(&TraceEvent::NodeDeath {
+            round: 3,
+            node: NodeId(1)
+        }));
+        assert!(ev.contains(&TraceEvent::NodeRevive {
+            round: 5,
+            node: NodeId(1)
+        }));
+    }
+
+    #[test]
+    fn revived_node_resumes_transmitting() {
+        // 0 —— 1: the *beacon* suffers the outage; the ear hears the gap.
+        let g = Box::leak(Box::new(path(2)));
+        let cfg = EngineConfig {
+            max_rounds: 6,
+            record_trace: true,
+            ..Default::default()
+        };
+        let mut e = Engine::new(g, cfg, |id| {
+            if id == NodeId(0) {
+                Pair::E(Ear { heard: Vec::new() })
+            } else {
+                Pair::B(Beacon)
+            }
+        });
+        let mut plan = FailurePlan::new();
+        plan.kill_node_for(NodeId(1), 2, 3); // dark rounds 2, 3, 4
+        e.set_failures(plan);
+        e.run();
+        assert_eq!(heard(&e, NodeId(0)), vec![1, 5, 6]);
+    }
+
+    #[test]
+    fn revival_composes_with_link_kills() {
+        // Node 1 revives at round 5, but the link dies at round 6: it hears
+        // exactly one more beacon and then permanent silence.
+        let (g, cfg) = beacon_pair(10);
+        let mut e = Engine::new(g, cfg, make_pair);
+        let mut plan = FailurePlan::new();
+        plan.kill_node_for(NodeId(1), 3, 2); // dead rounds 3, 4
+        plan.kill_link(NodeId(0), NodeId(1), 6);
+        e.set_failures(plan);
+        e.run();
+        assert_eq!(heard(&e, NodeId(1)), vec![1, 2, 5]);
     }
 
     #[test]

@@ -25,12 +25,14 @@ pub mod action;
 pub mod energy;
 pub mod engine;
 pub mod failure;
+pub mod loss;
 pub mod trace;
 
 pub use action::{Action, Channel};
 pub use energy::{EnergyMeter, EnergyReport};
 pub use engine::{Engine, EngineConfig, NodeCtx, NodeProgram, RunOutcome, StopReason};
 pub use failure::FailurePlan;
+pub use loss::LossModel;
 pub use trace::{Trace, TraceEvent};
 
 /// Rounds are numbered from 1, matching the paper's "transmits at round

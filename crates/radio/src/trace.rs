@@ -35,8 +35,19 @@ pub enum TraceEvent {
         channel: Channel,
         transmitters: u32,
     },
-    /// `node` died (fail-stop) at the start of `round`.
+    /// `node` died (fail-stop or outage start) at the start of `round`.
     NodeDeath { round: Round, node: NodeId },
+    /// `node` came back from a transient outage at the start of `round`.
+    NodeRevive { round: Round, node: NodeId },
+    /// The transmission `from → to` was destroyed by channel loss while
+    /// `to` was listening on `channel` (see `LossModel`). Like collisions,
+    /// drops are observer-only: the receiver just hears silence.
+    LinkDrop {
+        round: Round,
+        from: NodeId,
+        to: NodeId,
+        channel: Channel,
+    },
 }
 
 impl TraceEvent {
@@ -46,7 +57,9 @@ impl TraceEvent {
             TraceEvent::Transmit { round, .. }
             | TraceEvent::Deliver { round, .. }
             | TraceEvent::Collision { round, .. }
-            | TraceEvent::NodeDeath { round, .. } => round,
+            | TraceEvent::NodeDeath { round, .. }
+            | TraceEvent::NodeRevive { round, .. }
+            | TraceEvent::LinkDrop { round, .. } => round,
         }
     }
 }
@@ -125,6 +138,17 @@ impl Trace {
     pub fn collision_count(&self) -> usize {
         self.try_collision_count()
             .expect("collision_count() on a disabled trace: enable record_trace or use try_collision_count()")
+    }
+
+    /// Number of receptions destroyed by channel loss, or `None` when the
+    /// trace was disabled and the count is unknowable.
+    pub fn try_drop_count(&self) -> Option<usize> {
+        self.enabled.then(|| {
+            self.events
+                .iter()
+                .filter(|e| matches!(e, TraceEvent::LinkDrop { .. }))
+                .count()
+        })
     }
 
     /// Number of clean deliveries over the run.

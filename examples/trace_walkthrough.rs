@@ -86,6 +86,10 @@ fn main() {
                 println!("    xx {node} hears {transmitters} transmitters collide (harmless: its unique slot is elsewhere)");
             }
             TraceEvent::NodeDeath { node, .. } => println!("  !! {node} died"),
+            TraceEvent::NodeRevive { node, .. } => println!("  ++ {node} revived"),
+            TraceEvent::LinkDrop { from, to, .. } => {
+                println!("    ~~ channel loss: {from} -> {to} dropped");
+            }
         }
     }
 

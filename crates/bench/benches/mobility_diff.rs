@@ -1,0 +1,78 @@
+//! Incremental topology diffing vs. a full per-epoch rebuild.
+//!
+//! One epoch of random-waypoint motion moves most nodes a small distance,
+//! so the edge set barely changes. The differ relocates each mover inside
+//! the spatial hash and touches only its neighbourhood, while the naive
+//! alternative recomputes the whole unit-disk graph in O(n²) and compares.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dsnet::geom::{Deployment, DeploymentConfig, Point2};
+use dsnet::mobility::{MobilityModel, RandomWaypoint, TopologyDiffer, WaypointParams};
+use std::hint::black_box;
+
+/// A prepared epoch: the differ synced to the pre-move positions plus the
+/// batch of moves the model produced for the next step.
+fn prepare(n: usize) -> (TopologyDiffer, Vec<(usize, Point2)>) {
+    let d = Deployment::generate(DeploymentConfig::paper_field(10.0, n, 51));
+    let mut model = RandomWaypoint::new(
+        d.positions.clone(),
+        d.config.region,
+        WaypointParams::default(),
+        0x8E9C,
+    );
+    // Warm the trajectories past the initial synchronised trip starts.
+    for _ in 0..10 {
+        model.step();
+    }
+    let differ = TopologyDiffer::new(d.config.region, d.config.range, model.positions());
+    let moved = model.step();
+    let moves: Vec<(usize, Point2)> = moved.iter().map(|&i| (i, model.positions()[i])).collect();
+    (differ, moves)
+}
+
+fn full_rebuild_diff(pts: &[Point2], range: f64, moves: &[(usize, Point2)]) -> usize {
+    let mut after = pts.to_vec();
+    for &(i, p) in moves {
+        after[i] = p;
+    }
+    let r2 = range * range;
+    let mut changed = 0;
+    for i in 0..after.len() {
+        for j in (i + 1)..after.len() {
+            let was = pts[i].dist_sq(pts[j]) <= r2;
+            let now = after[i].dist_sq(after[j]) <= r2;
+            changed += usize::from(was != now);
+        }
+    }
+    changed
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mobility_diff");
+    for n in [200usize, 500] {
+        g.bench_with_input(BenchmarkId::new("differ_epoch", n), &n, |b, &n| {
+            b.iter_batched(
+                || prepare(n),
+                |(mut differ, moves)| black_box(differ.apply(&moves).len()),
+                criterion::BatchSize::LargeInput,
+            )
+        });
+        g.bench_with_input(BenchmarkId::new("full_rebuild_epoch", n), &n, |b, &n| {
+            b.iter_batched(
+                || prepare(n),
+                |(differ, moves)| {
+                    black_box(full_rebuild_diff(
+                        differ.positions(),
+                        differ.range(),
+                        &moves,
+                    ))
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

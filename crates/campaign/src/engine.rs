@@ -2,8 +2,8 @@
 
 use crate::sink::CampaignSink;
 use crate::spec::{
-    repair_label, CampaignSpec, ChurnTemplate, FailureTemplate, LossSpec, ProtocolSpec, Trial,
-    TrialRecord,
+    repair_label, CampaignSpec, ChurnTemplate, FailureTemplate, LossSpec, MobilitySpec,
+    ProtocolSpec, Trial, TrialRecord,
 };
 use dsnet_metrics::{Distribution, Summary};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -52,6 +52,8 @@ pub struct CellSummary {
     pub loss: LossSpec,
     /// Repair axis value.
     pub repair: bool,
+    /// Mobility axis value.
+    pub mobility: MobilitySpec,
     /// Network-size axis value.
     pub n: usize,
     /// Repetitions aggregated.
@@ -82,19 +84,26 @@ pub struct CellSummary {
     /// Total receiver-side collisions; `None` if any repetition ran
     /// without a trace (partial sums would misrepresent the cell).
     pub collisions: Option<u64>,
+    /// Structure reconfigurations during the mobility phase, over the
+    /// repetitions that moved; `None` for static cells.
+    pub reconfigs: Option<Summary>,
+    /// Slot-assignment churn during the mobility phase, over the
+    /// repetitions that moved; `None` for static cells.
+    pub slot_churn: Option<Summary>,
 }
 
 impl CellSummary {
     /// Stable one-line label of the cell's axes.
     pub fn label(&self) -> String {
         format!(
-            "{} k={} fail={} churn={} loss={} repair={} n={}",
+            "{} k={} fail={} churn={} loss={} repair={} mob={} n={}",
             self.protocol.name(),
             self.channels,
             self.failure.label(),
             self.churn.label(),
             self.loss.label(),
             repair_label(self.repair),
+            self.mobility.label(),
             self.n
         )
     }
@@ -139,6 +148,7 @@ impl CampaignResult {
         churn: ChurnTemplate,
         loss: LossSpec,
         repair: bool,
+        mobility: MobilitySpec,
         n: usize,
     ) -> Option<&CellSummary> {
         self.cells.iter().find(|c| {
@@ -148,6 +158,7 @@ impl CampaignResult {
                 && c.churn == churn
                 && c.loss == loss
                 && c.repair == repair
+                && c.mobility == mobility
                 && c.n == n
         })
     }
@@ -248,6 +259,8 @@ pub fn run_campaign(
                 .collect();
             let rounds = Distribution::of_u64(members.iter().map(|r| r.rounds));
             let repairs: Vec<u64> = members.iter().filter_map(|r| r.repair_rounds).collect();
+            let reconfigs: Vec<u64> = members.iter().filter_map(|r| r.reconfigs).collect();
+            let slot_churn: Vec<u64> = members.iter().filter_map(|r| r.slot_churn).collect();
             CellSummary {
                 protocol: t0.protocol,
                 channels: t0.channels,
@@ -255,6 +268,7 @@ pub fn run_campaign(
                 churn: t0.churn,
                 loss: t0.loss,
                 repair: t0.repair,
+                mobility: t0.mobility,
                 n: t0.n,
                 trials: members.len(),
                 completed: members.iter().filter(|r| r.completed()).count(),
@@ -273,6 +287,16 @@ pub fn run_campaign(
                 mean_awake: Summary::of(members.iter().map(|r| r.mean_awake)),
                 bound: Summary::of_u64(members.iter().map(|r| r.bound)),
                 collisions: members.iter().map(|r| r.collisions).sum::<Option<u64>>(),
+                reconfigs: if reconfigs.is_empty() {
+                    None
+                } else {
+                    Some(Summary::of_u64(reconfigs.iter().copied()))
+                },
+                slot_churn: if slot_churn.is_empty() {
+                    None
+                } else {
+                    Some(Summary::of_u64(slot_churn.iter().copied()))
+                },
             }
         })
         .collect();
@@ -315,6 +339,16 @@ mod tests {
             },
             bound: 120,
             nodes: trial.n as u64,
+            reconfigs: if trial.mobility.is_none() {
+                None
+            } else {
+                Some(h % 40)
+            },
+            slot_churn: if trial.mobility.is_none() {
+                None
+            } else {
+                Some(h % 100)
+            },
         }
     }
 
@@ -418,10 +452,31 @@ mod tests {
                 ChurnTemplate::default(),
                 LossSpec::none(),
                 false,
+                MobilitySpec::None,
                 30,
             )
             .expect("cell exists");
         assert_eq!(cell.trials, 4);
+    }
+
+    #[test]
+    fn mobility_metrics_aggregate_only_over_mobile_cells() {
+        let mut spec = spec();
+        spec.mobility = vec![
+            MobilitySpec::None,
+            MobilitySpec::random_waypoint(0.05, 10, 2),
+        ];
+        let result = run_campaign(&spec, &synthetic, 2, None);
+        assert_eq!(result.cells.len(), 8);
+        for cell in &result.cells {
+            if cell.mobility.is_none() {
+                assert_eq!(cell.reconfigs, None);
+                assert_eq!(cell.slot_churn, None);
+            } else {
+                assert!(cell.reconfigs.is_some());
+                assert!(cell.slot_churn.is_some());
+            }
+        }
     }
 
     #[test]

@@ -5,7 +5,7 @@
 //! Every figure in the evaluation is a *campaign*: a declarative grid of
 //! independent simulation trials (protocol × network size × channel count
 //! × failure template × churn template × channel loss × repair ×
-//! repetition), each fully determined by a seed. This crate expands a [`CampaignSpec`] into that
+//! mobility × repetition), each fully determined by a seed. This crate expands a [`CampaignSpec`] into that
 //! grid, executes the trials on a worker pool, streams condensed
 //! [`TrialRecord`]s into a lock-free aggregation sink, and renders the
 //! result as JSON / CSV artifacts plus per-cell summary tables.
@@ -46,5 +46,5 @@ pub use report::{render_csv, render_json, render_trials_csv};
 pub use sink::{CampaignSink, CellSnapshot};
 pub use spec::{
     parse_repair, repair_label, CampaignSpec, ChurnTemplate, FailureTemplate, LossSpec,
-    ProtocolSpec, Trial, TrialRecord,
+    MobilitySpec, ProtocolSpec, Trial, TrialRecord,
 };

@@ -71,13 +71,14 @@ fn json_summary(out: &mut String, s: &Summary, percentiles: Option<(f64, f64)>) 
 fn json_cell(out: &mut String, c: &CellSummary) {
     let _ = write!(
         out,
-        "{{\"protocol\": \"{}\", \"channels\": {}, \"failure\": \"{}\", \"churn\": \"{}\", \"loss\": \"{}\", \"repair\": \"{}\", \"n\": {}, \"trials\": {}, \"completed\": {}, \"rounds\": ",
+        "{{\"protocol\": \"{}\", \"channels\": {}, \"failure\": \"{}\", \"churn\": \"{}\", \"loss\": \"{}\", \"repair\": \"{}\", \"mobility\": \"{}\", \"n\": {}, \"trials\": {}, \"completed\": {}, \"rounds\": ",
         c.protocol.name(),
         c.channels,
         c.failure.label(),
         c.churn.label(),
         c.loss.label(),
         repair_label(c.repair),
+        c.mobility.label(),
         c.n,
         c.trials,
         c.completed
@@ -100,16 +101,27 @@ fn json_cell(out: &mut String, c: &CellSummary) {
     json_summary(out, &c.bound, None);
     match c.collisions {
         Some(total) => {
-            let _ = write!(out, ", \"collisions\": {total}}}");
+            let _ = write!(out, ", \"collisions\": {total}");
         }
-        None => out.push_str(", \"collisions\": null}"),
+        None => out.push_str(", \"collisions\": null"),
     }
+    out.push_str(", \"reconfigs\": ");
+    match &c.reconfigs {
+        Some(s) => json_summary(out, s, None),
+        None => out.push_str("null"),
+    }
+    out.push_str(", \"slot_churn\": ");
+    match &c.slot_churn {
+        Some(s) => json_summary(out, s, None),
+        None => out.push_str("null"),
+    }
+    out.push('}');
 }
 
 fn json_trial(out: &mut String, t: &Trial, r: &TrialRecord) {
     let _ = write!(
         out,
-        "{{\"index\": {}, \"protocol\": \"{}\", \"channels\": {}, \"failure\": \"{}\", \"churn\": \"{}\", \"loss\": \"{}\", \"repair\": \"{}\", \"n\": {}, \"rep\": {}, \"scenario_seed\": {}, \"stream_seed\": {}, \"rounds\": {}, \"delivered\": {}, \"targets\": {}, \"targets_alive\": {}, \"delivered_alive\": {}, \"t50\": {}, \"t90\": {}, \"t_full\": {}, \"repair_rounds\": {}, \"max_awake\": {}, \"mean_awake\": {}, \"collisions\": {}, \"bound\": {}, \"nodes\": {}}}",
+        "{{\"index\": {}, \"protocol\": \"{}\", \"channels\": {}, \"failure\": \"{}\", \"churn\": \"{}\", \"loss\": \"{}\", \"repair\": \"{}\", \"mobility\": \"{}\", \"n\": {}, \"rep\": {}, \"scenario_seed\": {}, \"stream_seed\": {}, \"rounds\": {}, \"delivered\": {}, \"targets\": {}, \"targets_alive\": {}, \"delivered_alive\": {}, \"t50\": {}, \"t90\": {}, \"t_full\": {}, \"repair_rounds\": {}, \"max_awake\": {}, \"mean_awake\": {}, \"collisions\": {}, \"bound\": {}, \"nodes\": {}, \"reconfigs\": {}, \"slot_churn\": {}}}",
         t.index,
         t.protocol.name(),
         t.channels,
@@ -117,6 +129,7 @@ fn json_trial(out: &mut String, t: &Trial, r: &TrialRecord) {
         t.churn.label(),
         t.loss.label(),
         repair_label(t.repair),
+        t.mobility.label(),
         t.n,
         t.rep,
         t.scenario_seed,
@@ -134,7 +147,9 @@ fn json_trial(out: &mut String, t: &Trial, r: &TrialRecord) {
         json_f64(r.mean_awake),
         json_opt_u64(r.collisions),
         r.bound,
-        r.nodes
+        r.nodes,
+        json_opt_u64(r.reconfigs),
+        json_opt_u64(r.slot_churn)
     );
 }
 
@@ -182,6 +197,11 @@ pub fn render_json(result: &CampaignResult, include_trials: bool) -> String {
         spec.repair
             .iter()
             .map(|&r| format!("\"{}\"", repair_label(r))),
+    );
+    out.push_str("], \"mobility\": [");
+    push_list(
+        &mut out,
+        spec.mobility.iter().map(|m| format!("\"{}\"", m.label())),
     );
     out.push_str("], \"ns\": [");
     push_list(&mut out, spec.ns.iter().map(|n| n.to_string()));
@@ -231,22 +251,23 @@ fn push_list(out: &mut String, items: impl Iterator<Item = String>) {
 /// Render the per-cell aggregates as CSV (header + one row per cell).
 pub fn render_csv(result: &CampaignResult) -> String {
     let mut out = String::from(
-        "protocol,channels,failure,churn,loss,repair,n,trials,completed,\
+        "protocol,channels,failure,churn,loss,repair,mobility,n,trials,completed,\
          rounds_mean,rounds_std,rounds_min,rounds_p50,rounds_p90,rounds_max,\
          delivery_mean,delivery_min,delivery_alive_mean,delivery_alive_min,\
          repaired,repair_rounds_mean,max_awake_mean,max_awake_max,\
-         mean_awake_mean,bound_mean,collisions\n",
+         mean_awake_mean,bound_mean,collisions,reconfigs_mean,slot_churn_mean\n",
     );
     for c in &result.cells {
         let _ = writeln!(
             out,
-            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
             c.protocol.name(),
             c.channels,
             c.failure.label(),
             c.churn.label(),
             c.loss.label(),
             repair_label(c.repair),
+            c.mobility.label(),
             c.n,
             c.trials,
             c.completed,
@@ -269,6 +290,12 @@ pub fn render_csv(result: &CampaignResult) -> String {
             c.mean_awake.mean,
             c.bound.mean,
             c.collisions.map_or(String::new(), |v| v.to_string()),
+            c.reconfigs
+                .as_ref()
+                .map_or(String::new(), |s| s.mean.to_string()),
+            c.slot_churn
+                .as_ref()
+                .map_or(String::new(), |s| s.mean.to_string()),
         );
     }
     out
@@ -277,14 +304,14 @@ pub fn render_csv(result: &CampaignResult) -> String {
 /// Render every trial as CSV (header + one row per trial, identity order).
 pub fn render_trials_csv(result: &CampaignResult) -> String {
     let mut out = String::from(
-        "index,protocol,channels,failure,churn,loss,repair,n,rep,scenario_seed,stream_seed,\
+        "index,protocol,channels,failure,churn,loss,repair,mobility,n,rep,scenario_seed,stream_seed,\
          rounds,delivered,targets,targets_alive,delivered_alive,t50,t90,t_full,\
-         repair_rounds,max_awake,mean_awake,collisions,bound,nodes\n",
+         repair_rounds,max_awake,mean_awake,collisions,bound,nodes,reconfigs,slot_churn\n",
     );
     for (t, r) in result.trials.iter().zip(&result.records) {
         let _ = writeln!(
             out,
-            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
             t.index,
             t.protocol.name(),
             t.channels,
@@ -292,6 +319,7 @@ pub fn render_trials_csv(result: &CampaignResult) -> String {
             t.churn.label(),
             t.loss.label(),
             repair_label(t.repair),
+            t.mobility.label(),
             t.n,
             t.rep,
             t.scenario_seed,
@@ -309,7 +337,9 @@ pub fn render_trials_csv(result: &CampaignResult) -> String {
             r.mean_awake,
             csv_opt_u64(r.collisions),
             r.bound,
-            r.nodes
+            r.nodes,
+            csv_opt_u64(r.reconfigs),
+            csv_opt_u64(r.slot_churn)
         );
     }
     out
@@ -338,6 +368,8 @@ mod tests {
             collisions: Some(0),
             bound: 99,
             nodes: trial.n as u64,
+            reconfigs: None,
+            slot_churn: None,
         }
     }
 

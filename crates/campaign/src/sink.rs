@@ -164,6 +164,8 @@ mod tests {
             collisions,
             bound: rounds + 1,
             nodes: targets,
+            reconfigs: None,
+            slot_churn: None,
         }
     }
 

@@ -218,6 +218,124 @@ impl LossSpec {
     }
 }
 
+/// Mobility axis value: which trajectory model moves the nodes (with the
+/// structure maintained incrementally) before the measured broadcast.
+/// Speeds are quantised to milli-units-per-epoch so the spec can be
+/// hashed and compared exactly (mirrors [`LossSpec`]'s ppm quantisation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum MobilitySpec {
+    /// Static nodes (the non-mobile campaign).
+    #[default]
+    None,
+    /// Random-waypoint motion: uniform waypoints, trip speeds uniform in
+    /// `[0.5·speed, 1.5·speed]`, pausing on arrival.
+    RandomWaypoint {
+        /// Template speed in milli-units per epoch.
+        speed_milli: u32,
+        /// Pause epochs after reaching a waypoint.
+        pause: u32,
+        /// Epochs of motion before the broadcast.
+        epochs: u32,
+    },
+    /// Gauss-Markov motion: AR(1) velocity with fixed memory 0.75.
+    GaussMarkov {
+        /// RMS per-axis speed in milli-units per epoch.
+        speed_milli: u32,
+        /// Epochs of motion before the broadcast.
+        epochs: u32,
+    },
+}
+
+impl MobilitySpec {
+    /// The static (non-mobile) axis value.
+    pub fn none() -> MobilitySpec {
+        MobilitySpec::None
+    }
+
+    /// Random-waypoint motion; `speed` is quantised to milli-units.
+    pub fn random_waypoint(speed: f64, epochs: u32, pause: u32) -> MobilitySpec {
+        assert!(speed > 0.0, "mobility speed must be positive, got {speed}");
+        MobilitySpec::RandomWaypoint {
+            speed_milli: (speed * 1000.0).round() as u32,
+            pause,
+            epochs,
+        }
+    }
+
+    /// Gauss-Markov motion; `speed` is quantised to milli-units.
+    pub fn gauss_markov(speed: f64, epochs: u32) -> MobilitySpec {
+        assert!(speed > 0.0, "mobility speed must be positive, got {speed}");
+        MobilitySpec::GaussMarkov {
+            speed_milli: (speed * 1000.0).round() as u32,
+            epochs,
+        }
+    }
+
+    /// Whether the nodes stay put.
+    pub fn is_none(self) -> bool {
+        self == MobilitySpec::None
+    }
+
+    /// The speed in units per epoch (0 for the static value).
+    pub fn speed(self) -> f64 {
+        match self {
+            MobilitySpec::None => 0.0,
+            MobilitySpec::RandomWaypoint { speed_milli, .. }
+            | MobilitySpec::GaussMarkov { speed_milli, .. } => speed_milli as f64 / 1000.0,
+        }
+    }
+
+    /// Motion epochs before the broadcast (0 for the static value).
+    pub fn epochs(self) -> u32 {
+        match self {
+            MobilitySpec::None => 0,
+            MobilitySpec::RandomWaypoint { epochs, .. }
+            | MobilitySpec::GaussMarkov { epochs, .. } => epochs,
+        }
+    }
+
+    /// Short stable label (`none`, `rwp<speed>x<epochs>p<pause>`, or
+    /// `gm<speed>x<epochs>`, e.g. `rwp0.05x20p2`).
+    pub fn label(self) -> String {
+        match self {
+            MobilitySpec::None => "none".into(),
+            MobilitySpec::RandomWaypoint { pause, epochs, .. } => {
+                format!("rwp{}x{epochs}p{pause}", self.speed())
+            }
+            MobilitySpec::GaussMarkov { epochs, .. } => format!("gm{}x{epochs}", self.speed()),
+        }
+    }
+
+    /// Parse a label (the inverse of [`MobilitySpec::label`]).
+    pub fn parse(s: &str) -> Option<MobilitySpec> {
+        if s == "none" {
+            return Some(MobilitySpec::None);
+        }
+        if let Some(rest) = s.strip_prefix("rwp") {
+            let (speed, rest) = rest.split_once('x')?;
+            let (epochs, pause) = rest.split_once('p')?;
+            let speed: f64 = speed.parse().ok()?;
+            if speed <= 0.0 {
+                return None;
+            }
+            return Some(MobilitySpec::random_waypoint(
+                speed,
+                epochs.parse().ok()?,
+                pause.parse().ok()?,
+            ));
+        }
+        if let Some(rest) = s.strip_prefix("gm") {
+            let (speed, epochs) = rest.split_once('x')?;
+            let speed: f64 = speed.parse().ok()?;
+            if speed <= 0.0 {
+                return None;
+            }
+            return Some(MobilitySpec::gauss_markov(speed, epochs.parse().ok()?));
+        }
+        None
+    }
+}
+
 /// Label for the repair axis (`on` / `off`).
 pub fn repair_label(repair: bool) -> &'static str {
     if repair {
@@ -303,6 +421,9 @@ pub struct CampaignSpec {
     /// Repair on/off values swept (detection-and-repair of fail-stop
     /// victims before the measured broadcast).
     pub repair: Vec<bool>,
+    /// Mobility templates swept (motion with incremental structure
+    /// maintenance before the measured broadcast).
+    pub mobility: Vec<MobilitySpec>,
     /// Retry budget for the reliable CFF (scalar, not an axis).
     pub max_retries: u32,
     /// Record event traces (collision counts become available).
@@ -325,6 +446,7 @@ impl CampaignSpec {
             churn: vec![ChurnTemplate::default()],
             losses: vec![LossSpec::none()],
             repair: vec![false],
+            mobility: vec![MobilitySpec::None],
             max_retries: 2,
             record_trace: true,
         }
@@ -338,15 +460,16 @@ impl CampaignSpec {
             * self.churn.len()
             * self.losses.len()
             * self.repair.len()
+            * self.mobility.len()
             * self.ns.len()
             * self.reps as usize
     }
 
     /// Expand the grid into its trial list.
     ///
-    /// The order — protocol, channels, failure, churn, loss, repair, n,
-    /// rep, innermost last — is part of the determinism contract: a
-    /// trial's position in this list is its identity, and its
+    /// The order — protocol, channels, failure, churn, loss, repair,
+    /// mobility, n, rep, innermost last — is part of the determinism
+    /// contract: a trial's position in this list is its identity, and its
     /// `stream_seed` derives from it.
     ///
     /// `scenario_seed` is keyed by `(base_seed, n, rep)` only, matching
@@ -361,28 +484,31 @@ impl CampaignSpec {
                     for &churn in &self.churn {
                         for &loss in &self.losses {
                             for &repair in &self.repair {
-                                for &n in &self.ns {
-                                    for rep in 0..self.reps {
-                                        let index = trials.len();
-                                        trials.push(Trial {
-                                            index,
-                                            protocol,
-                                            channels,
-                                            failure,
-                                            churn,
-                                            loss,
-                                            repair,
-                                            max_retries: self.max_retries,
-                                            n,
-                                            rep,
-                                            field_side: self.field_side,
-                                            record_trace: self.record_trace,
-                                            scenario_seed: derive_seed(
-                                                self.base_seed,
-                                                ((n as u64) << 20) | rep,
-                                            ),
-                                            stream_seed: derive_seed(stream_root, index as u64),
-                                        });
+                                for &mobility in &self.mobility {
+                                    for &n in &self.ns {
+                                        for rep in 0..self.reps {
+                                            let index = trials.len();
+                                            trials.push(Trial {
+                                                index,
+                                                protocol,
+                                                channels,
+                                                failure,
+                                                churn,
+                                                loss,
+                                                repair,
+                                                mobility,
+                                                max_retries: self.max_retries,
+                                                n,
+                                                rep,
+                                                field_side: self.field_side,
+                                                record_trace: self.record_trace,
+                                                scenario_seed: derive_seed(
+                                                    self.base_seed,
+                                                    ((n as u64) << 20) | rep,
+                                                ),
+                                                stream_seed: derive_seed(stream_root, index as u64),
+                                            });
+                                        }
                                     }
                                 }
                             }
@@ -413,6 +539,8 @@ pub struct Trial {
     /// Whether fail-stop victims are detected and repaired before the
     /// measured broadcast.
     pub repair: bool,
+    /// Mobility template to run before the measured broadcast.
+    pub mobility: MobilitySpec,
     /// Retry budget for the reliable CFF (from the spec's scalar).
     pub max_retries: u32,
     /// Deployment size.
@@ -432,16 +560,17 @@ pub struct Trial {
 
 impl Trial {
     /// The cell label axes `(protocol, channels, failure, churn, loss,
-    /// repair, n)` — everything except the repetition.
+    /// repair, mobility, n)` — everything except the repetition.
     pub fn cell_label(&self) -> String {
         format!(
-            "{} k={} fail={} churn={} loss={} repair={} n={}",
+            "{} k={} fail={} churn={} loss={} repair={} mob={} n={}",
             self.protocol.name(),
             self.channels,
             self.failure.label(),
             self.churn.label(),
             self.loss.label(),
             repair_label(self.repair),
+            self.mobility.label(),
             self.n
         )
     }
@@ -454,6 +583,7 @@ impl Trial {
             && self.churn == other.churn
             && self.loss == other.loss
             && self.repair == other.repair
+            && self.mobility == other.mobility
             && self.n == other.n
     }
 }
@@ -490,6 +620,12 @@ pub struct TrialRecord {
     pub bound: u64,
     /// Live nodes after churn was applied (= deployment n without churn).
     pub nodes: u64,
+    /// Structure reconfigurations during the mobility phase; `None` when
+    /// the trial was static.
+    pub reconfigs: Option<u64>,
+    /// Slot-assignment changes during the mobility phase; `None` when the
+    /// trial was static.
+    pub slot_churn: Option<u64>,
 }
 
 impl TrialRecord {
@@ -613,6 +749,20 @@ mod tests {
             assert_eq!(LossSpec::parse(&l.label()), Some(l));
         }
         assert_eq!(LossSpec::from_probability(0.05).label(), "p0.05");
+        for m in [
+            MobilitySpec::None,
+            MobilitySpec::random_waypoint(0.05, 20, 2),
+            MobilitySpec::gauss_markov(0.05, 20),
+        ] {
+            assert_eq!(MobilitySpec::parse(&m.label()), Some(m));
+        }
+        assert_eq!(
+            MobilitySpec::random_waypoint(0.05, 20, 2).label(),
+            "rwp0.05x20p2"
+        );
+        assert_eq!(MobilitySpec::gauss_markov(0.05, 20).label(), "gm0.05x20");
+        assert_eq!(MobilitySpec::parse("rwp0x5p1"), None);
+        assert_eq!(MobilitySpec::parse("rwp0.05x20"), None);
         for r in [false, true] {
             assert_eq!(parse_repair(repair_label(r)), Some(r));
         }
@@ -636,6 +786,33 @@ mod tests {
         assert!(!trials[0].same_cell(&trials[4])); // repair flipped
         assert!(!trials[0].same_cell(&trials[8])); // loss flipped
         assert_eq!(trials[8].loss, LossSpec::from_probability(0.1));
+    }
+
+    #[test]
+    fn mobility_axis_multiplies_the_grid_inside_repair() {
+        let mut spec = two_axis_spec();
+        spec.mobility = vec![
+            MobilitySpec::None,
+            MobilitySpec::random_waypoint(0.05, 10, 2),
+        ];
+        let trials = spec.expand();
+        assert_eq!(trials.len(), spec.trial_count());
+        assert_eq!(trials.len(), 16);
+        // Mobility sits between repair and n: the first ns.len()·reps
+        // trials are static, the next block is mobile.
+        assert!(trials[0].mobility.is_none());
+        assert!(!trials[4].mobility.is_none());
+        assert!(!trials[0].same_cell(&trials[4]));
+        // Scenario seeds stay paired across the mobility axis.
+        assert_eq!(trials[0].scenario_seed, trials[4].scenario_seed);
+        // A static-only spec expands exactly as before the axis existed.
+        let static_spec = two_axis_spec();
+        let static_trials = static_spec.expand();
+        assert_eq!(static_trials.len(), 8);
+        for (a, b) in static_trials.iter().zip(&trials[..4]) {
+            assert_eq!(a.scenario_seed, b.scenario_seed);
+            assert_eq!(a.stream_seed, b.stream_seed);
+        }
     }
 
     #[test]

@@ -9,7 +9,8 @@
 //! dsnet render    --nodes 250 --seed 7 --out network.svg
 //! dsnet campaign  --ns 100,200 --reps 5 --protocols cff,cff1,rcff,dfo \
 //!                 [--channels 1,2] [--failures none,bb3@1,bb3@1+10] [--churn none,j5l2] \
-//!                 [--loss none,p0.05] [--repair off,on] [--retries R] \
+//!                 [--loss none,p0.05] [--repair off,on] \
+//!                 [--mobility none,rwp0.05x20p2,gm0.05x20] [--retries R] \
 //!                 [--threads T] [--json FILE] [--csv FILE] [--trials] [--quiet]
 //! ```
 //!
@@ -18,7 +19,7 @@
 
 use dsnet::campaign_engine::{
     parse_repair, render_csv, render_json, render_trials_csv, CampaignSpec, ChurnTemplate,
-    FailureTemplate, LossSpec, Progress, ProtocolSpec,
+    FailureTemplate, LossSpec, MobilitySpec, Progress, ProtocolSpec,
 };
 use dsnet::protocols::runner::{run_multicast_reliable, RunConfig};
 use dsnet::viz::{render_svg, VizOptions};
@@ -47,6 +48,7 @@ struct Args {
     churn: Vec<ChurnTemplate>,
     losses: Vec<LossSpec>,
     repair: Vec<bool>,
+    mobility: Vec<MobilitySpec>,
     retries: u32,
     threads: usize,
     json: Option<String>,
@@ -77,6 +79,7 @@ impl Default for Args {
             churn: vec![ChurnTemplate::default()],
             losses: vec![LossSpec::none()],
             repair: vec![false],
+            mobility: vec![MobilitySpec::None],
             retries: 2,
             threads: 0,
             json: None,
@@ -97,6 +100,7 @@ fn usage() -> ! {
          campaign axes: [--ns N1,N2,..] [--reps R] [--protocols cff,cff1,rcff,dfo] \
          [--channels K1,K2,..] [--failures none|bb<C>@<R>[+<D>]|any<C>@<R>[+<D>],..] \
          [--churn none|j<J>l<L>,..] [--loss none,p<P>,..] [--repair off,on] \
+         [--mobility none|rwp<V>x<E>p<P>|gm<V>x<E>,..] \
          [--retries R] [--threads T] [--json FILE] [--csv FILE] \
          [--trials] [--no-trace] [--quiet]"
     );
@@ -141,6 +145,7 @@ fn parse() -> (String, Args) {
             }
             "--loss" => a.losses = parse_list(&val(), LossSpec::parse),
             "--repair" => a.repair = parse_list(&val(), parse_repair),
+            "--mobility" => a.mobility = parse_list(&val(), MobilitySpec::parse),
             "--retries" => a.retries = val().parse().unwrap_or_else(|_| usage()),
             "--ns" => a.ns = parse_list(&val(), |s| s.parse().ok()),
             "--reps" => a.reps = val().parse().unwrap_or_else(|_| usage()),
@@ -172,6 +177,7 @@ fn run_campaign_cmd(a: &Args) {
         churn: a.churn.clone(),
         losses: a.losses.clone(),
         repair: a.repair.clone(),
+        mobility: a.mobility.clone(),
         max_retries: a.retries,
         record_trace: !a.no_trace,
     };
@@ -199,12 +205,12 @@ fn run_campaign_cmd(a: &Args) {
         result.elapsed.as_secs_f64()
     );
     println!(
-        "{:<58} {:>14} {:>7} {:>7} {:>9} {:>9} {:>9} {:>9} {:>10}",
+        "{:<70} {:>14} {:>7} {:>7} {:>9} {:>9} {:>9} {:>9} {:>10}",
         "cell", "rounds", "p50", "p90", "delivery", "d-alive", "repair", "max-awake", "collisions"
     );
     for c in &result.cells {
         println!(
-            "{:<58} {:>14} {:>7} {:>7} {:>9.3} {:>9.3} {:>9} {:>9.1} {:>10}",
+            "{:<70} {:>14} {:>7} {:>7} {:>9.3} {:>9.3} {:>9} {:>9.1} {:>10}",
             c.label(),
             c.rounds.to_string(),
             c.rounds_p50,

@@ -12,13 +12,17 @@ use crate::builder::NetworkBuilder;
 use crate::experiments::common::SweepConfig;
 use crate::network::{Protocol, SensorNetwork};
 use dsnet_campaign::{
-    CampaignResult, CampaignSpec, ChurnTemplate, FailureTemplate, Progress, ProtocolSpec, Trial,
-    TrialRecord,
+    CampaignResult, CampaignSpec, ChurnTemplate, FailureTemplate, MobilitySpec, Progress,
+    ProtocolSpec, Trial, TrialRecord,
 };
 use dsnet_cluster::repair::{RepairConfig, RepairError};
 use dsnet_geom::rng::{derive_seed, rng_from_seed};
-use dsnet_geom::Point2;
+use dsnet_geom::{Deployment, DeploymentConfig, Point2};
 use dsnet_graph::NodeId;
+use dsnet_mobility::{
+    GaussMarkov, GaussMarkovParams, MobileNetwork, MobilityConfig, MobilityModel, RandomWaypoint,
+    WaypointParams,
+};
 use dsnet_protocols::runner::RunConfig;
 use dsnet_radio::{FailurePlan, LossModel};
 use rand::seq::SliceRandom as _;
@@ -133,13 +137,73 @@ fn failure_plan(template: &FailureTemplate, victims: &[NodeId]) -> FailurePlan {
     plan
 }
 
+/// Build the trial's network. Static cells use the incremental
+/// [`NetworkBuilder`] deployment; mobile cells drive the *same* deployment
+/// through the spec'd epochs of motion — structure maintained
+/// incrementally by [`MobileNetwork`], invariants checked every epoch —
+/// and measure the broadcast on the post-motion structure. Returns the
+/// network plus the maintenance totals (reconfigurations, slot churn),
+/// `None` for static cells.
+fn build_network(trial: &Trial) -> (SensorNetwork, Option<u64>, Option<u64>) {
+    if trial.mobility.is_none() {
+        let net = NetworkBuilder::paper_field(trial.field_side, trial.n, trial.scenario_seed)
+            .build()
+            .expect("incremental deployments always build");
+        return (net, None, None);
+    }
+    let d = Deployment::generate(DeploymentConfig::paper_field(
+        trial.field_side,
+        trial.n,
+        trial.scenario_seed,
+    ));
+    // The trajectory stream is keyed by the scenario seed (not the trial's
+    // private stream seed) so every protocol / channel variant of the same
+    // repetition rides the identical motion history.
+    let model_seed = derive_seed(trial.scenario_seed, 0x6D0B);
+    let speed = trial.mobility.speed();
+    let model: Box<dyn MobilityModel> = match trial.mobility {
+        MobilitySpec::None => unreachable!("static cells return above"),
+        MobilitySpec::RandomWaypoint { pause, .. } => Box::new(RandomWaypoint::new(
+            d.positions.clone(),
+            d.config.region,
+            WaypointParams {
+                v_min: 0.5 * speed,
+                v_max: 1.5 * speed,
+                pause_epochs: pause,
+            },
+            model_seed,
+        )),
+        MobilitySpec::GaussMarkov { .. } => Box::new(GaussMarkov::new(
+            d.positions.clone(),
+            d.config.region,
+            GaussMarkovParams {
+                mean_speed: speed,
+                memory: 0.75,
+            },
+            model_seed,
+        )),
+    };
+    let mut mob = MobileNetwork::new(&d, model).expect("incremental deployments arrive connected");
+    let report = mob
+        .run(
+            u64::from(trial.mobility.epochs()),
+            &MobilityConfig::default(),
+        )
+        .expect("maintenance preserves the paper's invariants");
+    let build_reports = mob.build_reports().to_vec();
+    let (mc, positions) = mob.into_parts();
+    (
+        SensorNetwork::from_motion(d, positions, mc, build_reports),
+        Some(report.total_reconfigs()),
+        Some(report.total_slot_churn()),
+    )
+}
+
 /// Execute one campaign trial end-to-end. A pure function of the trial:
 /// every random draw comes from the trial's own seeds, which is what lets
 /// the engine run trials in any order on any number of threads.
 pub fn run_trial(trial: &Trial) -> TrialRecord {
-    let mut net = NetworkBuilder::paper_field(trial.field_side, trial.n, trial.scenario_seed)
-        .build()
-        .expect("incremental deployments always build");
+    let (mut net, reconfigs, slot_churn) = build_network(trial);
     let mut rng = rng_from_seed(trial.stream_seed);
     apply_churn(&mut net, &trial.churn, &mut rng);
     let victims = draw_victims(&net, &trial.failure, &mut rng);
@@ -197,6 +261,8 @@ pub fn run_trial(trial: &Trial) -> TrialRecord {
         collisions: out.collisions.map(|c| c as u64),
         bound: out.bound,
         nodes: net.len() as u64,
+        reconfigs,
+        slot_churn,
     }
 }
 
@@ -290,6 +356,7 @@ mod tests {
                 ChurnTemplate::default(),
                 LossSpec::none(),
                 false,
+                MobilitySpec::None,
                 40,
             )
             .unwrap();
@@ -301,6 +368,7 @@ mod tests {
                 ChurnTemplate::default(),
                 LossSpec::none(),
                 false,
+                MobilitySpec::None,
                 40,
             )
             .unwrap();
@@ -326,6 +394,7 @@ mod tests {
                     ChurnTemplate::default(),
                     LossSpec::from_probability(0.1),
                     false,
+                    MobilitySpec::None,
                     40,
                 )
                 .unwrap()
@@ -356,6 +425,7 @@ mod tests {
                     ChurnTemplate::default(),
                     LossSpec::none(),
                     repair,
+                    MobilitySpec::None,
                     40,
                 )
                 .unwrap()
@@ -392,6 +462,33 @@ mod tests {
             assert_eq!(rec.nodes, 40);
             assert_eq!(rec.targets_alive, rec.targets);
         }
+    }
+
+    #[test]
+    fn mobile_cells_record_maintenance_and_complete() {
+        let mut spec = tiny_spec();
+        spec.protocols = vec![ProtocolSpec::ImprovedCff];
+        spec.mobility = vec![
+            MobilitySpec::None,
+            MobilitySpec::random_waypoint(0.05, 15, 2),
+            MobilitySpec::gauss_markov(0.04, 15),
+        ];
+        let result = run(&spec, 0, None);
+        let mut moved = 0u64;
+        for (t, rec) in result.select(|_| true) {
+            if t.mobility.is_none() {
+                assert_eq!(rec.reconfigs, None);
+                assert_eq!(rec.slot_churn, None);
+            } else {
+                // Motion happened, was maintained, and the post-motion
+                // structure still broadcasts to everyone.
+                moved += rec.reconfigs.expect("mobile trials measure maintenance");
+                assert!(rec.slot_churn.is_some());
+                assert!(rec.completed(), "CFF must cover the maintained net");
+                assert_eq!(rec.nodes, 40);
+            }
+        }
+        assert!(moved > 0, "15 epochs of motion should reconfigure someone");
     }
 
     #[test]

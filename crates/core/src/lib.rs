@@ -35,6 +35,7 @@
 //! | graph | `dsnet-graph` | unit-disk graphs, BFS, trees, Euler tours |
 //! | radio | `dsnet-radio` | the §3.1 round/collision model, energy, failures |
 //! | cluster | `dsnet-cluster` | CNet(G), BT(G), slots, move-in/out, MCNet |
+//! | mobility | `dsnet-mobility` | trajectory models, incremental topology diffing, maintenance |
 //! | protocols | `dsnet-protocols` | DFO, CFF (Alg 1), improved CFF (Alg 2), multicast |
 //! | this crate | `dsnet` | [`SensorNetwork`], [`NetworkBuilder`], [`experiments`] |
 //!
@@ -60,5 +61,6 @@ pub use dsnet_cluster as cluster;
 pub use dsnet_geom as geom;
 pub use dsnet_graph as graph;
 pub use dsnet_metrics as metrics;
+pub use dsnet_mobility as mobility;
 pub use dsnet_protocols as protocols;
 pub use dsnet_radio as radio;

@@ -79,6 +79,23 @@ impl SensorNetwork {
         }
     }
 
+    /// Adopt a structure that was maintained through motion: `positions`
+    /// are the *current* (post-motion) coordinates indexed by node id, not
+    /// the deployment's initial ones.
+    pub(crate) fn from_motion(
+        deployment: Deployment,
+        positions: Vec<Point2>,
+        mc: McNet,
+        build_reports: Vec<MoveInReport>,
+    ) -> Self {
+        Self {
+            deployment,
+            positions,
+            mc,
+            build_reports,
+        }
+    }
+
     // ----- structure access -------------------------------------------------
 
     /// The cluster structure.

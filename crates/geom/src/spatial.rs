@@ -51,6 +51,26 @@ impl GridIndex {
         id
     }
 
+    /// Move an already-indexed point to `new_point`, keeping its index.
+    ///
+    /// The point is removed from its old cell's bucket and inserted into the
+    /// new cell's bucket, so a relocation costs O(bucket occupancy) rather
+    /// than an O(n) rebuild. When old and new position fall into the same
+    /// cell only the stored coordinate changes.
+    pub fn relocate(&mut self, id: usize, new_point: Point2) {
+        let old_bucket = self.bucket_of(self.points[id]);
+        let new_bucket = self.bucket_of(new_point);
+        self.points[id] = new_point;
+        if old_bucket != new_bucket {
+            let slot = self.buckets[old_bucket]
+                .iter()
+                .position(|&x| x == id)
+                .expect("indexed point must be in its bucket");
+            self.buckets[old_bucket].swap_remove(slot);
+            self.buckets[new_bucket].push(id);
+        }
+    }
+
     /// Number of indexed points.
     pub fn len(&self) -> usize {
         self.points.len()
@@ -162,6 +182,54 @@ mod tests {
             let p = Point2::new(rng.random_range(0.0..w), rng.random_range(0.0..h));
             idx.insert(p);
             pts.push(p);
+        }
+        for _ in 0..50 {
+            let q = Point2::new(rng.random_range(0.0..w), rng.random_range(0.0..h));
+            let mut got = idx.within(q, r);
+            got.sort_unstable();
+            assert_eq!(got, brute_force(&pts, q, r));
+        }
+    }
+
+    #[test]
+    fn relocate_moves_point_between_cells() {
+        let mut idx = GridIndex::new(10.0, 10.0, 1.0);
+        let id = idx.insert(Point2::new(0.5, 0.5));
+        assert_eq!(idx.within(Point2::new(0.5, 0.5), 1.0), vec![id]);
+        idx.relocate(id, Point2::new(8.5, 8.5));
+        assert!(idx.within(Point2::new(0.5, 0.5), 1.0).is_empty());
+        assert_eq!(idx.within(Point2::new(8.5, 8.5), 1.0), vec![id]);
+        assert_eq!(idx.point(id), Point2::new(8.5, 8.5));
+    }
+
+    #[test]
+    fn relocate_within_same_cell_updates_coordinate() {
+        let mut idx = GridIndex::new(10.0, 10.0, 1.0);
+        let id = idx.insert(Point2::new(2.1, 2.1));
+        idx.relocate(id, Point2::new(2.9, 2.9));
+        assert_eq!(idx.point(id), Point2::new(2.9, 2.9));
+        // Query near the new spot hits, near the old spot (just out of
+        // range of the new coordinate) misses.
+        assert_eq!(idx.within(Point2::new(2.9, 2.9), 1.0), vec![id]);
+        assert!(idx.within(Point2::new(1.5, 1.5), 1.0).is_empty());
+    }
+
+    #[test]
+    fn relocate_matches_brute_force_after_random_moves() {
+        let mut rng = rng_from_seed(11);
+        let (w, h, r) = (8.0, 8.0, 0.5);
+        let mut idx = GridIndex::new(w, h, r);
+        let mut pts = Vec::new();
+        for _ in 0..200 {
+            let p = Point2::new(rng.random_range(0.0..w), rng.random_range(0.0..h));
+            idx.insert(p);
+            pts.push(p);
+        }
+        for _ in 0..500 {
+            let id = rng.random_range(0..pts.len());
+            let p = Point2::new(rng.random_range(0.0..w), rng.random_range(0.0..h));
+            idx.relocate(id, p);
+            pts[id] = p;
         }
         for _ in 0..50 {
             let q = Point2::new(rng.random_range(0.0..w), rng.random_range(0.0..h));

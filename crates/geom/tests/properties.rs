@@ -32,6 +32,41 @@ proptest! {
     }
 
     #[test]
+    fn grid_index_matches_brute_force_after_relocations(
+        points in prop::collection::vec((0.0f64..10.0, 0.0f64..10.0), 2..80),
+        moves in prop::collection::vec(
+            (any::<usize>(), (0.0f64..10.0, 0.0f64..10.0)),
+            1..120,
+        ),
+        queries in prop::collection::vec((0.0f64..10.0, 0.0f64..10.0), 1..10),
+        radius in 0.2f64..1.0,
+    ) {
+        let mut idx = GridIndex::new(10.0, 10.0, radius);
+        let mut pts: Vec<Point2> = points.iter().map(|&(x, y)| Point2::new(x, y)).collect();
+        for &p in &pts {
+            idx.insert(p);
+        }
+        for (which, (x, y)) in &moves {
+            let id = which % pts.len();
+            let p = Point2::new(*x, *y);
+            idx.relocate(id, p);
+            pts[id] = p;
+        }
+        for &(qx, qy) in &queries {
+            let q = Point2::new(qx, qy);
+            let mut got = idx.within(q, radius);
+            got.sort_unstable();
+            let expected: Vec<usize> = pts
+                .iter()
+                .enumerate()
+                .filter(|(_, p)| p.dist_sq(q) <= radius * radius)
+                .map(|(i, _)| i)
+                .collect();
+            prop_assert_eq!(got, expected);
+        }
+    }
+
+    #[test]
     fn deployments_stay_in_field_and_are_deterministic(
         n in 1usize..200,
         seed in any::<u64>(),

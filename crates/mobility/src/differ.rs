@@ -1,0 +1,245 @@
+//! Incremental unit-disk topology differencing.
+//!
+//! Rebuilding the communication graph from scratch every epoch costs
+//! O(n²) pair checks (or O(n·density) with a fresh spatial hash), even
+//! when only a handful of nodes moved. [`TopologyDiffer`] instead keeps a
+//! persistent [`GridIndex`] and, for each moved node, compares its
+//! neighbourhood before and after the relocation — an epoch therefore
+//! costs O(moved × local density) and yields exactly the set of edges
+//! whose endpoint-distance crossed the radio range.
+//!
+//! The event stream is *minimal*: a node that leaves and re-enters a
+//! neighbour's range within the same batch produces no event for that
+//! pair, because per-move ±1 deltas telescope to the net
+//! final-state-minus-initial-state difference.
+
+use dsnet_geom::{GridIndex, Point2, Region};
+use std::collections::BTreeMap;
+
+/// A single communication-edge change between two nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct EdgeEvent {
+    /// Lower endpoint index.
+    pub a: usize,
+    /// Higher endpoint index.
+    pub b: usize,
+    /// `true` if the edge appeared, `false` if it disappeared.
+    pub up: bool,
+}
+
+/// Maintains unit-disk adjacency under point motion and reports the
+/// minimal set of edge changes per batch of moves.
+#[derive(Debug, Clone)]
+pub struct TopologyDiffer {
+    index: GridIndex,
+    range: f64,
+}
+
+impl TopologyDiffer {
+    /// An index over `positions` in `region`, with radio range `range`.
+    pub fn new(region: Region, range: f64, positions: &[Point2]) -> Self {
+        let mut index = GridIndex::new(region.width(), region.height(), range);
+        for &p in positions {
+            index.insert(p);
+        }
+        Self { index, range }
+    }
+
+    /// Number of tracked nodes.
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// Whether the differ tracks no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+
+    /// Current position of node `i`.
+    pub fn position(&self, i: usize) -> Point2 {
+        self.index.point(i)
+    }
+
+    /// All current positions, indexed by node.
+    pub fn positions(&self) -> &[Point2] {
+        self.index.points()
+    }
+
+    /// The radio range edges are defined by.
+    pub fn range(&self) -> f64 {
+        self.range
+    }
+
+    /// Indices currently within radio range of node `i`, excluding `i`
+    /// itself, in ascending order.
+    pub fn neighbors_within(&self, i: usize) -> Vec<usize> {
+        let mut out = self.index.within(self.index.point(i), self.range);
+        out.retain(|&j| j != i);
+        out.sort_unstable();
+        out
+    }
+
+    /// Apply a batch of moves and return the net edge changes, ordered by
+    /// `(a, b)` endpoint pair.
+    ///
+    /// Moves are applied in slice order; a node may appear more than once.
+    /// Intermediate edge flickers within the batch cancel out: each event
+    /// reflects the edge's final state differing from its pre-batch state.
+    pub fn apply(&mut self, moves: &[(usize, Point2)]) -> Vec<EdgeEvent> {
+        // Net delta per edge: +1 appear, -1 disappear. Per-move deltas
+        // telescope, so after the whole batch every entry is in
+        // {-1, 0, +1} and the nonzero ones are exactly the changed edges.
+        let mut delta: BTreeMap<(usize, usize), i32> = BTreeMap::new();
+        for &(i, to) in moves {
+            let from = self.index.point(i);
+            self.index.for_each_within(from, self.range, |j| {
+                if j != i {
+                    *delta.entry(edge_key(i, j)).or_insert(0) -= 1;
+                }
+            });
+            self.index.relocate(i, to);
+            self.index.for_each_within(to, self.range, |j| {
+                if j != i {
+                    *delta.entry(edge_key(i, j)).or_insert(0) += 1;
+                }
+            });
+        }
+        delta
+            .into_iter()
+            .filter(|&(_, d)| d != 0)
+            .map(|((a, b), d)| {
+                debug_assert!(
+                    d.abs() == 1,
+                    "edge delta for ({a},{b}) must telescope to ±1, got {d}"
+                );
+                EdgeEvent { a, b, up: d > 0 }
+            })
+            .collect()
+    }
+}
+
+fn edge_key(i: usize, j: usize) -> (usize, usize) {
+    if i < j {
+        (i, j)
+    } else {
+        (j, i)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsnet_geom::rng::rng_from_seed;
+    use rand::Rng as _;
+    use std::collections::BTreeSet;
+
+    fn brute_edges(pts: &[Point2], range: f64) -> BTreeSet<(usize, usize)> {
+        let mut out = BTreeSet::new();
+        for i in 0..pts.len() {
+            for j in (i + 1)..pts.len() {
+                if pts[i].dist_sq(pts[j]) <= range * range {
+                    out.insert((i, j));
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn single_move_emits_crossing_edges_only() {
+        let region = Region::square(10.0);
+        let pts = vec![
+            Point2::new(1.0, 1.0),
+            Point2::new(1.3, 1.0), // in range of 0
+            Point2::new(5.0, 5.0), // far away
+        ];
+        let mut d = TopologyDiffer::new(region, 0.5, &pts);
+        // Move node 0 next to node 2: edge (0,1) drops, edge (0,2) appears.
+        let events = d.apply(&[(0, Point2::new(5.2, 5.0))]);
+        assert_eq!(
+            events,
+            vec![
+                EdgeEvent {
+                    a: 0,
+                    b: 1,
+                    up: false
+                },
+                EdgeEvent {
+                    a: 0,
+                    b: 2,
+                    up: true
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn round_trip_within_one_batch_cancels() {
+        let region = Region::square(10.0);
+        let pts = vec![Point2::new(1.0, 1.0), Point2::new(1.3, 1.0)];
+        let mut d = TopologyDiffer::new(region, 0.5, &pts);
+        // Leave range and come back in the same batch: no net event.
+        let events = d.apply(&[(0, Point2::new(4.0, 4.0)), (0, Point2::new(1.0, 1.0))]);
+        assert!(events.is_empty(), "flicker must cancel, got {events:?}");
+    }
+
+    #[test]
+    fn event_stream_tracks_full_rebuild_over_random_motion() {
+        let region = Region::square(6.0);
+        let range = 0.5;
+        let mut rng = rng_from_seed(23);
+        let mut pts: Vec<Point2> = (0..80)
+            .map(|_| {
+                Point2::new(
+                    rng.random_range(0.0..region.width()),
+                    rng.random_range(0.0..region.height()),
+                )
+            })
+            .collect();
+        let mut d = TopologyDiffer::new(region, range, &pts);
+        let mut edges = brute_edges(&pts, range);
+        for _ in 0..60 {
+            // Random subset of nodes takes a random small hop.
+            let mut moves = Vec::new();
+            for (i, p) in pts.iter_mut().enumerate() {
+                if rng.random_bool(0.3) {
+                    let q = region.clamp(Point2::new(
+                        p.x + rng.random_range(-0.4..0.4),
+                        p.y + rng.random_range(-0.4..0.4),
+                    ));
+                    *p = q;
+                    moves.push((i, q));
+                }
+            }
+            for ev in d.apply(&moves) {
+                if ev.up {
+                    assert!(edges.insert((ev.a, ev.b)), "appear event for present edge");
+                } else {
+                    assert!(
+                        edges.remove(&(ev.a, ev.b)),
+                        "disappear event for absent edge"
+                    );
+                }
+            }
+            assert_eq!(
+                edges,
+                brute_edges(&pts, range),
+                "differ diverged from rebuild"
+            );
+        }
+    }
+
+    #[test]
+    fn neighbors_within_is_sorted_and_excludes_self() {
+        let region = Region::square(4.0);
+        let pts = vec![
+            Point2::new(1.0, 1.0),
+            Point2::new(1.2, 1.0),
+            Point2::new(0.8, 1.0),
+            Point2::new(3.0, 3.0),
+        ];
+        let d = TopologyDiffer::new(region, 0.5, &pts);
+        assert_eq!(d.neighbors_within(0), vec![1, 2]);
+        assert_eq!(d.neighbors_within(3), Vec::<usize>::new());
+    }
+}

@@ -1,0 +1,572 @@
+//! The maintenance driver: keeps a live MCNet(G) valid while nodes move.
+//!
+//! Each epoch the driver (1) steps the trajectory model, (2) feeds the
+//! position deltas to the [`TopologyDiffer`] and collects the minimal
+//! edge-event stream, (3) marks both endpoints of every changed edge
+//! *dirty*, and (4) repairs each dirty node whose recorded radio
+//! neighbourhood no longer matches the geometric truth with the paper's
+//! own primitives: one `node-move-out` (Algorithm `node-move-out`,
+//! Section 5.2) followed by one `node-move-in` (Definition 1 /
+//! Algorithm 3) under the node's current neighbours.
+//!
+//! The structure is therefore *always* a valid CNet(G) of the graph it
+//! records — the paper's invariants are checked after every epoch — while
+//! the recorded graph chases the geometric topology. Repairs that the
+//! paper's operations refuse are deferred, not forced:
+//!
+//! * the **root** (sink) never moves out; an edge between the root and a
+//!   mobile neighbour is repaired from the neighbour's side;
+//! * a node that is momentarily a **cut vertex** of the recorded graph
+//!   (`move_out` would disconnect it) stays put until motion opens an
+//!   alternative path;
+//! * a node with **no in-range neighbour** cannot re-attach and waits
+//!   until it drifts back into contact.
+//!
+//! Determinism: dirty nodes are processed in ascending logical order and
+//! every data structure iterates in a fixed order, so a run is a pure
+//! function of the deployment, the model and its seed.
+
+use crate::differ::TopologyDiffer;
+use crate::model::MobilityModel;
+use crate::report::{BroadcastSample, EpochRecord, MobilityReport};
+use dsnet_cluster::invariants::check_core;
+use dsnet_cluster::{GroupId, McNet, MoveInReport};
+use dsnet_geom::{Deployment, Point2};
+use dsnet_graph::NodeId;
+use dsnet_protocols::runner::run_improved;
+use dsnet_protocols::RunConfig;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Errors from building or running a [`MobileNetwork`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum MobilityError {
+    /// Arrival `index` hears no earlier node, so the initial structure
+    /// cannot be grown (the deployment is not incrementally connected at
+    /// the radio range).
+    DisconnectedArrival(usize),
+    /// The model's node count or field does not match the deployment.
+    ModelMismatch(String),
+    /// An invariant of the paper failed after an epoch (only produced
+    /// when [`MobilityConfig::check_invariants`] is on).
+    InvariantViolated {
+        /// Epoch after which the check failed.
+        epoch: u64,
+        /// Human-readable violation detail.
+        detail: String,
+    },
+}
+
+impl fmt::Display for MobilityError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MobilityError::DisconnectedArrival(i) => {
+                write!(f, "arrival {i} hears no earlier node at the radio range")
+            }
+            MobilityError::ModelMismatch(why) => write!(f, "model mismatch: {why}"),
+            MobilityError::InvariantViolated { epoch, detail } => {
+                write!(f, "invariant violated after epoch {epoch}: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MobilityError {}
+
+/// Knobs of a mobile run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MobilityConfig {
+    /// Check the full Definition-1 / Time-Slot-Condition invariant suite
+    /// (plus relay-list consistency) after every epoch.
+    pub check_invariants: bool,
+    /// Sample a broadcast from the sink every this many epochs
+    /// (0 = never).
+    pub broadcast_every: u64,
+}
+
+impl Default for MobilityConfig {
+    fn default() -> Self {
+        Self {
+            check_invariants: true,
+            broadcast_every: 0,
+        }
+    }
+}
+
+/// A live MCNet(G) whose nodes move: trajectory model + topology differ +
+/// structure maintenance, stepped one epoch at a time.
+pub struct MobileNetwork {
+    mc: McNet,
+    differ: TopologyDiffer,
+    model: Box<dyn MobilityModel>,
+    /// Logical node (trajectory index) → current structure id. Move-outs
+    /// tombstone ids, so a reconfigured node gets a fresh id each time.
+    node_of: Vec<NodeId>,
+    groups_of: Vec<Vec<GroupId>>,
+    /// Logical nodes whose recorded neighbourhood may disagree with the
+    /// geometric one (deferred repairs carry over between epochs).
+    dirty: BTreeSet<usize>,
+    epoch: u64,
+    build_reports: Vec<MoveInReport>,
+}
+
+impl fmt::Debug for MobileNetwork {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("MobileNetwork")
+            .field("nodes", &self.node_of.len())
+            .field("epoch", &self.epoch)
+            .field("dirty", &self.dirty.len())
+            .finish()
+    }
+}
+
+impl MobileNetwork {
+    /// Grow the initial structure by replaying the deployment's arrival
+    /// order (node `i` joins hearing the earlier in-range nodes), with no
+    /// multicast group memberships.
+    pub fn new(
+        deployment: &Deployment,
+        model: Box<dyn MobilityModel>,
+    ) -> Result<Self, MobilityError> {
+        Self::with_groups(deployment, model, Vec::new())
+    }
+
+    /// Like [`MobileNetwork::new`], with per-node multicast groups
+    /// (`groups_of[i]` for logical node `i`; an empty vector means no
+    /// memberships everywhere).
+    pub fn with_groups(
+        deployment: &Deployment,
+        model: Box<dyn MobilityModel>,
+        mut groups_of: Vec<Vec<GroupId>>,
+    ) -> Result<Self, MobilityError> {
+        let n = deployment.positions.len();
+        if model.positions().len() != n {
+            return Err(MobilityError::ModelMismatch(format!(
+                "model tracks {} nodes, deployment has {n}",
+                model.positions().len()
+            )));
+        }
+        if model.positions() != &deployment.positions[..] {
+            return Err(MobilityError::ModelMismatch(
+                "model must start from the deployment's positions".into(),
+            ));
+        }
+        let region = deployment.config.region;
+        if model.region() != region {
+            return Err(MobilityError::ModelMismatch(
+                "model region differs from the deployment field".into(),
+            ));
+        }
+        if groups_of.is_empty() {
+            groups_of = vec![Vec::new(); n];
+        }
+        assert_eq!(groups_of.len(), n, "one group list per node");
+
+        let range = deployment.config.range;
+        let differ = TopologyDiffer::new(region, range, &deployment.positions);
+        let mut mc = McNet::with_defaults();
+        let mut node_of = Vec::with_capacity(n);
+        let mut build_reports = Vec::with_capacity(n);
+        for (i, groups) in groups_of.iter().enumerate() {
+            let earlier: Vec<NodeId> = differ
+                .neighbors_within(i)
+                .into_iter()
+                .filter(|&j| j < i)
+                .map(|j| node_of[j])
+                .collect();
+            if i > 0 && earlier.is_empty() {
+                return Err(MobilityError::DisconnectedArrival(i));
+            }
+            let rep = mc
+                .move_in(&earlier, groups)
+                .expect("replayed arrival hears only live nodes");
+            node_of.push(rep.node);
+            build_reports.push(rep);
+        }
+        Ok(Self {
+            mc,
+            differ,
+            model,
+            node_of,
+            groups_of,
+            dirty: BTreeSet::new(),
+            epoch: 0,
+            build_reports,
+        })
+    }
+
+    // ----- accessors ------------------------------------------------------
+
+    /// The live multicast structure.
+    pub fn mc(&self) -> &McNet {
+        &self.mc
+    }
+
+    /// The underlying cluster structure.
+    pub fn net(&self) -> &dsnet_cluster::ClusterNet {
+        self.mc.net()
+    }
+
+    /// Current structure id of logical node `u`.
+    pub fn node_of(&self, u: usize) -> NodeId {
+        self.node_of[u]
+    }
+
+    /// Number of (logical) nodes.
+    pub fn len(&self) -> usize {
+        self.node_of.len()
+    }
+
+    /// Whether the network has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.node_of.is_empty()
+    }
+
+    /// Epochs stepped so far.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Current geometric positions, by logical node.
+    pub fn positions(&self) -> &[Point2] {
+        self.differ.positions()
+    }
+
+    /// Logical nodes whose repair is currently deferred.
+    pub fn deferred(&self) -> Vec<usize> {
+        self.dirty.iter().copied().collect()
+    }
+
+    /// Move-in reports of the initial growth (one per arrival).
+    pub fn build_reports(&self) -> &[MoveInReport] {
+        &self.build_reports
+    }
+
+    /// Current positions indexed by **structure id** (`NodeId::index`),
+    /// sized to the graph's id capacity; tombstoned ids hold their last
+    /// owner's position and are never read by live-node consumers.
+    pub fn positions_by_node_id(&self) -> Vec<Point2> {
+        let mut out = vec![Point2::ORIGIN; self.mc.net().graph().capacity()];
+        for (u, &id) in self.node_of.iter().enumerate() {
+            out[id.index()] = self.differ.position(u);
+        }
+        out
+    }
+
+    /// Tear down into the structure and its id-indexed positions.
+    pub fn into_parts(self) -> (McNet, Vec<Point2>) {
+        let positions = self.positions_by_node_id();
+        (self.mc, positions)
+    }
+
+    // ----- the epoch loop -------------------------------------------------
+
+    /// Advance one epoch: move, diff, repair, measure.
+    pub fn step(&mut self, cfg: &MobilityConfig) -> Result<EpochRecord, MobilityError> {
+        let slots_before = self.slot_snapshot();
+
+        // (1) motion and (2) minimal edge events.
+        let moved = self.model.step();
+        let moves: Vec<(usize, Point2)> = moved
+            .iter()
+            .map(|&i| (i, self.model.positions()[i]))
+            .collect();
+        let events = self.differ.apply(&moves);
+        let (mut appeared, mut disappeared) = (0usize, 0usize);
+        for ev in &events {
+            if ev.up {
+                appeared += 1;
+            } else {
+                disappeared += 1;
+            }
+            self.dirty.insert(ev.a);
+            self.dirty.insert(ev.b);
+        }
+
+        // (3) repair pass over the dirty set, ascending logical order. A
+        // reconfiguration of `u` re-records *all* of `u`'s edges, so it
+        // also cleans the shared edge of any other dirty node.
+        let root_logical = 0usize;
+        let mut reconfigs = 0usize;
+        let mut rehomed = 0usize;
+        let mut move_out_rounds = 0u64;
+        let mut move_in_rounds = 0u64;
+        let mut still_dirty = BTreeSet::new();
+        for u in std::mem::take(&mut self.dirty) {
+            if u == root_logical {
+                // The sink never moves out; its edges are repaired from
+                // the other endpoint. Re-checked below.
+                still_dirty.insert(u);
+                continue;
+            }
+            let desired = self.desired_neighbors(u);
+            if desired == self.actual_neighbors(u) {
+                continue; // a peer's reconfiguration already fixed it
+            }
+            if desired.is_empty() {
+                still_dirty.insert(u); // isolated: nothing to re-attach to
+                continue;
+            }
+            if self.mc.net().can_move_out(self.node_of[u]).is_err() {
+                still_dirty.insert(u); // momentarily a cut vertex
+                continue;
+            }
+            let out = self
+                .mc
+                .move_out(self.node_of[u])
+                .expect("preconditions were previewed");
+            move_out_rounds += out.cost.total();
+            rehomed += out.rehomed.len();
+            // `desired` ids are still valid: re-homing preserves ids and
+            // only `u`'s own id was tombstoned.
+            let rep = self
+                .mc
+                .move_in(&desired, &self.groups_of[u])
+                .expect("desired neighbours are live attached nodes");
+            move_in_rounds += rep.cost.total();
+            self.node_of[u] = rep.node;
+            reconfigs += 1;
+        }
+        // Keep only the nodes that are genuinely still stale (a later
+        // peer's reconfiguration may have cleaned an earlier deferral).
+        for u in still_dirty {
+            if self.desired_neighbors(u) != self.actual_neighbors(u) {
+                self.dirty.insert(u);
+            }
+        }
+        let deferred = self.dirty.len();
+
+        self.epoch += 1;
+
+        // (4) measurements and invariant checks.
+        let slots_after = self.slot_snapshot();
+        let slot_churn = slots_before
+            .iter()
+            .zip(&slots_after)
+            .filter(|(a, b)| a != b)
+            .count();
+
+        if cfg.check_invariants {
+            if let Err(violations) = check_core(self.mc.net()) {
+                return Err(MobilityError::InvariantViolated {
+                    epoch: self.epoch - 1,
+                    detail: format!("{violations:?}"),
+                });
+            }
+            if let Err(detail) = self.mc.check_relay_consistency() {
+                return Err(MobilityError::InvariantViolated {
+                    epoch: self.epoch - 1,
+                    detail,
+                });
+            }
+        }
+
+        let broadcast = if cfg.broadcast_every > 0 && self.epoch.is_multiple_of(cfg.broadcast_every)
+        {
+            let outcome = run_improved(self.mc.net(), self.mc.net().root(), &RunConfig::default());
+            Some(BroadcastSample {
+                rounds: outcome.rounds as usize,
+                delivered: outcome.delivered,
+                targets: outcome.targets,
+            })
+        } else {
+            None
+        };
+
+        let net = self.mc.net();
+        Ok(EpochRecord {
+            epoch: self.epoch - 1,
+            moved: moves.len(),
+            edges_appeared: appeared,
+            edges_disappeared: disappeared,
+            reconfigs,
+            rehomed,
+            deferred,
+            move_out_rounds,
+            move_in_rounds,
+            slot_churn,
+            backbone: net.backbone_nodes().len(),
+            height: net.height() as usize,
+            delta_b: net.delta_b() as usize,
+            delta_l: net.delta_l() as usize,
+            broadcast,
+        })
+    }
+
+    /// Run `epochs` epochs and collect the full time series.
+    pub fn run(
+        &mut self,
+        epochs: u64,
+        cfg: &MobilityConfig,
+    ) -> Result<MobilityReport, MobilityError> {
+        let mut report = MobilityReport::default();
+        for _ in 0..epochs {
+            report.epochs.push(self.step(cfg)?);
+        }
+        Ok(report)
+    }
+
+    // ----- helpers --------------------------------------------------------
+
+    /// Structure ids geometrically in range of logical node `u`, sorted.
+    fn desired_neighbors(&self, u: usize) -> Vec<NodeId> {
+        let mut out: Vec<NodeId> = self
+            .differ
+            .neighbors_within(u)
+            .into_iter()
+            .map(|j| self.node_of[j])
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Structure ids the recorded graph links to logical node `u`, sorted.
+    fn actual_neighbors(&self, u: usize) -> Vec<NodeId> {
+        let mut out = self.mc.net().graph().neighbors(self.node_of[u]).to_vec();
+        out.sort_unstable();
+        out
+    }
+
+    /// Per-logical-node (b, l) slots, for churn accounting.
+    fn slot_snapshot(&self) -> Vec<(Option<u32>, Option<u32>)> {
+        let slots = self.mc.net().slots();
+        self.node_of
+            .iter()
+            .map(|&id| (slots.b(id), slots.l(id)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{RandomWaypoint, WaypointParams};
+    use dsnet_geom::{Deployment, DeploymentConfig};
+
+    fn deploy(n: usize, seed: u64) -> Deployment {
+        Deployment::generate(DeploymentConfig::paper_field(6.0, n, seed))
+    }
+
+    fn waypoint_net(n: usize, seed: u64) -> MobileNetwork {
+        let d = deploy(n, seed);
+        let model = RandomWaypoint::new(
+            d.positions.clone(),
+            d.config.region,
+            WaypointParams::default(),
+            seed ^ 0xABCD,
+        );
+        MobileNetwork::new(&d, Box::new(model)).unwrap()
+    }
+
+    #[test]
+    fn initial_structure_matches_deployment() {
+        let net = waypoint_net(60, 5);
+        assert_eq!(net.len(), 60);
+        assert_eq!(net.net().len(), 60);
+        check_core(net.net()).unwrap();
+        assert!(net.deferred().is_empty());
+        // Recorded graph matches the geometric graph exactly at epoch 0.
+        for u in 0..net.len() {
+            let desired = net.desired_neighbors(u);
+            let actual = net.actual_neighbors(u);
+            assert_eq!(desired, actual, "node {u} starts stale");
+        }
+    }
+
+    #[test]
+    fn epochs_are_deterministic() {
+        let mut a = waypoint_net(50, 8);
+        let mut b = waypoint_net(50, 8);
+        let cfg = MobilityConfig::default();
+        for _ in 0..30 {
+            assert_eq!(a.step(&cfg).unwrap(), b.step(&cfg).unwrap());
+        }
+        assert_eq!(a.positions(), b.positions());
+        assert_eq!(a.node_of, b.node_of);
+    }
+
+    #[test]
+    fn invariants_hold_throughout_motion() {
+        let mut net = waypoint_net(70, 3);
+        let cfg = MobilityConfig {
+            check_invariants: true,
+            broadcast_every: 10,
+        };
+        let report = net.run(60, &cfg).unwrap();
+        assert_eq!(report.epochs.len(), 60);
+        assert!(report.total_reconfigs() > 0, "motion caused no maintenance");
+        for sample in report.broadcast_samples() {
+            assert!(sample.targets > 0);
+        }
+    }
+
+    #[test]
+    fn structure_tracks_geometry_when_not_deferred() {
+        let mut net = waypoint_net(60, 14);
+        let cfg = MobilityConfig::default();
+        for _ in 0..40 {
+            net.step(&cfg).unwrap();
+            let deferred = net.deferred();
+            for u in 0..net.len() {
+                if deferred.contains(&u) || u == 0 {
+                    continue;
+                }
+                // Every non-deferred, non-root node's recorded edges can
+                // only disagree with geometry via an edge shared with a
+                // deferred node or the root.
+                let desired = net.desired_neighbors(u);
+                let actual = net.actual_neighbors(u);
+                let blamable: Vec<NodeId> = deferred
+                    .iter()
+                    .map(|&v| net.node_of(v))
+                    .chain(std::iter::once(net.node_of(0)))
+                    .collect();
+                for id in desired.iter().filter(|id| !actual.contains(id)) {
+                    assert!(blamable.contains(id), "unexplained missing edge at {u}");
+                }
+                for id in actual.iter().filter(|id| !desired.contains(id)) {
+                    assert!(blamable.contains(id), "unexplained stale edge at {u}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn groups_survive_reconfiguration() {
+        let d = deploy(40, 21);
+        let groups: Vec<Vec<GroupId>> = (0..40).map(|i| vec![(i % 3) as GroupId]).collect();
+        let model = RandomWaypoint::new(
+            d.positions.clone(),
+            d.config.region,
+            WaypointParams::default(),
+            99,
+        );
+        let mut net = MobileNetwork::with_groups(&d, Box::new(model), groups).unwrap();
+        let cfg = MobilityConfig::default();
+        let report = net.run(30, &cfg).unwrap();
+        assert!(report.total_reconfigs() > 0);
+        for u in 0..net.len() {
+            assert_eq!(
+                net.mc().group_list(net.node_of(u)),
+                &[(u % 3) as GroupId],
+                "node {u} lost its groups"
+            );
+        }
+        net.mc().check_relay_consistency().unwrap();
+    }
+
+    #[test]
+    fn mismatched_model_is_rejected() {
+        let d = deploy(10, 2);
+        let model = RandomWaypoint::new(
+            d.positions[..5].to_vec(),
+            d.config.region,
+            WaypointParams::default(),
+            1,
+        );
+        assert!(matches!(
+            MobileNetwork::new(&d, Box::new(model)),
+            Err(MobilityError::ModelMismatch(_))
+        ));
+    }
+}

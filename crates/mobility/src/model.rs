@@ -1,0 +1,376 @@
+//! Seedable trajectory models stepped in discrete epochs.
+//!
+//! Time is quantised into *epochs* — the granularity at which the
+//! maintenance driver observes positions and repairs the structure — so a
+//! model's only job is to advance every node by one epoch and say which
+//! nodes moved. Speeds are therefore expressed in **field units per
+//! epoch** (the paper's radio range is 0.5 units).
+//!
+//! Both models are pure functions of their seed: equal seeds replay equal
+//! trajectories, node by node, epoch by epoch. All randomness comes from
+//! one [`rng_from_seed`] stream consumed in node-index order.
+
+use dsnet_geom::rng::{rng_from_seed, Rng};
+use dsnet_geom::{Point2, Region};
+use rand::Rng as _;
+
+/// A trajectory model: owns every node's position and advances them all
+/// by one epoch at a time.
+pub trait MobilityModel {
+    /// Current positions, indexed by node (stable across epochs).
+    fn positions(&self) -> &[Point2];
+
+    /// Advance one epoch. Returns the indices of the nodes whose position
+    /// changed, in ascending order.
+    fn step(&mut self) -> Vec<usize>;
+
+    /// The bounded field the nodes roam.
+    fn region(&self) -> Region;
+}
+
+/// Parameters of the [`RandomWaypoint`] model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WaypointParams {
+    /// Minimum trip speed in units/epoch. Must be positive: a zero lower
+    /// bound makes the stationary speed distribution degenerate (the
+    /// classic random-waypoint speed-decay pathology).
+    pub v_min: f64,
+    /// Maximum trip speed in units/epoch.
+    pub v_max: f64,
+    /// Epochs a node rests after reaching its waypoint.
+    pub pause_epochs: u32,
+}
+
+impl Default for WaypointParams {
+    fn default() -> Self {
+        Self {
+            v_min: 0.02,
+            v_max: 0.08,
+            pause_epochs: 2,
+        }
+    }
+}
+
+/// The random-waypoint model: each node picks a uniform destination in
+/// the field and a uniform trip speed, walks straight to it, pauses, and
+/// repeats.
+#[derive(Debug, Clone)]
+pub struct RandomWaypoint {
+    region: Region,
+    params: WaypointParams,
+    positions: Vec<Point2>,
+    waypoints: Vec<Point2>,
+    speeds: Vec<f64>,
+    pause_left: Vec<u32>,
+    rng: Rng,
+}
+
+impl RandomWaypoint {
+    /// A model starting from `initial` positions inside `region`.
+    pub fn new(initial: Vec<Point2>, region: Region, params: WaypointParams, seed: u64) -> Self {
+        assert!(params.v_min > 0.0, "v_min must be positive");
+        assert!(params.v_max >= params.v_min, "v_max must be ≥ v_min");
+        let mut rng = rng_from_seed(seed);
+        let n = initial.len();
+        let mut waypoints = Vec::with_capacity(n);
+        let mut speeds = Vec::with_capacity(n);
+        for _ in 0..n {
+            waypoints.push(uniform_point(region, &mut rng));
+            speeds.push(rng.random_range(params.v_min..=params.v_max));
+        }
+        Self {
+            region,
+            params,
+            positions: initial,
+            waypoints,
+            speeds,
+            pause_left: vec![0; n],
+            rng,
+        }
+    }
+}
+
+impl MobilityModel for RandomWaypoint {
+    fn positions(&self) -> &[Point2] {
+        &self.positions
+    }
+
+    fn region(&self) -> Region {
+        self.region
+    }
+
+    fn step(&mut self) -> Vec<usize> {
+        let mut moved = Vec::new();
+        for i in 0..self.positions.len() {
+            if self.pause_left[i] > 0 {
+                self.pause_left[i] -= 1;
+                continue;
+            }
+            let p = self.positions[i];
+            let to = self.waypoints[i];
+            let dist = p.dist(to);
+            if dist <= self.speeds[i] {
+                // Arrive exactly on the waypoint, rest, plan the next trip.
+                if dist > 1e-12 {
+                    self.positions[i] = to;
+                    moved.push(i);
+                }
+                self.pause_left[i] = self.params.pause_epochs;
+                self.waypoints[i] = uniform_point(self.region, &mut self.rng);
+                self.speeds[i] = self.rng.random_range(self.params.v_min..=self.params.v_max);
+            } else {
+                let f = self.speeds[i] / dist;
+                self.positions[i] = Point2::new(p.x + (to.x - p.x) * f, p.y + (to.y - p.y) * f);
+                moved.push(i);
+            }
+        }
+        moved
+    }
+}
+
+/// Parameters of the [`GaussMarkov`] model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GaussMarkovParams {
+    /// RMS per-axis velocity in units/epoch (the long-run speed scale).
+    pub mean_speed: f64,
+    /// Temporal correlation `α ∈ [0, 1)`: 0 is a memoryless random walk,
+    /// values near 1 give smooth, inertia-heavy trajectories.
+    pub memory: f64,
+}
+
+impl Default for GaussMarkovParams {
+    fn default() -> Self {
+        Self {
+            mean_speed: 0.05,
+            memory: 0.75,
+        }
+    }
+}
+
+/// The Gauss-Markov model: each velocity component follows the AR(1)
+/// process `v ← α·v + σ·√(1−α²)·w` with unit-variance innovations `w`
+/// (uniform, not Gaussian — the build has no normal sampler, and only the
+/// first two moments matter here), reflecting off the field boundary.
+#[derive(Debug, Clone)]
+pub struct GaussMarkov {
+    region: Region,
+    params: GaussMarkovParams,
+    positions: Vec<Point2>,
+    velocities: Vec<(f64, f64)>,
+    rng: Rng,
+}
+
+impl GaussMarkov {
+    /// A model starting from `initial` positions inside `region`, with
+    /// velocities drawn from the stationary distribution.
+    pub fn new(initial: Vec<Point2>, region: Region, params: GaussMarkovParams, seed: u64) -> Self {
+        assert!(
+            (0.0..1.0).contains(&params.memory),
+            "memory must be in [0, 1)"
+        );
+        assert!(params.mean_speed >= 0.0, "mean_speed must be non-negative");
+        let mut rng = rng_from_seed(seed);
+        let velocities = (0..initial.len())
+            .map(|_| {
+                (
+                    params.mean_speed * unit_innovation(&mut rng),
+                    params.mean_speed * unit_innovation(&mut rng),
+                )
+            })
+            .collect();
+        Self {
+            region,
+            params,
+            positions: initial,
+            velocities,
+            rng,
+        }
+    }
+}
+
+impl MobilityModel for GaussMarkov {
+    fn positions(&self) -> &[Point2] {
+        &self.positions
+    }
+
+    fn region(&self) -> Region {
+        self.region
+    }
+
+    fn step(&mut self) -> Vec<usize> {
+        let a = self.params.memory;
+        let sigma = self.params.mean_speed * (1.0 - a * a).sqrt();
+        let (w, h) = (self.region.width(), self.region.height());
+        let mut moved = Vec::new();
+        for i in 0..self.positions.len() {
+            let (mut vx, mut vy) = self.velocities[i];
+            vx = a * vx + sigma * unit_innovation(&mut self.rng);
+            vy = a * vy + sigma * unit_innovation(&mut self.rng);
+            let p = self.positions[i];
+            let (mut x, mut y) = (p.x + vx, p.y + vy);
+            if x < 0.0 {
+                x = -x;
+                vx = -vx;
+            } else if x > w {
+                x = 2.0 * w - x;
+                vx = -vx;
+            }
+            if y < 0.0 {
+                y = -y;
+                vy = -vy;
+            } else if y > h {
+                y = 2.0 * h - y;
+                vy = -vy;
+            }
+            let q = self.region.clamp(Point2::new(x, y));
+            self.velocities[i] = (vx, vy);
+            if q.dist_sq(p) > 0.0 {
+                self.positions[i] = q;
+                moved.push(i);
+            }
+        }
+        moved
+    }
+}
+
+fn uniform_point(region: Region, rng: &mut Rng) -> Point2 {
+    Point2::new(
+        rng.random_range(0.0..=region.width()),
+        rng.random_range(0.0..=region.height()),
+    )
+}
+
+/// A zero-mean, unit-variance innovation: uniform on `[-√3, √3]`.
+fn unit_innovation(rng: &mut Rng) -> f64 {
+    const SQRT3: f64 = 1.732_050_807_568_877_2;
+    rng.random_range(-SQRT3..=SQRT3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn start(n: usize) -> Vec<Point2> {
+        (0..n)
+            .map(|i| Point2::new(1.0 + 0.1 * i as f64, 2.0))
+            .collect()
+    }
+
+    #[test]
+    fn waypoint_walks_are_deterministic_and_bounded() {
+        let region = Region::square(6.0);
+        let mut a = RandomWaypoint::new(start(20), region, WaypointParams::default(), 9);
+        let mut b = RandomWaypoint::new(start(20), region, WaypointParams::default(), 9);
+        for _ in 0..50 {
+            assert_eq!(a.step(), b.step());
+            assert_eq!(a.positions(), b.positions());
+            assert!(a.positions().iter().all(|&p| region.contains(p)));
+        }
+    }
+
+    #[test]
+    fn waypoint_step_displacement_is_speed_limited() {
+        let region = Region::square(6.0);
+        let params = WaypointParams {
+            v_min: 0.03,
+            v_max: 0.07,
+            pause_epochs: 1,
+        };
+        let mut m = RandomWaypoint::new(start(15), region, params, 4);
+        for _ in 0..80 {
+            let before = m.positions().to_vec();
+            let moved = m.step();
+            for (i, (&p, &q)) in before.iter().zip(m.positions()).enumerate() {
+                assert!(p.dist(q) <= params.v_max + 1e-9, "node {i} overshot");
+                if !moved.contains(&i) {
+                    assert_eq!(p, q, "unmoved node {i} drifted");
+                }
+            }
+            // Moved list is ascending and exactly the changed nodes.
+            assert!(moved.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    fn waypoint_nodes_pause_on_arrival() {
+        let region = Region::square(4.0);
+        let params = WaypointParams {
+            v_min: 1.0,
+            v_max: 1.0,
+            pause_epochs: 3,
+        };
+        // Speed 1 on a 4×4 field: every trip ends within a few epochs, so
+        // pauses must show up as epochs where some node doesn't move.
+        let mut m = RandomWaypoint::new(start(5), region, params, 7);
+        let mut paused_epochs = 0;
+        for _ in 0..40 {
+            if m.step().len() < 5 {
+                paused_epochs += 1;
+            }
+        }
+        assert!(paused_epochs > 0, "no node ever paused");
+    }
+
+    #[test]
+    fn gauss_markov_is_deterministic_and_bounded() {
+        let region = Region::square(5.0);
+        let mut a = GaussMarkov::new(start(20), region, GaussMarkovParams::default(), 3);
+        let mut b = GaussMarkov::new(start(20), region, GaussMarkovParams::default(), 3);
+        for _ in 0..100 {
+            assert_eq!(a.step(), b.step());
+            assert_eq!(a.positions(), b.positions());
+            assert!(a.positions().iter().all(|&p| region.contains(p)));
+        }
+    }
+
+    #[test]
+    fn gauss_markov_memory_smooths_direction() {
+        // With high memory, consecutive displacements correlate: the mean
+        // dot product of successive steps is positive.
+        let region = Region::square(20.0);
+        let params = GaussMarkovParams {
+            mean_speed: 0.05,
+            memory: 0.9,
+        };
+        let init: Vec<Point2> = (0..10).map(|i| Point2::new(10.0, 5.0 + i as f64)).collect();
+        let mut m = GaussMarkov::new(init, region, params, 11);
+        let mut prev = m.positions().to_vec();
+        let mut prev_step: Vec<(f64, f64)> = vec![(0.0, 0.0); 10];
+        let mut dot_sum = 0.0;
+        let mut count = 0;
+        for epoch in 0..200 {
+            m.step();
+            for i in 0..10 {
+                let d = (
+                    m.positions()[i].x - prev[i].x,
+                    m.positions()[i].y - prev[i].y,
+                );
+                if epoch > 0 {
+                    dot_sum += d.0 * prev_step[i].0 + d.1 * prev_step[i].1;
+                    count += 1;
+                }
+                prev_step[i] = d;
+            }
+            prev = m.positions().to_vec();
+        }
+        assert!(
+            dot_sum / count as f64 > 0.0,
+            "high-memory walk should keep its heading on average"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "v_min must be positive")]
+    fn zero_v_min_is_rejected() {
+        let _ = RandomWaypoint::new(
+            start(2),
+            Region::square(4.0),
+            WaypointParams {
+                v_min: 0.0,
+                v_max: 0.1,
+                pause_epochs: 0,
+            },
+            1,
+        );
+    }
+}

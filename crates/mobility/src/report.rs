@@ -1,0 +1,174 @@
+//! Per-epoch measurements of a mobile run.
+
+/// Outcome of one mid-motion broadcast probe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BroadcastSample {
+    /// Rounds until the protocol stopped.
+    pub rounds: usize,
+    /// Nodes that received the message.
+    pub delivered: usize,
+    /// Nodes that should have received it.
+    pub targets: usize,
+}
+
+impl BroadcastSample {
+    /// Whether the probe reached every target.
+    pub fn completed(&self) -> bool {
+        self.delivered == self.targets
+    }
+}
+
+/// What one epoch of motion did to the structure.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EpochRecord {
+    /// Epoch number, starting at 0.
+    pub epoch: u64,
+    /// Nodes whose position changed this epoch.
+    pub moved: usize,
+    /// Communication edges that appeared.
+    pub edges_appeared: usize,
+    /// Communication edges that disappeared.
+    pub edges_disappeared: usize,
+    /// Nodes reconfigured via `move_out` + `move_in`.
+    pub reconfigs: usize,
+    /// Nodes re-homed as a side effect of some neighbour's `move_out`.
+    pub rehomed: usize,
+    /// Dirty nodes whose repair was deferred to a later epoch (isolated,
+    /// or momentarily a cut vertex of the structure).
+    pub deferred: usize,
+    /// Total protocol rounds spent on `move_out` operations.
+    pub move_out_rounds: u64,
+    /// Total protocol rounds spent on `move_in` operations.
+    pub move_in_rounds: u64,
+    /// Nodes whose (b, l) slot assignment changed this epoch.
+    pub slot_churn: usize,
+    /// Backbone size (cluster heads + gateways) after the epoch.
+    pub backbone: usize,
+    /// Tree height after the epoch.
+    pub height: usize,
+    /// Network-wide `Δb` after the epoch.
+    pub delta_b: usize,
+    /// Network-wide `Δl` after the epoch.
+    pub delta_l: usize,
+    /// Broadcast probe, when this epoch sampled one.
+    pub broadcast: Option<BroadcastSample>,
+}
+
+/// The full time series of a mobile run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MobilityReport {
+    /// One record per epoch, in order.
+    pub epochs: Vec<EpochRecord>,
+}
+
+impl MobilityReport {
+    /// Total structure reconfigurations across the run.
+    pub fn total_reconfigs(&self) -> u64 {
+        self.epochs.iter().map(|e| e.reconfigs as u64).sum()
+    }
+
+    /// Total slot-assignment changes across the run.
+    pub fn total_slot_churn(&self) -> u64 {
+        self.epochs.iter().map(|e| e.slot_churn as u64).sum()
+    }
+
+    /// Total nodes re-homed by neighbours' departures across the run.
+    pub fn total_rehomed(&self) -> u64 {
+        self.epochs.iter().map(|e| e.rehomed as u64).sum()
+    }
+
+    /// Total maintenance rounds (move-out + move-in) across the run.
+    pub fn total_maintenance_rounds(&self) -> u64 {
+        self.epochs
+            .iter()
+            .map(|e| e.move_out_rounds + e.move_in_rounds)
+            .sum()
+    }
+
+    /// Total edge events (appearances + disappearances) across the run.
+    pub fn total_edge_events(&self) -> u64 {
+        self.epochs
+            .iter()
+            .map(|e| (e.edges_appeared + e.edges_disappeared) as u64)
+            .sum()
+    }
+
+    /// Mean backbone size over the run, or 0 for an empty run.
+    pub fn mean_backbone(&self) -> f64 {
+        if self.epochs.is_empty() {
+            return 0.0;
+        }
+        self.epochs.iter().map(|e| e.backbone as f64).sum::<f64>() / self.epochs.len() as f64
+    }
+
+    /// All broadcast probes taken during the run, in epoch order.
+    pub fn broadcast_samples(&self) -> Vec<BroadcastSample> {
+        self.epochs.iter().filter_map(|e| e.broadcast).collect()
+    }
+
+    /// Mean rounds of the broadcast probes, or `None` if none were taken.
+    pub fn mean_broadcast_rounds(&self) -> Option<f64> {
+        let samples = self.broadcast_samples();
+        if samples.is_empty() {
+            return None;
+        }
+        Some(samples.iter().map(|s| s.rounds as f64).sum::<f64>() / samples.len() as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(epoch: u64, reconfigs: usize, slot_churn: usize) -> EpochRecord {
+        EpochRecord {
+            epoch,
+            moved: 10,
+            edges_appeared: 2,
+            edges_disappeared: 1,
+            reconfigs,
+            rehomed: 1,
+            deferred: 0,
+            move_out_rounds: 4,
+            move_in_rounds: 6,
+            slot_churn,
+            backbone: 20,
+            height: 5,
+            delta_b: 3,
+            delta_l: 4,
+            broadcast: None,
+        }
+    }
+
+    #[test]
+    fn totals_and_means_aggregate_epochs() {
+        let mut report = MobilityReport::default();
+        report.epochs.push(rec(0, 3, 7));
+        report.epochs.push(EpochRecord {
+            broadcast: Some(BroadcastSample {
+                rounds: 12,
+                delivered: 99,
+                targets: 99,
+            }),
+            ..rec(1, 2, 5)
+        });
+        assert_eq!(report.total_reconfigs(), 5);
+        assert_eq!(report.total_slot_churn(), 12);
+        assert_eq!(report.total_rehomed(), 2);
+        assert_eq!(report.total_maintenance_rounds(), 20);
+        assert_eq!(report.total_edge_events(), 6);
+        assert_eq!(report.mean_backbone(), 20.0);
+        let samples = report.broadcast_samples();
+        assert_eq!(samples.len(), 1);
+        assert!(samples[0].completed());
+        assert_eq!(report.mean_broadcast_rounds(), Some(12.0));
+    }
+
+    #[test]
+    fn empty_report_is_well_behaved() {
+        let report = MobilityReport::default();
+        assert_eq!(report.total_reconfigs(), 0);
+        assert_eq!(report.mean_backbone(), 0.0);
+        assert_eq!(report.mean_broadcast_rounds(), None);
+    }
+}

@@ -1,0 +1,166 @@
+//! Acceptance tests of the mobility subsystem: the differ against a full
+//! per-epoch rebuild, and the paper's invariants under long mobile runs.
+
+use dsnet_geom::{Deployment, DeploymentConfig, Point2};
+use dsnet_mobility::{
+    GaussMarkov, GaussMarkovParams, MobileNetwork, MobilityConfig, MobilityModel, RandomWaypoint,
+    TopologyDiffer, WaypointParams,
+};
+use std::collections::BTreeSet;
+
+fn unit_disk_edges(pts: &[Point2], range: f64) -> BTreeSet<(usize, usize)> {
+    let mut out = BTreeSet::new();
+    for i in 0..pts.len() {
+        for j in (i + 1)..pts.len() {
+            if pts[i].dist_sq(pts[j]) <= range * range {
+                out.insert((i, j));
+            }
+        }
+    }
+    out
+}
+
+/// Drive `model` for `epochs` epochs and assert after each one that the
+/// differ's event stream, folded into an edge set, equals a full O(n²)
+/// rebuild from the current positions.
+fn assert_differ_tracks_rebuild(mut model: Box<dyn MobilityModel>, range: f64, epochs: usize) {
+    let region = model.region();
+    let mut differ = TopologyDiffer::new(region, range, model.positions());
+    let mut edges = unit_disk_edges(model.positions(), range);
+    for epoch in 0..epochs {
+        let moved = model.step();
+        let moves: Vec<(usize, Point2)> =
+            moved.iter().map(|&i| (i, model.positions()[i])).collect();
+        for ev in differ.apply(&moves) {
+            if ev.up {
+                assert!(
+                    edges.insert((ev.a, ev.b)),
+                    "epoch {epoch}: appear event for an edge already present"
+                );
+            } else {
+                assert!(
+                    edges.remove(&(ev.a, ev.b)),
+                    "epoch {epoch}: disappear event for an absent edge"
+                );
+            }
+        }
+        assert_eq!(
+            edges,
+            unit_disk_edges(model.positions(), range),
+            "epoch {epoch}: differ diverged from the full rebuild"
+        );
+    }
+}
+
+#[test]
+fn differ_matches_full_rebuild_under_random_waypoint() {
+    for seed in [1u64, 7, 42] {
+        let d = Deployment::generate(DeploymentConfig::paper_field(8.0, 90, seed));
+        let model = RandomWaypoint::new(
+            d.positions.clone(),
+            d.config.region,
+            WaypointParams {
+                v_min: 0.05,
+                v_max: 0.25,
+                pause_epochs: 1,
+            },
+            seed ^ 0x5EED,
+        );
+        assert_differ_tracks_rebuild(Box::new(model), d.config.range, 80);
+    }
+}
+
+#[test]
+fn differ_matches_full_rebuild_under_gauss_markov() {
+    for seed in [3u64, 19] {
+        let d = Deployment::generate(DeploymentConfig::paper_field(8.0, 90, seed));
+        let model = GaussMarkov::new(
+            d.positions.clone(),
+            d.config.region,
+            GaussMarkovParams {
+                mean_speed: 0.15,
+                memory: 0.6,
+            },
+            seed ^ 0x6A55,
+        );
+        assert_differ_tracks_rebuild(Box::new(model), d.config.range, 80);
+    }
+}
+
+#[test]
+fn invariants_hold_over_200_epoch_random_waypoint_run() {
+    let d = Deployment::generate(DeploymentConfig::paper_field(10.0, 120, 2007));
+    let model = RandomWaypoint::new(
+        d.positions.clone(),
+        d.config.region,
+        WaypointParams {
+            v_min: 0.02,
+            v_max: 0.10,
+            pause_epochs: 2,
+        },
+        0xD15C,
+    );
+    let mut net = MobileNetwork::new(&d, Box::new(model)).unwrap();
+    let cfg = MobilityConfig {
+        check_invariants: true, // check_core + relay consistency every epoch
+        broadcast_every: 25,
+    };
+    let report = net.run(200, &cfg).unwrap();
+    assert_eq!(report.epochs.len(), 200);
+    assert!(
+        report.total_reconfigs() > 50,
+        "200 epochs of motion should exercise maintenance heavily, got {}",
+        report.total_reconfigs()
+    );
+    // Broadcast probes taken mid-motion all ran on a valid structure.
+    let samples = report.broadcast_samples();
+    assert_eq!(samples.len(), 8);
+    for s in &samples {
+        assert!(s.targets > 0 && s.delivered > 0);
+    }
+    // The structure never leaks nodes: every logical node stays attached.
+    assert_eq!(net.net().len(), 120);
+}
+
+#[test]
+fn campaign_artifacts_with_mobility_axis_are_byte_identical_across_threads() {
+    use dsnet_campaign::{render_csv, render_json, render_trials_csv, CampaignSpec, MobilitySpec};
+
+    let mut spec = CampaignSpec::new("mobility-determinism");
+    spec.ns = vec![40];
+    spec.reps = 2;
+    spec.mobility = vec![
+        MobilitySpec::None,
+        MobilitySpec::random_waypoint(0.05, 12, 2),
+        MobilitySpec::gauss_markov(0.04, 12),
+    ];
+    let serial = dsnet::campaign::run(&spec, 1, None);
+    let parallel = dsnet::campaign::run(&spec, 2, None);
+    assert_eq!(serial.records, parallel.records);
+    assert_eq!(render_json(&serial, true), render_json(&parallel, true));
+    assert_eq!(render_csv(&serial), render_csv(&parallel));
+    assert_eq!(render_trials_csv(&serial), render_trials_csv(&parallel));
+    // Mobile cells actually measured maintenance (the axis is live).
+    assert!(serial
+        .records
+        .iter()
+        .any(|r| r.reconfigs.is_some_and(|c| c > 0)));
+}
+
+#[test]
+fn invariants_hold_under_gauss_markov_motion() {
+    let d = Deployment::generate(DeploymentConfig::paper_field(10.0, 100, 77));
+    let model = GaussMarkov::new(
+        d.positions.clone(),
+        d.config.region,
+        GaussMarkovParams {
+            mean_speed: 0.06,
+            memory: 0.8,
+        },
+        0xBEEF,
+    );
+    let mut net = MobileNetwork::new(&d, Box::new(model)).unwrap();
+    let report = net.run(120, &MobilityConfig::default()).unwrap();
+    assert!(report.total_reconfigs() > 0);
+    assert_eq!(net.net().len(), 100);
+}

@@ -92,6 +92,54 @@ proptest! {
     }
 
     #[test]
+    fn move_out_move_in_cycles_preserve_invariants(
+        grow in prop::collection::vec(step_strategy(), 8..30),
+        cycles in prop::collection::vec(any::<u16>(), 1..25),
+    ) {
+        // The mobility maintenance driver's core cycle: a node withdraws
+        // via node-move-out and immediately re-joins hearing whatever is
+        // left of its old neighbourhood (its fresh id stands in for the
+        // same physical sensor at a new position). Arbitrary interleavings
+        // of that cycle must preserve every invariant — including when the
+        // re-join lands next to nodes the departure itself re-homed.
+        let mut net = ClusterNet::new(ParentRule::LowestId, SlotMode::Strict);
+        net.move_in(&[]).unwrap();
+        for step in &grow {
+            apply(&mut net, step);
+        }
+        for &pick in &cycles {
+            let nodes = attached(&net);
+            if nodes.len() <= 2 {
+                break;
+            }
+            let victim = nodes[pick as usize % nodes.len()];
+            let old_nbrs: Vec<NodeId> = net.graph().neighbors(victim).to_vec();
+            if net.move_out(victim).is_err() {
+                continue; // root / cut vertex: refusal is part of the contract
+            }
+            // Re-insert hearing the surviving old neighbourhood; if the
+            // departure orphaned all of it, fall back to any attached node.
+            let alive: Vec<NodeId> = old_nbrs
+                .into_iter()
+                .filter(|&u| net.tree().contains(u))
+                .collect();
+            let nbrs = if alive.is_empty() {
+                vec![attached(&net)[0]]
+            } else {
+                alive
+            };
+            net.move_in(&nbrs).unwrap();
+            invariants::check_core(&net).map_err(|v| {
+                TestCaseError::fail(format!("after cycling {victim:?}: {v:?}"))
+            })?;
+        }
+        let violations = validate_condition2(&net.view(), net.slots(), SlotMode::Strict);
+        prop_assert!(violations.is_empty(), "{violations:?}");
+        let out = run_improved(&net, net.root(), &RunConfig::default());
+        prop_assert_eq!(out.delivered, out.targets);
+    }
+
+    #[test]
     fn parent_rules_both_stay_sound(steps in prop::collection::vec(step_strategy(), 1..40)) {
         for rule in [ParentRule::LowestId, ParentRule::HighestDegree] {
             let mut net = ClusterNet::new(rule, SlotMode::Strict);

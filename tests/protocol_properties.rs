@@ -193,3 +193,49 @@ proptest! {
         }
     }
 }
+
+/// Regression pin for the documented k=1 behaviour above: on a fixed
+/// deployment, improved CFF on a single channel records a *positive*
+/// benign collision count (leaves listening through the shared phase-2
+/// window) while still delivering everywhere, and the same network on
+/// k=2 channels is fully collision-free. If a future slot or runner
+/// change silently alters either side of this contrast, this fails.
+#[test]
+fn improved_cff_k1_leaf_window_collisions_are_benign_and_pinned() {
+    let net = dsnet::NetworkBuilder::paper_field(10.0, 60, 1)
+        .build()
+        .unwrap();
+    let sink = net.sink();
+
+    let k1 = net.broadcast_from(
+        dsnet::Protocol::ImprovedCff,
+        sink,
+        &RunConfig {
+            channels: 1,
+            ..Default::default()
+        },
+    );
+    assert!(k1.completed(), "k=1: {}/{}", k1.delivered, k1.targets);
+    let collisions = k1.collisions.expect("trace records collisions");
+    assert!(
+        collisions > 0,
+        "k=1 improved CFF on this deployment is expected to observe \
+         benign leaf-window collisions; observing none means the slot \
+         construction changed (update the documented contract if so)"
+    );
+
+    let k2 = net.broadcast_from(
+        dsnet::Protocol::ImprovedCff,
+        sink,
+        &RunConfig {
+            channels: 2,
+            ..Default::default()
+        },
+    );
+    assert!(k2.completed());
+    assert_eq!(
+        k2.collisions,
+        Some(0),
+        "k=2 designates one phase-2 slot per leaf — collision-free"
+    );
+}

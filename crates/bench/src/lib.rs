@@ -6,6 +6,8 @@
 //! `figures` binary (`cargo run -p dsnet-bench --release --bin figures`)
 //! prints the actual paper tables.
 
+pub mod perf;
+
 use dsnet::experiments::SweepConfig;
 
 /// The sweep used inside Criterion benches: small enough to iterate, large

@@ -107,6 +107,10 @@ pub struct ClusterNet {
     slots: SlotTable,
     rule: ParentRule,
     mode: SlotMode,
+    /// Monotonic counter bumped on every structural mutation (move-in,
+    /// move-out, repair, slot rewrites). Caches keyed on this value are
+    /// guaranteed stale-free: equal versions imply an identical structure.
+    version: u64,
 }
 
 impl ClusterNet {
@@ -119,6 +123,7 @@ impl ClusterNet {
             slots: SlotTable::default(),
             rule,
             mode,
+            version: 0,
         }
     }
 
@@ -163,6 +168,17 @@ impl ClusterNet {
     /// The current TDM slot table.
     pub fn slots(&self) -> &SlotTable {
         &self.slots
+    }
+
+    /// The structure version: a monotonic counter bumped on every mutation
+    /// of the graph, tree, statuses or slot table (churn, move-out, repair,
+    /// mobility maintenance). Two reads returning the same value are
+    /// guaranteed to have observed byte-identical structure, so derived
+    /// artifacts (e.g. knowledge snapshots) may be cached keyed on it.
+    /// Over-bumping is legal (a bump without an actual change only costs a
+    /// cache miss); missing a mutation is not.
+    pub fn structure_version(&self) -> u64 {
+        self.version
     }
 
     /// The interference model the slots are maintained under.
@@ -264,6 +280,7 @@ impl ClusterNet {
                 return Err(MoveInError::FirstNodeTakesNoNeighbors);
             }
             let root = self.graph.add_node();
+            self.version += 1;
             self.ensure_status_capacity();
             self.status[root.index()] = NodeStatus::ClusterHead;
             self.tree = Some(RootedTree::new(root));
@@ -294,6 +311,9 @@ impl ClusterNet {
     pub(crate) fn move_in_existing(&mut self, new: NodeId) -> Result<MoveInReport, MoveInError> {
         debug_assert!(self.graph.is_live(new));
         debug_assert!(!self.tree().contains(new));
+        // Bump up-front: callers (move_in, move-out re-homing) have already
+        // mutated the graph by the time we run, and over-bumping is legal.
+        self.version += 1;
         self.ensure_status_capacity();
 
         // U: attached neighbours, i.e. nodes of the current CNet that the
@@ -426,15 +446,22 @@ impl ClusterNet {
 
     // ----- crate-internal mutators used by node-move-out -------------------
 
+    // Every mutable accessor bumps the structure version pessimistically:
+    // callers hold the returned borrow precisely because they intend to
+    // mutate, and an unused bump only costs a downstream cache miss.
+
     pub(crate) fn graph_mut(&mut self) -> &mut Graph {
+        self.version += 1;
         &mut self.graph
     }
 
     pub(crate) fn tree_mut(&mut self) -> &mut RootedTree {
+        self.version += 1;
         self.tree.as_mut().expect("cluster net is empty")
     }
 
     pub(crate) fn slots_mut(&mut self) -> &mut SlotTable {
+        self.version += 1;
         &mut self.slots
     }
 
@@ -443,6 +470,7 @@ impl ClusterNet {
     pub(crate) fn split_for_slots(
         &mut self,
     ) -> (&Graph, &RootedTree, &[NodeStatus], &mut SlotTable) {
+        self.version += 1;
         (
             &self.graph,
             self.tree.as_ref().expect("cluster net is empty"),
@@ -674,6 +702,26 @@ mod tests {
         assert_eq!(net.graph().edge_count(), g.edge_count());
         let violations = validate_condition2(&net.view(), net.slots(), net.mode());
         assert!(violations.is_empty());
+    }
+
+    #[test]
+    fn structure_version_bumps_on_every_mutation() {
+        let mut net = ClusterNet::with_defaults();
+        let v0 = net.structure_version();
+        net.move_in(&[]).unwrap();
+        let v1 = net.structure_version();
+        assert!(v1 > v0, "root insertion must bump the version");
+        net.move_in(&[NodeId(0)]).unwrap();
+        let v2 = net.structure_version();
+        assert!(v2 > v1, "move-in must bump the version");
+        // Failed move-ins may or may not bump (over-bumping is legal), but
+        // must never *decrease* the version.
+        let _ = net.move_in(&[NodeId(9)]);
+        assert!(net.structure_version() >= v2);
+        // Crate-internal mutable access bumps pessimistically.
+        let before = net.structure_version();
+        let _ = net.slots_mut();
+        assert!(net.structure_version() > before);
     }
 
     #[test]

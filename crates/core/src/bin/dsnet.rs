@@ -12,6 +12,8 @@
 //!                 [--loss none,p0.05] [--repair off,on] \
 //!                 [--mobility none,rwp0.05x20p2,gm0.05x20] [--retries R] \
 //!                 [--threads T] [--json FILE] [--csv FILE] [--trials] [--quiet]
+//! dsnet perf      [--quick] [--threads T] [--out BENCH.json] [--date YYYY-MM-DD] \
+//!                 [--compare BASELINE.json] [--max-regress 0.15] [--quiet]
 //! ```
 //!
 //! Every command is deterministic per `--seed`; `campaign` artifacts are
@@ -56,6 +58,11 @@ struct Args {
     trials: bool,
     no_trace: bool,
     quiet: bool,
+    // perf-only
+    quick: bool,
+    date: Option<String>,
+    compare: Option<String>,
+    max_regress: f64,
 }
 
 impl Default for Args {
@@ -87,13 +94,17 @@ impl Default for Args {
             trials: false,
             no_trace: false,
             quiet: false,
+            quick: false,
+            date: None,
+            compare: None,
+            max_regress: 0.15,
         }
     }
 }
 
 fn usage() -> ! {
     eprintln!(
-        "usage: dsnet <stats|broadcast|multicast|churn|render|campaign> \
+        "usage: dsnet <stats|broadcast|multicast|churn|render|campaign|perf> \
          [--nodes N] [--seed S] [--field SIDE] [--protocol cff|cff1|rcff|dfo] \
          [--channels K] [--source ID] [--density P] [--reliable] \
          [--loss none|p<P>] [--retries R] [--epochs E] [--out FILE]\n\
@@ -102,7 +113,9 @@ fn usage() -> ! {
          [--churn none|j<J>l<L>,..] [--loss none,p<P>,..] [--repair off,on] \
          [--mobility none|rwp<V>x<E>p<P>|gm<V>x<E>,..] \
          [--retries R] [--threads T] [--json FILE] [--csv FILE] \
-         [--trials] [--no-trace] [--quiet]"
+         [--trials] [--no-trace] [--quiet]\n\
+         perf: dsnet perf [--quick] [--threads T] [--out FILE] [--date YYYY-MM-DD] \
+         [--compare BASELINE.json] [--max-regress F] [--quiet]"
     );
     std::process::exit(2);
 }
@@ -158,6 +171,10 @@ fn parse() -> (String, Args) {
             "--trials" => a.trials = true,
             "--no-trace" => a.no_trace = true,
             "--quiet" => a.quiet = true,
+            "--quick" => a.quick = true,
+            "--date" => a.date = Some(val()),
+            "--compare" => a.compare = Some(val()),
+            "--max-regress" => a.max_regress = val().parse().unwrap_or_else(|_| usage()),
             _ => usage(),
         }
     }
@@ -238,6 +255,66 @@ fn run_campaign_cmd(a: &Args) {
             let tdoc = render_trials_csv(&result);
             std::fs::write(&tpath, &tdoc).expect("write trials CSV artifact");
             println!("wrote {tpath} ({} bytes)", tdoc.len());
+        }
+    }
+}
+
+fn run_perf_cmd(a: &Args) {
+    use dsnet::perf;
+    let opts = perf::PerfOptions {
+        quick: a.quick,
+        threads: a.threads,
+        date: a.date.clone(),
+    };
+    let ledger = perf::run_suite(&opts);
+    if !a.quiet {
+        eprintln!(
+            "dsnet perf{} on {} thread(s), peak RSS {} KiB",
+            if a.quick { " --quick" } else { "" },
+            if a.threads == 0 {
+                "auto".into()
+            } else {
+                a.threads.to_string()
+            },
+            ledger.peak_rss_kb
+        );
+        for s in &ledger.scenarios {
+            eprintln!(
+                "  {:<20} {:>4} n × {:>3} reps  {:>9} rounds  {:>8.1} ms  {:>10.0} rounds/s",
+                s.name, s.nodes, s.reps, s.rounds, s.wall_ms, s.rounds_per_sec
+            );
+        }
+    }
+    // `--out` doubles as the render command's SVG path; its default is
+    // not a ledger name, so treat it as unset here.
+    let out = if a.out == "network.svg" {
+        format!("BENCH_{}.json", ledger.date)
+    } else {
+        a.out.clone()
+    };
+    let doc = perf::render_ledger(&ledger, true);
+    std::fs::write(&out, &doc).expect("write perf ledger");
+    println!("wrote {out} ({} bytes)", doc.len());
+    if let Some(baseline_path) = &a.compare {
+        let baseline = std::fs::read_to_string(baseline_path).unwrap_or_else(|e| {
+            eprintln!("cannot read baseline {baseline_path}: {e}");
+            std::process::exit(2);
+        });
+        let cmp = perf::compare(&baseline, &ledger, a.max_regress);
+        for note in &cmp.notes {
+            println!("  {note}");
+        }
+        if cmp.passed() {
+            println!(
+                "perf gate PASSED vs {baseline_path} (max regression {:.0}%)",
+                a.max_regress * 100.0
+            );
+        } else {
+            for f in &cmp.failures {
+                eprintln!("FAIL: {f}");
+            }
+            eprintln!("perf gate FAILED vs {baseline_path}");
+            std::process::exit(1);
         }
     }
 }
@@ -356,6 +433,7 @@ fn main() {
             println!("wrote {} ({} bytes)", a.out, svg.len());
         }
         "campaign" => run_campaign_cmd(&a),
+        "perf" => run_perf_cmd(&a),
         _ => usage(),
     }
 }

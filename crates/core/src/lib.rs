@@ -49,6 +49,7 @@ pub mod campaign;
 pub mod experiments;
 pub mod multinet;
 pub mod network;
+pub mod perf;
 pub mod viz;
 
 pub use builder::{BuildError, GroupPlan, NetworkBuilder};

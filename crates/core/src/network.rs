@@ -7,7 +7,9 @@ use dsnet_cluster::repair::{RepairConfig, RepairError, RepairReport};
 use dsnet_cluster::{ClusterNet, GroupId, McNet, MoveInReport};
 use dsnet_geom::{Deployment, Point2};
 use dsnet_graph::{degree, NodeId};
+use dsnet_protocols::knowledge::KnowledgeCache;
 use dsnet_protocols::runner::{self, BroadcastOutcome, RunConfig};
+use dsnet_radio::Trace;
 
 /// Which broadcast protocol to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -62,6 +64,10 @@ pub struct SensorNetwork {
     positions: Vec<Point2>,
     mc: McNet,
     build_reports: Vec<MoveInReport>,
+    /// Version-keyed knowledge snapshot shared by every protocol run over
+    /// an unchanged structure; invalidated automatically (by structure
+    /// version) whenever churn, repair or mobility mutates the CNet.
+    knowledge: KnowledgeCache,
 }
 
 impl SensorNetwork {
@@ -76,6 +82,7 @@ impl SensorNetwork {
             positions,
             mc,
             build_reports,
+            knowledge: KnowledgeCache::new(),
         }
     }
 
@@ -93,6 +100,7 @@ impl SensorNetwork {
             positions,
             mc,
             build_reports,
+            knowledge: KnowledgeCache::new(),
         }
     }
 
@@ -174,17 +182,42 @@ impl SensorNetwork {
     }
 
     /// Broadcast from an arbitrary source with custom settings.
+    ///
+    /// The knowledge snapshot feeding the run is served by the network's
+    /// version-keyed [`KnowledgeCache`]: repeated broadcasts over an
+    /// unchanged structure skip the (dominant) snapshot rebuild, while any
+    /// structural mutation invalidates the cache automatically.
     pub fn broadcast_from(
         &self,
         protocol: Protocol,
         source: NodeId,
         cfg: &RunConfig,
     ) -> BroadcastOutcome {
+        let k = self.knowledge.get(self.net());
         match protocol {
-            Protocol::Dfo => runner::run_dfo(self.net(), source, cfg),
-            Protocol::BasicCff => runner::run_cff_basic(self.net(), source, cfg),
-            Protocol::ImprovedCff => runner::run_improved(self.net(), source, cfg),
-            Protocol::ReliableCff => runner::run_cff_reliable(self.net(), source, cfg),
+            Protocol::Dfo => runner::run_dfo_with(self.net(), &k, source, cfg),
+            Protocol::BasicCff => runner::run_cff_basic_with(self.net(), &k, source, cfg),
+            Protocol::ImprovedCff => runner::run_improved_with(self.net(), &k, source, cfg),
+            Protocol::ReliableCff => runner::run_cff_reliable_with(self.net(), &k, source, cfg),
+        }
+    }
+
+    /// [`Self::broadcast_from`], additionally returning the run's event
+    /// trace — including any diagnostic warnings (e.g. the benign k=1
+    /// leaf-window collision note), which travel on the trace instead of
+    /// stderr.
+    pub fn broadcast_traced(
+        &self,
+        protocol: Protocol,
+        source: NodeId,
+        cfg: &RunConfig,
+    ) -> (BroadcastOutcome, Trace) {
+        let k = self.knowledge.get(self.net());
+        match protocol {
+            Protocol::Dfo => runner::run_dfo_traced(self.net(), &k, source, cfg),
+            Protocol::BasicCff => runner::run_cff_basic_traced(self.net(), &k, source, cfg),
+            Protocol::ImprovedCff => runner::run_improved_traced(self.net(), &k, source, cfg),
+            Protocol::ReliableCff => runner::run_cff_reliable_traced(self.net(), &k, source, cfg),
         }
     }
 
@@ -194,13 +227,16 @@ impl SensorNetwork {
     }
 
     /// Multicast to `group` from an arbitrary source with custom settings.
+    /// The base knowledge snapshot comes from the network's cache (group
+    /// relay tables are applied on top per call).
     pub fn multicast_from(
         &self,
         group: GroupId,
         source: NodeId,
         cfg: &RunConfig,
     ) -> BroadcastOutcome {
-        runner::run_multicast(&self.mc, source, group, cfg)
+        let k = self.knowledge.get(self.net());
+        runner::run_multicast_with(&self.mc, &k, source, group, cfg)
     }
 
     // ----- dynamics ---------------------------------------------------------

@@ -1,0 +1,653 @@
+//! The `dsnet perf` benchmark suite and its deterministic ledger.
+//!
+//! Runs a fixed set of seeded scenarios over the hot simulation paths and
+//! writes a JSON *ledger* (`BENCH_<date>.json`) with one entry per
+//! scenario.  Every entry carries two kinds of fields:
+//!
+//! * **deterministic counters** — `nodes`, `reps`, `rounds`, `delivered`,
+//!   `targets`.  These are pure functions of the seeds and must be
+//!   byte-identical across machines and `--threads` values; CI compares
+//!   them exactly against the committed baseline.
+//! * **timing fields** — `wall_ms`, `rounds_per_sec`, `peak_rss_kb` (and
+//!   the top-level `threads`).  These vary by machine; CI only checks
+//!   that `rounds_per_sec` has not regressed by more than the configured
+//!   fraction against the committed baseline (which assumes comparable
+//!   runners — see DESIGN.md §11).
+//!
+//! [`render_ledger`] can omit the timing fields entirely
+//! (`include_timing = false`), which is how the thread-count determinism
+//! pin works: two `dsnet perf --quick` runs on 1 and 2 threads must
+//! render identically modulo timing.
+
+use crate::campaign;
+use crate::campaign_engine::{
+    CampaignSpec, ChurnTemplate, FailureTemplate, LossSpec, MobilitySpec, ProtocolSpec,
+};
+use crate::protocols::runner::RunConfig;
+use crate::{NetworkBuilder, Protocol};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Options for a perf-suite run.
+#[derive(Debug, Clone, Default)]
+pub struct PerfOptions {
+    /// Shrink every scenario (fewer nodes, reps, epochs) so the whole
+    /// suite finishes in a few seconds.  Quick ledgers are only
+    /// comparable to other quick ledgers.
+    pub quick: bool,
+    /// Worker threads for the campaign-driven scenarios (0 = available
+    /// parallelism).  Changes timing only, never counters.
+    pub threads: usize,
+    /// Override the ledger date (`YYYY-MM-DD`); defaults to today (UTC).
+    pub date: Option<String>,
+}
+
+/// One benchmark scenario's measurements.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioResult {
+    /// Stable scenario name (ledger key).
+    pub name: &'static str,
+    /// Deployment size (largest `n` the scenario simulates).
+    pub nodes: u64,
+    /// Repetitions (broadcast runs or campaign trials) performed.
+    pub reps: u64,
+    /// Total simulated rounds across all repetitions (deterministic).
+    pub rounds: u64,
+    /// Total targets delivered across all repetitions (deterministic).
+    pub delivered: u64,
+    /// Total intended receivers across all repetitions (deterministic).
+    pub targets: u64,
+    /// Wall-clock for the scenario, milliseconds (timing).
+    pub wall_ms: f64,
+    /// Simulated rounds per wall-clock second (timing).
+    pub rounds_per_sec: f64,
+}
+
+/// A full perf-suite run: header plus one [`ScenarioResult`] per scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Ledger {
+    /// Ledger schema identifier (bumped on incompatible format changes).
+    pub schema: &'static str,
+    /// Civil date of the run, `YYYY-MM-DD` (UTC).
+    pub date: String,
+    /// Whether the suite ran with `--quick` sizes.
+    pub quick: bool,
+    /// Worker threads used for campaign-driven scenarios (timing).
+    pub threads: usize,
+    /// Peak resident set of the process, KiB (timing; 0 if unknown).
+    pub peak_rss_kb: u64,
+    /// Scenario measurements, in fixed suite order.
+    pub scenarios: Vec<ScenarioResult>,
+}
+
+/// Current ledger schema identifier.
+pub const SCHEMA: &str = "dsnet-bench-ledger/1";
+
+/// Run the full fixed suite and return the ledger.
+///
+/// Scenario roster (full / `--quick` sizes):
+///
+/// | name | what it exercises | full | quick |
+/// |---|---|---|---|
+/// | `static_cff` | engine inner loop + knowledge cache, improved CFF | 500 n × 1200 reps | 120 n × 20 reps |
+/// | `static_dfo` | DFO token walk on the same deployment | 500 n × 60 reps | 120 n × 5 reps |
+/// | `lossy_rcff_repair` | reliable CFF, 10% loss, backbone failure + repair, via the campaign engine | 150 n × 150 reps | 50 n × 2 reps |
+/// | `mobility_100ep` | random-waypoint motion + live maintenance, via the campaign engine | 120 n × 3 reps × 100 epochs | 40 n × 2 reps × 10 epochs |
+pub fn run_suite(opts: &PerfOptions) -> Ledger {
+    let scenarios = vec![
+        run_static(opts, "static_cff", Protocol::ImprovedCff),
+        run_static(opts, "static_dfo", Protocol::Dfo),
+        run_lossy_rcff_repair(opts),
+        run_mobility(opts),
+    ];
+    Ledger {
+        schema: SCHEMA,
+        date: opts.date.clone().unwrap_or_else(today_utc),
+        quick: opts.quick,
+        threads: opts.threads,
+        peak_rss_kb: peak_rss_kb(),
+        scenarios,
+    }
+}
+
+/// Static deployment, repeated sink broadcasts with a warm knowledge
+/// cache — the tentpole hot path.
+fn run_static(opts: &PerfOptions, name: &'static str, protocol: Protocol) -> ScenarioResult {
+    let nodes = if opts.quick { 120 } else { 500 };
+    // Full-suite reps are sized so each scenario runs long enough
+    // (≳100 ms) that the CI regression gate is not dominated by timer
+    // noise.
+    let reps: u64 = match (name, opts.quick) {
+        ("static_cff", false) => 1200,
+        ("static_cff", true) => 20,
+        (_, false) => 60,
+        (_, true) => 5,
+    };
+    let net = NetworkBuilder::paper_field(10.0, nodes, 7)
+        .build()
+        .expect("incremental deployments always build");
+    let cfg = RunConfig {
+        record_trace: false,
+        ..RunConfig::default()
+    };
+    let sink = net.sink();
+    best_of(name, nodes as u64, reps, passes(opts), || {
+        let (mut rounds, mut delivered, mut targets) = (0u64, 0u64, 0u64);
+        for _ in 0..reps {
+            let out = net.broadcast_from(protocol, sink, &cfg);
+            rounds += out.rounds;
+            delivered += out.delivered as u64;
+            targets += out.targets as u64;
+        }
+        (rounds, delivered, targets)
+    })
+}
+
+/// Reliable CFF under 10% loss with a backbone fail-stop and repair on,
+/// run through the campaign engine so `--threads` exercises real
+/// parallelism.
+fn run_lossy_rcff_repair(opts: &PerfOptions) -> ScenarioResult {
+    let (n, reps) = if opts.quick { (50, 2) } else { (150, 150) };
+    let spec = CampaignSpec {
+        name: "perf-lossy".into(),
+        field_side: 10.0,
+        ns: vec![n],
+        reps,
+        base_seed: 7,
+        protocols: vec![ProtocolSpec::ReliableCff],
+        channels: vec![1],
+        failures: vec![FailureTemplate::Backbone { count: 1, round: 1 }],
+        churn: vec![ChurnTemplate::default()],
+        losses: vec![LossSpec::from_probability(0.1)],
+        repair: vec![true],
+        mobility: vec![MobilitySpec::None],
+        max_retries: 3,
+        record_trace: false,
+    };
+    run_campaign_scenario("lossy_rcff_repair", n as u64, &spec, opts)
+}
+
+/// Random-waypoint mobility (100 epochs full, 10 quick) followed by an
+/// improved-CFF broadcast, through the campaign engine.
+fn run_mobility(opts: &PerfOptions) -> ScenarioResult {
+    let (n, reps, epochs) = if opts.quick {
+        (40, 2, 10)
+    } else {
+        (120, 3, 100)
+    };
+    let spec = CampaignSpec {
+        name: "perf-mobility".into(),
+        field_side: 10.0,
+        ns: vec![n],
+        reps,
+        base_seed: 7,
+        protocols: vec![ProtocolSpec::ImprovedCff],
+        channels: vec![1],
+        failures: vec![FailureTemplate::None],
+        churn: vec![ChurnTemplate::default()],
+        losses: vec![LossSpec::none()],
+        repair: vec![false],
+        mobility: vec![MobilitySpec::RandomWaypoint {
+            speed_milli: 50,
+            pause: 2,
+            epochs,
+        }],
+        max_retries: 2,
+        record_trace: false,
+    };
+    run_campaign_scenario("mobility_100ep", n as u64, &spec, opts)
+}
+
+fn run_campaign_scenario(
+    name: &'static str,
+    nodes: u64,
+    spec: &CampaignSpec,
+    opts: &PerfOptions,
+) -> ScenarioResult {
+    let mut reps = 0;
+    let r = best_of(name, nodes, 0, passes(opts), || {
+        let result = campaign::run(spec, opts.threads, None);
+        reps = result.records.len() as u64;
+        let (mut rounds, mut delivered, mut targets) = (0u64, 0u64, 0u64);
+        for rec in &result.records {
+            rounds += rec.rounds;
+            delivered += rec.delivered;
+            targets += rec.targets;
+        }
+        (rounds, delivered, targets)
+    });
+    ScenarioResult { reps, ..r }
+}
+
+/// Timing passes per scenario. Full runs time best-of-5: the minimum
+/// wall-clock is far more stable under scheduler/frequency noise than a
+/// single sample, which matters for a committed 15% regression gate.
+/// Quick runs take one pass — they exist for the determinism pin, not
+/// for timing.
+fn passes(opts: &PerfOptions) -> u32 {
+    if opts.quick {
+        1
+    } else {
+        5
+    }
+}
+
+/// Run the workload `passes` times, assert the deterministic counters
+/// never drift between passes, and keep the fastest wall-clock.
+fn best_of(
+    name: &'static str,
+    nodes: u64,
+    reps: u64,
+    passes: u32,
+    mut work: impl FnMut() -> (u64, u64, u64),
+) -> ScenarioResult {
+    let mut counters = None;
+    let mut best = f64::INFINITY;
+    for _ in 0..passes {
+        let start = Instant::now();
+        let c = work();
+        let secs = start.elapsed().as_secs_f64();
+        match counters {
+            None => counters = Some(c),
+            Some(prev) => assert_eq!(
+                prev, c,
+                "{name}: deterministic counters drifted between timing passes"
+            ),
+        }
+        if secs < best {
+            best = secs;
+        }
+    }
+    let (rounds, delivered, targets) = counters.expect("at least one pass");
+    ScenarioResult {
+        name,
+        nodes,
+        reps,
+        rounds,
+        delivered,
+        targets,
+        wall_ms: best * 1e3,
+        rounds_per_sec: if best > 0.0 {
+            rounds as f64 / best
+        } else {
+            0.0
+        },
+    }
+}
+
+/// Render the ledger as pretty-printed JSON (one key per line, stable
+/// order).  With `include_timing = false` the machine-dependent fields
+/// (`threads`, `peak_rss_kb`, `wall_ms`, `rounds_per_sec`) are omitted —
+/// the remainder must be byte-identical for any `--threads` value.
+pub fn render_ledger(l: &Ledger, include_timing: bool) -> String {
+    let mut s = String::with_capacity(1024);
+    s.push_str("{\n");
+    let _ = writeln!(s, "  \"schema\": \"{}\",", l.schema);
+    let _ = writeln!(s, "  \"date\": \"{}\",", l.date);
+    let _ = writeln!(s, "  \"quick\": {},", l.quick);
+    if include_timing {
+        let _ = writeln!(s, "  \"threads\": {},", l.threads);
+        let _ = writeln!(s, "  \"peak_rss_kb\": {},", l.peak_rss_kb);
+    }
+    s.push_str("  \"scenarios\": [\n");
+    for (i, sc) in l.scenarios.iter().enumerate() {
+        s.push_str("    {\n");
+        let _ = writeln!(s, "      \"name\": \"{}\",", sc.name);
+        let _ = writeln!(s, "      \"nodes\": {},", sc.nodes);
+        let _ = writeln!(s, "      \"reps\": {},", sc.reps);
+        let _ = writeln!(s, "      \"rounds\": {},", sc.rounds);
+        let _ = writeln!(s, "      \"delivered\": {},", sc.delivered);
+        if include_timing {
+            let _ = writeln!(s, "      \"targets\": {},", sc.targets);
+            let _ = writeln!(s, "      \"wall_ms\": {:.3},", sc.wall_ms);
+            let _ = writeln!(s, "      \"rounds_per_sec\": {:.1}", sc.rounds_per_sec);
+        } else {
+            let _ = writeln!(s, "      \"targets\": {}", sc.targets);
+        }
+        s.push_str(if i + 1 < l.scenarios.len() {
+            "    },\n"
+        } else {
+            "    }\n"
+        });
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+/// Outcome of comparing a fresh ledger against a committed baseline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Comparison {
+    /// Human-readable per-scenario notes (always populated).
+    pub notes: Vec<String>,
+    /// Failures: counter mismatches or throughput regressions beyond the
+    /// allowed fraction.  Empty means the gate passes.
+    pub failures: Vec<String>,
+}
+
+impl Comparison {
+    /// Whether the regression gate passes.
+    pub fn passed(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+/// Compare a freshly-run [`Ledger`] against a committed baseline (the
+/// JSON produced by [`render_ledger`] with timing included).
+///
+/// Deterministic counters must match *exactly* — any drift means the
+/// simulation changed behaviour, which is a correctness regression no
+/// matter how fast it runs.  `rounds_per_sec` may drift downward by at
+/// most `max_regress` (e.g. `0.15` = 15%); improvements always pass.
+pub fn compare(baseline_json: &str, fresh: &Ledger, max_regress: f64) -> Comparison {
+    let mut notes = Vec::new();
+    let mut failures = Vec::new();
+    let base = match parse_ledger(baseline_json) {
+        Some(b) => b,
+        None => {
+            failures.push("baseline is not a recognisable dsnet-bench ledger".into());
+            return Comparison { notes, failures };
+        }
+    };
+    if base.schema != fresh.schema {
+        failures.push(format!(
+            "schema mismatch: baseline {} vs fresh {}",
+            base.schema, fresh.schema
+        ));
+    }
+    if base.quick != fresh.quick {
+        failures.push(format!(
+            "suite-size mismatch: baseline quick={} vs fresh quick={} (only like-for-like ledgers compare)",
+            base.quick, fresh.quick
+        ));
+        return Comparison { notes, failures };
+    }
+    for sc in &fresh.scenarios {
+        let Some(b) = base.scenarios.iter().find(|b| b.name == sc.name) else {
+            failures.push(format!("scenario {} missing from baseline", sc.name));
+            continue;
+        };
+        for (field, got, want) in [
+            ("nodes", sc.nodes, b.nodes),
+            ("reps", sc.reps, b.reps),
+            ("rounds", sc.rounds, b.rounds),
+            ("delivered", sc.delivered, b.delivered),
+            ("targets", sc.targets, b.targets),
+        ] {
+            if got != want {
+                failures.push(format!(
+                    "{}: deterministic counter `{field}` drifted: baseline {want}, fresh {got}",
+                    sc.name
+                ));
+            }
+        }
+        if b.rounds_per_sec > 0.0 {
+            let ratio = sc.rounds_per_sec / b.rounds_per_sec;
+            notes.push(format!(
+                "{}: {:.0} rounds/s vs baseline {:.0} ({:+.1}%)",
+                sc.name,
+                sc.rounds_per_sec,
+                b.rounds_per_sec,
+                (ratio - 1.0) * 100.0
+            ));
+            if ratio < 1.0 - max_regress {
+                failures.push(format!(
+                    "{}: throughput regressed {:.1}% (limit {:.0}%): {:.0} rounds/s vs baseline {:.0}",
+                    sc.name,
+                    (1.0 - ratio) * 100.0,
+                    max_regress * 100.0,
+                    sc.rounds_per_sec,
+                    b.rounds_per_sec
+                ));
+            }
+        }
+    }
+    for b in &base.scenarios {
+        if !fresh.scenarios.iter().any(|sc| sc.name == b.name) {
+            failures.push(format!("scenario {} missing from fresh run", b.name));
+        }
+    }
+    Comparison { notes, failures }
+}
+
+/// Parsed baseline (owned strings; timing may be absent → 0).
+#[derive(Debug, Default)]
+struct ParsedLedger {
+    schema: String,
+    quick: bool,
+    scenarios: Vec<ParsedScenario>,
+}
+
+#[derive(Debug, Default)]
+struct ParsedScenario {
+    name: String,
+    nodes: u64,
+    reps: u64,
+    rounds: u64,
+    delivered: u64,
+    targets: u64,
+    rounds_per_sec: f64,
+}
+
+/// Minimal line-oriented parser for the exact shape [`render_ledger`]
+/// emits (one `"key": value` pair per line).  Not a general JSON parser.
+fn parse_ledger(doc: &str) -> Option<ParsedLedger> {
+    let mut out = ParsedLedger::default();
+    let mut current: Option<ParsedScenario> = None;
+    for line in doc.lines() {
+        let line = line.trim().trim_end_matches(',');
+        let Some((key, value)) = line.split_once(':') else {
+            if line == "}" {
+                if let Some(sc) = current.take() {
+                    out.scenarios.push(sc);
+                }
+            }
+            continue;
+        };
+        let key = key.trim().trim_matches('"');
+        let value = value.trim();
+        let string_value = value.trim_matches('"');
+        match (key, &mut current) {
+            ("schema", None) => out.schema = string_value.into(),
+            ("quick", None) => out.quick = value == "true",
+            ("name", _) => {
+                if let Some(sc) = current.take() {
+                    out.scenarios.push(sc);
+                }
+                current = Some(ParsedScenario {
+                    name: string_value.into(),
+                    ..ParsedScenario::default()
+                });
+            }
+            ("nodes", Some(sc)) => sc.nodes = value.parse().ok()?,
+            ("reps", Some(sc)) => sc.reps = value.parse().ok()?,
+            ("rounds", Some(sc)) => sc.rounds = value.parse().ok()?,
+            ("delivered", Some(sc)) => sc.delivered = value.parse().ok()?,
+            ("targets", Some(sc)) => sc.targets = value.parse().ok()?,
+            ("rounds_per_sec", Some(sc)) => sc.rounds_per_sec = value.parse().ok()?,
+            _ => {}
+        }
+    }
+    if let Some(sc) = current.take() {
+        out.scenarios.push(sc);
+    }
+    if out.schema.is_empty() || out.scenarios.is_empty() {
+        return None;
+    }
+    Some(out)
+}
+
+/// Today's civil date in UTC as `YYYY-MM-DD`, derived from the system
+/// clock (no external time crates).
+pub fn today_utc() -> String {
+    let secs = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let (y, m, d) = civil_from_days((secs / 86_400) as i64);
+    format!("{y:04}-{m:02}-{d:02}")
+}
+
+/// Days-since-epoch → (year, month, day), Gregorian (Hinnant's
+/// `civil_from_days`).
+fn civil_from_days(z: i64) -> (i64, u32, u32) {
+    let z = z + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097);
+    let yoe = (doe - doe / 1_460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = (doy - (153 * mp + 2) / 5 + 1) as u32;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 } as u32;
+    (if m <= 2 { y + 1 } else { y }, m, d)
+}
+
+/// Peak resident set size of this process in KiB, from
+/// `/proc/self/status` (`VmHWM`); 0 where procfs is unavailable.
+pub fn peak_rss_kb() -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    status
+        .lines()
+        .find_map(|l| l.strip_prefix("VmHWM:"))
+        .and_then(|v| v.trim().trim_end_matches("kB").trim().parse().ok())
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_ledger() -> Ledger {
+        Ledger {
+            schema: SCHEMA,
+            date: "2026-08-07".into(),
+            quick: true,
+            threads: 2,
+            peak_rss_kb: 4096,
+            scenarios: vec![
+                ScenarioResult {
+                    name: "static_cff",
+                    nodes: 120,
+                    reps: 20,
+                    rounds: 1_000,
+                    delivered: 2_380,
+                    targets: 2_380,
+                    wall_ms: 12.5,
+                    rounds_per_sec: 80_000.0,
+                },
+                ScenarioResult {
+                    name: "static_dfo",
+                    nodes: 120,
+                    reps: 5,
+                    rounds: 3_000,
+                    delivered: 595,
+                    targets: 595,
+                    wall_ms: 30.0,
+                    rounds_per_sec: 100_000.0,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn render_roundtrips_through_parse() {
+        let l = sample_ledger();
+        let doc = render_ledger(&l, true);
+        let p = parse_ledger(&doc).expect("self-rendered ledger parses");
+        assert_eq!(p.schema, SCHEMA);
+        assert!(p.quick);
+        assert_eq!(p.scenarios.len(), 2);
+        assert_eq!(p.scenarios[0].name, "static_cff");
+        assert_eq!(p.scenarios[0].rounds, 1_000);
+        assert_eq!(p.scenarios[1].targets, 595);
+        assert!((p.scenarios[1].rounds_per_sec - 100_000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn render_without_timing_omits_machine_fields() {
+        let doc = render_ledger(&sample_ledger(), false);
+        for field in ["threads", "peak_rss_kb", "wall_ms", "rounds_per_sec"] {
+            assert!(
+                !doc.contains(field),
+                "{field} leaked into timing-free render"
+            );
+        }
+        assert!(doc.contains("\"rounds\": 1000"));
+    }
+
+    #[test]
+    fn compare_passes_on_identical_ledger() {
+        let l = sample_ledger();
+        let doc = render_ledger(&l, true);
+        let c = compare(&doc, &l, 0.15);
+        assert!(c.passed(), "failures: {:?}", c.failures);
+        assert_eq!(c.notes.len(), 2);
+    }
+
+    #[test]
+    fn compare_fails_on_counter_drift_and_regression() {
+        let base = sample_ledger();
+        let doc = render_ledger(&base, true);
+
+        let mut drifted = base.clone();
+        drifted.scenarios[0].rounds += 1;
+        let c = compare(&doc, &drifted, 0.15);
+        assert!(!c.passed());
+        assert!(c.failures[0].contains("rounds"), "{:?}", c.failures);
+
+        let mut slow = base.clone();
+        slow.scenarios[1].rounds_per_sec = 50_000.0; // −50%
+        let c = compare(&doc, &slow, 0.15);
+        assert!(!c.passed());
+        assert!(
+            c.failures.iter().any(|f| f.contains("regressed")),
+            "{:?}",
+            c.failures
+        );
+
+        // A 10% dip stays inside the 15% budget.
+        let mut ok = base.clone();
+        ok.scenarios[1].rounds_per_sec = 90_000.0;
+        assert!(compare(&doc, &ok, 0.15).passed());
+
+        // Improvements always pass.
+        let mut fast = base;
+        fast.scenarios[0].rounds_per_sec = 200_000.0;
+        assert!(compare(&doc, &fast, 0.15).passed());
+    }
+
+    #[test]
+    fn compare_rejects_quick_vs_full() {
+        let quick = sample_ledger();
+        let doc = render_ledger(&quick, true);
+        let mut full = quick.clone();
+        full.quick = false;
+        let c = compare(&doc, &full, 0.15);
+        assert!(c.failures.iter().any(|f| f.contains("suite-size")));
+    }
+
+    #[test]
+    fn civil_date_is_gregorian() {
+        assert_eq!(civil_from_days(0), (1970, 1, 1));
+        assert_eq!(civil_from_days(19_723), (2024, 1, 1)); // leap year start
+        assert_eq!(civil_from_days(20_672), (2026, 8, 7));
+    }
+
+    #[test]
+    fn quick_suite_counters_are_thread_invariant() {
+        let a = run_suite(&PerfOptions {
+            quick: true,
+            threads: 1,
+            date: Some("2026-01-01".into()),
+        });
+        let b = run_suite(&PerfOptions {
+            quick: true,
+            threads: 2,
+            date: Some("2026-01-01".into()),
+        });
+        assert_eq!(render_ledger(&a, false), render_ledger(&b, false));
+        assert!(a.scenarios.iter().all(|s| s.rounds > 0 && s.targets > 0));
+    }
+}

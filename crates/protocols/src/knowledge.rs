@@ -19,9 +19,10 @@ use dsnet_cluster::slots::validate::{assign_flood_slots, flood_transmitters};
 use dsnet_cluster::{ClusterNet, NodeStatus};
 use dsnet_graph::NodeId;
 use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
 
 /// Everything one node knows before a broadcast session starts.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct NodeKnowledge {
     /// The node's own id.
     pub id: NodeId,
@@ -55,7 +56,7 @@ pub struct NodeKnowledge {
 
 /// Network-wide constants of a session (what the paper stores at the root
 /// and ships inside the first packet).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct NetKnowledge {
     /// Per-node knowledge, indexed by id (`None` off-structure).
     pub per_node: Vec<Option<NodeKnowledge>>,
@@ -106,7 +107,21 @@ pub fn build_session_knowledge(
     session_slots: &dsnet_cluster::SlotTable,
     tx: &dyn Fn(NodeId) -> bool,
 ) -> NetKnowledge {
-    let mut k = build_knowledge(net);
+    build_session_knowledge_from(net, build_knowledge(net), session_slots, tx)
+}
+
+/// Like [`build_session_knowledge`], but starting from an already-built
+/// base snapshot of the same `net` (e.g. one served by a
+/// [`KnowledgeCache`]) instead of rebuilding it — the session rewrite
+/// only touches slots and expected slots, so the expensive base pass can
+/// be amortised across sessions.
+pub fn build_session_knowledge_from(
+    net: &ClusterNet,
+    base: NetKnowledge,
+    session_slots: &dsnet_cluster::SlotTable,
+    tx: &dyn Fn(NodeId) -> bool,
+) -> NetKnowledge {
+    let mut k = base;
     let view = net.view();
     let tree = net.tree();
     let mode = net.mode();
@@ -220,6 +235,60 @@ pub fn build_knowledge(net: &ClusterNet) -> NetKnowledge {
     }
 }
 
+/// A version-keyed cache for [`NetKnowledge`] snapshots.
+///
+/// `build_knowledge` is the dominant per-broadcast cost on static
+/// networks (it re-derives flood slots, expected receiver slots and
+/// backbone facts from scratch). The cache keys one snapshot on
+/// [`ClusterNet::structure_version`]: repeated broadcasts over an
+/// unchanged structure reuse the `Arc`ed snapshot, while *any* mutation
+/// (churn, move-out, repair, mobility maintenance) bumps the version and
+/// forces a rebuild on next access. Correctness leans only on the
+/// version contract — equal versions imply identical structure — so the
+/// cached path is observably indistinguishable from rebuilding every
+/// time (see `tests/cache_equivalence.rs`).
+#[derive(Debug, Default)]
+pub struct KnowledgeCache {
+    slot: Mutex<Option<(u64, Arc<NetKnowledge>)>>,
+}
+
+impl KnowledgeCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The knowledge snapshot for `net`'s current structure — served from
+    /// cache when the structure version matches, rebuilt otherwise.
+    pub fn get(&self, net: &ClusterNet) -> Arc<NetKnowledge> {
+        let version = net.structure_version();
+        let mut slot = self.slot.lock().expect("knowledge cache poisoned");
+        if let Some((v, k)) = slot.as_ref() {
+            if *v == version {
+                return Arc::clone(k);
+            }
+        }
+        let k = Arc::new(build_knowledge(net));
+        *slot = Some((version, Arc::clone(&k)));
+        k
+    }
+
+    /// Drop any cached snapshot (the next [`KnowledgeCache::get`]
+    /// rebuilds). Never needed for correctness — the version key already
+    /// invalidates — but lets callers release memory early.
+    pub fn clear(&self) {
+        *self.slot.lock().expect("knowledge cache poisoned") = None;
+    }
+}
+
+impl Clone for KnowledgeCache {
+    fn clone(&self) -> Self {
+        Self {
+            slot: Mutex::new(self.slot.lock().expect("knowledge cache poisoned").clone()),
+        }
+    }
+}
+
 /// Knowledge plus the session parameters a run is configured with.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Session {
@@ -326,6 +395,45 @@ mod tests {
             Session::new(&k, deep, 1).offset,
             net.tree().depth(deep) as u64
         );
+    }
+
+    #[test]
+    fn cache_hits_on_unchanged_structure_and_misses_after_mutation() {
+        let mut net = chain_net(10);
+        let cache = KnowledgeCache::new();
+        let a = cache.get(&net);
+        let b = cache.get(&net);
+        assert!(Arc::ptr_eq(&a, &b), "unchanged structure must hit");
+        assert_eq!(*a, build_knowledge(&net), "cached == freshly built");
+        net.move_in(&[NodeId(9)]).unwrap();
+        let c = cache.get(&net);
+        assert!(!Arc::ptr_eq(&a, &c), "mutation must invalidate");
+        assert_eq!(*c, build_knowledge(&net));
+    }
+
+    #[test]
+    fn cache_clear_releases_but_stays_correct() {
+        let net = chain_net(6);
+        let cache = KnowledgeCache::new();
+        let a = cache.get(&net);
+        cache.clear();
+        let b = cache.get(&net);
+        assert!(!Arc::ptr_eq(&a, &b));
+        assert_eq!(*a, *b);
+    }
+
+    #[test]
+    fn session_knowledge_from_cached_base_matches_fresh() {
+        let net = chain_net(14);
+        let cache = KnowledgeCache::new();
+        let base = cache.get(&net);
+        let tx = |_u: NodeId| true;
+        let rx = |_u: NodeId| true;
+        let slots =
+            dsnet_cluster::slots::session::assign_session_slots(&net.view(), net.mode(), &tx, &rx);
+        let fresh = build_session_knowledge(&net, &slots, &tx);
+        let cached = build_session_knowledge_from(&net, (*base).clone(), &slots, &tx);
+        assert_eq!(fresh, cached);
     }
 
     #[test]

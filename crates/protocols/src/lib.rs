@@ -49,5 +49,5 @@ pub mod multicast;
 pub mod reliable;
 pub mod runner;
 
-pub use knowledge::{NetKnowledge, NodeKnowledge};
+pub use knowledge::{KnowledgeCache, NetKnowledge, NodeKnowledge};
 pub use runner::{BroadcastOutcome, Coverage, RunConfig};

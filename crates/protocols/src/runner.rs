@@ -9,13 +9,14 @@
 use crate::cff::CffProgram;
 use crate::dfo::DfoProgram;
 use crate::improved::{Cff2Program, Cff2Schedule, Participation};
-use crate::knowledge::{build_knowledge, build_session_knowledge, NetKnowledge, Session};
+use crate::knowledge::{build_knowledge, build_session_knowledge_from, NetKnowledge, Session};
 use crate::reliable::ReliableCffProgram;
 use crate::{analytic, multicast};
 use dsnet_cluster::{ClusterNet, GroupId, McNet, NodeStatus};
 use dsnet_graph::NodeId;
 use dsnet_radio::{
-    EnergyReport, Engine, EngineConfig, FailurePlan, LossModel, StopReason, Trace, TraceEvent,
+    EnergyReport, Engine, EngineConfig, FailurePlan, LossModel, NodeProgram, StopReason, Trace,
+    TraceEvent,
 };
 
 /// Options shared by all protocol runs.
@@ -215,72 +216,125 @@ fn uplink_positions(net: &ClusterNet, source: NodeId) -> Vec<Option<u64>> {
     pos
 }
 
-/// Run the DFO baseline broadcast (Section 3.2, from \[19\]).
-pub fn run_dfo(net: &ClusterNet, source: NodeId, cfg: &RunConfig) -> BroadcastOutcome {
-    let k = build_knowledge(net);
-    let bound = analytic::dfo_rounds(
-        k.backbone_size,
-        k.of(source).status == NodeStatus::PureMember,
-    );
-    let mut engine = Engine::new(net.graph(), engine_config(cfg, bound + 8), |u| {
-        DfoProgram::new(&k, u, source)
-    });
+/// Shared tail of every runner: bind programs to the graph, execute under
+/// the configured failures/loss, then condense outcome, delivery bitmap
+/// and trace. One body instead of four copies — and the trace comes back
+/// by value (via `Engine::into_parts`) so traced variants cost no clone.
+#[allow(clippy::too_many_arguments)] // internal plumbing, one call site per runner
+fn drive<P: NodeProgram>(
+    net: &ClusterNet,
+    source: NodeId,
+    cfg: &RunConfig,
+    max_rounds: u64,
+    bound: u64,
+    targets: &[NodeId],
+    make: impl FnMut(NodeId) -> P,
+    received_flag: impl Fn(&P) -> bool,
+) -> (BroadcastOutcome, Vec<bool>, Trace) {
+    let mut engine = Engine::new(net.graph(), engine_config(cfg, max_rounds), make);
     engine.set_failures(cfg.failures.clone());
     engine.set_loss(cfg.loss);
     let out = engine.run();
     let collisions = engine.trace().try_collision_count();
     let energy = engine.energy_report();
-    let targets: Vec<NodeId> = net.tree().nodes().collect();
-    let coverage = coverage_from_trace(engine.trace(), source, &targets);
-    let programs = engine.into_programs();
+    let coverage = coverage_from_trace(engine.trace(), source, targets);
+    let (trace, programs) = engine.into_parts();
     let received: Vec<bool> = (0..net.graph().capacity())
-        .map(|i| programs[i].as_ref().is_some_and(|p| p.received))
+        .map(|i| programs[i].as_ref().is_some_and(&received_flag))
         .collect();
-    condense(
+    let outcome = condense(
         out.rounds,
         out.stop,
         energy,
         collisions,
         coverage,
         &cfg.failures,
-        &targets,
+        targets,
         &received,
         bound,
-    )
+    );
+    (outcome, received, trace)
+}
+
+/// Run the DFO baseline broadcast (Section 3.2, from \[19\]).
+pub fn run_dfo(net: &ClusterNet, source: NodeId, cfg: &RunConfig) -> BroadcastOutcome {
+    run_dfo_with(net, &build_knowledge(net), source, cfg)
+}
+
+/// [`run_dfo`] over a prebuilt knowledge snapshot of the same `net`
+/// (e.g. served by a [`crate::knowledge::KnowledgeCache`]).
+pub fn run_dfo_with(
+    net: &ClusterNet,
+    k: &NetKnowledge,
+    source: NodeId,
+    cfg: &RunConfig,
+) -> BroadcastOutcome {
+    run_dfo_traced(net, k, source, cfg).0
+}
+
+/// [`run_dfo_with`], additionally returning the run's event trace.
+pub fn run_dfo_traced(
+    net: &ClusterNet,
+    k: &NetKnowledge,
+    source: NodeId,
+    cfg: &RunConfig,
+) -> (BroadcastOutcome, Trace) {
+    let bound = analytic::dfo_rounds(
+        k.backbone_size,
+        k.of(source).status == NodeStatus::PureMember,
+    );
+    let targets: Vec<NodeId> = net.tree().nodes().collect();
+    let (outcome, _, trace) = drive(
+        net,
+        source,
+        cfg,
+        bound + 8,
+        bound,
+        &targets,
+        |u| DfoProgram::new(k, u, source),
+        |p| p.received,
+    );
+    (outcome, trace)
 }
 
 /// Run Algorithm 1 (basic collision-free flooding), with the paper's
 /// "Multi-Channels" remark honoured when `cfg.channels > 1`.
 pub fn run_cff_basic(net: &ClusterNet, source: NodeId, cfg: &RunConfig) -> BroadcastOutcome {
-    let k = build_knowledge(net);
-    let session = Session::new(&k, source, cfg.channels);
-    let bound = analytic::cff_basic_bound(&k, session.offset, cfg.channels);
+    run_cff_basic_with(net, &build_knowledge(net), source, cfg)
+}
+
+/// [`run_cff_basic`] over a prebuilt knowledge snapshot of the same `net`.
+pub fn run_cff_basic_with(
+    net: &ClusterNet,
+    k: &NetKnowledge,
+    source: NodeId,
+    cfg: &RunConfig,
+) -> BroadcastOutcome {
+    run_cff_basic_traced(net, k, source, cfg).0
+}
+
+/// [`run_cff_basic_with`], additionally returning the run's event trace.
+pub fn run_cff_basic_traced(
+    net: &ClusterNet,
+    k: &NetKnowledge,
+    source: NodeId,
+    cfg: &RunConfig,
+) -> (BroadcastOutcome, Trace) {
+    let session = Session::new(k, source, cfg.channels);
+    let bound = analytic::cff_basic_bound(k, session.offset, cfg.channels);
     let pos = uplink_positions(net, source);
-    let mut engine = Engine::new(net.graph(), engine_config(cfg, bound + 4), |u| {
-        CffProgram::new(&k, &session, u, pos[u.index()])
-    });
-    engine.set_failures(cfg.failures.clone());
-    engine.set_loss(cfg.loss);
-    let out = engine.run();
-    let collisions = engine.trace().try_collision_count();
-    let energy = engine.energy_report();
     let targets: Vec<NodeId> = net.tree().nodes().collect();
-    let coverage = coverage_from_trace(engine.trace(), source, &targets);
-    let programs = engine.into_programs();
-    let received: Vec<bool> = (0..net.graph().capacity())
-        .map(|i| programs[i].as_ref().is_some_and(|p| p.received))
-        .collect();
-    condense(
-        out.rounds,
-        out.stop,
-        energy,
-        collisions,
-        coverage,
-        &cfg.failures,
-        &targets,
-        &received,
+    let (outcome, _, trace) = drive(
+        net,
+        source,
+        cfg,
+        bound + 4,
         bound,
-    )
+        &targets,
+        |u| CffProgram::new(k, &session, u, pos[u.index()]),
+        |p| p.received,
+    );
+    (outcome, trace)
 }
 
 /// Run the bounded-retry **reliable** flood: Algorithm 1 extended with
@@ -289,42 +343,71 @@ pub fn run_cff_basic(net: &ClusterNet, source: NodeId, cfg: &RunConfig) -> Broad
 /// [`run_cff_basic`] when nothing is lost; strictly better at delivering
 /// when something is.
 pub fn run_cff_reliable(net: &ClusterNet, source: NodeId, cfg: &RunConfig) -> BroadcastOutcome {
-    let k = build_knowledge(net);
-    let session = Session::new(&k, source, cfg.channels);
-    let bound = analytic::cff_reliable_bound(&k, session.offset, cfg.channels, cfg.max_retries);
+    run_cff_reliable_with(net, &build_knowledge(net), source, cfg)
+}
+
+/// [`run_cff_reliable`] over a prebuilt knowledge snapshot of the same
+/// `net`.
+pub fn run_cff_reliable_with(
+    net: &ClusterNet,
+    k: &NetKnowledge,
+    source: NodeId,
+    cfg: &RunConfig,
+) -> BroadcastOutcome {
+    run_cff_reliable_traced(net, k, source, cfg).0
+}
+
+/// [`run_cff_reliable_with`], additionally returning the run's trace.
+pub fn run_cff_reliable_traced(
+    net: &ClusterNet,
+    k: &NetKnowledge,
+    source: NodeId,
+    cfg: &RunConfig,
+) -> (BroadcastOutcome, Trace) {
+    let session = Session::new(k, source, cfg.channels);
+    let bound = analytic::cff_reliable_bound(k, session.offset, cfg.channels, cfg.max_retries);
     let pos = uplink_positions(net, source);
-    let mut engine = Engine::new(net.graph(), engine_config(cfg, bound + 4), |u| {
-        ReliableCffProgram::new(&k, &session, u, pos[u.index()], cfg.max_retries)
-    });
-    engine.set_failures(cfg.failures.clone());
-    engine.set_loss(cfg.loss);
-    let out = engine.run();
-    let collisions = engine.trace().try_collision_count();
-    let energy = engine.energy_report();
     let targets: Vec<NodeId> = net.tree().nodes().collect();
-    let coverage = coverage_from_trace(engine.trace(), source, &targets);
-    let programs = engine.into_programs();
-    let received: Vec<bool> = (0..net.graph().capacity())
-        .map(|i| programs[i].as_ref().is_some_and(|p| p.received))
-        .collect();
-    condense(
-        out.rounds,
-        out.stop,
-        energy,
-        collisions,
-        coverage,
-        &cfg.failures,
-        &targets,
-        &received,
+    let (outcome, _, trace) = drive(
+        net,
+        source,
+        cfg,
+        bound + 4,
         bound,
-    )
+        &targets,
+        |u| ReliableCffProgram::new(k, &session, u, pos[u.index()], cfg.max_retries),
+        |p| p.received,
+    );
+    (outcome, trace)
 }
 
 /// Run Algorithm 2 (improved CFF) with `cfg.channels` radios.
 pub fn run_improved(net: &ClusterNet, source: NodeId, cfg: &RunConfig) -> BroadcastOutcome {
-    let k = build_knowledge(net);
+    run_improved_with(net, &build_knowledge(net), source, cfg)
+}
+
+/// [`run_improved`] over a prebuilt knowledge snapshot of the same `net`.
+pub fn run_improved_with(
+    net: &ClusterNet,
+    k: &NetKnowledge,
+    source: NodeId,
+    cfg: &RunConfig,
+) -> BroadcastOutcome {
+    run_improved_traced(net, k, source, cfg).0
+}
+
+/// [`run_improved_with`], additionally returning the run's event trace
+/// (including the benign k=1 leaf-window collision note, when it applies).
+pub fn run_improved_traced(
+    net: &ClusterNet,
+    k: &NetKnowledge,
+    source: NodeId,
+    cfg: &RunConfig,
+) -> (BroadcastOutcome, Trace) {
     let all: Vec<NodeId> = net.tree().nodes().collect();
-    run_improved_with(net, &k, source, cfg, |_u| Participation::FULL, &all)
+    let (outcome, _, trace) =
+        run_improved_inner(net, k, source, cfg, |_u| Participation::FULL, &all);
+    (outcome, trace)
 }
 
 /// Run a group-`g` multicast over MCNet (Algorithm 2 pruned by
@@ -335,11 +418,21 @@ pub fn run_multicast(
     group: GroupId,
     cfg: &RunConfig,
 ) -> BroadcastOutcome {
+    run_multicast_with(mc, &build_knowledge(mc.net()), source, group, cfg)
+}
+
+/// [`run_multicast`] over a prebuilt knowledge snapshot of `mc.net()`.
+pub fn run_multicast_with(
+    mc: &McNet,
+    k: &NetKnowledge,
+    source: NodeId,
+    group: GroupId,
+    cfg: &RunConfig,
+) -> BroadcastOutcome {
     let net = mc.net();
-    let k = build_knowledge(net);
     let table = multicast::participation_table(mc, group);
     let targets = multicast::targets(mc, group);
-    run_improved_with(net, &k, source, cfg, |u| table[u.index()], &targets)
+    run_improved_inner(net, k, source, cfg, |u| table[u.index()], &targets).0
 }
 
 /// Run a group-`g` multicast with **session slots**: the initiator
@@ -354,15 +447,28 @@ pub fn run_multicast_reliable(
     group: GroupId,
     cfg: &RunConfig,
 ) -> BroadcastOutcome {
+    run_multicast_reliable_with(mc, &build_knowledge(mc.net()), source, group, cfg)
+}
+
+/// [`run_multicast_reliable`] starting from a prebuilt *base* knowledge
+/// snapshot of `mc.net()` — the session rewrite is applied on a clone of
+/// the base, so the expensive base pass is amortised across sessions.
+pub fn run_multicast_reliable_with(
+    mc: &McNet,
+    base: &NetKnowledge,
+    source: NodeId,
+    group: GroupId,
+    cfg: &RunConfig,
+) -> BroadcastOutcome {
     let net = mc.net();
     let table = multicast::participation_table(mc, group);
     let tx = |u: NodeId| table[u.index()].tx;
     let rx = |u: NodeId| table[u.index()].rx;
     let session_slots =
         dsnet_cluster::slots::session::assign_session_slots(&net.view(), net.mode(), &tx, &rx);
-    let k = build_session_knowledge(net, &session_slots, &tx);
+    let k = build_session_knowledge_from(net, base.clone(), &session_slots, &tx);
     let targets = multicast::targets(mc, group);
-    run_improved_with(net, &k, source, cfg, |u| table[u.index()], &targets)
+    run_improved_inner(net, &k, source, cfg, |u| table[u.index()], &targets).0
 }
 
 /// Like [`run_improved`], additionally returning the per-node delivery
@@ -375,18 +481,9 @@ pub fn run_improved_detailed(
 ) -> (BroadcastOutcome, Vec<bool>) {
     let k = build_knowledge(net);
     let all: Vec<NodeId> = net.tree().nodes().collect();
-    run_improved_inner(net, &k, source, cfg, |_u| Participation::FULL, &all)
-}
-
-fn run_improved_with(
-    net: &ClusterNet,
-    k: &NetKnowledge,
-    source: NodeId,
-    cfg: &RunConfig,
-    part: impl Fn(NodeId) -> Participation,
-    targets: &[NodeId],
-) -> BroadcastOutcome {
-    run_improved_inner(net, k, source, cfg, part, targets).0
+    let (outcome, received, _) =
+        run_improved_inner(net, &k, source, cfg, |_u| Participation::FULL, &all);
+    (outcome, received)
 }
 
 fn run_improved_inner(
@@ -396,36 +493,38 @@ fn run_improved_inner(
     cfg: &RunConfig,
     part: impl Fn(NodeId) -> Participation,
     targets: &[NodeId],
-) -> (BroadcastOutcome, Vec<bool>) {
+) -> (BroadcastOutcome, Vec<bool>, Trace) {
     let session = Session::new(k, source, cfg.channels);
     let sched = Cff2Schedule::new(k, &session);
     let bound = analytic::improved_bound(k, session.offset, cfg.channels);
     let pos = uplink_positions(net, source);
-    let mut engine = Engine::new(net.graph(), engine_config(cfg, sched.end_round + 4), |u| {
-        Cff2Program::new(k, &session, sched, u, pos[u.index()], part(u))
-    });
-    engine.set_failures(cfg.failures.clone());
-    engine.set_loss(cfg.loss);
-    let out = engine.run();
-    let collisions = engine.trace().try_collision_count();
-    let energy = engine.energy_report();
-    let coverage = coverage_from_trace(engine.trace(), source, targets);
-    let programs = engine.into_programs();
-    let received: Vec<bool> = (0..net.graph().capacity())
-        .map(|i| programs[i].as_ref().is_some_and(|p| p.received))
-        .collect();
-    let outcome = condense(
-        out.rounds,
-        out.stop,
-        energy,
-        collisions,
-        coverage,
-        &cfg.failures,
-        targets,
-        &received,
+    let (outcome, received, mut trace) = drive(
+        net,
+        source,
+        cfg,
+        sched.end_round + 4,
         bound,
+        targets,
+        |u| Cff2Program::new(k, &session, sched, u, pos[u.index()], part(u)),
+        |p| p.received,
     );
-    (outcome, received)
+    // The documented k=1 contract (see `tests/protocol_properties.rs`):
+    // leaves listening through the shared phase-2 window legally observe
+    // collisions at duplicated slots they are not assigned to. That is a
+    // diagnostic fact, not a fault — it travels on the trace instead of
+    // stderr, so quiet runs stay quiet.
+    if cfg.channels == 1 {
+        if let Some(c) = outcome.collisions.filter(|&c| c > 0) {
+            trace.warn(format!(
+                "improved CFF on k=1 observed {c} benign leaf-window \
+                 collision(s): leaves listen through the whole shared \
+                 phase-2 window and may hear collisions at duplicated \
+                 slots they are not assigned to; each leaf's designated \
+                 slot stays clean (Time-Slot Condition 2)"
+            ));
+        }
+    }
+    (outcome, received, trace)
 }
 
 #[cfg(test)]

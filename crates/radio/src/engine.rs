@@ -90,6 +90,10 @@ pub struct RunOutcome {
     pub stop: StopReason,
 }
 
+/// Sentinel in the per-round transmit-channel table: "not transmitting".
+/// Valid channels are `< config.channels ≤ 255`, so 255 never collides.
+const NO_TX: u8 = u8::MAX;
+
 /// Lock-step simulator binding one [`NodeProgram`] to each live graph node.
 pub struct Engine<'g, P: NodeProgram> {
     graph: &'g Graph,
@@ -97,11 +101,21 @@ pub struct Engine<'g, P: NodeProgram> {
     programs: Vec<Option<P>>,
     meters: Vec<EnergyMeter>,
     failures: FailurePlan,
+    /// Cached `failures.is_empty()` — lets the per-node liveness and link
+    /// checks skip HashMap probes entirely on the (common) clean runs.
+    failures_empty: bool,
+    /// Failure-affected nodes in id order, precomputed once per plan so the
+    /// round loop never re-collects/re-sorts HashMap keys.
+    affected_sorted: Vec<NodeId>,
     loss: LossModel,
     trace: Trace,
     round: Round,
     /// Scratch: this round's action per node id (None = dead or absent).
     actions: Vec<Option<Action<P::Msg>>>,
+    /// Scratch: this round's transmit channel per node id ([`NO_TX`] =
+    /// silent). A flat byte table makes the phase-2 receiver scan a cache
+    /// line read instead of an enum match over potentially large messages.
+    tx_on: Vec<u8>,
 }
 
 impl<'g, P: NodeProgram> Engine<'g, P> {
@@ -121,19 +135,28 @@ impl<'g, P: NodeProgram> Engine<'g, P> {
             programs,
             meters: vec![EnergyMeter::default(); cap],
             failures: FailurePlan::new(),
+            failures_empty: true,
+            affected_sorted: Vec::new(),
             loss: LossModel::none(),
             trace: if config.record_trace {
-                Trace::enabled()
+                // Typical runs log a handful of events per node per phase;
+                // reserving up-front avoids growth reallocations mid-run.
+                Trace::enabled_with_capacity(cap * 4)
             } else {
                 Trace::disabled()
             },
             round: 0,
             actions: (0..cap).map(|_| None).collect(),
+            tx_on: vec![NO_TX; cap],
         }
     }
 
     /// Install a failure schedule (replaces any previous one).
     pub fn set_failures(&mut self, plan: FailurePlan) {
+        self.failures_empty = plan.is_empty();
+        self.affected_sorted = plan.affected_nodes().collect();
+        // HashMap iteration order is arbitrary; the trace must not be.
+        self.affected_sorted.sort_unstable();
         self.failures = plan;
     }
 
@@ -178,10 +201,17 @@ impl<'g, P: NodeProgram> Engine<'g, P> {
         self.programs
     }
 
+    /// Consume the engine, returning the trace and every node's final
+    /// program state — for callers that need both without cloning the
+    /// (possibly large) event log.
+    pub fn into_parts(self) -> (Trace, Vec<Option<P>>) {
+        (self.trace, self.programs)
+    }
+
     fn alive(&self, id: NodeId, round: Round) -> bool {
-        self.graph.is_live(id)
-            && self.programs[id.index()].is_some()
-            && !self.failures.node_dead(id, round)
+        self.programs[id.index()].is_some()
+            && self.graph.is_live(id)
+            && (self.failures_empty || !self.failures.node_dead(id, round))
     }
 
     /// Execute a single round. Returns `true` if every live node is done
@@ -192,30 +222,23 @@ impl<'g, P: NodeProgram> Engine<'g, P> {
         let channels = self.config.channels;
 
         // Death/revival notifications (trace only — the network can't
-        // observe them).
-        if self.trace.is_enabled() {
-            let mut transitions: Vec<TraceEvent> = Vec::new();
-            for node in self.failures.affected_nodes() {
+        // observe them). `affected_sorted` is precomputed in id order by
+        // `set_failures`, so no per-round collection or sort happens here.
+        if self.trace.is_enabled() && !self.affected_sorted.is_empty() {
+            for &node in &self.affected_sorted {
                 if self.failures.dies_at(node, round) {
-                    transitions.push(TraceEvent::NodeDeath { round, node });
+                    self.trace.push(TraceEvent::NodeDeath { round, node });
                 } else if self.failures.revives_at(node, round) {
-                    transitions.push(TraceEvent::NodeRevive { round, node });
+                    self.trace.push(TraceEvent::NodeRevive { round, node });
                 }
-            }
-            // HashMap iteration order is arbitrary; the trace must not be.
-            transitions.sort_by_key(|e| match *e {
-                TraceEvent::NodeDeath { node, .. } | TraceEvent::NodeRevive { node, .. } => node,
-                _ => unreachable!(),
-            });
-            for ev in transitions {
-                self.trace.push(ev);
             }
         }
 
-        // Phase 1: collect actions.
+        // Phase 1: collect actions and fill the transmit-channel table.
         for i in 0..self.programs.len() {
             let id = NodeId(i as u32);
             self.actions[i] = None;
+            self.tx_on[i] = NO_TX;
             if !self.alive(id, round) {
                 continue;
             }
@@ -225,67 +248,88 @@ impl<'g, P: NodeProgram> Engine<'g, P> {
                 channels,
             };
             let action = self.programs[i].as_mut().unwrap().act(&ctx);
-            if let Action::Transmit { channel, .. } | Action::Listen { channel } = &action {
-                assert!(
-                    *channel < channels,
-                    "node {id} used channel {channel} but only {channels} exist"
-                );
+            match &action {
+                Action::Transmit { channel, .. } => {
+                    assert!(
+                        *channel < channels,
+                        "node {id} used channel {channel} but only {channels} exist"
+                    );
+                    self.tx_on[i] = *channel;
+                }
+                Action::Listen { channel } => {
+                    assert!(
+                        *channel < channels,
+                        "node {id} used channel {channel} but only {channels} exist"
+                    );
+                }
+                Action::Sleep => {}
             }
             self.actions[i] = Some(action);
         }
 
-        // Phase 2: resolve receptions and meter energy.
-        for i in 0..self.programs.len() {
+        // Phase 2: resolve receptions and meter energy. Fields are split
+        // into disjoint borrows so a delivered message can be handed to the
+        // receiver by reference straight out of the sender's action slot —
+        // no per-delivery clone.
+        let programs = &mut self.programs;
+        let actions = &self.actions;
+        let meters = &mut self.meters;
+        let trace = &mut self.trace;
+        let tx_on = &self.tx_on;
+        let graph = self.graph;
+        let failures = &self.failures;
+        let failures_empty = self.failures_empty;
+        let loss = &self.loss;
+        for i in 0..programs.len() {
             let id = NodeId(i as u32);
-            let Some(action) = &self.actions[i] else {
+            let Some(action) = &actions[i] else {
                 continue;
             };
             match action {
                 Action::Transmit { channel, .. } => {
-                    self.meters[i].record_tx(round);
-                    self.trace.push(TraceEvent::Transmit {
+                    meters[i].record_tx(round);
+                    trace.push(TraceEvent::Transmit {
                         round,
                         node: id,
                         channel: *channel,
                     });
                 }
-                Action::Sleep => self.meters[i].record_sleep(),
+                Action::Sleep => meters[i].record_sleep(),
                 Action::Listen { channel } => {
-                    self.meters[i].record_listen(round);
+                    meters[i].record_listen(round);
                     let ch = *channel;
                     // Count live neighbours transmitting on our channel over
-                    // a live link.
+                    // a live link. The flat `tx_on` byte table filters out
+                    // silent neighbours before any enum match or map probe.
                     let mut tx_from: Option<NodeId> = None;
                     let mut tx_count = 0u32;
-                    for &v in self.graph.neighbors(id) {
-                        if self.failures.link_dead(id, v, round) {
+                    for &v in graph.neighbors(id) {
+                        if tx_on[v.index()] != ch {
                             continue;
                         }
-                        if let Some(Action::Transmit { channel: vc, .. }) = &self.actions[v.index()]
-                        {
-                            if *vc == ch {
-                                if self.loss.dropped(v, id, round) {
-                                    self.trace.push(TraceEvent::LinkDrop {
-                                        round,
-                                        from: v,
-                                        to: id,
-                                        channel: ch,
-                                    });
-                                    continue;
-                                }
-                                tx_count += 1;
-                                tx_from = Some(v);
-                            }
+                        if !failures_empty && failures.link_dead(id, v, round) {
+                            continue;
                         }
+                        if loss.dropped(v, id, round) {
+                            trace.push(TraceEvent::LinkDrop {
+                                round,
+                                from: v,
+                                to: id,
+                                channel: ch,
+                            });
+                            continue;
+                        }
+                        tx_count += 1;
+                        tx_from = Some(v);
                     }
                     match tx_count {
                         1 => {
                             let from = tx_from.unwrap();
-                            let msg = match &self.actions[from.index()] {
-                                Some(Action::Transmit { msg, .. }) => msg.clone(),
+                            let msg = match &actions[from.index()] {
+                                Some(Action::Transmit { msg, .. }) => msg,
                                 _ => unreachable!(),
                             };
-                            self.trace.push(TraceEvent::Deliver {
+                            trace.push(TraceEvent::Deliver {
                                 round,
                                 from,
                                 to: id,
@@ -296,14 +340,11 @@ impl<'g, P: NodeProgram> Engine<'g, P> {
                                 round,
                                 channels,
                             };
-                            self.programs[i]
-                                .as_mut()
-                                .unwrap()
-                                .on_receive(&ctx, from, &msg);
+                            programs[i].as_mut().unwrap().on_receive(&ctx, from, msg);
                         }
                         0 => {}
                         n => {
-                            self.trace.push(TraceEvent::Collision {
+                            trace.push(TraceEvent::Collision {
                                 round,
                                 node: id,
                                 channel: ch,
@@ -316,11 +357,17 @@ impl<'g, P: NodeProgram> Engine<'g, P> {
         }
 
         // Done check over nodes still alive this round.
-        self.programs
-            .iter()
-            .enumerate()
-            .filter(|(i, p)| p.is_some() && !self.failures.node_dead(NodeId(*i as u32), round + 1))
-            .all(|(_, p)| p.as_ref().unwrap().done())
+        if self.failures_empty {
+            self.programs.iter().flatten().all(|p| p.done())
+        } else {
+            self.programs
+                .iter()
+                .enumerate()
+                .filter(|(i, p)| {
+                    p.is_some() && !self.failures.node_dead(NodeId(*i as u32), round + 1)
+                })
+                .all(|(_, p)| p.as_ref().unwrap().done())
+        }
     }
 
     /// Run until all live nodes are done or the round limit is hit.

@@ -65,10 +65,17 @@ impl TraceEvent {
 }
 
 /// An append-only event log. Disabled traces cost nothing.
+///
+/// Besides the event stream, a trace carries *diagnostic warnings* —
+/// structured notes about benign-but-surprising behaviour (e.g. the
+/// documented k=1 leaf-window collisions of Algorithm 2). Warnings are
+/// data, never stderr output: quiet runs stay quiet, and consumers that
+/// care inspect [`Trace::warnings`] explicitly.
 #[derive(Debug, Clone, Default)]
 pub struct Trace {
     enabled: bool,
     events: Vec<TraceEvent>,
+    warnings: Vec<String>,
 }
 
 impl Trace {
@@ -77,6 +84,17 @@ impl Trace {
         Self {
             enabled: true,
             events: Vec::new(),
+            warnings: Vec::new(),
+        }
+    }
+
+    /// A recording trace with pre-reserved event storage — lets callers
+    /// that know the expected event volume avoid reallocation churn.
+    pub fn enabled_with_capacity(events: usize) -> Self {
+        Self {
+            enabled: true,
+            events: Vec::with_capacity(events),
+            warnings: Vec::new(),
         }
     }
 
@@ -101,6 +119,20 @@ impl Trace {
     /// All recorded events, in order.
     pub fn events(&self) -> &[TraceEvent] {
         &self.events
+    }
+
+    /// Record a diagnostic warning (no-op when disabled). Warnings flow
+    /// through the trace instead of stderr so that library code never
+    /// prints: quiet runs stay quiet, loud facts stay queryable.
+    pub fn warn(&mut self, msg: impl Into<String>) {
+        if self.enabled {
+            self.warnings.push(msg.into());
+        }
+    }
+
+    /// All recorded diagnostic warnings, in order.
+    pub fn warnings(&self) -> &[String] {
+        &self.warnings
     }
 
     /// Number of recorded events.
@@ -180,8 +212,20 @@ mod tests {
             node: NodeId(0),
             channel: 0,
         });
+        t.warn("should vanish");
         assert!(t.is_empty());
         assert_eq!(t.try_collision_count(), None);
+        assert!(t.warnings().is_empty());
+    }
+
+    #[test]
+    fn warnings_are_recorded_in_order() {
+        let mut t = Trace::enabled();
+        t.warn("first");
+        t.warn(String::from("second"));
+        assert_eq!(t.warnings(), ["first", "second"]);
+        // Warnings are diagnostics, not events.
+        assert!(t.is_empty());
     }
 
     #[test]

@@ -1,0 +1,56 @@
+#!/usr/bin/env bash
+# Campaign determinism smoke: run the same campaign on 1 and 2 worker
+# threads and require byte-identical JSON + CSV artifacts.
+#
+#   scripts/determinism_smoke.sh <axis> [<axis> ...]
+#
+# Axes (each maps to a fixed campaign flag set; add new axes here, not
+# as copy-pasted CI steps):
+#   core      protocols × channels × failures × churn
+#   mobility  random-waypoint and Gauss-Markov motion
+#   loss      lossy channels × repair × transient outages
+#
+# Artifacts are left in the working directory as t<axis><threads>.json /
+# .csv so CI can upload them on failure.
+set -euo pipefail
+
+if [ "$#" -lt 1 ]; then
+    echo "usage: $0 <core|mobility|loss> [...]" >&2
+    exit 2
+fi
+
+DSNET=(cargo run --release -p dsnet --bin dsnet --)
+
+axis_flags() {
+    case "$1" in
+        core)
+            echo "--ns 30,40 --reps 2 --protocols cff,dfo --channels 1,2 \
+                  --failures none,bb1@1 --churn none,j2l1"
+            ;;
+        mobility)
+            echo "--ns 30 --reps 2 --protocols cff,dfo \
+                  --mobility none,rwp0.05x10p2,gm0.04x10"
+            ;;
+        loss)
+            echo "--ns 30 --reps 2 --protocols cff1,rcff --retries 3 \
+                  --loss none,p0.1 --repair off,on --failures none,bb1@1+5,bb1@1"
+            ;;
+        *)
+            echo "unknown axis: $1 (want core, mobility, or loss)" >&2
+            exit 2
+            ;;
+    esac
+}
+
+for axis in "$@"; do
+    flags=$(axis_flags "$axis")
+    echo "=== determinism smoke: $axis ==="
+    for threads in 1 2; do
+        # shellcheck disable=SC2086  # flags are a curated word list
+        "${DSNET[@]}" campaign $flags --threads "$threads" --quiet \
+            --json "t${axis}${threads}.json" --csv "t${axis}${threads}.csv"
+    done
+    cmp "t${axis}1.json" "t${axis}2.json"
+    cmp "t${axis}1.csv" "t${axis}2.csv"
+    echo "=== $axis: artifacts identical across thread counts ==="
+done

@@ -1,0 +1,249 @@
+//! The knowledge cache is a pure memoisation: broadcasts served through
+//! [`SensorNetwork`]'s version-keyed [`KnowledgeCache`] must be
+//! *byte-identical* — same outcome, same [`TraceEvent`] stream, same
+//! warnings — to runs over a knowledge snapshot rebuilt from scratch,
+//! no matter what sequence of structural mutations (churn, repair)
+//! preceded them, and campaign artifacts must stay thread-invariant
+//! across every axis (loss, repair, mobility) now that trials run
+//! through the cache.
+//!
+//! Also pins the diagnostic-warning contract: the benign k=1
+//! leaf-window collision note of Algorithm 2 travels on the trace, never
+//! on stderr, and disabled traces carry no warnings at all.
+
+use dsnet::campaign_engine::{render_csv, render_json, CampaignSpec, MobilitySpec, ProtocolSpec};
+use dsnet::cluster::repair::RepairConfig;
+use dsnet::graph::NodeId;
+use dsnet::protocols::knowledge::build_knowledge;
+use dsnet::protocols::runner::{
+    run_cff_basic_traced, run_cff_reliable_traced, run_dfo_traced, run_improved_traced,
+    BroadcastOutcome, RunConfig,
+};
+use dsnet::radio::{LossModel, Trace};
+use dsnet::{NetworkBuilder, Protocol, SensorNetwork};
+use proptest::prelude::*;
+
+/// Apply a mutation sequence driven by proptest-chosen picks: leaves,
+/// joins (near a surviving node), and crash-repairs. Operations that the
+/// structure legitimately refuses (e.g. evicting the sink) are skipped —
+/// the point is to scramble the structure version, not to model churn
+/// precisely.
+fn mutate(net: &mut SensorNetwork, ops: &[(u8, u16)]) {
+    for &(op, pick) in ops {
+        let nodes: Vec<NodeId> = net.net().tree().nodes().collect();
+        if nodes.len() <= 2 {
+            break;
+        }
+        let victim = nodes[pick as usize % nodes.len()];
+        match op % 3 {
+            0 => {
+                let _ = net.leave(victim);
+            }
+            1 => {
+                let p = net.position(victim);
+                let theta = (pick as f64) * 0.37;
+                let q = dsnet::geom::Point2::new(p.x + 0.3 * theta.cos(), p.y + 0.3 * theta.sin());
+                let _ = net.join(q, &[]);
+            }
+            _ => {
+                let _ = net.repair_crash(victim, &RepairConfig::default());
+            }
+        }
+    }
+    net.check();
+}
+
+/// Run `protocol` twice — once through the network's cache, once over a
+/// freshly built knowledge snapshot — and demand identical results.
+fn assert_cached_matches_fresh(net: &SensorNetwork, protocol: Protocol, cfg: &RunConfig) {
+    let source = net.sink();
+    let (cached_out, cached_trace): (BroadcastOutcome, Trace) =
+        net.broadcast_traced(protocol, source, cfg);
+    let fresh_k = build_knowledge(net.net());
+    let (fresh_out, fresh_trace) = match protocol {
+        Protocol::Dfo => run_dfo_traced(net.net(), &fresh_k, source, cfg),
+        Protocol::BasicCff => run_cff_basic_traced(net.net(), &fresh_k, source, cfg),
+        Protocol::ImprovedCff => run_improved_traced(net.net(), &fresh_k, source, cfg),
+        Protocol::ReliableCff => run_cff_reliable_traced(net.net(), &fresh_k, source, cfg),
+    };
+    assert_eq!(cached_out.rounds, fresh_out.rounds, "{protocol:?} rounds");
+    assert_eq!(
+        cached_out.delivered, fresh_out.delivered,
+        "{protocol:?} delivered"
+    );
+    assert_eq!(
+        cached_out.targets, fresh_out.targets,
+        "{protocol:?} targets"
+    );
+    assert_eq!(cached_out.bound, fresh_out.bound, "{protocol:?} bound");
+    assert_eq!(
+        cached_out.collisions, fresh_out.collisions,
+        "{protocol:?} collisions"
+    );
+    assert_eq!(
+        cached_trace.events(),
+        fresh_trace.events(),
+        "{protocol:?} trace events diverged between cached and fresh knowledge"
+    );
+    assert_eq!(
+        cached_trace.warnings(),
+        fresh_trace.warnings(),
+        "{protocol:?} warnings diverged"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    /// The tentpole equivalence: for any mutation history, every
+    /// protocol's cached run equals its from-scratch run — lossless and
+    /// under seeded channel loss.
+    #[test]
+    fn cached_broadcasts_equal_uncached_after_arbitrary_mutations(
+        n in 30usize..80,
+        seed in 0u64..500,
+        ops in prop::collection::vec((any::<u8>(), any::<u16>()), 0..12),
+    ) {
+        let mut net = NetworkBuilder::paper_field(10.0, n, seed).build().unwrap();
+        mutate(&mut net, &ops);
+
+        let cfg = RunConfig::default();
+        for protocol in [
+            Protocol::Dfo,
+            Protocol::BasicCff,
+            Protocol::ImprovedCff,
+            Protocol::ReliableCff,
+        ] {
+            assert_cached_matches_fresh(&net, protocol, &cfg);
+        }
+
+        // Seeded loss: the LossModel stream is a function of (seed, round,
+        // edge), so cached and fresh runs see identical drop decisions.
+        let lossy = RunConfig {
+            loss: LossModel::from_ppm(100_000, seed ^ 0xBEEF),
+            max_retries: 3,
+            ..RunConfig::default()
+        };
+        assert_cached_matches_fresh(&net, Protocol::ReliableCff, &lossy);
+    }
+}
+
+/// Deterministic (non-proptest) spot check: a cache that survives an
+/// explicit leave → join → repair chain still matches from-scratch runs
+/// at every step, not just at the end.
+#[test]
+fn cache_stays_fresh_across_each_mutation_step() {
+    let mut net = NetworkBuilder::paper_field(10.0, 60, 9).build().unwrap();
+    assert_cached_matches_fresh(&net, Protocol::ImprovedCff, &RunConfig::default());
+
+    let nodes: Vec<NodeId> = net.net().tree().nodes().collect();
+    let victim = *nodes.iter().rev().find(|&&u| u != net.sink()).unwrap();
+    net.leave(victim).unwrap();
+    assert_cached_matches_fresh(&net, Protocol::ImprovedCff, &RunConfig::default());
+
+    let anchor = net.position(net.sink());
+    net.join(
+        dsnet::geom::Point2::new(anchor.x + 0.2, anchor.y + 0.1),
+        &[],
+    )
+    .unwrap();
+    assert_cached_matches_fresh(&net, Protocol::Dfo, &RunConfig::default());
+
+    let nodes: Vec<NodeId> = net.net().tree().nodes().collect();
+    let crash = *nodes.iter().rev().find(|&&u| u != net.sink()).unwrap();
+    net.repair_crash(crash, &RepairConfig::default()).unwrap();
+    assert_cached_matches_fresh(&net, Protocol::BasicCff, &RunConfig::default());
+}
+
+/// Campaign artifacts remain byte-identical across thread counts with
+/// the cache in the trial path — including the loss, repair and mobility
+/// axes, whose trials mutate structures mid-trial.
+#[test]
+fn campaign_artifacts_thread_invariant_across_all_axes() {
+    use dsnet::campaign_engine::{ChurnTemplate, FailureTemplate, LossSpec};
+    let spec = CampaignSpec {
+        name: "cache-equivalence".into(),
+        field_side: 10.0,
+        ns: vec![40],
+        reps: 2,
+        base_seed: 11,
+        protocols: vec![ProtocolSpec::ImprovedCff, ProtocolSpec::ReliableCff],
+        channels: vec![1],
+        failures: vec![
+            FailureTemplate::None,
+            FailureTemplate::Backbone { count: 1, round: 1 },
+        ],
+        churn: vec![
+            ChurnTemplate::default(),
+            ChurnTemplate {
+                joins: 2,
+                leaves: 1,
+            },
+        ],
+        losses: vec![LossSpec::none(), LossSpec::from_probability(0.05)],
+        repair: vec![false, true],
+        mobility: vec![
+            MobilitySpec::None,
+            MobilitySpec::RandomWaypoint {
+                speed_milli: 50,
+                pause: 2,
+                epochs: 5,
+            },
+        ],
+        max_retries: 3,
+        record_trace: true,
+    };
+    let one = dsnet::campaign::run(&spec, 1, None);
+    let two = dsnet::campaign::run(&spec, 2, None);
+    assert_eq!(
+        render_json(&one, true),
+        render_json(&two, true),
+        "campaign JSON artifact depends on thread count"
+    );
+    assert_eq!(render_csv(&one), render_csv(&two));
+}
+
+/// The benign k=1 leaf-window collision note is trace data: present on
+/// k=1 runs that observe collisions, absent on k=2 (provably
+/// collision-free), and never emitted when tracing is off.
+#[test]
+fn k1_leaf_window_warning_travels_on_the_trace() {
+    let net = NetworkBuilder::paper_field(10.0, 60, 1).build().unwrap();
+    let sink = net.sink();
+
+    let k1 = RunConfig {
+        channels: 1,
+        ..RunConfig::default()
+    };
+    let (out, trace) = net.broadcast_traced(Protocol::ImprovedCff, sink, &k1);
+    assert!(out.completed());
+    assert!(
+        out.collisions.unwrap() > 0,
+        "this deployment is the pinned k=1 collision witness"
+    );
+    assert_eq!(trace.warnings().len(), 1, "exactly one diagnostic note");
+    assert!(
+        trace.warnings()[0].contains("leaf-window"),
+        "unexpected warning text: {}",
+        trace.warnings()[0]
+    );
+
+    let k2 = RunConfig {
+        channels: 2,
+        ..RunConfig::default()
+    };
+    let (out2, trace2) = net.broadcast_traced(Protocol::ImprovedCff, sink, &k2);
+    assert_eq!(out2.collisions, Some(0));
+    assert!(trace2.warnings().is_empty(), "k=2 is collision-free");
+
+    let untraced = RunConfig {
+        channels: 1,
+        record_trace: false,
+        ..RunConfig::default()
+    };
+    let (_, silent) = net.broadcast_traced(Protocol::ImprovedCff, sink, &untraced);
+    assert!(
+        silent.warnings().is_empty(),
+        "disabled traces must not accumulate warnings"
+    );
+}

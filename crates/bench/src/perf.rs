@@ -64,7 +64,8 @@ mod tests {
                 "static_cff",
                 "static_dfo",
                 "lossy_rcff_repair",
-                "mobility_100ep"
+                "mobility_100ep",
+                "mobility_400ep"
             ]
         );
         for s in &l.scenarios {

@@ -20,6 +20,12 @@
 //! move-outs may legitimately break (every gateway still parents a head,
 //! so `|BT| ≤ 2·#clusters − 1` — Property 1(1)).
 
+pub mod incremental;
+#[cfg(test)]
+mod incremental_props;
+
+pub use incremental::DirtyAudit;
+
 use crate::net::ClusterNet;
 use crate::slots::validate::validate_condition2;
 use crate::status::NodeStatus;

@@ -126,15 +126,28 @@ impl McNet {
     /// Node departure with relay-list maintenance.
     pub fn move_out(&mut self, lev: NodeId) -> Result<MoveOutReport, MoveOutError> {
         self.net.can_move_out(lev)?;
+        Ok(self.move_out_previewed(lev))
+    }
+
+    /// [`McNet::move_out`] for callers that already ran
+    /// [`ClusterNet::can_move_out`] on `lev` against the current graph —
+    /// skips the duplicate connectivity sweep (a full traversal) that
+    /// dominates the per-reconfiguration cost in the mobility driver.
+    /// Calling it without a successful preview panics mid-operation.
+    pub fn move_out_previewed(&mut self, lev: NodeId) -> MoveOutReport {
+        debug_assert!(self.net.can_move_out(lev).is_ok());
         // Subtract every subtree node's groups from lev's former ancestors
-        // and clear subtree-internal relay state.
+        // and clear subtree-internal relay state. A fully group-free
+        // subtree (broadcast-only traffic) has nothing to subtract.
         let subtree = self.net.tree().subtree_nodes(lev);
-        let ancestors: Vec<NodeId> = self.net.tree().path_to_root(lev)[1..].to_vec();
-        for &x in &subtree {
-            let gs = self.groups[x.index()].clone();
-            for &a in &ancestors {
-                for &g in &gs {
-                    decrement(&mut self.relay[a.index()], g);
+        if subtree.iter().any(|&x| !self.groups[x.index()].is_empty()) {
+            let ancestors: Vec<NodeId> = self.net.tree().path_to_root(lev)[1..].to_vec();
+            for &x in &subtree {
+                let gs = self.groups[x.index()].clone();
+                for &a in &ancestors {
+                    for &g in &gs {
+                        decrement(&mut self.relay[a.index()], g);
+                    }
                 }
             }
         }
@@ -144,12 +157,12 @@ impl McNet {
         }
         // Intra-subtree ancestor relationships also vanish with the detach;
         // rebuilding happens via add_to_ancestors per rehomed node.
-        let report = self.net.move_out(lev).expect("preconditions were checked");
+        let report = self.net.move_out_previewed(lev);
         self.groups[lev.index()].clear();
         for &x in &report.rehomed {
             self.add_to_ancestors(x);
         }
-        Ok(report)
+        report
     }
 
     /// The sink itself departs: the underlying structure is rebuilt from a
@@ -198,6 +211,11 @@ impl McNet {
     }
 
     fn add_to_ancestors(&mut self, u: NodeId) {
+        // Group-free nodes (the common case in broadcast-only scenarios)
+        // contribute nothing — skip the root-path walk entirely.
+        if self.groups[u.index()].is_empty() {
+            return;
+        }
         let path = self.net.tree().path_to_root(u);
         let gs = self.groups[u.index()].clone();
         for &a in &path[1..] {
@@ -208,6 +226,9 @@ impl McNet {
     }
 
     fn remove_from_ancestors(&mut self, u: NodeId) {
+        if self.groups[u.index()].is_empty() {
+            return;
+        }
         let path = self.net.tree().path_to_root(u);
         let gs = self.groups[u.index()].clone();
         for &a in &path[1..] {

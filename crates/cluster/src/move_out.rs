@@ -30,7 +30,6 @@ use crate::slots::assign::{
 };
 use crate::slots::view::NetView;
 use dsnet_graph::{components, NodeId};
-use std::collections::BTreeSet;
 use std::fmt;
 
 /// Errors from [`ClusterNet::move_out`].
@@ -89,6 +88,16 @@ impl ClusterNet {
     /// Remove `lev` from the network and re-home its stranded subtree.
     pub fn move_out(&mut self, lev: NodeId) -> Result<MoveOutReport, MoveOutError> {
         self.can_move_out(lev)?;
+        Ok(self.move_out_previewed(lev))
+    }
+
+    /// [`ClusterNet::move_out`] minus the precondition check, for callers
+    /// that just ran [`ClusterNet::can_move_out`] themselves: the
+    /// connectivity preview is a full graph sweep, and the mobility
+    /// driver already previews every candidate departure, so re-checking
+    /// here would triple the per-reconfiguration traversal cost.
+    pub(crate) fn move_out_previewed(&mut self, lev: NodeId) -> MoveOutReport {
+        debug_assert!(self.can_move_out(lev).is_ok());
         // Step 0(i): height notification travels lev → root.
         let mut cost = MoveOutCost {
             height_notify: self.tree().depth(lev) as u64,
@@ -124,44 +133,40 @@ impl ClusterNet {
         // vanished transmitter — G-neighbours of T nodes, of lev, and of
         // the possibly-demoted parent. The Euler tour itself costs |T|
         // rounds on top of the slot recalculations.
-        let mut affected: BTreeSet<NodeId> = BTreeSet::new();
+        let mut affected: Vec<NodeId> = Vec::new();
         for &x in &t_nodes {
             if x == lev {
                 continue;
             }
-            for &v in self.graph().neighbors(x) {
-                affected.insert(v);
-            }
+            affected.extend_from_slice(self.graph().neighbors(x));
         }
-        for &v in &lev_neighbors {
-            affected.insert(v);
-        }
-        for &v in self.graph().neighbors(lev_parent) {
-            affected.insert(v);
-        }
+        affected.extend_from_slice(&lev_neighbors);
+        affected.extend_from_slice(self.graph().neighbors(lev_parent));
+        affected.sort_unstable();
+        affected.dedup();
         cost.detach_repair += t_nodes.len() as u64;
         for v in affected {
             cost.detach_repair += self.repair_receiver(v);
         }
 
-        // Steps 1–2: re-home the stranded nodes frontier-first. Because
-        // `G − lev` is connected, some stranded node always hears the
-        // attached structure.
-        let mut stranded: BTreeSet<NodeId> =
-            t_nodes.iter().copied().filter(|&x| x != lev).collect();
+        // Steps 1–2: re-home the stranded nodes frontier-first (lowest
+        // attachable id each round, matching the former ordered-set walk).
+        // Because `G − lev` is connected, some stranded node always hears
+        // the attached structure.
+        let mut stranded: Vec<NodeId> = t_nodes.iter().copied().filter(|&x| x != lev).collect();
+        stranded.sort_unstable();
         let mut rehomed = Vec::with_capacity(stranded.len());
         while !stranded.is_empty() {
-            let next = stranded
+            let pos = stranded
                 .iter()
-                .copied()
-                .find(|&x| {
+                .position(|&x| {
                     self.graph()
                         .neighbors(x)
                         .iter()
                         .any(|&v| self.tree().contains(v))
                 })
                 .expect("connected remainder guarantees an attachable stranded node");
-            stranded.remove(&next);
+            let next = stranded.remove(pos);
             let rep = self
                 .move_in_existing(next)
                 .expect("stranded node has an attached neighbour");
@@ -175,11 +180,11 @@ impl ClusterNet {
         // Step 3: the largest revised b-slot travels back to the root.
         cost.final_report = self.height() as u64;
 
-        Ok(MoveOutReport {
+        MoveOutReport {
             node: lev,
             rehomed,
             cost,
-        })
+        }
     }
 
     /// Re-establish Time-Slot Condition 2 at receiver `v` after

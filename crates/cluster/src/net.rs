@@ -317,37 +317,43 @@ impl ClusterNet {
         self.ensure_status_capacity();
 
         // U: attached neighbours, i.e. nodes of the current CNet that the
-        // newcomer can hear.
+        // newcomer can hear. Fold the Definition-1 parent pick into the
+        // single scan — the re-homing loop of `node-move-out` calls this
+        // once per stranded node, so no candidate lists are materialised.
         let tree = self.tree.as_ref().unwrap();
-        let attached: Vec<NodeId> = self
-            .graph
-            .neighbors(new)
-            .iter()
-            .copied()
-            .filter(|&v| tree.contains(v))
-            .collect();
-        if attached.is_empty() {
-            return Err(MoveInError::NoAttachedNeighbor);
+        let mut attached_count = 0u64;
+        let mut best_head: Option<NodeId> = None;
+        let mut best_gateway: Option<NodeId> = None;
+        let mut best_any: Option<NodeId> = None;
+        for &v in self.graph.neighbors(new) {
+            if !tree.contains(v) {
+                continue;
+            }
+            attached_count += 1;
+            let fold = |slot: &mut Option<NodeId>| {
+                *slot = Some(match *slot {
+                    Some(cur) => self.prefer_parent(cur, v),
+                    None => v,
+                });
+            };
+            fold(&mut best_any);
+            match self.status[v.index()] {
+                NodeStatus::ClusterHead => fold(&mut best_head),
+                NodeStatus::Gateway => fold(&mut best_gateway),
+                NodeStatus::PureMember => {}
+            }
         }
+        let Some(any) = best_any else {
+            return Err(MoveInError::NoAttachedNeighbor);
+        };
 
         // Definition 1 status rules.
-        let pick = |cands: &[NodeId]| self.pick_parent(cands);
-        let heads: Vec<NodeId> = attached
-            .iter()
-            .copied()
-            .filter(|&v| self.status[v.index()] == NodeStatus::ClusterHead)
-            .collect();
-        let gateways: Vec<NodeId> = attached
-            .iter()
-            .copied()
-            .filter(|&v| self.status[v.index()] == NodeStatus::Gateway)
-            .collect();
-        let (w, new_status, promote_w) = if !heads.is_empty() {
-            (pick(&heads), NodeStatus::PureMember, false)
-        } else if !gateways.is_empty() {
-            (pick(&gateways), NodeStatus::ClusterHead, false)
+        let (w, new_status, promote_w) = if let Some(h) = best_head {
+            (h, NodeStatus::PureMember, false)
+        } else if let Some(g) = best_gateway {
+            (g, NodeStatus::ClusterHead, false)
         } else {
-            (pick(&attached), NodeStatus::ClusterHead, true)
+            (any, NodeStatus::ClusterHead, true)
         };
 
         // Pre-attachment structural facts needed by Algorithm 3.
@@ -411,7 +417,7 @@ impl ClusterNet {
         }
 
         let cost = MoveInCost {
-            discovery: attached.len() as u64 + 1,
+            discovery: attached_count + 1,
             slot_update: slot_rounds,
             propagation: 2 * self.height() as u64,
         };
@@ -424,15 +430,21 @@ impl ClusterNet {
         })
     }
 
-    fn pick_parent(&self, candidates: &[NodeId]) -> NodeId {
-        debug_assert!(!candidates.is_empty());
-        match self.rule {
-            ParentRule::LowestId => candidates.iter().copied().min().unwrap(),
-            ParentRule::HighestDegree => candidates
-                .iter()
-                .copied()
-                .max_by_key(|&u| (self.graph.degree(u), std::cmp::Reverse(u)))
-                .unwrap(),
+    /// The preferred of two parent candidates under the configured rule —
+    /// the pairwise form of `min` (LowestId) / `max_by_key (degree, ¬id)`
+    /// (HighestDegree), folded over the neighbour scan.
+    fn prefer_parent(&self, cur: NodeId, cand: NodeId) -> NodeId {
+        let wins = match self.rule {
+            ParentRule::LowestId => cand < cur,
+            ParentRule::HighestDegree => {
+                (self.graph.degree(cand), std::cmp::Reverse(cand))
+                    > (self.graph.degree(cur), std::cmp::Reverse(cur))
+            }
+        };
+        if wins {
+            cand
+        } else {
+            cur
         }
     }
 

@@ -21,44 +21,63 @@ use crate::costs::SlotCalcCost;
 use crate::slots::view::NetView;
 use crate::slots::{mex, SlotKind, SlotMode, SlotTable};
 use dsnet_graph::NodeId;
-use std::collections::BTreeSet;
+
+/// Number of slot values that occur exactly once in the *sorted* scratch
+/// (runs of length 1).
+pub(crate) fn unique_run_count(sorted: &[u32]) -> usize {
+    let mut unique = 0usize;
+    let mut i = 0;
+    while i < sorted.len() {
+        let mut j = i + 1;
+        while j < sorted.len() && sorted[j] == sorted[i] {
+            j += 1;
+        }
+        if j - i == 1 {
+            unique += 1;
+        }
+        i = j;
+    }
+    unique
+}
 
 /// Core of Procedure 1, shared by both slot kinds: collect the forbidden
 /// values over `receivers`, where each receiver `v` contributes the slots
 /// of `transmitters(v) \ {y}` unless two of those are already unique.
-fn procedure1(
+fn procedure1<I: Iterator<Item = NodeId>>(
     y: NodeId,
-    receivers: &[NodeId],
+    receivers: impl Iterator<Item = NodeId>,
     slots: &SlotTable,
     kind: SlotKind,
-    transmitters_of: impl Fn(NodeId) -> Vec<NodeId>,
+    transmitters_of: impl Fn(NodeId) -> I,
 ) -> (u32, SlotCalcCost) {
-    let mut forbidden: BTreeSet<u32> = BTreeSet::new();
-    for &v in receivers {
-        let others: Vec<u32> = transmitters_of(v)
-            .into_iter()
-            .filter(|&t| t != y)
-            .filter_map(|t| slots.get(kind, t))
-            .collect();
-        let mut counts: std::collections::BTreeMap<u32, u32> = Default::default();
-        for s in &others {
-            *counts.entry(*s).or_insert(0) += 1;
-        }
-        let unique_values = counts.values().filter(|&&c| c == 1).count();
-        if unique_values >= 2 {
+    let mut forbidden: Vec<u32> = Vec::new();
+    let mut others: Vec<u32> = Vec::new();
+    let mut consulted = 0usize;
+    for v in receivers {
+        consulted += 1;
+        others.clear();
+        others.extend(
+            transmitters_of(v)
+                .filter(|&t| t != y)
+                .filter_map(|t| slots.get(kind, t)),
+        );
+        others.sort_unstable();
+        if unique_run_count(&others) >= 2 {
             // `v` is safe regardless of y's choice: y can collide with at
             // most one of the two unique transmitters.
             continue;
         }
-        forbidden.extend(counts.keys().copied());
+        // Duplicates are fine: `mex` dedups while scanning.
+        forbidden.extend_from_slice(&others);
     }
-    (mex(&forbidden), SlotCalcCost::new(receivers.len()))
+    (mex(&mut forbidden), SlotCalcCost::new(consulted))
 }
 
 /// Recompute `y`'s b-time-slot (Procedure CalculateBTimeSlot).
 pub fn calculate_b_slot(view: &NetView<'_>, slots: &mut SlotTable, y: NodeId) -> SlotCalcCost {
-    let receivers = view.c_b(y);
-    let (slot, cost) = procedure1(y, &receivers, slots, SlotKind::B, |v| view.p_b(v));
+    let (slot, cost) = procedure1(y, view.c_b_iter(y), slots, SlotKind::B, |v| {
+        view.p_b_iter(v)
+    });
     slots.set(SlotKind::B, y, slot);
     cost
 }
@@ -70,46 +89,57 @@ pub fn calculate_l_slot(
     mode: SlotMode,
     y: NodeId,
 ) -> SlotCalcCost {
-    let receivers = view.c_l(y, mode);
-    let (slot, cost) = procedure1(y, &receivers, slots, SlotKind::L, |v| view.p_l(v, mode));
+    let (slot, cost) = procedure1(y, view.c_l_iter(y, mode), slots, SlotKind::L, |v| {
+        view.p_l_iter(v, mode)
+    });
     slots.set(SlotKind::L, y, slot);
     cost
 }
 
-/// Whether some slot value occurs exactly once among `transmitters`.
-fn has_unique_slot(transmitters: &[NodeId], slots: &SlotTable, kind: SlotKind) -> bool {
-    let mut counts: std::collections::BTreeMap<u32, u32> = Default::default();
-    let mut missing = false;
-    for &t in transmitters {
-        match slots.get(kind, t) {
-            Some(s) => *counts.entry(s).or_insert(0) += 1,
-            // A transmitter without a slot never transmits in this phase;
-            // it cannot rescue the receiver but also cannot collide.
-            None => missing = true,
+/// Whether some slot value occurs exactly once among the transmitters
+/// yielded by `iter`. Transmitters without a slot never transmit in this
+/// phase; they cannot rescue the receiver but also cannot collide.
+///
+/// Returns `(any_transmitter, has_unique)`. The transmitter sets audible
+/// at one receiver are tiny (bounded by the local degree), so the
+/// quadratic pair scan beats collecting and sorting a scratch vector —
+/// the condition checks run once per affected receiver per
+/// reconfiguration in the mobility repair loop.
+fn unique_slot_scan<I>(iter: I, slots: &SlotTable, kind: SlotKind) -> (bool, bool)
+where
+    I: Iterator<Item = NodeId> + Clone,
+{
+    let mut any = false;
+    for t in iter.clone() {
+        any = true;
+        let Some(s) = slots.get(kind, t) else {
+            continue;
+        };
+        let duplicated = iter
+            .clone()
+            .any(|t2| t2 != t && slots.get(kind, t2) == Some(s));
+        if !duplicated {
+            return (true, true);
         }
     }
-    let _ = missing;
-    counts.values().any(|&c| c == 1)
+    (any, false)
 }
 
 /// Time-Slot Condition 2, b-side, at backbone receiver `v` (depth ≥ 1):
 /// some phase-1 transmitter audible at `v` has a unique b-slot.
 pub fn condition_b_holds(view: &NetView<'_>, slots: &SlotTable, v: NodeId) -> bool {
-    let p = view.p_b(v);
-    if p.is_empty() {
+    let (any, unique) = unique_slot_scan(view.p_b_iter(v), slots, SlotKind::B);
+    if !any {
         // No audible phase-1 transmitter: only legal for the root.
         return view.tree.depth(v) == 0;
     }
-    has_unique_slot(&p, slots, SlotKind::B)
+    unique
 }
 
 /// Time-Slot Condition 2, l-side, at member leaf `v`.
 pub fn condition_l_holds(view: &NetView<'_>, slots: &SlotTable, mode: SlotMode, v: NodeId) -> bool {
-    let p = view.p_l(v, mode);
-    if p.is_empty() {
-        return false;
-    }
-    has_unique_slot(&p, slots, SlotKind::L)
+    let (any, unique) = unique_slot_scan(view.p_l_iter(v, mode), slots, SlotKind::L);
+    any && unique
 }
 
 #[cfg(test)]

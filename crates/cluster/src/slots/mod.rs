@@ -145,9 +145,15 @@ impl SlotTable {
 /// Minimum positive integer not contained in `used` (the paper's
 /// "select the minimum positive integer which is different from all
 /// received time-slots").
-pub(crate) fn mex(used: &std::collections::BTreeSet<u32>) -> u32 {
+///
+/// `used` is caller-owned scratch: values may arrive unsorted and with
+/// duplicates; the slice is sorted in place and otherwise left intact so
+/// hot loops can `clear()` and refill one buffer instead of allocating a
+/// set per call.
+pub(crate) fn mex(used: &mut [u32]) -> u32 {
+    used.sort_unstable();
     let mut candidate = 1u32;
-    for &u in used {
+    for &u in used.iter() {
         match u.cmp(&candidate) {
             std::cmp::Ordering::Less => {}
             std::cmp::Ordering::Equal => candidate += 1,
@@ -160,21 +166,33 @@ pub(crate) fn mex(used: &std::collections::BTreeSet<u32>) -> u32 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::collections::BTreeSet;
 
     #[test]
     fn mex_of_empty_is_one() {
-        assert_eq!(mex(&BTreeSet::new()), 1);
+        assert_eq!(mex(&mut []), 1);
     }
 
     #[test]
     fn mex_skips_used_values() {
-        let used: BTreeSet<u32> = [1, 2, 4].into_iter().collect();
-        assert_eq!(mex(&used), 3);
-        let used: BTreeSet<u32> = [2, 3].into_iter().collect();
-        assert_eq!(mex(&used), 1);
-        let used: BTreeSet<u32> = [1, 2, 3].into_iter().collect();
-        assert_eq!(mex(&used), 4);
+        assert_eq!(mex(&mut [1, 2, 4]), 3);
+        assert_eq!(mex(&mut [2, 3]), 1);
+        assert_eq!(mex(&mut [1, 2, 3]), 4);
+    }
+
+    #[test]
+    fn mex_boundaries_dense_prefix_gaps_and_duplicates() {
+        // Dense prefix: every value 1..=k used ⇒ k+1.
+        assert_eq!(mex(&mut [1]), 2);
+        assert_eq!(mex(&mut [1, 2, 3, 4, 5]), 6);
+        // Gap right after 1.
+        assert_eq!(mex(&mut [1, 3]), 2);
+        // Unsorted input is sorted in place.
+        assert_eq!(mex(&mut [4, 1, 2]), 3);
+        // Duplicates count once.
+        assert_eq!(mex(&mut [1, 1, 2, 2]), 3);
+        assert_eq!(mex(&mut [2, 2]), 1);
+        // Values far above the answer are ignored.
+        assert_eq!(mex(&mut [1, 1000]), 2);
     }
 
     #[test]

@@ -19,7 +19,6 @@
 use crate::slots::view::NetView;
 use crate::slots::{mex, SlotKind, SlotMode, SlotTable};
 use dsnet_graph::NodeId;
-use std::collections::BTreeSet;
 
 /// Assign session slots. `tx(u)` — node forwards in this session;
 /// `rx(u)` — node must receive. Returns a fresh slot table populated only
@@ -79,23 +78,23 @@ fn pick_slot(
     y: NodeId,
     transmitters_of: impl Fn(NodeId) -> Vec<NodeId>,
 ) -> u32 {
-    let mut forbidden: BTreeSet<u32> = BTreeSet::new();
+    let mut forbidden: Vec<u32> = Vec::new();
+    let mut others: Vec<u32> = Vec::new();
     for &v in receivers {
-        let others: Vec<u32> = transmitters_of(v)
-            .into_iter()
-            .filter(|&t| t != y)
-            .filter_map(|t| slots.get(kind, t))
-            .collect();
-        let mut counts: std::collections::BTreeMap<u32, u32> = Default::default();
-        for s in &others {
-            *counts.entry(*s).or_insert(0) += 1;
-        }
-        if counts.values().filter(|&&c| c == 1).count() >= 2 {
+        others.clear();
+        others.extend(
+            transmitters_of(v)
+                .into_iter()
+                .filter(|&t| t != y)
+                .filter_map(|t| slots.get(kind, t)),
+        );
+        others.sort_unstable();
+        if crate::slots::assign::unique_run_count(&others) >= 2 {
             continue;
         }
-        forbidden.extend(counts.keys().copied());
+        forbidden.extend_from_slice(&others);
     }
-    mex(&forbidden)
+    mex(&mut forbidden)
 }
 
 /// Session-level Time-Slot Condition 2: every rx participant has a

@@ -1,11 +1,10 @@
 //! Whole-structure validation of the Time-Slot Conditions, plus the
 //! one-shot slot assignment for the basic flooding broadcast (Algorithm 1).
 
-use crate::slots::assign::{condition_b_holds, condition_l_holds};
+use crate::slots::assign::{condition_b_holds, condition_l_holds, unique_run_count};
 use crate::slots::view::NetView;
 use crate::slots::{mex, SlotMode, SlotTable};
 use dsnet_graph::NodeId;
-use std::collections::BTreeSet;
 
 /// A receiver whose Time-Slot Condition is violated.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -62,29 +61,30 @@ pub fn assign_flood_slots(view: &NetView<'_>) -> (Vec<Option<u32>>, u32) {
         .filter(|&u| view.cnet_internal(u))
         .collect();
     internal.sort_by_key(|&u| (view.tree.depth(u), u));
+    let mut forbidden: Vec<u32> = Vec::new();
+    let mut others: Vec<u32> = Vec::new();
     for &y in &internal {
         let depth = view.tree.depth(y);
         let receivers: Vec<NodeId> = view
             .attached_neighbors(y)
             .filter(|&v| view.tree.depth(v) == depth + 1)
             .collect();
-        let mut forbidden: BTreeSet<u32> = BTreeSet::new();
+        forbidden.clear();
         for &v in &receivers {
-            let others: Vec<u32> = flood_transmitters(view, v)
-                .into_iter()
-                .filter(|&t| t != y)
-                .filter_map(|t| slot[t.index()])
-                .collect();
-            let mut counts: std::collections::BTreeMap<u32, u32> = Default::default();
-            for s in &others {
-                *counts.entry(*s).or_insert(0) += 1;
-            }
-            if counts.values().filter(|&&c| c == 1).count() >= 2 {
+            others.clear();
+            others.extend(
+                flood_transmitters(view, v)
+                    .into_iter()
+                    .filter(|&t| t != y)
+                    .filter_map(|t| slot[t.index()]),
+            );
+            others.sort_unstable();
+            if unique_run_count(&others) >= 2 {
                 continue;
             }
-            forbidden.extend(counts.keys().copied());
+            forbidden.extend_from_slice(&others);
         }
-        slot[y.index()] = Some(mex(&forbidden));
+        slot[y.index()] = Some(mex(&mut forbidden));
     }
     let max = slot.iter().flatten().copied().max().unwrap_or(0);
     (slot, max)
@@ -115,13 +115,9 @@ pub fn validate_condition1(view: &NetView<'_>, slot: &[Option<u32>]) -> Vec<Node
             violations.push(v);
             continue;
         }
-        let mut counts: std::collections::BTreeMap<u32, u32> = Default::default();
-        for &t in &trans {
-            if let Some(s) = slot[t.index()] {
-                *counts.entry(s).or_insert(0) += 1;
-            }
-        }
-        if !counts.values().any(|&c| c == 1) {
+        let mut vals: Vec<u32> = trans.iter().filter_map(|&t| slot[t.index()]).collect();
+        vals.sort_unstable();
+        if unique_run_count(&vals) == 0 {
             violations.push(v);
         }
     }

@@ -82,23 +82,32 @@ impl<'a> NetView<'a> {
     /// `P_b(v)`: phase-1 transmitters audible at backbone receiver `v` —
     /// BT-internal G-neighbours exactly one depth above `v`.
     pub fn p_b(&self, v: NodeId) -> Vec<NodeId> {
+        self.p_b_iter(v).collect()
+    }
+
+    /// Iterator form of [`NetView::p_b`] — no allocation, for the hot
+    /// maintenance paths. (A receiver at depth 0 has no depth `-1`
+    /// neighbours, so the iterator is naturally empty at the root.)
+    pub fn p_b_iter(self, v: NodeId) -> impl Iterator<Item = NodeId> + Clone + 'a {
         debug_assert!(self.in_backbone(v));
         let depth = self.tree.depth(v);
-        if depth == 0 {
-            return Vec::new();
-        }
-        self.attached_neighbors(v)
-            .filter(|&y| self.bt_internal(y) && self.tree.depth(y) + 1 == depth)
-            .collect()
+        self.graph.neighbors(v).iter().copied().filter(move |&y| {
+            self.attached(y) && self.bt_internal(y) && self.tree.depth(y) + 1 == depth
+        })
     }
 
     /// `C_b(y)`: backbone receivers transmitter `y` can disturb in
     /// phase 1 — backbone G-neighbours exactly one depth below `y`.
     pub fn c_b(&self, y: NodeId) -> Vec<NodeId> {
+        self.c_b_iter(y).collect()
+    }
+
+    /// Iterator form of [`NetView::c_b`].
+    pub fn c_b_iter(self, y: NodeId) -> impl Iterator<Item = NodeId> + 'a {
         let depth = self.tree.depth(y);
-        self.attached_neighbors(y)
-            .filter(|&v| self.in_backbone(v) && self.tree.depth(v) == depth + 1)
-            .collect()
+        self.graph.neighbors(y).iter().copied().filter(move |&v| {
+            self.attached(v) && self.in_backbone(v) && self.tree.depth(v) == depth + 1
+        })
     }
 
     /// `P_l(v)`: phase-2 transmitters audible at member leaf `v`.
@@ -106,31 +115,39 @@ impl<'a> NetView<'a> {
     /// `Strict`: every internal G-neighbour (any depth) — all of them
     /// really do transmit in the shared phase-2 window.
     pub fn p_l(&self, v: NodeId, mode: SlotMode) -> Vec<NodeId> {
+        self.p_l_iter(v, mode).collect()
+    }
+
+    /// Iterator form of [`NetView::p_l`].
+    pub fn p_l_iter(self, v: NodeId, mode: SlotMode) -> impl Iterator<Item = NodeId> + Clone + 'a {
         debug_assert!(self.is_member_leaf(v));
         let depth = self.tree.depth(v);
-        self.attached_neighbors(v)
-            .filter(|&y| {
-                self.cnet_internal(y)
-                    && match mode {
-                        SlotMode::PaperFaithful => self.tree.depth(y) + 1 == depth,
-                        SlotMode::Strict => true,
-                    }
-            })
-            .collect()
+        self.graph.neighbors(v).iter().copied().filter(move |&y| {
+            self.attached(y)
+                && self.cnet_internal(y)
+                && match mode {
+                    SlotMode::PaperFaithful => self.tree.depth(y) + 1 == depth,
+                    SlotMode::Strict => true,
+                }
+        })
     }
 
     /// `C_l(y)`: member leaves transmitter `y` can disturb in phase 2.
     pub fn c_l(&self, y: NodeId, mode: SlotMode) -> Vec<NodeId> {
+        self.c_l_iter(y, mode).collect()
+    }
+
+    /// Iterator form of [`NetView::c_l`].
+    pub fn c_l_iter(self, y: NodeId, mode: SlotMode) -> impl Iterator<Item = NodeId> + 'a {
         let depth = self.tree.depth(y);
-        self.attached_neighbors(y)
-            .filter(|&v| {
-                self.is_member_leaf(v)
-                    && match mode {
-                        SlotMode::PaperFaithful => self.tree.depth(v) == depth + 1,
-                        SlotMode::Strict => true,
-                    }
-            })
-            .collect()
+        self.graph.neighbors(y).iter().copied().filter(move |&v| {
+            self.attached(v)
+                && self.is_member_leaf(v)
+                && match mode {
+                    SlotMode::PaperFaithful => self.tree.depth(v) == depth + 1,
+                    SlotMode::Strict => true,
+                }
+        })
     }
 
     /// All attached backbone nodes.

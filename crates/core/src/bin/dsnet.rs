@@ -283,6 +283,22 @@ fn run_perf_cmd(a: &Args) {
                 "  {:<20} {:>4} n × {:>3} reps  {:>9} rounds  {:>8.1} ms  {:>10.0} rounds/s",
                 s.name, s.nodes, s.reps, s.rounds, s.wall_ms, s.rounds_per_sec
             );
+            if let Some(m) = &s.maintenance {
+                eprintln!(
+                    "  {:<20} diff {:.1} ms, repair {:.1} ms, slots {:.1} ms, audit {:.1} ms \
+                     (scope {}); {} reconfigs, {} rehomed, cache {}/{}",
+                    "  maintenance:",
+                    m.diff_ms,
+                    m.repair_ms,
+                    m.slots_ms,
+                    m.audit_ms,
+                    m.audit_scope,
+                    m.reconfigs,
+                    m.rehomed,
+                    m.cache_hits,
+                    m.cache_hits + m.cache_misses
+                );
+            }
         }
     }
     // `--out` doubles as the render command's SVG path; its default is

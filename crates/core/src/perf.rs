@@ -25,6 +25,9 @@ use crate::campaign_engine::{
 };
 use crate::protocols::runner::RunConfig;
 use crate::{NetworkBuilder, Protocol};
+use dsnet_geom::rng::derive_seed;
+use dsnet_geom::{Deployment, DeploymentConfig};
+use dsnet_mobility::{MobileNetwork, MobilityConfig, RandomWaypoint, WaypointParams};
 use std::fmt::Write as _;
 use std::time::Instant;
 
@@ -61,6 +64,44 @@ pub struct ScenarioResult {
     pub wall_ms: f64,
     /// Simulated rounds per wall-clock second (timing).
     pub rounds_per_sec: f64,
+    /// Maintenance breakdown for mobility scenarios (`None` elsewhere).
+    pub maintenance: Option<MaintenanceBreakdown>,
+}
+
+/// Per-phase maintenance measurements of a mobility scenario, harvested
+/// from one standalone [`MobileNetwork`] drive that replicates the
+/// campaign's first trial (same deployment, trajectory and epoch count).
+///
+/// The count fields are pure functions of the seeds — CI compares them
+/// exactly, like the scenario counters. The `*_ms` fields are wall-clock
+/// phase breakdowns ([`dsnet_mobility::MaintenanceTimings`] sums) and are
+/// omitted from timing-free renders.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MaintenanceBreakdown {
+    /// Total `node-move-out`/`move-in` reconfigurations (deterministic).
+    pub reconfigs: u64,
+    /// Total stranded nodes re-homed (deterministic).
+    pub rehomed: u64,
+    /// Total edge appear/disappear events (deterministic).
+    pub edge_events: u64,
+    /// Total slot-value changes observed (deterministic).
+    pub slot_churn: u64,
+    /// Nodes re-verified by the dirty-scoped audit (deterministic).
+    pub audit_scope: u64,
+    /// Epochs that fell back to a full-structure audit (deterministic).
+    pub full_audits: u64,
+    /// Knowledge-cache hits over the probe broadcasts (deterministic).
+    pub cache_hits: u64,
+    /// Knowledge-cache misses over the probe broadcasts (deterministic).
+    pub cache_misses: u64,
+    /// Topology-diff phase wall-clock, ms (timing).
+    pub diff_ms: f64,
+    /// Structure-repair phase wall-clock, ms (timing).
+    pub repair_ms: f64,
+    /// Slot-churn accounting wall-clock, ms (timing).
+    pub slots_ms: f64,
+    /// Invariant-audit wall-clock, ms (timing).
+    pub audit_ms: f64,
 }
 
 /// A full perf-suite run: header plus one [`ScenarioResult`] per scenario.
@@ -81,7 +122,12 @@ pub struct Ledger {
 }
 
 /// Current ledger schema identifier.
-pub const SCHEMA: &str = "dsnet-bench-ledger/1";
+pub const SCHEMA: &str = "dsnet-bench-ledger/2";
+
+/// The previous schema: no maintenance breakdown, no `mobility_400ep`
+/// scenario. [`compare`] still accepts v1 baselines for the counter
+/// fields both schemas share.
+pub const SCHEMA_V1: &str = "dsnet-bench-ledger/1";
 
 /// Run the full fixed suite and return the ledger.
 ///
@@ -93,12 +139,14 @@ pub const SCHEMA: &str = "dsnet-bench-ledger/1";
 /// | `static_dfo` | DFO token walk on the same deployment | 500 n × 60 reps | 120 n × 5 reps |
 /// | `lossy_rcff_repair` | reliable CFF, 10% loss, backbone failure + repair, via the campaign engine | 150 n × 150 reps | 50 n × 2 reps |
 /// | `mobility_100ep` | random-waypoint motion + live maintenance, via the campaign engine | 120 n × 3 reps × 100 epochs | 40 n × 2 reps × 10 epochs |
+/// | `mobility_400ep` | same path, 4× the motion history (long-horizon maintenance) | 120 n × 2 reps × 400 epochs | 40 n × 1 rep × 20 epochs |
 pub fn run_suite(opts: &PerfOptions) -> Ledger {
     let scenarios = vec![
         run_static(opts, "static_cff", Protocol::ImprovedCff),
         run_static(opts, "static_dfo", Protocol::Dfo),
         run_lossy_rcff_repair(opts),
-        run_mobility(opts),
+        run_mobility(opts, "mobility_100ep"),
+        run_mobility(opts, "mobility_400ep"),
     ];
     Ledger {
         schema: SCHEMA,
@@ -167,13 +215,17 @@ fn run_lossy_rcff_repair(opts: &PerfOptions) -> ScenarioResult {
     run_campaign_scenario("lossy_rcff_repair", n as u64, &spec, opts)
 }
 
-/// Random-waypoint mobility (100 epochs full, 10 quick) followed by an
-/// improved-CFF broadcast, through the campaign engine.
-fn run_mobility(opts: &PerfOptions) -> ScenarioResult {
-    let (n, reps, epochs) = if opts.quick {
-        (40, 2, 10)
-    } else {
-        (120, 3, 100)
+/// Random-waypoint mobility followed by an improved-CFF broadcast,
+/// through the campaign engine. `mobility_100ep` is the original
+/// 3-rep × 100-epoch cell; `mobility_400ep` drives 4× the motion history
+/// over 2 reps so long-horizon maintenance (id-space growth, cumulative
+/// re-homing) shows up in the ledger.
+fn run_mobility(opts: &PerfOptions, name: &'static str) -> ScenarioResult {
+    let (n, reps, epochs) = match (name, opts.quick) {
+        ("mobility_400ep", false) => (120, 2, 400),
+        ("mobility_400ep", true) => (40, 1, 20),
+        (_, false) => (120, 3, 100),
+        (_, true) => (40, 2, 10),
     };
     let spec = CampaignSpec {
         name: "perf-mobility".into(),
@@ -195,7 +247,64 @@ fn run_mobility(opts: &PerfOptions) -> ScenarioResult {
         max_retries: 2,
         record_trace: false,
     };
-    run_campaign_scenario("mobility_100ep", n as u64, &spec, opts)
+    let mut result = run_campaign_scenario(name, n as u64, &spec, opts);
+    result.maintenance = Some(measure_maintenance(&spec, n, epochs));
+    result
+}
+
+/// Drive one standalone [`MobileNetwork`] that replicates the campaign's
+/// first mobility trial — same deployment seed, trajectory stream and
+/// epoch count as `build_network` — and sum its per-epoch
+/// [`dsnet_mobility::MaintenanceTimings`] into a ledger breakdown.
+/// Periodic broadcast probes (epochs/4 apart) exercise the knowledge
+/// cache so the hit/miss counters are live.
+fn measure_maintenance(spec: &CampaignSpec, n: usize, epochs: u32) -> MaintenanceBreakdown {
+    // Trial 0's scenario seed, as derived by `CampaignSpec::expand`.
+    let scenario_seed = derive_seed(spec.base_seed, (n as u64) << 20);
+    let d = Deployment::generate(DeploymentConfig::paper_field(
+        spec.field_side,
+        n,
+        scenario_seed,
+    ));
+    let model_seed = derive_seed(scenario_seed, 0x6D0B);
+    let MobilitySpec::RandomWaypoint { pause, .. } = spec.mobility[0] else {
+        unreachable!("perf mobility cells are random-waypoint");
+    };
+    let speed = spec.mobility[0].speed();
+    let model = RandomWaypoint::new(
+        d.positions.clone(),
+        d.config.region,
+        WaypointParams {
+            v_min: 0.5 * speed,
+            v_max: 1.5 * speed,
+            pause_epochs: pause,
+        },
+        model_seed,
+    );
+    let mut mob =
+        MobileNetwork::new(&d, Box::new(model)).expect("incremental deployments arrive connected");
+    let cfg = MobilityConfig {
+        broadcast_every: u64::from((epochs / 4).max(1)),
+        ..MobilityConfig::default()
+    };
+    let report = mob
+        .run(u64::from(epochs), &cfg)
+        .expect("maintenance preserves the paper's invariants");
+    let t = report.summed_timings();
+    MaintenanceBreakdown {
+        reconfigs: report.total_reconfigs(),
+        rehomed: report.total_rehomed(),
+        edge_events: report.total_edge_events(),
+        slot_churn: report.total_slot_churn(),
+        audit_scope: t.audit_scope as u64,
+        full_audits: u64::from(t.full_audits),
+        cache_hits: t.cache_hits,
+        cache_misses: t.cache_misses,
+        diff_ms: t.diff_ns as f64 / 1e6,
+        repair_ms: t.repair_ns as f64 / 1e6,
+        slots_ms: t.slots_ns as f64 / 1e6,
+        audit_ms: t.audit_ns as f64 / 1e6,
+    }
 }
 
 fn run_campaign_scenario(
@@ -272,6 +381,7 @@ fn best_of(
         } else {
             0.0
         },
+        maintenance: None,
     }
 }
 
@@ -291,18 +401,40 @@ pub fn render_ledger(l: &Ledger, include_timing: bool) -> String {
     }
     s.push_str("  \"scenarios\": [\n");
     for (i, sc) in l.scenarios.iter().enumerate() {
-        s.push_str("    {\n");
-        let _ = writeln!(s, "      \"name\": \"{}\",", sc.name);
-        let _ = writeln!(s, "      \"nodes\": {},", sc.nodes);
-        let _ = writeln!(s, "      \"reps\": {},", sc.reps);
-        let _ = writeln!(s, "      \"rounds\": {},", sc.rounds);
-        let _ = writeln!(s, "      \"delivered\": {},", sc.delivered);
+        // Collect `"key": value` pairs first so the trailing-comma rule
+        // stays in one place regardless of which optional fields render.
+        let mut fields: Vec<String> = vec![
+            format!("\"name\": \"{}\"", sc.name),
+            format!("\"nodes\": {}", sc.nodes),
+            format!("\"reps\": {}", sc.reps),
+            format!("\"rounds\": {}", sc.rounds),
+            format!("\"delivered\": {}", sc.delivered),
+            format!("\"targets\": {}", sc.targets),
+        ];
+        if let Some(m) = &sc.maintenance {
+            fields.push(format!("\"maint_reconfigs\": {}", m.reconfigs));
+            fields.push(format!("\"maint_rehomed\": {}", m.rehomed));
+            fields.push(format!("\"maint_edge_events\": {}", m.edge_events));
+            fields.push(format!("\"maint_slot_churn\": {}", m.slot_churn));
+            fields.push(format!("\"maint_audit_scope\": {}", m.audit_scope));
+            fields.push(format!("\"maint_full_audits\": {}", m.full_audits));
+            fields.push(format!("\"maint_cache_hits\": {}", m.cache_hits));
+            fields.push(format!("\"maint_cache_misses\": {}", m.cache_misses));
+            if include_timing {
+                fields.push(format!("\"maint_diff_ms\": {:.3}", m.diff_ms));
+                fields.push(format!("\"maint_repair_ms\": {:.3}", m.repair_ms));
+                fields.push(format!("\"maint_slots_ms\": {:.3}", m.slots_ms));
+                fields.push(format!("\"maint_audit_ms\": {:.3}", m.audit_ms));
+            }
+        }
         if include_timing {
-            let _ = writeln!(s, "      \"targets\": {},", sc.targets);
-            let _ = writeln!(s, "      \"wall_ms\": {:.3},", sc.wall_ms);
-            let _ = writeln!(s, "      \"rounds_per_sec\": {:.1}", sc.rounds_per_sec);
-        } else {
-            let _ = writeln!(s, "      \"targets\": {}", sc.targets);
+            fields.push(format!("\"wall_ms\": {:.3}", sc.wall_ms));
+            fields.push(format!("\"rounds_per_sec\": {:.1}", sc.rounds_per_sec));
+        }
+        s.push_str("    {\n");
+        for (j, f) in fields.iter().enumerate() {
+            let sep = if j + 1 < fields.len() { "," } else { "" };
+            let _ = writeln!(s, "      {f}{sep}");
         }
         s.push_str(if i + 1 < l.scenarios.len() {
             "    },\n"
@@ -348,7 +480,17 @@ pub fn compare(baseline_json: &str, fresh: &Ledger, max_regress: f64) -> Compari
             return Comparison { notes, failures };
         }
     };
-    if base.schema != fresh.schema {
+    // A v1 baseline is still comparable on the fields both schemas share:
+    // the counters it does carry are gated exactly; scenarios and
+    // maintenance counters it predates are noted, not failed, so a repo
+    // can roll the schema forward and regenerate the baseline in the same
+    // change without the gate eating itself.
+    let v1_baseline = base.schema == SCHEMA_V1 && fresh.schema == SCHEMA;
+    if v1_baseline {
+        notes.push(format!(
+            "baseline uses schema {SCHEMA_V1}; maintenance counters and scenarios new in {SCHEMA} are not compared"
+        ));
+    } else if base.schema != fresh.schema {
         failures.push(format!(
             "schema mismatch: baseline {} vs fresh {}",
             base.schema, fresh.schema
@@ -363,7 +505,14 @@ pub fn compare(baseline_json: &str, fresh: &Ledger, max_regress: f64) -> Compari
     }
     for sc in &fresh.scenarios {
         let Some(b) = base.scenarios.iter().find(|b| b.name == sc.name) else {
-            failures.push(format!("scenario {} missing from baseline", sc.name));
+            if v1_baseline {
+                notes.push(format!(
+                    "{}: not in the v1 baseline, skipped (regenerate the baseline to gate it)",
+                    sc.name
+                ));
+            } else {
+                failures.push(format!("scenario {} missing from baseline", sc.name));
+            }
             continue;
         };
         for (field, got, want) in [
@@ -378,6 +527,25 @@ pub fn compare(baseline_json: &str, fresh: &Ledger, max_regress: f64) -> Compari
                     "{}: deterministic counter `{field}` drifted: baseline {want}, fresh {got}",
                     sc.name
                 ));
+            }
+        }
+        if let (Some(bm), Some(m)) = (&b.maintenance, &sc.maintenance) {
+            for (field, got, want) in [
+                ("maint_reconfigs", m.reconfigs, bm.reconfigs),
+                ("maint_rehomed", m.rehomed, bm.rehomed),
+                ("maint_edge_events", m.edge_events, bm.edge_events),
+                ("maint_slot_churn", m.slot_churn, bm.slot_churn),
+                ("maint_audit_scope", m.audit_scope, bm.audit_scope),
+                ("maint_full_audits", m.full_audits, bm.full_audits),
+                ("maint_cache_hits", m.cache_hits, bm.cache_hits),
+                ("maint_cache_misses", m.cache_misses, bm.cache_misses),
+            ] {
+                if got != want {
+                    failures.push(format!(
+                        "{}: deterministic counter `{field}` drifted: baseline {want}, fresh {got}",
+                        sc.name
+                    ));
+                }
             }
         }
         if b.rounds_per_sec > 0.0 {
@@ -426,6 +594,21 @@ struct ParsedScenario {
     delivered: u64,
     targets: u64,
     rounds_per_sec: f64,
+    /// Maintenance counters, present only in v2 ledgers (and only on
+    /// mobility scenarios).
+    maintenance: Option<ParsedMaintenance>,
+}
+
+#[derive(Debug, Default)]
+struct ParsedMaintenance {
+    reconfigs: u64,
+    rehomed: u64,
+    edge_events: u64,
+    slot_churn: u64,
+    audit_scope: u64,
+    full_audits: u64,
+    cache_hits: u64,
+    cache_misses: u64,
 }
 
 /// Minimal line-oriented parser for the exact shape [`render_ledger`]
@@ -464,6 +647,44 @@ fn parse_ledger(doc: &str) -> Option<ParsedLedger> {
             ("delivered", Some(sc)) => sc.delivered = value.parse().ok()?,
             ("targets", Some(sc)) => sc.targets = value.parse().ok()?,
             ("rounds_per_sec", Some(sc)) => sc.rounds_per_sec = value.parse().ok()?,
+            ("maint_reconfigs", Some(sc)) => {
+                sc.maintenance
+                    .get_or_insert_with(Default::default)
+                    .reconfigs = value.parse().ok()?;
+            }
+            ("maint_rehomed", Some(sc)) => {
+                sc.maintenance.get_or_insert_with(Default::default).rehomed = value.parse().ok()?;
+            }
+            ("maint_edge_events", Some(sc)) => {
+                sc.maintenance
+                    .get_or_insert_with(Default::default)
+                    .edge_events = value.parse().ok()?;
+            }
+            ("maint_slot_churn", Some(sc)) => {
+                sc.maintenance
+                    .get_or_insert_with(Default::default)
+                    .slot_churn = value.parse().ok()?;
+            }
+            ("maint_audit_scope", Some(sc)) => {
+                sc.maintenance
+                    .get_or_insert_with(Default::default)
+                    .audit_scope = value.parse().ok()?;
+            }
+            ("maint_full_audits", Some(sc)) => {
+                sc.maintenance
+                    .get_or_insert_with(Default::default)
+                    .full_audits = value.parse().ok()?;
+            }
+            ("maint_cache_hits", Some(sc)) => {
+                sc.maintenance
+                    .get_or_insert_with(Default::default)
+                    .cache_hits = value.parse().ok()?;
+            }
+            ("maint_cache_misses", Some(sc)) => {
+                sc.maintenance
+                    .get_or_insert_with(Default::default)
+                    .cache_misses = value.parse().ok()?;
+            }
             _ => {}
         }
     }
@@ -536,6 +757,7 @@ mod tests {
                     targets: 2_380,
                     wall_ms: 12.5,
                     rounds_per_sec: 80_000.0,
+                    maintenance: None,
                 },
                 ScenarioResult {
                     name: "static_dfo",
@@ -546,6 +768,7 @@ mod tests {
                     targets: 595,
                     wall_ms: 30.0,
                     rounds_per_sec: 100_000.0,
+                    maintenance: None,
                 },
             ],
         }
@@ -616,6 +839,106 @@ mod tests {
         let mut fast = base;
         fast.scenarios[0].rounds_per_sec = 200_000.0;
         assert!(compare(&doc, &fast, 0.15).passed());
+    }
+
+    fn mobility_scenario() -> ScenarioResult {
+        ScenarioResult {
+            name: "mobility_100ep",
+            nodes: 120,
+            reps: 3,
+            rounds: 159,
+            delivered: 360,
+            targets: 360,
+            wall_ms: 125.0,
+            rounds_per_sec: 1_270.0,
+            maintenance: Some(MaintenanceBreakdown {
+                reconfigs: 1_818,
+                rehomed: 17_513,
+                edge_events: 2_617,
+                slot_churn: 4_000,
+                audit_scope: 9_416,
+                full_audits: 0,
+                cache_hits: 3,
+                cache_misses: 1,
+                diff_ms: 7.0,
+                repair_ms: 29.0,
+                slots_ms: 0.3,
+                audit_ms: 2.8,
+            }),
+        }
+    }
+
+    #[test]
+    fn maintenance_fields_roundtrip_and_gate_exactly() {
+        let mut l = sample_ledger();
+        l.scenarios.push(mobility_scenario());
+        let doc = render_ledger(&l, true);
+        let p = parse_ledger(&doc).expect("v2 ledger parses");
+        let pm = p.scenarios[2].maintenance.as_ref().expect("maintenance");
+        assert_eq!(pm.reconfigs, 1_818);
+        assert_eq!(pm.audit_scope, 9_416);
+        assert_eq!(pm.cache_misses, 1);
+        assert!(compare(&doc, &l, 0.15).passed());
+
+        // Any maintenance-counter drift is a hard failure: it means the
+        // maintenance semantics changed, not just their speed.
+        let mut drifted = l.clone();
+        drifted.scenarios[2].maintenance.as_mut().unwrap().rehomed += 1;
+        let c = compare(&doc, &drifted, 0.15);
+        assert!(
+            c.failures.iter().any(|f| f.contains("maint_rehomed")),
+            "{:?}",
+            c.failures
+        );
+
+        // The timing halves of the breakdown are machine-dependent and
+        // must not leak into the determinism render.
+        let bare = render_ledger(&l, false);
+        assert!(bare.contains("maint_reconfigs"));
+        assert!(!bare.contains("maint_diff_ms"));
+    }
+
+    #[test]
+    fn compare_accepts_v1_baseline_for_shared_counters() {
+        // A v1 baseline: v1 schema string, no maintenance fields, no
+        // mobility scenarios.
+        let v1 = sample_ledger();
+        let doc = render_ledger(&v1, true).replace(SCHEMA, SCHEMA_V1);
+
+        // Fresh v2 run: same shared counters, plus a new mobility
+        // scenario carrying a maintenance breakdown.
+        let mut fresh = v1.clone();
+        fresh.scenarios.push(mobility_scenario());
+        let c = compare(&doc, &fresh, 0.15);
+        assert!(c.passed(), "failures: {:?}", c.failures);
+        assert!(
+            c.notes.iter().any(|n| n.contains(SCHEMA_V1)),
+            "{:?}",
+            c.notes
+        );
+        assert!(
+            c.notes.iter().any(|n| n.contains("mobility_100ep")),
+            "{:?}",
+            c.notes
+        );
+
+        // Leniency covers only what v1 cannot express: drift in a counter
+        // the baseline *does* carry still fails.
+        let mut drifted = fresh.clone();
+        drifted.scenarios[0].rounds += 1;
+        assert!(!compare(&doc, &drifted, 0.15).passed());
+
+        // And a v2-vs-v2 comparison is not lenient about missing
+        // scenarios.
+        let v2doc = render_ledger(&v1, true);
+        let c = compare(&v2doc, &fresh, 0.15);
+        assert!(
+            c.failures
+                .iter()
+                .any(|f| f.contains("missing from baseline")),
+            "{:?}",
+            c.failures
+        );
     }
 
     #[test]

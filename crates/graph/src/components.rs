@@ -41,13 +41,33 @@ pub fn component_of(g: &Graph, u: NodeId) -> Vec<NodeId> {
 /// Whether removing `u` would disconnect the remaining live nodes — i.e.,
 /// whether `u` is a cut vertex or the graph is already disconnected without
 /// it. Returns `false` when `u` is the only node.
+///
+/// Runs a single traversal over the live graph with `u` barred — no
+/// subgraph is materialised, so the hot mobility repair loop (which
+/// previews every candidate departure) pays one bitvec and one stack,
+/// not an edge-list rebuild.
 pub fn disconnects_without(g: &Graph, u: NodeId) -> bool {
     if g.node_count() <= 1 {
         return false;
     }
-    let keep: Vec<NodeId> = g.nodes().filter(|&v| v != u).collect();
-    let sub = g.induced_subgraph(&keep);
-    !is_connected(&sub)
+    let Some(start) = g.nodes().find(|&v| v != u) else {
+        return false;
+    };
+    let mut seen = vec![false; g.capacity()];
+    seen[u.index()] = true; // barred: traversal must route around it
+    seen[start.index()] = true;
+    let mut stack = vec![start];
+    let mut reached = 1usize;
+    while let Some(x) = stack.pop() {
+        for &v in g.neighbors(x) {
+            if !seen[v.index()] {
+                seen[v.index()] = true;
+                reached += 1;
+                stack.push(v);
+            }
+        }
+    }
+    reached != g.node_count() - 1
 }
 
 #[cfg(test)]

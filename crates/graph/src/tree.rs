@@ -29,6 +29,11 @@ pub struct RootedTree {
     depth: Vec<u32>,
     in_tree: Vec<bool>,
     count: usize,
+    /// `depth_counts[d]` = number of tree nodes at depth `d`; keeps
+    /// [`RootedTree::height`] O(1) instead of an id-space sweep (the
+    /// mobility repair loop reads the height once per re-homed node).
+    depth_counts: Vec<usize>,
+    max_depth: u32,
 }
 
 impl RootedTree {
@@ -41,11 +46,29 @@ impl RootedTree {
             depth: Vec::new(),
             in_tree: Vec::new(),
             count: 0,
+            depth_counts: vec![1],
+            max_depth: 0,
         };
         t.ensure_capacity(root.index() + 1);
         t.in_tree[root.index()] = true;
         t.count = 1;
         t
+    }
+
+    fn count_depth(&mut self, d: u32) {
+        let d = d as usize;
+        if self.depth_counts.len() <= d {
+            self.depth_counts.resize(d + 1, 0);
+        }
+        self.depth_counts[d] += 1;
+        self.max_depth = self.max_depth.max(d as u32);
+    }
+
+    fn uncount_depth(&mut self, d: u32) {
+        self.depth_counts[d as usize] -= 1;
+        while self.max_depth > 0 && self.depth_counts[self.max_depth as usize] == 0 {
+            self.max_depth -= 1;
+        }
     }
 
     fn ensure_capacity(&mut self, cap: usize) {
@@ -117,9 +140,11 @@ impl RootedTree {
         self.ensure_capacity(child.index() + 1);
         self.in_tree[child.index()] = true;
         self.parent[child.index()] = Some(parent);
-        self.depth[child.index()] = self.depth[parent.index()] + 1;
+        let d = self.depth[parent.index()] + 1;
+        self.depth[child.index()] = d;
         self.children[parent.index()].push(child);
         self.count += 1;
+        self.count_depth(d);
     }
 
     /// Detach the leaf `u` from the tree. Panics if `u` has children or is
@@ -132,6 +157,7 @@ impl RootedTree {
         self.parent[u.index()] = None;
         self.in_tree[u.index()] = false;
         self.count -= 1;
+        self.uncount_depth(self.depth[u.index()]);
     }
 
     /// Remove the whole subtree rooted at `u` (which may be the root, in
@@ -146,6 +172,7 @@ impl RootedTree {
             self.parent[v.index()] = None;
             self.children[v.index()].clear();
             self.in_tree[v.index()] = false;
+            self.uncount_depth(self.depth[v.index()]);
         }
         self.count -= nodes.len();
         nodes
@@ -176,12 +203,17 @@ impl RootedTree {
     }
 
     /// Height of the tree: the maximum depth over all nodes (0 for a
-    /// single-node tree).
+    /// single-node tree). O(1) — maintained incrementally.
     pub fn height(&self) -> u32 {
-        self.nodes()
-            .map(|u| self.depth[u.index()])
-            .max()
-            .unwrap_or(0)
+        debug_assert_eq!(
+            self.max_depth,
+            self.nodes()
+                .map(|u| self.depth[u.index()])
+                .max()
+                .unwrap_or(0),
+            "maintained height diverged from the depth sweep"
+        );
+        self.max_depth
     }
 
     /// Height of the subtree rooted at `u`, measured from `u` (a leaf's

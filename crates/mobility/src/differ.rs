@@ -14,7 +14,6 @@
 //! final-state-minus-initial-state difference.
 
 use dsnet_geom::{GridIndex, Point2, Region};
-use std::collections::BTreeMap;
 
 /// A single communication-edge change between two nodes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -33,6 +32,8 @@ pub struct EdgeEvent {
 pub struct TopologyDiffer {
     index: GridIndex,
     range: f64,
+    /// Reusable per-batch scratch of raw `(a, b, ±1)` edge deltas.
+    deltas: Vec<(usize, usize, i32)>,
 }
 
 impl TopologyDiffer {
@@ -42,7 +43,11 @@ impl TopologyDiffer {
         for &p in positions {
             index.insert(p);
         }
-        Self { index, range }
+        Self {
+            index,
+            range,
+            deltas: Vec::new(),
+        }
     }
 
     /// Number of tracked nodes.
@@ -73,48 +78,88 @@ impl TopologyDiffer {
     /// Indices currently within radio range of node `i`, excluding `i`
     /// itself, in ascending order.
     pub fn neighbors_within(&self, i: usize) -> Vec<usize> {
-        let mut out = self.index.within(self.index.point(i), self.range);
-        out.retain(|&j| j != i);
-        out.sort_unstable();
+        let mut out = Vec::new();
+        self.neighbors_within_into(i, &mut out);
         out
     }
 
+    /// Write the indices within radio range of node `i` (excluding `i`,
+    /// ascending) into `out`, clearing it first. Allocation-free once
+    /// `out` has grown to the local-density high-water mark.
+    pub fn neighbors_within_into(&self, i: usize, out: &mut Vec<usize>) {
+        out.clear();
+        self.index
+            .for_each_within(self.index.point(i), self.range, |j| {
+                if j != i {
+                    out.push(j);
+                }
+            });
+        out.sort_unstable();
+    }
+
     /// Apply a batch of moves and return the net edge changes, ordered by
-    /// `(a, b)` endpoint pair.
+    /// `(a, b)` endpoint pair. Allocating wrapper over
+    /// [`apply_into`](TopologyDiffer::apply_into).
+    pub fn apply(&mut self, moves: &[(usize, Point2)]) -> Vec<EdgeEvent> {
+        let mut out = Vec::new();
+        self.apply_into(moves, &mut out);
+        out
+    }
+
+    /// Apply a batch of moves, writing the net edge changes into `out`
+    /// (cleared first), ordered by `(a, b)` endpoint pair.
     ///
     /// Moves are applied in slice order; a node may appear more than once.
     /// Intermediate edge flickers within the batch cancel out: each event
     /// reflects the edge's final state differing from its pre-batch state.
-    pub fn apply(&mut self, moves: &[(usize, Point2)]) -> Vec<EdgeEvent> {
+    /// Both the internal delta scratch and `out` are reused buffers — a
+    /// steady-state epoch allocates nothing.
+    pub fn apply_into(&mut self, moves: &[(usize, Point2)], out: &mut Vec<EdgeEvent>) {
+        out.clear();
         // Net delta per edge: +1 appear, -1 disappear. Per-move deltas
-        // telescope, so after the whole batch every entry is in
-        // {-1, 0, +1} and the nonzero ones are exactly the changed edges.
-        let mut delta: BTreeMap<(usize, usize), i32> = BTreeMap::new();
+        // telescope, so after the whole batch every edge's summed delta is
+        // in {-1, 0, +1} and the nonzero ones are exactly the changed
+        // edges. Raw deltas go into a flat scratch; sort-and-sum replaces
+        // the former per-batch `BTreeMap`.
+        let Self {
+            index,
+            range,
+            deltas,
+        } = self;
+        deltas.clear();
         for &(i, to) in moves {
-            let from = self.index.point(i);
-            self.index.for_each_within(from, self.range, |j| {
+            let from = index.point(i);
+            index.for_each_within(from, *range, |j| {
                 if j != i {
-                    *delta.entry(edge_key(i, j)).or_insert(0) -= 1;
+                    let (a, b) = edge_key(i, j);
+                    deltas.push((a, b, -1));
                 }
             });
-            self.index.relocate(i, to);
-            self.index.for_each_within(to, self.range, |j| {
+            index.relocate(i, to);
+            index.for_each_within(to, *range, |j| {
                 if j != i {
-                    *delta.entry(edge_key(i, j)).or_insert(0) += 1;
+                    let (a, b) = edge_key(i, j);
+                    deltas.push((a, b, 1));
                 }
             });
         }
-        delta
-            .into_iter()
-            .filter(|&(_, d)| d != 0)
-            .map(|((a, b), d)| {
+        deltas.sort_unstable_by_key(|&(a, b, _)| (a, b));
+        let mut i = 0;
+        while i < deltas.len() {
+            let (a, b, _) = deltas[i];
+            let mut sum = 0i32;
+            while i < deltas.len() && (deltas[i].0, deltas[i].1) == (a, b) {
+                sum += deltas[i].2;
+                i += 1;
+            }
+            if sum != 0 {
                 debug_assert!(
-                    d.abs() == 1,
-                    "edge delta for ({a},{b}) must telescope to ±1, got {d}"
+                    sum.abs() == 1,
+                    "edge delta for ({a},{b}) must telescope to ±1, got {sum}"
                 );
-                EdgeEvent { a, b, up: d > 0 }
-            })
-            .collect()
+                out.push(EdgeEvent { a, b, up: sum > 0 });
+            }
+        }
     }
 }
 

@@ -25,18 +25,34 @@
 //! Determinism: dirty nodes are processed in ascending logical order and
 //! every data structure iterates in a fixed order, so a run is a pure
 //! function of the deployment, the model and its seed.
+//!
+//! # Cost model
+//!
+//! The epoch loop is **allocation-free in steady state**: every
+//! per-epoch buffer (moved indices, move batch, edge events, repair
+//! queue, neighbour scratch, per-node state snapshots) lives in a
+//! reusable [`EpochScratch`] that grows to a high-water mark and is then
+//! recycled. Invariant checking defaults to [`AuditMode::Dirty`]: the
+//! driver hands [`DirtyAudit`] exactly the nodes whose recorded tuple
+//! (status, parent, depth, slots) changed this epoch plus the surviving
+//! endpoints of every recorded-graph edge it inserted or removed, and
+//! the audit re-verifies Definition 1 and the Time-Slot Conditions only
+//! over that set's closed neighbourhood instead of sweeping the whole
+//! network. [`AuditMode::Full`] retains the global `check_core` oracle.
+//! Where each epoch's time went is reported in
+//! [`EpochRecord::timings`](crate::report::MaintenanceTimings).
 
-use crate::differ::TopologyDiffer;
+use crate::differ::{EdgeEvent, TopologyDiffer};
 use crate::model::MobilityModel;
-use crate::report::{BroadcastSample, EpochRecord, MobilityReport};
-use dsnet_cluster::invariants::check_core;
-use dsnet_cluster::{GroupId, McNet, MoveInReport};
+use crate::report::{BroadcastSample, EpochRecord, MaintenanceTimings, MobilityReport};
+use dsnet_cluster::invariants::{check_core, DirtyAudit};
+use dsnet_cluster::{GroupId, McNet, MoveInReport, NodeStatus};
 use dsnet_geom::{Deployment, Point2};
 use dsnet_graph::NodeId;
-use dsnet_protocols::runner::run_improved;
-use dsnet_protocols::RunConfig;
-use std::collections::BTreeSet;
+use dsnet_protocols::runner::run_improved_with;
+use dsnet_protocols::{KnowledgeCache, RunConfig};
 use std::fmt;
+use std::time::Instant;
 
 /// Errors from building or running a [`MobileNetwork`].
 #[derive(Debug, Clone, PartialEq)]
@@ -73,15 +89,30 @@ impl fmt::Display for MobilityError {
 
 impl std::error::Error for MobilityError {}
 
+/// How per-epoch invariant checking scopes its work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AuditMode {
+    /// Re-verify only the dirty nodes' closed neighbourhoods with
+    /// [`DirtyAudit`] (plus the cheap global checks it always runs).
+    #[default]
+    Dirty,
+    /// Sweep the whole structure with the global `check_core` oracle,
+    /// exactly as before the incremental audit existed.
+    Full,
+}
+
 /// Knobs of a mobile run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MobilityConfig {
-    /// Check the full Definition-1 / Time-Slot-Condition invariant suite
+    /// Check the Definition-1 / Time-Slot-Condition invariant suite
     /// (plus relay-list consistency) after every epoch.
     pub check_invariants: bool,
     /// Sample a broadcast from the sink every this many epochs
     /// (0 = never).
     pub broadcast_every: u64,
+    /// Scope of the per-epoch invariant check (ignored when
+    /// `check_invariants` is off).
+    pub audit: AuditMode,
 }
 
 impl Default for MobilityConfig {
@@ -89,8 +120,39 @@ impl Default for MobilityConfig {
         Self {
             check_invariants: true,
             broadcast_every: 0,
+            audit: AuditMode::Dirty,
         }
     }
+}
+
+/// Recorded per-node facts the dirty audit keys invalidation on:
+/// (status, parent, depth, b-slot, l-slot).
+type NodeState = (NodeStatus, Option<NodeId>, u32, Option<u32>, Option<u32>);
+
+/// Reusable per-epoch buffers; all grow to a high-water mark once and
+/// are then recycled, so a steady-state epoch allocates nothing.
+#[derive(Debug, Default)]
+struct EpochScratch {
+    /// Logical indices moved by the model this epoch.
+    moved: Vec<usize>,
+    /// The differ's move batch built from `moved`.
+    moves: Vec<(usize, Point2)>,
+    /// Net edge events of this epoch's motion.
+    events: Vec<EdgeEvent>,
+    /// Dirty logical nodes being repaired this epoch.
+    queue: Vec<usize>,
+    /// Nodes the repair pass deferred, pending the re-check.
+    still_dirty: Vec<usize>,
+    /// Geometric neighbour indices of one node.
+    nbr: Vec<usize>,
+    /// Desired (geometric) structure ids of one node, sorted.
+    desired: Vec<NodeId>,
+    /// Recorded structure ids of one node, sorted.
+    actual: Vec<NodeId>,
+    /// Structure ids handed to the dirty audit.
+    dirty_ids: Vec<NodeId>,
+    /// This epoch's per-node state, double-buffered with `prev_state`.
+    cur_state: Vec<NodeState>,
 }
 
 /// A live MCNet(G) whose nodes move: trajectory model + topology differ +
@@ -103,11 +165,19 @@ pub struct MobileNetwork {
     /// tombstone ids, so a reconfigured node gets a fresh id each time.
     node_of: Vec<NodeId>,
     groups_of: Vec<Vec<GroupId>>,
+    has_groups: bool,
     /// Logical nodes whose recorded neighbourhood may disagree with the
     /// geometric one (deferred repairs carry over between epochs).
-    dirty: BTreeSet<usize>,
+    /// Sorted ascending, no duplicates.
+    dirty: Vec<usize>,
     epoch: u64,
     build_reports: Vec<MoveInReport>,
+    /// Per-logical-node recorded state at the end of the last epoch
+    /// (initially: after the initial growth).
+    prev_state: Vec<NodeState>,
+    audit: DirtyAudit,
+    knowledge: KnowledgeCache,
+    scratch: EpochScratch,
 }
 
 impl fmt::Debug for MobileNetwork {
@@ -183,16 +253,26 @@ impl MobileNetwork {
             node_of.push(rep.node);
             build_reports.push(rep);
         }
-        Ok(Self {
+        let has_groups = groups_of.iter().any(|g| !g.is_empty());
+        let mut net = Self {
             mc,
             differ,
             model,
             node_of,
             groups_of,
-            dirty: BTreeSet::new(),
+            has_groups,
+            dirty: Vec::new(),
             epoch: 0,
             build_reports,
-        })
+            prev_state: Vec::new(),
+            audit: DirtyAudit::default(),
+            knowledge: KnowledgeCache::new(),
+            scratch: EpochScratch::default(),
+        };
+        let mut initial = Vec::new();
+        net.capture_state_into(&mut initial);
+        net.prev_state = initial;
+        Ok(net)
     }
 
     // ----- accessors ------------------------------------------------------
@@ -232,14 +312,19 @@ impl MobileNetwork {
         self.differ.positions()
     }
 
-    /// Logical nodes whose repair is currently deferred.
+    /// Logical nodes whose repair is currently deferred, ascending.
     pub fn deferred(&self) -> Vec<usize> {
-        self.dirty.iter().copied().collect()
+        self.dirty.clone()
     }
 
     /// Move-in reports of the initial growth (one per arrival).
     pub fn build_reports(&self) -> &[MoveInReport] {
         &self.build_reports
+    }
+
+    /// Lifetime `(hits, misses)` of the broadcast-probe knowledge cache.
+    pub fn knowledge_stats(&self) -> (u64, u64) {
+        self.knowledge.stats()
     }
 
     /// Current positions indexed by **structure id** (`NodeId::index`),
@@ -263,107 +348,182 @@ impl MobileNetwork {
 
     /// Advance one epoch: move, diff, repair, measure.
     pub fn step(&mut self, cfg: &MobilityConfig) -> Result<EpochRecord, MobilityError> {
-        let slots_before = self.slot_snapshot();
+        let mut s = std::mem::take(&mut self.scratch);
+        let mut timings = MaintenanceTimings::default();
 
         // (1) motion and (2) minimal edge events.
-        let moved = self.model.step();
-        let moves: Vec<(usize, Point2)> = moved
-            .iter()
-            .map(|&i| (i, self.model.positions()[i]))
-            .collect();
-        let events = self.differ.apply(&moves);
+        let t_diff = Instant::now();
+        self.model.step_into(&mut s.moved);
+        s.moves.clear();
+        for &i in &s.moved {
+            s.moves.push((i, self.model.positions()[i]));
+        }
+        self.differ.apply_into(&s.moves, &mut s.events);
         let (mut appeared, mut disappeared) = (0usize, 0usize);
-        for ev in &events {
+        for ev in &s.events {
             if ev.up {
                 appeared += 1;
             } else {
                 disappeared += 1;
             }
-            self.dirty.insert(ev.a);
-            self.dirty.insert(ev.b);
+            self.dirty.push(ev.a);
+            self.dirty.push(ev.b);
         }
+        self.dirty.sort_unstable();
+        self.dirty.dedup();
+        timings.diff_ns = t_diff.elapsed().as_nanos() as u64;
 
         // (3) repair pass over the dirty set, ascending logical order. A
         // reconfiguration of `u` re-records *all* of `u`'s edges, so it
-        // also cleans the shared edge of any other dirty node.
+        // also cleans the shared edge of any other dirty node. Structure
+        // ids whose recorded edges change are marked for the dirty audit
+        // as the repairs happen.
+        let t_repair = Instant::now();
+        s.dirty_ids.clear();
+        std::mem::swap(&mut self.dirty, &mut s.queue);
+        self.dirty.clear();
         let root_logical = 0usize;
         let mut reconfigs = 0usize;
         let mut rehomed = 0usize;
         let mut move_out_rounds = 0u64;
         let mut move_in_rounds = 0u64;
-        let mut still_dirty = BTreeSet::new();
-        for u in std::mem::take(&mut self.dirty) {
+        s.still_dirty.clear();
+        for k in 0..s.queue.len() {
+            let u = s.queue[k];
             if u == root_logical {
                 // The sink never moves out; its edges are repaired from
                 // the other endpoint. Re-checked below.
-                still_dirty.insert(u);
+                s.still_dirty.push(u);
                 continue;
             }
-            let desired = self.desired_neighbors(u);
-            if desired == self.actual_neighbors(u) {
+            self.desired_into(u, &mut s.nbr, &mut s.desired);
+            self.actual_into(u, &mut s.actual);
+            if s.desired == s.actual {
                 continue; // a peer's reconfiguration already fixed it
             }
-            if desired.is_empty() {
-                still_dirty.insert(u); // isolated: nothing to re-attach to
+            if s.desired.is_empty() {
+                s.still_dirty.push(u); // isolated: nothing to re-attach to
                 continue;
             }
             if self.mc.net().can_move_out(self.node_of[u]).is_err() {
-                still_dirty.insert(u); // momentarily a cut vertex
+                s.still_dirty.push(u); // momentarily a cut vertex
                 continue;
             }
-            let out = self
-                .mc
-                .move_out(self.node_of[u])
-                .expect("preconditions were previewed");
+            // Surviving endpoints of the removed (old recorded) and
+            // inserted (new desired) edges — the audit's dirty set.
+            s.dirty_ids.extend_from_slice(&s.actual);
+            s.dirty_ids.extend_from_slice(&s.desired);
+            let out = self.mc.move_out_previewed(self.node_of[u]);
             move_out_rounds += out.cost.total();
             rehomed += out.rehomed.len();
+            s.dirty_ids.extend_from_slice(&out.rehomed);
             // `desired` ids are still valid: re-homing preserves ids and
             // only `u`'s own id was tombstoned.
             let rep = self
                 .mc
-                .move_in(&desired, &self.groups_of[u])
+                .move_in(&s.desired, &self.groups_of[u])
                 .expect("desired neighbours are live attached nodes");
             move_in_rounds += rep.cost.total();
             self.node_of[u] = rep.node;
+            s.dirty_ids.push(rep.node);
             reconfigs += 1;
         }
         // Keep only the nodes that are genuinely still stale (a later
         // peer's reconfiguration may have cleaned an earlier deferral).
-        for u in still_dirty {
-            if self.desired_neighbors(u) != self.actual_neighbors(u) {
-                self.dirty.insert(u);
+        // Deferred nodes leave the recorded graph untouched, so they add
+        // nothing to the audit's dirty set.
+        for k in 0..s.still_dirty.len() {
+            let u = s.still_dirty[k];
+            self.desired_into(u, &mut s.nbr, &mut s.desired);
+            self.actual_into(u, &mut s.actual);
+            if s.desired != s.actual {
+                self.dirty.push(u);
             }
         }
+        s.queue.clear();
         let deferred = self.dirty.len();
+        timings.repair_ns = t_repair.elapsed().as_nanos() as u64;
 
         self.epoch += 1;
 
-        // (4) measurements and invariant checks.
-        let slots_after = self.slot_snapshot();
-        let slot_churn = slots_before
-            .iter()
-            .zip(&slots_after)
-            .filter(|(a, b)| a != b)
-            .count();
-
-        if cfg.check_invariants {
-            if let Err(violations) = check_core(self.mc.net()) {
-                return Err(MobilityError::InvariantViolated {
-                    epoch: self.epoch - 1,
-                    detail: format!("{violations:?}"),
-                });
+        // (4a) slot churn + recorded-tuple diff. Any node whose recorded
+        // (status, parent, depth, slots) tuple changed — including slot
+        // rewrites far from the reconfigured nodes — joins the audit's
+        // dirty set.
+        let t_slots = Instant::now();
+        self.capture_state_into(&mut s.cur_state);
+        let mut slot_churn = 0usize;
+        for u in 0..self.node_of.len() {
+            let prev = self.prev_state[u];
+            let cur = s.cur_state[u];
+            if (prev.3, prev.4) != (cur.3, cur.4) {
+                slot_churn += 1;
             }
-            if let Err(detail) = self.mc.check_relay_consistency() {
-                return Err(MobilityError::InvariantViolated {
-                    epoch: self.epoch - 1,
-                    detail,
-                });
+            if prev != cur {
+                s.dirty_ids.push(self.node_of[u]);
             }
         }
+        std::mem::swap(&mut self.prev_state, &mut s.cur_state);
+        timings.slots_ns = t_slots.elapsed().as_nanos() as u64;
+
+        // (4b) invariant checks, scoped per the configured audit mode.
+        let t_audit = Instant::now();
+        if cfg.check_invariants {
+            match cfg.audit {
+                AuditMode::Full => {
+                    timings.full_audits = 1;
+                    timings.audit_scope = self.mc.net().len();
+                    if let Err(violations) = check_core(self.mc.net()) {
+                        return Err(MobilityError::InvariantViolated {
+                            epoch: self.epoch - 1,
+                            detail: format!("{violations:?}"),
+                        });
+                    }
+                    if let Err(detail) = self.mc.check_relay_consistency() {
+                        return Err(MobilityError::InvariantViolated {
+                            epoch: self.epoch - 1,
+                            detail,
+                        });
+                    }
+                }
+                AuditMode::Dirty => {
+                    match self.audit.audit(self.mc.net(), &s.dirty_ids) {
+                        Ok(scope) => timings.audit_scope = scope,
+                        Err(violations) => {
+                            return Err(MobilityError::InvariantViolated {
+                                epoch: self.epoch - 1,
+                                detail: format!("{violations:?}"),
+                            });
+                        }
+                    }
+                    // Relay lists only exist under multicast groups;
+                    // skip the structure-wide sweep without them.
+                    if self.has_groups {
+                        if let Err(detail) = self.mc.check_relay_consistency() {
+                            return Err(MobilityError::InvariantViolated {
+                                epoch: self.epoch - 1,
+                                detail,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        timings.audit_ns = t_audit.elapsed().as_nanos() as u64;
 
         let broadcast = if cfg.broadcast_every > 0 && self.epoch.is_multiple_of(cfg.broadcast_every)
         {
-            let outcome = run_improved(self.mc.net(), self.mc.net().root(), &RunConfig::default());
+            let (hits0, misses0) = self.knowledge.stats();
+            let k = self.knowledge.get(self.mc.net());
+            let outcome = run_improved_with(
+                self.mc.net(),
+                &k,
+                self.mc.net().root(),
+                &RunConfig::default(),
+            );
+            let (hits1, misses1) = self.knowledge.stats();
+            timings.cache_hits = hits1 - hits0;
+            timings.cache_misses = misses1 - misses0;
             Some(BroadcastSample {
                 rounds: outcome.rounds as usize,
                 delivered: outcome.delivered,
@@ -374,9 +534,10 @@ impl MobileNetwork {
         };
 
         let net = self.mc.net();
-        Ok(EpochRecord {
+        let (heads, gateways, _) = net.status_counts();
+        let record = EpochRecord {
             epoch: self.epoch - 1,
-            moved: moves.len(),
+            moved: s.moves.len(),
             edges_appeared: appeared,
             edges_disappeared: disappeared,
             reconfigs,
@@ -385,12 +546,15 @@ impl MobileNetwork {
             move_out_rounds,
             move_in_rounds,
             slot_churn,
-            backbone: net.backbone_nodes().len(),
+            backbone: heads + gateways,
             height: net.height() as usize,
             delta_b: net.delta_b() as usize,
             delta_l: net.delta_l() as usize,
             broadcast,
-        })
+            timings,
+        };
+        self.scratch = s;
+        Ok(record)
     }
 
     /// Run `epochs` epochs and collect the full time series.
@@ -409,31 +573,54 @@ impl MobileNetwork {
     // ----- helpers --------------------------------------------------------
 
     /// Structure ids geometrically in range of logical node `u`, sorted.
+    #[cfg(test)]
     fn desired_neighbors(&self, u: usize) -> Vec<NodeId> {
-        let mut out: Vec<NodeId> = self
-            .differ
-            .neighbors_within(u)
-            .into_iter()
-            .map(|j| self.node_of[j])
-            .collect();
-        out.sort_unstable();
+        let mut nbr = Vec::new();
+        let mut out = Vec::new();
+        self.desired_into(u, &mut nbr, &mut out);
         out
     }
 
     /// Structure ids the recorded graph links to logical node `u`, sorted.
+    #[cfg(test)]
     fn actual_neighbors(&self, u: usize) -> Vec<NodeId> {
-        let mut out = self.mc.net().graph().neighbors(self.node_of[u]).to_vec();
-        out.sort_unstable();
+        let mut out = Vec::new();
+        self.actual_into(u, &mut out);
         out
     }
 
-    /// Per-logical-node (b, l) slots, for churn accounting.
-    fn slot_snapshot(&self) -> Vec<(Option<u32>, Option<u32>)> {
-        let slots = self.mc.net().slots();
-        self.node_of
-            .iter()
-            .map(|&id| (slots.b(id), slots.l(id)))
-            .collect()
+    /// Allocation-free [`MobileNetwork::desired_neighbors`], via caller
+    /// scratch (`tmp` holds the geometric indices).
+    fn desired_into(&self, u: usize, tmp: &mut Vec<usize>, out: &mut Vec<NodeId>) {
+        self.differ.neighbors_within_into(u, tmp);
+        out.clear();
+        out.extend(tmp.iter().map(|&j| self.node_of[j]));
+        out.sort_unstable();
+    }
+
+    /// Allocation-free [`MobileNetwork::actual_neighbors`].
+    fn actual_into(&self, u: usize, out: &mut Vec<NodeId>) {
+        out.clear();
+        out.extend_from_slice(self.mc.net().graph().neighbors(self.node_of[u]));
+        out.sort_unstable();
+    }
+
+    /// Write each logical node's recorded (status, parent, depth, b, l)
+    /// tuple into `out`, clearing it first.
+    fn capture_state_into(&self, out: &mut Vec<NodeState>) {
+        out.clear();
+        let net = self.mc.net();
+        let tree = net.tree();
+        let slots = net.slots();
+        for &id in &self.node_of {
+            out.push((
+                net.status(id),
+                tree.parent(id),
+                tree.depth(id),
+                slots.b(id),
+                slots.l(id),
+            ));
+        }
     }
 }
 
@@ -491,6 +678,7 @@ mod tests {
         let cfg = MobilityConfig {
             check_invariants: true,
             broadcast_every: 10,
+            ..MobilityConfig::default()
         };
         let report = net.run(60, &cfg).unwrap();
         assert_eq!(report.epochs.len(), 60);
@@ -498,6 +686,52 @@ mod tests {
         for sample in report.broadcast_samples() {
             assert!(sample.targets > 0);
         }
+    }
+
+    #[test]
+    fn dirty_audit_agrees_with_full_oracle_epoch_by_epoch() {
+        // Two identical runs, one audited incrementally and one with the
+        // global oracle: both must accept every epoch, and every counter
+        // except the audit-bookkeeping itself must agree.
+        let mut dirty = waypoint_net(60, 11);
+        let mut full = waypoint_net(60, 11);
+        let dirty_cfg = MobilityConfig::default();
+        let full_cfg = MobilityConfig {
+            audit: AuditMode::Full,
+            ..MobilityConfig::default()
+        };
+        for _ in 0..40 {
+            let a = dirty.step(&dirty_cfg).unwrap();
+            let b = full.step(&full_cfg).unwrap();
+            assert_eq!(a.timings.full_audits, 0);
+            assert_eq!(b.timings.full_audits, 1);
+            assert!(
+                a.timings.audit_scope <= b.timings.audit_scope,
+                "dirty scope {} exceeds the full sweep {}",
+                a.timings.audit_scope,
+                b.timings.audit_scope
+            );
+            let mut a_cmp = a;
+            a_cmp.timings = b.timings;
+            assert_eq!(a_cmp, b, "audit mode changed simulation state");
+        }
+        assert_eq!(dirty.node_of, full.node_of);
+    }
+
+    #[test]
+    fn broadcast_probes_drive_the_knowledge_cache() {
+        let mut net = waypoint_net(50, 17);
+        let cfg = MobilityConfig {
+            broadcast_every: 5,
+            ..MobilityConfig::default()
+        };
+        let report = net.run(40, &cfg).unwrap();
+        let totals = report.summed_timings();
+        let (hits, misses) = net.knowledge_stats();
+        assert_eq!(totals.cache_hits, hits);
+        assert_eq!(totals.cache_misses, misses);
+        assert_eq!(hits + misses, report.broadcast_samples().len() as u64);
+        assert!(misses >= 1, "first probe must build knowledge");
     }
 
     #[test]

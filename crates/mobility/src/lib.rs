@@ -33,6 +33,6 @@ pub mod model;
 pub mod report;
 
 pub use differ::{EdgeEvent, TopologyDiffer};
-pub use drive::{MobileNetwork, MobilityConfig, MobilityError};
+pub use drive::{AuditMode, MobileNetwork, MobilityConfig, MobilityError};
 pub use model::{GaussMarkov, GaussMarkovParams, MobilityModel, RandomWaypoint, WaypointParams};
-pub use report::{BroadcastSample, EpochRecord, MobilityReport};
+pub use report::{BroadcastSample, EpochRecord, MaintenanceTimings, MobilityReport};

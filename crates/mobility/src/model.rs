@@ -20,9 +20,20 @@ pub trait MobilityModel {
     /// Current positions, indexed by node (stable across epochs).
     fn positions(&self) -> &[Point2];
 
+    /// Advance one epoch, writing the indices of the nodes whose position
+    /// changed into `moved` (cleared first, ascending order). This is the
+    /// hot-path entry point: the caller owns the buffer, so steady-state
+    /// epochs allocate nothing.
+    fn step_into(&mut self, moved: &mut Vec<usize>);
+
     /// Advance one epoch. Returns the indices of the nodes whose position
-    /// changed, in ascending order.
-    fn step(&mut self) -> Vec<usize>;
+    /// changed, in ascending order. Convenience wrapper over
+    /// [`step_into`](MobilityModel::step_into).
+    fn step(&mut self) -> Vec<usize> {
+        let mut moved = Vec::new();
+        self.step_into(&mut moved);
+        moved
+    }
 
     /// The bounded field the nodes roam.
     fn region(&self) -> Region;
@@ -99,8 +110,8 @@ impl MobilityModel for RandomWaypoint {
         self.region
     }
 
-    fn step(&mut self) -> Vec<usize> {
-        let mut moved = Vec::new();
+    fn step_into(&mut self, moved: &mut Vec<usize>) {
+        moved.clear();
         for i in 0..self.positions.len() {
             if self.pause_left[i] > 0 {
                 self.pause_left[i] -= 1;
@@ -124,7 +135,6 @@ impl MobilityModel for RandomWaypoint {
                 moved.push(i);
             }
         }
-        moved
     }
 }
 
@@ -197,11 +207,11 @@ impl MobilityModel for GaussMarkov {
         self.region
     }
 
-    fn step(&mut self) -> Vec<usize> {
+    fn step_into(&mut self, moved: &mut Vec<usize>) {
+        moved.clear();
         let a = self.params.memory;
         let sigma = self.params.mean_speed * (1.0 - a * a).sqrt();
         let (w, h) = (self.region.width(), self.region.height());
-        let mut moved = Vec::new();
         for i in 0..self.positions.len() {
             let (mut vx, mut vy) = self.velocities[i];
             vx = a * vx + sigma * unit_innovation(&mut self.rng);
@@ -229,7 +239,6 @@ impl MobilityModel for GaussMarkov {
                 moved.push(i);
             }
         }
-        moved
     }
 }
 

@@ -18,6 +18,65 @@ impl BroadcastSample {
     }
 }
 
+/// Where one epoch's maintenance time went, plus the deterministic
+/// audit/cache counters behind it.
+///
+/// Equality (and therefore [`EpochRecord`] equality, which the
+/// determinism suite pins across thread counts) compares **only the
+/// deterministic counters**; the `*_ns` wall-clock fields are
+/// measurement, not simulation state.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MaintenanceTimings {
+    /// Nodes visited by invariant checking this epoch (the dirty-audit
+    /// scope, or the whole network when the full oracle ran).
+    pub audit_scope: usize,
+    /// 1 when the global `check_core` oracle ran this epoch, else 0.
+    /// Kept as a count so summed records stay meaningful.
+    pub full_audits: u32,
+    /// Knowledge-cache hits attributable to this epoch's probes.
+    pub cache_hits: u64,
+    /// Knowledge-cache misses attributable to this epoch's probes.
+    pub cache_misses: u64,
+    /// Wall time in the trajectory step + topology diff.
+    pub diff_ns: u64,
+    /// Wall time in the `move_out`/`move_in` repair loop.
+    pub repair_ns: u64,
+    /// Wall time taking slot snapshots and counting slot churn.
+    pub slots_ns: u64,
+    /// Wall time in invariant auditing.
+    pub audit_ns: u64,
+}
+
+impl PartialEq for MaintenanceTimings {
+    fn eq(&self, other: &Self) -> bool {
+        (
+            self.audit_scope,
+            self.full_audits,
+            self.cache_hits,
+            self.cache_misses,
+        ) == (
+            other.audit_scope,
+            other.full_audits,
+            other.cache_hits,
+            other.cache_misses,
+        )
+    }
+}
+
+impl MaintenanceTimings {
+    /// Field-wise accumulate (counters and wall times alike).
+    pub fn accumulate(&mut self, other: &MaintenanceTimings) {
+        self.audit_scope += other.audit_scope;
+        self.full_audits += other.full_audits;
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
+        self.diff_ns += other.diff_ns;
+        self.repair_ns += other.repair_ns;
+        self.slots_ns += other.slots_ns;
+        self.audit_ns += other.audit_ns;
+    }
+}
+
 /// What one epoch of motion did to the structure.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EpochRecord {
@@ -52,6 +111,8 @@ pub struct EpochRecord {
     pub delta_l: usize,
     /// Broadcast probe, when this epoch sampled one.
     pub broadcast: Option<BroadcastSample>,
+    /// Maintenance cost breakdown for this epoch.
+    pub timings: MaintenanceTimings,
 }
 
 /// The full time series of a mobile run.
@@ -114,6 +175,15 @@ impl MobilityReport {
         }
         Some(samples.iter().map(|s| s.rounds as f64).sum::<f64>() / samples.len() as f64)
     }
+
+    /// Run-total maintenance breakdown (all epochs accumulated).
+    pub fn summed_timings(&self) -> MaintenanceTimings {
+        let mut total = MaintenanceTimings::default();
+        for e in &self.epochs {
+            total.accumulate(&e.timings);
+        }
+        total
+    }
 }
 
 #[cfg(test)]
@@ -137,6 +207,16 @@ mod tests {
             delta_b: 3,
             delta_l: 4,
             broadcast: None,
+            timings: MaintenanceTimings {
+                audit_scope: 6,
+                full_audits: 0,
+                cache_hits: 1,
+                cache_misses: 0,
+                diff_ns: 100,
+                repair_ns: 200,
+                slots_ns: 50,
+                audit_ns: 75,
+            },
         }
     }
 
@@ -170,5 +250,37 @@ mod tests {
         assert_eq!(report.total_reconfigs(), 0);
         assert_eq!(report.mean_backbone(), 0.0);
         assert_eq!(report.mean_broadcast_rounds(), None);
+        assert_eq!(report.summed_timings(), MaintenanceTimings::default());
+    }
+
+    #[test]
+    fn timing_equality_ignores_wall_clock_fields() {
+        // The determinism suite compares EpochRecords across thread
+        // counts; only the counters may participate.
+        let a = rec(0, 1, 1);
+        let mut b = a;
+        b.timings.diff_ns = 999_999;
+        b.timings.audit_ns = 0;
+        assert_eq!(a, b);
+        let mut c = a;
+        c.timings.cache_misses += 1;
+        assert_ne!(a, c);
+        let mut d = a;
+        d.timings.audit_scope += 1;
+        assert_ne!(a, d);
+    }
+
+    #[test]
+    fn summed_timings_accumulate_all_fields() {
+        let mut report = MobilityReport::default();
+        report.epochs.push(rec(0, 1, 1));
+        report.epochs.push(rec(1, 1, 1));
+        let total = report.summed_timings();
+        assert_eq!(total.audit_scope, 12);
+        assert_eq!(total.cache_hits, 2);
+        assert_eq!(total.diff_ns, 200);
+        assert_eq!(total.repair_ns, 400);
+        assert_eq!(total.slots_ns, 100);
+        assert_eq!(total.audit_ns, 150);
     }
 }

@@ -3,8 +3,8 @@
 
 use dsnet_geom::{Deployment, DeploymentConfig, Point2};
 use dsnet_mobility::{
-    GaussMarkov, GaussMarkovParams, MobileNetwork, MobilityConfig, MobilityModel, RandomWaypoint,
-    TopologyDiffer, WaypointParams,
+    AuditMode, GaussMarkov, GaussMarkovParams, MobileNetwork, MobilityConfig, MobilityModel,
+    RandomWaypoint, TopologyDiffer, WaypointParams,
 };
 use std::collections::BTreeSet;
 
@@ -104,6 +104,7 @@ fn invariants_hold_over_200_epoch_random_waypoint_run() {
     let cfg = MobilityConfig {
         check_invariants: true, // check_core + relay consistency every epoch
         broadcast_every: 25,
+        audit: AuditMode::Full,
     };
     let report = net.run(200, &cfg).unwrap();
     assert_eq!(report.epochs.len(), 200);

@@ -239,7 +239,7 @@ pub fn build_knowledge(net: &ClusterNet) -> NetKnowledge {
 ///
 /// `build_knowledge` is the dominant per-broadcast cost on static
 /// networks (it re-derives flood slots, expected receiver slots and
-/// backbone facts from scratch). The cache keys one snapshot on
+/// backbone facts from scratch). The cache keys snapshots on
 /// [`ClusterNet::structure_version`]: repeated broadcasts over an
 /// unchanged structure reuse the `Arc`ed snapshot, while *any* mutation
 /// (churn, move-out, repair, mobility maintenance) bumps the version and
@@ -247,9 +247,25 @@ pub fn build_knowledge(net: &ClusterNet) -> NetKnowledge {
 /// version contract — equal versions imply identical structure — so the
 /// cached path is observably indistinguishable from rebuilding every
 /// time (see `tests/cache_equivalence.rs`).
+///
+/// The cache keeps the **last two** `(version, knowledge)` entries in
+/// MRU order. One entry is enough for static workloads, but callers that
+/// alternate between two structures per epoch (a mobility probe against
+/// the pre- and post-repair structure, an A/B comparison harness) would
+/// thrash a single slot every access. Hit/miss totals are readable via
+/// [`KnowledgeCache::stats`].
+#[derive(Debug, Default)]
+struct CacheState {
+    /// MRU-ordered entries: index 0 is the most recently used.
+    entries: Vec<(u64, Arc<NetKnowledge>)>,
+    hits: u64,
+    misses: u64,
+}
+
+/// See the type-level docs above; this is the shared handle.
 #[derive(Debug, Default)]
 pub struct KnowledgeCache {
-    slot: Mutex<Option<(u64, Arc<NetKnowledge>)>>,
+    state: Mutex<CacheState>,
 }
 
 impl KnowledgeCache {
@@ -259,32 +275,55 @@ impl KnowledgeCache {
     }
 
     /// The knowledge snapshot for `net`'s current structure — served from
-    /// cache when the structure version matches, rebuilt otherwise.
+    /// cache when the structure version matches either retained entry,
+    /// rebuilt otherwise.
     pub fn get(&self, net: &ClusterNet) -> Arc<NetKnowledge> {
         let version = net.structure_version();
-        let mut slot = self.slot.lock().expect("knowledge cache poisoned");
-        if let Some((v, k)) = slot.as_ref() {
-            if *v == version {
-                return Arc::clone(k);
-            }
+        let mut state = self.state.lock().expect("knowledge cache poisoned");
+        if let Some(pos) = state.entries.iter().position(|(v, _)| *v == version) {
+            state.hits += 1;
+            let entry = state.entries.remove(pos);
+            let k = Arc::clone(&entry.1);
+            state.entries.insert(0, entry);
+            return k;
         }
+        state.misses += 1;
         let k = Arc::new(build_knowledge(net));
-        *slot = Some((version, Arc::clone(&k)));
+        state.entries.insert(0, (version, Arc::clone(&k)));
+        state.entries.truncate(2);
         k
     }
 
-    /// Drop any cached snapshot (the next [`KnowledgeCache::get`]
+    /// Lifetime totals of `(hits, misses)` across every
+    /// [`KnowledgeCache::get`] call (including gets after a
+    /// [`KnowledgeCache::clear`]).
+    pub fn stats(&self) -> (u64, u64) {
+        let state = self.state.lock().expect("knowledge cache poisoned");
+        (state.hits, state.misses)
+    }
+
+    /// Drop any cached snapshots (the next [`KnowledgeCache::get`]
     /// rebuilds). Never needed for correctness — the version key already
-    /// invalidates — but lets callers release memory early.
+    /// invalidates — but lets callers release memory early. Statistics
+    /// are retained.
     pub fn clear(&self) {
-        *self.slot.lock().expect("knowledge cache poisoned") = None;
+        self.state
+            .lock()
+            .expect("knowledge cache poisoned")
+            .entries
+            .clear();
     }
 }
 
 impl Clone for KnowledgeCache {
     fn clone(&self) -> Self {
+        let state = self.state.lock().expect("knowledge cache poisoned");
         Self {
-            slot: Mutex::new(self.slot.lock().expect("knowledge cache poisoned").clone()),
+            state: Mutex::new(CacheState {
+                entries: state.entries.clone(),
+                hits: state.hits,
+                misses: state.misses,
+            }),
         }
     }
 }

@@ -38,6 +38,7 @@ fn main() {
     let cfg = MobilityConfig {
         check_invariants: true,
         broadcast_every: 10, // probe the structure with a CFF broadcast
+        ..MobilityConfig::default()
     };
     let report = network
         .run(100, &cfg)

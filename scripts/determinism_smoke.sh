@@ -6,16 +6,18 @@
 #
 # Axes (each maps to a fixed campaign flag set; add new axes here, not
 # as copy-pasted CI steps):
-#   core      protocols × channels × failures × churn
-#   mobility  random-waypoint and Gauss-Markov motion
-#   loss      lossy channels × repair × transient outages
+#   core            protocols × channels × failures × churn
+#   mobility        random-waypoint and Gauss-Markov motion
+#   loss            lossy channels × repair × transient outages
+#   mobility-audit  long-horizon motion with dirty-scoped invariant
+#                   auditing on every maintenance epoch
 #
 # Artifacts are left in the working directory as t<axis><threads>.json /
 # .csv so CI can upload them on failure.
 set -euo pipefail
 
 if [ "$#" -lt 1 ]; then
-    echo "usage: $0 <core|mobility|loss> [...]" >&2
+    echo "usage: $0 <core|mobility|loss|mobility-audit> [...]" >&2
     exit 2
 fi
 
@@ -35,8 +37,17 @@ axis_flags() {
             echo "--ns 30 --reps 2 --protocols cff1,rcff --retries 3 \
                   --loss none,p0.1 --repair off,on --failures none,bb1@1+5,bb1@1"
             ;;
+        mobility-audit)
+            # Long motion horizons so the per-epoch maintenance loop (and
+            # its dirty-scoped DirtyAudit, on by default) dominates the
+            # run. Identical artifacts across thread counts prove the
+            # audit-on epoch loop — EpochRecord counters included — is
+            # deterministic.
+            echo "--ns 40,60 --reps 2 --protocols cff \
+                  --mobility rwp0.08x40p1,gm0.05x40"
+            ;;
         *)
-            echo "unknown axis: $1 (want core, mobility, or loss)" >&2
+            echo "unknown axis: $1 (want core, mobility, loss, or mobility-audit)" >&2
             exit 2
             ;;
     esac

@@ -50,11 +50,13 @@ pub mod experiments;
 pub mod multinet;
 pub mod network;
 pub mod perf;
+pub mod session;
 pub mod viz;
 
 pub use builder::{BuildError, GroupPlan, NetworkBuilder};
 pub use multinet::{FailoverOutcome, MultiNet};
 pub use network::{NetworkStats, Protocol, SensorNetwork};
+pub use session::{CommandRecord, CommandStatus, NetSession, SessionCommand, SessionSpec};
 
 // Re-export the layer crates so downstream users need a single dependency.
 pub use dsnet_campaign as campaign_engine;

@@ -7,9 +7,10 @@ use dsnet_cluster::repair::{RepairConfig, RepairError, RepairReport};
 use dsnet_cluster::{ClusterNet, GroupId, McNet, MoveInReport};
 use dsnet_geom::{Deployment, Point2};
 use dsnet_graph::{degree, NodeId};
-use dsnet_protocols::knowledge::KnowledgeCache;
+use dsnet_protocols::knowledge::{KnowledgeCache, NetKnowledge};
 use dsnet_protocols::runner::{self, BroadcastOutcome, RunConfig};
 use dsnet_radio::Trace;
+use std::sync::Arc;
 
 /// Which broadcast protocol to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -144,6 +145,32 @@ impl SensorNetwork {
     /// Per-node move-in reports from the initial build (Theorem 2 data).
     pub fn build_reports(&self) -> &[MoveInReport] {
         &self.build_reports
+    }
+
+    /// The version of the current cluster structure. Every mutation path
+    /// (churn, repair, mobility maintenance) bumps it — the PR 4
+    /// pessimistic-bump contract — so equal versions imply identical
+    /// structure.
+    pub fn structure_version(&self) -> u64 {
+        self.net().structure_version()
+    }
+
+    /// The current knowledge snapshot, served through the network's
+    /// version-keyed [`KnowledgeCache`] as a shared immutable [`Arc`].
+    ///
+    /// This is the tenant-facing read surface of the server: any number
+    /// of concurrent readers may hold the returned `Arc` while a mutator
+    /// churns the structure — they keep observing the old, internally
+    /// consistent version, and the next call after the mutation serves a
+    /// freshly built snapshot under the bumped
+    /// [`SensorNetwork::structure_version`].
+    pub fn knowledge(&self) -> Arc<NetKnowledge> {
+        self.knowledge.get(self.net())
+    }
+
+    /// Lifetime `(hits, misses)` of the network's knowledge cache.
+    pub fn knowledge_stats(&self) -> (u64, u64) {
+        self.knowledge.stats()
     }
 
     /// Structural summary (Figures 10/11 quantities).

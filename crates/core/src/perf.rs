@@ -66,6 +66,32 @@ pub struct ScenarioResult {
     pub rounds_per_sec: f64,
     /// Maintenance breakdown for mobility scenarios (`None` elsewhere).
     pub maintenance: Option<MaintenanceBreakdown>,
+    /// Server breakdown for the `serve_sessions` scenario (`None`
+    /// elsewhere; populated by `dsnet-server`).
+    pub server: Option<ServeBreakdown>,
+}
+
+/// Measurements of the `serve_sessions` load-test scenario (driven by
+/// `dsnet-server`, which appends the scenario to the core suite's
+/// ledger).
+///
+/// Like [`MaintenanceBreakdown`], the count fields are pure functions of
+/// the seeds — CI gates them exactly — while the rate/latency fields are
+/// machine-dependent timing and are omitted from timing-free renders.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeBreakdown {
+    /// Concurrent sessions hosted (all alive at once; deterministic).
+    pub sessions: u64,
+    /// Total wire commands executed across sessions (deterministic).
+    pub commands: u64,
+    /// Client threads driving the load (configuration; deterministic).
+    pub client_threads: u64,
+    /// Sessions created+driven+destroyed per wall-clock second (timing).
+    pub sessions_per_sec: f64,
+    /// Median client-observed command round-trip, microseconds (timing).
+    pub cmd_p50_us: f64,
+    /// p99 client-observed command round-trip, microseconds (timing).
+    pub cmd_p99_us: f64,
 }
 
 /// Per-phase maintenance measurements of a mobility scenario, harvested
@@ -382,6 +408,7 @@ fn best_of(
             0.0
         },
         maintenance: None,
+        server: None,
     }
 }
 
@@ -425,6 +452,19 @@ pub fn render_ledger(l: &Ledger, include_timing: bool) -> String {
                 fields.push(format!("\"maint_repair_ms\": {:.3}", m.repair_ms));
                 fields.push(format!("\"maint_slots_ms\": {:.3}", m.slots_ms));
                 fields.push(format!("\"maint_audit_ms\": {:.3}", m.audit_ms));
+            }
+        }
+        if let Some(sv) = &sc.server {
+            fields.push(format!("\"serve_sessions\": {}", sv.sessions));
+            fields.push(format!("\"serve_commands\": {}", sv.commands));
+            fields.push(format!("\"serve_client_threads\": {}", sv.client_threads));
+            if include_timing {
+                fields.push(format!(
+                    "\"serve_sessions_per_sec\": {:.1}",
+                    sv.sessions_per_sec
+                ));
+                fields.push(format!("\"serve_cmd_p50_us\": {:.1}", sv.cmd_p50_us));
+                fields.push(format!("\"serve_cmd_p99_us\": {:.1}", sv.cmd_p99_us));
             }
         }
         if include_timing {
@@ -529,6 +569,20 @@ pub fn compare(baseline_json: &str, fresh: &Ledger, max_regress: f64) -> Compari
                 ));
             }
         }
+        if let (Some(bv), Some(sv)) = (&b.server, &sc.server) {
+            for (field, got, want) in [
+                ("serve_sessions", sv.sessions, bv.sessions),
+                ("serve_commands", sv.commands, bv.commands),
+                ("serve_client_threads", sv.client_threads, bv.client_threads),
+            ] {
+                if got != want {
+                    failures.push(format!(
+                        "{}: deterministic counter `{field}` drifted: baseline {want}, fresh {got}",
+                        sc.name
+                    ));
+                }
+            }
+        }
         if let (Some(bm), Some(m)) = (&b.maintenance, &sc.maintenance) {
             for (field, got, want) in [
                 ("maint_reconfigs", m.reconfigs, bm.reconfigs),
@@ -597,6 +651,15 @@ struct ParsedScenario {
     /// Maintenance counters, present only in v2 ledgers (and only on
     /// mobility scenarios).
     maintenance: Option<ParsedMaintenance>,
+    /// Server counters, present only on the `serve_sessions` scenario.
+    server: Option<ParsedServe>,
+}
+
+#[derive(Debug, Default)]
+struct ParsedServe {
+    sessions: u64,
+    commands: u64,
+    client_threads: u64,
 }
 
 #[derive(Debug, Default)]
@@ -685,6 +748,17 @@ fn parse_ledger(doc: &str) -> Option<ParsedLedger> {
                     .get_or_insert_with(Default::default)
                     .cache_misses = value.parse().ok()?;
             }
+            ("serve_sessions", Some(sc)) => {
+                sc.server.get_or_insert_with(Default::default).sessions = value.parse().ok()?;
+            }
+            ("serve_commands", Some(sc)) => {
+                sc.server.get_or_insert_with(Default::default).commands = value.parse().ok()?;
+            }
+            ("serve_client_threads", Some(sc)) => {
+                sc.server
+                    .get_or_insert_with(Default::default)
+                    .client_threads = value.parse().ok()?;
+            }
             _ => {}
         }
     }
@@ -758,6 +832,7 @@ mod tests {
                     wall_ms: 12.5,
                     rounds_per_sec: 80_000.0,
                     maintenance: None,
+                    server: None,
                 },
                 ScenarioResult {
                     name: "static_dfo",
@@ -769,6 +844,7 @@ mod tests {
                     wall_ms: 30.0,
                     rounds_per_sec: 100_000.0,
                     maintenance: None,
+                    server: None,
                 },
             ],
         }
@@ -865,7 +941,60 @@ mod tests {
                 slots_ms: 0.3,
                 audit_ms: 2.8,
             }),
+            server: None,
         }
+    }
+
+    fn serve_scenario() -> ScenarioResult {
+        ScenarioResult {
+            name: "serve_sessions",
+            nodes: 24,
+            reps: 600,
+            rounds: 52_000,
+            delivered: 80_000,
+            targets: 80_000,
+            wall_ms: 2_500.0,
+            rounds_per_sec: 20_800.0,
+            maintenance: None,
+            server: Some(ServeBreakdown {
+                sessions: 600,
+                commands: 4_200,
+                client_threads: 8,
+                sessions_per_sec: 240.0,
+                cmd_p50_us: 310.0,
+                cmd_p99_us: 2_150.0,
+            }),
+        }
+    }
+
+    #[test]
+    fn serve_fields_roundtrip_and_gate_exactly() {
+        let mut l = sample_ledger();
+        l.scenarios.push(serve_scenario());
+        let doc = render_ledger(&l, true);
+        let p = parse_ledger(&doc).expect("ledger with serve scenario parses");
+        let pv = p.scenarios[2].server.as_ref().expect("serve counters");
+        assert_eq!(pv.sessions, 600);
+        assert_eq!(pv.commands, 4_200);
+        assert_eq!(pv.client_threads, 8);
+        assert!(compare(&doc, &l, 0.15).passed());
+
+        // Counter drift is a hard failure.
+        let mut drifted = l.clone();
+        drifted.scenarios[2].server.as_mut().unwrap().commands += 1;
+        let c = compare(&doc, &drifted, 0.15);
+        assert!(
+            c.failures.iter().any(|f| f.contains("serve_commands")),
+            "{:?}",
+            c.failures
+        );
+
+        // Latency/rate fields are timing: absent from the deterministic
+        // render, present in the full one.
+        let bare = render_ledger(&l, false);
+        assert!(bare.contains("serve_sessions\": 600"));
+        assert!(!bare.contains("serve_cmd_p50_us"));
+        assert!(!bare.contains("serve_sessions_per_sec"));
     }
 
     #[test]

@@ -14,21 +14,35 @@
 //!                 [--threads T] [--json FILE] [--csv FILE] [--trials] [--quiet]
 //! dsnet perf      [--quick] [--threads T] [--out BENCH.json] [--date YYYY-MM-DD] \
 //!                 [--compare BASELINE.json] [--max-regress 0.15] [--quiet]
+//! dsnet serve     [--tcp ADDR] [--unix PATH] [--max-sessions N] [--quiet]
+//! dsnet client    (--tcp ADDR | --unix PATH) [--session NAME] \
+//!                 (--ping | --create | --destroy | --script FILE [--keep] | \
+//!                  --stream | --peek | --watch [--count K] | --shutdown) \
+//!                 [--nodes N] [--seed S] [--field SIDE] [--groups G] [--density P]
+//! dsnet direct    --script FILE [--nodes N] [--seed S] [--field SIDE] \
+//!                 [--groups G] [--density P]
 //! ```
 //!
 //! Every command is deterministic per `--seed`; `campaign` artifacts are
-//! additionally byte-identical for any `--threads` value.
+//! additionally byte-identical for any `--threads` value. `client
+//! --script` against a live daemon and `direct --script` print the same
+//! deterministic event stream for the same spec and script — CI diffs
+//! the two (the server determinism-smoke axis).
 
 use dsnet::campaign_engine::{
     parse_repair, render_csv, render_json, render_trials_csv, CampaignSpec, ChurnTemplate,
     FailureTemplate, LossSpec, MobilitySpec, Progress, ProtocolSpec,
 };
 use dsnet::protocols::runner::{run_multicast_reliable, RunConfig};
+use dsnet::session::render_stream;
 use dsnet::viz::{render_svg, VizOptions};
-use dsnet::{GroupPlan, NetworkBuilder, Protocol, SensorNetwork};
+use dsnet::{GroupPlan, NetSession, NetworkBuilder, Protocol, SensorNetwork, SessionSpec};
 use dsnet_graph::NodeId;
 use dsnet_radio::LossModel;
+use dsnet_server::protocol::parse_script;
+use dsnet_server::{run_script, Client, ClientError, ServeOptions, Server};
 use std::io::Write as _;
+use std::path::PathBuf;
 
 struct Args {
     nodes: usize,
@@ -63,6 +77,16 @@ struct Args {
     date: Option<String>,
     compare: Option<String>,
     max_regress: f64,
+    // serve/client-only
+    tcp: Option<String>,
+    unix_sock: Option<String>,
+    max_sessions: usize,
+    session: Option<String>,
+    script: Option<String>,
+    action: Option<&'static str>,
+    keep: bool,
+    count: usize,
+    groups: u16,
 }
 
 impl Default for Args {
@@ -98,13 +122,22 @@ impl Default for Args {
             date: None,
             compare: None,
             max_regress: 0.15,
+            tcp: None,
+            unix_sock: None,
+            max_sessions: 0,
+            session: None,
+            script: None,
+            action: None,
+            keep: false,
+            count: 0,
+            groups: 0,
         }
     }
 }
 
 fn usage() -> ! {
     eprintln!(
-        "usage: dsnet <stats|broadcast|multicast|churn|render|campaign|perf> \
+        "usage: dsnet <stats|broadcast|multicast|churn|render|campaign|perf|serve|client|direct> \
          [--nodes N] [--seed S] [--field SIDE] [--protocol cff|cff1|rcff|dfo] \
          [--channels K] [--source ID] [--density P] [--reliable] \
          [--loss none|p<P>] [--retries R] [--epochs E] [--out FILE]\n\
@@ -115,7 +148,14 @@ fn usage() -> ! {
          [--retries R] [--threads T] [--json FILE] [--csv FILE] \
          [--trials] [--no-trace] [--quiet]\n\
          perf: dsnet perf [--quick] [--threads T] [--out FILE] [--date YYYY-MM-DD] \
-         [--compare BASELINE.json] [--max-regress F] [--quiet]"
+         [--compare BASELINE.json] [--max-regress F] [--quiet]\n\
+         serve: dsnet serve [--tcp ADDR] [--unix PATH] [--max-sessions N] [--quiet]\n\
+         client: dsnet client (--tcp ADDR | --unix PATH) [--session NAME] \
+         (--ping | --create | --destroy | --script FILE [--keep] | --stream | \
+         --peek | --watch [--count K] | --shutdown) \
+         [--nodes N] [--seed S] [--field SIDE] [--groups G] [--density P]\n\
+         direct: dsnet direct --script FILE [--nodes N] [--seed S] [--field SIDE] \
+         [--groups G] [--density P]"
     );
     std::process::exit(2);
 }
@@ -175,6 +215,24 @@ fn parse() -> (String, Args) {
             "--date" => a.date = Some(val()),
             "--compare" => a.compare = Some(val()),
             "--max-regress" => a.max_regress = val().parse().unwrap_or_else(|_| usage()),
+            "--tcp" => a.tcp = Some(val()),
+            "--unix" => a.unix_sock = Some(val()),
+            "--max-sessions" => a.max_sessions = val().parse().unwrap_or_else(|_| usage()),
+            "--session" => a.session = Some(val()),
+            "--script" => {
+                a.script = Some(val());
+                a.action = Some("script");
+            }
+            "--ping" => a.action = Some("ping"),
+            "--create" => a.action = Some("create"),
+            "--destroy" => a.action = Some("destroy"),
+            "--stream" => a.action = Some("stream"),
+            "--peek" => a.action = Some("peek"),
+            "--watch" => a.action = Some("watch"),
+            "--shutdown" => a.action = Some("shutdown"),
+            "--keep" => a.keep = true,
+            "--count" => a.count = val().parse().unwrap_or_else(|_| usage()),
+            "--groups" => a.groups = val().parse().unwrap_or_else(|_| usage()),
             _ => usage(),
         }
     }
@@ -266,7 +324,14 @@ fn run_perf_cmd(a: &Args) {
         threads: a.threads,
         date: a.date.clone(),
     };
-    let ledger = perf::run_suite(&opts);
+    let mut ledger = perf::run_suite(&opts);
+    // The core suite is serve-free (no dependency cycle); the CLI owns
+    // appending the server load-test scenario and refreshing peak RSS to
+    // cover it.
+    ledger
+        .scenarios
+        .push(dsnet_server::perf::run_serve_sessions(&opts));
+    ledger.peak_rss_kb = perf::peak_rss_kb();
     if !a.quiet {
         eprintln!(
             "dsnet perf{} on {} thread(s), peak RSS {} KiB",
@@ -297,6 +362,19 @@ fn run_perf_cmd(a: &Args) {
                     m.rehomed,
                     m.cache_hits,
                     m.cache_hits + m.cache_misses
+                );
+            }
+            if let Some(sv) = &s.server {
+                eprintln!(
+                    "  {:<20} {} sessions on {} client threads, {} cmds; \
+                     {:.0} sessions/s, cmd p50 {:.0} us, p99 {:.0} us",
+                    "  serve:",
+                    sv.sessions,
+                    sv.client_threads,
+                    sv.commands,
+                    sv.sessions_per_sec,
+                    sv.cmd_p50_us,
+                    sv.cmd_p99_us
                 );
             }
         }
@@ -333,6 +411,149 @@ fn run_perf_cmd(a: &Args) {
             std::process::exit(1);
         }
     }
+}
+
+/// The session spec implied by the shared CLI flags (integer wire units:
+/// `--field 10` → 10_000 milli, `--density 0.1` → 100_000 ppm).
+fn spec_from_args(a: &Args) -> SessionSpec {
+    SessionSpec {
+        nodes: a.nodes,
+        seed: a.seed,
+        field_milli: (a.field * 1e3).round() as u32,
+        groups: a.groups,
+        membership_ppm: (a.density * 1e6).round() as u32,
+    }
+}
+
+fn run_serve_cmd(a: &Args) {
+    let opts = ServeOptions {
+        tcp: a.tcp.clone(),
+        unix: a.unix_sock.clone().map(PathBuf::from),
+        max_sessions: a.max_sessions,
+    };
+    dsnet_server::install_sigint_handler();
+    let server = Server::start(&opts).unwrap_or_else(|e| {
+        eprintln!("serve: {e}");
+        std::process::exit(2);
+    });
+    if let Some(addr) = server.tcp_addr() {
+        println!("listening tcp {addr}");
+    }
+    if let Some(path) = &a.unix_sock {
+        println!("listening unix {path}");
+    }
+    println!("ready ({} session slots)", server.host().max_sessions());
+    let _ = std::io::stdout().flush();
+    if !a.quiet {
+        eprintln!("dsnet-server up; Ctrl-C or the wire 'shutdown' op drains and exits");
+    }
+    server.wait();
+    if !a.quiet {
+        eprintln!("dsnet-server drained");
+    }
+}
+
+fn client_ok<T>(r: Result<T, ClientError>) -> T {
+    r.unwrap_or_else(|e| {
+        eprintln!("client: {e}");
+        std::process::exit(1);
+    })
+}
+
+fn connect_client(a: &Args) -> Client {
+    let conn = match (&a.tcp, &a.unix_sock) {
+        (Some(addr), None) => Client::connect_tcp(addr),
+        (None, Some(path)) => Client::connect_unix(std::path::Path::new(path)),
+        _ => {
+            eprintln!("client: exactly one of --tcp or --unix is required");
+            std::process::exit(2);
+        }
+    };
+    conn.unwrap_or_else(|e| {
+        eprintln!("client: connect failed: {e}");
+        std::process::exit(1);
+    })
+}
+
+fn load_script(a: &Args) -> Vec<dsnet::SessionCommand> {
+    let path = a.script.as_deref().unwrap_or_else(|| usage());
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("cannot read script {path}: {e}");
+        std::process::exit(2);
+    });
+    parse_script(&text).unwrap_or_else(|e| {
+        eprintln!("script {path}: {e}");
+        std::process::exit(2);
+    })
+}
+
+fn run_client_cmd(a: &Args) {
+    let mut client = connect_client(a);
+    let session = || {
+        a.session.clone().unwrap_or_else(|| {
+            eprintln!("client: this action needs --session NAME");
+            std::process::exit(2);
+        })
+    };
+    match a.action.unwrap_or_else(|| usage()) {
+        "ping" => println!("{}", client_ok(client.ping()).render()),
+        "create" => println!(
+            "{}",
+            client_ok(client.create(&session(), spec_from_args(a))).render()
+        ),
+        "destroy" => println!("{}", client_ok(client.destroy(&session())).render()),
+        "stream" => print!("{}", client_ok(client.stream_text(&session()))),
+        "peek" => println!("{}", client_ok(client.peek(&session())).render()),
+        "shutdown" => println!("{}", client_ok(client.shutdown()).render()),
+        "script" => {
+            let cmds = load_script(a);
+            let report = client_ok(run_script(
+                &mut client,
+                &session(),
+                spec_from_args(a),
+                &cmds,
+                !a.keep,
+            ));
+            if !a.quiet {
+                eprintln!(
+                    "script: {} applied, {} rejected, {} rounds, {}/{} delivered",
+                    report.applied,
+                    report.rejected,
+                    report.rounds,
+                    report.delivered,
+                    report.targets
+                );
+            }
+            // Stdout carries exactly the deterministic stream so it can
+            // be diffed against `dsnet direct --script`.
+            print!("{}", report.stream);
+        }
+        "watch" => {
+            let (count, mut seen) = (a.count, 0usize);
+            client_ok(client.watch(&session(), |line| {
+                println!("{line}");
+                seen += 1;
+                count == 0 || seen < count
+            }));
+        }
+        _ => usage(),
+    }
+}
+
+fn run_direct_cmd(a: &Args) {
+    let cmds = load_script(a);
+    let spec = spec_from_args(a);
+    let mut session = NetSession::new(spec).unwrap_or_else(|e| {
+        eprintln!("direct: build failed: {e}");
+        std::process::exit(1);
+    });
+    for cmd in &cmds {
+        session.apply(cmd);
+    }
+    print!(
+        "{}",
+        render_stream(session.spec(), session.records(), false)
+    );
 }
 
 fn build(a: &Args, groups: bool) -> SensorNetwork {
@@ -450,6 +671,9 @@ fn main() {
         }
         "campaign" => run_campaign_cmd(&a),
         "perf" => run_perf_cmd(&a),
+        "serve" => run_serve_cmd(&a),
+        "client" => run_client_cmd(&a),
+        "direct" => run_direct_cmd(&a),
         _ => usage(),
     }
 }

@@ -1,0 +1,40 @@
+#![warn(missing_docs)]
+
+//! # dsnet-server — a long-lived multi-tenant simulation service
+//!
+//! This crate turns the `dsnet` library into a daemon: many concurrent,
+//! fully isolated network sessions (tenants), each an executor over one
+//! [`dsnet::SensorNetwork`], driven over a length-prefixed JSON wire
+//! protocol on TCP and unix sockets.
+//!
+//! ## Layers
+//!
+//! | module | what it provides |
+//! |---|---|
+//! | [`json`] | integer-only JSON value model (no external deps) |
+//! | [`protocol`] | framing, request/response grammar, error taxonomy |
+//! | [`host`] | the multi-tenant session host (capacity, drain, watch) |
+//! | [`server`] | TCP/unix listeners, graceful shutdown, SIGINT |
+//! | [`client`] | blocking client + scripted session runner |
+//! | [`perf`] | the `serve_sessions` ledger scenario |
+//!
+//! ## Determinism contract
+//!
+//! A scripted command sequence executed through the daemon yields a
+//! per-session event stream (`stream` op, [`dsnet::session::render_stream`]
+//! with timing off) byte-identical to the same sequence applied directly
+//! to a [`dsnet::NetSession`]. Both paths run the same executor; the
+//! server adds transport, never semantics. CI pins this with the
+//! `server` determinism-smoke axis.
+
+pub mod client;
+pub mod host;
+pub mod json;
+pub mod perf;
+pub mod protocol;
+pub mod server;
+
+pub use client::{run_script, Client, ClientError, ScriptReport};
+pub use host::{Host, HostConfig, HostError, PeekReport};
+pub use protocol::{Body, ErrKind, Op, Request, Response, WireError, MAX_FRAME};
+pub use server::{install_sigint_handler, ServeOptions, Server};

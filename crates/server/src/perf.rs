@@ -1,0 +1,245 @@
+//! The `serve_sessions` load-test scenario: a live daemon under many
+//! concurrent tenants, measured into the perf ledger.
+//!
+//! The scenario boots an in-process [`Server`] on an ephemeral TCP port,
+//! then drives it from worker threads, each holding its own [`Client`]
+//! connection. Every tenant runs the same five-command script (two
+//! broadcasts, a crash, a move-out, a snapshot) against its own small
+//! network, and **all sessions stay alive until the load phase ends** —
+//! the concurrency the ledger reports is real, not amortized.
+//!
+//! Deterministic counters (`sessions`, `commands`, `client_threads`,
+//! plus the summed `rounds`/`delivered`/`targets` of the per-tenant
+//! streams) are pure functions of the seeds and are gated exactly by
+//! `perf --compare`; rates and latencies are timing.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use dsnet::geom::rng::derive_seed;
+use dsnet::perf::{PerfOptions, ScenarioResult, ServeBreakdown};
+use dsnet::{Protocol, SessionCommand, SessionSpec};
+
+use crate::client::{run_script, Client, ScriptReport};
+use crate::server::{ServeOptions, Server};
+
+/// Client threads driving the load. Fixed (not `--threads`) so the
+/// deterministic `client_threads` counter is invariant across perf
+/// invocations.
+const CLIENT_THREADS: usize = 8;
+
+/// Nodes per tenant network: small enough that hundreds of concurrent
+/// sessions fit comfortably, large enough that every command does real
+/// cluster work.
+const NODES_PER_SESSION: usize = 24;
+
+/// Base seed for per-session seeds.
+const BASE_SEED: u64 = 0xD5EE7;
+
+/// The per-tenant script (see module docs).
+fn script() -> Vec<SessionCommand> {
+    vec![
+        SessionCommand::Broadcast {
+            protocol: Protocol::ImprovedCff,
+            source: None,
+            channels: 1,
+            loss_ppm: 0,
+            retries: 0,
+            min_delivery_ppm: 0,
+        },
+        SessionCommand::Kill { node: 1 },
+        SessionCommand::Broadcast {
+            protocol: Protocol::Dfo,
+            source: None,
+            channels: 1,
+            loss_ppm: 0,
+            retries: 0,
+            min_delivery_ppm: 0,
+        },
+        SessionCommand::MoveOut { node: 2 },
+        SessionCommand::Snapshot,
+    ]
+}
+
+/// Run the `serve_sessions` scenario with the suite's standard sizes
+/// (600 concurrent sessions full, 120 quick) and best-of timing passes
+/// matching the core suite (5 full, 1 quick).
+pub fn run_serve_sessions(opts: &PerfOptions) -> ScenarioResult {
+    let sessions = if opts.quick { 120 } else { 600 };
+    let passes = if opts.quick { 1 } else { 5 };
+    run_serve_with(sessions, passes)
+}
+
+/// One deterministic counter tuple, asserted stable across passes.
+type Counters = (u64, u64, u64, u64, u64);
+
+/// Parameterized scenario body (unit tests use small sizes).
+pub fn run_serve_with(sessions: usize, passes: u32) -> ScenarioResult {
+    let mut counters: Option<Counters> = None;
+    let mut best_secs = f64::INFINITY;
+    let mut best_latencies: Vec<u64> = Vec::new();
+    for _ in 0..passes {
+        let (c, secs, latencies) = one_pass(sessions);
+        match counters {
+            None => counters = Some(c),
+            Some(prev) => assert_eq!(
+                prev, c,
+                "serve_sessions: deterministic counters drifted between timing passes"
+            ),
+        }
+        if secs < best_secs {
+            best_secs = secs;
+            best_latencies = latencies;
+        }
+    }
+    let (commands, applied_plus_rejected, rounds, delivered, targets) =
+        counters.expect("at least one pass");
+    assert_eq!(
+        commands, applied_plus_rejected,
+        "every issued command must be recorded as applied or rejected"
+    );
+    best_latencies.sort_unstable();
+    let pct = |p: f64| -> f64 {
+        if best_latencies.is_empty() {
+            return 0.0;
+        }
+        let idx = ((best_latencies.len() - 1) as f64 * p).round() as usize;
+        best_latencies[idx] as f64
+    };
+    ScenarioResult {
+        name: "serve_sessions",
+        nodes: NODES_PER_SESSION as u64,
+        reps: sessions as u64,
+        rounds,
+        delivered,
+        targets,
+        wall_ms: best_secs * 1e3,
+        rounds_per_sec: if best_secs > 0.0 {
+            rounds as f64 / best_secs
+        } else {
+            0.0
+        },
+        maintenance: None,
+        server: Some(ServeBreakdown {
+            sessions: sessions as u64,
+            commands,
+            client_threads: CLIENT_THREADS as u64,
+            sessions_per_sec: if best_secs > 0.0 {
+                sessions as f64 / best_secs
+            } else {
+                0.0
+            },
+            cmd_p50_us: pct(0.50),
+            cmd_p99_us: pct(0.99),
+        }),
+    }
+}
+
+/// Boot a daemon, drive it with [`CLIENT_THREADS`] workers, assert the
+/// full session population was concurrently live, tear down. Returns
+/// (counters, load-phase seconds, command latencies).
+fn one_pass(sessions: usize) -> (Counters, f64, Vec<u64>) {
+    let server = Server::start(&ServeOptions {
+        tcp: Some("127.0.0.1:0".into()),
+        unix: None,
+        max_sessions: sessions + 8,
+    })
+    .expect("ephemeral TCP bind");
+    let addr = server.tcp_addr().expect("tcp listener").to_string();
+    let cmds = Arc::new(script());
+    let next = Arc::new(AtomicUsize::new(0));
+
+    let start = Instant::now();
+    let mut workers = Vec::new();
+    for _ in 0..CLIENT_THREADS {
+        let (addr, cmds, next) = (addr.clone(), cmds.clone(), next.clone());
+        workers.push(std::thread::spawn(move || {
+            let mut client = Client::connect_tcp(&addr).expect("connect to load server");
+            let mut reports: Vec<ScriptReport> = Vec::new();
+            loop {
+                let idx = next.fetch_add(1, Ordering::SeqCst);
+                if idx >= sessions {
+                    return reports;
+                }
+                let spec = SessionSpec {
+                    nodes: NODES_PER_SESSION,
+                    seed: derive_seed(BASE_SEED, idx as u64),
+                    ..SessionSpec::default()
+                };
+                let report = run_script(
+                    &mut client,
+                    &format!("load-{idx}"),
+                    spec,
+                    &cmds,
+                    false, // keep alive: concurrency is the point
+                )
+                .expect("scripted session");
+                reports.push(report);
+            }
+        }));
+    }
+    let reports: Vec<ScriptReport> = workers
+        .into_iter()
+        .flat_map(|w| w.join().expect("load worker"))
+        .collect();
+
+    // Every tenant is still live here — the concurrency claim.
+    assert_eq!(
+        server.host().session_count(),
+        sessions,
+        "all sessions must be concurrently live at the end of the load phase"
+    );
+
+    // Teardown is part of the measured sessions/sec (create+drive+destroy).
+    let mut client = Client::connect_tcp(&addr).expect("teardown connection");
+    for idx in 0..sessions {
+        client.destroy(&format!("load-{idx}")).expect("destroy");
+    }
+    let secs = start.elapsed().as_secs_f64();
+
+    client.shutdown().expect("shutdown op");
+    // Disconnect before wait(): draining connections are kept alive for
+    // a grace period, and an open client would spend it in full.
+    drop(client);
+    server.wait();
+
+    let mut commands = 0u64;
+    let mut outcomes = 0u64;
+    let (mut rounds, mut delivered, mut targets) = (0u64, 0u64, 0u64);
+    let mut latencies = Vec::with_capacity(sessions * cmds.len());
+    for r in &reports {
+        commands += r.latencies_us.len() as u64;
+        outcomes += r.applied + r.rejected;
+        rounds += r.rounds;
+        delivered += r.delivered;
+        targets += r.targets;
+        latencies.extend_from_slice(&r.latencies_us);
+    }
+    (
+        (commands, outcomes, rounds, delivered, targets),
+        secs,
+        latencies,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serve_counters_are_stable_across_runs() {
+        let a = run_serve_with(12, 1);
+        let b = run_serve_with(12, 1);
+        assert_eq!(a.rounds, b.rounds);
+        assert_eq!(a.delivered, b.delivered);
+        assert_eq!(a.targets, b.targets);
+        let (sa, sb) = (a.server.unwrap(), b.server.unwrap());
+        assert_eq!(sa.sessions, 12);
+        assert_eq!(sa.commands, 12 * 5);
+        assert_eq!(sa.client_threads, CLIENT_THREADS as u64);
+        assert_eq!((sa.sessions, sa.commands), (sb.sessions, sb.commands));
+        assert!(sa.sessions_per_sec > 0.0);
+        assert!(sa.cmd_p99_us >= sa.cmd_p50_us);
+    }
+}

@@ -1,0 +1,541 @@
+//! The long-lived daemon: TCP and unix-socket listeners around a
+//! [`Host`], with graceful shutdown.
+//!
+//! One thread per connection, `std::net` blocking I/O with short read
+//! timeouts so every thread observes the stop flags promptly. Shutdown —
+//! whether from SIGINT, the wire `shutdown` op, or
+//! [`Server::begin_shutdown`] — follows one path: the host starts
+//! draining (in-flight commands finish, new sessions and commands are
+//! refused with a typed `shutting_down` error, reads keep being served)
+//! and the accept loops stop. [`Server::wait`] then gives open
+//! connections a grace period to finish their reads and disconnect
+//! before hard-stopping the stragglers at their next frame boundary.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::host::{Host, HostConfig, HostError};
+use crate::json::{obj, Json};
+use crate::protocol::{
+    decode_request, encode_response, spec_to_json, write_frame, Body, ErrKind, Op, Request,
+    Response, WireError, MAX_FRAME,
+};
+
+/// Poll interval for stop-flag checks in accept and read loops.
+const POLL: Duration = Duration::from_millis(25);
+
+/// How the daemon listens and how many tenants it admits.
+#[derive(Debug, Clone, Default)]
+pub struct ServeOptions {
+    /// TCP bind address (e.g. `127.0.0.1:7app` or `127.0.0.1:0` for an
+    /// ephemeral port). `None` = no TCP listener.
+    pub tcp: Option<String>,
+    /// Unix-socket path. `None` = no unix listener. The file is created
+    /// on start and removed by [`Server::wait`].
+    pub unix: Option<PathBuf>,
+    /// Session capacity (`0` = the [`HostConfig`] default).
+    pub max_sessions: usize,
+}
+
+/// A running daemon. Dropping it does *not* stop the threads — call
+/// [`Server::begin_shutdown`] then [`Server::wait`].
+pub struct Server {
+    host: Arc<Host>,
+    stop: Arc<AtomicBool>,
+    hard_stop: Arc<AtomicBool>,
+    active_conns: Arc<AtomicUsize>,
+    accept_threads: Vec<JoinHandle<()>>,
+    tcp_addr: Option<SocketAddr>,
+    unix_path: Option<PathBuf>,
+}
+
+impl Server {
+    /// Bind the requested listeners and start serving. At least one of
+    /// `tcp`/`unix` must be set.
+    pub fn start(opts: &ServeOptions) -> std::io::Result<Server> {
+        if opts.tcp.is_none() && opts.unix.is_none() {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "serve needs a --tcp address or a --unix socket path",
+            ));
+        }
+        let max_sessions = if opts.max_sessions == 0 {
+            HostConfig::default().max_sessions
+        } else {
+            opts.max_sessions
+        };
+        let host = Arc::new(Host::new(HostConfig { max_sessions }));
+        let stop = Arc::new(AtomicBool::new(false));
+        let hard_stop = Arc::new(AtomicBool::new(false));
+        let active_conns = Arc::new(AtomicUsize::new(0));
+        let mut accept_threads = Vec::new();
+
+        let tcp_addr = match &opts.tcp {
+            None => None,
+            Some(addr) => {
+                let listener = TcpListener::bind(addr)?;
+                listener.set_nonblocking(true)?;
+                let local = listener.local_addr()?;
+                let (host, stop, hard, conns) = (
+                    host.clone(),
+                    stop.clone(),
+                    hard_stop.clone(),
+                    active_conns.clone(),
+                );
+                accept_threads.push(std::thread::spawn(move || {
+                    accept_loop(
+                        move || match listener.accept() {
+                            Ok((s, _)) => {
+                                s.set_nonblocking(false).ok();
+                                s.set_nodelay(true).ok();
+                                Some(Ok(Box::new(s) as Box<dyn Conn>))
+                            }
+                            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => None,
+                            Err(e) => Some(Err(e)),
+                        },
+                        host,
+                        stop,
+                        hard,
+                        conns,
+                    );
+                }));
+                Some(local)
+            }
+        };
+
+        let unix_path = match &opts.unix {
+            None => None,
+            Some(path) => {
+                // A stale socket file from a crashed daemon blocks bind.
+                if path.exists() {
+                    std::fs::remove_file(path)?;
+                }
+                let listener = UnixListener::bind(path)?;
+                listener.set_nonblocking(true)?;
+                let (host, stop, hard, conns) = (
+                    host.clone(),
+                    stop.clone(),
+                    hard_stop.clone(),
+                    active_conns.clone(),
+                );
+                accept_threads.push(std::thread::spawn(move || {
+                    accept_loop(
+                        move || match listener.accept() {
+                            Ok((s, _)) => {
+                                s.set_nonblocking(false).ok();
+                                Some(Ok(Box::new(s) as Box<dyn Conn>))
+                            }
+                            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => None,
+                            Err(e) => Some(Err(e)),
+                        },
+                        host,
+                        stop,
+                        hard,
+                        conns,
+                    );
+                }));
+                Some(path.clone())
+            }
+        };
+
+        Ok(Server {
+            host,
+            stop,
+            hard_stop,
+            active_conns,
+            accept_threads,
+            tcp_addr,
+            unix_path,
+        })
+    }
+
+    /// The session host (tests drive it directly).
+    pub fn host(&self) -> &Arc<Host> {
+        &self.host
+    }
+
+    /// The bound TCP address, once listening (useful with port 0).
+    pub fn tcp_addr(&self) -> Option<SocketAddr> {
+        self.tcp_addr
+    }
+
+    /// Start the graceful drain: the host refuses new sessions and
+    /// commands, accept loops stop. Open connections keep serving reads
+    /// until they disconnect or [`Server::wait`]'s grace period expires.
+    pub fn begin_shutdown(&self) {
+        self.host.begin_drain();
+        self.stop.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether shutdown has been requested (by any path).
+    pub fn is_stopping(&self) -> bool {
+        self.stop.load(Ordering::SeqCst)
+    }
+
+    /// Block until shutdown is requested, then join the accept loops and
+    /// give open connections a bounded grace period to wind down.
+    /// Removes the unix socket file.
+    pub fn wait(self) {
+        while !self.stop.load(Ordering::SeqCst) {
+            if sigint_received() {
+                self.begin_shutdown();
+                break;
+            }
+            std::thread::sleep(POLL);
+        }
+        // begin_shutdown may have been called externally without SIGINT;
+        // make sure the host drains either way.
+        self.host.begin_drain();
+        for t in self.accept_threads {
+            let _ = t.join();
+        }
+        // Grace: draining clients may still fetch streams; give them a
+        // bounded window to finish and hang up on their own.
+        let deadline = std::time::Instant::now() + Duration::from_secs(3);
+        while self.active_conns.load(Ordering::SeqCst) > 0 && std::time::Instant::now() < deadline {
+            std::thread::sleep(POLL);
+        }
+        // Hard stop: remaining connection threads exit at their next
+        // frame boundary / poll tick. Bounded wait so a peer that went
+        // silent mid-frame cannot pin us here.
+        self.hard_stop.store(true, Ordering::SeqCst);
+        let deadline = std::time::Instant::now() + Duration::from_secs(1);
+        while self.active_conns.load(Ordering::SeqCst) > 0 && std::time::Instant::now() < deadline {
+            std::thread::sleep(POLL);
+        }
+        if let Some(path) = &self.unix_path {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+}
+
+/// A bidirectional client connection (TCP or unix).
+trait Conn: Read + Write + Send {
+    fn set_read_timeout_conn(&self, d: Option<Duration>) -> std::io::Result<()>;
+}
+
+impl Conn for TcpStream {
+    fn set_read_timeout_conn(&self, d: Option<Duration>) -> std::io::Result<()> {
+        self.set_read_timeout(d)
+    }
+}
+
+impl Conn for UnixStream {
+    fn set_read_timeout_conn(&self, d: Option<Duration>) -> std::io::Result<()> {
+        self.set_read_timeout(d)
+    }
+}
+
+fn accept_loop(
+    mut accept: impl FnMut() -> Option<std::io::Result<Box<dyn Conn>>>,
+    host: Arc<Host>,
+    stop: Arc<AtomicBool>,
+    hard_stop: Arc<AtomicBool>,
+    conns: Arc<AtomicUsize>,
+) {
+    while !stop.load(Ordering::SeqCst) {
+        match accept() {
+            None => std::thread::sleep(POLL),
+            Some(Err(_)) => std::thread::sleep(POLL),
+            Some(Ok(stream)) => {
+                let (host, stop, hard) = (host.clone(), stop.clone(), hard_stop.clone());
+                let conns = conns.clone();
+                conns.fetch_add(1, Ordering::SeqCst);
+                std::thread::spawn(move || {
+                    handle_conn(stream, &host, &stop, &hard);
+                    conns.fetch_sub(1, Ordering::SeqCst);
+                });
+            }
+        }
+    }
+}
+
+/// Outcome of a stop-aware frame read.
+enum FrameRead {
+    Frame(String),
+    Closed,
+    Stopped,
+}
+
+/// Like [`crate::protocol::read_frame`] but wakes every read timeout to
+/// check the hard-stop flag. At a frame boundary a hard stop closes the
+/// connection; mid-frame the remaining bytes are awaited so an in-flight
+/// request is never torn. The drain flag deliberately does *not* end the
+/// read loop: draining clients may still fetch streams and snapshots.
+fn read_frame_stoppable(r: &mut impl Read, stop: &AtomicBool) -> Result<FrameRead, WireError> {
+    let mut header = [0u8; 4];
+    let mut filled = 0;
+    while filled < 4 {
+        if filled == 0 && stop.load(Ordering::SeqCst) {
+            return Ok(FrameRead::Stopped);
+        }
+        match r.read(&mut header[filled..]) {
+            Ok(0) if filled == 0 => return Ok(FrameRead::Closed),
+            Ok(0) => {
+                return Err(WireError::Truncated {
+                    got: filled,
+                    want: 4,
+                })
+            }
+            Ok(n) => filled += n,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock
+                        | std::io::ErrorKind::TimedOut
+                        | std::io::ErrorKind::Interrupted
+                ) => {}
+            Err(e) => return Err(WireError::Io(e)),
+        }
+    }
+    let len = u32::from_be_bytes(header);
+    if len > MAX_FRAME {
+        return Err(WireError::Oversized {
+            len,
+            max: MAX_FRAME,
+        });
+    }
+    let mut payload = vec![0u8; len as usize];
+    let mut filled = 0;
+    while filled < payload.len() {
+        match r.read(&mut payload[filled..]) {
+            Ok(0) => {
+                return Err(WireError::Truncated {
+                    got: filled,
+                    want: payload.len(),
+                })
+            }
+            Ok(n) => filled += n,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock
+                        | std::io::ErrorKind::TimedOut
+                        | std::io::ErrorKind::Interrupted
+                ) => {}
+            Err(e) => return Err(WireError::Io(e)),
+        }
+    }
+    String::from_utf8(payload)
+        .map(FrameRead::Frame)
+        .map_err(|_| WireError::Malformed("payload is not UTF-8".into()))
+}
+
+fn host_err_body(e: HostError) -> Body {
+    Body::Err {
+        kind: e.kind,
+        detail: e.detail,
+    }
+}
+
+fn respond(stream: &mut dyn Conn, id: u64, body: Body) -> Result<(), WireError> {
+    let mut w = &mut *stream as &mut dyn Write;
+    write_frame(&mut w, &encode_response(&Response { id, body }))
+}
+
+fn handle_conn(
+    mut stream: Box<dyn Conn>,
+    host: &Arc<Host>,
+    stop: &AtomicBool,
+    hard_stop: &AtomicBool,
+) {
+    let _ = stream.set_read_timeout_conn(Some(POLL));
+    loop {
+        let frame = match read_frame_stoppable(&mut stream, hard_stop) {
+            Ok(FrameRead::Frame(f)) => f,
+            Ok(FrameRead::Closed | FrameRead::Stopped) => return,
+            Err(WireError::Io(_)) => return,
+            Err(e) => {
+                // Frame-level fault: report it, then close — framing is
+                // unrecoverable once the byte stream is misaligned.
+                let _ = respond(
+                    stream.as_mut(),
+                    0,
+                    Body::Err {
+                        kind: ErrKind::MalformedFrame,
+                        detail: e.to_string(),
+                    },
+                );
+                return;
+            }
+        };
+        let req = match decode_request(&frame) {
+            Ok(req) => req,
+            Err(detail) => {
+                // Grammar-level fault: the framing is intact, so answer
+                // and keep the connection.
+                let _ = respond(
+                    stream.as_mut(),
+                    0,
+                    Body::Err {
+                        kind: ErrKind::MalformedFrame,
+                        detail,
+                    },
+                );
+                continue;
+            }
+        };
+        match dispatch(&req, host, stop) {
+            Dispatch::Reply(body) => {
+                if respond(stream.as_mut(), req.id, body).is_err() {
+                    return;
+                }
+            }
+            Dispatch::EnterWatch { ack, rx } => {
+                if respond(stream.as_mut(), req.id, ack).is_err() {
+                    return;
+                }
+                // The connection becomes a one-way event stream: each
+                // applied record arrives as an id-0 event frame carrying
+                // the deterministic record line.
+                loop {
+                    match rx.recv_timeout(POLL) {
+                        Ok(line) => {
+                            let body = Body::Event(Json::Str(line));
+                            if respond(stream.as_mut(), 0, body).is_err() {
+                                return;
+                            }
+                        }
+                        Err(std::sync::mpsc::RecvTimeoutError::Timeout) => {
+                            if stop.load(Ordering::SeqCst) {
+                                return;
+                            }
+                        }
+                        Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => return,
+                    }
+                }
+            }
+        }
+    }
+}
+
+enum Dispatch {
+    Reply(Body),
+    EnterWatch {
+        ack: Body,
+        rx: std::sync::mpsc::Receiver<String>,
+    },
+}
+
+fn dispatch(req: &Request, host: &Arc<Host>, stop: &AtomicBool) -> Dispatch {
+    let body = match &req.op {
+        Op::Ping => Body::Ok(obj(vec![
+            ("pong", Json::Int(1)),
+            ("sessions", Json::Int(host.session_count() as i64)),
+            ("max_sessions", Json::Int(host.max_sessions() as i64)),
+            ("draining", Json::Int(i64::from(host.is_draining()))),
+        ])),
+        Op::Create { session, spec } => match host.create(session, spec.clone()) {
+            Ok(()) => Body::Ok(obj(vec![
+                ("created", Json::Str(session.clone())),
+                ("spec", spec_to_json(spec)),
+                ("sessions", Json::Int(host.session_count() as i64)),
+            ])),
+            Err(e) => host_err_body(e),
+        },
+        Op::Destroy { session } => match host.destroy(session) {
+            Ok(()) => Body::Ok(obj(vec![
+                ("destroyed", Json::Str(session.clone())),
+                ("sessions", Json::Int(host.session_count() as i64)),
+            ])),
+            Err(e) => host_err_body(e),
+        },
+        Op::Cmd { session, cmd } => match host.apply(session, cmd) {
+            Ok(record) => {
+                let fields: Vec<(String, Json)> = record
+                    .fields
+                    .iter()
+                    .map(|(k, v)| (k.clone(), Json::Int(*v)))
+                    .collect();
+                match &record.status {
+                    dsnet::CommandStatus::Applied => Body::Ok(obj(vec![
+                        ("seq", Json::Int(record.seq as i64)),
+                        ("cmd", Json::Str(record.kind.to_string())),
+                        ("attempts", Json::Int(i64::from(record.attempts))),
+                        ("wall_us", Json::Int(record.wall_us as i64)),
+                        ("fields", Json::Obj(fields)),
+                    ])),
+                    dsnet::CommandStatus::Rejected(reason) => Body::Err {
+                        kind: ErrKind::CommandRejected,
+                        detail: format!("seq {}: {reason}", record.seq),
+                    },
+                }
+            }
+            Err(e) => host_err_body(e),
+        },
+        Op::Stream { session } => match host.stream(session) {
+            Ok(text) => Body::Ok(obj(vec![("stream", Json::Str(text))])),
+            Err(e) => host_err_body(e),
+        },
+        Op::Peek { session } => match host.peek(session) {
+            Ok(p) => Body::Ok(obj(vec![
+                ("version", Json::Int(p.version as i64)),
+                ("nodes", Json::Int(p.nodes as i64)),
+                ("backbone", Json::Int(p.backbone as i64)),
+                ("height", Json::Int(p.height as i64)),
+                ("commands", Json::Int(p.commands as i64)),
+                ("cache_hits", Json::Int(p.cache_hits as i64)),
+                ("cache_misses", Json::Int(p.cache_misses as i64)),
+            ])),
+            Err(e) => host_err_body(e),
+        },
+        Op::Watch { session } => {
+            return match host.watch(session) {
+                Ok(rx) => Dispatch::EnterWatch {
+                    ack: Body::Ok(obj(vec![("watching", Json::Str(session.clone()))])),
+                    rx,
+                },
+                Err(e) => Dispatch::Reply(host_err_body(e)),
+            };
+        }
+        Op::Shutdown => {
+            host.begin_drain();
+            stop.store(true, Ordering::SeqCst);
+            Body::Ok(obj(vec![
+                ("shutting_down", Json::Int(1)),
+                ("sessions", Json::Int(host.session_count() as i64)),
+            ]))
+        }
+    };
+    Dispatch::Reply(body)
+}
+
+// ---- SIGINT -------------------------------------------------------------
+
+static SIGINT: AtomicBool = AtomicBool::new(false);
+
+extern "C" fn on_sigint(_sig: i32) {
+    SIGINT.store(true, Ordering::SeqCst);
+}
+
+/// Install a SIGINT handler that flips a flag watched by
+/// [`Server::wait`], turning Ctrl-C into the same graceful drain as the
+/// wire `shutdown` op. Safe to call more than once.
+pub fn install_sigint_handler() {
+    // std links libc; `signal` is the portable minimal binding (no
+    // sigaction struct layout to replicate). SIG_ERR is ignored — worst
+    // case Ctrl-C keeps its default behaviour.
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    const SIGINT_NO: i32 = 2;
+    unsafe {
+        signal(SIGINT_NO, on_sigint as extern "C" fn(i32) as usize);
+    }
+}
+
+/// Whether SIGINT has been received since the handler was installed.
+pub fn sigint_received() -> bool {
+    SIGINT.load(Ordering::SeqCst)
+}
+
+/// Remove a unix socket path best-effort (for CLI cleanup on bind races).
+pub fn cleanup_socket(path: &Path) {
+    let _ = std::fs::remove_file(path);
+}

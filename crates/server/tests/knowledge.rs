@@ -1,0 +1,75 @@
+//! Satellite contract: concurrent readers holding `Arc<NetKnowledge>`
+//! snapshots across a structural mutation keep observing the old,
+//! internally consistent version — the PR 4 version-keyed cache
+//! contract, exercised from the server's vantage point.
+
+use std::sync::{Arc, Barrier};
+
+use dsnet::{SessionCommand, SessionSpec};
+use dsnet_server::{Host, HostConfig};
+
+#[test]
+fn readers_pin_old_knowledge_across_a_mutation() {
+    const READERS: usize = 8;
+
+    let host = Arc::new(Host::new(HostConfig::default()));
+    let spec = SessionSpec {
+        nodes: 32,
+        seed: 7,
+        ..SessionSpec::default()
+    };
+    host.create("tenant", spec).expect("create");
+
+    // Pin the pre-mutation snapshot once on the main thread so every
+    // reader can deep-compare against it.
+    let (v0, k0) = host.knowledge("tenant").expect("baseline knowledge");
+    let baseline = (*k0).clone();
+
+    // All readers pin their own (version, Arc) pair, then rendezvous;
+    // the mutation happens only after every reader holds a snapshot.
+    let pinned = Barrier::new(READERS + 1);
+    let mutated = Barrier::new(READERS + 1);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..READERS)
+            .map(|_| {
+                let host = Arc::clone(&host);
+                let pinned = &pinned;
+                let mutated = &mutated;
+                let baseline = &baseline;
+                scope.spawn(move || {
+                    let (version, knowledge) = host.knowledge("tenant").expect("reader snapshot");
+                    pinned.wait();
+                    mutated.wait();
+                    // The mutation has happened on the main thread; the
+                    // pinned Arc must still be the old consistent view.
+                    assert_eq!(version, v0, "pinned version must be pre-mutation");
+                    assert_eq!(
+                        &*knowledge, baseline,
+                        "pinned snapshot must be byte-for-byte the old knowledge"
+                    );
+                    knowledge.nodes
+                })
+            })
+            .collect();
+
+        pinned.wait();
+        let record = host
+            .apply("tenant", &SessionCommand::MoveOut { node: 2 })
+            .expect("structural mutation");
+        assert!(record.status.is_applied(), "{:?}", record.status);
+        mutated.wait();
+
+        for h in handles {
+            assert_eq!(h.join().expect("reader"), baseline.nodes);
+        }
+    });
+
+    // A fresh read now sees the bumped version and the shrunken network.
+    let (v1, k1) = host.knowledge("tenant").expect("post-mutation knowledge");
+    assert!(v1 > v0, "structural mutation must bump the version");
+    assert_eq!(k1.nodes, baseline.nodes - 1);
+    assert!(
+        Arc::strong_count(&k0) >= 1,
+        "old snapshot stays alive as long as someone holds it"
+    );
+}

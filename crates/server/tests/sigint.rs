@@ -1,0 +1,44 @@
+//! SIGINT drain test. Lives in its own integration-test binary because
+//! the SIGINT latch is process-global: sending the signal here must not
+//! race other tests' servers.
+
+use dsnet::SessionSpec;
+use dsnet_server::{install_sigint_handler, Client, ServeOptions, Server};
+
+extern "C" {
+    fn kill(pid: i32, sig: i32) -> i32;
+}
+
+const SIGINT: i32 = 2;
+
+#[test]
+fn sigint_drains_the_server() {
+    install_sigint_handler();
+    let server = Server::start(&ServeOptions {
+        tcp: Some("127.0.0.1:0".into()),
+        unix: None,
+        max_sessions: 4,
+    })
+    .expect("bind");
+    let addr = server.tcp_addr().expect("tcp listener").to_string();
+
+    let mut client = Client::connect_tcp(&addr).expect("connect");
+    client
+        .create(
+            "a",
+            SessionSpec {
+                nodes: 16,
+                ..SessionSpec::default()
+            },
+        )
+        .expect("create");
+
+    let rc = unsafe { kill(std::process::id() as i32, SIGINT) };
+    assert_eq!(rc, 0, "self-signal");
+    drop(client);
+
+    // wait() observes the latch, drains, and returns. If the handler
+    // were not installed the signal above would have killed the process
+    // before reaching this line.
+    server.wait();
+}

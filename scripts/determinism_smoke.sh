@@ -11,17 +11,20 @@
 #   loss            lossy channels × repair × transient outages
 #   mobility-audit  long-horizon motion with dirty-scoped invariant
 #                   auditing on every maintenance epoch
+#   server          scripted session through a live daemon vs the same
+#                   script applied library-direct (byte-identical streams)
 #
 # Artifacts are left in the working directory as t<axis><threads>.json /
-# .csv so CI can upload them on failure.
+# .csv (tserver_*.stream for the server axis) so CI can upload them on
+# failure.
 set -euo pipefail
 
 if [ "$#" -lt 1 ]; then
-    echo "usage: $0 <core|mobility|loss|mobility-audit> [...]" >&2
+    echo "usage: $0 <core|mobility|loss|mobility-audit|server> [...]" >&2
     exit 2
 fi
 
-DSNET=(cargo run --release -p dsnet --bin dsnet --)
+DSNET=(cargo run --release -p dsnet-server --bin dsnet --)
 
 axis_flags() {
     case "$1" in
@@ -47,13 +50,54 @@ axis_flags() {
                   --mobility rwp0.08x40p1,gm0.05x40"
             ;;
         *)
-            echo "unknown axis: $1 (want core, mobility, loss, or mobility-audit)" >&2
+            echo "unknown axis: $1 (want core, mobility, loss, mobility-audit, or server)" >&2
             exit 2
             ;;
     esac
 }
 
+# Server determinism: boot a unix-socket daemon, run a fixed churn-heavy
+# script through `client --script`, run the same script library-direct,
+# and require the two deterministic event streams to be byte-identical.
+server_smoke() {
+    local sock="tserver.sock" script="tserver.script" pid
+    rm -f "$sock"
+    # Build up front so the daemon's socket-wait window below never
+    # races a cold compile.
+    cargo build --release -p dsnet-server --bin dsnet
+    cat > "$script" <<'EOS'
+{"cmd": "broadcast", "protocol": "cff"}
+{"cmd": "kill", "node": 3}
+{"cmd": "broadcast", "protocol": "dfo", "loss_ppm": 40000, "retries": 2, "min_delivery_ppm": 900000}
+{"cmd": "move_out", "node": 5}
+{"cmd": "move_in", "x_milli": 4500, "y_milli": 4500}
+{"cmd": "mobility", "epochs": 2, "movers": 2, "step_milli": 400}
+{"cmd": "revive", "node": 3}
+{"cmd": "snapshot"}
+EOS
+    "${DSNET[@]}" serve --unix "$sock" --max-sessions 4 --quiet &
+    pid=$!
+    for _ in $(seq 1 100); do
+        [ -S "$sock" ] && break
+        sleep 0.1
+    done
+    [ -S "$sock" ] || { echo "daemon did not come up" >&2; exit 1; }
+    "${DSNET[@]}" client --unix "$sock" --session smoke --script "$script" \
+        --nodes 40 --seed 2007 > tserver_client.stream
+    "${DSNET[@]}" direct --script "$script" \
+        --nodes 40 --seed 2007 > tserver_direct.stream
+    "${DSNET[@]}" client --unix "$sock" --shutdown > /dev/null
+    wait "$pid"
+    cmp tserver_client.stream tserver_direct.stream
+}
+
 for axis in "$@"; do
+    if [ "$axis" = server ]; then
+        echo "=== determinism smoke: server ==="
+        server_smoke
+        echo "=== server: daemon and library-direct streams identical ==="
+        continue
+    fi
     flags=$(axis_flags "$axis")
     echo "=== determinism smoke: $axis ==="
     for threads in 1 2; do

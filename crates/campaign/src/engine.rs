@@ -1,5 +1,6 @@
 //! The deterministic parallel execution engine.
 
+use crate::journal::Journal;
 use crate::sink::CampaignSink;
 use crate::spec::{
     repair_label, CampaignSpec, ChurnTemplate, FailureTemplate, LossSpec, MobilitySpec,
@@ -200,18 +201,66 @@ pub fn run_campaign(
     threads: usize,
     on_progress: Option<&(dyn Fn(Progress<'_>) + Sync)>,
 ) -> CampaignResult {
+    run_campaign_resumable(spec, runner, threads, on_progress, None, None)
+}
+
+/// [`run_campaign`] with crash-consistency hooks: an optional journal
+/// and an optional set of already-committed results to skip.
+///
+/// * `journal` — every worker records an `intent` frame before
+///   executing a trial and a `commit` frame (embedding the finished
+///   [`TrialRecord`]) after, each durable before the next step. A
+///   journal append failure fails the campaign loudly: continuing
+///   would silently forfeit crash consistency.
+/// * `completed` — per-trial results recovered by
+///   [`Journal::resume`](crate::journal::Journal::resume). Trials with
+///   a `Some` entry are folded into the artifacts *without being
+///   re-run or re-journaled*; everything else executes normally.
+///
+/// Because trial identity, seeding, and the aggregation fold are all
+/// independent of scheduling, a resumed campaign's artifacts are
+/// byte-identical to an uninterrupted run's — the property the
+/// crash-injection suite verifies end to end.
+pub fn run_campaign_resumable(
+    spec: &CampaignSpec,
+    runner: &dyn TrialRunner,
+    threads: usize,
+    on_progress: Option<&(dyn Fn(Progress<'_>) + Sync)>,
+    journal: Option<&Journal>,
+    completed: Option<Vec<Option<TrialRecord>>>,
+) -> CampaignResult {
     let started = Instant::now();
     let trials = spec.expand();
     let (cell_of_trial, cell_reps) = cell_indices(&trials);
     let sink = CampaignSink::new(cell_reps.len());
     let slots: Vec<OnceLock<TrialRecord>> = (0..trials.len()).map(|_| OnceLock::new()).collect();
 
+    // Prefill journaled results before any worker starts: their slots
+    // are set (workers skip them) and the sink already counts them, so
+    // progress reporting sees `done` start at the resume point.
+    if let Some(completed) = &completed {
+        assert_eq!(
+            completed.len(),
+            trials.len(),
+            "completed prefill must cover the expanded grid"
+        );
+        for (i, rec) in completed.iter().enumerate() {
+            if let Some(rec) = rec {
+                sink.record(cell_of_trial[i], rec);
+                slots[i]
+                    .set(rec.clone())
+                    .unwrap_or_else(|_| unreachable!("prefill slot {i} set twice"));
+            }
+        }
+    }
+
+    let remaining = slots.iter().filter(|s| s.get().is_none()).count();
     let threads = if threads == 0 {
         std::thread::available_parallelism().map_or(1, |p| p.get())
     } else {
         threads
     }
-    .min(trials.len().max(1));
+    .min(remaining.max(1));
 
     let cursor = AtomicUsize::new(0);
     let total = trials.len() as u64;
@@ -220,7 +269,18 @@ pub fn run_campaign(
             scope.spawn(|| loop {
                 let i = cursor.fetch_add(1, Ordering::Relaxed);
                 let Some(trial) = trials.get(i) else { break };
+                if slots[i].get().is_some() {
+                    continue; // journaled as done before this run
+                }
+                if let Some(j) = journal {
+                    j.record_intent(i)
+                        .unwrap_or_else(|e| panic!("journal intent for trial {i}: {e}"));
+                }
                 let record = runner.run_trial(trial);
+                if let Some(j) = journal {
+                    j.record_commit(i, &record)
+                        .unwrap_or_else(|e| panic!("journal commit for trial {i}: {e}"));
+                }
                 let done = sink.record(cell_of_trial[i], &record);
                 if let Some(observe) = on_progress {
                     observe(Progress {
@@ -477,6 +537,71 @@ mod tests {
                 assert!(cell.slot_churn.is_some());
             }
         }
+    }
+
+    #[test]
+    fn resumed_runs_reproduce_uninterrupted_results() {
+        use crate::journal::{read_journal, spec_fingerprint, Journal};
+        let spec = spec();
+        let baseline = run_campaign(&spec, &synthetic, 2, None);
+        let path = std::env::temp_dir().join(format!(
+            "dsnet-engine-resume-{}.journal",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        let fp = spec_fingerprint(&spec);
+        let journal = Journal::create(&path, fp, spec.trial_count()).expect("create journal");
+        let journaled = run_campaign_resumable(&spec, &synthetic, 2, None, Some(&journal), None);
+        drop(journal);
+        assert_eq!(journaled.records, baseline.records);
+        let contents = read_journal(&path).expect("read journal");
+        assert_eq!(contents.committed_count(), spec.trial_count());
+        // Simulate crashes at several points by forgetting a suffix of
+        // the commits, then resume: records and cells must be identical
+        // to the uninterrupted run at multiple thread counts.
+        for keep in [0, 1, spec.trial_count() / 2, spec.trial_count() - 1] {
+            let mut completed = contents.completed();
+            for slot in completed.iter_mut().skip(keep) {
+                *slot = None;
+            }
+            for threads in [1, 3] {
+                let resumed = run_campaign_resumable(
+                    &spec,
+                    &synthetic,
+                    threads,
+                    None,
+                    None,
+                    Some(completed.clone()),
+                );
+                assert_eq!(resumed.records, baseline.records, "keep={keep}");
+                assert_eq!(resumed.cells, baseline.cells, "keep={keep}");
+            }
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn prefilled_trials_never_rerun() {
+        let spec = spec();
+        let total = spec.trial_count();
+        let full = run_campaign(&spec, &synthetic, 2, None);
+        let mut completed: Vec<Option<TrialRecord>> =
+            full.records.iter().cloned().map(Some).collect();
+        for slot in completed.iter_mut().skip(total / 2) {
+            *slot = None;
+        }
+        let calls = AtomicU64::new(0);
+        let runner = |t: &Trial| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            synthetic(t)
+        };
+        let resumed = run_campaign_resumable(&spec, &runner, 4, None, None, Some(completed));
+        assert_eq!(
+            calls.load(Ordering::Relaxed) as usize,
+            total - total / 2,
+            "only the non-journaled tail executes"
+        );
+        assert_eq!(resumed.records, full.records);
     }
 
     #[test]

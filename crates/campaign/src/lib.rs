@@ -35,15 +35,31 @@
 //!
 //! Consequently `--threads 1` and `--threads 8` produce byte-identical
 //! JSON and CSV artifacts — CI asserts this on every push.
+//!
+//! # Crash consistency
+//!
+//! Determinism makes resume *verifiable*: because an uninterrupted run's
+//! artifacts are a pure function of the spec, a campaign that crashes
+//! mid-flight can be resumed from its [`journal`] (append-only, fsync'd,
+//! `intent`/`commit` records per trial) and must reproduce those exact
+//! bytes — which CI proves by killing campaigns at injected crash points
+//! and diffing the resumed artifacts against an uninterrupted baseline.
+//! See the [`journal`] module for the format and fingerprint rules.
 
 pub mod engine;
+pub mod journal;
 pub mod report;
 pub mod sink;
 pub mod spec;
 
-pub use engine::{run_campaign, CampaignResult, CellSummary, Progress, TrialRunner};
+pub use engine::{
+    run_campaign, run_campaign_resumable, CampaignResult, CellSummary, Progress, TrialRunner,
+};
+pub use journal::{
+    read_journal, spec_fingerprint, Journal, JournalContents, JournalError, JOURNAL_SCHEMA,
+};
 pub use report::{render_csv, render_json, render_trials_csv};
-pub use sink::{CampaignSink, CellSnapshot};
+pub use sink::{write_artifact, CampaignSink, CellSnapshot};
 pub use spec::{
     parse_repair, repair_label, CampaignSpec, ChurnTemplate, FailureTemplate, LossSpec,
     MobilitySpec, ProtocolSpec, Trial, TrialRecord,

@@ -11,8 +11,15 @@
 //! computed here — the engine derives them after the pool joins, folding
 //! the per-trial slot array in trial-index order, which is what keeps
 //! artifacts byte-identical across thread counts.
+//!
+//! The module also owns the durable end of the pipeline:
+//! [`write_artifact`], the write-temp-then-rename path every rendered
+//! artifact goes through so a crash can never leave a truncated file
+//! that a later resume would mistake for a complete one.
 
 use crate::spec::TrialRecord;
+use std::io::Write as _;
+use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Relaxed ordering is sufficient everywhere: each counter is an
@@ -144,6 +151,37 @@ impl CampaignSink {
     }
 }
 
+/// Durably write a campaign artifact: write-temp, fsync, rename.
+///
+/// A crash mid-write must never leave a truncated `.json`/`.csv` at the
+/// destination — a later `--resume` (or a human) would take the partial
+/// file for a complete artifact. The bytes land in a `<name>.tmp`
+/// sibling first, are fsync'd, and only then atomically renamed over
+/// `path`; the destination therefore always holds either the previous
+/// complete artifact or the new one, never a torn intermediate. The
+/// parent directory is fsync'd afterwards so the rename itself is
+/// durable.
+pub fn write_artifact(path: impl AsRef<Path>, bytes: &[u8]) -> std::io::Result<()> {
+    let path = path.as_ref();
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    let tmp = std::path::PathBuf::from(tmp);
+    {
+        let mut file = std::fs::File::create(&tmp)?;
+        file.write_all(bytes)?;
+        file.sync_all()?;
+    }
+    std::fs::rename(&tmp, path)?;
+    if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+        // Directory fsync is advisory on some filesystems; failure to
+        // open the directory is not a failure to write the artifact.
+        if let Ok(d) = std::fs::File::open(dir) {
+            let _ = d.sync_all();
+        }
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -223,5 +261,22 @@ mod tests {
         let s = CampaignSink::new(1).snapshot(0);
         assert_eq!(s.mean_rounds(), 0.0);
         assert_eq!(s.delivery_ratio(), 1.0);
+    }
+
+    #[test]
+    fn artifact_writes_replace_atomically() {
+        let dir = std::env::temp_dir().join(format!("dsnet-sink-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("artifact.json");
+        write_artifact(&path, b"first complete artifact").expect("write");
+        assert_eq!(
+            std::fs::read(&path).expect("read"),
+            b"first complete artifact"
+        );
+        write_artifact(&path, b"second").expect("overwrite");
+        assert_eq!(std::fs::read(&path).expect("read"), b"second");
+        // The temp sibling never survives a completed write.
+        assert!(!dir.join("artifact.json.tmp").exists());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -1,0 +1,173 @@
+//! Property-based tests of the campaign journal: random record
+//! sequences must round-trip exactly, and arbitrary truncation or
+//! single-byte corruption must never mis-parse a record that was
+//! durably written before the damage point.
+//!
+//! The journal's crash model says only the tail frame can tear (appends
+//! are a single `write(2)` + `fdatasync`), but the reader is tested
+//! against damage *anywhere*: whatever byte gets cut or flipped, every
+//! frame wholly before the damaged frame must come back byte-exact, and
+//! nothing after it may be invented.
+
+use dsnet_campaign::{read_journal, Journal, TrialRecord};
+use proptest::prelude::*;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Unique scratch path per proptest case (cases run in one process).
+fn tmp(tag: &str) -> PathBuf {
+    static CASE: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!("dsnet-journal-props-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir.join(format!(
+        "{tag}-{}.journal",
+        CASE.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+/// A varied record derived from one seed: exercises every optional
+/// field and a non-trivial float (`mean_awake` travels as IEEE bits).
+fn rec(h: u64) -> TrialRecord {
+    TrialRecord {
+        rounds: h % 1_000_003,
+        delivered: h % 97,
+        targets: 97,
+        targets_alive: 96,
+        delivered_alive: (h % 97).min(96),
+        t50: h.is_multiple_of(2).then_some(h % 31),
+        t90: (!h.is_multiple_of(3)).then_some(h % 61),
+        t_full: h.is_multiple_of(5).then_some(h % 127),
+        repair_rounds: h.is_multiple_of(7).then_some(h % 11),
+        max_awake: h % 255,
+        mean_awake: (h % 100_000) as f64 / 7.0,
+        collisions: (h % 2 == 1).then_some(h % 4),
+        bound: h % 4096,
+        nodes: 97,
+        reconfigs: h.is_multiple_of(11).then_some(h % 13),
+        slot_churn: h.is_multiple_of(13).then_some(h % 17),
+    }
+}
+
+/// Write a full journal (header + intent/commit per trial) and return
+/// its raw bytes alongside the records it holds.
+fn build_journal(path: &PathBuf, fingerprint: u64, seeds: &[u64]) -> (Vec<u8>, Vec<TrialRecord>) {
+    let journal = Journal::create(path, fingerprint, seeds.len()).expect("create journal");
+    let records: Vec<TrialRecord> = seeds.iter().map(|&h| rec(h)).collect();
+    for (i, r) in records.iter().enumerate() {
+        journal.record_intent(i).expect("intent");
+        journal.record_commit(i, r).expect("commit");
+    }
+    drop(journal);
+    let bytes = std::fs::read(path).expect("read journal bytes");
+    (bytes, records)
+}
+
+/// Frame end offsets, in order, by walking the length prefixes of an
+/// intact journal. Frame 0 is the header; frame `2 + 2i` commits trial
+/// `i`.
+fn frame_ends(bytes: &[u8]) -> Vec<usize> {
+    let mut ends = Vec::new();
+    let mut off = 0usize;
+    while off + 8 <= bytes.len() {
+        let len = u32::from_be_bytes(bytes[off..off + 4].try_into().unwrap()) as usize;
+        off += 8 + len;
+        assert!(off <= bytes.len(), "intact journal misframed");
+        ends.push(off);
+    }
+    assert_eq!(*ends.last().unwrap(), bytes.len());
+    ends
+}
+
+/// Index of the frame containing byte `pos`.
+fn frame_of(ends: &[usize], pos: usize) -> usize {
+    ends.iter().position(|&e| pos < e).expect("pos in file")
+}
+
+/// The commits that must survive when frames `>= damaged` are lost:
+/// trial `i`'s commit frame is `2 + 2i`.
+fn surviving(records: &[TrialRecord], damaged: usize) -> Vec<(usize, TrialRecord)> {
+    records
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| 2 + 2 * i < damaged)
+        .map(|(i, r)| (i, r.clone()))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    #[test]
+    fn random_record_sequences_roundtrip(
+        fingerprint in any::<u64>(),
+        seeds in prop::collection::vec(any::<u64>(), 1..24),
+    ) {
+        let path = tmp("roundtrip");
+        let (_, records) = build_journal(&path, fingerprint, &seeds);
+        let contents = read_journal(&path).expect("intact journal reads");
+        prop_assert_eq!(contents.fingerprint, fingerprint);
+        prop_assert_eq!(contents.trials, records.len());
+        prop_assert_eq!(contents.torn_bytes, 0);
+        prop_assert_eq!(contents.committed_count(), records.len());
+        let expected: Vec<(usize, TrialRecord)> =
+            records.iter().cloned().enumerate().collect();
+        prop_assert_eq!(&contents.commits, &expected);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn truncation_never_misparses_earlier_records(
+        fingerprint in any::<u64>(),
+        seeds in prop::collection::vec(any::<u64>(), 1..16),
+        cut_pick in any::<usize>(),
+    ) {
+        let path = tmp("truncate");
+        let (full, records) = build_journal(&path, fingerprint, &seeds);
+        let ends = frame_ends(&full);
+        let cut = cut_pick % (full.len() + 1);
+        std::fs::write(&path, &full[..cut]).expect("truncate");
+        match read_journal(&path) {
+            Ok(contents) => {
+                // Header frame must be intact for any Ok.
+                prop_assert!(cut >= ends[0]);
+                // A frame survives iff it fits wholly under the cut.
+                let damaged = ends.iter().filter(|&&e| e <= cut).count();
+                prop_assert_eq!(&contents.commits, &surviving(&records, damaged));
+                prop_assert_eq!(contents.valid_len as usize, ends[damaged - 1]);
+            }
+            Err(_) => {
+                // Only losing (part of) the header justifies an error.
+                prop_assert!(cut < ends[0], "error despite intact header at cut {cut}");
+            }
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn single_byte_corruption_never_misparses_earlier_records(
+        fingerprint in any::<u64>(),
+        seeds in prop::collection::vec(any::<u64>(), 1..16),
+        pos_pick in any::<usize>(),
+        flip in 1u8..=255,
+    ) {
+        let path = tmp("corrupt");
+        let (full, records) = build_journal(&path, fingerprint, &seeds);
+        let ends = frame_ends(&full);
+        let pos = pos_pick % full.len();
+        let mut bytes = full.clone();
+        bytes[pos] ^= flip;
+        std::fs::write(&path, &bytes).expect("corrupt");
+        let damaged = frame_of(&ends, pos);
+        match read_journal(&path) {
+            Ok(contents) => {
+                prop_assert!(damaged > 0, "corrupted header must not read Ok");
+                prop_assert_eq!(&contents.commits, &surviving(&records, damaged));
+                prop_assert_eq!(contents.valid_len as usize, ends[damaged - 1]);
+            }
+            Err(_) => {
+                prop_assert!(damaged == 0, "error despite intact header (byte {pos} in frame {damaged})");
+            }
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -12,7 +12,7 @@ use crate::builder::NetworkBuilder;
 use crate::experiments::common::SweepConfig;
 use crate::network::{Protocol, SensorNetwork};
 use dsnet_campaign::{
-    CampaignResult, CampaignSpec, ChurnTemplate, FailureTemplate, MobilitySpec, Progress,
+    CampaignResult, CampaignSpec, ChurnTemplate, FailureTemplate, Journal, MobilitySpec, Progress,
     ProtocolSpec, Trial, TrialRecord,
 };
 use dsnet_cluster::repair::{RepairConfig, RepairError};
@@ -276,6 +276,28 @@ pub fn run(
     on_progress: Option<&(dyn Fn(Progress<'_>) + Sync)>,
 ) -> CampaignResult {
     dsnet_campaign::run_campaign(spec, &run_trial, threads, on_progress)
+}
+
+/// [`run`] with crash-consistency hooks: journal every trial's
+/// intent/commit and/or skip trials whose results were recovered from a
+/// journal. See
+/// [`run_campaign_resumable`](dsnet_campaign::run_campaign_resumable)
+/// for the contract.
+pub fn run_resumable(
+    spec: &CampaignSpec,
+    threads: usize,
+    on_progress: Option<&(dyn Fn(Progress<'_>) + Sync)>,
+    journal: Option<&Journal>,
+    completed: Option<Vec<Option<TrialRecord>>>,
+) -> CampaignResult {
+    dsnet_campaign::run_campaign_resumable(
+        spec,
+        &run_trial,
+        threads,
+        on_progress,
+        journal,
+        completed,
+    )
 }
 
 /// A campaign spec matching a [`SweepConfig`]'s field, sizes, reps and

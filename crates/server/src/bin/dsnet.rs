@@ -11,7 +11,8 @@
 //!                 [--channels 1,2] [--failures none,bb3@1,bb3@1+10] [--churn none,j5l2] \
 //!                 [--loss none,p0.05] [--repair off,on] \
 //!                 [--mobility none,rwp0.05x20p2,gm0.05x20] [--retries R] \
-//!                 [--threads T] [--json FILE] [--csv FILE] [--trials] [--quiet]
+//!                 [--threads T] [--json FILE] [--csv FILE] [--trials] [--quiet] \
+//!                 [--journal FILE | --resume FILE]
 //! dsnet perf      [--quick] [--threads T] [--out BENCH.json] [--date YYYY-MM-DD] \
 //!                 [--compare BASELINE.json] [--max-regress 0.15] [--quiet]
 //! dsnet serve     [--tcp ADDR] [--unix PATH] [--max-sessions N] [--quiet]
@@ -28,10 +29,18 @@
 //! --script` against a live daemon and `direct --script` print the same
 //! deterministic event stream for the same spec and script — CI diffs
 //! the two (the server determinism-smoke axis).
+//!
+//! `campaign --journal FILE` appends a crash-consistent intent/commit
+//! record per trial to an fsync'd journal; after a crash, `campaign
+//! --resume FILE` (same spec flags) skips the committed trials and
+//! provably emits the artifacts an uninterrupted run would have — the
+//! `resume` determinism-smoke axis kills a campaign at an injected
+//! crash point and diffs exactly that.
 
 use dsnet::campaign_engine::{
-    parse_repair, render_csv, render_json, render_trials_csv, CampaignSpec, ChurnTemplate,
-    FailureTemplate, LossSpec, MobilitySpec, Progress, ProtocolSpec,
+    parse_repair, render_csv, render_json, render_trials_csv, spec_fingerprint, write_artifact,
+    CampaignSpec, ChurnTemplate, FailureTemplate, Journal, LossSpec, MobilitySpec, Progress,
+    ProtocolSpec, TrialRecord,
 };
 use dsnet::protocols::runner::{run_multicast_reliable, RunConfig};
 use dsnet::session::render_stream;
@@ -69,6 +78,8 @@ struct Args {
     threads: usize,
     json: Option<String>,
     csv: Option<String>,
+    journal: Option<String>,
+    resume: Option<String>,
     trials: bool,
     no_trace: bool,
     quiet: bool,
@@ -115,6 +126,8 @@ impl Default for Args {
             threads: 0,
             json: None,
             csv: None,
+            journal: None,
+            resume: None,
             trials: false,
             no_trace: false,
             quiet: false,
@@ -146,7 +159,7 @@ fn usage() -> ! {
          [--churn none|j<J>l<L>,..] [--loss none,p<P>,..] [--repair off,on] \
          [--mobility none|rwp<V>x<E>p<P>|gm<V>x<E>,..] \
          [--retries R] [--threads T] [--json FILE] [--csv FILE] \
-         [--trials] [--no-trace] [--quiet]\n\
+         [--trials] [--no-trace] [--quiet] [--journal FILE | --resume FILE]\n\
          perf: dsnet perf [--quick] [--threads T] [--out FILE] [--date YYYY-MM-DD] \
          [--compare BASELINE.json] [--max-regress F] [--quiet]\n\
          serve: dsnet serve [--tcp ADDR] [--unix PATH] [--max-sessions N] [--quiet]\n\
@@ -208,6 +221,8 @@ fn parse() -> (String, Args) {
             "--threads" => a.threads = val().parse().unwrap_or_else(|_| usage()),
             "--json" => a.json = Some(val()),
             "--csv" => a.csv = Some(val()),
+            "--journal" => a.journal = Some(val()),
+            "--resume" => a.resume = Some(val()),
             "--trials" => a.trials = true,
             "--no-trace" => a.no_trace = true,
             "--quiet" => a.quiet = true,
@@ -239,6 +254,21 @@ fn parse() -> (String, Args) {
     (cmd, a)
 }
 
+/// Render a duration estimate compactly (`42s`, `3m07s`, `2h15m`).
+fn fmt_eta(secs: f64) -> String {
+    if !secs.is_finite() || secs < 0.0 {
+        return "?".into();
+    }
+    let s = secs.round() as u64;
+    if s >= 3600 {
+        format!("{}h{:02}m", s / 3600, (s % 3600) / 60)
+    } else if s >= 60 {
+        format!("{}m{:02}s", s / 60, s % 60)
+    } else {
+        format!("{s}s")
+    }
+}
+
 fn run_campaign_cmd(a: &Args) {
     let spec = CampaignSpec {
         name: "cli".into(),
@@ -256,19 +286,95 @@ fn run_campaign_cmd(a: &Args) {
         max_retries: a.retries,
         record_trace: !a.no_trace,
     };
+
+    // Journaling: --journal starts a fresh crash-consistent journal,
+    // --resume validates an existing one against this exact spec and
+    // prefills the trials it already commits.
+    let journal_fail = |e: dsnet::campaign_engine::JournalError| -> ! {
+        eprintln!("campaign: {e}");
+        std::process::exit(1);
+    };
+    let (journal, completed): (Option<Journal>, Option<Vec<Option<TrialRecord>>>) =
+        match (&a.journal, &a.resume) {
+            (Some(_), Some(_)) => {
+                eprintln!(
+                    "campaign: --journal and --resume are mutually exclusive \
+                     (--resume appends to the journal it reads)"
+                );
+                std::process::exit(2);
+            }
+            (Some(path), None) => {
+                let j = Journal::create(
+                    std::path::Path::new(path),
+                    spec_fingerprint(&spec),
+                    spec.trial_count(),
+                )
+                .unwrap_or_else(|e| journal_fail(e));
+                (Some(j), None)
+            }
+            (None, Some(path)) => {
+                let (j, completed) = Journal::resume(
+                    std::path::Path::new(path),
+                    spec_fingerprint(&spec),
+                    spec.trial_count(),
+                )
+                .unwrap_or_else(|e| journal_fail(e));
+                let done = completed.iter().filter(|c| c.is_some()).count();
+                if !a.quiet {
+                    eprintln!(
+                        "campaign: resuming {path}: {done}/{} trials already committed",
+                        spec.trial_count()
+                    );
+                }
+                (Some(j), Some(completed))
+            }
+            (None, None) => (None, None),
+        };
+
+    // Progress line: trials done / total plus an ETA from a rolling
+    // window of recent completions, so hour-long journaled runs are
+    // observable without polling the journal file.
+    let window: std::sync::Mutex<std::collections::VecDeque<(std::time::Instant, u64)>> =
+        std::sync::Mutex::new(std::collections::VecDeque::new());
     let progress = |p: Progress<'_>| {
-        eprint!(
-            "\r[{}/{}] {}          ",
-            p.done,
-            p.total,
-            p.trial.cell_label()
-        );
+        let now = std::time::Instant::now();
+        let mut w = window.lock().expect("progress window");
+        w.push_back((now, p.done));
+        while w.len() > 64 {
+            w.pop_front();
+        }
+        let rate = if w.len() >= 2 {
+            let (t0, d0) = w[0];
+            let dt = now.duration_since(t0).as_secs_f64();
+            let dd = p.done.saturating_sub(d0) as f64;
+            (dd > 0.0 && dt > 0.0).then(|| dd / dt)
+        } else {
+            None
+        };
+        match rate {
+            Some(rate) => eprint!(
+                "\r[{}/{}] {:.1} trials/s, ETA {} — {}          ",
+                p.done,
+                p.total,
+                rate,
+                fmt_eta((p.total - p.done) as f64 / rate),
+                p.trial.cell_label()
+            ),
+            None => eprint!(
+                "\r[{}/{}] {}          ",
+                p.done,
+                p.total,
+                p.trial.cell_label()
+            ),
+        }
         let _ = std::io::stderr().flush();
     };
-    let result = dsnet::campaign::run(
+    let result = dsnet::campaign::run_resumable(
         &spec,
         a.threads,
         if a.quiet { None } else { Some(&progress) },
+        journal.as_ref(),
+        completed,
     );
     if !a.quiet {
         eprintln!();
@@ -301,17 +407,17 @@ fn run_campaign_cmd(a: &Args) {
     }
     if let Some(path) = &a.json {
         let doc = render_json(&result, a.trials);
-        std::fs::write(path, &doc).expect("write JSON artifact");
+        write_artifact(path, doc.as_bytes()).expect("write JSON artifact");
         println!("wrote {path} ({} bytes)", doc.len());
     }
     if let Some(path) = &a.csv {
         let doc = render_csv(&result);
-        std::fs::write(path, &doc).expect("write CSV artifact");
+        write_artifact(path, doc.as_bytes()).expect("write CSV artifact");
         println!("wrote {path} ({} bytes)", doc.len());
         if a.trials {
             let tpath = format!("{path}.trials.csv");
             let tdoc = render_trials_csv(&result);
-            std::fs::write(&tpath, &tdoc).expect("write trials CSV artifact");
+            write_artifact(&tpath, tdoc.as_bytes()).expect("write trials CSV artifact");
             println!("wrote {tpath} ({} bytes)", tdoc.len());
         }
     }

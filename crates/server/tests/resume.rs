@@ -1,0 +1,218 @@
+//! Crash-injection integration test for `dsnet campaign --resume`.
+//!
+//! Runs a small campaign to completion for a baseline, then re-runs it
+//! with `DSNET_CAMPAIGN_CRASH_AFTER=<n>` killing the process at
+//! seeded-random journal appends, resumes each crashed run from its
+//! journal, and asserts the resumed artifacts are **byte-identical** to
+//! the uninterrupted baseline — at `--threads 1` and `--threads 2`.
+//! Also pins the refusal paths: resuming with a mutated spec and
+//! resuming an already-complete journal must fail with clear errors.
+
+use dsnet::geom::rng::derive_seed;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+const DSNET: &str = env!("CARGO_BIN_EXE_dsnet");
+
+/// The campaign under test: 2 protocols × 2 sizes × 2 reps = 8 trials,
+/// i.e. 16 journal appends (intent + commit per trial).
+const SPEC_FLAGS: &[&str] = &[
+    "campaign",
+    "--ns",
+    "20,28",
+    "--reps",
+    "2",
+    "--protocols",
+    "cff,dfo",
+    "--quiet",
+];
+const TRIALS: u64 = 8;
+
+/// Per-test scratch dir: tests run in parallel in one process, so each
+/// gets its own directory it is free to clean up.
+fn workdir(test: &str) -> PathBuf {
+    let dir = std::env::temp_dir()
+        .join(format!("dsnet-resume-{}", std::process::id()))
+        .join(test);
+    std::fs::create_dir_all(&dir).expect("workdir");
+    dir
+}
+
+struct Run {
+    status: std::process::ExitStatus,
+    stderr: String,
+}
+
+/// Run the dsnet binary with the campaign spec flags plus `extra`,
+/// optionally under a crash-injection count.
+fn run(dir: &Path, extra: &[&str], crash_after: Option<u64>) -> Run {
+    let mut cmd = Command::new(DSNET);
+    cmd.current_dir(dir).args(SPEC_FLAGS).args(extra);
+    match crash_after {
+        Some(n) => cmd.env("DSNET_CAMPAIGN_CRASH_AFTER", n.to_string()),
+        None => cmd.env_remove("DSNET_CAMPAIGN_CRASH_AFTER"),
+    };
+    let out = cmd.output().expect("spawn dsnet");
+    Run {
+        status: out.status,
+        stderr: String::from_utf8_lossy(&out.stderr).into_owned(),
+    }
+}
+
+fn artifact_flags(tag: &str) -> Vec<String> {
+    vec![
+        "--json".into(),
+        format!("{tag}.json"),
+        "--csv".into(),
+        format!("{tag}.csv"),
+        "--trials".into(),
+    ]
+}
+
+fn read_artifacts(dir: &Path, tag: &str) -> [Vec<u8>; 3] {
+    [
+        std::fs::read(dir.join(format!("{tag}.json"))).expect("json artifact"),
+        std::fs::read(dir.join(format!("{tag}.csv"))).expect("csv artifact"),
+        std::fs::read(dir.join(format!("{tag}.csv.trials.csv"))).expect("trials artifact"),
+    ]
+}
+
+fn as_refs(v: &[String]) -> Vec<&str> {
+    v.iter().map(String::as_str).collect()
+}
+
+/// Crash at seeded-random append counts, resume, and require the
+/// resumed artifacts to match the uninterrupted baseline byte for byte.
+#[test]
+fn resumed_campaigns_reproduce_uninterrupted_artifacts() {
+    let dir = workdir("reproduce");
+    let baseline = run(&dir, &as_refs(&artifact_flags("base")), None);
+    assert!(baseline.status.success(), "baseline: {}", baseline.stderr);
+    let expected = read_artifacts(&dir, "base");
+
+    // Randomized but reproducible crash points across the append range
+    // (1..=2*TRIALS), exercised at both thread counts.
+    for (round, &threads) in [1usize, 2, 1, 2].iter().enumerate() {
+        let crash_after = 1 + derive_seed(0xC4A5_11ED, round as u64) % (2 * TRIALS);
+        let tag = format!("r{round}");
+        let journal = format!("{tag}.journal");
+        let mut flags = artifact_flags(&tag);
+        flags.extend([
+            "--threads".into(),
+            threads.to_string(),
+            "--journal".into(),
+            journal.clone(),
+        ]);
+        let crashed = run(&dir, &as_refs(&flags), Some(crash_after));
+        assert!(
+            !crashed.status.success(),
+            "round {round}: expected crash after append {crash_after}, got success"
+        );
+        assert!(
+            crashed.stderr.contains("crash injection"),
+            "round {round}: missing injection marker in stderr: {}",
+            crashed.stderr
+        );
+
+        let mut flags = artifact_flags(&tag);
+        flags.extend([
+            "--threads".into(),
+            threads.to_string(),
+            "--resume".into(),
+            journal,
+        ]);
+        let resumed = run(&dir, &as_refs(&flags), None);
+        assert!(
+            resumed.status.success(),
+            "round {round}: resume failed: {}",
+            resumed.stderr
+        );
+        let got = read_artifacts(&dir, &tag);
+        for (k, name) in ["json", "csv", "trials.csv"].iter().enumerate() {
+            assert!(
+                got[k] == expected[k],
+                "round {round} ({threads} threads, crash after {crash_after}): \
+                 resumed {name} differs from uninterrupted baseline"
+            );
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Resuming against a different spec (here: an extra repetition) must
+/// be refused with a fingerprint error, and the artifacts untouched.
+#[test]
+fn resume_refuses_mutated_spec() {
+    let dir = workdir("mutated");
+    let journal = "mutated.journal";
+    let crashed = run(&dir, &["--json", "m.json", "--journal", journal], Some(3));
+    assert!(!crashed.status.success());
+
+    let mut cmd = Command::new(DSNET);
+    cmd.current_dir(&dir)
+        .env_remove("DSNET_CAMPAIGN_CRASH_AFTER")
+        .args([
+            "campaign",
+            "--ns",
+            "20,28",
+            "--reps",
+            "3", // baseline recorded --reps 2
+            "--protocols",
+            "cff,dfo",
+            "--quiet",
+            "--json",
+            "m.json",
+            "--resume",
+            journal,
+        ]);
+    let out = cmd.output().expect("spawn dsnet");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(!out.status.success(), "mutated-spec resume must fail");
+    assert!(
+        stderr.contains("fingerprint"),
+        "expected fingerprint refusal, got: {stderr}"
+    );
+    assert!(
+        !dir.join("m.json").exists(),
+        "refused resume must not write artifacts"
+    );
+}
+
+/// Resuming a journal that already commits every trial is a no-op the
+/// operator should hear about, not a silent recompute.
+#[test]
+fn resume_refuses_completed_journal() {
+    let dir = workdir("complete");
+    let journal = "complete.journal";
+    let full = run(&dir, &["--json", "c.json", "--journal", journal], None);
+    assert!(full.status.success(), "journaled run: {}", full.stderr);
+
+    let again = run(&dir, &["--json", "c2.json", "--resume", journal], None);
+    assert!(
+        !again.status.success(),
+        "completed-journal resume must fail"
+    );
+    assert!(
+        again.stderr.contains("nothing to resume"),
+        "expected completion notice, got: {}",
+        again.stderr
+    );
+}
+
+/// `--journal` is a fresh start: it must refuse to clobber an existing
+/// journal file rather than silently restart the campaign.
+#[test]
+fn journal_refuses_to_overwrite() {
+    let dir = workdir("overwrite");
+    let journal = "existing.journal";
+    let crashed = run(&dir, &["--json", "e.json", "--journal", journal], Some(2));
+    assert!(!crashed.status.success());
+
+    let again = run(&dir, &["--json", "e.json", "--journal", journal], None);
+    assert!(!again.status.success(), "overwriting --journal must fail");
+    assert!(
+        again.stderr.contains("--resume"),
+        "error should point at --resume, got: {}",
+        again.stderr
+    );
+}

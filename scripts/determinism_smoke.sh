@@ -13,6 +13,9 @@
 #                   auditing on every maintenance epoch
 #   server          scripted session through a live daemon vs the same
 #                   script applied library-direct (byte-identical streams)
+#   resume          crash a journaled campaign at a fixed injected point,
+#                   resume from the journal, and require the resumed
+#                   artifacts byte-identical to an uninterrupted run
 #
 # Artifacts are left in the working directory as t<axis><threads>.json /
 # .csv (tserver_*.stream for the server axis) so CI can upload them on
@@ -20,7 +23,7 @@
 set -euo pipefail
 
 if [ "$#" -lt 1 ]; then
-    echo "usage: $0 <core|mobility|loss|mobility-audit|server> [...]" >&2
+    echo "usage: $0 <core|mobility|loss|mobility-audit|server|resume> [...]" >&2
     exit 2
 fi
 
@@ -50,10 +53,35 @@ axis_flags() {
                   --mobility rwp0.08x40p1,gm0.05x40"
             ;;
         *)
-            echo "unknown axis: $1 (want core, mobility, loss, mobility-audit, or server)" >&2
+            echo "unknown axis: $1 (want core, mobility, loss, mobility-audit, server, or resume)" >&2
             exit 2
             ;;
     esac
+}
+
+# Crash-consistency smoke: run a campaign to completion for a baseline,
+# run it again under DSNET_CAMPAIGN_CRASH_AFTER with a journal (the
+# process aborts mid-campaign by design), then resume from the journal
+# and require the resumed artifacts to be byte-identical to the
+# uninterrupted baseline.
+resume_smoke() {
+    local flags="--ns 20,28 --reps 2 --protocols cff,dfo --quiet"
+    rm -f tresume.journal
+    # shellcheck disable=SC2086  # flags are a curated word list
+    "${DSNET[@]}" campaign $flags --threads 2 \
+        --json tresume_base.json --csv tresume_base.csv
+    # shellcheck disable=SC2086
+    if DSNET_CAMPAIGN_CRASH_AFTER=7 "${DSNET[@]}" campaign $flags --threads 2 \
+        --json tresume_run.json --csv tresume_run.csv --journal tresume.journal
+    then
+        echo "crash injection did not fire" >&2
+        exit 1
+    fi
+    # shellcheck disable=SC2086
+    "${DSNET[@]}" campaign $flags --threads 2 \
+        --json tresume_run.json --csv tresume_run.csv --resume tresume.journal
+    cmp tresume_base.json tresume_run.json
+    cmp tresume_base.csv tresume_run.csv
 }
 
 # Server determinism: boot a unix-socket daemon, run a fixed churn-heavy
@@ -96,6 +124,12 @@ for axis in "$@"; do
         echo "=== determinism smoke: server ==="
         server_smoke
         echo "=== server: daemon and library-direct streams identical ==="
+        continue
+    fi
+    if [ "$axis" = resume ]; then
+        echo "=== determinism smoke: resume ==="
+        resume_smoke
+        echo "=== resume: resumed artifacts identical to uninterrupted run ==="
         continue
     fi
     flags=$(axis_flags "$axis")

@@ -92,6 +92,12 @@ pub struct ServeBreakdown {
     pub cmd_p50_us: f64,
     /// p99 client-observed command round-trip, microseconds (timing).
     pub cmd_p99_us: f64,
+    /// p999 client-observed command round-trip, microseconds (timing).
+    pub cmd_p999_us: f64,
+    /// Log2 latency histogram: bucket `i` counts commands whose
+    /// round-trip fell in `[2^i, 2^(i+1))` microseconds; trailing empty
+    /// buckets are trimmed (timing).
+    pub cmd_hist_us: Vec<u64>,
 }
 
 /// Per-phase maintenance measurements of a mobility scenario, harvested
@@ -465,6 +471,9 @@ pub fn render_ledger(l: &Ledger, include_timing: bool) -> String {
                 ));
                 fields.push(format!("\"serve_cmd_p50_us\": {:.1}", sv.cmd_p50_us));
                 fields.push(format!("\"serve_cmd_p99_us\": {:.1}", sv.cmd_p99_us));
+                fields.push(format!("\"serve_cmd_p999_us\": {:.1}", sv.cmd_p999_us));
+                let buckets: Vec<String> = sv.cmd_hist_us.iter().map(|b| b.to_string()).collect();
+                fields.push(format!("\"serve_cmd_hist_us\": [{}]", buckets.join(", ")));
             }
         }
         if include_timing {
@@ -582,6 +591,16 @@ pub fn compare(baseline_json: &str, fresh: &Ledger, max_regress: f64) -> Compari
                     ));
                 }
             }
+            // Ledgers written before the p999/histogram timing fields
+            // existed still compare cleanly — the additions are timing,
+            // not counters, so their absence is informational.
+            if !bv.has_latency_detail {
+                notes.push(format!(
+                    "{}: baseline predates serve_cmd_p999_us/serve_cmd_hist_us; \
+                     latency-detail fields not compared",
+                    sc.name
+                ));
+            }
         }
         if let (Some(bm), Some(m)) = (&b.maintenance, &sc.maintenance) {
             for (field, got, want) in [
@@ -660,6 +679,10 @@ struct ParsedServe {
     sessions: u64,
     commands: u64,
     client_threads: u64,
+    /// Whether the baseline carries the p999/histogram timing fields
+    /// (ledgers written before those fields existed do not; their
+    /// absence is noted during comparison, never failed).
+    has_latency_detail: bool,
 }
 
 #[derive(Debug, Default)]
@@ -758,6 +781,11 @@ fn parse_ledger(doc: &str) -> Option<ParsedLedger> {
                 sc.server
                     .get_or_insert_with(Default::default)
                     .client_threads = value.parse().ok()?;
+            }
+            ("serve_cmd_p999_us" | "serve_cmd_hist_us", Some(sc)) => {
+                sc.server
+                    .get_or_insert_with(Default::default)
+                    .has_latency_detail = true;
             }
             _ => {}
         }
@@ -963,6 +991,8 @@ mod tests {
                 sessions_per_sec: 240.0,
                 cmd_p50_us: 310.0,
                 cmd_p99_us: 2_150.0,
+                cmd_p999_us: 4_800.0,
+                cmd_hist_us: vec![0, 0, 0, 0, 0, 12, 480, 2_900, 760, 48],
             }),
         }
     }
@@ -995,6 +1025,44 @@ mod tests {
         assert!(bare.contains("serve_sessions\": 600"));
         assert!(!bare.contains("serve_cmd_p50_us"));
         assert!(!bare.contains("serve_sessions_per_sec"));
+        assert!(!bare.contains("serve_cmd_p999_us"));
+        assert!(!bare.contains("serve_cmd_hist_us"));
+        assert!(doc.contains("\"serve_cmd_p999_us\": 4800.0"));
+        assert!(doc.contains("\"serve_cmd_hist_us\": [0, 0, 0, 0, 0, 12, 480, 2900, 760, 48]"));
+    }
+
+    #[test]
+    fn compare_notes_baseline_without_latency_detail() {
+        // A v2 baseline written before the p999/histogram fields: strip
+        // them out of a fresh render line-by-line.
+        let mut l = sample_ledger();
+        l.scenarios.push(serve_scenario());
+        let doc: String = render_ledger(&l, true)
+            .lines()
+            .filter(|line| {
+                !line.contains("serve_cmd_p999_us") && !line.contains("serve_cmd_hist_us")
+            })
+            .map(|line| format!("{line}\n"))
+            .collect();
+        let c = compare(&doc, &l, 0.15);
+        assert!(c.passed(), "failures: {:?}", c.failures);
+        assert!(
+            c.notes
+                .iter()
+                .any(|n| n.contains("predates serve_cmd_p999_us")),
+            "{:?}",
+            c.notes
+        );
+
+        // A baseline that does carry them produces no such note.
+        let full = render_ledger(&l, true);
+        let c = compare(&full, &l, 0.15);
+        assert!(c.passed(), "failures: {:?}", c.failures);
+        assert!(
+            !c.notes.iter().any(|n| n.contains("predates")),
+            "{:?}",
+            c.notes
+        );
     }
 
     #[test]

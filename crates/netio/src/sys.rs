@@ -1,0 +1,143 @@
+//! Minimal libc bindings for readiness polling.
+//!
+//! std already links libc, so — exactly like the `signal()` shim in
+//! dsnet-server — we declare the handful of symbols we need instead of
+//! pulling in a libc crate (no registry access in this environment).
+//! Only `poll(2)` is required for correctness; on Linux an epoll
+//! backend is available behind the same [`crate::poller::Poller`]
+//! facade for large descriptor sets.
+
+use std::io;
+use std::os::raw::{c_int, c_ulong};
+
+/// `struct pollfd` from `<poll.h>`.
+#[repr(C)]
+#[derive(Clone, Copy, Debug)]
+pub struct PollFd {
+    pub fd: c_int,
+    pub events: i16,
+    pub revents: i16,
+}
+
+pub const POLLIN: i16 = 0x001;
+pub const POLLOUT: i16 = 0x004;
+pub const POLLERR: i16 = 0x008;
+pub const POLLHUP: i16 = 0x010;
+pub const POLLNVAL: i16 = 0x020;
+
+extern "C" {
+    fn poll(fds: *mut PollFd, nfds: c_ulong, timeout: c_int) -> c_int;
+}
+
+/// Blocking `poll(2)` over `fds`; `timeout_ms < 0` blocks forever.
+/// Retries on EINTR. Returns the number of descriptors with events.
+pub fn poll_fds(fds: &mut [PollFd], timeout_ms: i32) -> io::Result<usize> {
+    loop {
+        let rc = unsafe { poll(fds.as_mut_ptr(), fds.len() as c_ulong, timeout_ms) };
+        if rc >= 0 {
+            return Ok(rc as usize);
+        }
+        let err = io::Error::last_os_error();
+        if err.kind() != io::ErrorKind::Interrupted {
+            return Err(err);
+        }
+    }
+}
+
+#[cfg(target_os = "linux")]
+pub use linux::*;
+
+#[cfg(target_os = "linux")]
+mod linux {
+    use std::io;
+    use std::os::raw::c_int;
+
+    /// `struct epoll_event`: packed on x86-64 (kernel ABI quirk),
+    /// naturally aligned elsewhere.
+    #[repr(C)]
+    #[cfg_attr(target_arch = "x86_64", repr(packed))]
+    #[derive(Clone, Copy)]
+    pub struct EpollEvent {
+        pub events: u32,
+        pub data: u64,
+    }
+
+    pub const EPOLLIN: u32 = 0x001;
+    pub const EPOLLOUT: u32 = 0x004;
+    pub const EPOLLERR: u32 = 0x008;
+    pub const EPOLLHUP: u32 = 0x010;
+
+    pub const EPOLL_CTL_ADD: c_int = 1;
+    pub const EPOLL_CTL_DEL: c_int = 2;
+    pub const EPOLL_CTL_MOD: c_int = 3;
+
+    const EPOLL_CLOEXEC: c_int = 0o2000000;
+
+    extern "C" {
+        fn epoll_create1(flags: c_int) -> c_int;
+        fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut EpollEvent) -> c_int;
+        fn epoll_wait(
+            epfd: c_int,
+            events: *mut EpollEvent,
+            maxevents: c_int,
+            timeout: c_int,
+        ) -> c_int;
+        fn close(fd: c_int) -> c_int;
+    }
+
+    /// Owned epoll instance; the fd is closed on drop.
+    pub struct EpollFd(c_int);
+
+    impl EpollFd {
+        pub fn create() -> io::Result<EpollFd> {
+            let fd = unsafe { epoll_create1(EPOLL_CLOEXEC) };
+            if fd < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(EpollFd(fd))
+        }
+
+        pub fn ctl(&self, op: c_int, fd: c_int, events: u32, data: u64) -> io::Result<()> {
+            let mut ev = EpollEvent { events, data };
+            let ptr = if op == EPOLL_CTL_DEL {
+                std::ptr::null_mut()
+            } else {
+                &mut ev as *mut EpollEvent
+            };
+            let rc = unsafe { epoll_ctl(self.0, op, fd, ptr) };
+            if rc < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(())
+        }
+
+        /// `timeout_ms < 0` blocks forever; retries on EINTR.
+        pub fn wait(&self, events: &mut [EpollEvent], timeout_ms: i32) -> io::Result<usize> {
+            loop {
+                let rc = unsafe {
+                    epoll_wait(
+                        self.0,
+                        events.as_mut_ptr(),
+                        events.len() as c_int,
+                        timeout_ms,
+                    )
+                };
+                if rc >= 0 {
+                    return Ok(rc as usize);
+                }
+                let err = io::Error::last_os_error();
+                if err.kind() != io::ErrorKind::Interrupted {
+                    return Err(err);
+                }
+            }
+        }
+    }
+
+    impl Drop for EpollFd {
+        fn drop(&mut self) {
+            unsafe {
+                close(self.0);
+            }
+        }
+    }
+}

@@ -1,0 +1,113 @@
+//! Cross-thread poller wakeups over a non-blocking socketpair.
+//!
+//! The write end ([`Waker`]) is cheap to clone and safe to hit from
+//! any thread (including, with care, signal handlers — `write(2)` is
+//! async-signal-safe and the byte value is irrelevant); the read end
+//! ([`WakeReader`]) is registered with the shard's poller and drained
+//! on every loop turn. A full pipe is fine: the wakeup is level-ish —
+//! one undrained byte keeps the poller hot until someone drains it.
+
+use std::io::{self, Read, Write};
+use std::os::unix::io::{AsRawFd, RawFd};
+use std::os::unix::net::UnixStream;
+use std::sync::Arc;
+
+#[derive(Clone)]
+pub struct Waker {
+    tx: Arc<UnixStream>,
+}
+
+pub struct WakeReader {
+    rx: UnixStream,
+}
+
+pub fn wake_pair() -> io::Result<(Waker, WakeReader)> {
+    let (tx, rx) = UnixStream::pair()?;
+    tx.set_nonblocking(true)?;
+    rx.set_nonblocking(true)?;
+    Ok((Waker { tx: Arc::new(tx) }, WakeReader { rx }))
+}
+
+impl Waker {
+    /// Fire-and-forget: WouldBlock means a wakeup is already pending,
+    /// any other error means the reader is gone — both are fine.
+    pub fn wake(&self) {
+        let _ = (&*self.tx).write(&[1u8]);
+    }
+
+    /// Raw fd of the write end, for async-signal-safe `write(2)` from
+    /// a signal handler.
+    pub fn raw_fd(&self) -> RawFd {
+        self.tx.as_raw_fd()
+    }
+}
+
+impl WakeReader {
+    pub fn fd(&self) -> RawFd {
+        self.rx.as_raw_fd()
+    }
+
+    /// Swallow all pending wakeup bytes.
+    pub fn drain(&mut self) {
+        let mut buf = [0u8; 64];
+        loop {
+            match self.rx.read(&mut buf) {
+                Ok(0) => return,
+                Ok(_) => {}
+                Err(ref e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(_) => return,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::poller::{Event, Interest, Poller};
+    use std::time::Duration;
+
+    #[test]
+    fn wake_makes_poller_ready_and_drain_clears_it() {
+        let (waker, mut reader) = wake_pair().unwrap();
+        let mut poller = Poller::with_default_backend().unwrap();
+        poller.register(reader.fd(), 7, Interest::READ).unwrap();
+        let mut events: Vec<Event> = Vec::new();
+
+        // No wakeup: times out empty.
+        poller
+            .wait(&mut events, Some(Duration::from_millis(10)))
+            .unwrap();
+        assert!(events.is_empty());
+
+        waker.wake();
+        waker.wake(); // coalesces
+        poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].token, 7);
+        assert!(events[0].readable);
+
+        reader.drain();
+        poller
+            .wait(&mut events, Some(Duration::from_millis(10)))
+            .unwrap();
+        assert!(events.is_empty(), "drain must clear readiness");
+    }
+
+    #[test]
+    fn waker_clones_share_the_pipe() {
+        let (waker, mut reader) = wake_pair().unwrap();
+        let w2 = waker.clone();
+        std::thread::spawn(move || w2.wake()).join().unwrap();
+        let mut poller = Poller::with_default_backend().unwrap();
+        poller.register(reader.fd(), 0, Interest::READ).unwrap();
+        let mut events = Vec::new();
+        poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert_eq!(events.len(), 1);
+        reader.drain();
+    }
+}

@@ -15,8 +15,9 @@
 //!                 [--journal FILE | --resume FILE]
 //! dsnet perf      [--quick] [--threads T] [--out BENCH.json] [--date YYYY-MM-DD] \
 //!                 [--compare BASELINE.json] [--max-regress 0.15] [--quiet]
-//! dsnet serve     [--tcp ADDR] [--unix PATH] [--max-sessions N] [--quiet]
-//! dsnet client    (--tcp ADDR | --unix PATH) [--session NAME] \
+//! dsnet serve     [--tcp ADDR] [--unix PATH] [--max-sessions N] \
+//!                 [--io reactor|threads] [--shards N] [--poll-ms MS] [--quiet]
+//! dsnet client    (--tcp ADDR | --unix PATH) [--session NAME] [--binary] \
 //!                 (--ping | --create | --destroy | --script FILE [--keep] | \
 //!                  --stream | --peek | --watch [--count K] | --shutdown) \
 //!                 [--nodes N] [--seed S] [--field SIDE] [--groups G] [--density P]
@@ -49,7 +50,7 @@ use dsnet::{GroupPlan, NetSession, NetworkBuilder, Protocol, SensorNetwork, Sess
 use dsnet_graph::NodeId;
 use dsnet_radio::LossModel;
 use dsnet_server::protocol::parse_script;
-use dsnet_server::{run_script, Client, ClientError, ServeOptions, Server};
+use dsnet_server::{run_script, Client, ClientError, FrameFormat, IoMode, ServeOptions, Server};
 use std::io::Write as _;
 use std::path::PathBuf;
 
@@ -92,6 +93,10 @@ struct Args {
     tcp: Option<String>,
     unix_sock: Option<String>,
     max_sessions: usize,
+    io: IoMode,
+    shards: usize,
+    poll_ms: u64,
+    binary: bool,
     session: Option<String>,
     script: Option<String>,
     action: Option<&'static str>,
@@ -138,6 +143,10 @@ impl Default for Args {
             tcp: None,
             unix_sock: None,
             max_sessions: 0,
+            io: IoMode::default(),
+            shards: 0,
+            poll_ms: 0,
+            binary: false,
             session: None,
             script: None,
             action: None,
@@ -162,8 +171,9 @@ fn usage() -> ! {
          [--trials] [--no-trace] [--quiet] [--journal FILE | --resume FILE]\n\
          perf: dsnet perf [--quick] [--threads T] [--out FILE] [--date YYYY-MM-DD] \
          [--compare BASELINE.json] [--max-regress F] [--quiet]\n\
-         serve: dsnet serve [--tcp ADDR] [--unix PATH] [--max-sessions N] [--quiet]\n\
-         client: dsnet client (--tcp ADDR | --unix PATH) [--session NAME] \
+         serve: dsnet serve [--tcp ADDR] [--unix PATH] [--max-sessions N] \
+         [--io reactor|threads] [--shards N] [--poll-ms MS] [--quiet]\n\
+         client: dsnet client (--tcp ADDR | --unix PATH) [--session NAME] [--binary] \
          (--ping | --create | --destroy | --script FILE [--keep] | --stream | \
          --peek | --watch [--count K] | --shutdown) \
          [--nodes N] [--seed S] [--field SIDE] [--groups G] [--density P]\n\
@@ -233,6 +243,10 @@ fn parse() -> (String, Args) {
             "--tcp" => a.tcp = Some(val()),
             "--unix" => a.unix_sock = Some(val()),
             "--max-sessions" => a.max_sessions = val().parse().unwrap_or_else(|_| usage()),
+            "--io" => a.io = IoMode::from_label(&val()).unwrap_or_else(|| usage()),
+            "--shards" => a.shards = val().parse().unwrap_or_else(|_| usage()),
+            "--poll-ms" => a.poll_ms = val().parse().unwrap_or_else(|_| usage()),
+            "--binary" => a.binary = true,
             "--session" => a.session = Some(val()),
             "--script" => {
                 a.script = Some(val());
@@ -432,11 +446,17 @@ fn run_perf_cmd(a: &Args) {
     };
     let mut ledger = perf::run_suite(&opts);
     // The core suite is serve-free (no dependency cycle); the CLI owns
-    // appending the server load-test scenario and refreshing peak RSS to
-    // cover it.
+    // appending the server load-test scenarios and refreshing peak RSS
+    // to cover them.
     ledger
         .scenarios
         .push(dsnet_server::perf::run_serve_sessions(&opts));
+    ledger
+        .scenarios
+        .push(dsnet_server::perf::run_serve_sessions_5k(&opts));
+    ledger
+        .scenarios
+        .push(dsnet_server::perf::run_serve_sessions_20k(&opts));
     ledger.peak_rss_kb = perf::peak_rss_kb();
     if !a.quiet {
         eprintln!(
@@ -473,14 +493,15 @@ fn run_perf_cmd(a: &Args) {
             if let Some(sv) = &s.server {
                 eprintln!(
                     "  {:<20} {} sessions on {} client threads, {} cmds; \
-                     {:.0} sessions/s, cmd p50 {:.0} us, p99 {:.0} us",
+                     {:.0} sessions/s, cmd p50 {:.0} us, p99 {:.0} us, p999 {:.0} us",
                     "  serve:",
                     sv.sessions,
                     sv.client_threads,
                     sv.commands,
                     sv.sessions_per_sec,
                     sv.cmd_p50_us,
-                    sv.cmd_p99_us
+                    sv.cmd_p99_us,
+                    sv.cmd_p999_us
                 );
             }
         }
@@ -536,6 +557,10 @@ fn run_serve_cmd(a: &Args) {
         tcp: a.tcp.clone(),
         unix: a.unix_sock.clone().map(PathBuf::from),
         max_sessions: a.max_sessions,
+        io: a.io,
+        shards: a.shards,
+        poll_ms: a.poll_ms,
+        ..ServeOptions::default()
     };
     dsnet_server::install_sigint_handler();
     let server = Server::start(&opts).unwrap_or_else(|e| {
@@ -551,7 +576,10 @@ fn run_serve_cmd(a: &Args) {
     println!("ready ({} session slots)", server.host().max_sessions());
     let _ = std::io::stdout().flush();
     if !a.quiet {
-        eprintln!("dsnet-server up; Ctrl-C or the wire 'shutdown' op drains and exits");
+        eprintln!(
+            "dsnet-server up ({} engine); Ctrl-C or the wire 'shutdown' op drains and exits",
+            a.io.label()
+        );
     }
     server.wait();
     if !a.quiet {
@@ -595,6 +623,9 @@ fn load_script(a: &Args) -> Vec<dsnet::SessionCommand> {
 
 fn run_client_cmd(a: &Args) {
     let mut client = connect_client(a);
+    if a.binary {
+        client_ok(client.negotiate(FrameFormat::Binary));
+    }
     let session = || {
         a.session.clone().unwrap_or_else(|| {
             eprintln!("client: this action needs --session NAME");

@@ -11,7 +11,8 @@ use dsnet::{SessionCommand, SessionSpec};
 
 use crate::json::Json;
 use crate::protocol::{
-    decode_response, encode_request, read_frame, write_frame, Body, ErrKind, Op, Request, WireError,
+    decode_response_bytes, encode_request_bytes, read_frame_bytes, write_frame_bytes, Body,
+    ErrKind, FrameFormat, Op, PayloadFault, Request, WireError,
 };
 
 /// A client-side failure: transport fault or a typed server error.
@@ -54,6 +55,7 @@ impl ClientStream for UnixStream {}
 pub struct Client {
     stream: Box<dyn ClientStream>,
     next_id: u64,
+    format: FrameFormat,
 }
 
 impl Client {
@@ -64,6 +66,7 @@ impl Client {
         Ok(Client {
             stream: Box::new(stream),
             next_id: 1,
+            format: FrameFormat::Json,
         })
     }
 
@@ -72,7 +75,25 @@ impl Client {
         Ok(Client {
             stream: Box::new(UnixStream::connect(path)?),
             next_id: 1,
+            format: FrameFormat::Json,
         })
+    }
+
+    /// The payload format currently in effect on this connection.
+    pub fn format(&self) -> FrameFormat {
+        self.format
+    }
+
+    /// Negotiate the connection's payload format. The server acks in
+    /// the old format and switches after, so the switch here happens
+    /// once the ack has been read. A no-op when already negotiated.
+    pub fn negotiate(&mut self, format: FrameFormat) -> Result<(), ClientError> {
+        if format == self.format {
+            return Ok(());
+        }
+        self.request_ok(Op::Frames { format })?;
+        self.format = format;
+        Ok(())
     }
 
     /// Issue one request and wait for its response body. Pushed event
@@ -81,10 +102,14 @@ impl Client {
     pub fn request(&mut self, op: Op) -> Result<Body, ClientError> {
         let id = self.next_id;
         self.next_id += 1;
-        write_frame(&mut self.stream, &encode_request(&Request { id, op }))?;
+        write_frame_bytes(
+            &mut self.stream,
+            &encode_request_bytes(&Request { id, op }, self.format),
+        )?;
         loop {
-            let payload = read_frame(&mut self.stream)?;
-            let resp = decode_response(&payload).map_err(WireError::Malformed)?;
+            let payload = read_frame_bytes(&mut self.stream)?;
+            let resp = decode_response_bytes(&payload, self.format)
+                .map_err(|f: PayloadFault| WireError::Malformed(f.detail().to_string()))?;
             if resp.id == id {
                 return match resp.body {
                     Body::Err { kind, detail } => Err(ClientError::Server { kind, detail }),
@@ -182,22 +207,26 @@ impl Client {
         mut on_line: impl FnMut(&str) -> bool,
     ) -> Result<(), ClientError> {
         let id = self.next_id;
-        write_frame(
+        write_frame_bytes(
             &mut self.stream,
-            &encode_request(&Request {
-                id,
-                op: Op::Watch {
-                    session: session.into(),
+            &encode_request_bytes(
+                &Request {
+                    id,
+                    op: Op::Watch {
+                        session: session.into(),
+                    },
                 },
-            }),
+                self.format,
+            ),
         )?;
         loop {
-            let payload = match read_frame(&mut self.stream) {
+            let payload = match read_frame_bytes(&mut self.stream) {
                 Ok(p) => p,
                 Err(WireError::Closed) => return Ok(()),
                 Err(e) => return Err(e.into()),
             };
-            let resp = decode_response(&payload).map_err(WireError::Malformed)?;
+            let resp = decode_response_bytes(&payload, self.format)
+                .map_err(|f: PayloadFault| WireError::Malformed(f.detail().to_string()))?;
             match resp.body {
                 Body::Ok(_) => {}
                 Body::Err { kind, detail } => return Err(ClientError::Server { kind, detail }),

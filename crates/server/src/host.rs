@@ -57,13 +57,31 @@ impl Default for HostConfig {
     }
 }
 
+/// One trace subscriber: either a channel drained by a dedicated
+/// connection thread, or a callback invoked inline (the reactor pushes
+/// the rendered line straight into a connection's write queue).
+enum Watcher {
+    Channel(mpsc::Sender<String>),
+    Callback(Box<dyn FnMut(&str) -> bool + Send>),
+}
+
+impl Watcher {
+    /// Deliver one line; false means the subscriber is gone.
+    fn deliver(&mut self, line: &str) -> bool {
+        match self {
+            Watcher::Channel(tx) => tx.send(line.to_string()).is_ok(),
+            Watcher::Callback(f) => f(line),
+        }
+    }
+}
+
 /// One tenant slot: the session plus its trace subscribers.
 struct SessionSlot {
     session: RwLock<NetSession>,
     /// Watchers receive each applied record rendered as a deterministic
-    /// event line. A send failure means the subscriber hung up; the
-    /// sender is dropped on the next push.
-    watchers: Mutex<Vec<mpsc::Sender<String>>>,
+    /// event line. A delivery failure means the subscriber hung up; it
+    /// is dropped on the next push.
+    watchers: Mutex<Vec<Watcher>>,
 }
 
 /// The multi-tenant host. Cheap to clone via [`Arc`]; all methods take
@@ -192,15 +210,68 @@ impl Host {
     }
 
     /// Apply one command to a session and return its record. Watchers
-    /// receive the record as a deterministic event line.
+    /// receive the record as a deterministic event line. Equivalent to
+    /// a one-element [`Host::apply_batch`] (it is one).
     pub fn apply(&self, name: &str, cmd: &SessionCommand) -> Result<CommandRecord, HostError> {
-        self.reject_if_draining()?;
-        let slot = self.slot(name)?;
-        let record = slot.session.write().expect("session lock").apply(cmd);
-        let line = render_record(&record, false);
-        let mut watchers = slot.watchers.lock().expect("watchers lock");
-        watchers.retain(|tx| tx.send(line.clone()).is_ok());
-        Ok(record)
+        self.apply_batch(name, std::slice::from_ref(cmd))
+            .pop()
+            .expect("one command yields one outcome")
+    }
+
+    /// Apply a run of commands to one session under a single slot-lock
+    /// acquisition, returning one outcome per command in order.
+    ///
+    /// Semantically identical to calling [`Host::apply`] per command —
+    /// the drain flag is re-checked before each one, so a drain landing
+    /// mid-batch rejects the remainder with `shutting_down` exactly as
+    /// it would reject separate requests. The payoff is lock traffic:
+    /// a pipelined client's burst of commands costs one write-lock
+    /// acquisition instead of one per command. Watcher lines are pushed
+    /// after the session lock is released, in application order.
+    pub fn apply_batch(
+        &self,
+        name: &str,
+        cmds: &[SessionCommand],
+    ) -> Vec<Result<CommandRecord, HostError>> {
+        if cmds.is_empty() {
+            return Vec::new();
+        }
+        let shutting_down = || {
+            HostError::new(
+                ErrKind::ShuttingDown,
+                "host is draining; no new work accepted",
+            )
+        };
+        // Match apply()'s check order: draining answers shutting_down
+        // even for a session that doesn't exist.
+        if self.is_draining() {
+            return cmds.iter().map(|_| Err(shutting_down())).collect();
+        }
+        let slot = match self.slot(name) {
+            Ok(slot) => slot,
+            Err(e) => return cmds.iter().map(|_| Err(e.clone())).collect(),
+        };
+        let mut out = Vec::with_capacity(cmds.len());
+        let mut lines = Vec::with_capacity(cmds.len());
+        {
+            let mut session = slot.session.write().expect("session lock");
+            for cmd in cmds {
+                if self.is_draining() {
+                    out.push(Err(shutting_down()));
+                    continue;
+                }
+                let record = session.apply(cmd);
+                lines.push(render_record(&record, false));
+                out.push(Ok(record));
+            }
+        }
+        if !lines.is_empty() {
+            let mut watchers = slot.watchers.lock().expect("watchers lock");
+            for line in &lines {
+                watchers.retain_mut(|w| w.deliver(line));
+            }
+        }
+        out
     }
 
     /// Render a session's full deterministic event stream (the
@@ -217,8 +288,29 @@ impl Host {
     pub fn watch(&self, name: &str) -> Result<mpsc::Receiver<String>, HostError> {
         let slot = self.slot(name)?;
         let (tx, rx) = mpsc::channel();
-        slot.watchers.lock().expect("watchers lock").push(tx);
+        slot.watchers
+            .lock()
+            .expect("watchers lock")
+            .push(Watcher::Channel(tx));
         Ok(rx)
+    }
+
+    /// Subscribe to a session's trace with an inline callback: `sink`
+    /// runs once per subsequently applied command (under the slot's
+    /// watcher lock, after the session lock is released — keep it
+    /// cheap and non-blocking, e.g. a [`dsnet_netio::PushHandle`]
+    /// enqueue). Returning false unsubscribes.
+    pub fn watch_fn(
+        &self,
+        name: &str,
+        sink: impl FnMut(&str) -> bool + Send + 'static,
+    ) -> Result<(), HostError> {
+        let slot = self.slot(name)?;
+        slot.watchers
+            .lock()
+            .expect("watchers lock")
+            .push(Watcher::Callback(Box::new(sink)));
+        Ok(())
     }
 
     /// Pin a session's current immutable knowledge snapshot: the
@@ -377,6 +469,94 @@ mod tests {
         assert!(second.contains("\"cmd\": \"snapshot\""), "{second}");
         // The pre-subscription snapshot was not replayed.
         assert!(rx.try_recv().is_err());
+    }
+
+    #[test]
+    fn apply_batch_matches_sequential_applies() {
+        let a = Host::new(HostConfig::default());
+        let b = Host::new(HostConfig::default());
+        a.create("s", small_spec(7)).unwrap();
+        b.create("s", small_spec(7)).unwrap();
+        let cmds = vec![
+            bcast(),
+            SessionCommand::Kill { node: 1 },
+            SessionCommand::Snapshot,
+            SessionCommand::Revive { node: 1 },
+        ];
+        let sequential: Vec<_> = cmds.iter().map(|c| a.apply("s", c)).collect();
+        let batched = b.apply_batch("s", &cmds);
+        assert_eq!(batched.len(), sequential.len());
+        for (lhs, rhs) in sequential.iter().zip(batched.iter()) {
+            // wall_us is timing; everything else is deterministic.
+            let mut lhs = lhs.as_ref().unwrap().clone();
+            let mut rhs = rhs.as_ref().unwrap().clone();
+            lhs.wall_us = 0;
+            rhs.wall_us = 0;
+            assert_eq!(lhs, rhs);
+        }
+        assert_eq!(a.stream("s").unwrap(), b.stream("s").unwrap());
+    }
+
+    #[test]
+    fn apply_batch_rejects_like_apply() {
+        let host = Host::new(HostConfig::default());
+        let outs = host.apply_batch("ghost", &[bcast(), bcast()]);
+        assert_eq!(outs.len(), 2);
+        for out in &outs {
+            assert_eq!(out.as_ref().unwrap_err().kind, ErrKind::UnknownSession);
+        }
+        host.begin_drain();
+        let outs = host.apply_batch("ghost", &[bcast()]);
+        assert_eq!(
+            outs[0].as_ref().unwrap_err().kind,
+            ErrKind::ShuttingDown,
+            "draining outranks unknown-session, matching apply()"
+        );
+        assert!(host.apply_batch("ghost", &[]).is_empty());
+    }
+
+    #[test]
+    fn apply_batch_feeds_watchers_in_order() {
+        let host = Host::new(HostConfig::default());
+        host.create("s", small_spec(7)).unwrap();
+        let rx = host.watch("s").unwrap();
+        host.apply_batch(
+            "s",
+            &[SessionCommand::Kill { node: 1 }, SessionCommand::Snapshot],
+        );
+        let first = rx.recv().unwrap();
+        let second = rx.recv().unwrap();
+        assert!(first.contains("\"cmd\": \"kill\""), "{first}");
+        assert!(second.contains("\"cmd\": \"snapshot\""), "{second}");
+    }
+
+    #[test]
+    fn callback_watchers_deliver_and_unsubscribe() {
+        use std::sync::atomic::AtomicUsize;
+        let host = Host::new(HostConfig::default());
+        host.create("s", small_spec(7)).unwrap();
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        let sink = Arc::clone(&seen);
+        let budget = Arc::new(AtomicUsize::new(2));
+        let b = Arc::clone(&budget);
+        host.watch_fn("s", move |line| {
+            sink.lock().unwrap().push(line.to_string());
+            b.fetch_sub(1, Ordering::SeqCst) > 1
+        })
+        .unwrap();
+        host.apply("s", &SessionCommand::Kill { node: 1 }).unwrap();
+        host.apply("s", &SessionCommand::Snapshot).unwrap();
+        // Third apply: the callback unsubscribed after the second line.
+        host.apply("s", &SessionCommand::Revive { node: 1 })
+            .unwrap();
+        let seen = seen.lock().unwrap();
+        assert_eq!(seen.len(), 2, "{seen:?}");
+        assert!(seen[0].contains("\"cmd\": \"kill\""));
+        assert!(seen[1].contains("\"cmd\": \"snapshot\""));
+        assert_eq!(
+            host.watch_fn("ghost", |_| true).unwrap_err().kind,
+            ErrKind::UnknownSession
+        );
     }
 
     #[test]

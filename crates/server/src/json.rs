@@ -4,4 +4,5 @@
 //! share it without depending on this crate; this module re-exports it
 //! under the path the protocol code (and its consumers) always used.
 
+pub use dsnet_codec::binary;
 pub use dsnet_codec::{obj, parse, Json, ParseError};

@@ -4,19 +4,24 @@
 //!
 //! This crate turns the `dsnet` library into a daemon: many concurrent,
 //! fully isolated network sessions (tenants), each an executor over one
-//! [`dsnet::SensorNetwork`], driven over a length-prefixed JSON wire
-//! protocol on TCP and unix sockets.
+//! [`dsnet::SensorNetwork`], driven over a length-prefixed wire
+//! protocol (JSON or negotiated binary payloads) on TCP and unix
+//! sockets.
 //!
 //! ## Layers
 //!
 //! | module | what it provides |
 //! |---|---|
-//! | [`json`] | integer-only JSON value model (no external deps) |
-//! | [`protocol`] | framing, request/response grammar, error taxonomy |
+//! | [`json`] | integer-only JSON value model + the binary codec (no external deps) |
+//! | [`protocol`] | framing, request/response grammar, format negotiation, error taxonomy |
 //! | [`host`] | the multi-tenant session host (capacity, drain, watch) |
-//! | [`server`] | TCP/unix listeners, graceful shutdown, SIGINT |
+//! | [`server`] | both I/O engines — the sharded `dsnet-netio` reactor (default) and the thread-per-connection fallback — plus graceful shutdown and SIGINT |
 //! | [`client`] | blocking client + scripted session runner |
-//! | [`perf`] | the `serve_sessions` ledger scenario |
+//! | [`perf`] | the `serve_sessions` ledger scenarios (600/5k/20k) |
+//!
+//! The readiness layer itself (poller, wakers, frame buffers, the
+//! sharded reactor) lives below this crate in `dsnet-netio`, which
+//! knows nothing about the wire grammar.
 //!
 //! ## Determinism contract
 //!
@@ -24,8 +29,11 @@
 //! per-session event stream (`stream` op, [`dsnet::session::render_stream`]
 //! with timing off) byte-identical to the same sequence applied directly
 //! to a [`dsnet::NetSession`]. Both paths run the same executor; the
-//! server adds transport, never semantics. CI pins this with the
-//! `server` determinism-smoke axis.
+//! server adds transport, never semantics — on either engine
+//! ([`server::IoMode`]) and under either payload format
+//! ([`protocol::FrameFormat`]). CI pins this with the `server` and
+//! `server-reactor` determinism-smoke axes; the cross-product
+//! (engine × format) is asserted in `tests/reactor.rs`.
 
 pub mod client;
 pub mod host;
@@ -36,5 +44,7 @@ pub mod server;
 
 pub use client::{run_script, Client, ClientError, ScriptReport};
 pub use host::{Host, HostConfig, HostError, PeekReport};
-pub use protocol::{Body, ErrKind, Op, Request, Response, WireError, MAX_FRAME};
-pub use server::{install_sigint_handler, ServeOptions, Server};
+pub use protocol::{
+    Body, ErrKind, FrameFormat, Op, PayloadFault, Request, Response, WireError, MAX_FRAME,
+};
+pub use server::{install_sigint_handler, IoMode, ServeOptions, Server};

@@ -1,5 +1,12 @@
-//! The `serve_sessions` load-test scenario: a live daemon under many
+//! The `serve_sessions` load-test scenarios: a live daemon under many
 //! concurrent tenants, measured into the perf ledger.
+//!
+//! Three scale points share one body: `serve_sessions` (600 tenants,
+//! the PR 6 baseline point), `serve_sessions_5k` (5000 — the reactor's
+//! headline scale) and `serve_sessions_20k` (20000 — the stretch
+//! point). Each reports client-observed per-command latency percentiles
+//! (p50/p99/p999) and a log2-µs histogram alongside the deterministic
+//! counters.
 //!
 //! The scenario boots an in-process [`Server`] on an ephemeral TCP port,
 //! then drives it from worker threads, each holding its own [`Client`]
@@ -68,14 +75,31 @@ fn script() -> Vec<SessionCommand> {
 pub fn run_serve_sessions(opts: &PerfOptions) -> ScenarioResult {
     let sessions = if opts.quick { 120 } else { 600 };
     let passes = if opts.quick { 1 } else { 5 };
-    run_serve_with(sessions, passes)
+    run_serve_with("serve_sessions", sessions, passes)
+}
+
+/// The 5k-resident-session scenario: the reactor's headline scale point.
+/// Full runs host 5000 concurrent sessions over 2 timing passes; quick
+/// runs shrink to 1000 over 1 pass (quick ledgers only compare to quick
+/// ledgers, as everywhere in the suite).
+pub fn run_serve_sessions_5k(opts: &PerfOptions) -> ScenarioResult {
+    let (sessions, passes) = if opts.quick { (1_000, 1) } else { (5_000, 2) };
+    run_serve_with("serve_sessions_5k", sessions, passes)
+}
+
+/// The 20k-resident-session scenario: the reactor's stretch scale point,
+/// single-pass (one boot of 20000 tenants is the measurement; repeating
+/// it buys noise reduction at 4× the suite cost). Quick runs use 2000.
+pub fn run_serve_sessions_20k(opts: &PerfOptions) -> ScenarioResult {
+    let sessions = if opts.quick { 2_000 } else { 20_000 };
+    run_serve_with("serve_sessions_20k", sessions, 1)
 }
 
 /// One deterministic counter tuple, asserted stable across passes.
 type Counters = (u64, u64, u64, u64, u64);
 
 /// Parameterized scenario body (unit tests use small sizes).
-pub fn run_serve_with(sessions: usize, passes: u32) -> ScenarioResult {
+pub fn run_serve_with(name: &'static str, sessions: usize, passes: u32) -> ScenarioResult {
     let mut counters: Option<Counters> = None;
     let mut best_secs = f64::INFINITY;
     let mut best_latencies: Vec<u64> = Vec::new();
@@ -107,8 +131,17 @@ pub fn run_serve_with(sessions: usize, passes: u32) -> ScenarioResult {
         let idx = ((best_latencies.len() - 1) as f64 * p).round() as usize;
         best_latencies[idx] as f64
     };
+    // Log2 µs histogram: bucket i counts latencies in [2^i, 2^(i+1)).
+    let mut hist: Vec<u64> = Vec::new();
+    for &us in &best_latencies {
+        let bucket = (u64::BITS - us.max(1).leading_zeros() - 1) as usize;
+        if hist.len() <= bucket {
+            hist.resize(bucket + 1, 0);
+        }
+        hist[bucket] += 1;
+    }
     ScenarioResult {
-        name: "serve_sessions",
+        name,
         nodes: NODES_PER_SESSION as u64,
         reps: sessions as u64,
         rounds,
@@ -132,6 +165,8 @@ pub fn run_serve_with(sessions: usize, passes: u32) -> ScenarioResult {
             },
             cmd_p50_us: pct(0.50),
             cmd_p99_us: pct(0.99),
+            cmd_p999_us: pct(0.999),
+            cmd_hist_us: hist,
         }),
     }
 }
@@ -144,6 +179,7 @@ fn one_pass(sessions: usize) -> (Counters, f64, Vec<u64>) {
         tcp: Some("127.0.0.1:0".into()),
         unix: None,
         max_sessions: sessions + 8,
+        ..ServeOptions::default()
     })
     .expect("ephemeral TCP bind");
     let addr = server.tcp_addr().expect("tcp listener").to_string();
@@ -229,8 +265,8 @@ mod tests {
 
     #[test]
     fn serve_counters_are_stable_across_runs() {
-        let a = run_serve_with(12, 1);
-        let b = run_serve_with(12, 1);
+        let a = run_serve_with("serve_sessions", 12, 1);
+        let b = run_serve_with("serve_sessions", 12, 1);
         assert_eq!(a.rounds, b.rounds);
         assert_eq!(a.delivered, b.delivered);
         assert_eq!(a.targets, b.targets);
@@ -241,5 +277,9 @@ mod tests {
         assert_eq!((sa.sessions, sa.commands), (sb.sessions, sb.commands));
         assert!(sa.sessions_per_sec > 0.0);
         assert!(sa.cmd_p99_us >= sa.cmd_p50_us);
+        assert!(sa.cmd_p999_us >= sa.cmd_p99_us);
+        // Every measured command lands in exactly one histogram bucket.
+        assert_eq!(sa.cmd_hist_us.iter().sum::<u64>(), sa.commands);
+        assert_ne!(sa.cmd_hist_us.last(), Some(&0), "trailing buckets trimmed");
     }
 }

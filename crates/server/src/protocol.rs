@@ -16,6 +16,18 @@
 //! `{"id": <u64>, "err": "<kind>", "detail": "<text>"}`. Watch events
 //! arrive as `{"id": 0, "event": <value>}` interleaved on a subscribed
 //! connection. All numbers are integers (see [`crate::json`]).
+//!
+//! ## Payload formats
+//!
+//! The framing (length prefix, 1 MiB cap) is format-independent; the
+//! *payload* encoding is negotiable per connection. Every connection
+//! starts in [`FrameFormat::Json`]; a `{"op": "frames", "format":
+//! "binary"}` request switches it to the tagged binary encoding of the
+//! same value model ([`dsnet_codec::binary`]) — the ack is sent in the
+//! old format, every subsequent frame in the new one. The grammar is
+//! identical in both formats; only the byte-level value encoding
+//! differs, so the [`request_to_json`]/[`request_from_json`] pair (and
+//! the response twins) are the single source of truth for both.
 
 use std::io::{Read, Write};
 
@@ -77,28 +89,32 @@ impl From<std::io::Error> for WireError {
     }
 }
 
-/// Write one frame (length prefix + payload). Header and payload go out
-/// in a single write: split writes on a TCP socket interact with
-/// Nagle + delayed ACK and cost ~40 ms per response.
-pub fn write_frame(w: &mut impl Write, payload: &str) -> Result<(), WireError> {
-    let bytes = payload.as_bytes();
-    if bytes.len() > MAX_FRAME as usize {
+/// Write one raw frame (length prefix + payload bytes). Header and
+/// payload go out in a single write: split writes on a TCP socket
+/// interact with Nagle + delayed ACK and cost ~40 ms per response.
+pub fn write_frame_bytes(w: &mut impl Write, payload: &[u8]) -> Result<(), WireError> {
+    if payload.len() > MAX_FRAME as usize {
         return Err(WireError::Oversized {
-            len: bytes.len() as u32,
+            len: payload.len() as u32,
             max: MAX_FRAME,
         });
     }
-    let mut frame = Vec::with_capacity(4 + bytes.len());
-    frame.extend_from_slice(&(bytes.len() as u32).to_be_bytes());
-    frame.extend_from_slice(bytes);
+    let mut frame = Vec::with_capacity(4 + payload.len());
+    frame.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+    frame.extend_from_slice(payload);
     w.write_all(&frame)?;
     w.flush()?;
     Ok(())
 }
 
-/// Read one frame payload. Returns [`WireError::Closed`] on a clean EOF
-/// at a frame boundary, [`WireError::Truncated`] mid-frame.
-pub fn read_frame(r: &mut impl Read) -> Result<String, WireError> {
+/// Write one JSON-format frame (see [`write_frame_bytes`]).
+pub fn write_frame(w: &mut impl Write, payload: &str) -> Result<(), WireError> {
+    write_frame_bytes(w, payload.as_bytes())
+}
+
+/// Read one raw frame payload. Returns [`WireError::Closed`] on a clean
+/// EOF at a frame boundary, [`WireError::Truncated`] mid-frame.
+pub fn read_frame_bytes(r: &mut impl Read) -> Result<Vec<u8>, WireError> {
     let mut header = [0u8; 4];
     let mut filled = 0;
     while filled < 4 {
@@ -137,7 +153,73 @@ pub fn read_frame(r: &mut impl Read) -> Result<String, WireError> {
             Err(e) => return Err(WireError::Io(e)),
         }
     }
-    String::from_utf8(payload).map_err(|_| WireError::Malformed("payload is not UTF-8".into()))
+    Ok(payload)
+}
+
+/// Read one JSON-format frame payload (see [`read_frame_bytes`]); a
+/// non-UTF-8 payload is a [`WireError::Malformed`] transport fault.
+pub fn read_frame(r: &mut impl Read) -> Result<String, WireError> {
+    String::from_utf8(read_frame_bytes(r)?)
+        .map_err(|_| WireError::Malformed("payload is not UTF-8".into()))
+}
+
+/// The negotiable payload encoding of a connection's frames.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FrameFormat {
+    /// UTF-8 JSON text (the initial format of every connection).
+    #[default]
+    Json,
+    /// The tagged binary encoding of the same value model
+    /// ([`crate::json::binary`]): no escape handling or digit parsing
+    /// on the hot decode path.
+    Binary,
+}
+
+impl FrameFormat {
+    /// Stable wire label (the `format` field of the `frames` op).
+    pub fn label(self) -> &'static str {
+        match self {
+            FrameFormat::Json => "json",
+            FrameFormat::Binary => "binary",
+        }
+    }
+
+    /// Parse a wire label.
+    pub fn from_label(s: &str) -> Option<Self> {
+        Some(match s {
+            "json" => FrameFormat::Json,
+            "binary" => FrameFormat::Binary,
+            _ => return None,
+        })
+    }
+}
+
+/// A payload-level decode failure, split by severity so connection
+/// handlers can preserve the error taxonomy the thread server pinned
+/// down: an [`Encoding`](PayloadFault::Encoding) fault means the bytes
+/// aren't a document in the negotiated format at all (the peer's framing
+/// state is suspect — answer id 0 and close), while a
+/// [`Grammar`](PayloadFault::Grammar) fault means a well-formed document
+/// didn't match the protocol grammar (answer id 0, keep the connection
+/// usable).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PayloadFault {
+    /// Undecodable payload: non-UTF-8 JSON frame, or a binary frame the
+    /// tagged decoder rejects.
+    Encoding(String),
+    /// A decodable document with the wrong shape (unknown op, missing
+    /// field, reserved id…). Includes JSON *parse* errors, which the
+    /// thread server always treated as recoverable.
+    Grammar(String),
+}
+
+impl PayloadFault {
+    /// The deterministic detail string carried in the error reply.
+    pub fn detail(&self) -> &str {
+        match self {
+            PayloadFault::Encoding(s) | PayloadFault::Grammar(s) => s,
+        }
+    }
 }
 
 /// Protocol-level failure kinds carried in error responses.
@@ -228,6 +310,12 @@ pub enum Op {
     Peek {
         /// Tenant session name.
         session: String,
+    },
+    /// Switch this connection's payload encoding. The ack is sent in
+    /// the *old* format; every frame after it uses the new one.
+    Frames {
+        /// Requested payload encoding.
+        format: FrameFormat,
     },
     /// Ask the host to drain and exit.
     Shutdown,
@@ -482,8 +570,9 @@ pub fn command_from_json(v: &Json) -> Result<SessionCommand, String> {
     })
 }
 
-/// Encode a request frame payload.
-pub fn encode_request(req: &Request) -> String {
+/// Encode a request as the JSON value model shared by both frame
+/// formats (the single source of truth for the request grammar).
+pub fn request_to_json(req: &Request) -> Json {
     let mut pairs: Vec<(&str, Json)> = vec![("id", Json::Int(req.id as i64))];
     match &req.op {
         Op::Ping => pairs.push(("op", Json::Str("ping".into()))),
@@ -513,15 +602,23 @@ pub fn encode_request(req: &Request) -> String {
             pairs.push(("op", Json::Str("peek".into())));
             pairs.push(("session", Json::Str(session.clone())));
         }
+        Op::Frames { format } => {
+            pairs.push(("op", Json::Str("frames".into())));
+            pairs.push(("format", Json::Str(format.label().into())));
+        }
         Op::Shutdown => pairs.push(("op", Json::Str("shutdown".into()))),
     }
-    obj(pairs).render()
+    obj(pairs)
 }
 
-/// Decode a request frame payload.
-pub fn decode_request(payload: &str) -> Result<Request, String> {
-    let v = parse(payload).map_err(|e| e.to_string())?;
-    let id = field_u64(&v, "id", None)?;
+/// Encode a request as a JSON frame payload.
+pub fn encode_request(req: &Request) -> String {
+    request_to_json(req).render()
+}
+
+/// Decode a request from the shared JSON value model.
+pub fn request_from_json(v: &Json) -> Result<Request, String> {
+    let id = field_u64(v, "id", None)?;
     if id == 0 {
         return Err("request id 0 is reserved for events".into());
     }
@@ -560,14 +657,31 @@ pub fn decode_request(payload: &str) -> Result<Request, String> {
         "peek" => Op::Peek {
             session: session()?,
         },
+        "frames" => {
+            let label = v
+                .get("format")
+                .and_then(Json::as_str)
+                .ok_or("missing string field 'format'")?;
+            Op::Frames {
+                format: FrameFormat::from_label(label)
+                    .ok_or_else(|| format!("unknown frame format '{label}'"))?,
+            }
+        }
         "shutdown" => Op::Shutdown,
         other => return Err(format!("unknown op '{other}'")),
     };
     Ok(Request { id, op })
 }
 
-/// Encode a response frame payload.
-pub fn encode_response(resp: &Response) -> String {
+/// Decode a request from a JSON frame payload.
+pub fn decode_request(payload: &str) -> Result<Request, String> {
+    let v = parse(payload).map_err(|e| e.to_string())?;
+    request_from_json(&v)
+}
+
+/// Encode a response as the JSON value model shared by both frame
+/// formats.
+pub fn response_to_json(resp: &Response) -> Json {
     let mut pairs: Vec<(&str, Json)> = vec![("id", Json::Int(resp.id as i64))];
     match &resp.body {
         Body::Ok(v) => pairs.push(("ok", v.clone())),
@@ -577,13 +691,17 @@ pub fn encode_response(resp: &Response) -> String {
         }
         Body::Event(v) => pairs.push(("event", v.clone())),
     }
-    obj(pairs).render()
+    obj(pairs)
 }
 
-/// Decode a response frame payload.
-pub fn decode_response(payload: &str) -> Result<Response, String> {
-    let v = parse(payload).map_err(|e| e.to_string())?;
-    let id = field_u64(&v, "id", None)?;
+/// Encode a response as a JSON frame payload.
+pub fn encode_response(resp: &Response) -> String {
+    response_to_json(resp).render()
+}
+
+/// Decode a response from the shared JSON value model.
+pub fn response_from_json(v: &Json) -> Result<Response, String> {
+    let id = field_u64(v, "id", None)?;
     let body = if let Some(ok) = v.get("ok") {
         Body::Ok(ok.clone())
     } else if let Some(kind) = v.get("err") {
@@ -603,6 +721,56 @@ pub fn decode_response(payload: &str) -> Result<Response, String> {
         return Err("response needs one of 'ok', 'err', 'event'".into());
     };
     Ok(Response { id, body })
+}
+
+/// Decode a response from a JSON frame payload.
+pub fn decode_response(payload: &str) -> Result<Response, String> {
+    let v = parse(payload).map_err(|e| e.to_string())?;
+    response_from_json(&v)
+}
+
+/// Encode a request frame payload in the given format.
+pub fn encode_request_bytes(req: &Request, format: FrameFormat) -> Vec<u8> {
+    match format {
+        FrameFormat::Json => encode_request(req).into_bytes(),
+        FrameFormat::Binary => crate::json::binary::to_bytes(&request_to_json(req)),
+    }
+}
+
+/// Encode a response frame payload in the given format.
+pub fn encode_response_bytes(resp: &Response, format: FrameFormat) -> Vec<u8> {
+    match format {
+        FrameFormat::Json => encode_response(resp).into_bytes(),
+        FrameFormat::Binary => crate::json::binary::to_bytes(&response_to_json(resp)),
+    }
+}
+
+fn payload_to_json(payload: &[u8], format: FrameFormat) -> Result<Json, PayloadFault> {
+    match format {
+        FrameFormat::Json => {
+            let text = std::str::from_utf8(payload)
+                .map_err(|_| PayloadFault::Encoding("payload is not UTF-8".into()))?;
+            parse(text).map_err(|e| PayloadFault::Grammar(e.to_string()))
+        }
+        FrameFormat::Binary => crate::json::binary::from_bytes(payload)
+            .map_err(|e| PayloadFault::Encoding(e.to_string())),
+    }
+}
+
+/// Decode a request frame payload in the given format, classifying
+/// failures per the [`PayloadFault`] taxonomy.
+pub fn decode_request_bytes(payload: &[u8], format: FrameFormat) -> Result<Request, PayloadFault> {
+    let v = payload_to_json(payload, format)?;
+    request_from_json(&v).map_err(PayloadFault::Grammar)
+}
+
+/// Decode a response frame payload in the given format.
+pub fn decode_response_bytes(
+    payload: &[u8],
+    format: FrameFormat,
+) -> Result<Response, PayloadFault> {
+    let v = payload_to_json(payload, format)?;
+    response_from_json(&v).map_err(PayloadFault::Grammar)
 }
 
 /// Parse a script: one flat command object per line; blank lines and
@@ -862,6 +1030,126 @@ mod tests {
         ] {
             assert!(decode_request(bad).is_err(), "{bad:?} should fail");
         }
+    }
+
+    #[test]
+    fn frame_format_labels_roundtrip() {
+        for format in [FrameFormat::Json, FrameFormat::Binary] {
+            assert_eq!(FrameFormat::from_label(format.label()), Some(format));
+        }
+        assert_eq!(FrameFormat::from_label("msgpack"), None);
+        assert_eq!(FrameFormat::default(), FrameFormat::Json);
+    }
+
+    #[test]
+    fn frames_op_roundtrips_in_both_formats() {
+        for format in [FrameFormat::Json, FrameFormat::Binary] {
+            let req = Request {
+                id: 11,
+                op: Op::Frames { format },
+            };
+            roundtrip_req(req.clone());
+            for wire in [FrameFormat::Json, FrameFormat::Binary] {
+                let bytes = encode_request_bytes(&req, wire);
+                assert_eq!(decode_request_bytes(&bytes, wire).unwrap(), req);
+            }
+        }
+        assert!(decode_request("{\"id\":1,\"op\":\"frames\"}").is_err());
+        assert!(decode_request("{\"id\":1,\"op\":\"frames\",\"format\":\"xml\"}").is_err());
+    }
+
+    #[test]
+    fn bytes_codecs_agree_across_formats() {
+        let reqs = vec![
+            Request {
+                id: 1,
+                op: Op::Ping,
+            },
+            Request {
+                id: 2,
+                op: Op::Create {
+                    session: "s \"q\" ε".into(),
+                    spec: SessionSpec {
+                        seed: u64::MAX,
+                        ..SessionSpec::default()
+                    },
+                },
+            },
+            Request {
+                id: 3,
+                op: Op::Cmd {
+                    session: "s".into(),
+                    cmd: SessionCommand::MoveIn {
+                        x_milli: -1,
+                        y_milli: 2,
+                        groups: vec![0, 7],
+                    },
+                },
+            },
+        ];
+        for req in reqs {
+            let json = decode_request_bytes(
+                &encode_request_bytes(&req, FrameFormat::Json),
+                FrameFormat::Json,
+            );
+            let bin = decode_request_bytes(
+                &encode_request_bytes(&req, FrameFormat::Binary),
+                FrameFormat::Binary,
+            );
+            assert_eq!(json.as_ref().unwrap(), &req);
+            assert_eq!(json.unwrap(), bin.unwrap());
+        }
+        let resp = Response {
+            id: 9,
+            body: Body::Err {
+                kind: ErrKind::Busy,
+                detail: "at capacity".into(),
+            },
+        };
+        for wire in [FrameFormat::Json, FrameFormat::Binary] {
+            let bytes = encode_response_bytes(&resp, wire);
+            assert_eq!(decode_response_bytes(&bytes, wire).unwrap(), resp);
+        }
+    }
+
+    #[test]
+    fn payload_faults_classify_by_severity() {
+        // JSON: bad UTF-8 is an encoding fault (close), bad JSON text
+        // and wrong-shape documents are grammar faults (keep).
+        assert!(matches!(
+            decode_request_bytes(&[0xff, 0xfe], FrameFormat::Json),
+            Err(PayloadFault::Encoding(_))
+        ));
+        assert!(matches!(
+            decode_request_bytes(b"{oops", FrameFormat::Json),
+            Err(PayloadFault::Grammar(_))
+        ));
+        assert!(matches!(
+            decode_request_bytes(b"{\"id\":1,\"op\":\"warp\"}", FrameFormat::Json),
+            Err(PayloadFault::Grammar(_))
+        ));
+        // Binary: an undecodable document is an encoding fault; a
+        // well-formed document with the wrong shape is grammar.
+        assert!(matches!(
+            decode_request_bytes(&[99], FrameFormat::Binary),
+            Err(PayloadFault::Encoding(_))
+        ));
+        let wrong_shape = crate::json::binary::to_bytes(&obj(vec![("id", Json::Int(1))]));
+        assert!(matches!(
+            decode_request_bytes(&wrong_shape, FrameFormat::Binary),
+            Err(PayloadFault::Grammar(_))
+        ));
+    }
+
+    #[test]
+    fn raw_frames_roundtrip_bytes() {
+        let mut buf = Vec::new();
+        write_frame_bytes(&mut buf, &[0, 1, 2, 0xff]).unwrap();
+        write_frame_bytes(&mut buf, b"").unwrap();
+        let mut r = Cursor::new(buf);
+        assert_eq!(read_frame_bytes(&mut r).unwrap(), vec![0, 1, 2, 0xff]);
+        assert_eq!(read_frame_bytes(&mut r).unwrap(), Vec::<u8>::new());
+        assert!(matches!(read_frame_bytes(&mut r), Err(WireError::Closed)));
     }
 
     #[test]

@@ -1,34 +1,95 @@
 //! The long-lived daemon: TCP and unix-socket listeners around a
 //! [`Host`], with graceful shutdown.
 //!
-//! One thread per connection, `std::net` blocking I/O with short read
-//! timeouts so every thread observes the stop flags promptly. Shutdown —
-//! whether from SIGINT, the wire `shutdown` op, or
+//! Two I/O engines share the listeners, the dispatch table, and the
+//! shutdown path:
+//!
+//! - [`IoMode::Reactor`] (the default): a sharded readiness reactor
+//!   ([`dsnet_netio`]) multiplexes every connection across
+//!   `min(cores, 8)` event loops — no per-connection thread, no idle
+//!   wakeups. Pipelined command bursts to one session are applied as a
+//!   batch under a single slot-lock acquisition
+//!   ([`Host::apply_batch`]), and watch subscribers push rendered
+//!   event lines straight into the owning shard's write queue.
+//! - [`IoMode::Threads`]: the original thread-per-connection engine
+//!   with short read timeouts (kept as a fallback and as a behavioural
+//!   reference — both engines produce byte-identical streams).
+//!
+//! Shutdown — whether from SIGINT, the wire `shutdown` op, or
 //! [`Server::begin_shutdown`] — follows one path: the host starts
 //! draining (in-flight commands finish, new sessions and commands are
-//! refused with a typed `shutting_down` error, reads keep being served)
-//! and the accept loops stop. [`Server::wait`] then gives open
+//! refused with a typed `shutting_down` error, reads keep being
+//! served) and accepting stops. [`Server::wait`] then gives open
 //! connections a grace period to finish their reads and disconnect
 //! before hard-stopping the stragglers at their next frame boundary.
+//! The wait itself is readiness-driven: a stop wake-pipe and a SIGINT
+//! self-pipe replace the old fixed-interval polling, so an idle daemon
+//! burns no wakeups and shutdown latency is bounded by a single poll
+//! wakeup rather than a sleep tick.
 
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicI32, AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
 use std::thread::JoinHandle;
 use std::time::Duration;
+
+use dsnet::SessionCommand;
+use dsnet_netio::sys::{poll_fds, PollFd, POLLIN};
+use dsnet_netio::{
+    wake_pair, Action, ConnCx, FrameError, Handler, HandlerFactory, Listener as NetListener,
+    Reactor, ReactorConfig, WakeReader, Waker,
+};
 
 use crate::host::{Host, HostConfig, HostError};
 use crate::json::{obj, Json};
 use crate::protocol::{
-    decode_request, encode_response, spec_to_json, write_frame, Body, ErrKind, Op, Request,
-    Response, WireError, MAX_FRAME,
+    decode_request_bytes, encode_response_bytes, spec_to_json, write_frame_bytes, Body, ErrKind,
+    FrameFormat, Op, PayloadFault, Request, Response, WireError, MAX_FRAME,
 };
 
-/// Poll interval for stop-flag checks in accept and read loops.
+/// Default poll interval for stop-flag checks in the thread engine's
+/// accept and read loops.
 const POLL: Duration = Duration::from_millis(25);
+
+/// Grace period for draining clients to finish their reads and hang up
+/// before the hard stop.
+const DRAIN_GRACE: Duration = Duration::from_secs(3);
+
+/// Bound on the hard stop itself (thread engine: time for connection
+/// threads to hit their next frame boundary; reactor: flush + close).
+const HARD_STOP_BOUND: Duration = Duration::from_secs(1);
+
+/// Which I/O engine drives connections.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum IoMode {
+    /// Sharded readiness reactor (event loops, batched dispatch).
+    #[default]
+    Reactor,
+    /// Thread-per-connection with blocking reads (fallback engine).
+    Threads,
+}
+
+impl IoMode {
+    /// Stable CLI label.
+    pub fn label(self) -> &'static str {
+        match self {
+            IoMode::Reactor => "reactor",
+            IoMode::Threads => "threads",
+        }
+    }
+
+    /// Parse a CLI label.
+    pub fn from_label(s: &str) -> Option<Self> {
+        Some(match s {
+            "reactor" => IoMode::Reactor,
+            "threads" => IoMode::Threads,
+            _ => return None,
+        })
+    }
+}
 
 /// How the daemon listens and how many tenants it admits.
 #[derive(Debug, Clone, Default)]
@@ -41,16 +102,58 @@ pub struct ServeOptions {
     pub unix: Option<PathBuf>,
     /// Session capacity (`0` = the [`HostConfig`] default).
     pub max_sessions: usize,
+    /// Connection engine (default [`IoMode::Reactor`]).
+    pub io: IoMode,
+    /// Reactor event loops (`0` = `min(cores, 8)`). Ignored by the
+    /// thread engine.
+    pub shards: usize,
+    /// Close a connection parked mid-frame for this many milliseconds
+    /// (`0` = the reactor default, 30 s). Connections idle *between*
+    /// frames — watchers included — are never deadlined. Ignored by
+    /// the thread engine, whose mid-frame reads block indefinitely.
+    pub read_deadline_ms: u64,
+    /// Thread-engine poll interval in milliseconds (`0` = 25). Ignored
+    /// by the reactor, which has no polling loops.
+    pub poll_ms: u64,
+}
+
+/// Shutdown trigger shared by every place that can request a stop: the
+/// flag is the authoritative state, the waker gets [`Server::wait`]
+/// out of its poll.
+#[derive(Clone)]
+struct StopSignal {
+    stop: Arc<AtomicBool>,
+    waker: Waker,
+}
+
+impl StopSignal {
+    fn trigger(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+        self.waker.wake();
+    }
+
+    fn is_stopped(&self) -> bool {
+        self.stop.load(Ordering::SeqCst)
+    }
+}
+
+enum Engine {
+    Reactor(Reactor),
+    Threads {
+        hard_stop: Arc<AtomicBool>,
+        active_conns: Arc<AtomicUsize>,
+        accept_threads: Vec<JoinHandle<()>>,
+        poll: Duration,
+    },
 }
 
 /// A running daemon. Dropping it does *not* stop the threads — call
 /// [`Server::begin_shutdown`] then [`Server::wait`].
 pub struct Server {
     host: Arc<Host>,
-    stop: Arc<AtomicBool>,
-    hard_stop: Arc<AtomicBool>,
-    active_conns: Arc<AtomicUsize>,
-    accept_threads: Vec<JoinHandle<()>>,
+    signal: StopSignal,
+    stop_rx: WakeReader,
+    engine: Engine,
     tcp_addr: Option<SocketAddr>,
     unix_path: Option<PathBuf>,
 }
@@ -71,87 +174,131 @@ impl Server {
             opts.max_sessions
         };
         let host = Arc::new(Host::new(HostConfig { max_sessions }));
-        let stop = Arc::new(AtomicBool::new(false));
-        let hard_stop = Arc::new(AtomicBool::new(false));
-        let active_conns = Arc::new(AtomicUsize::new(0));
-        let mut accept_threads = Vec::new();
-
-        let tcp_addr = match &opts.tcp {
-            None => None,
-            Some(addr) => {
-                let listener = TcpListener::bind(addr)?;
-                listener.set_nonblocking(true)?;
-                let local = listener.local_addr()?;
-                let (host, stop, hard, conns) = (
-                    host.clone(),
-                    stop.clone(),
-                    hard_stop.clone(),
-                    active_conns.clone(),
-                );
-                accept_threads.push(std::thread::spawn(move || {
-                    accept_loop(
-                        move || match listener.accept() {
-                            Ok((s, _)) => {
-                                s.set_nonblocking(false).ok();
-                                s.set_nodelay(true).ok();
-                                Some(Ok(Box::new(s) as Box<dyn Conn>))
-                            }
-                            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => None,
-                            Err(e) => Some(Err(e)),
-                        },
-                        host,
-                        stop,
-                        hard,
-                        conns,
-                    );
-                }));
-                Some(local)
-            }
+        let (stop_waker, stop_rx) = wake_pair()?;
+        let signal = StopSignal {
+            stop: Arc::new(AtomicBool::new(false)),
+            waker: stop_waker,
         };
 
-        let unix_path = match &opts.unix {
+        let tcp_listener = match &opts.tcp {
+            None => None,
+            Some(addr) => Some(TcpListener::bind(addr)?),
+        };
+        let tcp_addr = match &tcp_listener {
+            None => None,
+            Some(l) => Some(l.local_addr()?),
+        };
+        let unix_listener = match &opts.unix {
             None => None,
             Some(path) => {
                 // A stale socket file from a crashed daemon blocks bind.
                 if path.exists() {
                     std::fs::remove_file(path)?;
                 }
-                let listener = UnixListener::bind(path)?;
-                listener.set_nonblocking(true)?;
-                let (host, stop, hard, conns) = (
-                    host.clone(),
-                    stop.clone(),
-                    hard_stop.clone(),
-                    active_conns.clone(),
-                );
-                accept_threads.push(std::thread::spawn(move || {
-                    accept_loop(
-                        move || match listener.accept() {
-                            Ok((s, _)) => {
-                                s.set_nonblocking(false).ok();
-                                Some(Ok(Box::new(s) as Box<dyn Conn>))
-                            }
-                            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => None,
-                            Err(e) => Some(Err(e)),
-                        },
-                        host,
-                        stop,
-                        hard,
-                        conns,
-                    );
-                }));
-                Some(path.clone())
+                Some(UnixListener::bind(path)?)
+            }
+        };
+
+        let engine = match opts.io {
+            IoMode::Reactor => {
+                let mut listeners = Vec::new();
+                if let Some(l) = tcp_listener {
+                    listeners.push(NetListener::Tcp(l));
+                }
+                if let Some(l) = unix_listener {
+                    listeners.push(NetListener::Unix(l));
+                }
+                let factory: HandlerFactory = {
+                    let host = host.clone();
+                    let signal = signal.clone();
+                    Arc::new(move || {
+                        Box::new(ConnHandler::new(host.clone(), signal.clone())) as Box<dyn Handler>
+                    })
+                };
+                let config = ReactorConfig {
+                    shards: opts.shards,
+                    max_frame: MAX_FRAME as usize,
+                    read_deadline: if opts.read_deadline_ms == 0 {
+                        ReactorConfig::default().read_deadline
+                    } else {
+                        Some(Duration::from_millis(opts.read_deadline_ms))
+                    },
+                    ..ReactorConfig::default()
+                };
+                Engine::Reactor(Reactor::start(listeners, factory, config)?)
+            }
+            IoMode::Threads => {
+                let poll = if opts.poll_ms == 0 {
+                    POLL
+                } else {
+                    Duration::from_millis(opts.poll_ms)
+                };
+                let hard_stop = Arc::new(AtomicBool::new(false));
+                let active_conns = Arc::new(AtomicUsize::new(0));
+                let mut accept_threads = Vec::new();
+                if let Some(listener) = tcp_listener {
+                    listener.set_nonblocking(true)?;
+                    let ctx = ThreadCtx {
+                        host: host.clone(),
+                        signal: signal.clone(),
+                        hard_stop: hard_stop.clone(),
+                        conns: active_conns.clone(),
+                        poll,
+                    };
+                    accept_threads.push(std::thread::spawn(move || {
+                        accept_loop(
+                            move || match listener.accept() {
+                                Ok((s, _)) => {
+                                    s.set_nonblocking(false).ok();
+                                    s.set_nodelay(true).ok();
+                                    Some(Ok(Box::new(s) as Box<dyn Conn>))
+                                }
+                                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => None,
+                                Err(e) => Some(Err(e)),
+                            },
+                            ctx,
+                        );
+                    }));
+                }
+                if let Some(listener) = unix_listener {
+                    listener.set_nonblocking(true)?;
+                    let ctx = ThreadCtx {
+                        host: host.clone(),
+                        signal: signal.clone(),
+                        hard_stop: hard_stop.clone(),
+                        conns: active_conns.clone(),
+                        poll,
+                    };
+                    accept_threads.push(std::thread::spawn(move || {
+                        accept_loop(
+                            move || match listener.accept() {
+                                Ok((s, _)) => {
+                                    s.set_nonblocking(false).ok();
+                                    Some(Ok(Box::new(s) as Box<dyn Conn>))
+                                }
+                                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => None,
+                                Err(e) => Some(Err(e)),
+                            },
+                            ctx,
+                        );
+                    }));
+                }
+                Engine::Threads {
+                    hard_stop,
+                    active_conns,
+                    accept_threads,
+                    poll,
+                }
             }
         };
 
         Ok(Server {
             host,
-            stop,
-            hard_stop,
-            active_conns,
-            accept_threads,
+            signal,
+            stop_rx,
+            engine,
             tcp_addr,
-            unix_path,
+            unix_path: opts.unix.clone(),
         })
     }
 
@@ -166,54 +313,266 @@ impl Server {
     }
 
     /// Start the graceful drain: the host refuses new sessions and
-    /// commands, accept loops stop. Open connections keep serving reads
-    /// until they disconnect or [`Server::wait`]'s grace period expires.
+    /// commands, accepting stops. Open connections keep serving reads
+    /// until they disconnect or [`Server::wait`]'s grace period
+    /// expires.
     pub fn begin_shutdown(&self) {
         self.host.begin_drain();
-        self.stop.store(true, Ordering::SeqCst);
+        if let Engine::Reactor(reactor) = &self.engine {
+            reactor.begin_drain();
+        }
+        self.signal.trigger();
     }
 
     /// Whether shutdown has been requested (by any path).
     pub fn is_stopping(&self) -> bool {
-        self.stop.load(Ordering::SeqCst)
+        self.signal.is_stopped()
     }
 
-    /// Block until shutdown is requested, then join the accept loops and
-    /// give open connections a bounded grace period to wind down.
-    /// Removes the unix socket file.
-    pub fn wait(self) {
-        while !self.stop.load(Ordering::SeqCst) {
-            if sigint_received() {
-                self.begin_shutdown();
-                break;
-            }
-            std::thread::sleep(POLL);
-        }
-        // begin_shutdown may have been called externally without SIGINT;
-        // make sure the host drains either way.
+    /// Block until shutdown is requested, then stop accepting and give
+    /// open connections a bounded grace period to wind down. Removes
+    /// the unix socket file.
+    pub fn wait(mut self) {
+        block_until_stop(&self.signal, &mut self.stop_rx);
+        // begin_shutdown may have been called externally without
+        // SIGINT; make sure the host drains either way.
         self.host.begin_drain();
-        for t in self.accept_threads {
-            let _ = t.join();
-        }
-        // Grace: draining clients may still fetch streams; give them a
-        // bounded window to finish and hang up on their own.
-        let deadline = std::time::Instant::now() + Duration::from_secs(3);
-        while self.active_conns.load(Ordering::SeqCst) > 0 && std::time::Instant::now() < deadline {
-            std::thread::sleep(POLL);
-        }
-        // Hard stop: remaining connection threads exit at their next
-        // frame boundary / poll tick. Bounded wait so a peer that went
-        // silent mid-frame cannot pin us here.
-        self.hard_stop.store(true, Ordering::SeqCst);
-        let deadline = std::time::Instant::now() + Duration::from_secs(1);
-        while self.active_conns.load(Ordering::SeqCst) > 0 && std::time::Instant::now() < deadline {
-            std::thread::sleep(POLL);
+        match self.engine {
+            Engine::Reactor(reactor) => {
+                reactor.begin_drain();
+                // Grace: draining clients may still fetch streams; the
+                // wait returns early once every connection is gone.
+                reactor.wait_idle(DRAIN_GRACE);
+                reactor.hard_stop();
+                reactor.wait_idle(HARD_STOP_BOUND);
+                reactor.join();
+            }
+            Engine::Threads {
+                hard_stop,
+                active_conns,
+                accept_threads,
+                poll,
+            } => {
+                for t in accept_threads {
+                    let _ = t.join();
+                }
+                let deadline = std::time::Instant::now() + DRAIN_GRACE;
+                while active_conns.load(Ordering::SeqCst) > 0
+                    && std::time::Instant::now() < deadline
+                {
+                    std::thread::sleep(poll);
+                }
+                // Hard stop: remaining connection threads exit at their
+                // next frame boundary / poll tick. Bounded wait so a
+                // peer that went silent mid-frame cannot pin us here.
+                hard_stop.store(true, Ordering::SeqCst);
+                let deadline = std::time::Instant::now() + HARD_STOP_BOUND;
+                while active_conns.load(Ordering::SeqCst) > 0
+                    && std::time::Instant::now() < deadline
+                {
+                    std::thread::sleep(poll);
+                }
+            }
         }
         if let Some(path) = &self.unix_path {
             let _ = std::fs::remove_file(path);
         }
     }
 }
+
+/// Readiness-driven replacement for the old 25 ms stop-flag sleep
+/// loop: block on the stop wake-pipe and the SIGINT self-pipe until
+/// either fires. The SIGINT pipe is deliberately never drained — once
+/// readable it stays readable, which makes the sticky `SIGINT` flag
+/// and the poll agree forever after.
+fn block_until_stop(signal: &StopSignal, stop_rx: &mut WakeReader) {
+    loop {
+        if signal.is_stopped() || sigint_received() {
+            return;
+        }
+        let mut fds = vec![PollFd {
+            fd: stop_rx.fd(),
+            events: POLLIN,
+            revents: 0,
+        }];
+        if let Some(fd) = sigint_pipe_fd() {
+            fds.push(PollFd {
+                fd,
+                events: POLLIN,
+                revents: 0,
+            });
+        }
+        if poll_fds(&mut fds, -1).is_err() {
+            // Poll itself failing is pathological; degrade to the old
+            // sleep loop rather than spinning.
+            std::thread::sleep(POLL);
+        }
+        stop_rx.drain();
+    }
+}
+
+// ---- reactor engine -----------------------------------------------------
+
+/// Per-connection protocol state for the reactor engine: the
+/// negotiated frame format, watch mode, and the current command batch.
+///
+/// Consecutive `cmd` requests for the same session within one
+/// readiness burst are applied through [`Host::apply_batch`] under a
+/// single slot-lock acquisition; responses still go out one frame per
+/// request, in request order. The batch never outlives the
+/// [`Handler::on_frames`] call that opened it.
+struct ConnHandler {
+    host: Arc<Host>,
+    signal: StopSignal,
+    format: FrameFormat,
+    watching: bool,
+    batch_session: Option<String>,
+    batch_ids: Vec<u64>,
+    batch_cmds: Vec<SessionCommand>,
+}
+
+impl ConnHandler {
+    fn new(host: Arc<Host>, signal: StopSignal) -> ConnHandler {
+        ConnHandler {
+            host,
+            signal,
+            format: FrameFormat::Json,
+            watching: false,
+            batch_session: None,
+            batch_ids: Vec::new(),
+            batch_cmds: Vec::new(),
+        }
+    }
+
+    fn reply(&self, id: u64, body: Body, cx: &mut ConnCx<'_>) {
+        cx.send(&encode_response_bytes(&Response { id, body }, self.format));
+    }
+
+    fn flush_cmds(&mut self, cx: &mut ConnCx<'_>) {
+        let Some(session) = self.batch_session.take() else {
+            return;
+        };
+        let ids = std::mem::take(&mut self.batch_ids);
+        let cmds = std::mem::take(&mut self.batch_cmds);
+        let outcomes = self.host.apply_batch(&session, &cmds);
+        for (id, outcome) in ids.into_iter().zip(outcomes) {
+            self.reply(id, cmd_outcome_body(outcome), cx);
+        }
+    }
+}
+
+impl Handler for ConnHandler {
+    fn on_frames(&mut self, frames: Vec<Vec<u8>>, cx: &mut ConnCx<'_>) -> Action {
+        if self.watching {
+            // A watching connection is a one-way event stream; frames
+            // sent after the watch request are dropped, matching the
+            // thread engine (which stops reading entirely).
+            return Action::Continue;
+        }
+        for frame in frames {
+            let req = match decode_request_bytes(&frame, self.format) {
+                Ok(req) => req,
+                Err(fault) => {
+                    self.flush_cmds(cx);
+                    let keep = matches!(fault, PayloadFault::Grammar(_));
+                    self.reply(
+                        0,
+                        Body::Err {
+                            kind: ErrKind::MalformedFrame,
+                            detail: fault.detail().to_string(),
+                        },
+                        cx,
+                    );
+                    if keep {
+                        continue;
+                    }
+                    return Action::Close;
+                }
+            };
+            match req.op {
+                Op::Cmd { session, cmd } => {
+                    if self.batch_session.as_deref() != Some(session.as_str()) {
+                        self.flush_cmds(cx);
+                        self.batch_session = Some(session);
+                    }
+                    self.batch_ids.push(req.id);
+                    self.batch_cmds.push(cmd);
+                }
+                op => {
+                    self.flush_cmds(cx);
+                    match op {
+                        Op::Frames { format } => {
+                            // Ack in the old format, switch after.
+                            self.reply(req.id, frames_ack(format), cx);
+                            self.format = format;
+                        }
+                        Op::Watch { session } => {
+                            let push = cx.push_handle();
+                            let format = self.format;
+                            let registered = self.host.watch_fn(&session, move |line| {
+                                push.push(encode_response_bytes(
+                                    &Response {
+                                        id: 0,
+                                        body: Body::Event(Json::Str(line.to_string())),
+                                    },
+                                    format,
+                                ))
+                            });
+                            match registered {
+                                Ok(()) => {
+                                    // The ack is queued in this handler
+                                    // call; pushes are merged between
+                                    // handler calls, so it always
+                                    // precedes the first event.
+                                    self.reply(
+                                        req.id,
+                                        Body::Ok(obj(vec![("watching", Json::Str(session))])),
+                                        cx,
+                                    );
+                                    self.watching = true;
+                                    return Action::Continue;
+                                }
+                                Err(e) => self.reply(req.id, host_err_body(e), cx),
+                            }
+                        }
+                        op => {
+                            let body = op_body(&op, &self.host, &self.signal)
+                                .expect("cmd/watch/frames handled above");
+                            self.reply(req.id, body, cx);
+                        }
+                    }
+                }
+            }
+        }
+        self.flush_cmds(cx);
+        Action::Continue
+    }
+
+    fn on_bad_frame(&mut self, err: &FrameError, cx: &mut ConnCx<'_>) {
+        // Frame-level fault: report it, then the reactor closes —
+        // framing is unrecoverable once the byte stream is misaligned.
+        // Reuse the wire-error text the thread engine always sent.
+        let detail = match err {
+            FrameError::Oversized { len, max } => WireError::Oversized {
+                len: *len as u32,
+                max: *max as u32,
+            }
+            .to_string(),
+        };
+        cx.send(&encode_response_bytes(
+            &Response {
+                id: 0,
+                body: Body::Err {
+                    kind: ErrKind::MalformedFrame,
+                    detail,
+                },
+            },
+            self.format,
+        ));
+    }
+}
+
+// ---- thread engine ------------------------------------------------------
 
 /// A bidirectional client connection (TCP or unix).
 trait Conn: Read + Write + Send {
@@ -232,24 +591,27 @@ impl Conn for UnixStream {
     }
 }
 
-fn accept_loop(
-    mut accept: impl FnMut() -> Option<std::io::Result<Box<dyn Conn>>>,
+/// Everything a thread-engine connection needs, cloned per accept.
+#[derive(Clone)]
+struct ThreadCtx {
     host: Arc<Host>,
-    stop: Arc<AtomicBool>,
+    signal: StopSignal,
     hard_stop: Arc<AtomicBool>,
     conns: Arc<AtomicUsize>,
-) {
-    while !stop.load(Ordering::SeqCst) {
+    poll: Duration,
+}
+
+fn accept_loop(mut accept: impl FnMut() -> Option<std::io::Result<Box<dyn Conn>>>, ctx: ThreadCtx) {
+    while !ctx.signal.is_stopped() {
         match accept() {
-            None => std::thread::sleep(POLL),
-            Some(Err(_)) => std::thread::sleep(POLL),
+            None => std::thread::sleep(ctx.poll),
+            Some(Err(_)) => std::thread::sleep(ctx.poll),
             Some(Ok(stream)) => {
-                let (host, stop, hard) = (host.clone(), stop.clone(), hard_stop.clone());
-                let conns = conns.clone();
-                conns.fetch_add(1, Ordering::SeqCst);
+                let ctx = ctx.clone();
+                ctx.conns.fetch_add(1, Ordering::SeqCst);
                 std::thread::spawn(move || {
-                    handle_conn(stream, &host, &stop, &hard);
-                    conns.fetch_sub(1, Ordering::SeqCst);
+                    handle_conn(stream, &ctx);
+                    ctx.conns.fetch_sub(1, Ordering::SeqCst);
                 });
             }
         }
@@ -258,16 +620,17 @@ fn accept_loop(
 
 /// Outcome of a stop-aware frame read.
 enum FrameRead {
-    Frame(String),
+    Frame(Vec<u8>),
     Closed,
     Stopped,
 }
 
-/// Like [`crate::protocol::read_frame`] but wakes every read timeout to
-/// check the hard-stop flag. At a frame boundary a hard stop closes the
-/// connection; mid-frame the remaining bytes are awaited so an in-flight
-/// request is never torn. The drain flag deliberately does *not* end the
-/// read loop: draining clients may still fetch streams and snapshots.
+/// Like [`crate::protocol::read_frame_bytes`] but wakes every read
+/// timeout to check the hard-stop flag. At a frame boundary a hard stop
+/// closes the connection; mid-frame the remaining bytes are awaited so
+/// an in-flight request is never torn. The drain flag deliberately does
+/// *not* end the read loop: draining clients may still fetch streams
+/// and snapshots.
 fn read_frame_stoppable(r: &mut impl Read, stop: &AtomicBool) -> Result<FrameRead, WireError> {
     let mut header = [0u8; 4];
     let mut filled = 0;
@@ -322,32 +685,25 @@ fn read_frame_stoppable(r: &mut impl Read, stop: &AtomicBool) -> Result<FrameRea
             Err(e) => return Err(WireError::Io(e)),
         }
     }
-    String::from_utf8(payload)
-        .map(FrameRead::Frame)
-        .map_err(|_| WireError::Malformed("payload is not UTF-8".into()))
+    Ok(FrameRead::Frame(payload))
 }
 
-fn host_err_body(e: HostError) -> Body {
-    Body::Err {
-        kind: e.kind,
-        detail: e.detail,
-    }
-}
-
-fn respond(stream: &mut dyn Conn, id: u64, body: Body) -> Result<(), WireError> {
+fn respond(
+    stream: &mut dyn Conn,
+    id: u64,
+    body: Body,
+    format: FrameFormat,
+) -> Result<(), WireError> {
+    let payload = encode_response_bytes(&Response { id, body }, format);
     let mut w = &mut *stream as &mut dyn Write;
-    write_frame(&mut w, &encode_response(&Response { id, body }))
+    write_frame_bytes(&mut w, &payload)
 }
 
-fn handle_conn(
-    mut stream: Box<dyn Conn>,
-    host: &Arc<Host>,
-    stop: &AtomicBool,
-    hard_stop: &AtomicBool,
-) {
-    let _ = stream.set_read_timeout_conn(Some(POLL));
+fn handle_conn(mut stream: Box<dyn Conn>, ctx: &ThreadCtx) {
+    let _ = stream.set_read_timeout_conn(Some(ctx.poll));
+    let mut format = FrameFormat::Json;
     loop {
-        let frame = match read_frame_stoppable(&mut stream, hard_stop) {
+        let frame = match read_frame_stoppable(&mut stream, &ctx.hard_stop) {
             Ok(FrameRead::Frame(f)) => f,
             Ok(FrameRead::Closed | FrameRead::Stopped) => return,
             Err(WireError::Io(_)) => return,
@@ -361,49 +717,63 @@ fn handle_conn(
                         kind: ErrKind::MalformedFrame,
                         detail: e.to_string(),
                     },
+                    format,
                 );
                 return;
             }
         };
-        let req = match decode_request(&frame) {
+        let req = match decode_request_bytes(&frame, format) {
             Ok(req) => req,
-            Err(detail) => {
-                // Grammar-level fault: the framing is intact, so answer
-                // and keep the connection.
+            Err(fault) => {
+                let keep = matches!(fault, PayloadFault::Grammar(_));
                 let _ = respond(
                     stream.as_mut(),
                     0,
                     Body::Err {
                         kind: ErrKind::MalformedFrame,
-                        detail,
+                        detail: fault.detail().to_string(),
                     },
+                    format,
                 );
-                continue;
+                if keep {
+                    // Grammar-level fault: the framing is intact, so
+                    // the connection stays usable.
+                    continue;
+                }
+                return;
             }
         };
-        match dispatch(&req, host, stop) {
+        if let Op::Frames { format: next } = req.op {
+            // Ack in the old format, switch after.
+            if respond(stream.as_mut(), req.id, frames_ack(next), format).is_err() {
+                return;
+            }
+            format = next;
+            continue;
+        }
+        match dispatch(&req, &ctx.host, &ctx.signal) {
             Dispatch::Reply(body) => {
-                if respond(stream.as_mut(), req.id, body).is_err() {
+                if respond(stream.as_mut(), req.id, body, format).is_err() {
                     return;
                 }
             }
             Dispatch::EnterWatch { ack, rx } => {
-                if respond(stream.as_mut(), req.id, ack).is_err() {
+                if respond(stream.as_mut(), req.id, ack, format).is_err() {
                     return;
                 }
                 // The connection becomes a one-way event stream: each
                 // applied record arrives as an id-0 event frame carrying
                 // the deterministic record line.
                 loop {
-                    match rx.recv_timeout(POLL) {
+                    match rx.recv_timeout(ctx.poll) {
                         Ok(line) => {
                             let body = Body::Event(Json::Str(line));
-                            if respond(stream.as_mut(), 0, body).is_err() {
+                            if respond(stream.as_mut(), 0, body, format).is_err() {
                                 return;
                             }
                         }
                         Err(std::sync::mpsc::RecvTimeoutError::Timeout) => {
-                            if stop.load(Ordering::SeqCst) {
+                            if ctx.signal.is_stopped() {
                                 return;
                             }
                         }
@@ -415,6 +785,48 @@ fn handle_conn(
     }
 }
 
+// ---- shared dispatch ----------------------------------------------------
+
+fn host_err_body(e: HostError) -> Body {
+    Body::Err {
+        kind: e.kind,
+        detail: e.detail,
+    }
+}
+
+/// The `frames` op's ack body (sent in the pre-switch format).
+fn frames_ack(format: FrameFormat) -> Body {
+    Body::Ok(obj(vec![("format", Json::Str(format.label().into()))]))
+}
+
+/// Render one command outcome — the single rendering both engines and
+/// both the single and batched apply paths share.
+fn cmd_outcome_body(outcome: Result<dsnet::CommandRecord, HostError>) -> Body {
+    match outcome {
+        Ok(record) => {
+            let fields: Vec<(String, Json)> = record
+                .fields
+                .iter()
+                .map(|(k, v)| (k.clone(), Json::Int(*v)))
+                .collect();
+            match &record.status {
+                dsnet::CommandStatus::Applied => Body::Ok(obj(vec![
+                    ("seq", Json::Int(record.seq as i64)),
+                    ("cmd", Json::Str(record.kind.to_string())),
+                    ("attempts", Json::Int(i64::from(record.attempts))),
+                    ("wall_us", Json::Int(record.wall_us as i64)),
+                    ("fields", Json::Obj(fields)),
+                ])),
+                dsnet::CommandStatus::Rejected(reason) => Body::Err {
+                    kind: ErrKind::CommandRejected,
+                    detail: format!("seq {}: {reason}", record.seq),
+                },
+            }
+        }
+        Err(e) => host_err_body(e),
+    }
+}
+
 enum Dispatch {
     Reply(Body),
     EnterWatch {
@@ -423,8 +835,25 @@ enum Dispatch {
     },
 }
 
-fn dispatch(req: &Request, host: &Arc<Host>, stop: &AtomicBool) -> Dispatch {
-    let body = match &req.op {
+fn dispatch(req: &Request, host: &Arc<Host>, signal: &StopSignal) -> Dispatch {
+    if let Op::Watch { session } = &req.op {
+        return match host.watch(session) {
+            Ok(rx) => Dispatch::EnterWatch {
+                ack: Body::Ok(obj(vec![("watching", Json::Str(session.clone()))])),
+                rx,
+            },
+            Err(e) => Dispatch::Reply(host_err_body(e)),
+        };
+    }
+    Dispatch::Reply(op_body(&req.op, host, signal).expect("watch handled above"))
+}
+
+/// Body for every op that answers with a single reply. `None` for
+/// [`Op::Watch`], whose lifecycle is engine-specific. [`Op::Frames`]
+/// yields its ack body — the actual format switch is connection state
+/// owned by the engines.
+fn op_body(op: &Op, host: &Arc<Host>, signal: &StopSignal) -> Option<Body> {
+    Some(match op {
         Op::Ping => Body::Ok(obj(vec![
             ("pong", Json::Int(1)),
             ("sessions", Json::Int(host.session_count() as i64)),
@@ -446,29 +875,7 @@ fn dispatch(req: &Request, host: &Arc<Host>, stop: &AtomicBool) -> Dispatch {
             ])),
             Err(e) => host_err_body(e),
         },
-        Op::Cmd { session, cmd } => match host.apply(session, cmd) {
-            Ok(record) => {
-                let fields: Vec<(String, Json)> = record
-                    .fields
-                    .iter()
-                    .map(|(k, v)| (k.clone(), Json::Int(*v)))
-                    .collect();
-                match &record.status {
-                    dsnet::CommandStatus::Applied => Body::Ok(obj(vec![
-                        ("seq", Json::Int(record.seq as i64)),
-                        ("cmd", Json::Str(record.kind.to_string())),
-                        ("attempts", Json::Int(i64::from(record.attempts))),
-                        ("wall_us", Json::Int(record.wall_us as i64)),
-                        ("fields", Json::Obj(fields)),
-                    ])),
-                    dsnet::CommandStatus::Rejected(reason) => Body::Err {
-                        kind: ErrKind::CommandRejected,
-                        detail: format!("seq {}: {reason}", record.seq),
-                    },
-                }
-            }
-            Err(e) => host_err_body(e),
-        },
+        Op::Cmd { session, cmd } => cmd_outcome_body(host.apply(session, cmd)),
         Op::Stream { session } => match host.stream(session) {
             Ok(text) => Body::Ok(obj(vec![("stream", Json::Str(text))])),
             Err(e) => host_err_body(e),
@@ -485,39 +892,65 @@ fn dispatch(req: &Request, host: &Arc<Host>, stop: &AtomicBool) -> Dispatch {
             ])),
             Err(e) => host_err_body(e),
         },
-        Op::Watch { session } => {
-            return match host.watch(session) {
-                Ok(rx) => Dispatch::EnterWatch {
-                    ack: Body::Ok(obj(vec![("watching", Json::Str(session.clone()))])),
-                    rx,
-                },
-                Err(e) => Dispatch::Reply(host_err_body(e)),
-            };
-        }
+        Op::Frames { format } => frames_ack(*format),
+        Op::Watch { .. } => return None,
         Op::Shutdown => {
             host.begin_drain();
-            stop.store(true, Ordering::SeqCst);
+            signal.trigger();
             Body::Ok(obj(vec![
                 ("shutting_down", Json::Int(1)),
                 ("sessions", Json::Int(host.session_count() as i64)),
             ]))
         }
-    };
-    Dispatch::Reply(body)
+    })
 }
 
 // ---- SIGINT -------------------------------------------------------------
 
 static SIGINT: AtomicBool = AtomicBool::new(false);
 
+/// Write end of the SIGINT self-pipe, published for the handler. `-1`
+/// until [`install_sigint_handler`] runs.
+static SIGINT_WAKE_FD: AtomicI32 = AtomicI32::new(-1);
+
 extern "C" fn on_sigint(_sig: i32) {
     SIGINT.store(true, Ordering::SeqCst);
+    let fd = SIGINT_WAKE_FD.load(Ordering::SeqCst);
+    if fd >= 0 {
+        // write(2) is async-signal-safe; the flag above stays the
+        // authoritative state, this byte only unblocks the poll in
+        // [`Server::wait`]. Errors (full pipe, racing close) are
+        // irrelevant: the pipe is never drained, one byte is enough.
+        extern "C" {
+            fn write(fd: i32, buf: *const u8, count: usize) -> isize;
+        }
+        let byte = [1u8];
+        unsafe {
+            write(fd, byte.as_ptr(), 1);
+        }
+    }
+}
+
+/// The process-wide SIGINT self-pipe, created on first use. Lives for
+/// the life of the process so the handler's fd can never dangle.
+fn sigint_pipe() -> Option<&'static (Waker, WakeReader)> {
+    static PIPE: OnceLock<Option<(Waker, WakeReader)>> = OnceLock::new();
+    PIPE.get_or_init(|| wake_pair().ok()).as_ref()
+}
+
+/// Read end of the SIGINT self-pipe for poll-based waits.
+fn sigint_pipe_fd() -> Option<i32> {
+    sigint_pipe().map(|(_, reader)| reader.fd())
 }
 
 /// Install a SIGINT handler that flips a flag watched by
-/// [`Server::wait`], turning Ctrl-C into the same graceful drain as the
-/// wire `shutdown` op. Safe to call more than once.
+/// [`Server::wait`] and writes a wake byte to its poll, turning Ctrl-C
+/// into the same graceful drain as the wire `shutdown` op. Safe to
+/// call more than once.
 pub fn install_sigint_handler() {
+    if let Some((waker, _)) = sigint_pipe() {
+        SIGINT_WAKE_FD.store(waker.raw_fd(), Ordering::SeqCst);
+    }
     // std links libc; `signal` is the portable minimal binding (no
     // sigaction struct layout to replicate). SIG_ERR is ignored — worst
     // case Ctrl-C keeps its default behaviour.

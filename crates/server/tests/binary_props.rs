@@ -1,0 +1,272 @@
+//! Property tests for the binary payload codec, mirroring the JSON
+//! grammar suite in `protocol.rs`: random values must round-trip
+//! byte-exactly, truncation must always be detected, the 1 MiB frame
+//! cap must hold at both ends of the pipe, and — the format contract —
+//! the JSON and binary encodings of any request or response must decode
+//! back to the same value, because both are projections of one shared
+//! grammar.
+
+use proptest::prelude::*;
+
+use dsnet::{Protocol, SessionCommand, SessionSpec};
+use dsnet_server::json::{binary, Json};
+use dsnet_server::protocol::{
+    decode_request_bytes, decode_response_bytes, encode_request_bytes, encode_response_bytes,
+    read_frame_bytes, write_frame_bytes, Body, ErrKind, FrameFormat, Op, Request, Response,
+    WireError, MAX_FRAME,
+};
+
+// ---------------------------------------------------------------- values
+
+/// Arbitrary strings over the full scalar-value range (control chars,
+/// astral planes; surrogate code points filtered by `char::from_u32`).
+fn string() -> impl Strategy<Value = String> {
+    prop::collection::vec(0u32..0x11_0000, 0..10)
+        .prop_map(|cps| cps.into_iter().filter_map(char::from_u32).collect())
+}
+
+fn json_leaf() -> BoxedStrategy<Json> {
+    prop_oneof![
+        Just(Json::Null),
+        any::<bool>().prop_map(Json::Bool),
+        any::<i64>().prop_map(Json::Int),
+        string().prop_map(Json::Str),
+    ]
+    .boxed()
+}
+
+/// Arbitrary JSON value nested up to `depth` containers — deep enough
+/// to exercise the recursive codec, far below its `MAX_DEPTH`.
+fn json_value(depth: u32) -> BoxedStrategy<Json> {
+    if depth == 0 {
+        return json_leaf();
+    }
+    prop_oneof![
+        3 => json_leaf(),
+        1 => prop::collection::vec(json_value(depth - 1), 0..5).prop_map(Json::Arr),
+        1 => prop::collection::vec((string(), json_value(depth - 1)), 0..5)
+            .prop_map(Json::Obj),
+    ]
+    .boxed()
+}
+
+proptest! {
+    /// Any value survives encode → decode unchanged.
+    #[test]
+    fn binary_roundtrips_any_value(v in json_value(3)) {
+        let bytes = binary::to_bytes(&v);
+        prop_assert_eq!(binary::from_bytes(&bytes).expect("roundtrip"), v);
+    }
+
+    /// Cutting any number of trailing bytes is always an error, never a
+    /// panic and never a silently-shortened value.
+    #[test]
+    fn truncated_binary_is_always_detected(v in json_value(3), cut in 1usize..64) {
+        // Every encoding is at least one byte (the tag), so removing
+        // at least one byte always lands mid-value.
+        let bytes = binary::to_bytes(&v);
+        let keep = bytes.len() - cut.min(bytes.len()).max(1);
+        prop_assert!(binary::from_bytes(&bytes[..keep]).is_err());
+    }
+
+    /// Unknown tags are rejected outright (7.. are reserved).
+    #[test]
+    fn unknown_tags_are_rejected(tag in 7u8..=u8::MAX, rest in prop::collection::vec(any::<u8>(), 0..16)) {
+        let mut bytes = vec![tag];
+        bytes.extend_from_slice(&rest);
+        prop_assert!(binary::from_bytes(&bytes).is_err());
+    }
+}
+
+// ---------------------------------------------------------------- grammar
+
+fn session_spec() -> impl Strategy<Value = SessionSpec> {
+    (
+        0usize..1_000_000,
+        any::<u64>(), // full-range: the two's-complement wire contract
+        any::<u32>(),
+        any::<u16>(),
+        any::<u32>(),
+    )
+        .prop_map(
+            |(nodes, seed, field_milli, groups, membership_ppm)| SessionSpec {
+                nodes,
+                seed,
+                field_milli,
+                groups,
+                membership_ppm,
+            },
+        )
+}
+
+fn protocol() -> impl Strategy<Value = Protocol> {
+    prop_oneof![
+        Just(Protocol::ImprovedCff),
+        Just(Protocol::BasicCff),
+        Just(Protocol::ReliableCff),
+        Just(Protocol::Dfo),
+    ]
+}
+
+fn opt_node() -> impl Strategy<Value = Option<u32>> {
+    prop_oneof![Just(None), any::<u32>().prop_map(Some),]
+}
+
+fn session_command() -> BoxedStrategy<SessionCommand> {
+    prop_oneof![
+        (
+            protocol(),
+            opt_node(),
+            any::<u8>(),
+            any::<u32>(),
+            any::<u32>(),
+            any::<u32>(),
+        )
+            .prop_map(
+                |(protocol, source, channels, loss_ppm, retries, min_delivery_ppm)| {
+                    SessionCommand::Broadcast {
+                        protocol,
+                        source,
+                        channels,
+                        loss_ppm,
+                        retries,
+                        min_delivery_ppm,
+                    }
+                }
+            ),
+        (any::<u16>(), opt_node())
+            .prop_map(|(group, source)| SessionCommand::Multicast { group, source }),
+        (
+            any::<i64>(),
+            any::<i64>(),
+            prop::collection::vec(any::<u16>(), 0..4),
+        )
+            .prop_map(|(x_milli, y_milli, groups)| SessionCommand::MoveIn {
+                x_milli,
+                y_milli,
+                groups,
+            }),
+        any::<u32>().prop_map(|node| SessionCommand::MoveOut { node }),
+        any::<u32>().prop_map(|node| SessionCommand::Kill { node }),
+        any::<u32>().prop_map(|node| SessionCommand::Revive { node }),
+        any::<u32>().prop_map(|node| SessionCommand::Repair { node }),
+        (any::<u32>(), any::<u32>(), any::<u32>()).prop_map(|(epochs, movers, step_milli)| {
+            SessionCommand::Mobility {
+                epochs,
+                movers,
+                step_milli,
+            }
+        }),
+        Just(SessionCommand::Snapshot),
+    ]
+    .boxed()
+}
+
+fn op() -> BoxedStrategy<Op> {
+    prop_oneof![
+        Just(Op::Ping),
+        (string(), session_spec()).prop_map(|(session, spec)| Op::Create { session, spec }),
+        string().prop_map(|session| Op::Destroy { session }),
+        (string(), session_command()).prop_map(|(session, cmd)| Op::Cmd { session, cmd }),
+        string().prop_map(|session| Op::Stream { session }),
+        string().prop_map(|session| Op::Watch { session }),
+        string().prop_map(|session| Op::Peek { session }),
+        prop_oneof![Just(FrameFormat::Json), Just(FrameFormat::Binary)]
+            .prop_map(|format| Op::Frames { format }),
+        Just(Op::Shutdown),
+    ]
+    .boxed()
+}
+
+fn request() -> impl Strategy<Value = Request> {
+    // Ids ride the wire as non-negative i64 (0 is reserved for events).
+    (1u64..=i64::MAX as u64, op()).prop_map(|(id, op)| Request { id, op })
+}
+
+fn err_kind() -> impl Strategy<Value = ErrKind> {
+    prop_oneof![
+        Just(ErrKind::MalformedFrame),
+        Just(ErrKind::UnknownSession),
+        Just(ErrKind::DuplicateSession),
+        Just(ErrKind::CommandRejected),
+        Just(ErrKind::Busy),
+        Just(ErrKind::ShuttingDown),
+        Just(ErrKind::Internal),
+    ]
+}
+
+fn response() -> impl Strategy<Value = Response> {
+    let body = prop_oneof![
+        json_value(3).prop_map(Body::Ok),
+        (err_kind(), string()).prop_map(|(kind, detail)| Body::Err { kind, detail }),
+        json_value(2).prop_map(Body::Event),
+    ];
+    (0u64..=i64::MAX as u64, body).prop_map(|(id, body)| Response { id, body })
+}
+
+proptest! {
+    /// The format contract over the full request grammar: both encodings
+    /// of the same request decode back to it, so a client may negotiate
+    /// either format without changing semantics.
+    #[test]
+    fn request_grammar_is_format_equivalent(req in request()) {
+        for format in [FrameFormat::Json, FrameFormat::Binary] {
+            let bytes = encode_request_bytes(&req, format);
+            let back = decode_request_bytes(&bytes, format)
+                .unwrap_or_else(|f| panic!("{format:?}: {}", f.detail()));
+            prop_assert_eq!(back, req.clone(), "{:?}", format);
+        }
+    }
+
+    /// Same contract over the full response grammar (ok / typed error /
+    /// pushed event).
+    #[test]
+    fn response_grammar_is_format_equivalent(resp in response()) {
+        for format in [FrameFormat::Json, FrameFormat::Binary] {
+            let bytes = encode_response_bytes(&resp, format);
+            let back = decode_response_bytes(&bytes, format)
+                .unwrap_or_else(|f| panic!("{format:?}: {}", f.detail()));
+            prop_assert_eq!(back, resp.clone(), "{:?}", format);
+        }
+    }
+
+    /// A truncated binary request payload is an encoding fault, never a
+    /// misparse into a different request.
+    #[test]
+    fn truncated_binary_requests_fault(req in request(), cut in 1usize..32) {
+        let bytes = encode_request_bytes(&req, FrameFormat::Binary);
+        let keep = bytes.len() - cut.min(bytes.len()).max(1);
+        prop_assert!(decode_request_bytes(&bytes[..keep], FrameFormat::Binary).is_err());
+    }
+
+    /// The frame writer refuses payloads over the 1 MiB cap before any
+    /// bytes hit the wire.
+    #[test]
+    fn oversized_writes_are_refused(extra in 1u32..1024) {
+        let payload = vec![0u8; (MAX_FRAME + extra) as usize];
+        let mut sink = Vec::new();
+        match write_frame_bytes(&mut sink, &payload) {
+            Err(WireError::Oversized { len, max }) => {
+                prop_assert_eq!(len, MAX_FRAME + extra);
+                prop_assert_eq!(max, MAX_FRAME);
+                prop_assert!(sink.is_empty(), "no partial frame escapes");
+            }
+            other => prop_assert!(false, "expected Oversized, got {:?}", other),
+        }
+    }
+
+    /// The frame reader rejects an oversized header without reading (or
+    /// allocating) the advertised body.
+    #[test]
+    fn oversized_headers_are_refused(len in MAX_FRAME + 1..=u32::MAX) {
+        let framed = len.to_be_bytes().to_vec();
+        let mut cursor = std::io::Cursor::new(framed);
+        match read_frame_bytes(&mut cursor) {
+            Err(WireError::Oversized { len: got, max }) => {
+                prop_assert_eq!(got, len);
+                prop_assert_eq!(max, MAX_FRAME);
+            }
+            other => prop_assert!(false, "expected Oversized, got {:?}", other),
+        }
+    }
+}

@@ -15,6 +15,7 @@ fn tcp_server(max_sessions: usize) -> (Server, String) {
         tcp: Some("127.0.0.1:0".into()),
         unix: None,
         max_sessions,
+        ..ServeOptions::default()
     })
     .expect("ephemeral TCP bind");
     let addr = server.tcp_addr().expect("tcp listener").to_string();
@@ -98,6 +99,7 @@ fn unix_socket_serves_the_same_streams() {
         tcp: None,
         unix: Some(path.clone()),
         max_sessions: 4,
+        ..ServeOptions::default()
     })
     .expect("unix bind");
     let mut client = Client::connect_unix(&path).expect("connect");

@@ -18,6 +18,7 @@ fn sigint_drains_the_server() {
         tcp: Some("127.0.0.1:0".into()),
         unix: None,
         max_sessions: 4,
+        ..ServeOptions::default()
     })
     .expect("bind");
     let addr = server.tcp_addr().expect("tcp listener").to_string();

@@ -11,8 +11,12 @@
 #   loss            lossy channels × repair × transient outages
 #   mobility-audit  long-horizon motion with dirty-scoped invariant
 #                   auditing on every maintenance epoch
-#   server          scripted session through a live daemon vs the same
-#                   script applied library-direct (byte-identical streams)
+#   server          scripted session through a live thread-engine daemon
+#                   vs the same script applied library-direct
+#                   (byte-identical streams)
+#   server-reactor  same script through a reactor-engine daemon, driven
+#                   once over JSON frames and once over negotiated
+#                   binary frames, both byte-identical to library-direct
 #   resume          crash a journaled campaign at a fixed injected point,
 #                   resume from the journal, and require the resumed
 #                   artifacts byte-identical to an uninterrupted run
@@ -23,7 +27,7 @@
 set -euo pipefail
 
 if [ "$#" -lt 1 ]; then
-    echo "usage: $0 <core|mobility|loss|mobility-audit|server|resume> [...]" >&2
+    echo "usage: $0 <core|mobility|loss|mobility-audit|server|server-reactor|resume> [...]" >&2
     exit 2
 fi
 
@@ -53,7 +57,7 @@ axis_flags() {
                   --mobility rwp0.08x40p1,gm0.05x40"
             ;;
         *)
-            echo "unknown axis: $1 (want core, mobility, loss, mobility-audit, server, or resume)" >&2
+            echo "unknown axis: $1 (want core, mobility, loss, mobility-audit, server, server-reactor, or resume)" >&2
             exit 2
             ;;
     esac
@@ -84,11 +88,14 @@ resume_smoke() {
     cmp tresume_base.csv tresume_run.csv
 }
 
-# Server determinism: boot a unix-socket daemon, run a fixed churn-heavy
-# script through `client --script`, run the same script library-direct,
-# and require the two deterministic event streams to be byte-identical.
+# Server determinism: boot a unix-socket daemon on the given I/O engine
+# ($1: reactor|threads), run a fixed churn-heavy script through
+# `client --script` once per requested framing ($2...: "" for JSON,
+# "--binary" for negotiated binary frames), run the same script
+# library-direct, and require every stream byte-identical.
 server_smoke() {
-    local sock="tserver.sock" script="tserver.script" pid
+    local engine="$1"; shift
+    local sock="tserver-$engine.sock" script="tserver.script" pid framing tag
     rm -f "$sock"
     # Build up front so the daemon's socket-wait window below never
     # races a cold compile.
@@ -103,27 +110,39 @@ server_smoke() {
 {"cmd": "revive", "node": 3}
 {"cmd": "snapshot"}
 EOS
-    "${DSNET[@]}" serve --unix "$sock" --max-sessions 4 --quiet &
+    "${DSNET[@]}" serve --unix "$sock" --io "$engine" --max-sessions 4 --quiet &
     pid=$!
     for _ in $(seq 1 100); do
         [ -S "$sock" ] && break
         sleep 0.1
     done
     [ -S "$sock" ] || { echo "daemon did not come up" >&2; exit 1; }
-    "${DSNET[@]}" client --unix "$sock" --session smoke --script "$script" \
-        --nodes 40 --seed 2007 > tserver_client.stream
     "${DSNET[@]}" direct --script "$script" \
         --nodes 40 --seed 2007 > tserver_direct.stream
+    for framing in "$@"; do
+        tag=json
+        [ -n "$framing" ] && tag=binary
+        # shellcheck disable=SC2086  # framing is "" or a single flag
+        "${DSNET[@]}" client --unix "$sock" $framing \
+            --session "smoke-$tag" --script "$script" \
+            --nodes 40 --seed 2007 > "tserver_${engine}_${tag}.stream"
+        cmp "tserver_${engine}_${tag}.stream" tserver_direct.stream
+    done
     "${DSNET[@]}" client --unix "$sock" --shutdown > /dev/null
     wait "$pid"
-    cmp tserver_client.stream tserver_direct.stream
 }
 
 for axis in "$@"; do
     if [ "$axis" = server ]; then
         echo "=== determinism smoke: server ==="
-        server_smoke
-        echo "=== server: daemon and library-direct streams identical ==="
+        server_smoke threads ""
+        echo "=== server: thread-engine daemon and library-direct streams identical ==="
+        continue
+    fi
+    if [ "$axis" = server-reactor ]; then
+        echo "=== determinism smoke: server-reactor ==="
+        server_smoke reactor "" "--binary"
+        echo "=== server-reactor: reactor daemon (JSON and binary framing) matches library-direct ==="
         continue
     fi
     if [ "$axis" = resume ]; then

@@ -62,6 +62,8 @@ mod tests {
             names,
             [
                 "static_cff",
+                "static_cff_10k",
+                "static_cff_100k",
                 "static_dfo",
                 "lossy_rcff_repair",
                 "mobility_100ep",

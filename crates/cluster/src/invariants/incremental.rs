@@ -272,7 +272,7 @@ fn check_local(view: &NetView<'_>, u: NodeId, v: &mut Vec<Violation>) {
                     v.push(Violation::BadParentStatus { node: u, parent: p });
                 }
             }
-            for &c in tree.children(u) {
+            for c in tree.children(u) {
                 if view.status(c) != NodeStatus::ClusterHead {
                     v.push(Violation::BadChildStatus { node: u, child: c });
                 }
@@ -284,7 +284,7 @@ fn check_local(view: &NetView<'_>, u: NodeId, v: &mut Vec<Violation>) {
                     v.push(Violation::BadParentStatus { node: u, parent: p });
                 }
             }
-            for &c in tree.children(u) {
+            for c in tree.children(u) {
                 if view.status(c) == NodeStatus::ClusterHead {
                     v.push(Violation::BadChildStatus { node: u, child: c });
                 }

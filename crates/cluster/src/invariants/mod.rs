@@ -137,7 +137,7 @@ pub fn check_core(net: &ClusterNet) -> Result<(), Vec<Violation>> {
                 if net.status(p) != NodeStatus::ClusterHead {
                     v.push(Violation::BadParentStatus { node: u, parent: p });
                 }
-                for &c in tree.children(u) {
+                for c in tree.children(u) {
                     if net.status(c) != NodeStatus::ClusterHead {
                         v.push(Violation::BadChildStatus { node: u, child: c });
                     }
@@ -149,7 +149,7 @@ pub fn check_core(net: &ClusterNet) -> Result<(), Vec<Violation>> {
                         v.push(Violation::BadParentStatus { node: u, parent: p });
                     }
                 }
-                for &c in tree.children(u) {
+                for c in tree.children(u) {
                     if net.status(c) == NodeStatus::ClusterHead {
                         v.push(Violation::BadChildStatus { node: u, child: c });
                     }
@@ -211,8 +211,7 @@ pub fn check_growth(net: &ClusterNet) -> Result<(), Vec<Violation>> {
         if net.status(u) == NodeStatus::Gateway
             && !tree
                 .children(u)
-                .iter()
-                .any(|&c| net.status(c) == NodeStatus::ClusterHead)
+                .any(|c| net.status(c) == NodeStatus::ClusterHead)
         {
             v.push(Violation::GatewayWithoutHeadChild(u));
         }

@@ -252,7 +252,7 @@ impl ClusterNet {
         self.tree()
             .nodes()
             .filter(|&u| self.status[u.index()] == NodeStatus::ClusterHead)
-            .map(|h| (h, tree.children(h).to_vec()))
+            .map(|h| (h, tree.children(h).collect()))
             .collect()
     }
 

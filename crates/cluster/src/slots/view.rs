@@ -51,12 +51,7 @@ impl<'a> NetView<'a> {
     /// BT-internal: a backbone node with at least one backbone child —
     /// the transmitters of the phase-1 backbone flood.
     pub fn bt_internal(&self, u: NodeId) -> bool {
-        self.in_backbone(u)
-            && self
-                .tree
-                .children(u)
-                .iter()
-                .any(|&c| self.status(c).in_backbone())
+        self.in_backbone(u) && self.tree.children(u).any(|c| self.status(c).in_backbone())
     }
 
     /// CNet-internal: any node with children — the transmitters of the

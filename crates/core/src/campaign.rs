@@ -244,6 +244,7 @@ pub fn run_trial(trial: &Trial) -> TrialRecord {
         },
         max_retries: trial.max_retries,
         record_trace: trial.record_trace,
+        ..RunConfig::default()
     };
     let out = net.broadcast_from(protocol_of(trial.protocol), net.sink(), &cfg);
     TrialRecord {

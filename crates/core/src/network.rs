@@ -173,6 +173,37 @@ impl SensorNetwork {
         self.knowledge.stats()
     }
 
+    /// Partition the attached nodes into a deterministic grid of spatial
+    /// cells for sharded radio delivery (`RunConfig::shards`). The field
+    /// is cut into the smallest `k × k` grid with `k² ≥ target_cells`,
+    /// cells ordered row-major, node ids ascending within each cell;
+    /// nodes that drifted outside the region (mobility) clamp to the
+    /// border cells. Empty cells are kept — the engine treats them as
+    /// no-ops, and the partition is invisible in every run output.
+    pub fn shard_plan(&self, target_cells: usize) -> Arc<dsnet_radio::ShardPlan> {
+        let region = &self.deployment.config.region;
+        let (w, h) = (region.width(), region.height());
+        let k = (target_cells.max(1) as f64).sqrt().ceil() as usize;
+        let k = if w > 0.0 && h > 0.0 { k.max(1) } else { 1 };
+        let (cw, ch) = (w / k as f64, h / k as f64);
+        let mut cells: Vec<Vec<NodeId>> = vec![Vec::new(); k * k];
+        for u in self.net().graph().nodes() {
+            let p = self.positions[u.index()];
+            let cx = if cw > 0.0 {
+                ((p.x / cw).floor() as i64).clamp(0, k as i64 - 1) as usize
+            } else {
+                0
+            };
+            let cy = if ch > 0.0 {
+                ((p.y / ch).floor() as i64).clamp(0, k as i64 - 1) as usize
+            } else {
+                0
+            };
+            cells[cy * k + cx].push(u);
+        }
+        Arc::new(dsnet_radio::ShardPlan::from_cells(cells))
+    }
+
     /// Structural summary (Figures 10/11 quantities).
     pub fn stats(&self) -> NetworkStats {
         let net = self.net();

@@ -168,6 +168,8 @@ pub const SCHEMA_V1: &str = "dsnet-bench-ledger/1";
 /// | name | what it exercises | full | quick |
 /// |---|---|---|---|
 /// | `static_cff` | engine inner loop + knowledge cache, improved CFF | 500 n × 1200 reps | 120 n × 20 reps |
+/// | `static_cff_10k` | SoA engine + sharded delivery on a density-scaled field | 10k n × 20 reps | 2k n × 3 reps |
+/// | `static_cff_100k` | the 100k-node tentpole: same path at full scale | 100k n × 2 reps | 20k n × 1 rep |
 /// | `static_dfo` | DFO token walk on the same deployment | 500 n × 60 reps | 120 n × 5 reps |
 /// | `lossy_rcff_repair` | reliable CFF, 10% loss, backbone failure + repair, via the campaign engine | 150 n × 150 reps | 50 n × 2 reps |
 /// | `mobility_100ep` | random-waypoint motion + live maintenance, via the campaign engine | 120 n × 3 reps × 100 epochs | 40 n × 2 reps × 10 epochs |
@@ -175,6 +177,8 @@ pub const SCHEMA_V1: &str = "dsnet-bench-ledger/1";
 pub fn run_suite(opts: &PerfOptions) -> Ledger {
     let scenarios = vec![
         run_static(opts, "static_cff", Protocol::ImprovedCff),
+        run_static_scaled(opts, "static_cff_10k"),
+        run_static_scaled(opts, "static_cff_100k"),
         run_static(opts, "static_dfo", Protocol::Dfo),
         run_lossy_rcff_repair(opts),
         run_mobility(opts, "mobility_100ep"),
@@ -215,6 +219,48 @@ fn run_static(opts: &PerfOptions, name: &'static str, protocol: Protocol) -> Sce
         let (mut rounds, mut delivered, mut targets) = (0u64, 0u64, 0u64);
         for _ in 0..reps {
             let out = net.broadcast_from(protocol, sink, &cfg);
+            rounds += out.rounds;
+            delivered += out.delivered as u64;
+            targets += out.targets as u64;
+        }
+        (rounds, delivered, targets)
+    })
+}
+
+/// Density-scaled unit-disk fields at 10k/100k nodes: the struct-of-arrays
+/// engine with cell-sharded delivery and sleep skipping, warm knowledge
+/// cache. The field side grows as `sqrt(n / 5)` so node density (and
+/// therefore per-node degree) stays constant while `n` scales — these
+/// scenarios measure the engine's per-round cost, not a densifying graph.
+/// `--threads` selects the intra-run worker count; the counters are
+/// thread-invariant by the engine's determinism contract.
+fn run_static_scaled(opts: &PerfOptions, name: &'static str) -> ScenarioResult {
+    let (nodes, reps): (usize, u64) = match (name, opts.quick) {
+        ("static_cff_10k", false) => (10_000, 20),
+        ("static_cff_10k", true) => (2_000, 3),
+        ("static_cff_100k", false) => (100_000, 2),
+        _ => (20_000, 1),
+    };
+    let side = (nodes as f64 / 5.0).sqrt();
+    let net = NetworkBuilder::paper_field(side, nodes, 7)
+        .build()
+        .expect("incremental deployments always build");
+    let threads = if opts.threads == 0 {
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    } else {
+        opts.threads
+    };
+    let cfg = RunConfig {
+        record_trace: false,
+        shards: Some(net.shard_plan(64)),
+        threads,
+        ..RunConfig::default()
+    };
+    let sink = net.sink();
+    best_of(name, nodes as u64, reps, passes(opts), || {
+        let (mut rounds, mut delivered, mut targets) = (0u64, 0u64, 0u64);
+        for _ in 0..reps {
+            let out = net.broadcast_from(Protocol::ImprovedCff, sink, &cfg);
             rounds += out.rounds;
             delivered += out.delivered as u64;
             targets += out.targets as u64;

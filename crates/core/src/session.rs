@@ -377,6 +377,7 @@ impl NetSession {
                 loss,
                 max_retries: retries,
                 record_trace: true,
+                ..RunConfig::default()
             };
             let out = self.net.broadcast_from(protocol, src, &cfg);
             let delivery_ppm = (out.delivery_ratio() * 1e6).round() as i64;

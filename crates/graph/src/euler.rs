@@ -45,7 +45,7 @@ pub fn euler_tour(tree: &RootedTree, start: NodeId) -> Vec<(NodeId, NodeId)> {
 
 /// Tree neighbours of `u`: its children followed by its parent, if any.
 fn tree_neighbors(tree: &RootedTree, u: NodeId) -> Vec<NodeId> {
-    let mut nbrs: Vec<NodeId> = tree.children(u).to_vec();
+    let mut nbrs: Vec<NodeId> = tree.children(u).collect();
     if let Some(p) = tree.parent(u) {
         nbrs.push(p);
     }

@@ -5,8 +5,19 @@
 //! detaching whole subtrees (`node-move-out`). [`RootedTree`] provides that
 //! dynamic rooted-tree substrate with maintained depths, plus the queries
 //! (children, subtree enumeration, height) the protocols need.
+//!
+//! Children are stored in a left-child/right-sibling slab: four dense
+//! `u32` arrays indexed by node id (`first_child`, `last_child`,
+//! `next_sib`, `prev_sib`) instead of one `Vec<NodeId>` per node. At the
+//! 100k-node scale this removes ~n separate heap allocations from every
+//! tree build and keeps sibling walks on contiguous memory; attachment
+//! order is preserved (new children append at the tail) and both attach
+//! and unlink are O(1).
 
 use crate::graph::NodeId;
+
+/// Sentinel for "no node" in the sibling-slab arrays.
+const NONE: u32 = u32::MAX;
 
 /// A dynamic rooted tree over node ids (ids index into dense vectors; the
 /// tree may cover any subset of the id space).
@@ -25,7 +36,16 @@ use crate::graph::NodeId;
 pub struct RootedTree {
     root: NodeId,
     parent: Vec<Option<NodeId>>,
-    children: Vec<Vec<NodeId>>,
+    /// Head of each node's child list (`NONE` for leaves).
+    first_child: Vec<u32>,
+    /// Tail of each node's child list; lets attach append in O(1) while
+    /// preserving attachment order.
+    last_child: Vec<u32>,
+    /// Next younger sibling of each node (`NONE` at the tail).
+    next_sib: Vec<u32>,
+    /// Next older sibling of each node (`NONE` at the head); makes unlink
+    /// O(1) and reverse sibling walks allocation-free.
+    prev_sib: Vec<u32>,
     depth: Vec<u32>,
     in_tree: Vec<bool>,
     count: usize,
@@ -36,13 +56,38 @@ pub struct RootedTree {
     max_depth: u32,
 }
 
+/// Iterator over a node's children in attachment order (a walk down the
+/// sibling slab). Returned by [`RootedTree::children`].
+#[derive(Debug, Clone)]
+pub struct ChildIter<'a> {
+    next_sib: &'a [u32],
+    cur: u32,
+}
+
+impl Iterator for ChildIter<'_> {
+    type Item = NodeId;
+
+    #[inline]
+    fn next(&mut self) -> Option<NodeId> {
+        if self.cur == NONE {
+            return None;
+        }
+        let id = NodeId(self.cur);
+        self.cur = self.next_sib[self.cur as usize];
+        Some(id)
+    }
+}
+
 impl RootedTree {
     /// A tree containing only `root`.
     pub fn new(root: NodeId) -> Self {
         let mut t = Self {
             root,
             parent: Vec::new(),
-            children: Vec::new(),
+            first_child: Vec::new(),
+            last_child: Vec::new(),
+            next_sib: Vec::new(),
+            prev_sib: Vec::new(),
             depth: Vec::new(),
             in_tree: Vec::new(),
             count: 0,
@@ -74,7 +119,10 @@ impl RootedTree {
     fn ensure_capacity(&mut self, cap: usize) {
         if self.parent.len() < cap {
             self.parent.resize(cap, None);
-            self.children.resize(cap, Vec::new());
+            self.first_child.resize(cap, NONE);
+            self.last_child.resize(cap, NONE);
+            self.next_sib.resize(cap, NONE);
+            self.prev_sib.resize(cap, NONE);
             self.depth.resize(cap, 0);
             self.in_tree.resize(cap, false);
         }
@@ -111,9 +159,17 @@ impl RootedTree {
     }
 
     /// Children of `u`, in attachment order.
-    pub fn children(&self, u: NodeId) -> &[NodeId] {
+    pub fn children(&self, u: NodeId) -> ChildIter<'_> {
         self.assert_contains(u);
-        &self.children[u.index()]
+        ChildIter {
+            next_sib: &self.next_sib,
+            cur: self.first_child[u.index()],
+        }
+    }
+
+    /// Number of children of `u` (a sibling-list walk: O(degree)).
+    pub fn child_count(&self, u: NodeId) -> usize {
+        self.children(u).count()
     }
 
     /// Depth of `u` (root has depth 0).
@@ -124,7 +180,8 @@ impl RootedTree {
 
     /// Whether `u` has no children.
     pub fn is_leaf(&self, u: NodeId) -> bool {
-        self.children(u).is_empty()
+        self.assert_contains(u);
+        self.first_child[u.index()] == NONE
     }
 
     /// Whether `u` has at least one child. The paper calls these the
@@ -138,13 +195,42 @@ impl RootedTree {
         self.assert_contains(parent);
         assert!(!self.contains(child), "node {child} is already in the tree");
         self.ensure_capacity(child.index() + 1);
-        self.in_tree[child.index()] = true;
-        self.parent[child.index()] = Some(parent);
-        let d = self.depth[parent.index()] + 1;
-        self.depth[child.index()] = d;
-        self.children[parent.index()].push(child);
+        let (ci, pi) = (child.index(), parent.index());
+        self.in_tree[ci] = true;
+        self.parent[ci] = Some(parent);
+        let d = self.depth[pi] + 1;
+        self.depth[ci] = d;
+        // Append at the tail of the sibling list: attachment order is part
+        // of the API (preorder walks and slot assignment depend on it).
+        let tail = self.last_child[pi];
+        self.prev_sib[ci] = tail;
+        self.next_sib[ci] = NONE;
+        if tail == NONE {
+            self.first_child[pi] = child.0;
+        } else {
+            self.next_sib[tail as usize] = child.0;
+        }
+        self.last_child[pi] = child.0;
         self.count += 1;
         self.count_depth(d);
+    }
+
+    /// Splice `u` out of its parent's sibling list (O(1)).
+    fn unlink(&mut self, u: NodeId, parent: NodeId) {
+        let (ui, pi) = (u.index(), parent.index());
+        let (prev, next) = (self.prev_sib[ui], self.next_sib[ui]);
+        if prev == NONE {
+            self.first_child[pi] = next;
+        } else {
+            self.next_sib[prev as usize] = next;
+        }
+        if next == NONE {
+            self.last_child[pi] = prev;
+        } else {
+            self.prev_sib[next as usize] = prev;
+        }
+        self.prev_sib[ui] = NONE;
+        self.next_sib[ui] = NONE;
     }
 
     /// Detach the leaf `u` from the tree. Panics if `u` has children or is
@@ -153,7 +239,7 @@ impl RootedTree {
         self.assert_contains(u);
         assert!(self.is_leaf(u), "node {u} is not a leaf");
         let p = self.parent[u.index()].expect("cannot detach the root");
-        self.children[p.index()].retain(|&c| c != u);
+        self.unlink(u, p);
         self.parent[u.index()] = None;
         self.in_tree[u.index()] = false;
         self.count -= 1;
@@ -166,13 +252,17 @@ impl RootedTree {
     pub fn detach_subtree(&mut self, u: NodeId) -> Vec<NodeId> {
         let nodes = self.subtree_nodes(u);
         if let Some(p) = self.parent[u.index()] {
-            self.children[p.index()].retain(|&c| c != u);
+            self.unlink(u, p);
         }
         for &v in &nodes {
-            self.parent[v.index()] = None;
-            self.children[v.index()].clear();
-            self.in_tree[v.index()] = false;
-            self.uncount_depth(self.depth[v.index()]);
+            let vi = v.index();
+            self.parent[vi] = None;
+            self.first_child[vi] = NONE;
+            self.last_child[vi] = NONE;
+            self.next_sib[vi] = NONE;
+            self.prev_sib[vi] = NONE;
+            self.in_tree[vi] = false;
+            self.uncount_depth(self.depth[vi]);
         }
         self.count -= nodes.len();
         nodes
@@ -185,9 +275,12 @@ impl RootedTree {
         let mut stack = vec![u];
         while let Some(v) = stack.pop() {
             out.push(v);
-            // Reverse so preorder visits children in attachment order.
-            for &c in self.children[v.index()].iter().rev() {
-                stack.push(c);
+            // Walk siblings youngest-first so the stack pops children in
+            // attachment order (preorder contract).
+            let mut c = self.last_child[v.index()];
+            while c != NONE {
+                stack.push(NodeId(c));
+                c = self.prev_sib[c as usize];
             }
         }
         out
@@ -248,8 +341,9 @@ impl RootedTree {
         levels
     }
 
-    /// Verify structural invariants (parent/children symmetry, depth
-    /// correctness, acyclicity via node count). Used by tests.
+    /// Verify structural invariants (parent/children symmetry, sibling-slab
+    /// link symmetry, depth correctness, acyclicity via node count). Used
+    /// by tests.
     pub fn check_invariants(&self) {
         let mut visited = 0usize;
         let mut stack = vec![self.root];
@@ -257,16 +351,28 @@ impl RootedTree {
         assert_eq!(self.depth[self.root.index()], 0);
         while let Some(u) = stack.pop() {
             visited += 1;
-            for &c in &self.children[u.index()] {
+            let mut prev = NONE;
+            for c in self.children(u) {
                 assert!(self.contains(c));
                 assert_eq!(
                     self.parent[c.index()],
                     Some(u),
                     "parent/child mismatch at {c}"
                 );
+                assert_eq!(
+                    self.prev_sib[c.index()],
+                    prev,
+                    "sibling back-link mismatch at {c}"
+                );
                 assert_eq!(self.depth[c.index()], self.depth[u.index()] + 1);
                 stack.push(c);
+                prev = c.0;
             }
+            assert_eq!(
+                self.last_child[u.index()],
+                prev,
+                "child-list tail mismatch at {u}"
+            );
         }
         assert_eq!(visited, self.count, "unreachable nodes or cycle");
     }
@@ -286,12 +392,17 @@ mod tests {
         t
     }
 
+    fn kids(t: &RootedTree, u: NodeId) -> Vec<NodeId> {
+        t.children(u).collect()
+    }
+
     #[test]
     fn attach_maintains_depth_and_children() {
         let t = sample();
         assert_eq!(t.len(), 5);
         assert_eq!(t.depth(NodeId(3)), 2);
-        assert_eq!(t.children(NodeId(1)), &[NodeId(3), NodeId(4)]);
+        assert_eq!(kids(&t, NodeId(1)), vec![NodeId(3), NodeId(4)]);
+        assert_eq!(t.child_count(NodeId(1)), 2);
         assert_eq!(t.parent(NodeId(2)), Some(NodeId(0)));
         assert_eq!(t.height(), 2);
         t.check_invariants();
@@ -302,8 +413,23 @@ mod tests {
         let mut t = sample();
         t.detach_leaf(NodeId(4));
         assert!(!t.contains(NodeId(4)));
-        assert_eq!(t.children(NodeId(1)), &[NodeId(3)]);
+        assert_eq!(kids(&t, NodeId(1)), vec![NodeId(3)]);
         assert_eq!(t.len(), 4);
+        t.check_invariants();
+    }
+
+    #[test]
+    fn detach_middle_sibling_preserves_order() {
+        let mut t = RootedTree::new(NodeId(0));
+        for i in 1..=4 {
+            t.attach(NodeId(i), NodeId(0));
+        }
+        t.detach_leaf(NodeId(2));
+        assert_eq!(kids(&t, NodeId(0)), vec![NodeId(1), NodeId(3), NodeId(4)]);
+        t.detach_leaf(NodeId(4));
+        assert_eq!(kids(&t, NodeId(0)), vec![NodeId(1), NodeId(3)]);
+        t.attach(NodeId(2), NodeId(0));
+        assert_eq!(kids(&t, NodeId(0)), vec![NodeId(1), NodeId(3), NodeId(2)]);
         t.check_invariants();
     }
 
@@ -322,6 +448,17 @@ mod tests {
         assert_eq!(t.len(), 2);
         assert!(t.contains(NodeId(2)));
         assert!(!t.contains(NodeId(3)));
+        t.check_invariants();
+    }
+
+    #[test]
+    fn reattach_after_subtree_detach_is_clean() {
+        let mut t = sample();
+        t.detach_subtree(NodeId(1));
+        t.attach(NodeId(1), NodeId(2));
+        t.attach(NodeId(4), NodeId(1));
+        assert_eq!(kids(&t, NodeId(1)), vec![NodeId(4)]);
+        assert_eq!(t.depth(NodeId(4)), 3);
         t.check_invariants();
     }
 

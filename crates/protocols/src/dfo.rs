@@ -219,7 +219,7 @@ mod tests {
         let (_rounds, programs) = run_dfo_raw(&net, net.root());
         let bt = net.backbone_tree();
         for u in bt.nodes() {
-            let deg = bt.children(u).len() + usize::from(bt.parent(u).is_some());
+            let deg = bt.child_count(u) + usize::from(bt.parent(u).is_some());
             assert_eq!(
                 programs[u.index()].as_ref().unwrap().transmissions,
                 deg as u64,

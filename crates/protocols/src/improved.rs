@@ -300,6 +300,85 @@ impl NodeProgram for Cff2Program {
         };
         rx_ok && tx_ok && uplink_ok
     }
+
+    /// The TDM schedule makes every awake round computable in advance,
+    /// which is what lets the engine skip the long sleeps between a
+    /// node's windows: per Theorem 1(2) a node is awake `O(δ·k + Δ)`
+    /// rounds, so a 100k-node run costs awake-work, not `n × rounds`.
+    /// Every skipped round provably falls through `act()` to
+    /// `Action::Sleep` without touching state: transmissions, window
+    /// listens and the end-of-schedule `finished` flip are all
+    /// enumerated below, and reception (the only other state change)
+    /// can only happen in a listen round, after which the engine
+    /// re-consults this hint.
+    fn next_wake(&self, now: Round) -> Option<Round> {
+        // `done()` is monotone for this program — nothing it depends on
+        // can un-happen — so a done node never needs to act again.
+        if self.done() {
+            return Some(Round::MAX);
+        }
+        let s = &self.sched;
+        // Acting at end_round flips `finished`; never sleep past it.
+        let mut w = s.end_round;
+        let now_ = now;
+        let cand = |w: &mut Round, r: Round| {
+            if r > now_ && r < *w {
+                *w = r;
+            }
+        };
+
+        // Source→root climb: listen every round until our path position,
+        // relay one round after it.
+        if let Some(pos) = self.uplink_pos {
+            if !self.received && now < pos.min(s.offset) {
+                cand(&mut w, now + 1);
+            }
+            if self.received && !self.uplink_sent && pos < s.offset {
+                cand(&mut w, pos + 1);
+            }
+        }
+
+        // Phase 1: own b-slot once the message is held; the depth-above
+        // window (or just the expected slot's round, k > 1) until then.
+        if self.in_backbone {
+            if self.part.tx && self.bt_internal && !self.p1_sent && self.received {
+                if let Some(slot) = self.b_slot {
+                    cand(&mut w, s.p1_tx(self.depth, slot).0);
+                }
+            }
+            if (self.part.rx || self.part.tx) && !self.received && self.depth >= 1 {
+                let win_start = s.offset + (self.depth as u64 - 1) * s.wb;
+                match self.expected_b.filter(|_| s.channels > 1) {
+                    Some(slot) => cand(&mut w, win_start + s.map_slot(slot).0),
+                    None => {
+                        let r = (now + 1).max(win_start + 1);
+                        if r <= win_start + s.wb {
+                            cand(&mut w, r);
+                        }
+                    }
+                }
+            }
+        }
+
+        // Phase 2: own l-slot / the shared leaf window.
+        if self.part.tx && self.cnet_internal && !self.p2_sent && self.received {
+            if let Some(slot) = self.l_slot {
+                cand(&mut w, s.p2_tx(slot).0);
+            }
+        }
+        if self.part.rx && !self.received && !self.in_backbone {
+            match self.expected_l.filter(|_| s.channels > 1) {
+                Some(slot) => cand(&mut w, s.p2_start + s.map_slot(slot).0),
+                None => {
+                    let r = (now + 1).max(s.p2_start + 1);
+                    if r <= s.p2_start + s.wl {
+                        cand(&mut w, r);
+                    }
+                }
+            }
+        }
+        Some(w)
+    }
 }
 
 #[cfg(test)]

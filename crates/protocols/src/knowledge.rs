@@ -194,12 +194,7 @@ pub fn build_knowledge(net: &ClusterNet) -> NetKnowledge {
 
         let mut bt_neighbors: Vec<NodeId> = Vec::new();
         if status.in_backbone() {
-            bt_neighbors.extend(
-                tree.children(u)
-                    .iter()
-                    .copied()
-                    .filter(|&c| net.status(c).in_backbone()),
-            );
+            bt_neighbors.extend(tree.children(u).filter(|&c| net.status(c).in_backbone()));
             if let Some(p) = tree.parent(u) {
                 bt_neighbors.push(p);
             }

@@ -15,9 +15,10 @@ use crate::{analytic, multicast};
 use dsnet_cluster::{ClusterNet, GroupId, McNet, NodeStatus};
 use dsnet_graph::NodeId;
 use dsnet_radio::{
-    EnergyReport, Engine, EngineConfig, FailurePlan, LossModel, NodeProgram, StopReason, Trace,
-    TraceEvent,
+    EnergyReport, Engine, EngineConfig, FailurePlan, LossModel, NodeProgram, ShardPlan, StopReason,
+    Trace, TraceEvent,
 };
+use std::sync::Arc;
 
 /// Options shared by all protocol runs.
 #[derive(Debug, Clone)]
@@ -34,6 +35,14 @@ pub struct RunConfig {
     /// [`BroadcastOutcome::coverage`]). On by default; turn off for large
     /// sweeps that don't read either.
     pub record_trace: bool,
+    /// Spatial cell partition for sharded delivery resolution (see
+    /// `SensorNetwork::shard_plan`). `None` = one implicit cell. The
+    /// partition is invisible in every output — traces, meters and
+    /// counters are byte-identical with or without it.
+    pub shards: Option<Arc<ShardPlan>>,
+    /// Worker threads for intra-run parallel delivery (`> 1` resolves
+    /// the shard cells concurrently; outputs stay byte-identical).
+    pub threads: usize,
 }
 
 impl Default for RunConfig {
@@ -44,6 +53,8 @@ impl Default for RunConfig {
             loss: LossModel::none(),
             max_retries: 2,
             record_trace: true,
+            shards: None,
+            threads: 1,
         }
     }
 }
@@ -221,7 +232,7 @@ fn uplink_positions(net: &ClusterNet, source: NodeId) -> Vec<Option<u64>> {
 /// and trace. One body instead of four copies — and the trace comes back
 /// by value (via `Engine::into_parts`) so traced variants cost no clone.
 #[allow(clippy::too_many_arguments)] // internal plumbing, one call site per runner
-fn drive<P: NodeProgram>(
+fn drive<P: NodeProgram + Send>(
     net: &ClusterNet,
     source: NodeId,
     cfg: &RunConfig,
@@ -230,11 +241,21 @@ fn drive<P: NodeProgram>(
     targets: &[NodeId],
     make: impl FnMut(NodeId) -> P,
     received_flag: impl Fn(&P) -> bool,
-) -> (BroadcastOutcome, Vec<bool>, Trace) {
+) -> (BroadcastOutcome, Vec<bool>, Trace)
+where
+    P::Msg: Send + Sync,
+{
     let mut engine = Engine::new(net.graph(), engine_config(cfg, max_rounds), make);
     engine.set_failures(cfg.failures.clone());
     engine.set_loss(cfg.loss);
-    let out = engine.run();
+    if let Some(plan) = &cfg.shards {
+        engine.set_shards((**plan).clone(), cfg.threads);
+    }
+    let out = if cfg.threads > 1 {
+        engine.run_parallel()
+    } else {
+        engine.run()
+    };
     let collisions = engine.trace().try_collision_count();
     let energy = engine.energy_report();
     let coverage = coverage_from_trace(engine.trace(), source, targets);

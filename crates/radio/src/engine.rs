@@ -1,12 +1,52 @@
 //! The lock-step execution engine.
+//!
+//! # Round structure (cell-sharded)
+//!
+//! Every round runs in three passes over the node-id cells of the
+//! installed [`ShardPlan`] (a single implicit cell unless one is set):
+//!
+//! 1. **Act** — each due node's `act()` fills flat struct-of-arrays
+//!    scratch tables: `tx_on` (transmit channel per id), `listen_on`,
+//!    and `tx_msg` (the message, stored only for transmitters).
+//! 2. **Resolve** — each listening node scans its CSR adjacency row
+//!    against the *global* `tx_on` table, buffers its dropped
+//!    receptions in per-cell scratch, and applies `on_receive` for
+//!    clean single-transmitter rounds. Writes stay within the node's
+//!    own cell, so cells resolve independently (and, under
+//!    [`Engine::run_parallel`], concurrently).
+//! 3. **Merge** — the per-cell buffers are serialised into the trace
+//!    in canonical global id order and the done/undone counters are
+//!    aggregated, in deterministic cell order.
+//!
+//! Delivery is a pure function of the transmit table, graph, failure
+//! plan and the stateless per-(seed, link, round) loss hash, so the
+//! cell structure and worker count are invisible in every output: the
+//! event stream, energy meters and counters are byte-identical across
+//! 1 cell, N cells, 1 thread and N threads.
+//!
+//! # Sleep skipping
+//!
+//! Programs may implement [`NodeProgram::next_wake`] to declare the
+//! next round they could possibly act in. The engine then skips their
+//! `act()` calls entirely for the intervening rounds, crediting the
+//! skipped rounds to the sleep meter in one batch. Because a skipped
+//! node neither transmits, listens, nor mutates state, the run is
+//! observationally identical to consulting it every round — this is
+//! what makes 100k-node fields cheap: per Theorem 1 a CFF node is
+//! awake O(δ·k + Δ) rounds, so simulation cost tracks *energy*, not
+//! `n × rounds`. Hints are ignored when a failure plan is installed
+//! (dead rounds must not be mis-credited as sleep).
 
 use crate::action::Action;
 use crate::energy::{EnergyMeter, EnergyReport};
 use crate::failure::FailurePlan;
 use crate::loss::LossModel;
+use crate::shard::ShardPlan;
 use crate::trace::{Trace, TraceEvent};
 use crate::Round;
 use dsnet_graph::{Graph, NodeId};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Barrier;
 
 /// Read-only per-callback context handed to node programs.
 #[derive(Debug, Clone, Copy)]
@@ -42,6 +82,21 @@ pub trait NodeProgram {
     /// ends early once every live node is done.
     fn done(&self) -> bool {
         false
+    }
+
+    /// Earliest future round in which this node might do anything other
+    /// than sleep, given its state after the `now` callbacks. Returning
+    /// `Some(w)` promises that every `act()` between `now` and `w`
+    /// (exclusive) would return [`Action::Sleep`] *without mutating any
+    /// state* — the engine then skips those calls and batch-credits the
+    /// sleep meter. `None` (the default) means "consult me every round".
+    ///
+    /// The hint is consulted again after every callback, so a program
+    /// woken early by `on_receive` can shorten its own schedule. Hints
+    /// are ignored while a failure plan is installed.
+    fn next_wake(&self, now: Round) -> Option<Round> {
+        let _ = now;
+        None
     }
 }
 
@@ -94,6 +149,346 @@ pub struct RunOutcome {
 /// Valid channels are `< config.channels ≤ 255`, so 255 never collides.
 const NO_TX: u8 = u8::MAX;
 
+/// Wake sentinel for id slots that never act (no program).
+const NEVER: Round = Round::MAX;
+
+/// A reception destroyed by channel loss, buffered per cell during the
+/// resolve pass. `pos` is the index of `from` in `to`'s adjacency row,
+/// so sorting by `(to, pos)` reproduces the order a sequential
+/// listener-by-listener scan would have emitted the drops in.
+#[derive(Debug, Clone, Copy)]
+struct DropRec {
+    to: u32,
+    pos: u32,
+    from: u32,
+}
+
+/// Per-cell scratch, reused across rounds. Written only by the worker
+/// that owns the cell; read by the main thread during the merge pass.
+#[derive(Debug, Default)]
+struct CellScratch {
+    /// Nodes consulted this round (ascending ids — cell order).
+    active: Vec<u32>,
+    /// Dropped receptions recorded by this cell's listeners.
+    drops: Vec<DropRec>,
+    /// Net change this round to the global not-yet-done count.
+    undone_delta: i64,
+}
+
+/// Raw views of the per-node struct-of-arrays tables, so the act and
+/// resolve passes can be shared verbatim between the sequential and the
+/// scoped-thread paths. Within a round, each node id is touched by
+/// exactly one cell and each cell by exactly one worker, so all writes
+/// through these pointers are disjoint; cross-cell *reads* (`tx_on`,
+/// `tx_msg`) only target values frozen by the previous pass barrier.
+struct Tables<P: NodeProgram> {
+    programs: *mut Option<P>,
+    meters: *mut EnergyMeter,
+    wake: *mut Round,
+    last_acct: *mut Round,
+    done_flag: *mut bool,
+    tx_on: *mut u8,
+    listen_on: *mut u8,
+    tx_msg: *mut Option<P::Msg>,
+    rx_count: *mut u32,
+    rx_from: *mut u32,
+}
+
+impl<P: NodeProgram> Clone for Tables<P> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<P: NodeProgram> Copy for Tables<P> {}
+
+// Safety: see `Tables` — per-node writes are partitioned by cell, and
+// the barrier protocol orders cross-cell reads after the writes they
+// observe. `P: Send` lets `&mut P` callbacks run on a worker thread;
+// `P::Msg: Sync + Send` covers cross-thread `&Msg` reads and the final
+// drop of buffered messages on the main thread.
+unsafe impl<P: NodeProgram + Send> Send for Tables<P> where P::Msg: Send + Sync {}
+unsafe impl<P: NodeProgram + Send> Sync for Tables<P> where P::Msg: Send + Sync {}
+
+/// Pointer to the per-cell scratch array, shared across workers that
+/// index disjoint cells.
+struct CellsPtr(*mut CellScratch);
+unsafe impl Send for CellsPtr {}
+unsafe impl Sync for CellsPtr {}
+
+/// Shared read-only inputs of the act/resolve passes.
+struct PassEnv<'a> {
+    csr_off: &'a [u32],
+    csr_adj: &'a [NodeId],
+    failures: &'a FailurePlan,
+    failures_empty: bool,
+    loss: LossModel,
+    channels: u8,
+    /// Sleep-skip hints honoured (no failure plan installed).
+    hints: bool,
+    trace_enabled: bool,
+}
+
+/// Act pass over one cell: clear the previous round's marks, consult
+/// every due node, and fill the transmit/listen tables.
+///
+/// Safety: `sc` must be the exclusive scratch of this cell and `cell`
+/// must contain only ids owned by it (guaranteed by `ShardPlan`).
+unsafe fn pass_act<P: NodeProgram>(
+    env: &PassEnv<'_>,
+    t: Tables<P>,
+    cell: &[u32],
+    sc: &mut CellScratch,
+    round: Round,
+) {
+    for &iu in &sc.active {
+        let i = iu as usize;
+        *t.tx_on.add(i) = NO_TX;
+        *t.listen_on.add(i) = NO_TX;
+    }
+    sc.active.clear();
+    sc.drops.clear();
+    sc.undone_delta = 0;
+    for &iu in cell {
+        let i = iu as usize;
+        if *t.wake.add(i) > round {
+            continue;
+        }
+        let id = NodeId(iu);
+        if !env.failures_empty && env.failures.node_dead(id, round) {
+            continue;
+        }
+        if env.hints {
+            let last = *t.last_acct.add(i);
+            if round > last + 1 {
+                // Rounds skipped on a wake hint are, by contract, sleep.
+                (*t.meters.add(i)).sleep_rounds += round - last - 1;
+            }
+        }
+        *t.last_acct.add(i) = round;
+        let ctx = NodeCtx {
+            id,
+            round,
+            channels: env.channels,
+        };
+        match (*t.programs.add(i)).as_mut().unwrap().act(&ctx) {
+            Action::Transmit { channel, msg } => {
+                assert!(
+                    channel < env.channels,
+                    "node {id} used channel {channel} but only {} exist",
+                    env.channels
+                );
+                *t.tx_on.add(i) = channel;
+                *t.tx_msg.add(i) = Some(msg);
+            }
+            Action::Listen { channel } => {
+                assert!(
+                    channel < env.channels,
+                    "node {id} used channel {channel} but only {} exist",
+                    env.channels
+                );
+                *t.listen_on.add(i) = channel;
+            }
+            Action::Sleep => {}
+        }
+        sc.active.push(iu);
+    }
+}
+
+/// Resolve pass over one cell: meter energy, scan listeners' CSR rows
+/// against the global transmit table, apply receptions, and refresh
+/// each consulted node's wake hint and done flag.
+///
+/// Safety: as for [`pass_act`]; additionally all `pass_act` writes must
+/// be complete (barrier in the parallel path).
+unsafe fn pass_resolve<P: NodeProgram>(
+    env: &PassEnv<'_>,
+    t: Tables<P>,
+    sc: &mut CellScratch,
+    round: Round,
+) {
+    let CellScratch {
+        active,
+        drops,
+        undone_delta,
+    } = sc;
+    for &iu in active.iter() {
+        let i = iu as usize;
+        let id = NodeId(iu);
+        if *t.tx_on.add(i) != NO_TX {
+            (*t.meters.add(i)).record_tx(round);
+        } else {
+            let ch = *t.listen_on.add(i);
+            if ch == NO_TX {
+                (*t.meters.add(i)).record_sleep();
+            } else {
+                (*t.meters.add(i)).record_listen(round);
+                // Count live neighbours transmitting on our channel over a
+                // live link. The flat `tx_on` byte table filters out silent
+                // neighbours before any map probe or message access.
+                let row = env.csr_off[i] as usize..env.csr_off[i + 1] as usize;
+                let mut tx_count = 0u32;
+                let mut tx_from = 0u32;
+                for (pos, &v) in env.csr_adj[row].iter().enumerate() {
+                    if *t.tx_on.add(v.index()) != ch {
+                        continue;
+                    }
+                    if !env.failures_empty && env.failures.link_dead(id, v, round) {
+                        continue;
+                    }
+                    if env.loss.dropped(v, id, round) {
+                        if env.trace_enabled {
+                            drops.push(DropRec {
+                                to: iu,
+                                pos: pos as u32,
+                                from: v.0,
+                            });
+                        }
+                        continue;
+                    }
+                    tx_count += 1;
+                    tx_from = v.0;
+                }
+                *t.rx_count.add(i) = tx_count;
+                *t.rx_from.add(i) = tx_from;
+                if tx_count == 1 {
+                    // Hand the message over by reference straight out of
+                    // the sender's slot — no per-delivery clone. The slot
+                    // was filled this round (the sender is on the air) and
+                    // no act pass runs concurrently with resolve.
+                    let msg = (*t.tx_msg.add(tx_from as usize)).as_ref().unwrap();
+                    let ctx = NodeCtx {
+                        id,
+                        round,
+                        channels: env.channels,
+                    };
+                    (*t.programs.add(i))
+                        .as_mut()
+                        .unwrap()
+                        .on_receive(&ctx, NodeId(tx_from), msg);
+                }
+            }
+        }
+        let p = (*t.programs.add(i)).as_ref().unwrap();
+        *t.wake.add(i) = if env.hints {
+            match p.next_wake(round) {
+                Some(w) => w.max(round + 1),
+                None => round + 1,
+            }
+        } else {
+            round + 1
+        };
+        let now_done = p.done();
+        let flag = &mut *t.done_flag.add(i);
+        if now_done != *flag {
+            *undone_delta += if now_done { -1 } else { 1 };
+            *flag = now_done;
+        }
+    }
+}
+
+/// Merge pass (main thread): serialise the per-cell buffers into the
+/// trace in canonical global id order. Reproduces byte-for-byte the
+/// event order of a plain sequential scan over all nodes: per active
+/// node either its `Transmit`, or — for listeners — its `LinkDrop`s in
+/// adjacency order followed by its `Deliver`/`Collision`.
+#[allow(clippy::too_many_arguments)]
+unsafe fn emit_round<P: NodeProgram>(
+    t: Tables<P>,
+    cells: &CellsPtr,
+    n_cells: usize,
+    trace: &mut Trace,
+    order: &mut Vec<u32>,
+    drop_buf: &mut Vec<DropRec>,
+    round: Round,
+) {
+    order.clear();
+    drop_buf.clear();
+    for c in 0..n_cells {
+        let sc = &*cells.0.add(c);
+        order.extend_from_slice(&sc.active);
+        drop_buf.extend_from_slice(&sc.drops);
+    }
+    order.sort_unstable();
+    drop_buf.sort_unstable_by_key(|d| (d.to, d.pos));
+    let mut next_drop = 0usize;
+    for &iu in order.iter() {
+        let i = iu as usize;
+        let id = NodeId(iu);
+        let txc = *t.tx_on.add(i);
+        if txc != NO_TX {
+            trace.push(TraceEvent::Transmit {
+                round,
+                node: id,
+                channel: txc,
+            });
+            continue;
+        }
+        let ch = *t.listen_on.add(i);
+        if ch == NO_TX {
+            continue;
+        }
+        while next_drop < drop_buf.len() && drop_buf[next_drop].to == iu {
+            trace.push(TraceEvent::LinkDrop {
+                round,
+                from: NodeId(drop_buf[next_drop].from),
+                to: id,
+                channel: ch,
+            });
+            next_drop += 1;
+        }
+        match *t.rx_count.add(i) {
+            0 => {}
+            1 => trace.push(TraceEvent::Deliver {
+                round,
+                from: NodeId(*t.rx_from.add(i)),
+                to: id,
+                channel: ch,
+            }),
+            n => trace.push(TraceEvent::Collision {
+                round,
+                node: id,
+                channel: ch,
+                transmitters: n,
+            }),
+        }
+    }
+}
+
+/// Borrow the shared pass inputs field-by-field (not via `&self`, so
+/// the trace and scratch fields stay independently borrowable).
+macro_rules! pass_env {
+    ($e:expr) => {
+        PassEnv {
+            csr_off: &$e.csr_off,
+            csr_adj: &$e.csr_adj,
+            failures: &$e.failures,
+            failures_empty: $e.failures_empty,
+            loss: $e.loss,
+            channels: $e.config.channels,
+            hints: $e.failures_empty,
+            trace_enabled: $e.trace.is_enabled(),
+        }
+    };
+}
+
+/// Build the raw table views out of the engine's field vectors.
+macro_rules! tables {
+    ($e:expr) => {
+        Tables {
+            programs: $e.programs.as_mut_ptr(),
+            meters: $e.meters.as_mut_ptr(),
+            wake: $e.wake.as_mut_ptr(),
+            last_acct: $e.last_acct.as_mut_ptr(),
+            done_flag: $e.done_flag.as_mut_ptr(),
+            tx_on: $e.tx_on.as_mut_ptr(),
+            listen_on: $e.listen_on.as_mut_ptr(),
+            tx_msg: $e.tx_msg.as_mut_ptr(),
+            rx_count: $e.rx_count.as_mut_ptr(),
+            rx_from: $e.rx_from.as_mut_ptr(),
+        }
+    };
+}
+
 /// Lock-step simulator binding one [`NodeProgram`] to each live graph node.
 pub struct Engine<'g, P: NodeProgram> {
     graph: &'g Graph,
@@ -110,12 +505,40 @@ pub struct Engine<'g, P: NodeProgram> {
     loss: LossModel,
     trace: Trace,
     round: Round,
-    /// Scratch: this round's action per node id (None = dead or absent).
-    actions: Vec<Option<Action<P::Msg>>>,
+    /// Flattened CSR adjacency (`csr_off[i]..csr_off[i+1]` indexes
+    /// `csr_adj`): one contiguous scan per listener instead of a
+    /// pointer-chase into per-node vectors.
+    csr_off: Vec<u32>,
+    csr_adj: Vec<NodeId>,
+    /// Installed cell partition (single implicit cell until set).
+    plan: Option<ShardPlan>,
+    /// Worker threads for [`Engine::run_parallel`].
+    threads: usize,
     /// Scratch: this round's transmit channel per node id ([`NO_TX`] =
-    /// silent). A flat byte table makes the phase-2 receiver scan a cache
-    /// line read instead of an enum match over potentially large messages.
+    /// silent).
     tx_on: Vec<u8>,
+    /// Scratch: this round's listen channel per node id ([`NO_TX`] = not
+    /// listening).
+    listen_on: Vec<u8>,
+    /// Scratch: in-flight message per *transmitting* node id. Stale slots
+    /// of earlier rounds are never read (the `tx_on` filter runs first).
+    tx_msg: Vec<Option<P::Msg>>,
+    /// Scratch: resolved transmitter count / sole sender per listener.
+    rx_count: Vec<u32>,
+    rx_from: Vec<u32>,
+    /// Next round each node must be consulted in ([`NEVER`] = no program).
+    wake: Vec<Round>,
+    /// Last round accounted in the node's energy meter (sleep batching).
+    last_acct: Vec<Round>,
+    /// Cached `done()` per node, maintained incrementally.
+    done_flag: Vec<bool>,
+    /// Number of program-bearing nodes with `done_flag == false`.
+    undone: usize,
+    /// Per-cell scratch, one entry per plan cell.
+    cells_scratch: Vec<CellScratch>,
+    /// Merge-pass scratch (id order / sorted drops).
+    order: Vec<u32>,
+    drop_buf: Vec<DropRec>,
 }
 
 impl<'g, P: NodeProgram> Engine<'g, P> {
@@ -125,10 +548,31 @@ impl<'g, P: NodeProgram> Engine<'g, P> {
         assert!(config.channels >= 1, "at least one radio channel required");
         let cap = graph.capacity();
         let mut programs: Vec<Option<P>> = Vec::with_capacity(cap);
+        let mut wake = vec![NEVER; cap];
+        let mut done_flag = vec![false; cap];
+        let mut undone = 0usize;
         for i in 0..cap {
             let id = NodeId(i as u32);
-            programs.push(graph.is_live(id).then(|| make(id)));
+            let p = graph.is_live(id).then(|| make(id));
+            if let Some(p) = &p {
+                wake[i] = 1;
+                done_flag[i] = p.done();
+                if !done_flag[i] {
+                    undone += 1;
+                }
+            }
+            programs.push(p);
         }
+        let mut csr_off = Vec::with_capacity(cap + 1);
+        let mut csr_adj = Vec::with_capacity(graph.edge_count() * 2);
+        for i in 0..cap {
+            csr_off.push(csr_adj.len() as u32);
+            let id = NodeId(i as u32);
+            if graph.is_live(id) {
+                csr_adj.extend_from_slice(graph.neighbors(id));
+            }
+        }
+        csr_off.push(csr_adj.len() as u32);
         Self {
             graph,
             config,
@@ -146,8 +590,22 @@ impl<'g, P: NodeProgram> Engine<'g, P> {
                 Trace::disabled()
             },
             round: 0,
-            actions: (0..cap).map(|_| None).collect(),
+            csr_off,
+            csr_adj,
+            plan: None,
+            threads: 1,
             tx_on: vec![NO_TX; cap],
+            listen_on: vec![NO_TX; cap],
+            tx_msg: (0..cap).map(|_| None).collect(),
+            rx_count: vec![0; cap],
+            rx_from: vec![0; cap],
+            wake,
+            last_acct: vec![0; cap],
+            done_flag,
+            undone,
+            cells_scratch: Vec::new(),
+            order: Vec::new(),
+            drop_buf: Vec::new(),
         }
     }
 
@@ -163,6 +621,37 @@ impl<'g, P: NodeProgram> Engine<'g, P> {
     /// Install a lossy-channel model (replaces any previous one).
     pub fn set_loss(&mut self, loss: LossModel) {
         self.loss = loss;
+    }
+
+    /// Install a cell partition and a worker-thread count for
+    /// [`Engine::run_parallel`]. The plan must cover exactly the
+    /// program-bearing node ids. The partition and thread count are
+    /// invisible in every output — they only change *where* each node's
+    /// round is resolved.
+    pub fn set_shards(&mut self, plan: ShardPlan, threads: usize) {
+        let cap = self.programs.len();
+        let mut covered = vec![false; cap];
+        for cell in plan.cells() {
+            for &iu in cell {
+                let i = iu as usize;
+                assert!(
+                    i < cap && self.programs[i].is_some(),
+                    "shard plan names node {iu} which has no program"
+                );
+                covered[i] = true;
+            }
+        }
+        for (i, p) in self.programs.iter().enumerate() {
+            assert!(p.is_none() || covered[i], "shard plan misses live node {i}");
+        }
+        self.plan = Some(plan);
+        self.threads = threads.max(1);
+        self.cells_scratch.clear();
+    }
+
+    /// The connectivity graph the engine runs against.
+    pub fn graph(&self) -> &'g Graph {
+        self.graph
     }
 
     /// Rounds executed so far.
@@ -208,22 +697,26 @@ impl<'g, P: NodeProgram> Engine<'g, P> {
         (self.trace, self.programs)
     }
 
-    fn alive(&self, id: NodeId, round: Round) -> bool {
-        self.programs[id.index()].is_some()
-            && self.graph.is_live(id)
-            && (self.failures_empty || !self.failures.node_dead(id, round))
+    /// Materialise the default single-cell plan and size the per-cell
+    /// scratch. Idempotent.
+    fn ensure_plan(&mut self) {
+        if self.plan.is_none() {
+            let ids: Vec<NodeId> = (0..self.programs.len())
+                .filter(|&i| self.programs[i].is_some())
+                .map(|i| NodeId(i as u32))
+                .collect();
+            self.plan = Some(ShardPlan::single(ids));
+        }
+        let n_cells = self.plan.as_ref().unwrap().cell_count();
+        if self.cells_scratch.len() != n_cells {
+            self.cells_scratch = (0..n_cells).map(|_| CellScratch::default()).collect();
+        }
     }
 
-    /// Execute a single round. Returns `true` if every live node is done
-    /// (checked *after* the round).
-    pub fn step(&mut self) -> bool {
-        self.round += 1;
-        let round = self.round;
-        let channels = self.config.channels;
-
-        // Death/revival notifications (trace only — the network can't
-        // observe them). `affected_sorted` is precomputed in id order by
-        // `set_failures`, so no per-round collection or sort happens here.
+    /// Death/revival notifications (trace only — the network can't
+    /// observe them). `affected_sorted` is precomputed in id order by
+    /// `set_failures`, so no per-round collection or sort happens here.
+    fn trace_failures(&mut self, round: Round) {
         if self.trace.is_enabled() && !self.affected_sorted.is_empty() {
             for &node in &self.affected_sorted {
                 if self.failures.dies_at(node, round) {
@@ -233,132 +726,19 @@ impl<'g, P: NodeProgram> Engine<'g, P> {
                 }
             }
         }
+    }
 
-        // Phase 1: collect actions and fill the transmit-channel table.
-        for i in 0..self.programs.len() {
-            let id = NodeId(i as u32);
-            self.actions[i] = None;
-            self.tx_on[i] = NO_TX;
-            if !self.alive(id, round) {
-                continue;
-            }
-            let ctx = NodeCtx {
-                id,
-                round,
-                channels,
-            };
-            let action = self.programs[i].as_mut().unwrap().act(&ctx);
-            match &action {
-                Action::Transmit { channel, .. } => {
-                    assert!(
-                        *channel < channels,
-                        "node {id} used channel {channel} but only {channels} exist"
-                    );
-                    self.tx_on[i] = *channel;
-                }
-                Action::Listen { channel } => {
-                    assert!(
-                        *channel < channels,
-                        "node {id} used channel {channel} but only {channels} exist"
-                    );
-                }
-                Action::Sleep => {}
-            }
-            self.actions[i] = Some(action);
-        }
-
-        // Phase 2: resolve receptions and meter energy. Fields are split
-        // into disjoint borrows so a delivered message can be handed to the
-        // receiver by reference straight out of the sender's action slot —
-        // no per-delivery clone.
-        let programs = &mut self.programs;
-        let actions = &self.actions;
-        let meters = &mut self.meters;
-        let trace = &mut self.trace;
-        let tx_on = &self.tx_on;
-        let graph = self.graph;
-        let failures = &self.failures;
-        let failures_empty = self.failures_empty;
-        let loss = &self.loss;
-        for i in 0..programs.len() {
-            let id = NodeId(i as u32);
-            let Some(action) = &actions[i] else {
-                continue;
-            };
-            match action {
-                Action::Transmit { channel, .. } => {
-                    meters[i].record_tx(round);
-                    trace.push(TraceEvent::Transmit {
-                        round,
-                        node: id,
-                        channel: *channel,
-                    });
-                }
-                Action::Sleep => meters[i].record_sleep(),
-                Action::Listen { channel } => {
-                    meters[i].record_listen(round);
-                    let ch = *channel;
-                    // Count live neighbours transmitting on our channel over
-                    // a live link. The flat `tx_on` byte table filters out
-                    // silent neighbours before any enum match or map probe.
-                    let mut tx_from: Option<NodeId> = None;
-                    let mut tx_count = 0u32;
-                    for &v in graph.neighbors(id) {
-                        if tx_on[v.index()] != ch {
-                            continue;
-                        }
-                        if !failures_empty && failures.link_dead(id, v, round) {
-                            continue;
-                        }
-                        if loss.dropped(v, id, round) {
-                            trace.push(TraceEvent::LinkDrop {
-                                round,
-                                from: v,
-                                to: id,
-                                channel: ch,
-                            });
-                            continue;
-                        }
-                        tx_count += 1;
-                        tx_from = Some(v);
-                    }
-                    match tx_count {
-                        1 => {
-                            let from = tx_from.unwrap();
-                            let msg = match &actions[from.index()] {
-                                Some(Action::Transmit { msg, .. }) => msg,
-                                _ => unreachable!(),
-                            };
-                            trace.push(TraceEvent::Deliver {
-                                round,
-                                from,
-                                to: id,
-                                channel: ch,
-                            });
-                            let ctx = NodeCtx {
-                                id,
-                                round,
-                                channels,
-                            };
-                            programs[i].as_mut().unwrap().on_receive(&ctx, from, msg);
-                        }
-                        0 => {}
-                        n => {
-                            trace.push(TraceEvent::Collision {
-                                round,
-                                node: id,
-                                channel: ch,
-                                transmitters: n,
-                            });
-                        }
-                    }
-                }
-            }
-        }
-
-        // Done check over nodes still alive this round.
+    /// Aggregate the per-cell done deltas (or, with failures installed,
+    /// re-scan exactly like the pre-sharding engine did: nodes dead in
+    /// `round + 1` don't block completion while they're dark).
+    fn round_done(&mut self, round: Round) -> bool {
         if self.failures_empty {
-            self.programs.iter().flatten().all(|p| p.done())
+            let mut undone = self.undone as i64;
+            for sc in &self.cells_scratch {
+                undone += sc.undone_delta;
+            }
+            self.undone = undone as usize;
+            self.undone == 0
         } else {
             self.programs
                 .iter()
@@ -370,408 +750,206 @@ impl<'g, P: NodeProgram> Engine<'g, P> {
         }
     }
 
+    /// Credit every remaining hinted-away round as sleep, so meters read
+    /// identically to a run that consulted each node every round.
+    fn flush_sleep(&mut self) {
+        if !self.failures_empty {
+            return;
+        }
+        let end = self.round;
+        for (i, p) in self.programs.iter().enumerate() {
+            if p.is_some() && end > self.last_acct[i] {
+                self.meters[i].sleep_rounds += end - self.last_acct[i];
+                self.last_acct[i] = end;
+            }
+        }
+    }
+
+    /// Execute a single round sequentially. Returns `true` if every live
+    /// node is done (checked *after* the round).
+    ///
+    /// Note for direct steppers: batched sleep credits are flushed by
+    /// [`Engine::run`]/[`Engine::run_parallel`]; after raw `step()` calls
+    /// the sleep meters of programs with wake hints lag until the next
+    /// consultation.
+    pub fn step(&mut self) -> bool {
+        self.ensure_plan();
+        self.round += 1;
+        let round = self.round;
+        self.trace_failures(round);
+        let t = tables!(self);
+        let env = pass_env!(self);
+        let plan = self.plan.as_ref().unwrap();
+        let cells = plan.cells();
+        // Safety: sequential — one thread touches every cell, and the
+        // raw table views don't alias the plan/scratch/trace fields.
+        unsafe {
+            for (c, cell) in cells.iter().enumerate() {
+                pass_act(
+                    &env,
+                    t,
+                    cell,
+                    &mut *self.cells_scratch.as_mut_ptr().add(c),
+                    round,
+                );
+            }
+            for c in 0..cells.len() {
+                pass_resolve(&env, t, &mut *self.cells_scratch.as_mut_ptr().add(c), round);
+            }
+        }
+        if self.trace.is_enabled() {
+            let cells_ptr = CellsPtr(self.cells_scratch.as_mut_ptr());
+            let n_cells = self.cells_scratch.len();
+            unsafe {
+                emit_round(
+                    t,
+                    &cells_ptr,
+                    n_cells,
+                    &mut self.trace,
+                    &mut self.order,
+                    &mut self.drop_buf,
+                    round,
+                );
+            }
+        }
+        self.round_done(round)
+    }
+
     /// Run until all live nodes are done or the round limit is hit.
     pub fn run(&mut self) -> RunOutcome {
+        let mut stop = StopReason::RoundLimit;
         while self.round < self.config.max_rounds {
             if self.step() {
-                return RunOutcome {
-                    rounds: self.round,
-                    stop: StopReason::AllDone,
-                };
+                stop = StopReason::AllDone;
+                break;
             }
         }
+        self.flush_sleep();
         RunOutcome {
             rounds: self.round,
-            stop: StopReason::RoundLimit,
-        }
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    /// Simple flooding program used to exercise the engine: the source
-    /// transmits once in round 1; every node that has the message transmits
-    /// once in the round after it received it. With collisions this may
-    /// fail to cover the graph — that is the point of the model.
-    struct Flood {
-        has_msg: bool,
-        sent: bool,
-        tx_round: Option<Round>,
-        received_round: Option<Round>,
-    }
-
-    impl Flood {
-        fn source() -> Self {
-            Flood {
-                has_msg: true,
-                sent: false,
-                tx_round: Some(1),
-                received_round: Some(0),
-            }
-        }
-        fn idle() -> Self {
-            Flood {
-                has_msg: false,
-                sent: false,
-                tx_round: None,
-                received_round: None,
-            }
+            stop,
         }
     }
 
-    impl NodeProgram for Flood {
-        type Msg = u32;
-        fn act(&mut self, ctx: &NodeCtx) -> Action<u32> {
-            if self.has_msg && !self.sent && self.tx_round == Some(ctx.round) {
-                self.sent = true;
-                return Action::transmit(42);
+    /// Run with the installed shard plan resolved by `threads` scoped
+    /// workers. Produces byte-identical traces, meters and outcomes to
+    /// [`Engine::run`] — the cells are resolved concurrently but merged
+    /// in the same canonical order.
+    pub fn run_parallel(&mut self) -> RunOutcome
+    where
+        P: Send,
+        P::Msg: Send + Sync,
+    {
+        self.ensure_plan();
+        let threads = self.threads.min(self.cells_scratch.len().max(1));
+        if threads <= 1 {
+            return self.run();
+        }
+        let max_rounds = self.config.max_rounds;
+        let cap = self.programs.len();
+        let t = tables!(self);
+        let cells_ptr = CellsPtr(self.cells_scratch.as_mut_ptr());
+        let n_cells = self.cells_scratch.len();
+        let env = pass_env!(self);
+        let plan = self.plan.as_ref().unwrap();
+        let trace = &mut self.trace;
+        let order = &mut self.order;
+        let drop_buf = &mut self.drop_buf;
+        let affected = &self.affected_sorted;
+        let round_now = AtomicU64::new(self.round);
+        let stop_flag = AtomicBool::new(false);
+        let gate_a = Barrier::new(threads + 1);
+        let gate_b = Barrier::new(threads + 1);
+        let gate_c = Barrier::new(threads + 1);
+        let mut round = self.round;
+        let mut undone = self.undone as i64;
+        let mut stop = StopReason::RoundLimit;
+        std::thread::scope(|s| {
+            for w in 0..threads {
+                let env = &env;
+                let plan = &*plan;
+                let cells_ptr = &cells_ptr;
+                let round_now = &round_now;
+                let stop_flag = &stop_flag;
+                let (gate_a, gate_b, gate_c) = (&gate_a, &gate_b, &gate_c);
+                s.spawn(move || loop {
+                    gate_a.wait();
+                    if stop_flag.load(Ordering::Acquire) {
+                        break;
+                    }
+                    let round = round_now.load(Ordering::Acquire);
+                    // Static cell → worker map: any map works (outputs
+                    // are partition-invariant); a fixed one keeps each
+                    // cell's scratch on one thread for the whole run.
+                    unsafe {
+                        for c in (w..plan.cells().len()).step_by(threads) {
+                            let sc = &mut *cells_ptr.0.add(c);
+                            pass_act(env, t, &plan.cells()[c], sc, round);
+                        }
+                    }
+                    gate_b.wait();
+                    unsafe {
+                        for c in (w..plan.cells().len()).step_by(threads) {
+                            let sc = &mut *cells_ptr.0.add(c);
+                            pass_resolve(env, t, sc, round);
+                        }
+                    }
+                    gate_c.wait();
+                });
             }
-            if self.has_msg && self.sent {
-                Action::Sleep
-            } else {
-                Action::listen()
-            }
-        }
-        fn on_receive(&mut self, ctx: &NodeCtx, _from: NodeId, msg: &u32) {
-            assert_eq!(*msg, 42);
-            if !self.has_msg {
-                self.has_msg = true;
-                self.received_round = Some(ctx.round);
-                self.tx_round = Some(ctx.round + 1);
-            }
-        }
-        fn done(&self) -> bool {
-            self.has_msg && self.sent
-        }
-    }
-
-    fn path(n: usize) -> Graph {
-        let mut g = Graph::with_nodes(n);
-        for i in 1..n {
-            g.add_edge(NodeId(i as u32 - 1), NodeId(i as u32));
-        }
-        g
-    }
-
-    fn engine_on_path(n: usize) -> Engine<'static, Flood> {
-        let g = Box::leak(Box::new(path(n)));
-        Engine::new(
-            g,
-            EngineConfig {
-                record_trace: true,
-                ..Default::default()
-            },
-            |id| {
-                if id == NodeId(0) {
-                    Flood::source()
-                } else {
-                    Flood::idle()
+            while round < max_rounds {
+                round += 1;
+                // Death/revival prologue (main thread owns the trace).
+                if trace.is_enabled() && !affected.is_empty() {
+                    for &node in affected.iter() {
+                        if env.failures.dies_at(node, round) {
+                            trace.push(TraceEvent::NodeDeath { round, node });
+                        } else if env.failures.revives_at(node, round) {
+                            trace.push(TraceEvent::NodeRevive { round, node });
+                        }
+                    }
                 }
-            },
-        )
-    }
-
-    #[test]
-    fn flood_travels_one_hop_per_round_on_a_path() {
-        let mut e = engine_on_path(5);
-        let out = e.run();
-        assert_eq!(out.stop, StopReason::AllDone);
-        // Node i receives in round i, transmits in round i+1; last node (4)
-        // receives in round 4 and transmits in round 5.
-        assert_eq!(out.rounds, 5);
-        for i in 1..5u32 {
-            assert_eq!(e.program(NodeId(i)).unwrap().received_round, Some(i as u64));
-        }
-        assert_eq!(e.trace().collision_count(), 0);
-    }
-
-    #[test]
-    fn collision_destroys_reception() {
-        // Triangle-free star: 0 and 2 both adjacent to 1 only.
-        let mut g = Graph::with_nodes(3);
-        g.add_edge(NodeId(0), NodeId(1));
-        g.add_edge(NodeId(2), NodeId(1));
-        // Both endpoints are sources transmitting in round 1 → node 1 hears
-        // nothing and never gets the message.
-        struct TwoSources;
-        let mut e = Engine::new(
-            &g,
-            EngineConfig {
-                max_rounds: 3,
-                record_trace: true,
-                ..Default::default()
-            },
-            |id| {
-                let _ = TwoSources;
-                if id == NodeId(1) {
-                    Flood::idle()
-                } else {
-                    Flood::source()
+                round_now.store(round, Ordering::Release);
+                gate_a.wait();
+                gate_b.wait();
+                gate_c.wait();
+                if trace.is_enabled() {
+                    unsafe {
+                        emit_round(t, &cells_ptr, n_cells, trace, order, drop_buf, round);
+                    }
                 }
-            },
-        );
-        let out = e.run();
-        assert_eq!(out.stop, StopReason::RoundLimit);
-        assert!(!e.program(NodeId(1)).unwrap().has_msg);
-        assert_eq!(e.trace().collision_count(), 1);
-        assert_eq!(e.trace().delivery_count(), 0);
-    }
-
-    #[test]
-    fn channels_isolate_transmissions() {
-        // Node 1 listens on channel 1 while 0 transmits on 0 and 2 on 1:
-        // only the channel-1 transmission is heard, no collision.
-        struct Fixed(Action<u32>);
-        impl NodeProgram for Fixed {
-            type Msg = u32;
-            fn act(&mut self, _ctx: &NodeCtx) -> Action<u32> {
-                self.0.clone()
+                let done = if env.failures_empty {
+                    unsafe {
+                        for c in 0..n_cells {
+                            undone += (*cells_ptr.0.add(c)).undone_delta;
+                        }
+                    }
+                    undone == 0
+                } else {
+                    // Same dead-node-exempt scan as the sequential path.
+                    unsafe {
+                        (0..cap).all(|i| match (*t.programs.add(i)).as_ref() {
+                            None => true,
+                            Some(p) => {
+                                p.done() || env.failures.node_dead(NodeId(i as u32), round + 1)
+                            }
+                        })
+                    }
+                };
+                if done {
+                    stop = StopReason::AllDone;
+                    break;
+                }
             }
-            fn on_receive(&mut self, _ctx: &NodeCtx, from: NodeId, msg: &u32) {
-                assert_eq!(from, NodeId(2));
-                assert_eq!(*msg, 7);
-            }
-        }
-        let mut g = Graph::with_nodes(3);
-        g.add_edge(NodeId(0), NodeId(1));
-        g.add_edge(NodeId(2), NodeId(1));
-        let mut e = Engine::new(
-            &g,
-            EngineConfig {
-                channels: 2,
-                max_rounds: 1,
-                record_trace: true,
-            },
-            |id| match id.0 {
-                0 => Fixed(Action::Transmit { channel: 0, msg: 9 }),
-                2 => Fixed(Action::Transmit { channel: 1, msg: 7 }),
-                _ => Fixed(Action::Listen { channel: 1 }),
-            },
-        );
-        e.run();
-        assert_eq!(e.trace().delivery_count(), 1);
-        assert_eq!(e.trace().collision_count(), 0);
-    }
-
-    #[test]
-    fn dead_nodes_do_not_transmit_or_receive() {
-        let mut e = engine_on_path(4);
-        let mut plan = FailurePlan::new();
-        plan.kill_node(NodeId(2), 1);
-        e.set_failures(plan);
-        let out = e.run();
-        // Flood stalls at node 2: nodes 2 and 3 never get the message.
-        assert_eq!(out.stop, StopReason::RoundLimit);
-        assert!(e.program(NodeId(1)).unwrap().has_msg);
-        assert!(!e.program(NodeId(3)).unwrap().has_msg);
-    }
-
-    #[test]
-    fn link_failure_blocks_delivery() {
-        let mut e = engine_on_path(3);
-        let mut plan = FailurePlan::new();
-        plan.kill_link(NodeId(1), NodeId(2), 1);
-        e.set_failures(plan);
-        e.run();
-        assert!(e.program(NodeId(1)).unwrap().has_msg);
-        assert!(!e.program(NodeId(2)).unwrap().has_msg);
-    }
-
-    #[test]
-    fn energy_is_metered() {
-        let mut e = engine_on_path(2);
-        let out = e.run();
-        assert_eq!(out.rounds, 2);
-        // Source: tx in round 1, sleeps in round 2.
-        assert_eq!(e.meter(NodeId(0)).tx_rounds, 1);
-        assert_eq!(e.meter(NodeId(0)).sleep_rounds, 1);
-        // Receiver: listens round 1, transmits round 2.
-        assert_eq!(e.meter(NodeId(1)).listen_rounds, 1);
-        assert_eq!(e.meter(NodeId(1)).tx_rounds, 1);
-        let report = e.energy_report();
-        assert_eq!(report.max_awake, 2);
-        assert_eq!(report.nodes, 2);
-    }
-
-    /// Transmits the beacon value every round, forever.
-    struct Beacon;
-    impl NodeProgram for Beacon {
-        type Msg = u32;
-        fn act(&mut self, _ctx: &NodeCtx) -> Action<u32> {
-            Action::transmit(7)
-        }
-        fn on_receive(&mut self, _ctx: &NodeCtx, _from: NodeId, _msg: &u32) {}
-    }
-
-    /// Listens every round, remembering the rounds it heard something.
-    struct Ear {
-        heard: Vec<Round>,
-    }
-    impl NodeProgram for Ear {
-        type Msg = u32;
-        fn act(&mut self, _ctx: &NodeCtx) -> Action<u32> {
-            Action::listen()
-        }
-        fn on_receive(&mut self, ctx: &NodeCtx, _from: NodeId, _msg: &u32) {
-            self.heard.push(ctx.round);
-        }
-    }
-
-    /// Beacon → Ear pair, dispatching per node id.
-    enum Pair {
-        B(Beacon),
-        E(Ear),
-    }
-    impl NodeProgram for Pair {
-        type Msg = u32;
-        fn act(&mut self, ctx: &NodeCtx) -> Action<u32> {
-            match self {
-                Pair::B(p) => p.act(ctx),
-                Pair::E(p) => p.act(ctx),
-            }
-        }
-        fn on_receive(&mut self, ctx: &NodeCtx, from: NodeId, msg: &u32) {
-            match self {
-                Pair::B(p) => p.on_receive(ctx, from, msg),
-                Pair::E(p) => p.on_receive(ctx, from, msg),
-            }
-        }
-    }
-
-    fn beacon_pair(max_rounds: Round) -> (&'static Graph, EngineConfig) {
-        let g = Box::leak(Box::new(path(2)));
-        let cfg = EngineConfig {
-            max_rounds,
-            record_trace: true,
-            ..Default::default()
-        };
-        (g, cfg)
-    }
-
-    fn make_pair(id: NodeId) -> Pair {
-        if id == NodeId(0) {
-            Pair::B(Beacon)
-        } else {
-            Pair::E(Ear { heard: Vec::new() })
-        }
-    }
-
-    fn heard(e: &Engine<'_, Pair>, id: NodeId) -> Vec<Round> {
-        match e.program(id).unwrap() {
-            Pair::E(ear) => ear.heard.clone(),
-            Pair::B(_) => panic!("not an ear"),
-        }
-    }
-
-    #[test]
-    fn total_loss_silences_the_channel() {
-        let (g, cfg) = beacon_pair(6);
-        let mut e = Engine::new(g, cfg, make_pair);
-        e.set_loss(LossModel::from_probability(1.0, 11));
-        e.run();
-        assert_eq!(heard(&e, NodeId(1)), Vec::<Round>::new());
-        assert_eq!(e.trace().delivery_count(), 0);
-        assert_eq!(e.trace().try_drop_count(), Some(6));
-        // Drops are not collisions — the receiver just hears silence.
-        assert_eq!(e.trace().collision_count(), 0);
-    }
-
-    #[test]
-    fn partial_loss_drops_some_receptions_deterministically() {
-        let run = || {
-            let (g, cfg) = beacon_pair(64);
-            let mut e = Engine::new(g, cfg, make_pair);
-            e.set_loss(LossModel::from_probability(0.5, 3));
-            e.run();
-            heard(&e, NodeId(1))
-        };
-        let a = run();
-        assert!(!a.is_empty() && a.len() < 64, "heard {} of 64", a.len());
-        assert_eq!(a, run());
-    }
-
-    #[test]
-    fn lossless_model_changes_nothing() {
-        let (g, cfg) = beacon_pair(6);
-        let mut e = Engine::new(g, cfg, make_pair);
-        e.set_loss(LossModel::none());
-        e.run();
-        assert_eq!(heard(&e, NodeId(1)), vec![1, 2, 3, 4, 5, 6]);
-        assert_eq!(e.trace().try_drop_count(), Some(0));
-    }
-
-    #[test]
-    fn revived_node_resumes_receiving() {
-        let (g, cfg) = beacon_pair(6);
-        let mut e = Engine::new(g, cfg, make_pair);
-        let mut plan = FailurePlan::new();
-        plan.kill_node_for(NodeId(1), 3, 2); // dead rounds 3, 4
-        e.set_failures(plan);
-        e.run();
-        assert_eq!(heard(&e, NodeId(1)), vec![1, 2, 5, 6]);
-        let ev = e.trace().events();
-        assert!(ev.contains(&TraceEvent::NodeDeath {
-            round: 3,
-            node: NodeId(1)
-        }));
-        assert!(ev.contains(&TraceEvent::NodeRevive {
-            round: 5,
-            node: NodeId(1)
-        }));
-    }
-
-    #[test]
-    fn revived_node_resumes_transmitting() {
-        // 0 —— 1: the *beacon* suffers the outage; the ear hears the gap.
-        let g = Box::leak(Box::new(path(2)));
-        let cfg = EngineConfig {
-            max_rounds: 6,
-            record_trace: true,
-            ..Default::default()
-        };
-        let mut e = Engine::new(g, cfg, |id| {
-            if id == NodeId(0) {
-                Pair::E(Ear { heard: Vec::new() })
-            } else {
-                Pair::B(Beacon)
-            }
+            stop_flag.store(true, Ordering::Release);
+            gate_a.wait();
         });
-        let mut plan = FailurePlan::new();
-        plan.kill_node_for(NodeId(1), 2, 3); // dark rounds 2, 3, 4
-        e.set_failures(plan);
-        e.run();
-        assert_eq!(heard(&e, NodeId(0)), vec![1, 5, 6]);
-    }
-
-    #[test]
-    fn revival_composes_with_link_kills() {
-        // Node 1 revives at round 5, but the link dies at round 6: it hears
-        // exactly one more beacon and then permanent silence.
-        let (g, cfg) = beacon_pair(10);
-        let mut e = Engine::new(g, cfg, make_pair);
-        let mut plan = FailurePlan::new();
-        plan.kill_node_for(NodeId(1), 3, 2); // dead rounds 3, 4
-        plan.kill_link(NodeId(0), NodeId(1), 6);
-        e.set_failures(plan);
-        e.run();
-        assert_eq!(heard(&e, NodeId(1)), vec![1, 2, 5]);
-    }
-
-    #[test]
-    #[should_panic(expected = "used channel")]
-    fn out_of_range_channel_panics() {
-        struct Bad;
-        impl NodeProgram for Bad {
-            type Msg = ();
-            fn act(&mut self, _ctx: &NodeCtx) -> Action<()> {
-                Action::Listen { channel: 3 }
-            }
-            fn on_receive(&mut self, _ctx: &NodeCtx, _from: NodeId, _msg: &()) {}
+        self.round = round;
+        self.undone = undone.max(0) as usize;
+        self.flush_sleep();
+        RunOutcome {
+            rounds: round,
+            stop,
         }
-        let g = path(1);
-        let mut e = Engine::new(&g, EngineConfig::default(), |_| Bad);
-        e.step();
     }
 }

@@ -26,6 +26,7 @@ pub mod energy;
 pub mod engine;
 pub mod failure;
 pub mod loss;
+pub mod shard;
 pub mod trace;
 
 pub use action::{Action, Channel};
@@ -33,6 +34,7 @@ pub use energy::{EnergyMeter, EnergyReport};
 pub use engine::{Engine, EngineConfig, NodeCtx, NodeProgram, RunOutcome, StopReason};
 pub use failure::FailurePlan;
 pub use loss::LossModel;
+pub use shard::ShardPlan;
 pub use trace::{Trace, TraceEvent};
 
 /// Rounds are numbered from 1, matching the paper's "transmits at round

@@ -15,6 +15,8 @@
 //!                 [--journal FILE | --resume FILE]
 //! dsnet perf      [--quick] [--threads T] [--out BENCH.json] [--date YYYY-MM-DD] \
 //!                 [--compare BASELINE.json] [--max-regress 0.15] [--quiet]
+//! dsnet scale     --nodes 10000 --seed 7 [--threads T] [--shards CELLS] \
+//!                 [--protocol cff|cff1|rcff|dfo] [--channels k] [--quiet]
 //! dsnet serve     [--tcp ADDR] [--unix PATH] [--max-sessions N] \
 //!                 [--io reactor|threads] [--shards N] [--poll-ms MS] [--quiet]
 //! dsnet client    (--tcp ADDR | --unix PATH) [--session NAME] [--binary] \
@@ -26,7 +28,10 @@
 //! ```
 //!
 //! Every command is deterministic per `--seed`; `campaign` artifacts are
-//! additionally byte-identical for any `--threads` value. `client
+//! additionally byte-identical for any `--threads` value, and `scale`
+//! prints the full traced event stream of one density-scaled broadcast —
+//! byte-identical for any `--threads`/`--shards` value, which is exactly
+//! what the `scale` determinism-smoke axis diffs. `client
 //! --script` against a live daemon and `direct --script` print the same
 //! deterministic event stream for the same spec and script — CI diffs
 //! the two (the server determinism-smoke axis).
@@ -159,7 +164,7 @@ impl Default for Args {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: dsnet <stats|broadcast|multicast|churn|render|campaign|perf|serve|client|direct> \
+        "usage: dsnet <stats|broadcast|multicast|churn|render|campaign|perf|scale|serve|client|direct> \
          [--nodes N] [--seed S] [--field SIDE] [--protocol cff|cff1|rcff|dfo] \
          [--channels K] [--source ID] [--density P] [--reliable] \
          [--loss none|p<P>] [--retries R] [--epochs E] [--out FILE]\n\
@@ -171,6 +176,8 @@ fn usage() -> ! {
          [--trials] [--no-trace] [--quiet] [--journal FILE | --resume FILE]\n\
          perf: dsnet perf [--quick] [--threads T] [--out FILE] [--date YYYY-MM-DD] \
          [--compare BASELINE.json] [--max-regress F] [--quiet]\n\
+         scale: dsnet scale --nodes N --seed S [--threads T] [--shards CELLS] \
+         [--protocol cff|cff1|rcff|dfo] [--channels K] [--quiet]\n\
          serve: dsnet serve [--tcp ADDR] [--unix PATH] [--max-sessions N] \
          [--io reactor|threads] [--shards N] [--poll-ms MS] [--quiet]\n\
          client: dsnet client (--tcp ADDR | --unix PATH) [--session NAME] [--binary] \
@@ -540,6 +547,70 @@ fn run_perf_cmd(a: &Args) {
     }
 }
 
+/// One traced broadcast over a density-scaled unit-disk field, with the
+/// full deterministic event stream on stdout.
+///
+/// The field side is derived as `sqrt(nodes / 5)` (~5 nodes per unit²),
+/// so per-node degree stays constant as `--nodes` grows — this is the
+/// CLI surface of the 10k/100k perf scenarios. Delivery is sharded over
+/// a spatial cell grid (`--shards`, default 64 cells) and executed on
+/// `--threads` workers; by the engine's determinism contract the stdout
+/// stream is byte-identical for every thread and cell count, and the
+/// `scale` determinism-smoke axis diffs exactly that. Timing goes to
+/// stderr, never stdout.
+fn run_scale_cmd(a: &Args) {
+    let side = (a.nodes as f64 / 5.0).sqrt();
+    let t0 = std::time::Instant::now();
+    let net = NetworkBuilder::paper_field(side, a.nodes, a.seed)
+        .build()
+        .expect("incremental deployments always build");
+    let build_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let threads = a.threads.max(1);
+    let cells = if a.shards == 0 { 64 } else { a.shards };
+    let plan = net.shard_plan(cells);
+    let cell_count = plan.cell_count();
+    let cfg = RunConfig {
+        channels: a.channels,
+        shards: Some(plan),
+        threads,
+        ..RunConfig::default()
+    };
+    let t1 = std::time::Instant::now();
+    let (out, trace) = net.broadcast_traced(a.protocol, net.sink(), &cfg);
+    let run_ms = t1.elapsed().as_secs_f64() * 1e3;
+    if !a.quiet {
+        eprintln!(
+            "scale: n={} side={side:.1} — build {build_ms:.0} ms, broadcast {run_ms:.0} ms \
+             on {threads} thread(s) over {cell_count} cells",
+            a.nodes
+        );
+    }
+    let stdout = std::io::stdout();
+    let mut w = std::io::BufWriter::new(stdout.lock());
+    writeln!(
+        w,
+        "scale n={} seed={} protocol={:?} channels={} cells={cell_count}",
+        a.nodes, a.seed, a.protocol, a.channels
+    )
+    .expect("write stream");
+    writeln!(
+        w,
+        "outcome rounds={} delivered={} targets={} max_awake={} collisions={}",
+        out.rounds,
+        out.delivered,
+        out.targets,
+        out.max_awake(),
+        trace.collision_count()
+    )
+    .expect("write stream");
+    for warn in trace.warnings() {
+        writeln!(w, "warn {warn}").expect("write stream");
+    }
+    for ev in trace.events() {
+        writeln!(w, "{ev:?}").expect("write stream");
+    }
+}
+
 /// The session spec implied by the shared CLI flags (integer wire units:
 /// `--field 10` → 10_000 milli, `--density 0.1` → 100_000 ppm).
 fn spec_from_args(a: &Args) -> SessionSpec {
@@ -808,6 +879,7 @@ fn main() {
         }
         "campaign" => run_campaign_cmd(&a),
         "perf" => run_perf_cmd(&a),
+        "scale" => run_scale_cmd(&a),
         "serve" => run_serve_cmd(&a),
         "client" => run_client_cmd(&a),
         "direct" => run_direct_cmd(&a),

@@ -20,6 +20,10 @@
 #   resume          crash a journaled campaign at a fixed injected point,
 #                   resume from the journal, and require the resumed
 #                   artifacts byte-identical to an uninterrupted run
+#   scale           10k-node density-scaled broadcast with cell-sharded
+#                   parallel delivery: the full traced event stream on
+#                   1 thread must be byte-for-byte identical to 2
+#                   threads (and to a different shard-cell count)
 #
 # Artifacts are left in the working directory as t<axis><threads>.json /
 # .csv (tserver_*.stream for the server axis) so CI can upload them on
@@ -27,7 +31,7 @@
 set -euo pipefail
 
 if [ "$#" -lt 1 ]; then
-    echo "usage: $0 <core|mobility|loss|mobility-audit|server|server-reactor|resume> [...]" >&2
+    echo "usage: $0 <core|mobility|loss|mobility-audit|server|server-reactor|resume|scale> [...]" >&2
     exit 2
 fi
 
@@ -57,7 +61,7 @@ axis_flags() {
                   --mobility rwp0.08x40p1,gm0.05x40"
             ;;
         *)
-            echo "unknown axis: $1 (want core, mobility, loss, mobility-audit, server, server-reactor, or resume)" >&2
+            echo "unknown axis: $1 (want core, mobility, loss, mobility-audit, server, server-reactor, resume, or scale)" >&2
             exit 2
             ;;
     esac
@@ -86,6 +90,25 @@ resume_smoke() {
         --json tresume_run.json --csv tresume_run.csv --resume tresume.journal
     cmp tresume_base.json tresume_run.json
     cmp tresume_base.csv tresume_run.csv
+}
+
+# Parallel-delivery determinism: one 10k-node broadcast, traced, on 1
+# and 2 worker threads (and once more on 2 threads with a different
+# spatial-cell count). The engine's contract is that the merged event
+# stream never depends on the partition or the worker count, so all
+# three stdout streams must be byte-for-byte identical.
+scale_smoke() {
+    local flags="--nodes 10000 --seed 7 --quiet"
+    # shellcheck disable=SC2086  # flags are a curated word list
+    "${DSNET[@]}" scale $flags --threads 1 > tscale1.stream
+    # shellcheck disable=SC2086
+    "${DSNET[@]}" scale $flags --threads 2 > tscale2.stream
+    cmp tscale1.stream tscale2.stream
+    # A different partition must also be invisible — compare past the
+    # header line, which records the cell count by design.
+    # shellcheck disable=SC2086
+    "${DSNET[@]}" scale $flags --threads 2 --shards 23 > tscale_cells.stream
+    cmp <(tail -n +2 tscale1.stream) <(tail -n +2 tscale_cells.stream)
 }
 
 # Server determinism: boot a unix-socket daemon on the given I/O engine
@@ -149,6 +172,12 @@ for axis in "$@"; do
         echo "=== determinism smoke: resume ==="
         resume_smoke
         echo "=== resume: resumed artifacts identical to uninterrupted run ==="
+        continue
+    fi
+    if [ "$axis" = scale ]; then
+        echo "=== determinism smoke: scale ==="
+        scale_smoke
+        echo "=== scale: 10k-node traced streams identical across threads and shard cells ==="
         continue
     fi
     flags=$(axis_flags "$axis")

@@ -30,7 +30,7 @@ fn link_failures_stall_dfo_but_flooding_routes_around() {
     // DFO token cannot leave the root along those edges; CFF reaches the
     // children through any other G-neighbour.
     let sink = net.sink();
-    let children: Vec<_> = net.net().tree().children(sink).to_vec();
+    let children: Vec<_> = net.net().tree().children(sink).collect();
     let mut cfg = RunConfig::default();
     for &c in children.iter().take(2) {
         cfg.failures.kill_link(sink, c, 1);

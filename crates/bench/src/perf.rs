@@ -67,7 +67,8 @@ mod tests {
                 "static_dfo",
                 "lossy_rcff_repair",
                 "mobility_100ep",
-                "mobility_400ep"
+                "mobility_400ep",
+                "mobility_bcast_10k"
             ]
         );
         for s in &l.scenarios {

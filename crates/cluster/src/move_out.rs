@@ -98,6 +98,10 @@ impl ClusterNet {
     /// here would triple the per-reconfiguration traversal cost.
     pub(crate) fn move_out_previewed(&mut self, lev: NodeId) -> MoveOutReport {
         debug_assert!(self.can_move_out(lev).is_ok());
+        // Bracket the whole operation: the raw mutators below must not
+        // poison the journal — every dirty node is recorded here or by the
+        // re-homing move-ins.
+        self.begin_op();
         // Step 0(i): height notification travels lev → root.
         let mut cost = MoveOutCost {
             height_notify: self.tree().depth(lev) as u64,
@@ -105,13 +109,20 @@ impl ClusterNet {
         };
 
         let lev_parent = self.tree().parent(lev).expect("non-root has a parent");
+        self.record_dirty(lev_parent);
 
         // Detach T and forget its nodes' slots; remove lev from G.
         let t_nodes = self.tree_mut().detach_subtree(lev);
         for &x in &t_nodes {
             self.slots_mut().clear(x);
+            self.record_dirty(x);
         }
         let lev_neighbors = self.graph_mut().remove_node(lev);
+        // lev's edges vanished with it: their surviving endpoints are dirty
+        // and unrecoverable from lev later (it has no neighbours any more).
+        for &v in &lev_neighbors {
+            self.record_dirty(v);
+        }
 
         // The parent may have lost transmitter roles; stale slots must not
         // linger on a node that no longer transmits in that phase.
@@ -179,6 +190,7 @@ impl ClusterNet {
 
         // Step 3: the largest revised b-slot travels back to the root.
         cost.final_report = self.height() as u64;
+        self.end_op();
 
         MoveOutReport {
             node: lev,
@@ -208,6 +220,7 @@ impl ClusterNet {
                 .tree()
                 .parent(v)
                 .expect("backbone receiver has a parent");
+            self.record_dirty(p);
             let (graph, tree, status, slots) = self.split_for_slots();
             let view = NetView::new(graph, tree, status);
             rounds += calculate_b_slot(&view, slots, p).rounds;
@@ -218,6 +231,7 @@ impl ClusterNet {
         };
         if needs_l {
             let p = self.tree().parent(v).expect("member has a parent");
+            self.record_dirty(p);
             let (graph, tree, status, slots) = self.split_for_slots();
             let view = NetView::new(graph, tree, status);
             rounds += calculate_l_slot(&view, slots, mode, p).rounds;
@@ -449,7 +463,7 @@ impl ClusterNet {
         let rebuilt = ClusterNet::build_over(graph, &order, self.parent_rule(), self.mode())
             .expect("BFS order over a connected graph always attaches");
         let rounds = rebuilt.len() as u64;
-        *self = rebuilt;
+        self.replace_with_rebuilt(rebuilt);
         Ok(RootMoveOutReport {
             old_root,
             new_root,

@@ -85,6 +85,59 @@ pub struct MoveInReport {
     pub cost: MoveInCost,
 }
 
+/// Journal of structurally-dirty nodes as per-node last-write stamps.
+///
+/// Every mutation that can change a node's *knowledge* (tuple writes, slot
+/// writes, and the surviving endpoints of inserted/removed `G` edges)
+/// stamps the node with the current version. A consumer holding a snapshot
+/// at version `v ≥ floor` recovers an over-approximation of the nodes
+/// whose knowledge changed since `v` — the `T` set of the DirtyAudit
+/// closure rules (DESIGN §12): everything else is reachable from `T` via
+/// `L = T ∪ parent(T)`, `R = L ∪ N_G(L)`.
+///
+/// Stamps dedup re-recordings for free: a repair sweep that rewrites the
+/// same node ten thousand times costs one slot, so the journal never
+/// evicts and memory stays `O(capacity)` — 8 bytes per node ever
+/// allocated, the same growth law as the graph itself. (An earlier
+/// ring-buffer design wrapped within a single heavy maintenance epoch and
+/// forced a full rebuild exactly when patching mattered most.) A node's
+/// last write being `≤ v` implies it has no write after `v`, so yielding
+/// every node stamped `> v` is exact with respect to recorded history.
+///
+/// Versions below `floor` are unknowable: raw structural access
+/// (`graph_mut` & friends outside a bracketed operation) or a from-scratch
+/// rebuild poisons the journal by raising the floor.
+#[derive(Debug, Clone)]
+struct MutationJournal {
+    /// `stamp[i]` = version of the last recorded write to `NodeId(i)`;
+    /// `0` = never recorded (version 0 predates every mutation).
+    stamp: Vec<u64>,
+    floor: u64,
+}
+
+impl MutationJournal {
+    fn new() -> Self {
+        Self {
+            stamp: Vec::new(),
+            floor: 0,
+        }
+    }
+
+    fn record(&mut self, version: u64, u: NodeId) {
+        if self.stamp.len() <= u.index() {
+            self.stamp.resize(u.index() + 1, 0);
+        }
+        debug_assert!(self.stamp[u.index()] <= version);
+        self.stamp[u.index()] = version;
+    }
+
+    fn poison(&mut self, version: u64) {
+        // Stamps stay: consumers at `from ≥ floor` still read them, and
+        // recording resumes monotonically past `version`.
+        self.floor = version;
+    }
+}
+
 /// The cluster-based structure: `G`, CNet(G), statuses and slots.
 ///
 /// ```
@@ -111,6 +164,12 @@ pub struct ClusterNet {
     /// move-out, repair, slot rewrites). Caches keyed on this value are
     /// guaranteed stale-free: equal versions imply an identical structure.
     version: u64,
+    /// Version-stamped dirty-node records backing [`ClusterNet::dirty_since`].
+    journal: MutationJournal,
+    /// Nesting depth of bracketed structural operations. Raw mutable
+    /// accessors poison the journal only at depth 0: inside a bracketed
+    /// operation the op itself records its dirty set.
+    op_depth: u32,
 }
 
 impl ClusterNet {
@@ -124,6 +183,8 @@ impl ClusterNet {
             rule,
             mode,
             version: 0,
+            journal: MutationJournal::new(),
+            op_depth: 0,
         }
     }
 
@@ -179,6 +240,55 @@ impl ClusterNet {
     /// cache miss); missing a mutation is not.
     pub fn structure_version(&self) -> u64 {
         self.version
+    }
+
+    /// Nodes whose *knowledge* may have changed since `from_version` — the
+    /// `T` set of the dirty-closure rules (DESIGN §12/§17): nodes whose
+    /// (depth, status, parent, slot) tuple was written, plus the surviving
+    /// endpoints of every inserted or removed `G` edge. Anything else a
+    /// knowledge snapshot depends on is reachable from `T` through
+    /// `L = T ∪ parent(T)`, `R = L ∪ N_G(L)` plus a handful of global
+    /// scalars.
+    ///
+    /// Returns `None` when the journal cannot answer — `from_version`
+    /// predates the retention floor (a raw structural mutation or a
+    /// from-scratch rebuild poisoned it) — in which case the caller must
+    /// fall back to a full rebuild. The yielded set is an
+    /// over-approximation (already-clean nodes are legal; duplicates are
+    /// never produced) in ascending id order; ids may refer to
+    /// since-removed nodes.
+    pub fn dirty_since(&self, from_version: u64) -> Option<impl Iterator<Item = NodeId> + '_> {
+        if from_version < self.journal.floor {
+            return None;
+        }
+        Some(
+            self.journal
+                .stamp
+                .iter()
+                .enumerate()
+                .filter(move |&(_, &v)| v > from_version)
+                .map(|(i, _)| NodeId(i as u32)),
+        )
+    }
+
+    /// Open a bracketed structural operation: bumps the version once so
+    /// every record the op appends post-dates any snapshot taken before
+    /// it, and suspends journal poisoning by the raw mutable accessors
+    /// (the op records its own dirty set). Must be paired with
+    /// [`ClusterNet::end_op`].
+    pub(crate) fn begin_op(&mut self) {
+        self.version += 1;
+        self.op_depth += 1;
+    }
+
+    pub(crate) fn end_op(&mut self) {
+        debug_assert!(self.op_depth > 0, "end_op without begin_op");
+        self.op_depth -= 1;
+    }
+
+    /// Append a dirty-node record at the current version.
+    pub(crate) fn record_dirty(&mut self, u: NodeId) {
+        self.journal.record(self.version, u);
     }
 
     /// The interference model the slots are maintained under.
@@ -281,6 +391,7 @@ impl ClusterNet {
             }
             let root = self.graph.add_node();
             self.version += 1;
+            self.journal.record(self.version, root);
             self.ensure_status_capacity();
             self.status[root.index()] = NodeStatus::ClusterHead;
             self.tree = Some(RootedTree::new(root));
@@ -314,6 +425,14 @@ impl ClusterNet {
         // Bump up-front: callers (move_in, move-out re-homing) have already
         // mutated the graph by the time we run, and over-bumping is legal.
         self.version += 1;
+        // Journal the newcomer and the surviving endpoints of its edges;
+        // every tuple/slot write below lands on `new`, its parent `w`, or
+        // `w`'s parent — all G-neighbours of `new` or recorded explicitly.
+        self.journal.record(self.version, new);
+        for i in 0..self.graph.neighbors(new).len() {
+            let v = self.graph.neighbors(new)[i];
+            self.journal.record(self.version, v);
+        }
         self.ensure_status_capacity();
 
         // U: attached neighbours, i.e. nodes of the current CNet that the
@@ -390,6 +509,7 @@ impl ClusterNet {
             // its head parent `u` turned BT-internal and must cover it.
             if promote_w {
                 let u = tree.parent(w).expect("promoted member has a head parent");
+                self.journal.record(self.version, u);
                 if self.slots.b(u).is_none() {
                     slot_rounds += calculate_b_slot(&view, &mut self.slots, u).rounds;
                 }
@@ -460,20 +580,31 @@ impl ClusterNet {
 
     // Every mutable accessor bumps the structure version pessimistically:
     // callers hold the returned borrow precisely because they intend to
-    // mutate, and an unused bump only costs a downstream cache miss.
+    // mutate, and an unused bump only costs a downstream cache miss. At
+    // op-depth 0 nobody is recording the dirty set, so the journal is
+    // poisoned: dirty_since can no longer vouch for older versions.
 
     pub(crate) fn graph_mut(&mut self) -> &mut Graph {
         self.version += 1;
+        if self.op_depth == 0 {
+            self.journal.poison(self.version);
+        }
         &mut self.graph
     }
 
     pub(crate) fn tree_mut(&mut self) -> &mut RootedTree {
         self.version += 1;
+        if self.op_depth == 0 {
+            self.journal.poison(self.version);
+        }
         self.tree.as_mut().expect("cluster net is empty")
     }
 
     pub(crate) fn slots_mut(&mut self) -> &mut SlotTable {
         self.version += 1;
+        if self.op_depth == 0 {
+            self.journal.poison(self.version);
+        }
         &mut self.slots
     }
 
@@ -483,12 +614,27 @@ impl ClusterNet {
         &mut self,
     ) -> (&Graph, &RootedTree, &[NodeStatus], &mut SlotTable) {
         self.version += 1;
+        if self.op_depth == 0 {
+            self.journal.poison(self.version);
+        }
         (
             &self.graph,
             self.tree.as_ref().expect("cluster net is empty"),
             &self.status,
             &mut self.slots,
         )
+    }
+
+    /// Swap in a from-scratch rebuild of the whole structure (root
+    /// departure/failure). The replacement's version is forced past the
+    /// old one — `*self = rebuilt` alone would regress the monotonic
+    /// counter and could collide with a stale cache key — and its journal
+    /// is poisoned: a rebuild dirties everything.
+    pub(crate) fn replace_with_rebuilt(&mut self, mut rebuilt: ClusterNet) {
+        rebuilt.version = self.version.max(rebuilt.version) + 1;
+        rebuilt.journal.poison(rebuilt.version);
+        rebuilt.op_depth = 0;
+        *self = rebuilt;
     }
 
     /// Build a cluster structure **over an existing graph**, choosing the
@@ -734,6 +880,66 @@ mod tests {
         let before = net.structure_version();
         let _ = net.slots_mut();
         assert!(net.structure_version() > before);
+    }
+
+    #[test]
+    fn journal_reports_dirty_nodes_since_a_version() {
+        let mut net = ClusterNet::with_defaults();
+        net.move_in(&[]).unwrap();
+        net.move_in(&[NodeId(0)]).unwrap();
+        let v = net.structure_version();
+        // Same version → empty dirty set.
+        assert_eq!(net.dirty_since(v).unwrap().count(), 0);
+        net.move_in(&[NodeId(1)]).unwrap(); // promotes 1, attaches 2
+        let dirty: std::collections::BTreeSet<NodeId> = net.dirty_since(v).unwrap().collect();
+        assert!(dirty.contains(&NodeId(2)), "newcomer is dirty: {dirty:?}");
+        assert!(
+            dirty.contains(&NodeId(1)),
+            "edge endpoint is dirty: {dirty:?}"
+        );
+        // Move-out journals the departed node and its neighbours.
+        let v2 = net.structure_version();
+        net.move_in(&[NodeId(0), NodeId(2)]).unwrap(); // 3, keeps G connected
+        net.move_out(NodeId(2)).unwrap();
+        let dirty: std::collections::BTreeSet<NodeId> = net.dirty_since(v2).unwrap().collect();
+        assert!(dirty.contains(&NodeId(2)), "{dirty:?}");
+        assert!(dirty.contains(&NodeId(1)), "{dirty:?}");
+    }
+
+    #[test]
+    fn raw_mutable_access_poisons_the_journal() {
+        let mut net = ClusterNet::with_defaults();
+        net.move_in(&[]).unwrap();
+        let v = net.structure_version();
+        assert!(net.dirty_since(v).is_some());
+        let _ = net.slots_mut();
+        assert!(
+            net.dirty_since(v).is_none(),
+            "an unbracketed raw mutation must poison older versions"
+        );
+        // The current (post-poison) version answers again — emptily.
+        let now = net.structure_version();
+        assert_eq!(net.dirty_since(now).unwrap().count(), 0);
+    }
+
+    #[test]
+    fn root_rebuild_keeps_the_version_monotonic_and_poisons() {
+        let mut net = ClusterNet::with_defaults();
+        net.move_in(&[]).unwrap();
+        for i in 1..8u32 {
+            let mut nbrs = vec![NodeId(i - 1)];
+            if i >= 2 {
+                nbrs.push(NodeId(i - 2));
+            }
+            net.move_in(&nbrs).unwrap();
+        }
+        let v = net.structure_version();
+        net.move_out_root().unwrap();
+        assert!(
+            net.structure_version() > v,
+            "a from-scratch rebuild must never regress the version counter"
+        );
+        assert!(net.dirty_since(v).is_none(), "rebuild dirties everything");
     }
 
     #[test]

@@ -160,18 +160,29 @@ impl ClusterNet {
 
     /// Non-root crash: the `node-move-out` flow, made crash-tolerant.
     fn repair_nonroot_failure(&mut self, failed: NodeId) -> RepairReport {
+        // Bracket the eviction: the raw mutators must not poison the
+        // journal — every dirty node is recorded here or by the re-homing
+        // move-ins.
+        self.begin_op();
         let mut cost = MoveOutCost {
             height_notify: self.tree().depth(failed) as u64,
             ..MoveOutCost::default()
         };
         let parent = self.tree().parent(failed).expect("non-root has a parent");
+        self.record_dirty(parent);
 
         // Detach T; forget its slots; drop the dead node from G.
         let t_nodes = self.tree_mut().detach_subtree(failed);
         for &x in &t_nodes {
             self.slots_mut().clear(x);
+            self.record_dirty(x);
         }
         let failed_neighbors = self.graph_mut().remove_node(failed);
+        // Surviving endpoints of the dead node's edges: unrecoverable from
+        // `failed` later, so they must enter the journal explicitly.
+        for &v in &failed_neighbors {
+            self.record_dirty(v);
+        }
         let orphaned = t_nodes.len() - 1;
 
         // Survivors cut off from the sink cannot be served by any
@@ -188,9 +199,13 @@ impl ClusterNet {
             .collect();
         let mut lost_neighbors: BTreeSet<NodeId> = BTreeSet::new();
         for &x in &lost {
+            self.record_dirty(x);
             for v in self.graph_mut().remove_node(x) {
                 lost_neighbors.insert(v);
             }
+        }
+        for &v in &lost_neighbors {
+            self.record_dirty(v);
         }
 
         // The parent may have lost its transmitter roles.
@@ -257,6 +272,7 @@ impl ClusterNet {
         }
         cost.moved_nodes = rehomed.len() as u64;
         cost.final_report = self.height() as u64;
+        self.end_op();
 
         RepairReport {
             failed,
@@ -310,7 +326,7 @@ impl ClusterNet {
             final_report: rebuilt.height() as u64,
             ..MoveOutCost::default()
         };
-        *self = rebuilt;
+        self.replace_with_rebuilt(rebuilt);
         RepairReport {
             failed,
             detection_rounds: 0, // filled by the caller

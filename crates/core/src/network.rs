@@ -168,8 +168,10 @@ impl SensorNetwork {
         self.knowledge.get(self.net())
     }
 
-    /// Lifetime `(hits, misses)` of the network's knowledge cache.
-    pub fn knowledge_stats(&self) -> (u64, u64) {
+    /// Lifetime `(hits, misses, patched)` of the network's knowledge
+    /// cache; `patched` counts the misses served by the dirty-scoped
+    /// patch path rather than a full rebuild.
+    pub fn knowledge_stats(&self) -> (u64, u64, u64) {
         self.knowledge.stats()
     }
 

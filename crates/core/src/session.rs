@@ -632,7 +632,7 @@ impl NetSession {
 
     fn exec_snapshot(&mut self) -> (CommandStatus, u32, Vec<(String, i64)>) {
         let k = self.net.knowledge();
-        let (hits, misses) = self.net.knowledge_stats();
+        let (hits, misses, patched) = self.net.knowledge_stats();
         let fields = vec![
             ("version".into(), self.net.structure_version() as i64),
             ("nodes".into(), k.nodes as i64),
@@ -642,6 +642,7 @@ impl NetSession {
             ("delta_l".into(), i64::from(k.delta_l)),
             ("cache_hits".into(), hits as i64),
             ("cache_misses".into(), misses as i64),
+            ("cache_patched".into(), patched as i64),
         ];
         (CommandStatus::Applied, 1, fields)
     }

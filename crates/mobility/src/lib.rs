@@ -34,5 +34,7 @@ pub mod report;
 
 pub use differ::{EdgeEvent, TopologyDiffer};
 pub use drive::{AuditMode, MobileNetwork, MobilityConfig, MobilityError};
-pub use model::{GaussMarkov, GaussMarkovParams, MobilityModel, RandomWaypoint, WaypointParams};
+pub use model::{
+    GaussMarkov, GaussMarkovParams, MobilityModel, RandomWaypoint, SparseMotion, WaypointParams,
+};
 pub use report::{BroadcastSample, EpochRecord, MaintenanceTimings, MobilityReport};

@@ -242,6 +242,70 @@ impl MobilityModel for GaussMarkov {
     }
 }
 
+/// Restricts an inner model to an explicit set of mobile nodes; everyone
+/// else is pinned at their initial position.
+///
+/// This models the common sensor-field split between a *static backbone*
+/// (mains-powered relays, anchors) and a *mobile minority* (hand-held or
+/// vehicle-mounted units): the inner model still advances every node —
+/// so a given seed replays the same trajectories regardless of which
+/// subset is mobile — but only the selected nodes' positions are ever
+/// published.
+#[derive(Debug, Clone)]
+pub struct SparseMotion<M> {
+    inner: M,
+    mobile: Vec<bool>,
+    positions: Vec<Point2>,
+    scratch: Vec<usize>,
+}
+
+impl<M: MobilityModel> SparseMotion<M> {
+    /// Wraps `inner`, letting only the nodes in `mobile_ids` move.
+    ///
+    /// Indices in `mobile_ids` must address nodes of the inner model;
+    /// duplicates are harmless.
+    pub fn new(inner: M, mobile_ids: &[usize]) -> Self {
+        let positions = inner.positions().to_vec();
+        let mut mobile = vec![false; positions.len()];
+        for &i in mobile_ids {
+            assert!(i < mobile.len(), "mobile id {i} out of range");
+            mobile[i] = true;
+        }
+        Self {
+            inner,
+            mobile,
+            positions,
+            scratch: Vec::new(),
+        }
+    }
+
+    /// How many nodes are allowed to move.
+    pub fn mobile_count(&self) -> usize {
+        self.mobile.iter().filter(|&&m| m).count()
+    }
+}
+
+impl<M: MobilityModel> MobilityModel for SparseMotion<M> {
+    fn positions(&self) -> &[Point2] {
+        &self.positions
+    }
+
+    fn region(&self) -> Region {
+        self.inner.region()
+    }
+
+    fn step_into(&mut self, moved: &mut Vec<usize>) {
+        self.inner.step_into(&mut self.scratch);
+        moved.clear();
+        for &i in &self.scratch {
+            if self.mobile[i] {
+                self.positions[i] = self.inner.positions()[i];
+                moved.push(i);
+            }
+        }
+    }
+}
+
 fn uniform_point(region: Region, rng: &mut Rng) -> Point2 {
     Point2::new(
         rng.random_range(0.0..=region.width()),
@@ -366,6 +430,47 @@ mod tests {
             dot_sum / count as f64 > 0.0,
             "high-memory walk should keep its heading on average"
         );
+    }
+
+    #[test]
+    fn sparse_motion_moves_only_the_selected_nodes() {
+        let region = Region::square(6.0);
+        let inner = RandomWaypoint::new(start(20), region, WaypointParams::default(), 9);
+        let init = inner.positions().to_vec();
+        let mut m = SparseMotion::new(inner, &[3, 7, 7, 11]);
+        assert_eq!(m.mobile_count(), 3);
+        for _ in 0..50 {
+            let moved = m.step();
+            assert!(moved.iter().all(|i| [3, 7, 11].contains(i)));
+            assert!(moved.windows(2).all(|w| w[0] < w[1]));
+            for (i, (&p0, &p)) in init.iter().zip(m.positions()).enumerate() {
+                if ![3, 7, 11].contains(&i) {
+                    assert_eq!(p0, p, "pinned node {i} drifted");
+                }
+            }
+            assert!(m.positions().iter().all(|&p| region.contains(p)));
+        }
+    }
+
+    #[test]
+    fn sparse_motion_mobile_nodes_track_the_inner_model() {
+        let region = Region::square(6.0);
+        let mut inner = RandomWaypoint::new(start(20), region, WaypointParams::default(), 9);
+        let wrapped = RandomWaypoint::new(start(20), region, WaypointParams::default(), 9);
+        let mut m = SparseMotion::new(wrapped, &[5]);
+        for _ in 0..50 {
+            inner.step();
+            m.step();
+            assert_eq!(m.positions()[5], inner.positions()[5]);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn sparse_motion_rejects_out_of_range_ids() {
+        let inner =
+            RandomWaypoint::new(start(4), Region::square(6.0), WaypointParams::default(), 9);
+        let _ = SparseMotion::new(inner, &[4]);
     }
 
     #[test]

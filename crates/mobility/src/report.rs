@@ -37,6 +37,22 @@ pub struct MaintenanceTimings {
     pub cache_hits: u64,
     /// Knowledge-cache misses attributable to this epoch's probes.
     pub cache_misses: u64,
+    /// Cache misses this epoch served by the dirty-scoped patch path
+    /// instead of a full `build_knowledge` rebuild (subset of
+    /// `cache_misses`).
+    pub knowledge_patches: u64,
+    /// Total nodes in this epoch's patched closures (how much of the
+    /// snapshot the patches actually recomputed).
+    pub knowledge_scope: u64,
+    /// Patch attempts this epoch that fell back to a full rebuild
+    /// (journal evicted/poisoned, or dirty set over the threshold).
+    pub knowledge_fallbacks: u64,
+    /// Wall time in this epoch's broadcast probe: the knowledge-cache
+    /// `get` (full rebuild or dirty-scoped patch) plus the broadcast
+    /// engine run. This is the denominator the `mobility_bcast` perf
+    /// scenario reports rounds/s over — it isolates the path the patch
+    /// optimises from repair/diff costs the patch cannot touch.
+    pub probe_ns: u64,
     /// Wall time in the trajectory step + topology diff.
     pub diff_ns: u64,
     /// Wall time in the `move_out`/`move_in` repair loop.
@@ -54,11 +70,17 @@ impl PartialEq for MaintenanceTimings {
             self.full_audits,
             self.cache_hits,
             self.cache_misses,
+            self.knowledge_patches,
+            self.knowledge_scope,
+            self.knowledge_fallbacks,
         ) == (
             other.audit_scope,
             other.full_audits,
             other.cache_hits,
             other.cache_misses,
+            other.knowledge_patches,
+            other.knowledge_scope,
+            other.knowledge_fallbacks,
         )
     }
 }
@@ -70,6 +92,10 @@ impl MaintenanceTimings {
         self.full_audits += other.full_audits;
         self.cache_hits += other.cache_hits;
         self.cache_misses += other.cache_misses;
+        self.knowledge_patches += other.knowledge_patches;
+        self.knowledge_scope += other.knowledge_scope;
+        self.knowledge_fallbacks += other.knowledge_fallbacks;
+        self.probe_ns += other.probe_ns;
         self.diff_ns += other.diff_ns;
         self.repair_ns += other.repair_ns;
         self.slots_ns += other.slots_ns;
@@ -212,6 +238,10 @@ mod tests {
                 full_audits: 0,
                 cache_hits: 1,
                 cache_misses: 0,
+                knowledge_patches: 0,
+                knowledge_scope: 0,
+                knowledge_fallbacks: 0,
+                probe_ns: 0,
                 diff_ns: 100,
                 repair_ns: 200,
                 slots_ns: 50,
@@ -268,6 +298,9 @@ mod tests {
         let mut d = a;
         d.timings.audit_scope += 1;
         assert_ne!(a, d);
+        let mut e = a;
+        e.timings.knowledge_patches += 1;
+        assert_ne!(a, e, "patch counters are simulation state");
     }
 
     #[test]

@@ -105,6 +105,7 @@ fn invariants_hold_over_200_epoch_random_waypoint_run() {
         check_invariants: true, // check_core + relay consistency every epoch
         broadcast_every: 25,
         audit: AuditMode::Full,
+        ..MobilityConfig::default()
     };
     let report = net.run(200, &cfg).unwrap();
     assert_eq!(report.epochs.len(), 200);

@@ -53,7 +53,7 @@ impl DfoProgram {
         let nk = k.of(u);
         let is_source = u == source;
         let neighbors = if nk.status.in_backbone() {
-            nk.bt_neighbors.clone()
+            k.bt_neighbors_of(nk).to_vec()
         } else if is_source {
             // A pure-member source first hands the message to its head.
             vec![nk.parent.expect("member has a parent")]

@@ -14,15 +14,43 @@
 //! window), but the multi-channel variants use it to tune the radio to the
 //! right (round, channel) pair — legitimate under knowledge (I), which
 //! includes the neighbours' knowledge.
+//!
+//! ## Layout
+//!
+//! The snapshot is flat: [`NodeKnowledge`] is `Copy` (no per-node heap
+//! allocation), and the DFO tour lists live in one shared CSR pool
+//! ([`NetKnowledge::bt_pool`]) addressed by per-node `(bt_off, bt_len)`
+//! ranges. The canonical pool layout is the concatenation of every
+//! attached node's tour list in increasing-id order, with `bt_off` equal
+//! to the pool length at that node's turn even when the list is empty —
+//! both the full build and the patch path emit exactly this layout, so
+//! derived `PartialEq` remains byte-meaningful.
+//!
+//! ## Incremental maintenance
+//!
+//! [`KnowledgeCache::get`] no longer rebuilds from scratch on every
+//! structure change: when the cached version is stale it asks
+//! [`ClusterNet::dirty_since`] for the journal of dirty nodes `T`,
+//! clones the per-node table (one flat memcpy), and recomputes
+//! knowledge only over the dirty closure `R = L ∪ N_G(L)`,
+//! `L = T ∪ parent(T)` — the same closure rules the dirty invariant
+//! audit uses (DESIGN §12/§17). Flood slots re-run Algorithm 1's
+//! assignment over a worklist seeded from `R` in the exact `(depth, id)`
+//! order of the full pass, cascading to same-depth co-transmitters when
+//! a slot actually changes, so the patched assignment is byte-equal to
+//! [`assign_flood_slots`] from scratch. Global scalars are maintained in
+//! the same fused flat sweep that rebuilds the CSR pool. Past a
+//! staleness/size threshold (or when the journal cannot vouch for the
+//! cached version) the cache falls back to a full rebuild.
 
-use dsnet_cluster::slots::validate::{assign_flood_slots, flood_transmitters};
+use dsnet_cluster::slots::validate::assign_flood_slots;
+use dsnet_cluster::slots::view::NetView;
 use dsnet_cluster::{ClusterNet, NodeStatus};
 use dsnet_graph::NodeId;
-use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex};
 
 /// Everything one node knows before a broadcast session starts.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct NodeKnowledge {
     /// The node's own id.
     pub id: NodeId,
@@ -49,9 +77,13 @@ pub struct NodeKnowledge {
     pub expected_l_slot: Option<u32>,
     /// The collision-free slot this node should expect in Algorithm 1.
     pub expected_flood_slot: Option<u32>,
-    /// For the DFO tour: backbone children followed by the backbone
-    /// parent, in tour-visit order. Empty for pure members.
-    pub bt_neighbors: Vec<NodeId>,
+    /// Start of this node's DFO tour list in [`NetKnowledge::bt_pool`]
+    /// (backbone children followed by the backbone parent, in tour-visit
+    /// order; empty for pure members). Canonically the pool length at
+    /// this node's increasing-id emission turn.
+    pub bt_off: u32,
+    /// Length of the tour list.
+    pub bt_len: u32,
 }
 
 /// Network-wide constants of a session (what the paper stores at the root
@@ -60,6 +92,8 @@ pub struct NodeKnowledge {
 pub struct NetKnowledge {
     /// Per-node knowledge, indexed by id (`None` off-structure).
     pub per_node: Vec<Option<NodeKnowledge>>,
+    /// CSR pool backing every node's DFO tour list (`bt_off`/`bt_len`).
+    pub bt_pool: Vec<NodeId>,
     /// The sink.
     pub root: NodeId,
     /// Height of CNet(G).
@@ -85,16 +119,88 @@ impl NetKnowledge {
             .as_ref()
             .expect("node has no knowledge (not attached)")
     }
+
+    /// The node's DFO tour list: backbone children followed by the
+    /// backbone parent. Empty for pure members.
+    pub fn bt_neighbors(&self, u: NodeId) -> &[NodeId] {
+        self.bt_neighbors_of(self.of(u))
+    }
+
+    /// [`NetKnowledge::bt_neighbors`] for an already-fetched entry.
+    pub fn bt_neighbors_of(&self, nk: &NodeKnowledge) -> &[NodeId] {
+        &self.bt_pool[nk.bt_off as usize..(nk.bt_off + nk.bt_len) as usize]
+    }
 }
 
-/// Find a slot value occurring exactly once in `slots` (the receiver's
-/// guaranteed-clean slot), if any.
-fn unique_slot(slots: impl IntoIterator<Item = Option<u32>>) -> Option<u32> {
-    let mut counts: BTreeMap<u32, u32> = BTreeMap::new();
-    for s in slots.into_iter().flatten() {
-        *counts.entry(s).or_insert(0) += 1;
+/// Find the smallest slot value occurring exactly once in the sorted-in-
+/// place scratch (the receiver's guaranteed-clean slot), if any.
+fn unique_slot_sorted(scratch: &mut [u32]) -> Option<u32> {
+    scratch.sort_unstable();
+    let mut i = 0;
+    while i < scratch.len() {
+        let mut j = i + 1;
+        while j < scratch.len() && scratch[j] == scratch[i] {
+            j += 1;
+        }
+        if j - i == 1 {
+            return Some(scratch[i]);
+        }
+        i = j;
     }
-    counts.iter().find(|(_, &c)| c == 1).map(|(&s, _)| s)
+    None
+}
+
+/// Iterator convenience over [`unique_slot_sorted`] — used by the tests
+/// that pin the scratch-based replacement to the old BTreeMap semantics.
+#[cfg(test)]
+fn unique_slot(slots: impl IntoIterator<Item = Option<u32>>) -> Option<u32> {
+    let mut scratch: Vec<u32> = slots.into_iter().flatten().collect();
+    unique_slot_sorted(&mut scratch)
+}
+
+/// Number of slot values occurring exactly once in the *sorted* scratch
+/// (mirrors the cluster crate's internal helper; Procedure 1's "two
+/// already-unique transmitters" receiver-skip rule).
+fn unique_run_count(sorted: &[u32]) -> usize {
+    let mut unique = 0usize;
+    let mut i = 0;
+    while i < sorted.len() {
+        let mut j = i + 1;
+        while j < sorted.len() && sorted[j] == sorted[i] {
+            j += 1;
+        }
+        if j - i == 1 {
+            unique += 1;
+        }
+        i = j;
+    }
+    unique
+}
+
+/// Minimum positive integer absent from `used` (sorted in place).
+fn mex(used: &mut [u32]) -> u32 {
+    used.sort_unstable();
+    let mut candidate = 1u32;
+    for &u in used.iter() {
+        match u.cmp(&candidate) {
+            std::cmp::Ordering::Less => {}
+            std::cmp::Ordering::Equal => candidate += 1,
+            std::cmp::Ordering::Greater => break,
+        }
+    }
+    candidate
+}
+
+/// Allocation-free equivalent of
+/// `dsnet_cluster::slots::validate::flood_transmitters`: the internal
+/// depth-(i−1) G-neighbours of `v` — the transmitters `v` hears in
+/// Algorithm 1's depth window. (Naturally empty at depth 0: no neighbour
+/// sits at depth −1.)
+fn flood_tx_iter<'a>(view: NetView<'a>, v: NodeId) -> impl Iterator<Item = NodeId> + 'a {
+    let depth = view.tree.depth(v);
+    view.graph.neighbors(v).iter().copied().filter(move |&y| {
+        view.attached(y) && view.cnet_internal(y) && view.tree.depth(y) + 1 == depth
+    })
 }
 
 /// Snapshot the knowledge of every attached node for a *session* with its
@@ -107,49 +213,53 @@ pub fn build_session_knowledge(
     session_slots: &dsnet_cluster::SlotTable,
     tx: &dyn Fn(NodeId) -> bool,
 ) -> NetKnowledge {
-    build_session_knowledge_from(net, build_knowledge(net), session_slots, tx)
+    build_session_knowledge_from(net, &build_knowledge(net), session_slots, tx)
 }
 
 /// Like [`build_session_knowledge`], but starting from an already-built
 /// base snapshot of the same `net` (e.g. one served by a
 /// [`KnowledgeCache`]) instead of rebuilding it — the session rewrite
 /// only touches slots and expected slots, so the expensive base pass can
-/// be amortised across sessions.
+/// be amortised across sessions. The base is cloned internally (two flat
+/// memcpys thanks to the CSR layout); callers holding an `Arc` no longer
+/// deep-clone per session.
 pub fn build_session_knowledge_from(
     net: &ClusterNet,
-    base: NetKnowledge,
+    base: &NetKnowledge,
     session_slots: &dsnet_cluster::SlotTable,
     tx: &dyn Fn(NodeId) -> bool,
 ) -> NetKnowledge {
-    let mut k = base;
+    let mut k = base.clone();
     let view = net.view();
     let tree = net.tree();
     let mode = net.mode();
+    let mut scratch: Vec<u32> = Vec::new();
     for u in tree.nodes() {
         let nk = k.per_node[u.index()].as_mut().expect("attached node");
         nk.b_slot = session_slots.b(u);
         nk.l_slot = session_slots.l(u);
-        nk.expected_b_slot = (nk.status.in_backbone() && nk.depth >= 1)
-            .then(|| {
-                unique_slot(
-                    view.p_b(u)
-                        .into_iter()
-                        .filter(|&y| tx(y))
-                        .map(|y| session_slots.b(y)),
-                )
-            })
-            .flatten();
-        nk.expected_l_slot = view
-            .is_member_leaf(u)
-            .then(|| {
-                unique_slot(
-                    view.p_l(u, mode)
-                        .into_iter()
-                        .filter(|&y| tx(y))
-                        .map(|y| session_slots.l(y)),
-                )
-            })
-            .flatten();
+        nk.expected_b_slot = if nk.status.in_backbone() && nk.depth >= 1 {
+            scratch.clear();
+            scratch.extend(
+                view.p_b_iter(u)
+                    .filter(|&y| tx(y))
+                    .filter_map(|y| session_slots.b(y)),
+            );
+            unique_slot_sorted(&mut scratch)
+        } else {
+            None
+        };
+        nk.expected_l_slot = if view.is_member_leaf(u) {
+            scratch.clear();
+            scratch.extend(
+                view.p_l_iter(u, mode)
+                    .filter(|&y| tx(y))
+                    .filter_map(|y| session_slots.l(y)),
+            );
+            unique_slot_sorted(&mut scratch)
+        } else {
+            None
+        };
     }
     k.delta_b = session_slots.max_b();
     k.delta_l = session_slots.max_l();
@@ -165,44 +275,55 @@ pub fn build_knowledge(net: &ClusterNet) -> NetKnowledge {
     let (flood, delta_flood) = assign_flood_slots(&view);
 
     let mut per_node: Vec<Option<NodeKnowledge>> = vec![None; net.graph().capacity()];
+    let mut bt_pool: Vec<NodeId> = Vec::new();
     let mut bt_height = 0u32;
     let mut backbone_size = 0usize;
+    let mut scratch: Vec<u32> = Vec::new();
 
     for u in tree.nodes() {
         let status = net.status(u);
+        let depth = tree.depth(u);
         if status.in_backbone() {
-            bt_height = bt_height.max(tree.depth(u));
+            bt_height = bt_height.max(depth);
             backbone_size += 1;
         }
 
-        let expected_b_slot = (status.in_backbone() && tree.depth(u) >= 1)
-            .then(|| unique_slot(view.p_b(u).into_iter().map(|y| slots.b(y))))
-            .flatten();
-        let expected_l_slot = view
-            .is_member_leaf(u)
-            .then(|| unique_slot(view.p_l(u, mode).into_iter().map(|y| slots.l(y))))
-            .flatten();
-        let expected_flood_slot = (tree.depth(u) >= 1)
-            .then(|| {
-                unique_slot(
-                    flood_transmitters(&view, u)
-                        .into_iter()
-                        .map(|y| flood[y.index()]),
-                )
-            })
-            .flatten();
+        let expected_b_slot = if status.in_backbone() && depth >= 1 {
+            scratch.clear();
+            scratch.extend(view.p_b_iter(u).filter_map(|y| slots.b(y)));
+            unique_slot_sorted(&mut scratch)
+        } else {
+            None
+        };
+        let expected_l_slot = if view.is_member_leaf(u) {
+            scratch.clear();
+            scratch.extend(view.p_l_iter(u, mode).filter_map(|y| slots.l(y)));
+            unique_slot_sorted(&mut scratch)
+        } else {
+            None
+        };
+        let expected_flood_slot = if depth >= 1 {
+            scratch.clear();
+            scratch.extend(flood_tx_iter(view, u).filter_map(|y| flood[y.index()]));
+            unique_slot_sorted(&mut scratch)
+        } else {
+            None
+        };
 
-        let mut bt_neighbors: Vec<NodeId> = Vec::new();
+        // Canonical CSR emission: increasing-id order, bt_off = pool
+        // length at this node's turn (even when the list stays empty).
+        let bt_off = bt_pool.len() as u32;
         if status.in_backbone() {
-            bt_neighbors.extend(tree.children(u).filter(|&c| net.status(c).in_backbone()));
+            bt_pool.extend(tree.children(u).filter(|&c| net.status(c).in_backbone()));
             if let Some(p) = tree.parent(u) {
-                bt_neighbors.push(p);
+                bt_pool.push(p);
             }
         }
+        let bt_len = bt_pool.len() as u32 - bt_off;
 
         per_node[u.index()] = Some(NodeKnowledge {
             id: u,
-            depth: tree.depth(u),
+            depth,
             status,
             parent: tree.parent(u),
             b_slot: slots.b(u),
@@ -213,12 +334,14 @@ pub fn build_knowledge(net: &ClusterNet) -> NetKnowledge {
             expected_b_slot,
             expected_l_slot,
             expected_flood_slot,
-            bt_neighbors,
+            bt_off,
+            bt_len,
         });
     }
 
     NetKnowledge {
         per_node,
+        bt_pool,
         root: tree.root(),
         height: tree.height(),
         bt_height,
@@ -230,48 +353,398 @@ pub fn build_knowledge(net: &ClusterNet) -> NetKnowledge {
     }
 }
 
+/// Patch `base` (a snapshot of the same net at `base_version`) up to the
+/// net's current structure, recomputing knowledge only over the dirty
+/// closure. Returns the patched snapshot and the closure size, or `None`
+/// when the journal cannot vouch for `base_version` or the dirty set
+/// exceeds `limit` — the caller then falls back to a full rebuild.
+///
+/// Correctness contract (pinned by `knowledge_patch_props` and
+/// `tests/cache_equivalence.rs`): the result is byte-equal to
+/// [`build_knowledge`] run from scratch at the current version.
+fn patch_knowledge(
+    net: &ClusterNet,
+    base: &NetKnowledge,
+    base_version: u64,
+    limit: usize,
+) -> Option<(NetKnowledge, usize)> {
+    if net.is_empty() {
+        return None;
+    }
+    // T: journalled dirty nodes (tuple writes + surviving edge endpoints).
+    let mut t: Vec<NodeId> = net.dirty_since(base_version)?.collect();
+    t.sort_unstable();
+    t.dedup();
+    if t.len() > limit {
+        return None;
+    }
+
+    let view = net.view();
+    let tree = net.tree();
+    let slots = net.slots();
+    let mode = net.mode();
+    let cap = net.graph().capacity();
+
+    // One flat memcpy: the per-node table. The CSR pool is *not* cloned —
+    // the fused sweep below rebuilds it into a fresh vector, reading the
+    // base pool for untouched segments.
+    let mut k = NetKnowledge {
+        per_node: base.per_node.clone(),
+        bt_pool: Vec::new(),
+        root: base.root,
+        height: base.height,
+        bt_height: base.bt_height,
+        delta_b: base.delta_b,
+        delta_l: base.delta_l,
+        delta_flood: base.delta_flood,
+        nodes: base.nodes,
+        backbone_size: base.backbone_size,
+    };
+    if k.per_node.len() < cap {
+        k.per_node.resize(cap, None);
+    }
+
+    // L = T ∪ parent(T), R = L ∪ N_G(L): every node whose knowledge can
+    // have changed (the dirty-closure rules of DESIGN §12, applied to
+    // knowledge in §17). Dead/detached members of T contribute no
+    // parent/neighbours — their surviving endpoints were journalled
+    // explicitly at removal time.
+    let mut l = t.clone();
+    for &u in &t {
+        if tree.contains(u) {
+            if let Some(p) = tree.parent(u) {
+                l.push(p);
+            }
+        }
+    }
+    l.sort_unstable();
+    l.dedup();
+    let mut r = l.clone();
+    for &u in &l {
+        if net.graph().is_live(u) {
+            r.extend_from_slice(net.graph().neighbors(u));
+        }
+    }
+    r.sort_unstable();
+    r.dedup();
+
+    // Phase A: recompute every non-flood field over R; tombstone the
+    // departed. Flood fields keep their stale values until phases B/C.
+    let mut scratch: Vec<u32> = Vec::new();
+    for &u in &r {
+        if !tree.contains(u) {
+            k.per_node[u.index()] = None;
+            continue;
+        }
+        let status = net.status(u);
+        let depth = tree.depth(u);
+        let expected_b_slot = if status.in_backbone() && depth >= 1 {
+            scratch.clear();
+            scratch.extend(view.p_b_iter(u).filter_map(|y| slots.b(y)));
+            unique_slot_sorted(&mut scratch)
+        } else {
+            None
+        };
+        let expected_l_slot = if view.is_member_leaf(u) {
+            scratch.clear();
+            scratch.extend(view.p_l_iter(u, mode).filter_map(|y| slots.l(y)));
+            unique_slot_sorted(&mut scratch)
+        } else {
+            None
+        };
+        let old = &k.per_node[u.index()];
+        k.per_node[u.index()] = Some(NodeKnowledge {
+            id: u,
+            depth,
+            status,
+            parent: tree.parent(u),
+            b_slot: slots.b(u),
+            l_slot: slots.l(u),
+            flood_slot: old.as_ref().and_then(|nk| nk.flood_slot),
+            bt_internal: view.bt_internal(u),
+            cnet_internal: view.cnet_internal(u),
+            expected_b_slot,
+            expected_l_slot,
+            expected_flood_slot: old.as_ref().and_then(|nk| nk.expected_flood_slot),
+            bt_off: 0, // set by the pool sweep below
+            bt_len: 0,
+        });
+    }
+
+    // Phase B: re-run Algorithm 1's assignment over a worklist, in the
+    // exact (depth, id) order of the full pass. Seeds: every attached
+    // node of R plus the flood transmitters of every attached node of R
+    // (structure around a dirty node changed ⇒ its transmitters' inputs
+    // may have). When a recomputed slot differs from the stale value the
+    // change cascades to same-depth co-transmitters with larger id — the
+    // only nodes whose full-pass computation could observe it — and the
+    // shared receivers are marked for expected-slot recomputation.
+    //
+    // At y's turn the full pass sees assigned slots exactly on the
+    // (depth, id)-earlier transmitters; processing the worklist in that
+    // same order keeps every input final by the time it is read.
+    let mut queue: std::collections::BTreeSet<(u32, NodeId)> = std::collections::BTreeSet::new();
+    for &u in &r {
+        if tree.contains(u) {
+            queue.insert((tree.depth(u), u));
+            for y in flood_tx_iter(view, u) {
+                queue.insert((tree.depth(y), y));
+            }
+        }
+    }
+    let mut flood_rx_dirty: Vec<NodeId> = Vec::new();
+    let mut forbidden: Vec<u32> = Vec::new();
+    let mut others: Vec<u32> = Vec::new();
+    while let Some(&(depth, y)) = queue.iter().next() {
+        queue.remove(&(depth, y));
+        if !tree.contains(y) {
+            continue; // tombstoned: its disappearance was seeded via R
+        }
+        let new_slot = if view.cnet_internal(y) {
+            forbidden.clear();
+            for v in view
+                .attached_neighbors(y)
+                .filter(|&v| view.tree.depth(v) == depth + 1)
+            {
+                others.clear();
+                others.extend(
+                    flood_tx_iter(view, v)
+                        .filter(|&t| t != y && t < y)
+                        .filter_map(|t| k.per_node[t.index()].as_ref()?.flood_slot),
+                );
+                others.sort_unstable();
+                if unique_run_count(&others) >= 2 {
+                    continue;
+                }
+                forbidden.extend_from_slice(&others);
+            }
+            Some(mex(&mut forbidden))
+        } else {
+            None
+        };
+        let entry = k.per_node[y.index()].as_mut().expect("attached node");
+        if entry.flood_slot != new_slot {
+            entry.flood_slot = new_slot;
+            for v in view
+                .attached_neighbors(y)
+                .filter(|&v| view.tree.depth(v) == depth + 1)
+            {
+                flood_rx_dirty.push(v);
+                for t in flood_tx_iter(view, v) {
+                    if t > y {
+                        queue.insert((depth, t));
+                    }
+                }
+            }
+        }
+    }
+
+    // Phase C: expected flood slots over R plus the receivers marked in
+    // phase B (their transmitter slot values are now final).
+    flood_rx_dirty.extend(r.iter().copied());
+    flood_rx_dirty.sort_unstable();
+    flood_rx_dirty.dedup();
+    for &u in &flood_rx_dirty {
+        if !tree.contains(u) {
+            continue;
+        }
+        let expected = if tree.depth(u) >= 1 {
+            scratch.clear();
+            scratch.extend(flood_tx_iter(view, u).filter_map(|y| {
+                k.per_node[y.index()]
+                    .as_ref()
+                    .expect("attached transmitter")
+                    .flood_slot
+            }));
+            unique_slot_sorted(&mut scratch)
+        } else {
+            None
+        };
+        k.per_node[u.index()]
+            .as_mut()
+            .expect("attached node")
+            .expected_flood_slot = expected;
+    }
+
+    // Fused flat sweep: rebuild the CSR pool in canonical increasing-id
+    // order and recompute the global max/count scalars the closure may
+    // have touched. Nodes in R re-derive their tour list from the tree;
+    // maximal runs of untouched nodes keep their old segments, copied in
+    // one memcpy per run with offsets shifted by the accumulated drift.
+    // Run contiguity holds because the base pool is written in the same
+    // increasing-id order and any node whose attachment changed since
+    // `base` is necessarily in R (the journal recorded it) — so a run is
+    // only ever interrupted at an R index, where it is flushed.
+    let mut bt_pool: Vec<NodeId> = Vec::with_capacity(base.bt_pool.len() + 8);
+    let mut bt_height = 0u32;
+    let mut backbone_size = 0usize;
+    let mut delta_flood = 0u32;
+    let mut r_cursor = r.iter().peekable();
+    // Pending run: `[run_old, run_old + run_len)` in the base pool,
+    // destined for the current end of `bt_pool` once flushed.
+    let (mut run_old, mut run_len) = (0u32, 0u32);
+    for idx in 0..k.per_node.len() {
+        let u = NodeId(idx as u32);
+        while r_cursor.next_if(|&&d| d < u).is_some() {}
+        let in_r = r_cursor.peek().is_some_and(|&&d| d == u);
+        if in_r && run_len > 0 {
+            let start = run_old as usize;
+            bt_pool.extend_from_slice(&base.bt_pool[start..start + run_len as usize]);
+            run_len = 0;
+        }
+        let Some(entry) = k.per_node[idx].as_mut() else {
+            continue;
+        };
+        if entry.status.in_backbone() {
+            bt_height = bt_height.max(entry.depth);
+            backbone_size += 1;
+        }
+        if let Some(f) = entry.flood_slot {
+            delta_flood = delta_flood.max(f);
+        }
+        if in_r {
+            let bt_off = bt_pool.len() as u32;
+            if entry.status.in_backbone() {
+                bt_pool.extend(tree.children(u).filter(|&c| net.status(c).in_backbone()));
+                if let Some(p) = tree.parent(u) {
+                    bt_pool.push(p);
+                }
+            }
+            entry.bt_off = bt_off;
+            entry.bt_len = bt_pool.len() as u32 - bt_off;
+        } else {
+            if run_len == 0 {
+                run_old = entry.bt_off;
+            }
+            debug_assert_eq!(
+                entry.bt_off,
+                run_old + run_len,
+                "untouched pool segments must stay id-ordered and contiguous"
+            );
+            entry.bt_off = bt_pool.len() as u32 + run_len;
+            run_len += entry.bt_len;
+        }
+    }
+    if run_len > 0 {
+        let start = run_old as usize;
+        bt_pool.extend_from_slice(&base.bt_pool[start..start + run_len as usize]);
+    }
+    k.bt_pool = bt_pool;
+    k.root = tree.root();
+    k.height = tree.height();
+    k.bt_height = bt_height;
+    k.delta_b = net.delta_b();
+    k.delta_l = net.delta_l();
+    k.delta_flood = delta_flood;
+    k.nodes = tree.len();
+    k.backbone_size = backbone_size;
+
+    Some((k, r.len()))
+}
+
 /// A version-keyed cache for [`NetKnowledge`] snapshots.
 ///
-/// `build_knowledge` is the dominant per-broadcast cost on static
-/// networks (it re-derives flood slots, expected receiver slots and
-/// backbone facts from scratch). The cache keys snapshots on
-/// [`ClusterNet::structure_version`]: repeated broadcasts over an
-/// unchanged structure reuse the `Arc`ed snapshot, while *any* mutation
-/// (churn, move-out, repair, mobility maintenance) bumps the version and
-/// forces a rebuild on next access. Correctness leans only on the
-/// version contract — equal versions imply identical structure — so the
-/// cached path is observably indistinguishable from rebuilding every
-/// time (see `tests/cache_equivalence.rs`).
+/// The cache keys snapshots on [`ClusterNet::structure_version`]:
+/// repeated broadcasts over an unchanged structure reuse the `Arc`ed
+/// snapshot. When the version moved, the cache first tries the
+/// dirty-scoped **patch path** ([`patch_knowledge`]) against the freshest
+/// retained entry, and only falls back to a from-scratch
+/// [`build_knowledge`] when the mutation journal cannot vouch for the
+/// cached version or the dirty set exceeds the staleness threshold
+/// (`max(64, nodes/8)` by default). Correctness leans on the version
+/// contract — equal versions imply identical structure — plus the
+/// patched-equals-rebuilt property pinned by `knowledge_patch_props` and
+/// `tests/cache_equivalence.rs`, so the cached path is observably
+/// indistinguishable from rebuilding every time.
 ///
 /// The cache keeps the **last two** `(version, knowledge)` entries in
 /// MRU order. One entry is enough for static workloads, but callers that
 /// alternate between two structures per epoch (a mobility probe against
 /// the pre- and post-repair structure, an A/B comparison harness) would
-/// thrash a single slot every access. Hit/miss totals are readable via
-/// [`KnowledgeCache::stats`].
+/// thrash a single slot every access.
+///
+/// Counter semantics: a `get` is a *hit* when the version matches a
+/// retained entry and a *miss* otherwise; `patched` counts the subset of
+/// misses served by the patch path instead of a full rebuild (so
+/// `hits + misses` equals the number of `get` calls regardless of how a
+/// miss was served). [`KnowledgeCache::full_stats`] additionally exposes
+/// the summed patch closure size and the fallback count. Setting the
+/// environment variable `DSNET_KNOWLEDGE_PATCH=off` (read at cache
+/// construction) disables the patch path entirely — the determinism
+/// smoke diffs traced streams between both modes.
 #[derive(Debug, Default)]
 struct CacheState {
     /// MRU-ordered entries: index 0 is the most recently used.
     entries: Vec<(u64, Arc<NetKnowledge>)>,
     hits: u64,
     misses: u64,
+    patched: u64,
+    patched_scope: u64,
+    fallbacks: u64,
+}
+
+/// Lifetime counters of a [`KnowledgeCache`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Gets served from a retained entry (version match).
+    pub hits: u64,
+    /// Gets that had to produce a new snapshot (patched or rebuilt).
+    pub misses: u64,
+    /// Misses served by the dirty-scoped patch path.
+    pub patched: u64,
+    /// Total nodes in the patched closures (scope of all patches).
+    pub patched_scope: u64,
+    /// Misses where a retained entry existed but patching was refused
+    /// (journal poisoned/evicted, or dirty set over the threshold).
+    pub fallbacks: u64,
 }
 
 /// See the type-level docs above; this is the shared handle.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct KnowledgeCache {
     state: Mutex<CacheState>,
+    patch_enabled: bool,
+    patch_limit: Option<usize>,
 }
 
+impl Default for KnowledgeCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Dirty sets of at most `max(64, nodes/8)` nodes take the patch path.
+const PATCH_MIN_LIMIT: usize = 64;
+
 impl KnowledgeCache {
-    /// An empty cache.
+    /// An empty cache. The patch path is enabled unless the environment
+    /// variable `DSNET_KNOWLEDGE_PATCH` is set to `off` or `0`.
     pub fn new() -> Self {
-        Self::default()
+        let patch_enabled = !matches!(
+            std::env::var("DSNET_KNOWLEDGE_PATCH").as_deref(),
+            Ok("off") | Ok("0")
+        );
+        Self {
+            state: Mutex::new(CacheState::default()),
+            patch_enabled,
+            patch_limit: None,
+        }
+    }
+
+    /// A cache with a fixed dirty-set size threshold instead of the
+    /// default `max(64, nodes/8)` — lets tests force fallback crossings
+    /// deterministically.
+    pub fn with_patch_limit(limit: usize) -> Self {
+        Self {
+            patch_limit: Some(limit),
+            ..Self::new()
+        }
     }
 
     /// The knowledge snapshot for `net`'s current structure — served from
     /// cache when the structure version matches either retained entry,
-    /// rebuilt otherwise.
+    /// patched from the freshest stale entry when the mutation journal
+    /// covers the gap, rebuilt otherwise.
     pub fn get(&self, net: &ClusterNet) -> Arc<NetKnowledge> {
         let version = net.structure_version();
         let mut state = self.state.lock().expect("knowledge cache poisoned");
@@ -283,18 +756,57 @@ impl KnowledgeCache {
             return k;
         }
         state.misses += 1;
+        let base = if self.patch_enabled {
+            state
+                .entries
+                .iter()
+                .filter(|(v, _)| *v < version)
+                .max_by_key(|(v, _)| *v)
+                .map(|(v, k)| (*v, Arc::clone(k)))
+        } else {
+            None
+        };
+        if let Some((base_version, base)) = base {
+            let limit = self
+                .patch_limit
+                .unwrap_or_else(|| PATCH_MIN_LIMIT.max(net.len() / 8));
+            match patch_knowledge(net, &base, base_version, limit) {
+                Some((patched, scope)) => {
+                    state.patched += 1;
+                    state.patched_scope += scope as u64;
+                    let k = Arc::new(patched);
+                    state.entries.insert(0, (version, Arc::clone(&k)));
+                    state.entries.truncate(2);
+                    return k;
+                }
+                None => state.fallbacks += 1,
+            }
+        }
         let k = Arc::new(build_knowledge(net));
         state.entries.insert(0, (version, Arc::clone(&k)));
         state.entries.truncate(2);
         k
     }
 
-    /// Lifetime totals of `(hits, misses)` across every
+    /// Lifetime totals of `(hits, misses, patched)` across every
     /// [`KnowledgeCache::get`] call (including gets after a
-    /// [`KnowledgeCache::clear`]).
-    pub fn stats(&self) -> (u64, u64) {
+    /// [`KnowledgeCache::clear`]). `patched` is the subset of misses
+    /// served by the dirty-scoped patch path.
+    pub fn stats(&self) -> (u64, u64, u64) {
         let state = self.state.lock().expect("knowledge cache poisoned");
-        (state.hits, state.misses)
+        (state.hits, state.misses, state.patched)
+    }
+
+    /// All lifetime counters, including patch scope and fallbacks.
+    pub fn full_stats(&self) -> CacheStats {
+        let state = self.state.lock().expect("knowledge cache poisoned");
+        CacheStats {
+            hits: state.hits,
+            misses: state.misses,
+            patched: state.patched,
+            patched_scope: state.patched_scope,
+            fallbacks: state.fallbacks,
+        }
     }
 
     /// Drop any cached snapshots (the next [`KnowledgeCache::get`]
@@ -312,13 +824,30 @@ impl KnowledgeCache {
 
 impl Clone for KnowledgeCache {
     fn clone(&self) -> Self {
-        let state = self.state.lock().expect("knowledge cache poisoned");
+        // Snapshot under the lock — `Arc` clones, no deep copies — and
+        // build the clone outside the critical section.
+        let (entries, hits, misses, patched, patched_scope, fallbacks) = {
+            let state = self.state.lock().expect("knowledge cache poisoned");
+            (
+                state.entries.clone(),
+                state.hits,
+                state.misses,
+                state.patched,
+                state.patched_scope,
+                state.fallbacks,
+            )
+        };
         Self {
             state: Mutex::new(CacheState {
-                entries: state.entries.clone(),
-                hits: state.hits,
-                misses: state.misses,
+                entries,
+                hits,
+                misses,
+                patched,
+                patched_scope,
+                fallbacks,
             }),
+            patch_enabled: self.patch_enabled,
+            patch_limit: self.patch_limit,
         }
     }
 }
@@ -416,6 +945,31 @@ mod tests {
     }
 
     #[test]
+    fn csr_pool_matches_tree_tour_lists() {
+        let net = chain_net(13);
+        let k = build_knowledge(&net);
+        for u in net.tree().nodes() {
+            let expected: Vec<NodeId> = if net.status(u).in_backbone() {
+                let mut v: Vec<NodeId> = net
+                    .tree()
+                    .children(u)
+                    .filter(|&c| net.status(c).in_backbone())
+                    .collect();
+                if let Some(p) = net.tree().parent(u) {
+                    v.push(p);
+                }
+                v
+            } else {
+                Vec::new()
+            };
+            assert_eq!(k.bt_neighbors(u), expected.as_slice(), "node {u}");
+        }
+        // The pool is exactly the concatenation — no gaps, no garbage.
+        let total: usize = net.tree().nodes().map(|u| k.of(u).bt_len as usize).sum();
+        assert_eq!(k.bt_pool.len(), total);
+    }
+
+    #[test]
     fn session_offset_is_source_depth() {
         let net = chain_net(9);
         let k = build_knowledge(&net);
@@ -446,6 +1000,79 @@ mod tests {
     }
 
     #[test]
+    fn patched_snapshot_is_byte_equal_to_full_rebuild() {
+        let mut net = chain_net(24);
+        let cache = KnowledgeCache::new();
+        let _ = cache.get(&net); // prime
+        for step in 0..10u32 {
+            match step % 3 {
+                0 => {
+                    let deepest = net
+                        .tree()
+                        .nodes()
+                        .max_by_key(|&u| (net.tree().depth(u), u))
+                        .unwrap();
+                    net.move_in(&[deepest]).unwrap();
+                }
+                1 => {
+                    // Leaf departure (deepest node is always a leaf).
+                    let leaf = net
+                        .tree()
+                        .nodes()
+                        .max_by_key(|&u| (net.tree().depth(u), u))
+                        .unwrap();
+                    if net.can_move_out(leaf).is_ok() {
+                        net.move_out(leaf).unwrap();
+                    }
+                }
+                _ => {
+                    let victim = net.tree().nodes().nth(net.len() / 2).unwrap();
+                    if victim != net.root() {
+                        net.repair_failure(victim, &Default::default()).unwrap();
+                    }
+                }
+            }
+            let k = cache.get(&net);
+            assert_eq!(*k, build_knowledge(&net), "step {step}");
+        }
+        let stats = cache.full_stats();
+        assert!(stats.patched >= 1, "patch path must engage: {stats:?}");
+    }
+
+    #[test]
+    fn patch_counters_and_hit_miss_totals_stay_consistent() {
+        let mut net = chain_net(20);
+        let cache = KnowledgeCache::new();
+        let mut gets = 0u64;
+        let _ = cache.get(&net);
+        gets += 1;
+        let _ = cache.get(&net);
+        gets += 1;
+        for _ in 0..4 {
+            net.move_in(&[NodeId(0)]).unwrap();
+            let _ = cache.get(&net);
+            gets += 1;
+        }
+        let s = cache.full_stats();
+        assert_eq!(s.hits + s.misses, gets, "{s:?}");
+        assert!(s.patched <= s.misses, "patched is a subset of misses");
+        assert_eq!(cache.stats(), (s.hits, s.misses, s.patched));
+    }
+
+    #[test]
+    fn patch_limit_forces_fallback() {
+        let mut net = chain_net(16);
+        let cache = KnowledgeCache::with_patch_limit(0);
+        let _ = cache.get(&net);
+        net.move_in(&[NodeId(15)]).unwrap();
+        let k = cache.get(&net);
+        assert_eq!(*k, build_knowledge(&net));
+        let s = cache.full_stats();
+        assert_eq!(s.patched, 0);
+        assert_eq!(s.fallbacks, 1, "{s:?}");
+    }
+
+    #[test]
     fn cache_clear_releases_but_stays_correct() {
         let net = chain_net(6);
         let cache = KnowledgeCache::new();
@@ -454,6 +1081,18 @@ mod tests {
         let b = cache.get(&net);
         assert!(!Arc::ptr_eq(&a, &b));
         assert_eq!(*a, *b);
+    }
+
+    #[test]
+    fn cloned_cache_shares_nothing_but_reads_the_same() {
+        let mut net = chain_net(8);
+        let cache = KnowledgeCache::new();
+        let _ = cache.get(&net);
+        let cloned = cache.clone();
+        assert_eq!(cloned.stats(), cache.stats());
+        net.move_in(&[NodeId(0)]).unwrap();
+        let _ = cloned.get(&net);
+        assert_ne!(cloned.stats(), cache.stats(), "clones diverge");
     }
 
     #[test]
@@ -466,7 +1105,7 @@ mod tests {
         let slots =
             dsnet_cluster::slots::session::assign_session_slots(&net.view(), net.mode(), &tx, &rx);
         let fresh = build_session_knowledge(&net, &slots, &tx);
-        let cached = build_session_knowledge_from(&net, (*base).clone(), &slots, &tx);
+        let cached = build_session_knowledge_from(&net, &base, &slots, &tx);
         assert_eq!(fresh, cached);
     }
 

@@ -487,7 +487,7 @@ pub fn run_multicast_reliable_with(
     let rx = |u: NodeId| table[u.index()].rx;
     let session_slots =
         dsnet_cluster::slots::session::assign_session_slots(&net.view(), net.mode(), &tx, &rx);
-    let k = build_session_knowledge_from(net, base.clone(), &session_slots, &tx);
+    let k = build_session_knowledge_from(net, base, &session_slots, &tx);
     let targets = multicast::targets(mc, group);
     run_improved_inner(net, &k, source, cfg, |u| table[u.index()], &targets).0
 }

@@ -335,7 +335,7 @@ impl Host {
         let session = slot.session.read().expect("session lock");
         let net = session.network();
         let k = net.knowledge();
-        let (hits, misses) = net.knowledge_stats();
+        let (hits, misses, patched) = net.knowledge_stats();
         Ok(PeekReport {
             version: net.structure_version(),
             nodes: k.nodes as u64,
@@ -344,6 +344,7 @@ impl Host {
             commands: session.records().len() as u64,
             cache_hits: hits,
             cache_misses: misses,
+            cache_patched: patched,
         })
     }
 }
@@ -365,6 +366,8 @@ pub struct PeekReport {
     pub cache_hits: u64,
     /// Knowledge-cache misses.
     pub cache_misses: u64,
+    /// Misses served by the dirty-scoped patch path (subset of misses).
+    pub cache_patched: u64,
 }
 
 #[cfg(test)]

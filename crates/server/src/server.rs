@@ -889,6 +889,7 @@ fn op_body(op: &Op, host: &Arc<Host>, signal: &StopSignal) -> Option<Body> {
                 ("commands", Json::Int(p.commands as i64)),
                 ("cache_hits", Json::Int(p.cache_hits as i64)),
                 ("cache_misses", Json::Int(p.cache_misses as i64)),
+                ("cache_patched", Json::Int(p.cache_patched as i64)),
             ])),
             Err(e) => host_err_body(e),
         },

@@ -24,6 +24,11 @@
 #                   parallel delivery: the full traced event stream on
 #                   1 thread must be byte-for-byte identical to 2
 #                   threads (and to a different shard-cell count)
+#   knowledge       dirty-scoped snapshot patching: a churn-heavy traced
+#                   session stream and a mobile campaign must be
+#                   byte-identical between the patch path and a forced
+#                   full-rebuild path (DSNET_KNOWLEDGE_PATCH=off), and
+#                   across 1 vs 2 worker threads
 #
 # Artifacts are left in the working directory as t<axis><threads>.json /
 # .csv (tserver_*.stream for the server axis) so CI can upload them on
@@ -31,7 +36,7 @@
 set -euo pipefail
 
 if [ "$#" -lt 1 ]; then
-    echo "usage: $0 <core|mobility|loss|mobility-audit|server|server-reactor|resume|scale> [...]" >&2
+    echo "usage: $0 <core|mobility|loss|mobility-audit|server|server-reactor|resume|scale|knowledge> [...]" >&2
     exit 2
 fi
 
@@ -61,7 +66,7 @@ axis_flags() {
                   --mobility rwp0.08x40p1,gm0.05x40"
             ;;
         *)
-            echo "unknown axis: $1 (want core, mobility, loss, mobility-audit, server, server-reactor, resume, or scale)" >&2
+            echo "unknown axis: $1 (want core, mobility, loss, mobility-audit, server, server-reactor, resume, scale, or knowledge)" >&2
             exit 2
             ;;
     esac
@@ -109,6 +114,58 @@ scale_smoke() {
     # shellcheck disable=SC2086
     "${DSNET[@]}" scale $flags --threads 2 --shards 23 > tscale_cells.stream
     cmp <(tail -n +2 tscale1.stream) <(tail -n +2 tscale_cells.stream)
+}
+
+# Knowledge-patch determinism: the dirty-scoped snapshot patch must be
+# invisible everywhere outcomes are observable.  Two probes:
+#
+# 1. A churn-heavy scripted session (mobility, departures, arrivals,
+#    crashes interleaved with traced broadcasts) run library-direct with
+#    the patch path live and again with DSNET_KNOWLEDGE_PATCH=off (every
+#    miss pays a full rebuild).  The response streams — whose collision
+#    and max_awake fields are digests of each broadcast's recorded
+#    trace — must be byte-identical.  The script deliberately has no
+#    `snapshot` command: cache_patched is path-dependent by design.
+# 2. A mobile campaign across {patch, full-rebuild} × {1, 2 threads}:
+#    all four JSON/CSV artifact pairs must be byte-identical.
+knowledge_smoke() {
+    local script="tknowledge.script"
+    cat > "$script" <<'EOS'
+{"cmd": "broadcast", "protocol": "cff"}
+{"cmd": "mobility", "epochs": 2, "movers": 1, "step_milli": 300}
+{"cmd": "broadcast", "protocol": "cff"}
+{"cmd": "move_out", "node": 5}
+{"cmd": "broadcast", "protocol": "dfo"}
+{"cmd": "move_in", "x_milli": 4200, "y_milli": 4700}
+{"cmd": "broadcast", "protocol": "cff", "loss_ppm": 30000, "retries": 2, "min_delivery_ppm": 800000}
+{"cmd": "kill", "node": 7}
+{"cmd": "mobility", "epochs": 3, "movers": 2, "step_milli": 400}
+{"cmd": "broadcast", "protocol": "dfo"}
+{"cmd": "revive", "node": 7}
+{"cmd": "broadcast", "protocol": "cff"}
+EOS
+    "${DSNET[@]}" direct --script "$script" \
+        --nodes 60 --seed 2026 > tknowledge_patch.stream
+    DSNET_KNOWLEDGE_PATCH=off "${DSNET[@]}" direct --script "$script" \
+        --nodes 60 --seed 2026 > tknowledge_rebuild.stream
+    cmp tknowledge_patch.stream tknowledge_rebuild.stream
+
+    local flags="--ns 40 --reps 2 --protocols cff,dfo \
+                 --mobility rwp0.06x20p1,gm0.05x15 --quiet"
+    for threads in 1 2; do
+        # shellcheck disable=SC2086  # flags are a curated word list
+        "${DSNET[@]}" campaign $flags --threads "$threads" \
+            --json "tknowledge_p${threads}.json" --csv "tknowledge_p${threads}.csv"
+        # shellcheck disable=SC2086
+        DSNET_KNOWLEDGE_PATCH=off "${DSNET[@]}" campaign $flags --threads "$threads" \
+            --json "tknowledge_r${threads}.json" --csv "tknowledge_r${threads}.csv"
+    done
+    cmp tknowledge_p1.json tknowledge_p2.json
+    cmp tknowledge_p1.json tknowledge_r1.json
+    cmp tknowledge_r1.json tknowledge_r2.json
+    cmp tknowledge_p1.csv tknowledge_p2.csv
+    cmp tknowledge_p1.csv tknowledge_r1.csv
+    cmp tknowledge_r1.csv tknowledge_r2.csv
 }
 
 # Server determinism: boot a unix-socket daemon on the given I/O engine
@@ -178,6 +235,12 @@ for axis in "$@"; do
         echo "=== determinism smoke: scale ==="
         scale_smoke
         echo "=== scale: 10k-node traced streams identical across threads and shard cells ==="
+        continue
+    fi
+    if [ "$axis" = knowledge ]; then
+        echo "=== determinism smoke: knowledge ==="
+        knowledge_smoke
+        echo "=== knowledge: patched and full-rebuild paths byte-identical across thread counts ==="
         continue
     fi
     flags=$(axis_flags "$axis")

@@ -155,6 +155,45 @@ fn cache_stays_fresh_across_each_mutation_step() {
     assert_cached_matches_fresh(&net, Protocol::BasicCff, &RunConfig::default());
 }
 
+/// Small churn must be served by the dirty-scoped patch path, not a full
+/// rebuild — and the patched snapshots must still drive broadcasts
+/// byte-identical to from-scratch knowledge. Leaving a pure member
+/// dirties only its neighbourhood, far under the patch threshold, so
+/// every post-churn miss here is required to patch.
+#[test]
+fn small_churn_is_served_by_the_patch_path() {
+    use dsnet::cluster::NodeStatus;
+    let mut net = NetworkBuilder::paper_field(10.0, 80, 4).build().unwrap();
+    // Prime the cache: the first miss is necessarily a full build.
+    assert_cached_matches_fresh(&net, Protocol::ImprovedCff, &RunConfig::default());
+    let (_, misses0, patched0) = net.knowledge_stats();
+
+    let churns = 4u64;
+    for round in 0..churns as usize {
+        let members: Vec<NodeId> = net
+            .net()
+            .tree()
+            .nodes()
+            .filter(|&u| u != net.sink() && net.net().status(u) == NodeStatus::PureMember)
+            .collect();
+        let victim = members[(round * 7) % members.len()];
+        net.leave(victim).unwrap();
+        assert_cached_matches_fresh(&net, Protocol::ImprovedCff, &RunConfig::default());
+    }
+
+    let (_, misses1, patched1) = net.knowledge_stats();
+    assert_eq!(
+        misses1 - misses0,
+        churns,
+        "each mutation must invalidate exactly one snapshot"
+    );
+    assert_eq!(
+        patched1 - patched0,
+        churns,
+        "member-scale churn must be served by patches, not rebuilds"
+    );
+}
+
 /// Campaign artifacts remain byte-identical across thread counts with
 /// the cache in the trial path — including the loss, repair and mobility
 /// axes, whose trials mutate structures mid-trial.
